@@ -1,0 +1,28 @@
+//! # pathlog-baseline
+//!
+//! The comparison systems the paper positions PathLog against, rebuilt so
+//! that the benchmarks can contrast query formulations and evaluation
+//! strategies on identical data:
+//!
+//! * [`relational`] — flat relations and select/project/join plans (the
+//!   relational-model formulation Section 1 argues against), plus a
+//!   semi-naive transitive closure;
+//! * [`onedim`] — an O2SQL/XSQL-style evaluator for *one-dimensional* path
+//!   expressions: range variables over classes and set attributes, WHERE
+//!   conditions that are scalar paths compared to constants or variables;
+//! * [`views`] — XSQL-style views with OID functions (query (6.3)), the
+//!   mechanism PathLog's method-based virtual objects replace.
+//!
+//! All baselines read the same [`pathlog_core::structure::Structure`] the
+//! PathLog engine evaluates against.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod onedim;
+pub mod relational;
+pub mod views;
+
+pub use onedim::{evaluate as evaluate_onedim, Condition, OneDimQuery, RangeSource, RangeVar, Rhs, SelectItem};
+pub use relational::{queries, tc, Relation, RelationalDb};
+pub use views::{materialize, ViewAttr, ViewDef, ViewStats};

@@ -1,0 +1,374 @@
+//! A one-dimensional path-expression evaluator in the style of O2SQL / XSQL.
+//!
+//! This baseline implements the query formulation the paper starts from:
+//! range variables over class extents or over set-valued attributes of other
+//! variables (`FROM X IN employee, Y IN X.vehicles`), plus WHERE conditions
+//! that are *one-dimensional* paths compared against constants or variables
+//! (`Y.color = red`, `Y.producedBy.president = X`).  Because a path can only
+//! go into depth, every additional property of an intermediate object needs a
+//! separate condition — exactly the limitation PathLog's second dimension
+//! removes.
+//!
+//! Evaluation is a straightforward nested-loop over the range variables with
+//! early condition checking, which is how such queries are naively executed.
+
+use std::collections::BTreeSet;
+
+use pathlog_core::names::Name;
+use pathlog_core::structure::{Oid, Structure};
+
+/// Where a range variable draws its objects from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeSource {
+    /// All members of a class (`FROM X IN employee`).
+    Class(String),
+    /// The members of a set-valued attribute of an earlier variable
+    /// (`FROM Y IN X.vehicles`).
+    SetAttr {
+        /// The earlier range variable.
+        of: String,
+        /// The set-valued attribute.
+        attr: String,
+    },
+}
+
+/// One range variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeVar {
+    /// Variable name.
+    pub var: String,
+    /// Source of its objects.
+    pub source: RangeSource,
+}
+
+/// The right-hand side of a path condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rhs {
+    /// A constant (name).
+    Const(Name),
+    /// Another range variable.
+    Var(String),
+}
+
+/// A WHERE condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// `start.m1.m2...mk = rhs` — a scalar path compared for equality.
+    PathEq {
+        /// The range variable the path starts from.
+        start: String,
+        /// The scalar methods applied in order.
+        methods: Vec<String>,
+        /// What the result must equal.
+        rhs: Rhs,
+    },
+    /// `var IN class` — class membership of a range variable.
+    IsA {
+        /// The range variable.
+        var: String,
+        /// The class name.
+        class: String,
+    },
+}
+
+/// What the query returns per satisfying binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// The object bound to a range variable.
+    Var(String),
+    /// The result of a scalar path applied to a range variable.
+    Path {
+        /// The range variable the path starts from.
+        start: String,
+        /// The scalar methods applied in order.
+        methods: Vec<String>,
+    },
+}
+
+/// A one-dimensional query: SELECT items FROM ranges WHERE conditions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OneDimQuery {
+    /// The range variables, in dependency order.
+    pub ranges: Vec<RangeVar>,
+    /// The conjunctive conditions.
+    pub conditions: Vec<Condition>,
+    /// The select list.
+    pub select: Vec<SelectItem>,
+}
+
+impl OneDimQuery {
+    /// Start building a query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `FROM var IN class`.
+    pub fn from_class(mut self, var: &str, class: &str) -> Self {
+        self.ranges.push(RangeVar { var: var.into(), source: RangeSource::Class(class.into()) });
+        self
+    }
+
+    /// Add `FROM var IN of.attr`.
+    pub fn from_set(mut self, var: &str, of: &str, attr: &str) -> Self {
+        self.ranges.push(RangeVar { var: var.into(), source: RangeSource::SetAttr { of: of.into(), attr: attr.into() } });
+        self
+    }
+
+    /// Add `WHERE start.methods = constant`.
+    pub fn where_path_const(mut self, start: &str, methods: &[&str], value: Name) -> Self {
+        self.conditions.push(Condition::PathEq {
+            start: start.into(),
+            methods: methods.iter().map(|s| s.to_string()).collect(),
+            rhs: Rhs::Const(value),
+        });
+        self
+    }
+
+    /// Add `WHERE start.methods = var`.
+    pub fn where_path_var(mut self, start: &str, methods: &[&str], var: &str) -> Self {
+        self.conditions.push(Condition::PathEq {
+            start: start.into(),
+            methods: methods.iter().map(|s| s.to_string()).collect(),
+            rhs: Rhs::Var(var.into()),
+        });
+        self
+    }
+
+    /// Add `WHERE var IN class`.
+    pub fn where_isa(mut self, var: &str, class: &str) -> Self {
+        self.conditions.push(Condition::IsA { var: var.into(), class: class.into() });
+        self
+    }
+
+    /// Add `SELECT var`.
+    pub fn select_var(mut self, var: &str) -> Self {
+        self.select.push(SelectItem::Var(var.into()));
+        self
+    }
+
+    /// Add `SELECT start.methods`.
+    pub fn select_path(mut self, start: &str, methods: &[&str]) -> Self {
+        self.select.push(SelectItem::Path { start: start.into(), methods: methods.iter().map(|s| s.to_string()).collect() });
+        self
+    }
+}
+
+/// Evaluate a query, returning the distinct result tuples (one entry per
+/// select item).
+pub fn evaluate(structure: &Structure, query: &OneDimQuery) -> BTreeSet<Vec<Oid>> {
+    let mut results = BTreeSet::new();
+    let mut bindings: Vec<(String, Oid)> = Vec::new();
+    eval_ranges(structure, query, 0, &mut bindings, &mut results);
+    results
+}
+
+fn eval_ranges(
+    structure: &Structure,
+    query: &OneDimQuery,
+    depth: usize,
+    bindings: &mut Vec<(String, Oid)>,
+    results: &mut BTreeSet<Vec<Oid>>,
+) {
+    if depth == query.ranges.len() {
+        if query.conditions.iter().all(|c| check_condition(structure, c, bindings)) {
+            if let Some(tuple) =
+                query.select.iter().map(|item| eval_select(structure, item, bindings)).collect::<Option<Vec<_>>>()
+            {
+                results.insert(tuple);
+            }
+        }
+        return;
+    }
+    let range = &query.ranges[depth];
+    let candidates: Vec<Oid> = match &range.source {
+        RangeSource::Class(class) => match structure.lookup_name(&Name::atom(class)) {
+            Some(c) => structure.instances_of(c).collect(),
+            None => Vec::new(),
+        },
+        RangeSource::SetAttr { of, attr } => {
+            let Some(&(_, subject)) = bindings.iter().find(|(v, _)| v == of) else { return };
+            let Some(attr) = structure.lookup_name(&Name::atom(attr)) else { return };
+            match structure.apply_set(attr, subject, &[]) {
+                Some(members) => members.iter().copied().collect(),
+                None => Vec::new(),
+            }
+        }
+    };
+    for candidate in candidates {
+        bindings.push((range.var.clone(), candidate));
+        // Early filtering: evaluate the conditions whose variables are all
+        // bound already (this mirrors what a sensible executor would do).
+        let ready = query.conditions.iter().all(|c| match condition_ready(c, bindings) {
+            true => check_condition(structure, c, bindings),
+            false => true,
+        });
+        if ready {
+            eval_ranges(structure, query, depth + 1, bindings, results);
+        }
+        bindings.pop();
+    }
+}
+
+fn lookup(bindings: &[(String, Oid)], var: &str) -> Option<Oid> {
+    bindings.iter().find(|(v, _)| v == var).map(|&(_, o)| o)
+}
+
+fn condition_ready(condition: &Condition, bindings: &[(String, Oid)]) -> bool {
+    match condition {
+        Condition::PathEq { start, rhs, .. } => {
+            lookup(bindings, start).is_some()
+                && match rhs {
+                    Rhs::Const(_) => true,
+                    Rhs::Var(v) => lookup(bindings, v).is_some(),
+                }
+        }
+        Condition::IsA { var, .. } => lookup(bindings, var).is_some(),
+    }
+}
+
+fn check_condition(structure: &Structure, condition: &Condition, bindings: &[(String, Oid)]) -> bool {
+    match condition {
+        Condition::PathEq { start, methods, rhs } => {
+            let Some(start) = lookup(bindings, start) else { return false };
+            let Some(result) = follow_path(structure, start, methods) else { return false };
+            match rhs {
+                Rhs::Const(n) => structure.lookup_name(n) == Some(result),
+                Rhs::Var(v) => lookup(bindings, v) == Some(result),
+            }
+        }
+        Condition::IsA { var, class } => {
+            let (Some(obj), Some(class)) = (lookup(bindings, var), structure.lookup_name(&Name::atom(class))) else {
+                return false;
+            };
+            structure.in_class(obj, class)
+        }
+    }
+}
+
+fn eval_select(structure: &Structure, item: &SelectItem, bindings: &[(String, Oid)]) -> Option<Oid> {
+    match item {
+        SelectItem::Var(v) => lookup(bindings, v),
+        SelectItem::Path { start, methods } => follow_path(structure, lookup(bindings, start)?, methods),
+    }
+}
+
+fn follow_path(structure: &Structure, start: Oid, methods: &[String]) -> Option<Oid> {
+    let mut current = start;
+    for m in methods {
+        let method = structure.lookup_name(&Name::atom(m))?;
+        current = structure.apply_scalar(method, current, &[])?;
+    }
+    Some(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Structure {
+        let mut s = Structure::new();
+        let (employee, manager, automobile, vehicle) =
+            (s.atom("employee"), s.atom("manager"), s.atom("automobile"), s.atom("vehicle"));
+        s.add_isa(manager, employee);
+        s.add_isa(automobile, vehicle);
+        let (vehicles, color, cylinders) = (s.atom("vehicles"), s.atom("color"), s.atom("cylinders"));
+        let (produced_by, city_of, president) = (s.atom("producedBy"), s.atom("cityOf"), s.atom("president"));
+        let (red, blue, detroit) = (s.atom("red"), s.atom("blue"), s.atom("detroit"));
+        let four = s.int(4);
+
+        let (m1, e1) = (s.atom("m1"), s.atom("e1"));
+        s.add_isa(m1, manager);
+        s.add_isa(e1, employee);
+        let (a1, a2) = (s.atom("a1"), s.atom("a2"));
+        s.add_isa(a1, automobile);
+        s.add_isa(a2, automobile);
+        s.assert_set_member(vehicles, e1, &[], a1);
+        s.assert_set_member(vehicles, m1, &[], a2);
+        s.assert_scalar(color, a1, &[], blue).unwrap();
+        s.assert_scalar(color, a2, &[], red).unwrap();
+        s.assert_scalar(cylinders, a1, &[], four).unwrap();
+        let comp = s.atom("comp0");
+        s.assert_scalar(produced_by, a2, &[], comp).unwrap();
+        s.assert_scalar(city_of, comp, &[], detroit).unwrap();
+        s.assert_scalar(president, comp, &[], m1).unwrap();
+        s
+    }
+
+    fn oid(s: &Structure, n: &str) -> Oid {
+        s.lookup_name(&Name::atom(n)).unwrap()
+    }
+
+    #[test]
+    fn query_1_1_colours_of_employee_automobiles() {
+        // SELECT Y.color FROM X IN employee, Y IN X.vehicles WHERE Y IN automobile
+        let s = world();
+        let q = OneDimQuery::new()
+            .from_class("X", "employee")
+            .from_set("Y", "X", "vehicles")
+            .where_isa("Y", "automobile")
+            .select_path("Y", &["color"]);
+        let results = evaluate(&s, &q);
+        assert_eq!(results.len(), 2);
+        assert!(results.contains(&vec![oid(&s, "red")]));
+        assert!(results.contains(&vec![oid(&s, "blue")]));
+    }
+
+    #[test]
+    fn query_1_4_with_cylinder_condition() {
+        // ... AND Y.cylinders = 4 — a separate one-dimensional condition.
+        let s = world();
+        let q = OneDimQuery::new()
+            .from_class("X", "employee")
+            .from_set("Y", "X", "vehicles")
+            .where_isa("Y", "automobile")
+            .where_path_const("Y", &["cylinders"], Name::Int(4))
+            .select_path("Y", &["color"]);
+        let results = evaluate(&s, &q);
+        assert_eq!(results, [vec![oid(&s, "blue")]].into_iter().collect());
+    }
+
+    #[test]
+    fn manager_query_needs_three_conditions() {
+        // SELECT X FROM X IN manager, Y IN X.vehicles
+        // WHERE Y.color = red AND Y.producedBy.city = detroit AND Y.producedBy.president = X
+        let s = world();
+        let q = OneDimQuery::new()
+            .from_class("X", "manager")
+            .from_set("Y", "X", "vehicles")
+            .where_path_const("Y", &["color"], Name::atom("red"))
+            .where_path_const("Y", &["producedBy", "cityOf"], Name::atom("detroit"))
+            .where_path_var("Y", &["producedBy", "president"], "X")
+            .select_var("X");
+        let results = evaluate(&s, &q);
+        assert_eq!(results, [vec![oid(&s, "m1")]].into_iter().collect());
+    }
+
+    #[test]
+    fn undefined_paths_fail_conditions() {
+        let s = world();
+        // a1 has no producedBy; the condition silently filters it out.
+        let q = OneDimQuery::new()
+            .from_class("X", "employee")
+            .from_set("Y", "X", "vehicles")
+            .where_path_const("Y", &["producedBy", "cityOf"], Name::atom("detroit"))
+            .select_var("Y");
+        let results = evaluate(&s, &q);
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn unknown_classes_and_attrs_are_empty() {
+        let s = world();
+        let q = OneDimQuery::new().from_class("X", "spaceship").select_var("X");
+        assert!(evaluate(&s, &q).is_empty());
+        let q = OneDimQuery::new().from_class("X", "employee").from_set("Y", "X", "hats").select_var("Y");
+        assert!(evaluate(&s, &q).is_empty());
+    }
+
+    #[test]
+    fn select_of_unbound_variable_is_skipped() {
+        let s = world();
+        let q = OneDimQuery::new().from_class("X", "employee").select_var("Z");
+        assert!(evaluate(&s, &q).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! The paper's example queries as relational join plans.
+//!
+//! These are the "flat relations" formulations PathLog is compared against:
+//! each path step of the object-oriented query becomes one join.
+
+use std::collections::BTreeSet;
+
+use pathlog_core::names::Name;
+use pathlog_core::structure::{Oid, Structure};
+
+use super::{Relation, RelationalDb};
+
+fn name_oid(structure: &Structure, name: &str) -> Option<Oid> {
+    structure.lookup_name(&Name::atom(name))
+}
+
+/// Queries (1.1)/(1.2): the colours of the automobiles belonging to
+/// employees.  Plan: `employee ⋈ vehicles ⋈ automobile ⋈ color`, projected
+/// on the colour.
+pub fn employee_automobile_colours(db: &RelationalDb) -> Relation {
+    db.class("employee", "x")
+        .join(&db.attr("vehicles", "x", "y"))
+        .join(&db.class("automobile", "y"))
+        .join(&db.attr("color", "y", "z"))
+        .project(&["z"])
+        .distinct()
+}
+
+/// Query (1.4)/(2.1): as above, restricted to 30-year-old employees living in
+/// New York and automobiles with 4 cylinders.
+pub fn filtered_automobile_colours(structure: &Structure, db: &RelationalDb) -> Relation {
+    let thirty = structure.lookup_name(&Name::Int(30));
+    let four = structure.lookup_name(&Name::Int(4));
+    let new_york = name_oid(structure, "newYork");
+    let (Some(thirty), Some(four), Some(new_york)) = (thirty, four, new_york) else {
+        return Relation::new(&["z"]);
+    };
+    db.class("employee", "x")
+        .join(&db.attr("age", "x", "xage").select_eq("xage", thirty))
+        .join(&db.attr("city", "x", "xcity").select_eq("xcity", new_york))
+        .join(&db.attr("vehicles", "x", "y"))
+        .join(&db.class("automobile", "y"))
+        .join(&db.attr("cylinders", "y", "cyl").select_eq("cyl", four))
+        .join(&db.attr("color", "y", "z"))
+        .project(&["z"])
+        .distinct()
+}
+
+/// The Section 2 manager query: managers with a red vehicle produced by a
+/// company located in Detroit whose president is the manager themselves.
+pub fn manager_red_detroit_presidents(structure: &Structure, db: &RelationalDb) -> BTreeSet<Oid> {
+    let (Some(red), Some(detroit)) = (name_oid(structure, "red"), name_oid(structure, "detroit")) else {
+        return BTreeSet::new();
+    };
+    let joined = db
+        .class("manager", "x")
+        .join(&db.attr("vehicles", "x", "y"))
+        .join(&db.attr("color", "y", "c").select_eq("c", red))
+        .join(&db.attr("producedBy", "y", "p"))
+        .join(&db.attr("cityOf", "p", "pc").select_eq("pc", detroit))
+        .join(&db.attr("president", "p", "pr"));
+    let xi = joined.column("x").unwrap();
+    let pi = joined.column("pr").unwrap();
+    joined.rows.iter().filter(|r| r[xi] == r[pi]).map(|r| r[xi]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built world where the expected answers are known exactly.
+    fn world() -> Structure {
+        let mut s = Structure::new();
+        let (employee, manager, automobile, vehicle) =
+            (s.atom("employee"), s.atom("manager"), s.atom("automobile"), s.atom("vehicle"));
+        s.add_isa(manager, employee);
+        s.add_isa(automobile, vehicle);
+        let (vehicles, color, cylinders, age, city) =
+            (s.atom("vehicles"), s.atom("color"), s.atom("cylinders"), s.atom("age"), s.atom("city"));
+        let (produced_by, city_of, president) = (s.atom("producedBy"), s.atom("cityOf"), s.atom("president"));
+        let (red, blue, ny, detroit) = (s.atom("red"), s.atom("blue"), s.atom("newYork"), s.atom("detroit"));
+        let (thirty, four, six) = (s.int(30), s.int(4), s.int(6));
+
+        let (m1, e1) = (s.atom("m1"), s.atom("e1"));
+        s.add_isa(m1, manager);
+        s.add_isa(e1, employee);
+        s.assert_scalar(age, m1, &[], thirty).unwrap();
+        s.assert_scalar(age, e1, &[], thirty).unwrap();
+        s.assert_scalar(city, e1, &[], ny).unwrap();
+        s.assert_scalar(city, m1, &[], detroit).unwrap();
+
+        let (a1, a2, v1) = (s.atom("a1"), s.atom("a2"), s.atom("v1"));
+        s.add_isa(a1, automobile);
+        s.add_isa(a2, automobile);
+        s.add_isa(v1, vehicle);
+        s.assert_set_member(vehicles, e1, &[], a1);
+        s.assert_set_member(vehicles, e1, &[], v1);
+        s.assert_set_member(vehicles, m1, &[], a2);
+        s.assert_scalar(color, a1, &[], blue).unwrap();
+        s.assert_scalar(color, a2, &[], red).unwrap();
+        s.assert_scalar(color, v1, &[], red).unwrap();
+        s.assert_scalar(cylinders, a1, &[], four).unwrap();
+        s.assert_scalar(cylinders, a2, &[], six).unwrap();
+
+        let comp = s.atom("comp0");
+        s.assert_scalar(produced_by, a2, &[], comp).unwrap();
+        s.assert_scalar(city_of, comp, &[], detroit).unwrap();
+        s.assert_scalar(president, comp, &[], m1).unwrap();
+        s
+    }
+
+    #[test]
+    fn colours_of_employee_automobiles() {
+        let s = world();
+        let db = RelationalDb::from_structure(&s);
+        let colours = employee_automobile_colours(&db);
+        // a1 (blue) of e1 and a2 (red) of m1 (managers are employees);
+        // v1 is not an automobile, so its colour does not count.
+        assert_eq!(colours.len(), 2);
+    }
+
+    #[test]
+    fn filtered_colours() {
+        let s = world();
+        let db = RelationalDb::from_structure(&s);
+        let colours = filtered_automobile_colours(&s, &db);
+        // only e1 is 30 and in newYork; its only automobile with 4 cylinders
+        // is a1, which is blue.
+        let blue = s.lookup_name(&Name::atom("blue")).unwrap();
+        assert_eq!(colours.rows, vec![vec![blue]]);
+    }
+
+    #[test]
+    fn manager_query() {
+        let s = world();
+        let db = RelationalDb::from_structure(&s);
+        let managers = manager_red_detroit_presidents(&s, &db);
+        let m1 = s.lookup_name(&Name::atom("m1")).unwrap();
+        assert_eq!(managers, [m1].into_iter().collect());
+    }
+
+    #[test]
+    fn missing_constants_yield_empty_results() {
+        let s = Structure::new();
+        let db = RelationalDb::from_structure(&s);
+        assert!(filtered_automobile_colours(&s, &db).is_empty());
+        assert!(manager_red_detroit_presidents(&s, &db).is_empty());
+    }
+}

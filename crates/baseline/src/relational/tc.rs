@@ -1,0 +1,122 @@
+//! Semi-naive transitive closure over a binary relation.
+//!
+//! The relational comparator for the `desc` / `kids.tc` rules of Section 6:
+//! given the flat `kids(parent, child)` relation, compute its transitive
+//! closure with the textbook semi-naive iteration (join only the delta of the
+//! previous round against the base relation).
+
+use std::collections::{BTreeSet, HashMap};
+
+use pathlog_core::structure::Oid;
+
+use super::Relation;
+
+/// Compute the transitive closure of a binary relation given as
+/// `(subject, value)` pairs.  Returns a relation with the same columns.
+pub fn transitive_closure(base: &Relation) -> Relation {
+    assert_eq!(base.columns.len(), 2, "transitive closure needs a binary relation");
+    // adjacency: subject -> values
+    let mut adj: HashMap<Oid, Vec<Oid>> = HashMap::new();
+    for row in &base.rows {
+        adj.entry(row[0]).or_default().push(row[1]);
+    }
+
+    let mut closure: BTreeSet<(Oid, Oid)> = base.rows.iter().map(|r| (r[0], r[1])).collect();
+    let mut delta: BTreeSet<(Oid, Oid)> = closure.clone();
+
+    while !delta.is_empty() {
+        let mut next: BTreeSet<(Oid, Oid)> = BTreeSet::new();
+        for &(x, y) in &delta {
+            if let Some(zs) = adj.get(&y) {
+                for &z in zs {
+                    let pair = (x, z);
+                    if !closure.contains(&pair) {
+                        next.insert(pair);
+                    }
+                }
+            }
+        }
+        for &pair in &next {
+            closure.insert(pair);
+        }
+        delta = next;
+    }
+
+    Relation {
+        columns: base.columns.clone(),
+        rows: closure.into_iter().map(|(a, b)| vec![a, b]).collect(),
+    }
+}
+
+/// The descendants of one subject according to the closure of `base`
+/// (convenience for query-shaped benchmarks: closure restricted to one root).
+pub fn descendants_of(base: &Relation, root: Oid) -> BTreeSet<Oid> {
+    let mut adj: HashMap<Oid, Vec<Oid>> = HashMap::new();
+    for row in &base.rows {
+        adj.entry(row[0]).or_default().push(row[1]);
+    }
+    let mut out = BTreeSet::new();
+    let mut stack = vec![root];
+    while let Some(x) = stack.pop() {
+        if let Some(ys) = adj.get(&x) {
+            for &y in ys {
+                if out.insert(y) {
+                    stack.push(y);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u32) -> Oid {
+        Oid(i)
+    }
+
+    fn chain(n: u32) -> Relation {
+        Relation::from_rows(&["parent", "child"], (0..n).map(|i| vec![o(i), o(i + 1)]).collect())
+    }
+
+    #[test]
+    fn closure_of_a_chain() {
+        let base = chain(4); // 0->1->2->3->4
+        let tc = transitive_closure(&base);
+        // n*(n+1)/2 pairs for a chain of 5 nodes / 4 edges: 4+3+2+1 = 10
+        assert_eq!(tc.len(), 10);
+        assert!(tc.rows.contains(&vec![o(0), o(4)]));
+        assert!(!tc.rows.contains(&vec![o(4), o(0)]));
+    }
+
+    #[test]
+    fn closure_of_a_tree_matches_paper_family() {
+        // peter(0) -> tim(1), mary(2); tim -> sally(3); mary -> tom(4), paul(5)
+        let base = Relation::from_rows(
+            &["parent", "child"],
+            vec![vec![o(0), o(1)], vec![o(0), o(2)], vec![o(1), o(3)], vec![o(2), o(4)], vec![o(2), o(5)]],
+        );
+        let tc = transitive_closure(&base);
+        let peters: BTreeSet<Oid> = tc.rows.iter().filter(|r| r[0] == o(0)).map(|r| r[1]).collect();
+        assert_eq!(peters, [o(1), o(2), o(3), o(4), o(5)].into_iter().collect());
+        assert_eq!(descendants_of(&base, o(0)), peters);
+        assert_eq!(descendants_of(&base, o(1)), [o(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn closure_handles_cycles() {
+        let base = Relation::from_rows(&["a", "b"], vec![vec![o(1), o(2)], vec![o(2), o(1)]]);
+        let tc = transitive_closure(&base);
+        assert_eq!(tc.len(), 4); // (1,2) (2,1) (1,1) (2,2)
+        assert!(descendants_of(&base, o(1)).contains(&o(1)));
+    }
+
+    #[test]
+    fn closure_of_empty_relation() {
+        let base = Relation::new(&["a", "b"]);
+        assert!(transitive_closure(&base).is_empty());
+        assert!(descendants_of(&base, o(1)).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment E1: colours of employees' automobiles (queries 1.1–1.3).
+//!
+//! Series: PathLog single reference vs. O2SQL-style one-dimensional query
+//! vs. flat relational join plan, over increasing database sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_baseline::RelationalDb;
+use pathlog_bench::{colours, workloads};
+
+fn bench_colours(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_colours");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &employees in &[200usize, 1_000, 5_000] {
+        let structure = workloads::company(employees);
+        let db = RelationalDb::from_structure(&structure);
+        group.bench_with_input(BenchmarkId::new("pathlog", employees), &structure, |b, s| {
+            b.iter(|| colours::pathlog(s))
+        });
+        group.bench_with_input(BenchmarkId::new("onedim", employees), &structure, |b, s| {
+            b.iter(|| colours::onedim(s))
+        });
+        group.bench_with_input(BenchmarkId::new("relational", employees), &db, |b, db| {
+            b.iter(|| colours::relational(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_colours);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: the coarse-grained semi-naive optimisation (`delta_driven`) of
+//! the engine, on the recursive `desc` workload where it matters most.
+//! DESIGN.md calls this design choice out; this bench quantifies it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_core::prelude::*;
+use pathlog_parser::parse_program;
+
+fn run(structure: &Structure, program: &Program, delta: bool) -> usize {
+    let mut s = structure.clone();
+    let engine = Engine::with_options(EvalOptions { delta_driven: delta, ..EvalOptions::default() });
+    engine.load_program(&mut s, program).expect("rules evaluate").set_members
+}
+
+fn bench_engine_ablation(c: &mut Criterion) {
+    let program = parse_program(
+        "X[desc ->> {Y}] <- X[kids ->> {Y}].
+         X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+         X.summary[descendants ->> X..desc] <- X[kids ->> {Y}].",
+    )
+    .expect("valid program");
+
+    let mut group = c.benchmark_group("ablation_delta_driven");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(depth, fanout) in &[(6usize, 2usize), (8, 2)] {
+        let structure = pathlog_bench::workloads::genealogy(depth, fanout);
+        let label = format!("d{depth}f{fanout}");
+        group.bench_with_input(BenchmarkId::new("delta_on", &label), &structure, |b, s| {
+            b.iter(|| run(s, &program, true))
+        });
+        group.bench_with_input(BenchmarkId::new("delta_off", &label), &structure, |b, s| {
+            b.iter(|| run(s, &program, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_ablation);
+criterion_main!(benches);

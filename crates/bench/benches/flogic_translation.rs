@@ -1,0 +1,32 @@
+//! Experiment E11: direct semantics versus the F-logic translation baseline.
+//!
+//! Series: answering the filtered two-dimensional query with the direct
+//! PathLog engine vs. translating it into a conjunction of flat molecules and
+//! answering the translation, over increasing database sizes.  The shape the
+//! paper predicts: the direct semantics is never worse, and the translation
+//! additionally pays a per-query rewriting cost and loses the single-
+//! reference formulation (8 flat atoms for one reference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_bench::{flogic_translation, workloads};
+
+fn bench_flogic_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_flogic_translation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &employees in &[200usize, 1_000, 5_000] {
+        let structure = workloads::company(employees);
+        group.bench_with_input(BenchmarkId::new("direct", employees), &structure, |b, s| {
+            b.iter(|| flogic_translation::direct(s))
+        });
+        group.bench_with_input(BenchmarkId::new("translated", employees), &structure, |b, s| {
+            b.iter(|| flogic_translation::translated(s))
+        });
+    }
+    group.bench_function("translation_only", |b| b.iter(flogic_translation::translation_atoms));
+    group.finish();
+}
+
+criterion_group!(benches, bench_flogic_translation);
+criterion_main!(benches);

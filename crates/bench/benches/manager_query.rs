@@ -1,0 +1,31 @@
+//! Experiment E3: the Section 2 manager query (red vehicle, produced in
+//! Detroit, president is the owner) — one PathLog reference vs. multi-clause
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_baseline::RelationalDb;
+use pathlog_bench::{manager_query, workloads};
+
+fn bench_manager_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_manager_query");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &employees in &[200usize, 1_000, 5_000] {
+        let structure = workloads::company(employees);
+        let db = RelationalDb::from_structure(&structure);
+        group.bench_with_input(BenchmarkId::new("pathlog", employees), &structure, |b, s| {
+            b.iter(|| manager_query::pathlog(s))
+        });
+        group.bench_with_input(BenchmarkId::new("onedim", employees), &structure, |b, s| {
+            b.iter(|| manager_query::onedim(s))
+        });
+        group.bench_with_input(BenchmarkId::new("relational", employees), &(structure.clone(), db), |b, (s, db)| {
+            b.iter(|| manager_query::relational(s, db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_manager_query);
+criterion_main!(benches);

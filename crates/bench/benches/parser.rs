@@ -1,0 +1,14 @@
+//! Experiment E10: parser throughput over every concrete-syntax expression
+//! quoted in the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathlog_bench::parsing;
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_parser");
+    group.bench_function("parse_all_paper_expressions", |b| b.iter(parsing::parse_all));
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment E14: transitive closure on a bill-of-materials DAG.
+//!
+//! Series: the PathLog closure rules vs. the relational semi-naive baseline
+//! over parts hierarchies of increasing depth (with shared sub-assemblies,
+//! so the structure is a DAG rather than a tree).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_baseline::RelationalDb;
+use pathlog_bench::{parts_explosion, workloads};
+
+fn bench_parts_explosion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_parts_explosion");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &depth in &[4usize, 6, 8] {
+        let structure = workloads::bom(depth);
+        let db = RelationalDb::from_structure(&structure);
+        group.bench_with_input(BenchmarkId::new("pathlog", depth), &structure, |b, s| {
+            b.iter(|| parts_explosion::pathlog(s))
+        });
+        group.bench_with_input(BenchmarkId::new("relational", depth), &db, |b, db| {
+            b.iter(|| parts_explosion::relational(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parts_explosion);
+criterion_main!(benches);

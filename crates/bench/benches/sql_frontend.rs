@@ -1,0 +1,32 @@
+//! Experiment E12: the object-SQL frontend versus native PathLog.
+//!
+//! Series: compiling + executing the XSQL formulation of query (1.4) through
+//! `pathlog-sqlfront` vs. parsing + evaluating the native PathLog reference,
+//! plus the compilation step alone.  The shape: compilation overhead is a
+//! small constant; evaluation costs are identical because both roads execute
+//! the same PathLog query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_bench::{sql_frontend, workloads};
+
+fn bench_sql_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_sql_frontend");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let catalog = sql_frontend::catalog();
+    for &employees in &[200usize, 1_000, 5_000] {
+        let structure = workloads::company(employees);
+        group.bench_with_input(BenchmarkId::new("sql", employees), &structure, |b, s| {
+            b.iter(|| sql_frontend::sql(s, &catalog))
+        });
+        group.bench_with_input(BenchmarkId::new("native_pathlog", employees), &structure, |b, s| {
+            b.iter(|| sql_frontend::native(s))
+        });
+    }
+    group.bench_function("compile_only", |b| b.iter(|| sql_frontend::sql_compile_only(&catalog)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql_frontend);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Experiment E7: transitive closure — the `desc` rules (6.4) and the generic
+//! `kids.tc` rules vs. the relational semi-naive baseline, over trees of
+//! increasing depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_baseline::RelationalDb;
+use pathlog_bench::{transitive_closure, workloads};
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_transitive_closure");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(depth, fanout) in &[(4usize, 2usize), (6, 2), (8, 2), (5, 3)] {
+        let label = format!("d{depth}f{fanout}");
+        let structure = workloads::genealogy(depth, fanout);
+        let db = RelationalDb::from_structure(&structure);
+        group.bench_with_input(BenchmarkId::new("pathlog_desc", &label), &structure, |b, s| {
+            b.iter(|| transitive_closure::pathlog_desc(s))
+        });
+        group.bench_with_input(BenchmarkId::new("pathlog_generic_tc", &label), &structure, |b, s| {
+            b.iter(|| transitive_closure::pathlog_generic(s))
+        });
+        group.bench_with_input(BenchmarkId::new("relational_seminaive", &label), &db, |b, db| {
+            b.iter(|| transitive_closure::relational(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitive_closure);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment E2: the two-dimensional reference (2.1) vs. the conjunction of
+//! one-dimensional paths (1.4) vs. the relational plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_baseline::RelationalDb;
+use pathlog_bench::{two_dimensional, workloads};
+
+fn bench_two_dimensional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_two_dimensional");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &employees in &[200usize, 1_000, 5_000] {
+        let structure = workloads::company(employees);
+        let db = RelationalDb::from_structure(&structure);
+        group.bench_with_input(BenchmarkId::new("pathlog", employees), &structure, |b, s| {
+            b.iter(|| two_dimensional::pathlog(s))
+        });
+        group.bench_with_input(BenchmarkId::new("onedim", employees), &structure, |b, s| {
+            b.iter(|| two_dimensional::onedim(s))
+        });
+        group.bench_with_input(BenchmarkId::new("relational", employees), &(structure.clone(), db), |b, (s, db)| {
+            b.iter(|| two_dimensional::relational(s, db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_dimensional);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Experiments E4/E6/E9: materialising virtual objects with PathLog rules
+//! (address rule 2.4, employee-boss rule 6.1) vs. XSQL-style views (6.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_bench::{virtual_objects, workloads};
+
+fn bench_virtual_objects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_virtual_objects");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &employees in &[200usize, 1_000, 5_000] {
+        let structure = workloads::company(employees);
+        group.bench_with_input(BenchmarkId::new("pathlog_addresses", employees), &structure, |b, s| {
+            b.iter(|| virtual_objects::pathlog_addresses(s))
+        });
+        group.bench_with_input(BenchmarkId::new("xsql_view_addresses", employees), &structure, |b, s| {
+            b.iter(|| virtual_objects::xsql_view_addresses(s))
+        });
+        group.bench_with_input(BenchmarkId::new("pathlog_virtual_bosses", employees), &structure, |b, s| {
+            b.iter(|| virtual_objects::pathlog_virtual_bosses(s))
+        });
+        group.bench_with_input(BenchmarkId::new("xsql_employee_boss_view", employees), &structure, |b, s| {
+            b.iter(|| virtual_objects::xsql_employee_boss_view(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_virtual_objects);
+criterion_main!(benches);

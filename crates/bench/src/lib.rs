@@ -1,0 +1,590 @@
+//! Shared harness for the PathLog experiments.
+//!
+//! Every experiment in `EXPERIMENTS.md` is a function here, used both by the
+//! Criterion benches (`benches/*.rs`) and by the `experiments` binary that
+//! prints the result tables.  Each function takes a prepared
+//! [`Structure`] (so data generation is outside the measured region) and
+//! returns a small, checkable result (a count or a set size), which the
+//! integration tests compare across the PathLog engine and the baselines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+
+use pathlog_baseline::relational::{queries as relq, tc};
+use pathlog_baseline::{evaluate_onedim, materialize, OneDimQuery, RelationalDb, ViewDef};
+use pathlog_core::names::Name;
+use pathlog_core::prelude::*;
+use pathlog_datagen::{CompanyParams, GenealogyParams};
+use pathlog_parser::{parse_program, parse_term};
+
+/// Workload construction shared by benches, examples and tests.
+pub mod workloads {
+    use super::*;
+
+    /// A company structure with roughly `employees` employees.
+    pub fn company(employees: usize) -> Structure {
+        pathlog_datagen::company_structure(&CompanyParams::scaled(employees))
+    }
+
+    /// A genealogy structure of the given depth and fan-out.
+    pub fn genealogy(depth: usize, fanout: usize) -> Structure {
+        pathlog_datagen::genealogy_structure(&GenealogyParams { roots: 1, depth, fanout, seed: 42 })
+    }
+
+    /// The exact six-person family of Section 6.
+    pub fn paper_family() -> Structure {
+        pathlog_datagen::paper_family().to_structure()
+    }
+
+    /// A bill-of-materials (parts explosion) structure of the given depth.
+    pub fn bom(depth: usize) -> Structure {
+        pathlog_datagen::bom_structure(&pathlog_datagen::BomParams::with_depth(depth))
+    }
+}
+
+/// Experiment E1: colours of employees' automobiles (queries 1.1–1.3).
+pub mod colours {
+    use super::*;
+
+    /// PathLog formulation: one reference, `X:employee..vehicles:automobile.color[Z]`.
+    pub fn pathlog(structure: &Structure) -> usize {
+        let term = parse_term("X : employee..vehicles : automobile.color[Z]").expect("valid query");
+        let engine = Engine::new();
+        let colours: BTreeSet<Oid> = engine
+            .query_term(structure, &term)
+            .expect("query evaluates")
+            .into_iter()
+            .map(|a| a.object)
+            .collect();
+        colours.len()
+    }
+
+    /// O2SQL-style formulation (query 1.1): two range variables + membership condition.
+    pub fn onedim(structure: &Structure) -> usize {
+        let q = OneDimQuery::new()
+            .from_class("X", "employee")
+            .from_set("Y", "X", "vehicles")
+            .where_isa("Y", "automobile")
+            .select_path("Y", &["color"]);
+        evaluate_onedim(structure, &q).len()
+    }
+
+    /// Flat relational formulation: three joins.
+    pub fn relational(db: &RelationalDb) -> usize {
+        relq::employee_automobile_colours(db).len()
+    }
+}
+
+/// Experiment E2: the two-dimensional reference (2.1) versus the conjunction
+/// of one-dimensional paths (1.4) and the relational plan.
+pub mod two_dimensional {
+    use super::*;
+
+    /// The paper's reference (2.1), evaluated as a single PathLog reference.
+    pub fn pathlog(structure: &Structure) -> usize {
+        let term = parse_term(
+            "X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]",
+        )
+        .expect("valid query");
+        Engine::new().query_term(structure, &term).expect("query evaluates").len()
+    }
+
+    /// The same question as a conjunction of one-dimensional paths (1.4).
+    pub fn onedim(structure: &Structure) -> usize {
+        let q = OneDimQuery::new()
+            .from_class("X", "employee")
+            .from_set("Y", "X", "vehicles")
+            .where_path_const("X", &["age"], Name::Int(30))
+            .where_path_const("X", &["city"], Name::atom("newYork"))
+            .where_isa("Y", "automobile")
+            .where_path_const("Y", &["cylinders"], Name::Int(4))
+            .select_var("X")
+            .select_path("Y", &["color"]);
+        evaluate_onedim(structure, &q).len()
+    }
+
+    /// The relational plan (six joins + three selections).
+    pub fn relational(structure: &Structure, db: &RelationalDb) -> usize {
+        relq::filtered_automobile_colours(structure, db).len()
+    }
+}
+
+/// Experiment E3: the Section 2 manager query (red vehicle, produced in
+/// Detroit, president is the owner).
+pub mod manager_query {
+    use super::*;
+
+    /// One PathLog reference.
+    pub fn pathlog(structure: &Structure) -> usize {
+        let term = parse_term(
+            "X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]",
+        )
+        .expect("valid query");
+        let engine = Engine::new();
+        let managers: BTreeSet<Oid> = engine
+            .query_term(structure, &term)
+            .expect("query evaluates")
+            .into_iter()
+            .filter_map(|a| a.bindings.get(&Var::new("X")))
+            .collect();
+        managers.len()
+    }
+
+    /// O2SQL-style: several FROM and WHERE clauses.
+    pub fn onedim(structure: &Structure) -> usize {
+        let q = OneDimQuery::new()
+            .from_class("X", "manager")
+            .from_set("Y", "X", "vehicles")
+            .where_path_const("Y", &["color"], Name::atom("red"))
+            .where_path_const("Y", &["producedBy", "cityOf"], Name::atom("detroit"))
+            .where_path_var("Y", &["producedBy", "president"], "X")
+            .select_var("X");
+        evaluate_onedim(structure, &q).len()
+    }
+
+    /// Relational join plan.
+    pub fn relational(structure: &Structure, db: &RelationalDb) -> usize {
+        relq::manager_red_detroit_presidents(structure, db).len()
+    }
+}
+
+/// Experiment E4/E6/E9: virtual objects (the address rule 2.4 and the
+/// employee-boss rule 6.1) versus XSQL-style views (6.3).
+pub mod virtual_objects {
+    use super::*;
+
+    /// Materialise address objects with the PathLog rule (2.4).  Returns the
+    /// number of virtual objects created.
+    pub fn pathlog_addresses(structure: &Structure) -> usize {
+        let mut s = structure.clone();
+        let program = parse_program(
+            "X.address[street -> X.street; city -> X.city] <- X : employee.",
+        )
+        .expect("valid rule");
+        let stats = Engine::new().load_program(&mut s, &program).expect("rule evaluates");
+        stats.virtual_objects
+    }
+
+    /// Materialise the same information with an XSQL-style view.  Returns the
+    /// number of view objects created.
+    pub fn xsql_view_addresses(structure: &Structure) -> usize {
+        let mut s = structure.clone();
+        let view = ViewDef::new("Address", "employee").attr("street", &["street"]).attr("city", &["city"]);
+        materialize(&mut s, &view).objects
+    }
+
+    /// The employee-boss rule (6.1): every employee gets a (virtual) boss that
+    /// works for the same department.
+    pub fn pathlog_virtual_bosses(structure: &Structure) -> usize {
+        let mut s = structure.clone();
+        let program = parse_program(
+            "X.boss2[worksFor -> D] <- X : employee[worksFor -> D].",
+        )
+        .expect("valid rule");
+        let stats = Engine::new().load_program(&mut s, &program).expect("rule evaluates");
+        stats.virtual_objects
+    }
+
+    /// The XSQL view (6.3) for the same derived information.
+    pub fn xsql_employee_boss_view(structure: &Structure) -> usize {
+        let mut s = structure.clone();
+        let view = ViewDef::new("EmployeeBoss", "employee").attr("WorksFor", &["worksFor"]);
+        materialize(&mut s, &view).objects
+    }
+}
+
+/// Experiment E7: transitive closure (`desc` rules 6.4 and generic `kids.tc`)
+/// versus the relational semi-naive baseline.
+pub mod transitive_closure {
+    use super::*;
+
+    /// The PathLog program of (6.4).
+    pub const DESC_RULES: &str = "X[desc ->> {Y}] <- X[kids ->> {Y}].\n\
+                                  X[desc ->> {Y}] <- X..desc[kids ->> {Y}].";
+
+    /// The generic transitive-closure program of Section 6, guarded by a
+    /// class of base methods so that `tc` is only applied to extensionally
+    /// given methods (the unguarded program has an infinite minimal model —
+    /// see DESIGN.md).
+    pub const GENERIC_TC_RULES: &str = "kids : baseMethod.\n\
+                                        X[(M.tc) ->> {Y}] <- M : baseMethod, X[M ->> {Y}].\n\
+                                        X[(M.tc) ->> {Y}] <- M : baseMethod, X..(M.tc)[M ->> {Y}].";
+
+    /// Evaluate the `desc` rules; returns the total number of derived set members.
+    pub fn pathlog_desc(structure: &Structure) -> usize {
+        let mut s = structure.clone();
+        let program = parse_program(DESC_RULES).expect("valid rules");
+        Engine::new().load_program(&mut s, &program).expect("rules evaluate").set_members
+    }
+
+    /// Evaluate the generic `kids.tc` rules; returns the derived set members.
+    pub fn pathlog_generic(structure: &Structure) -> usize {
+        let mut s = structure.clone();
+        let program = parse_program(GENERIC_TC_RULES).expect("valid rules");
+        Engine::new().load_program(&mut s, &program).expect("rules evaluate").set_members
+    }
+
+    /// Relational semi-naive closure of the flat `kids` relation; returns the
+    /// number of pairs in the closure.
+    pub fn relational(db: &RelationalDb) -> usize {
+        let base = db.attr("kids", "parent", "child");
+        tc::transitive_closure(&base).len()
+    }
+}
+
+/// Experiment E10: parser throughput over the paper's concrete syntax.
+pub mod parsing {
+    use super::*;
+
+    /// Every concrete-syntax expression quoted in the paper.
+    pub const PAPER_EXPRESSIONS: &[&str] = &[
+        "X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]",
+        "X[age -> 30; city -> newYork].vehicles[cylinders -> 4][Y].color[Z]",
+        "X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]",
+        "mary.spouse[boss -> mary].age",
+        "mary.spouse[boss -> mary[age -> 25]]",
+        "john.salary@(1994)",
+        "mary[age -> 30; boss -> peter]",
+        "L : (integer.list)",
+        "p1..assistants[salary -> 1000]",
+        "p2[friends ->> {p3, p4}]",
+        "p2[friends ->> p1..assistants]",
+        "p1..assistants.salary",
+        "p1..assistants..projects",
+        "p1.paidFor@(p1..vehicles)",
+        "p1[assistants ->> {X[salary -> 1000]}]",
+        "john..kids..kids",
+        "X[power -> Y] <- X : automobile.engineOf[power -> Y].",
+        "X.boss[worksFor -> D] <- X : employee[worksFor -> D].",
+        "Z[worksFor -> D] <- X : employee[worksFor -> D].boss[Z].",
+        "X.address[street -> X.street; city -> X.city] <- X : person.",
+        "X[desc ->> {Y}] <- X[kids ->> {Y}].",
+        "X[desc ->> {Y}] <- X..desc[kids ->> {Y}].",
+        "X[(M.tc) ->> {Y}] <- X[M ->> {Y}].",
+        "X[(M.tc) ->> {Y}] <- X..(M.tc)[M ->> {Y}].",
+        "peter[kids ->> {tim, mary}].",
+    ];
+
+    /// Parse every paper expression once; returns the number parsed.
+    pub fn parse_all() -> usize {
+        let mut n = 0;
+        for src in PAPER_EXPRESSIONS {
+            if src.contains("<-") || src.trim_end().ends_with("}.") {
+                pathlog_parser::parse_rule(src).expect("paper rule parses");
+            } else {
+                parse_term(src).expect("paper expression parses");
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Experiment E11: the direct semantics versus the F-logic translation
+/// baseline (the contrast drawn in Section 2: "semantics is only sketched by
+/// a transformation into F-logic, while we will give a direct semantics").
+pub mod flogic_translation {
+    use super::*;
+    use pathlog_flogic::{FlatEngine, Translator};
+
+    /// The filtered two-dimensional query used as the measured workload.
+    pub const QUERY: &str = "?- X : employee..vehicles : automobile[cylinders -> 4].color[Z].";
+
+    /// Answer the query with the direct semantics.
+    pub fn direct(structure: &Structure) -> usize {
+        let program = parse_program(QUERY).expect("query parses");
+        Engine::new().query(structure, &program.queries[0]).expect("query evaluates").len()
+    }
+
+    /// Translate the query into flat molecules and answer it with the flat
+    /// evaluator (includes translation time, which is part of the approach).
+    pub fn translated(structure: &Structure) -> usize {
+        let program = parse_program(QUERY).expect("query parses");
+        let (flat, _) = Translator::new().program(&program).expect("query translates");
+        FlatEngine::new().query(structure, &flat.queries[0]).expect("flat query evaluates").len()
+    }
+
+    /// The number of flat atoms the single PathLog reference expands into —
+    /// the compactness measure of the "second dimension".
+    pub fn translation_atoms() -> usize {
+        let program = parse_program(QUERY).expect("query parses");
+        let (_, stats) = Translator::new().program(&program).expect("query translates");
+        stats.flat_atoms
+    }
+}
+
+/// Experiment E12: the object-SQL frontend (O2SQL/XSQL surface syntax
+/// compiled to PathLog) versus the native PathLog formulation.
+pub mod sql_frontend {
+    use super::*;
+    use pathlog_sqlfront::{compile_query, execute_query, Catalog};
+
+    /// Query (1.4) on the SQL surface.
+    pub const SQL: &str =
+        "SELECT Z FROM employee X, automobile Y WHERE X.vehicles[Y].color[Z] AND Y.cylinders[4]";
+    /// The same question as a native PathLog reference.
+    pub const PATHLOG: &str = "X : employee..vehicles : automobile[cylinders -> 4].color[Z]";
+
+    /// The catalog the SQL compiler needs (which attributes are set-valued).
+    pub fn catalog() -> Catalog {
+        Catalog::with_set_attrs(["vehicles", "assistants", "friends", "kids"])
+    }
+
+    /// Compile the SQL text and execute it; returns the number of result rows.
+    pub fn sql(structure: &Structure, catalog: &Catalog) -> usize {
+        let compiled = compile_query(SQL, catalog).expect("SQL compiles");
+        execute_query(structure, &compiled).expect("SQL executes").1.len()
+    }
+
+    /// Compile only (parse + translation to PathLog); returns the number of
+    /// body literals of the compiled query.
+    pub fn sql_compile_only(catalog: &Catalog) -> usize {
+        compile_query(SQL, catalog).expect("SQL compiles").query.body.len()
+    }
+
+    /// Parse and evaluate the native PathLog reference; returns the number of
+    /// distinct colours (the same result-column the SQL query projects).
+    pub fn native(structure: &Structure) -> usize {
+        let term = parse_term(PATHLOG).expect("reference parses");
+        let colours: BTreeSet<Oid> = Engine::new()
+            .query_term(structure, &term)
+            .expect("reference evaluates")
+            .into_iter()
+            .filter_map(|a| a.bindings.get(&Var::new("Z")))
+            .collect();
+        colours.len()
+    }
+}
+
+/// Experiment E13: production rules and active triggers (the paper's "other
+/// kinds of rule languages") over the company workload.
+pub mod reactive_rules {
+    use super::*;
+    use pathlog_core::program::Literal;
+    use pathlog_core::term::{Filter, Term};
+    use pathlog_reactive::{Action, ActiveStore, EcaAction, EcaRule, Event, ProductionEngine, ProductionRule};
+
+    /// Run the minimum-wage production rule set (retract + assert) to
+    /// quiescence; returns the number of rule firings.
+    pub fn production_minimum_wage(structure: &Structure) -> usize {
+        let mut s = structure.clone();
+        s.int(60_000);
+        let mut engine = ProductionEngine::new();
+        engine.add_rule(ProductionRule::new(
+            "minimum-wage",
+            vec![
+                Literal::pos(Term::var("X").isa("employee").filter(Filter::scalar("salary", Term::var("S")))),
+                Literal::pos(Term::var("S").scalar_args("lt", vec![Term::int(60_000)])),
+            ],
+            vec![
+                Action::Retract(Term::var("X").filter(Filter::scalar("salary", Term::var("S")))),
+                Action::Assert(Term::var("X").filter(Filter::scalar("salary", Term::int(60_000)))),
+            ],
+        ));
+        engine.run(&mut s).expect("production rules reach quiescence").firings
+    }
+
+    /// Push `updates` salary updates through an active store with a
+    /// two-level trigger cascade; returns the total number of trigger firings.
+    pub fn active_salary_cascade(structure: &Structure, updates: usize) -> usize {
+        let mut store = ActiveStore::new(structure.clone());
+        store.add_rule(EcaRule::new(
+            "derive-bonus",
+            Event::ScalarAsserted(Name::atom("salary")),
+            vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+            vec![EcaAction::AssertScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("bonusBase"),
+                value: Term::var("Value"),
+            }],
+        ));
+        store.add_rule(EcaRule::new(
+            "audit",
+            Event::ScalarAsserted(Name::atom("bonusBase")),
+            vec![],
+            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("audited") }],
+        ));
+        let salary = store.oid("salary");
+        let mut firings = 0;
+        for i in 0..updates {
+            let employee = store.oid(&format!("e{i}"));
+            let amount = store.int(70_000 + i as i64);
+            store.retract_scalar(salary, employee).expect("retraction triggers run");
+            // the bonusBase from the previous round must not conflict
+            let bonus = store.oid("bonusBase");
+            store.retract_scalar(bonus, employee).expect("bonus retraction triggers run");
+            firings += store.assert_scalar(salary, employee, amount).expect("assertion triggers run").firings;
+        }
+        firings
+    }
+}
+
+/// Experiment E14: the Section 6 transitive-closure rules on a
+/// bill-of-materials DAG (deep recursion with shared sub-assemblies).
+pub mod parts_explosion {
+    use super::*;
+
+    /// The closure rules, with `subparts` in place of `kids`.
+    pub const CONTAINS_RULES: &str = "X[contains ->> {Y}] <- X[subparts ->> {Y}].\n\
+                                      X[contains ->> {Y}] <- X..contains[subparts ->> {Y}].";
+
+    /// Evaluate the closure rules; returns the derived set members.
+    pub fn pathlog(structure: &Structure) -> usize {
+        let mut s = structure.clone();
+        let program = parse_program(CONTAINS_RULES).expect("closure rules parse");
+        Engine::new().load_program(&mut s, &program).expect("closure rules evaluate").set_members
+    }
+
+    /// Relational semi-naive closure of the flat `subparts` relation.
+    pub fn relational(db: &RelationalDb) -> usize {
+        let base = db.attr("subparts", "parent", "child");
+        tc::transitive_closure(&base).len()
+    }
+}
+
+/// One row of an experiment report: the scale point and the measured values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Scale label, e.g. `employees=1000` or `depth=8`.
+    pub scale: String,
+    /// (series name, value) pairs.
+    pub values: Vec<(String, f64)>,
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:<20}", self.scale)?;
+        for (name, value) in &self.values {
+            write!(f, " {name}={value:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pathlog_and_baselines_agree_on_colours() {
+        let s = workloads::company(100);
+        let db = RelationalDb::from_structure(&s);
+        let a = colours::pathlog(&s);
+        let b = colours::onedim(&s);
+        let c = colours::relational(&db);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn pathlog_and_baselines_agree_on_two_dimensional_query() {
+        let s = workloads::company(200);
+        let db = RelationalDb::from_structure(&s);
+        let b = two_dimensional::onedim(&s);
+        let c = two_dimensional::relational(&s, &db);
+        // The relational plan projects colours only; the one-dimensional
+        // query returns (X, colour) pairs, so compare colour counts by
+        // re-deriving them from the PathLog answers instead.
+        let term = parse_term(
+            "X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]",
+        )
+        .unwrap();
+        let answers = Engine::new().query_term(&s, &term).unwrap();
+        let colours: BTreeSet<Oid> = answers.iter().map(|a| a.object).collect();
+        let pairs: BTreeSet<(Option<Oid>, Oid)> =
+            answers.iter().map(|a| (a.bindings.get(&Var::new("X")), a.object)).collect();
+        assert_eq!(colours.len(), c);
+        assert_eq!(pairs.len(), b);
+    }
+
+    #[test]
+    fn pathlog_and_baselines_agree_on_manager_query() {
+        let s = workloads::company(300);
+        let db = RelationalDb::from_structure(&s);
+        let a = manager_query::pathlog(&s);
+        let b = manager_query::onedim(&s);
+        let c = manager_query::relational(&s, &db);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn virtual_objects_and_views_materialise_the_same_count() {
+        let s = workloads::company(100);
+        let rule_count = virtual_objects::pathlog_addresses(&s);
+        let view_count = virtual_objects::xsql_view_addresses(&s);
+        assert_eq!(rule_count, view_count);
+        assert!(rule_count > 0);
+        assert_eq!(
+            virtual_objects::pathlog_virtual_bosses(&s),
+            virtual_objects::xsql_employee_boss_view(&s)
+        );
+    }
+
+    #[test]
+    fn transitive_closure_counts_agree() {
+        let s = workloads::genealogy(5, 2);
+        let db = RelationalDb::from_structure(&s);
+        let a = transitive_closure::pathlog_desc(&s);
+        let b = transitive_closure::relational(&db);
+        assert_eq!(a, b);
+        let c = transitive_closure::pathlog_generic(&s);
+        assert_eq!(a, c, "generic kids.tc derives the same closure");
+    }
+
+    #[test]
+    fn paper_family_closure_has_five_descendants_of_peter() {
+        let s = workloads::paper_family();
+        let mut s2 = s.clone();
+        let program = parse_program(transitive_closure::DESC_RULES).unwrap();
+        Engine::new().load_program(&mut s2, &program).unwrap();
+        let desc = Engine::new().eval_ground(&s2, &parse_term("peter..desc").unwrap()).unwrap();
+        assert_eq!(desc.len(), 5);
+    }
+
+    #[test]
+    fn all_paper_expressions_parse() {
+        assert_eq!(parsing::parse_all(), parsing::PAPER_EXPRESSIONS.len());
+    }
+
+    #[test]
+    fn direct_and_translated_evaluation_agree() {
+        let s = workloads::company(150);
+        assert_eq!(flogic_translation::direct(&s), flogic_translation::translated(&s));
+        assert!(flogic_translation::translation_atoms() >= 5, "one reference expands into a conjunction");
+    }
+
+    #[test]
+    fn sql_frontend_and_native_pathlog_agree() {
+        let s = workloads::company(150);
+        let catalog = sql_frontend::catalog();
+        assert_eq!(sql_frontend::sql(&s, &catalog), sql_frontend::native(&s));
+        assert!(sql_frontend::sql_compile_only(&catalog) >= 3);
+    }
+
+    #[test]
+    fn reactive_experiments_run_on_the_company_workload() {
+        let s = workloads::company(80);
+        let firings = reactive_rules::production_minimum_wage(&s);
+        assert!(firings > 0, "some employee is below the threshold");
+        let cascade = reactive_rules::active_salary_cascade(&s, 10);
+        assert_eq!(cascade, 20, "each update fires derive-bonus plus the cascaded audit trigger");
+    }
+
+    #[test]
+    fn parts_explosion_counts_agree_with_the_relational_closure() {
+        let s = workloads::bom(5);
+        let db = RelationalDb::from_structure(&s);
+        assert_eq!(parts_explosion::pathlog(&s), parts_explosion::relational(&db));
+        assert!(parts_explosion::pathlog(&s) > 0);
+    }
+
+    #[test]
+    fn row_display() {
+        let r = Row { scale: "employees=1000".into(), values: vec![("pathlog_ms".into(), 1.5)] };
+        assert!(r.to_string().contains("pathlog_ms=1.500"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Built-in method names.
+//!
+//! The paper uses one built-in method, `self`, which yields the receiver
+//! itself and is the desugaring target of XSQL-style selectors:
+//! `X..vehicles.color[Z]` abbreviates `X..vehicles.color[self -> Z]`
+//! (Section 4.1).
+//!
+//! As a practical extension this module also defines a small set of
+//! comparison built-ins over integer names (`lt`, `le`, `gt`, `ge`, `neq`).
+//! They behave like scalar methods whose result is the receiver when the
+//! comparison holds and which are undefined otherwise, so
+//! `X[age -> A] , A[lt@(40) -> A]` keeps only bindings with `A < 40`.
+//! They are not part of the paper and are clearly marked as an extension.
+
+use crate::names::Name;
+
+/// The built-in `self` method: for every object `u`, `u.self = u`.
+pub const SELF_METHOD: &str = "self";
+
+/// Comparison built-ins (extension): receiver and single argument must both
+/// be integer names; the "result" is the receiver when the comparison holds.
+pub const LT: &str = "lt";
+/// `<=` — see [`LT`].
+pub const LE: &str = "le";
+/// `>` — see [`LT`].
+pub const GT: &str = "gt";
+/// `>=` — see [`LT`].
+pub const GE: &str = "ge";
+/// `!=` — see [`LT`]; unlike the arithmetic comparisons it is defined for all
+/// names, not just integers.
+pub const NEQ: &str = "neq";
+
+/// All built-in method names, used by the structure to pre-register them.
+pub const ALL_BUILTINS: &[&str] = &[SELF_METHOD, LT, LE, GT, GE, NEQ];
+
+/// Is `name` one of the comparison built-ins?
+pub fn is_comparison(name: &str) -> bool {
+    matches!(name, LT | LE | GT | GE | NEQ)
+}
+
+/// Evaluate a comparison built-in over two names.  Returns `Some(true)` /
+/// `Some(false)` when the comparison is applicable, `None` when it is not
+/// (e.g. `lt` on non-integers), in which case the method is undefined.
+pub fn compare(builtin: &str, lhs: &Name, rhs: &Name) -> Option<bool> {
+    match builtin {
+        NEQ => Some(lhs != rhs),
+        LT | LE | GT | GE => {
+            let (a, b) = (lhs.as_int()?, rhs.as_int()?);
+            Some(match builtin {
+                LT => a < b,
+                LE => a <= b,
+                GT => a > b,
+                GE => a >= b,
+                _ => unreachable!(),
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_is_a_builtin() {
+        assert!(ALL_BUILTINS.contains(&SELF_METHOD));
+        assert!(!is_comparison(SELF_METHOD));
+    }
+
+    #[test]
+    fn integer_comparisons() {
+        assert_eq!(compare(LT, &Name::int(3), &Name::int(4)), Some(true));
+        assert_eq!(compare(LT, &Name::int(4), &Name::int(4)), Some(false));
+        assert_eq!(compare(LE, &Name::int(4), &Name::int(4)), Some(true));
+        assert_eq!(compare(GT, &Name::int(5), &Name::int(4)), Some(true));
+        assert_eq!(compare(GE, &Name::int(3), &Name::int(4)), Some(false));
+    }
+
+    #[test]
+    fn comparisons_on_non_integers_are_undefined() {
+        assert_eq!(compare(LT, &Name::atom("a"), &Name::int(4)), None);
+        assert_eq!(compare(GE, &Name::int(4), &Name::string("x")), None);
+    }
+
+    #[test]
+    fn neq_works_on_all_names() {
+        assert_eq!(compare(NEQ, &Name::atom("a"), &Name::atom("b")), Some(true));
+        assert_eq!(compare(NEQ, &Name::atom("a"), &Name::atom("a")), Some(false));
+        assert_eq!(compare(NEQ, &Name::int(1), &Name::atom("a")), Some(true));
+    }
+
+    #[test]
+    fn unknown_builtin_yields_none() {
+        assert_eq!(compare("frobnicate", &Name::int(1), &Name::int(2)), None);
+    }
+}

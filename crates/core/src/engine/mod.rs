@@ -1,0 +1,606 @@
+//! Bottom-up evaluation of PathLog programs (Section 6 of the paper).
+//!
+//! The engine validates a program, stratifies its rules (see [`stratify`]),
+//! and then computes the least fixpoint stratum by stratum: in each
+//! iteration every (relevant) rule's body is solved against the current
+//! structure and its head asserted for every solution, creating virtual
+//! objects for undefined head paths (see [`virtuals`]).  Iteration stops when
+//! no rule adds new information.
+//!
+//! Between iterations the engine tracks which method/class names changed and
+//! skips rules whose bodies cannot be affected — a coarse-grained
+//! semi-naive optimisation that retains the simplicity of naive evaluation
+//! (rules are re-evaluated from scratch, but only when they can produce
+//! something new).
+
+mod stratify;
+mod virtuals;
+
+pub use stratify::{stratify, Stratification};
+pub use virtuals::{assert_head, AssertEffect, AssertOptions};
+
+use std::collections::BTreeSet;
+
+use crate::error::{Error, Result};
+use crate::names::Name;
+use crate::program::{DepKey, Literal, Program, Query, Rule, RuleInfo};
+use crate::semantics::{answers, Answer, Bindings};
+use crate::structure::{Oid, Structure};
+use crate::term::Term;
+
+/// Options controlling evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Maximum number of fixpoint iterations per stratum before giving up.
+    pub max_iterations: usize,
+    /// Maximum number of derived facts (scalar + set members + isa edges)
+    /// before giving up — a guard against runaway virtual-object creation.
+    pub max_derived: usize,
+    /// Create virtual objects for undefined scalar paths in rule heads.
+    pub create_virtuals: bool,
+    /// Skip rules whose dependencies did not change in the previous
+    /// iteration (coarse-grained semi-naive evaluation).
+    pub delta_driven: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            max_iterations: 100_000,
+            max_derived: 50_000_000,
+            create_virtuals: true,
+            delta_driven: true,
+        }
+    }
+}
+
+/// Statistics of one evaluation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of strata.
+    pub strata: usize,
+    /// Total fixpoint iterations over all strata.
+    pub iterations: usize,
+    /// Number of rule/solution pairs asserted.
+    pub firings: usize,
+    /// Derived scalar facts.
+    pub scalar_facts: usize,
+    /// Derived set members.
+    pub set_members: usize,
+    /// Derived class memberships.
+    pub isa_edges: usize,
+    /// Signature declarations added.
+    pub signatures: usize,
+    /// Virtual objects created.
+    pub virtual_objects: usize,
+}
+
+impl EvalStats {
+    /// Total number of derived facts.
+    pub fn derived(&self) -> usize {
+        self.scalar_facts + self.set_members + self.isa_edges
+    }
+
+    fn absorb(&mut self, e: AssertEffect) {
+        self.scalar_facts += e.scalar_facts;
+        self.set_members += e.set_members;
+        self.isa_edges += e.isa_edges;
+        self.signatures += e.signatures;
+        self.virtual_objects += e.virtual_objects;
+    }
+}
+
+/// The PathLog evaluation engine.
+#[derive(Debug, Default, Clone)]
+pub struct Engine {
+    options: EvalOptions,
+}
+
+impl Engine {
+    /// An engine with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with the given options.
+    pub fn with_options(options: EvalOptions) -> Self {
+        Engine { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// Load a program into `structure`: validate, register every name,
+    /// stratify, assert facts and evaluate rules to the fixpoint.
+    pub fn load_program(&self, structure: &mut Structure, program: &Program) -> Result<EvalStats> {
+        let infos = crate::program::validate_program(program)?;
+        for rule in &program.rules {
+            register_names(structure, &rule.head);
+            for lit in &rule.body {
+                register_names(structure, &lit.term);
+            }
+        }
+        for query in &program.queries {
+            for lit in &query.body {
+                register_names(structure, &lit.term);
+            }
+        }
+        self.run(structure, &program.rules, &infos)
+    }
+
+    /// Evaluate a set of rules (and facts) against `structure`.
+    pub fn run_rules(&self, structure: &mut Structure, rules: &[Rule]) -> Result<EvalStats> {
+        let infos = rules.iter().map(crate::program::validate_rule).collect::<Result<Vec<_>>>()?;
+        for rule in rules {
+            register_names(structure, &rule.head);
+            for lit in &rule.body {
+                register_names(structure, &lit.term);
+            }
+        }
+        self.run(structure, rules, &infos)
+    }
+
+    fn run(&self, structure: &mut Structure, rules: &[Rule], infos: &[RuleInfo]) -> Result<EvalStats> {
+        let stratification = stratify(infos)?;
+        let mut stats = EvalStats { strata: stratification.len(), ..EvalStats::default() };
+        let assert_options = AssertOptions { create_virtuals: self.options.create_virtuals };
+
+        for stratum in &stratification.strata {
+            let mut changed_keys: Option<BTreeSet<DepKey>> = None; // None = first iteration, fire everything
+            loop {
+                stats.iterations += 1;
+                if stats.iterations > self.options.max_iterations {
+                    return Err(Error::LimitExceeded(format!(
+                        "fixpoint did not converge within {} iterations",
+                        self.options.max_iterations
+                    )));
+                }
+                let mut new_keys: BTreeSet<DepKey> = BTreeSet::new();
+                let mut any_change = false;
+
+                for &r in stratum {
+                    let rule = &rules[r];
+                    let info = &infos[r];
+                    if self.options.delta_driven {
+                        if let Some(changed) = &changed_keys {
+                            if !rule_affected(info, changed) {
+                                continue;
+                            }
+                        }
+                    }
+                    let solutions = solve_body(structure, &rule.body, &Bindings::new())?;
+                    for bindings in solutions {
+                        let (_, effect) = assert_head(structure, &rule.head, &bindings, assert_options)?;
+                        if effect.changed() {
+                            any_change = true;
+                            stats.firings += 1;
+                            stats.absorb(effect);
+                            new_keys.extend(info.defines.iter().cloned());
+                        }
+                        if stats.derived() > self.options.max_derived {
+                            return Err(Error::LimitExceeded(format!(
+                                "more than {} facts derived; aborting",
+                                self.options.max_derived
+                            )));
+                        }
+                    }
+                }
+
+                if !any_change {
+                    break;
+                }
+                changed_keys = Some(new_keys);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Answer a query: the variable-valuations that satisfy its body.
+    pub fn query(&self, structure: &Structure, query: &Query) -> Result<Vec<Bindings>> {
+        solve_body(structure, &query.body, &Bindings::new())
+    }
+
+    /// Answers (valuation + denoted object) of a single reference.
+    pub fn query_term(&self, structure: &Structure, term: &Term) -> Result<Vec<Answer>> {
+        answers(structure, term, &Bindings::new())
+    }
+
+    /// The objects denoted by a ground reference.
+    pub fn eval_ground(&self, structure: &Structure, term: &Term) -> Result<BTreeSet<Oid>> {
+        crate::semantics::valuate(structure, term, &Bindings::new())
+    }
+}
+
+/// Does `info` read anything in `changed`?
+fn rule_affected(info: &RuleInfo, changed: &BTreeSet<DepKey>) -> bool {
+    if changed.is_empty() {
+        return false;
+    }
+    if changed.contains(&DepKey::Unknown) || info.uses.contains(&DepKey::Unknown) || info.strict_uses.contains(&DepKey::Unknown) {
+        return true;
+    }
+    info.uses.iter().chain(info.strict_uses.iter()).any(|k| changed.contains(k))
+}
+
+/// Register every name occurring in a term, making `I_N` total over the
+/// program's alphabet.
+fn register_names(structure: &mut Structure, term: &Term) {
+    let mut names: Vec<Name> = Vec::new();
+    term.visit(&mut |t| {
+        if let Term::Name(n) = t {
+            names.push(n.clone());
+        }
+    });
+    for n in names {
+        structure.ensure_name(&n);
+    }
+}
+
+/// Solve a body conjunction: enumerate the variable-valuations extending
+/// `seed` that satisfy every literal.  Positive literals are processed in
+/// order; negated literals are checked last (validation guarantees their
+/// variables are bound by then).
+pub fn solve_body(structure: &Structure, body: &[Literal], seed: &Bindings) -> Result<Vec<Bindings>> {
+    let mut states = vec![seed.clone()];
+    // positive literals first, in source order
+    for lit in body.iter().filter(|l| l.positive) {
+        let mut next = Vec::new();
+        let mut seen: BTreeSet<Vec<(String, u32)>> = BTreeSet::new();
+        for s in &states {
+            for a in answers(structure, &lit.term, s)? {
+                if seen.insert(binding_key(&a.bindings)) {
+                    next.push(a.bindings);
+                }
+            }
+        }
+        states = next;
+        if states.is_empty() {
+            return Ok(states);
+        }
+    }
+    // then negated literals as filters
+    for lit in body.iter().filter(|l| !l.positive) {
+        let mut next = Vec::new();
+        for s in states {
+            if answers(structure, &lit.term, &s)?.is_empty() {
+                next.push(s);
+            }
+        }
+        states = next;
+        if states.is_empty() {
+            break;
+        }
+    }
+    Ok(states)
+}
+
+/// A canonical, order-independent key for a set of bindings (used to remove
+/// duplicate valuations produced by set-valued references).
+fn binding_key(b: &Bindings) -> Vec<(String, u32)> {
+    let mut key: Vec<(String, u32)> = b.iter().map(|(v, o)| (v.0.clone(), o.0)).collect();
+    key.sort();
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::Var;
+    use crate::program::{Literal, Program, Query, Rule};
+    use crate::term::Filter;
+
+    fn oid(s: &Structure, n: &str) -> Oid {
+        s.lookup_name(&Name::atom(n)).unwrap()
+    }
+
+    /// The facts of Section 6: peter's kids, tim's kids, mary's kids.
+    fn genealogy_facts() -> Vec<Rule> {
+        vec![
+            Rule::fact(Term::name("peter").filter(Filter::set("kids", vec![Term::name("tim"), Term::name("mary")]))),
+            Rule::fact(Term::name("tim").filter(Filter::set("kids", vec![Term::name("sally")]))),
+            Rule::fact(Term::name("mary").filter(Filter::set("kids", vec![Term::name("tom"), Term::name("paul")]))),
+        ]
+    }
+
+    #[test]
+    fn facts_are_asserted() {
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        let stats = engine.run_rules(&mut s, &genealogy_facts()).unwrap();
+        assert_eq!(stats.set_members, 5);
+        assert_eq!(stats.virtual_objects, 0);
+        let kids = oid(&s, "kids");
+        assert_eq!(s.apply_set(kids, oid(&s, "peter"), &[]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn transitive_closure_desc() {
+        // (6.4): X[desc ->> {Y}] <- X[kids ->> {Y}].
+        //        X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+        let mut rules = genealogy_facts();
+        rules.push(Rule::new(
+            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            vec![Literal::pos(Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])))],
+        ));
+        rules.push(Rule::new(
+            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            vec![Literal::pos(Term::var("X").set("desc").filter(Filter::set("kids", vec![Term::var("Y")])))],
+        ));
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        engine.run_rules(&mut s, &rules).unwrap();
+        let desc = oid(&s, "desc");
+        let peter_desc = s.apply_set(desc, oid(&s, "peter"), &[]).unwrap();
+        let expected: BTreeSet<Oid> =
+            ["tim", "mary", "sally", "tom", "paul"].iter().map(|n| oid(&s, n)).collect();
+        assert_eq!(peter_desc, &expected);
+    }
+
+    #[test]
+    fn generic_transitive_closure_via_tc_method() {
+        // The paper's generic rules, guarded by a class of base methods so
+        // that `tc` is not applied to the tc-methods it creates (the unguarded
+        // program has an infinite minimal model — see DESIGN.md):
+        //   kids : baseMethod.
+        //   X[(M.tc) ->> {Y}] <- M : baseMethod, X[M ->> {Y}].
+        //   X[(M.tc) ->> {Y}] <- M : baseMethod, X..(M.tc)[M ->> {Y}].
+        let tc = |m: Term| m.scalar("tc").paren();
+        let guard = || Literal::pos(Term::var("M").isa("baseMethod"));
+        let mut rules = genealogy_facts();
+        rules.push(Rule::fact(Term::name("kids").isa("baseMethod")));
+        rules.push(Rule::new(
+            Term::var("X").filter(Filter::set(tc(Term::var("M")), vec![Term::var("Y")])),
+            vec![guard(), Literal::pos(Term::var("X").filter(Filter::set(Term::var("M"), vec![Term::var("Y")])))],
+        ));
+        rules.push(Rule::new(
+            Term::var("X").filter(Filter::set(tc(Term::var("M")), vec![Term::var("Y")])),
+            vec![
+                guard(),
+                Literal::pos(
+                    Term::var("X").set_args(tc(Term::var("M")), vec![]).filter(Filter::set(Term::var("M"), vec![Term::var("Y")])),
+                ),
+            ],
+        ));
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        engine.run_rules(&mut s, &rules).unwrap();
+        // peter[(kids.tc) ->> {tim, mary, sally, tom, paul}]
+        let kids = oid(&s, "kids");
+        let tc_m = oid(&s, "tc");
+        let kids_tc = s.apply_scalar(tc_m, kids, &[]).expect("kids.tc must denote a (virtual) method");
+        let closure = s.apply_set(kids_tc, oid(&s, "peter"), &[]).unwrap();
+        let expected: BTreeSet<Oid> =
+            ["tim", "mary", "sally", "tom", "paul"].iter().map(|n| oid(&s, n)).collect();
+        assert_eq!(closure, &expected);
+    }
+
+    #[test]
+    fn virtual_boss_rule_6_1() {
+        // X.boss[worksFor -> D] <- X : employee[worksFor -> D].
+        // with only p1:employee[worksFor -> cs1] given.
+        let rules = vec![
+            Rule::fact(Term::name("p1").isa("employee").filter(Filter::scalar("worksFor", Term::name("cs1")))),
+            Rule::new(
+                Term::var("X").scalar("boss").filter(Filter::scalar("worksFor", Term::var("D"))),
+                vec![Literal::pos(Term::var("X").isa("employee").filter(Filter::scalar("worksFor", Term::var("D"))))],
+            ),
+        ];
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        let stats = engine.run_rules(&mut s, &rules).unwrap();
+        assert_eq!(stats.virtual_objects, 1);
+        let boss = oid(&s, "boss");
+        let p1 = oid(&s, "p1");
+        let v = s.apply_scalar(boss, p1, &[]).expect("p1.boss must now be defined");
+        assert!(s.is_virtual(v));
+        let works_for = oid(&s, "worksFor");
+        assert_eq!(s.apply_scalar(works_for, v, &[]), Some(oid(&s, "cs1")));
+    }
+
+    #[test]
+    fn existing_boss_rule_6_2_creates_no_virtuals() {
+        // Z[worksFor -> D] <- X : employee[worksFor -> D].boss[Z].
+        let rules = vec![
+            Rule::fact(Term::name("p1").isa("employee").filter(Filter::scalar("worksFor", Term::name("cs1")))),
+            Rule::fact(Term::name("p2").isa("employee").filters(vec![
+                Filter::scalar("worksFor", Term::name("cs2")),
+                Filter::scalar("boss", Term::name("bert")),
+            ])),
+            Rule::new(
+                Term::var("Z").filter(Filter::scalar("worksFor", Term::var("D"))),
+                vec![Literal::pos(
+                    Term::var("X")
+                        .isa("employee")
+                        .filter(Filter::scalar("worksFor", Term::var("D")))
+                        .scalar("boss")
+                        .selector(Term::var("Z")),
+                )],
+            ),
+        ];
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        let stats = engine.run_rules(&mut s, &rules).unwrap();
+        assert_eq!(stats.virtual_objects, 0, "only existing bosses are affected");
+        let works_for = oid(&s, "worksFor");
+        assert_eq!(s.apply_scalar(works_for, oid(&s, "bert"), &[]), Some(oid(&s, "cs2")));
+        // p1 has no boss, so no new fact mentions p1's (nonexistent) boss.
+        let boss = oid(&s, "boss");
+        assert_eq!(s.apply_scalar(boss, oid(&s, "p1"), &[]), None);
+    }
+
+    #[test]
+    fn address_views_rule_2_4() {
+        // X.address[street -> X.street; city -> X.city] <- X : person.
+        let rules = vec![
+            Rule::fact(Term::name("anna").isa("person").filters(vec![
+                Filter::scalar("street", Term::string("Main St")),
+                Filter::scalar("city", Term::name("newYork")),
+            ])),
+            Rule::fact(Term::name("bert").isa("person").filters(vec![
+                Filter::scalar("street", Term::string("2nd Ave")),
+                Filter::scalar("city", Term::name("detroit")),
+            ])),
+            Rule::new(
+                Term::var("X").scalar("address").filters(vec![
+                    Filter::scalar("street", Term::var("X").scalar("street")),
+                    Filter::scalar("city", Term::var("X").scalar("city")),
+                ]),
+                vec![Literal::pos(Term::var("X").isa("person"))],
+            ),
+        ];
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        let stats = engine.run_rules(&mut s, &rules).unwrap();
+        assert_eq!(stats.virtual_objects, 2, "one address per person");
+        let address = oid(&s, "address");
+        let city = oid(&s, "city");
+        let anna_addr = s.apply_scalar(address, oid(&s, "anna"), &[]).unwrap();
+        assert!(s.is_virtual(anna_addr));
+        assert_eq!(s.apply_scalar(city, anna_addr, &[]), Some(oid(&s, "newYork")));
+    }
+
+    #[test]
+    fn intensional_power_method() {
+        // X[power -> Y] <- X : automobile.engine[power -> Y].
+        let rules = vec![
+            Rule::fact(Term::name("a1").isa("automobile").filter(Filter::scalar("engine", Term::name("e100")))),
+            Rule::fact(Term::name("e100").filter(Filter::scalar("power", Term::int(90)))),
+            Rule::new(
+                Term::var("X").filter(Filter::scalar("power", Term::var("Y"))),
+                vec![Literal::pos(
+                    Term::var("X").isa("automobile").scalar("engine").filter(Filter::scalar("power", Term::var("Y"))),
+                )],
+            ),
+        ];
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        engine.run_rules(&mut s, &rules).unwrap();
+        let power = oid(&s, "power");
+        let ninety = s.lookup_name(&Name::Int(90)).unwrap();
+        assert_eq!(s.apply_scalar(power, oid(&s, "a1"), &[]), Some(ninety));
+    }
+
+    #[test]
+    fn stratified_set_copy() {
+        // assistants derived first, then friends copied set-at-a-time.
+        let rules = vec![
+            Rule::fact(Term::name("p1").filter(Filter::set("reports", vec![Term::name("anna"), Term::name("bert")]))),
+            Rule::new(
+                Term::name("p1").filter(Filter::set("assistants", vec![Term::var("Y")])),
+                vec![Literal::pos(Term::name("p1").filter(Filter::set("reports", vec![Term::var("Y")])))],
+            ),
+            Rule::new(
+                Term::name("p2").filter(Filter::set_ref("friends", Term::name("p1").set("assistants"))),
+                vec![Literal::pos(Term::name("p1").filter(Filter::set("assistants", vec![Term::var("Y")])))],
+            ),
+        ];
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        let stats = engine.run_rules(&mut s, &rules).unwrap();
+        assert!(stats.strata >= 2);
+        let friends = oid(&s, "friends");
+        assert_eq!(s.apply_set(friends, oid(&s, "p2"), &[]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unstratifiable_program_is_rejected() {
+        // p2[friends ->> p2..friends.friendOf] style self-dependence:
+        // head defines friends, body reads friends set-at-a-time.
+        let rule = Rule::new(
+            Term::name("p2").filter(Filter::set_ref("friends", Term::name("p2").set("friends"))),
+            vec![Literal::pos(Term::name("p2").filter(Filter::set("friends", vec![Term::var("Y")])))],
+        );
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        assert!(matches!(engine.run_rules(&mut s, &[rule]), Err(Error::NotStratifiable(_))));
+    }
+
+    #[test]
+    fn negation_extension() {
+        // X : single <- X : person, not X.spouse[].
+        let rules = vec![
+            Rule::fact(Term::name("john").isa("person")),
+            Rule::fact(Term::name("mary").isa("person").filter(Filter::scalar("spouse", Term::name("peter")))),
+            Rule::new(
+                Term::var("X").isa("single"),
+                vec![
+                    Literal::pos(Term::var("X").isa("person")),
+                    Literal::neg(Term::var("X").scalar("spouse").empty_filters()),
+                ],
+            ),
+        ];
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        engine.run_rules(&mut s, &rules).unwrap();
+        let single = oid(&s, "single");
+        assert!(s.in_class(oid(&s, "john"), single));
+        assert!(!s.in_class(oid(&s, "mary"), single));
+    }
+
+    #[test]
+    fn query_api() {
+        let mut program = Program::new();
+        for f in genealogy_facts() {
+            program.push_rule(f);
+        }
+        program.push_query(Query::single(Term::name("peter").filter(Filter::set("kids", vec![Term::var("K")]))));
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        engine.load_program(&mut s, &program).unwrap();
+        let solutions = engine.query(&s, &program.queries[0]).unwrap();
+        assert_eq!(solutions.len(), 2);
+        let ks: BTreeSet<Oid> = solutions.iter().map(|b| b.get(&Var::new("K")).unwrap()).collect();
+        assert!(ks.contains(&oid(&s, "tim")) && ks.contains(&oid(&s, "mary")));
+
+        // query_term / eval_ground agree
+        let t = Term::name("peter").set("kids");
+        assert_eq!(engine.query_term(&s, &t).unwrap().len(), 2);
+        assert_eq!(engine.eval_ground(&s, &t).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        // A rule that creates an unbounded chain of virtual objects:
+        // X.next[] <- X : node.   plus  Y : node <- X : node.next[Y].
+        let rules = vec![
+            Rule::fact(Term::name("n0").isa("node")),
+            Rule::new(
+                Term::var("X").scalar("next").empty_filters(),
+                vec![Literal::pos(Term::var("X").isa("node"))],
+            ),
+            Rule::new(
+                Term::var("Y").isa("node"),
+                vec![Literal::pos(Term::var("X").isa("node").scalar("next").selector(Term::var("Y")))],
+            ),
+        ];
+        let mut s = Structure::new();
+        let engine = Engine::with_options(EvalOptions { max_iterations: 50, ..EvalOptions::default() });
+        let err = engine.run_rules(&mut s, &rules).unwrap_err();
+        assert!(matches!(err, Error::LimitExceeded(_)));
+    }
+
+    #[test]
+    fn delta_and_naive_agree() {
+        let mut rules = genealogy_facts();
+        rules.push(Rule::new(
+            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            vec![Literal::pos(Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])))],
+        ));
+        rules.push(Rule::new(
+            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            vec![Literal::pos(Term::var("X").set("desc").filter(Filter::set("kids", vec![Term::var("Y")])))],
+        ));
+        let mut s1 = Structure::new();
+        Engine::with_options(EvalOptions { delta_driven: true, ..EvalOptions::default() })
+            .run_rules(&mut s1, &rules)
+            .unwrap();
+        let mut s2 = Structure::new();
+        Engine::with_options(EvalOptions { delta_driven: false, ..EvalOptions::default() })
+            .run_rules(&mut s2, &rules)
+            .unwrap();
+        assert_eq!(s1.stats().set_members, s2.stats().set_members);
+        assert_eq!(s1.stats().scalar_facts, s2.stats().scalar_facts);
+    }
+}

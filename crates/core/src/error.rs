@@ -1,0 +1,66 @@
+//! Error types shared across the core crate.
+
+use std::fmt;
+
+/// Errors raised while validating or evaluating PathLog references, rules and
+/// programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A reference violates the well-formedness conditions of Definition 3.
+    IllFormed(String),
+    /// A rule violates a restriction on rule syntax (safety, set-valued head,
+    /// unknown construct in a head, ...).
+    InvalidRule(String),
+    /// The program cannot be stratified (cyclic dependency through a
+    /// set-at-a-time or negated body literal).
+    NotStratifiable(String),
+    /// A reference that had to be ground (variable-free under the current
+    /// bindings) was not.
+    NotGround(String),
+    /// A name used in a read-only context is not known to the structure.
+    UnknownName(String),
+    /// A type (signature) violation detected by the checker.
+    TypeViolation(String),
+    /// Budget exceeded (fixpoint iteration or derived-fact limit).
+    LimitExceeded(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::IllFormed(m) => write!(f, "ill-formed reference: {m}"),
+            Error::InvalidRule(m) => write!(f, "invalid rule: {m}"),
+            Error::NotStratifiable(m) => write!(f, "program is not stratifiable: {m}"),
+            Error::NotGround(m) => write!(f, "reference is not ground: {m}"),
+            Error::UnknownName(m) => write!(f, "unknown name: {m}"),
+            Error::TypeViolation(m) => write!(f, "type violation: {m}"),
+            Error::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            Error::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = Error::IllFormed("set valued result of scalar method".into());
+        assert!(e.to_string().contains("ill-formed"));
+        assert!(e.to_string().contains("scalar method"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Other("x".into()), Error::Other("x".into()));
+        assert_ne!(Error::Other("x".into()), Error::Other("y".into()));
+    }
+}

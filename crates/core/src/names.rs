@@ -1,0 +1,159 @@
+//! Names and variables — the alphabet of PathLog (Section 3 of the paper).
+//!
+//! The alphabet consists of a set of names `N` (which, for simplicity, also
+//! contains integers and strings: the paper does not distinguish objects from
+//! values) and a set of variables `V`.  Names denote objects through the name
+//! interpretation `I_N`; variables are assigned objects by a
+//! variable-valuation.
+
+use std::fmt;
+
+/// A name from the alphabet `N`.
+///
+/// Names denote objects via `I_N` (see
+/// [`Structure`](crate::structure::Structure)).  Because the paper folds
+/// values into the set of names, integers and strings are names too.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Name {
+    /// A symbolic name such as `employee`, `mary` or `color`.
+    Atom(String),
+    /// An integer literal such as `4` or `1994`.
+    Int(i64),
+    /// A string literal such as `"red"`.
+    Str(String),
+}
+
+impl Name {
+    /// Construct an atomic (symbolic) name.
+    pub fn atom(s: impl Into<String>) -> Self {
+        Name::Atom(s.into())
+    }
+
+    /// Construct an integer name.
+    pub fn int(i: i64) -> Self {
+        Name::Int(i)
+    }
+
+    /// Construct a string name.
+    pub fn string(s: impl Into<String>) -> Self {
+        Name::Str(s.into())
+    }
+
+    /// The symbolic text of an atom, if this name is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            Name::Atom(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this name is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Name::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Name::Atom(s) => write!(f, "{s}"),
+            Name::Int(i) => write!(f, "{i}"),
+            Name::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        }
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::Atom(s.to_owned())
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name::Atom(s)
+    }
+}
+
+impl From<i64> for Name {
+    fn from(i: i64) -> Self {
+        Name::Int(i)
+    }
+}
+
+/// A variable from the alphabet `V`.  Variables are capitalised in the
+/// concrete syntax (`X`, `Boss`, `Z2`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub String);
+
+impl Var {
+    /// Construct a variable from its textual name.
+    pub fn new(s: impl Into<String>) -> Self {
+        Var(s.into())
+    }
+
+    /// The textual name of the variable.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var(s.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_atom_int_string() {
+        assert_eq!(Name::atom("employee").to_string(), "employee");
+        assert_eq!(Name::int(4).to_string(), "4");
+        assert_eq!(Name::string("red").to_string(), "\"red\"");
+    }
+
+    #[test]
+    fn display_string_escapes_quotes() {
+        assert_eq!(Name::string("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(Name::string("a\\b").to_string(), "\"a\\\\b\"");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Name::atom("x").as_atom(), Some("x"));
+        assert_eq!(Name::int(7).as_atom(), None);
+        assert_eq!(Name::int(7).as_int(), Some(7));
+        assert_eq!(Name::atom("x").as_int(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Name::from("mary"), Name::atom("mary"));
+        assert_eq!(Name::from(30), Name::int(30));
+        assert_eq!(Var::from("X"), Var::new("X"));
+        assert_eq!(Var::new("Boss").name(), "Boss");
+    }
+
+    #[test]
+    fn names_order_and_hash_consistently() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(Name::atom("a"));
+        s.insert(Name::int(1));
+        s.insert(Name::string("a"));
+        s.insert(Name::atom("a"));
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! Scalarity of references (Definition 2 of the paper).
+//!
+//! A reference is either *scalar* (it denotes at most one object) or
+//! *set-valued* (it may denote arbitrarily many).  The classification is
+//! purely syntactic:
+//!
+//! * `t0..m@(..)` is set-valued;
+//! * `t0.m@(..)` is set-valued if the receiver, the method or any argument is
+//!   set-valued (e.g. `p1..assistants.salary` — a scalar method applied to a
+//!   set);
+//! * molecules `t0[..]` and `t0 : c` inherit the scalarity of their receiver;
+//! * `(t0)` inherits the scalarity of `t0`;
+//! * names and variables are scalar (variables range over single objects).
+
+use crate::term::Term;
+
+/// The scalarity of a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scalarity {
+    /// Denotes at most one object.
+    Scalar,
+    /// May denote a set of objects.
+    SetValued,
+}
+
+impl Scalarity {
+    /// `true` when set-valued.
+    pub fn is_set_valued(self) -> bool {
+        matches!(self, Scalarity::SetValued)
+    }
+}
+
+/// Compute the scalarity of a reference per Definition 2.
+pub fn scalarity(term: &Term) -> Scalarity {
+    if is_set_valued(term) {
+        Scalarity::SetValued
+    } else {
+        Scalarity::Scalar
+    }
+}
+
+/// `true` iff the reference is set-valued per Definition 2.
+pub fn is_set_valued(term: &Term) -> bool {
+    match term {
+        Term::Name(_) | Term::Var(_) => false,
+        Term::Paren(t) => is_set_valued(t),
+        Term::Path(p) => {
+            p.set_valued
+                || is_set_valued(&p.receiver)
+                || is_set_valued(&p.method)
+                || p.args.iter().any(is_set_valued)
+        }
+        Term::Molecule(m) => is_set_valued(&m.receiver),
+        Term::IsA(i) => is_set_valued(&i.receiver),
+    }
+}
+
+/// `true` iff the reference is scalar per Definition 2.
+pub fn is_scalar(term: &Term) -> bool {
+    !is_set_valued(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Filter;
+
+    #[test]
+    fn simple_references_are_scalar() {
+        assert!(is_scalar(&Term::name("p1")));
+        assert!(is_scalar(&Term::var("X")));
+        assert!(is_scalar(&Term::int(4)));
+    }
+
+    #[test]
+    fn scalar_path_is_scalar() {
+        // p1.age
+        assert!(is_scalar(&Term::name("p1").scalar("age")));
+    }
+
+    #[test]
+    fn set_path_is_set_valued() {
+        // p1..assistants  (example 4.1)
+        assert!(is_set_valued(&Term::name("p1").set("assistants")));
+    }
+
+    #[test]
+    fn scalar_method_on_set_is_set_valued() {
+        // p1..assistants.salary — "the set of salaries of p1's assistants"
+        let t = Term::name("p1").set("assistants").scalar("salary");
+        assert!(is_set_valued(&t));
+    }
+
+    #[test]
+    fn set_method_on_set_is_set_valued() {
+        // p1..assistants..projects
+        let t = Term::name("p1").set("assistants").set("projects");
+        assert!(is_set_valued(&t));
+    }
+
+    #[test]
+    fn set_valued_argument_makes_path_set_valued() {
+        // p1.paidFor@(p1..vehicles)
+        let t = Term::name("p1").scalar_args("paidFor", vec![Term::name("p1").set("vehicles")]);
+        assert!(is_set_valued(&t));
+    }
+
+    #[test]
+    fn molecule_scalarity_is_determined_by_receiver_only() {
+        // p2[friends ->> p1..assistants]  (example 4.4): scalar, because the
+        // first sub-reference p2 is scalar even though the filter's RHS is a
+        // set-valued reference.
+        let t = Term::name("p2").filter(Filter::set_ref("friends", Term::name("p1").set("assistants")));
+        assert!(is_scalar(&t));
+
+        // p1..assistants[salary -> 1000]  (example 4.2): set-valued, because
+        // the receiver is set-valued.
+        let t = Term::name("p1").set("assistants").filter(Filter::scalar("salary", Term::int(1000)));
+        assert!(is_set_valued(&t));
+    }
+
+    #[test]
+    fn isa_and_paren_propagate_receiver_scalarity() {
+        let t = Term::name("p1").set("assistants").isa("employee");
+        assert!(is_set_valued(&t));
+        assert!(is_set_valued(&Term::name("p1").set("assistants").paren()));
+        assert!(is_scalar(&Term::name("integer").scalar("list").paren()));
+    }
+
+    #[test]
+    fn set_valued_method_position_makes_path_set_valued() {
+        // X.(p1..methods) — contrived, but Definition 2 covers the method
+        // position of a scalar path as well.
+        let t = Term::var("X").scalar(Term::name("p1").set("methods").paren());
+        assert!(is_set_valued(&t));
+    }
+
+    #[test]
+    fn scalarity_enum_helpers() {
+        assert!(Scalarity::SetValued.is_set_valued());
+        assert!(!Scalarity::Scalar.is_set_valued());
+        assert_eq!(scalarity(&Term::name("a")), Scalarity::Scalar);
+        assert_eq!(scalarity(&Term::name("a").set("kids")), Scalarity::SetValued);
+    }
+}

@@ -1,0 +1,688 @@
+//! Answer enumeration: which variable-valuations make a reference denote
+//! something, and what does it denote?
+//!
+//! [`valuate`](super::valuate) implements Definition 4 for a *given*
+//! variable-valuation.  Rule evaluation needs the other direction: given a
+//! body reference with free variables, enumerate the pairs
+//! `(sigma', object)` such that `object ∈ nu_{I,sigma'}(t)` and `sigma'`
+//! extends the incoming valuation.  That is what [`answers`] computes.
+//!
+//! The enumeration is index-directed where it matters:
+//!
+//! * an unbound variable at the *receiver* position of a path or molecule is
+//!   seeded from the per-method indexes of the structure instead of scanning
+//!   the whole universe;
+//! * an unbound variable at the *result* position of a scalar filter is bound
+//!   directly to the method result;
+//! * an unbound variable at the *method* position (the paper's generic
+//!   transitive closure `M.tc`) is seeded from the methods defined on the
+//!   receiver;
+//! * an unbound variable at the receiver of an `IsA` is seeded from the class
+//!   extent.
+//!
+//! A bare unbound variable with no such context falls back to enumerating the
+//! universe, which is correct but slow; the rule compiler orders body
+//! literals to avoid this.
+
+use std::collections::BTreeSet;
+
+use crate::error::{Error, Result};
+use crate::structure::{Oid, Structure};
+use crate::term::{Filter, FilterValue, Term};
+
+use super::{valuate, Bindings};
+
+/// One answer: an extended variable-valuation and one object the reference
+/// denotes under it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// The extended valuation.
+    pub bindings: Bindings,
+    /// One object in the valuation of the reference under `bindings`.
+    pub object: Oid,
+}
+
+impl Answer {
+    fn new(bindings: Bindings, object: Oid) -> Self {
+        Answer { bindings, object }
+    }
+}
+
+/// Enumerate all answers of `term` extending `seed`.
+pub fn answers(structure: &Structure, term: &Term, seed: &Bindings) -> Result<Vec<Answer>> {
+    match term {
+        Term::Name(n) => Ok(structure
+            .lookup_name(n)
+            .map(|o| vec![Answer::new(seed.clone(), o)])
+            .unwrap_or_default()),
+        Term::Var(v) => match seed.get(v) {
+            Some(o) => Ok(vec![Answer::new(seed.clone(), o)]),
+            None => Ok(structure
+                .objects()
+                .filter_map(|o| seed.bind(v, o).map(|b| Answer::new(b, o)))
+                .collect()),
+        },
+        Term::Paren(t) => answers(structure, t, seed),
+        Term::Path(p) => path_answers(structure, p, seed),
+        Term::IsA(i) => isa_answers(structure, i, seed),
+        Term::Molecule(m) => molecule_answers(structure, m, seed),
+    }
+}
+
+/// Enumerate the valuations under which `term` denotes `expected`.
+///
+/// This is the "match a reference against a known object" operation used for
+/// filter results and explicit set members; it avoids the universe scan that
+/// `answers` would do for a bare unbound variable by binding it directly.
+pub fn answers_matching(
+    structure: &Structure,
+    term: &Term,
+    seed: &Bindings,
+    expected: Oid,
+) -> Result<Vec<Bindings>> {
+    match term {
+        Term::Name(n) => Ok(match structure.lookup_name(n) {
+            Some(o) if o == expected => vec![seed.clone()],
+            _ => Vec::new(),
+        }),
+        Term::Var(v) => Ok(seed.bind(v, expected).into_iter().collect()),
+        Term::Paren(t) => answers_matching(structure, t, seed, expected),
+        _ => Ok(answers(structure, term, seed)?
+            .into_iter()
+            .filter(|a| a.object == expected)
+            .map(|a| a.bindings)
+            .collect()),
+    }
+}
+
+/// Answers of a path `t0 (.|..) m @ (args)`.
+fn path_answers(structure: &Structure, p: &crate::term::Path, seed: &Bindings) -> Result<Vec<Answer>> {
+    let mut out = Vec::new();
+    for recv in receiver_answers_for_path(structure, p, seed)? {
+        for ma in method_answers(structure, &p.method, &recv.bindings, recv.object, p.set_valued)? {
+            for (bindings, args) in arg_answers(structure, &p.args, &ma.bindings)? {
+                if p.set_valued {
+                    if let Some(members) = structure.apply_set(ma.object, recv.object, &args) {
+                        for &member in members {
+                            out.push(Answer::new(bindings.clone(), member));
+                        }
+                    }
+                } else if let Some(res) = structure.apply_scalar(ma.object, recv.object, &args) {
+                    out.push(Answer::new(bindings.clone(), res));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Answers of the receiver of a path.  If the receiver is an unbound
+/// variable and the method is a ground name, seed candidates from the
+/// per-method index instead of the whole universe.
+fn receiver_answers_for_path(
+    structure: &Structure,
+    p: &crate::term::Path,
+    seed: &Bindings,
+) -> Result<Vec<Answer>> {
+    if let Term::Var(v) = &p.receiver {
+        if seed.get(v).is_none() {
+            if let Some(method) = ground_name_oid(structure, &p.method, seed) {
+                let mut receivers: BTreeSet<Oid> = BTreeSet::new();
+                if p.set_valued {
+                    receivers.extend(structure.facts().set_facts_of_method(method).map(|f| f.receiver));
+                } else {
+                    receivers.extend(structure.facts().scalar_facts_of_method(method).map(|f| f.receiver));
+                }
+                return Ok(receivers
+                    .into_iter()
+                    .filter_map(|o| seed.bind(v, o).map(|b| Answer::new(b, o)))
+                    .collect());
+            }
+        }
+    }
+    answers(structure, &p.receiver, seed)
+}
+
+/// Answers of a method position.  An unbound variable is seeded from the
+/// methods defined on the receiver (this is what makes the generic
+/// `X[(M.tc) ->> {Y}]` rules of Section 6 evaluable).
+fn method_answers(
+    structure: &Structure,
+    method: &Term,
+    seed: &Bindings,
+    receiver: Oid,
+    set_valued: bool,
+) -> Result<Vec<Answer>> {
+    if let Term::Var(v) = method {
+        if seed.get(v).is_none() {
+            let mut methods: BTreeSet<Oid> = BTreeSet::new();
+            if set_valued {
+                methods.extend(structure.facts().set_facts_of_receiver(receiver).map(|f| f.method));
+            } else {
+                methods.extend(structure.facts().scalar_facts_of_receiver(receiver).map(|f| f.method));
+                methods.insert(structure.self_method());
+            }
+            return Ok(methods
+                .into_iter()
+                .filter_map(|m| seed.bind(v, m).map(|b| Answer::new(b, m)))
+                .collect());
+        }
+    }
+    answers(structure, method, seed)
+}
+
+/// Enumerate bindings and concrete argument tuples for a call argument list.
+fn arg_answers(
+    structure: &Structure,
+    args: &[Term],
+    seed: &Bindings,
+) -> Result<Vec<(Bindings, Vec<Oid>)>> {
+    let mut states = vec![(seed.clone(), Vec::new())];
+    for arg in args {
+        let mut next = Vec::new();
+        for (bindings, prefix) in &states {
+            for a in answers(structure, arg, bindings)? {
+                let mut row = prefix.clone();
+                row.push(a.object);
+                next.push((a.bindings, row));
+            }
+        }
+        states = next;
+    }
+    Ok(states)
+}
+
+/// Answers of `t0 : c`.
+fn isa_answers(structure: &Structure, i: &crate::term::IsA, seed: &Bindings) -> Result<Vec<Answer>> {
+    // Unbound-variable receiver: enumerate the extent of the class.
+    if let Term::Var(v) = &i.receiver {
+        if seed.get(v).is_none() {
+            let mut out = Vec::new();
+            for ca in answers(structure, &i.class, seed)? {
+                for member in structure.instances_of(ca.object) {
+                    if let Some(b) = ca.bindings.bind(v, member) {
+                        out.push(Answer::new(b, member));
+                    }
+                }
+            }
+            return Ok(out);
+        }
+    }
+    let mut out = Vec::new();
+    for ra in answers(structure, &i.receiver, seed)? {
+        // Unbound-variable class: enumerate the classes of the receiver.
+        if let Term::Var(v) = &i.class {
+            if ra.bindings.get(v).is_none() {
+                for class in structure.classes_of(ra.object) {
+                    if let Some(b) = ra.bindings.bind(v, class) {
+                        out.push(Answer::new(b, ra.object));
+                    }
+                }
+                continue;
+            }
+        }
+        for ca in answers(structure, &i.class, &ra.bindings)? {
+            if structure.in_class(ra.object, ca.object) {
+                out.push(Answer::new(ca.bindings, ra.object));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Answers of a molecule `t0 [ filters ]`.
+fn molecule_answers(structure: &Structure, m: &crate::term::Molecule, seed: &Bindings) -> Result<Vec<Answer>> {
+    let receivers = receiver_answers_for_molecule(structure, m, seed)?;
+    let mut out = Vec::new();
+    for ra in receivers {
+        let mut states = vec![ra.bindings.clone()];
+        for f in &m.filters {
+            let mut next = Vec::new();
+            for b in &states {
+                next.extend(filter_answers(structure, ra.object, f, b)?);
+            }
+            states = next;
+            if states.is_empty() {
+                break;
+            }
+        }
+        for b in states {
+            out.push(Answer::new(b, ra.object));
+        }
+    }
+    Ok(out)
+}
+
+/// Answers of the receiver of a molecule, seeding unbound variables from the
+/// most selective usable filter.
+fn receiver_answers_for_molecule(
+    structure: &Structure,
+    m: &crate::term::Molecule,
+    seed: &Bindings,
+) -> Result<Vec<Answer>> {
+    let Term::Var(v) = &m.receiver else {
+        return answers(structure, &m.receiver, seed);
+    };
+    if seed.get(v).is_some() {
+        return answers(structure, &m.receiver, seed);
+    }
+    // Try to find a filter whose method is a ground name; use its index.
+    let mut candidates: Option<BTreeSet<Oid>> = None;
+    for f in &m.filters {
+        let Some(method) = ground_name_oid(structure, &f.method, seed) else { continue };
+        let set = match &f.value {
+            FilterValue::Scalar(rt) => {
+                if let Some(expected) = single_ground_object(structure, rt, seed) {
+                    structure
+                        .facts()
+                        .scalar_facts_with_result(method, expected)
+                        .map(|f| f.receiver)
+                        .collect::<BTreeSet<_>>()
+                } else {
+                    structure.facts().scalar_facts_of_method(method).map(|f| f.receiver).collect()
+                }
+            }
+            FilterValue::SetExplicit(elems) => {
+                if let Some(first) = elems.iter().find_map(|e| single_ground_object(structure, e, seed)) {
+                    structure.facts().set_facts_containing(method, first).map(|f| f.receiver).collect()
+                } else {
+                    structure.facts().set_facts_of_method(method).map(|f| f.receiver).collect()
+                }
+            }
+            FilterValue::SetRef(_) => {
+                structure.facts().set_facts_of_method(method).map(|f| f.receiver).collect()
+            }
+            FilterValue::SigScalar(_) | FilterValue::SigSet(_) => continue,
+        };
+        candidates = Some(match candidates {
+            None => set,
+            Some(prev) => {
+                if set.len() < prev.len() {
+                    set
+                } else {
+                    prev
+                }
+            }
+        });
+    }
+    match candidates {
+        Some(set) => Ok(set
+            .into_iter()
+            .filter_map(|o| seed.bind(v, o).map(|b| Answer::new(b, o)))
+            .collect()),
+        None => answers(structure, &m.receiver, seed),
+    }
+}
+
+/// All valuations extending `seed` under which `receiver` satisfies `filter`.
+fn filter_answers(structure: &Structure, receiver: Oid, filter: &Filter, seed: &Bindings) -> Result<Vec<Bindings>> {
+    let mut out = Vec::new();
+    let set_valued_method = matches!(filter.value, FilterValue::SetRef(_) | FilterValue::SetExplicit(_) | FilterValue::SigSet(_));
+    for ma in method_answers(structure, &filter.method, seed, receiver, set_valued_method)? {
+        for (bindings, args) in arg_answers(structure, &filter.args, &ma.bindings)? {
+            match &filter.value {
+                FilterValue::Scalar(rt) => {
+                    if let Some(res) = structure.apply_scalar(ma.object, receiver, &args) {
+                        out.extend(answers_matching(structure, rt, &bindings, res)?);
+                    }
+                }
+                FilterValue::SetRef(rt) => {
+                    let members = structure.apply_set(ma.object, receiver, &args);
+                    // The right-hand side is read set-at-a-time; it must be
+                    // evaluable under the current valuation (the engine's
+                    // stratification and safety checks guarantee this).
+                    let required = valuate(structure, rt, &bindings).map_err(|e| match e {
+                        Error::NotGround(msg) => Error::NotGround(format!(
+                            "set-valued right-hand side `{rt}` must be bound by earlier literals: {msg}"
+                        )),
+                        other => other,
+                    })?;
+                    let ok = match members {
+                        Some(ms) => required.iter().all(|x| ms.contains(x)),
+                        None => required.is_empty(),
+                    };
+                    if ok {
+                        out.push(bindings);
+                    }
+                }
+                FilterValue::SetExplicit(elems) => {
+                    let empty = BTreeSet::new();
+                    let members = structure.apply_set(ma.object, receiver, &args).unwrap_or(&empty);
+                    let mut states = vec![bindings.clone()];
+                    for e in elems {
+                        let mut next = Vec::new();
+                        for b in &states {
+                            next.extend(element_answers(structure, e, b, members)?);
+                        }
+                        states = next;
+                        if states.is_empty() {
+                            break;
+                        }
+                    }
+                    out.extend(states);
+                }
+                FilterValue::SigScalar(results) | FilterValue::SigSet(results) => {
+                    let set_valued = matches!(filter.value, FilterValue::SigSet(_));
+                    // Signatures are matched against the declarations table.
+                    for sig in structure.signatures().for_method(ma.object) {
+                        if sig.set_valued != set_valued || sig.class != receiver || sig.arg_classes.as_ref() != args.as_slice() {
+                            continue;
+                        }
+                        let mut states = vec![bindings.clone()];
+                        for r in results {
+                            let mut next = Vec::new();
+                            for b in &states {
+                                for &rc in &sig.result_classes {
+                                    next.extend(answers_matching(structure, r, b, rc)?);
+                                }
+                            }
+                            states = next;
+                            if states.is_empty() {
+                                break;
+                            }
+                        }
+                        out.extend(states);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Valuations under which `element` denotes a member of `members`.
+fn element_answers(
+    structure: &Structure,
+    element: &Term,
+    seed: &Bindings,
+    members: &BTreeSet<Oid>,
+) -> Result<Vec<Bindings>> {
+    // Unbound variable: bind to every member (this is the paper's
+    // "p1[assistants ->> {X[salary -> 1000]}]" access pattern).
+    if let Term::Var(v) = element {
+        if seed.get(v).is_none() {
+            return Ok(members.iter().filter_map(|&o| seed.bind(v, o)).collect());
+        }
+    }
+    let mut out = Vec::new();
+    for a in answers(structure, element, seed)? {
+        if members.contains(&a.object) {
+            out.push(a.bindings);
+        }
+    }
+    Ok(out)
+}
+
+/// If `term` is a ground name (or a bound variable), the object it denotes.
+fn ground_name_oid(structure: &Structure, term: &Term, seed: &Bindings) -> Option<Oid> {
+    match term {
+        Term::Name(n) => structure.lookup_name(n),
+        Term::Var(v) => seed.get(v),
+        Term::Paren(t) => ground_name_oid(structure, t, seed),
+        _ => None,
+    }
+}
+
+/// If `term` evaluates, under `seed`, to exactly one object without needing
+/// further bindings, that object.
+fn single_ground_object(structure: &Structure, term: &Term, seed: &Bindings) -> Option<Oid> {
+    if !term.variables().iter().all(|v| seed.is_bound(v)) {
+        return None;
+    }
+    let set = valuate(structure, term, seed).ok()?;
+    if set.len() == 1 {
+        set.into_iter().next()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::{Name, Var};
+    use crate::term::Filter as TFilter;
+
+    fn world() -> Structure {
+        let mut s = Structure::new();
+        let (employee, automobile, vehicle, person) =
+            (s.atom("employee"), s.atom("automobile"), s.atom("vehicle"), s.atom("person"));
+        s.add_isa(employee, person);
+        s.add_isa(automobile, vehicle);
+
+        let (vehicles, color, cylinders, age, city) =
+            (s.atom("vehicles"), s.atom("color"), s.atom("cylinders"), s.atom("age"), s.atom("city"));
+        let (red, blue, ny, detroit) = (s.atom("red"), s.atom("blue"), s.atom("newYork"), s.atom("detroit"));
+        let (four, six, thirty, forty) = (s.int(4), s.int(6), s.int(30), s.int(40));
+
+        // e1: 30, newYork, owns a1 (red, 4 cyl) and b1 (a plain vehicle)
+        let (e1, e2) = (s.atom("e1"), s.atom("e2"));
+        let (a1, a2, b1) = (s.atom("a1"), s.atom("a2"), s.atom("b1"));
+        s.add_isa(e1, employee);
+        s.add_isa(e2, employee);
+        s.add_isa(a1, automobile);
+        s.add_isa(a2, automobile);
+        s.add_isa(b1, vehicle);
+        s.assert_scalar(age, e1, &[], thirty).unwrap();
+        s.assert_scalar(age, e2, &[], forty).unwrap();
+        s.assert_scalar(city, e1, &[], ny).unwrap();
+        s.assert_scalar(city, e2, &[], detroit).unwrap();
+        s.assert_set_member(vehicles, e1, &[], a1);
+        s.assert_set_member(vehicles, e1, &[], b1);
+        s.assert_set_member(vehicles, e2, &[], a2);
+        s.assert_scalar(color, a1, &[], red).unwrap();
+        s.assert_scalar(color, a2, &[], blue).unwrap();
+        s.assert_scalar(cylinders, a1, &[], four).unwrap();
+        s.assert_scalar(cylinders, a2, &[], six).unwrap();
+        s
+    }
+
+    fn o(s: &Structure, n: &str) -> Oid {
+        s.lookup_name(&Name::atom(n)).unwrap()
+    }
+
+    #[test]
+    fn name_and_bound_variable_answers() {
+        let s = world();
+        let a = answers(&s, &Term::name("e1"), &Bindings::new()).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].object, o(&s, "e1"));
+        let seed = Bindings::from_pairs([(Var::new("X"), o(&s, "e1"))]).unwrap();
+        let a = answers(&s, &Term::var("X"), &seed).unwrap();
+        assert_eq!(a.len(), 1);
+        let a = answers(&s, &Term::name("unknown"), &Bindings::new()).unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn unbound_variable_falls_back_to_universe() {
+        let s = world();
+        let a = answers(&s, &Term::var("X"), &Bindings::new()).unwrap();
+        assert_eq!(a.len(), s.num_objects());
+    }
+
+    #[test]
+    fn isa_enumerates_extent() {
+        let s = world();
+        let a = answers(&s, &Term::var("X").isa("employee"), &Bindings::new()).unwrap();
+        let mut got: Vec<_> = a.iter().map(|x| x.object).collect();
+        got.sort();
+        let mut want = vec![o(&s, "e1"), o(&s, "e2")];
+        want.sort();
+        assert_eq!(got, want);
+        // each answer binds X to the member
+        for ans in &a {
+            assert_eq!(ans.bindings.get(&Var::new("X")), Some(ans.object));
+        }
+    }
+
+    #[test]
+    fn isa_with_unbound_class_enumerates_classes() {
+        let s = world();
+        let seed = Bindings::from_pairs([(Var::new("X"), o(&s, "a1"))]).unwrap();
+        let a = answers(&s, &Term::var("X").isa(Term::var("C")), &seed).unwrap();
+        let mut classes: Vec<_> = a.iter().map(|x| x.bindings.get(&Var::new("C")).unwrap()).collect();
+        classes.sort();
+        classes.dedup();
+        assert_eq!(classes.len(), 2); // automobile and vehicle
+    }
+
+    #[test]
+    fn path_with_unbound_receiver_uses_method_index() {
+        let s = world();
+        // X..vehicles — receivers seeded from the `vehicles` method index.
+        let a = answers(&s, &Term::var("X").set("vehicles"), &Bindings::new()).unwrap();
+        assert_eq!(a.len(), 3); // a1, b1 for e1; a2 for e2
+        // X.color — scalar variant
+        let a = answers(&s, &Term::var("X").scalar("color"), &Bindings::new()).unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn molecule_with_unbound_receiver_uses_result_index() {
+        let s = world();
+        // X[color -> red] — only a1.
+        let a = answers(&s, &Term::var("X").filter(TFilter::scalar("color", "red")), &Bindings::new()).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].object, o(&s, "a1"));
+    }
+
+    #[test]
+    fn scalar_filter_binds_result_variable() {
+        let s = world();
+        // e1[age -> A]
+        let t = Term::name("e1").filter(TFilter::scalar("age", Term::var("A")));
+        let a = answers(&s, &t, &Bindings::new()).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].bindings.get(&Var::new("A")), Some(o(&s, "e1")).map(|_| s.lookup_name(&Name::int(30)).unwrap()));
+    }
+
+    #[test]
+    fn two_dimensional_reference_2_1() {
+        let s = world();
+        // X:employee[age->30; city->newYork]..vehicles:automobile[cylinders->4].color[Z]
+        let t = Term::var("X")
+            .isa("employee")
+            .filters(vec![TFilter::scalar("age", Term::int(30)), TFilter::scalar("city", "newYork")])
+            .set("vehicles")
+            .isa("automobile")
+            .filter(TFilter::scalar("cylinders", Term::int(4)))
+            .scalar("color")
+            .selector(Term::var("Z"));
+        let a = answers(&s, &t, &Bindings::new()).unwrap();
+        assert_eq!(a.len(), 1);
+        let ans = &a[0];
+        assert_eq!(ans.bindings.get(&Var::new("X")), Some(o(&s, "e1")));
+        assert_eq!(ans.bindings.get(&Var::new("Z")), Some(o(&s, "red")));
+        assert_eq!(ans.object, o(&s, "red"));
+    }
+
+    #[test]
+    fn set_filter_element_variable_ranges_over_members() {
+        let s = world();
+        // e1[vehicles ->> {V}] — V successively bound to each vehicle.
+        let t = Term::name("e1").filter(TFilter::set("vehicles", vec![Term::var("V")]));
+        let a = answers(&s, &t, &Bindings::new()).unwrap();
+        assert_eq!(a.len(), 2);
+        let mut vs: Vec<_> = a.iter().map(|x| x.bindings.get(&Var::new("V")).unwrap()).collect();
+        vs.sort();
+        let mut want = vec![o(&s, "a1"), o(&s, "b1")];
+        want.sort();
+        assert_eq!(vs, want);
+        // the molecule still denotes its receiver
+        assert!(a.iter().all(|x| x.object == o(&s, "e1")));
+    }
+
+    #[test]
+    fn unbound_method_variable_enumerates_defined_methods() {
+        let s = world();
+        // e1[M -> thirty]? enumerate scalar methods M with that result on e1.
+        let t = Term::name("e1").filter(TFilter::scalar(Term::var("M"), Term::int(30)));
+        let a = answers(&s, &t, &Bindings::new()).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].bindings.get(&Var::new("M")), Some(o(&s, "age")));
+    }
+
+    #[test]
+    fn set_ref_rhs_requires_bound_variables() {
+        let s = world();
+        // e1[vehicles ->> Y..vehicles] with Y unbound: must be an error, the
+        // engine's stratification/safety pass prevents this situation.
+        let t = Term::name("e1").filter(TFilter::set_ref("vehicles", Term::var("Y").set("vehicles")));
+        assert!(answers(&s, &t, &Bindings::new()).is_err());
+        // With Y bound to e1 it holds (every vehicle of e1 is a vehicle of e1).
+        let seed = Bindings::from_pairs([(Var::new("Y"), o(&s, "e1"))]).unwrap();
+        let a = answers(&s, &t, &seed).unwrap();
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn answers_matching_binds_or_checks() {
+        let s = world();
+        let red = o(&s, "red");
+        let b = answers_matching(&s, &Term::var("Z"), &Bindings::new(), red).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].get(&Var::new("Z")), Some(red));
+        let b = answers_matching(&s, &Term::name("red"), &Bindings::new(), red).unwrap();
+        assert_eq!(b.len(), 1);
+        let b = answers_matching(&s, &Term::name("blue"), &Bindings::new(), red).unwrap();
+        assert!(b.is_empty());
+        // complex term: a1.color matched against red
+        let b = answers_matching(&s, &Term::name("a1").scalar("color"), &Bindings::new(), red).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn answers_agree_with_valuate_on_ground_terms() {
+        let s = world();
+        let terms = vec![
+            Term::name("e1").set("vehicles"),
+            Term::name("e1").set("vehicles").scalar("color"),
+            Term::name("e1").filter(TFilter::scalar("age", Term::int(30))),
+            Term::name("e2").filter(TFilter::scalar("age", Term::int(30))),
+            Term::name("a1").isa("vehicle"),
+        ];
+        for t in terms {
+            let via_answers: BTreeSet<_> = answers(&s, &t, &Bindings::new()).unwrap().into_iter().map(|a| a.object).collect();
+            let via_valuate = valuate(&s, &t, &Bindings::new()).unwrap();
+            assert_eq!(via_answers, via_valuate, "mismatch for {t}");
+        }
+    }
+
+    #[test]
+    fn nested_path_in_filter_value() {
+        let mut s = world();
+        // boss city equality: e1's boss is e2; ask X[city -> X.boss.city].
+        let boss = s.atom("boss");
+        let (e1, e2) = (o(&s, "e1"), o(&s, "e2"));
+        s.assert_scalar(boss, e1, &[], e2).unwrap();
+        // e1 lives in newYork, e2 in detroit -> no answer.
+        let t = Term::var("X").filter(TFilter::scalar("city", Term::var("X").scalar("boss").scalar("city")));
+        let a = answers(&s, &t, &Bindings::new()).unwrap();
+        assert!(a.is_empty());
+        // Move e2 to newYork -> one answer (e1).
+        let city = o(&s, "city");
+        let ny = o(&s, "newYork");
+        let mut s2 = world();
+        let boss2 = s2.atom("boss");
+        s2.assert_scalar(boss2, e1, &[], e2).unwrap();
+        // overwrite by building fresh: assert e2 city newYork in a new world
+        // (scalar conflict would be an error otherwise).
+        let _ = (city, ny);
+        let mut s3 = Structure::new();
+        let (employee, age2, city3) = (s3.atom("employee"), s3.atom("age"), s3.atom("city"));
+        let (f1, f2) = (s3.atom("f1"), s3.atom("f2"));
+        let ny3 = s3.atom("newYork");
+        let boss3 = s3.atom("boss");
+        let t30 = s3.int(30);
+        s3.add_isa(f1, employee);
+        s3.add_isa(f2, employee);
+        s3.assert_scalar(age2, f1, &[], t30).unwrap();
+        s3.assert_scalar(city3, f1, &[], ny3).unwrap();
+        s3.assert_scalar(city3, f2, &[], ny3).unwrap();
+        s3.assert_scalar(boss3, f1, &[], f2).unwrap();
+        let a = answers(&s3, &t, &Bindings::new()).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].object, f1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Model checking: is a structure a model of a program?
+//!
+//! The engine computes a fixpoint that is intended to be a *model* of the
+//! program: for every rule and every variable-valuation that satisfies the
+//! body, the head must be entailed (Definition 5).  This module checks that
+//! property directly against the definitions — independently of how the
+//! engine derived the structure — and is used by the test suite to validate
+//! the engine on every example and on randomly generated programs.
+
+use crate::engine::solve_body;
+use crate::error::Result;
+use crate::program::{Program, Rule};
+use crate::semantics::{entails, Bindings};
+use crate::structure::Structure;
+
+/// A witness that a rule is violated: the offending rule and a body
+/// valuation under which the head is not entailed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violated rule in the program.
+    pub rule_index: usize,
+    /// The rule itself, rendered in concrete syntax.
+    pub rule: String,
+    /// The variable-valuation satisfying the body but not the head.
+    pub bindings: Bindings,
+}
+
+/// Check whether `structure` is a model of `rule`: every valuation that
+/// satisfies the body must entail the head.  Returns the first
+/// counter-example, if any.
+pub fn check_rule(structure: &Structure, rule_index: usize, rule: &Rule) -> Result<Option<Violation>> {
+    let solutions = solve_body(structure, &rule.body, &Bindings::new())?;
+    for bindings in solutions {
+        if !entails(structure, &rule.head, &bindings)? {
+            return Ok(Some(Violation { rule_index, rule: rule.to_string(), bindings }));
+        }
+    }
+    Ok(None)
+}
+
+/// Check whether `structure` is a model of every rule of `program`,
+/// collecting all violations (one witness per violated rule).
+pub fn violations(structure: &Structure, program: &Program) -> Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for (i, rule) in program.rules.iter().enumerate() {
+        if let Some(v) = check_rule(structure, i, rule)? {
+            out.push(v);
+        }
+    }
+    Ok(out)
+}
+
+/// `true` iff `structure` is a model of `program`.
+pub fn is_model(structure: &Structure, program: &Program) -> Result<bool> {
+    Ok(violations(structure, program)?.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::program::{Literal, Rule};
+    use crate::term::{Filter, Term};
+
+    fn desc_program() -> Program {
+        let mut p = Program::new();
+        p.push_rule(Rule::fact(Term::name("peter").filter(Filter::set("kids", vec![Term::name("tim"), Term::name("mary")]))));
+        p.push_rule(Rule::fact(Term::name("tim").filter(Filter::set("kids", vec![Term::name("sally")]))));
+        p.push_rule(Rule::new(
+            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            vec![Literal::pos(Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])))],
+        ));
+        p.push_rule(Rule::new(
+            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            vec![Literal::pos(Term::var("X").set("desc").filter(Filter::set("kids", vec![Term::var("Y")])))],
+        ));
+        p
+    }
+
+    #[test]
+    fn fixpoint_of_the_engine_is_a_model() {
+        let program = desc_program();
+        let mut s = Structure::new();
+        Engine::new().load_program(&mut s, &program).unwrap();
+        assert!(is_model(&s, &program).unwrap());
+        assert!(violations(&s, &program).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_derived_facts_are_detected() {
+        let program = desc_program();
+        // Evaluate only the facts, not the rules: the result satisfies the
+        // facts but violates the desc rules.
+        let facts: Vec<Rule> = program.facts().cloned().collect();
+        let mut s = Structure::new();
+        Engine::new().run_rules(&mut s, &facts).unwrap();
+        // register the rule names so entailment of the heads can be evaluated
+        let vs = violations(&s, &program).unwrap();
+        assert!(!vs.is_empty());
+        assert!(vs.iter().all(|v| v.rule.contains("desc")));
+        assert!(!is_model(&s, &program).unwrap());
+    }
+
+    #[test]
+    fn an_unrelated_structure_violates_the_facts_too() {
+        let program = desc_program();
+        let s = Structure::new();
+        let vs = violations(&s, &program).unwrap();
+        // every fact (empty body, one empty valuation) is violated
+        assert!(vs.len() >= 2);
+        assert_eq!(vs[0].bindings.len(), 0);
+    }
+
+    #[test]
+    fn violation_reports_the_offending_valuation() {
+        // X : adult <- X[age -> 30].   with a fact but no rule evaluation
+        let mut program = Program::new();
+        program.push_rule(Rule::fact(Term::name("mary").filter(Filter::scalar("age", Term::int(30)))));
+        program.push_rule(Rule::new(
+            Term::var("X").isa("adult"),
+            vec![Literal::pos(Term::var("X").filter(Filter::scalar("age", Term::int(30))))],
+        ));
+        let facts: Vec<Rule> = program.facts().cloned().collect();
+        let mut s = Structure::new();
+        Engine::new().run_rules(&mut s, &facts).unwrap();
+        let vs = violations(&s, &program).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule_index, 1);
+        let mary = s.lookup_name(&crate::names::Name::atom("mary")).unwrap();
+        assert_eq!(vs[0].bindings.get(&crate::names::Var::new("X")), Some(mary));
+    }
+}

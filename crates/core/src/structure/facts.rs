@@ -1,0 +1,429 @@
+//! Method fact tables — the interpretations `I_->` (scalar methods) and
+//! `I_->>` (set-valued methods) of a semantic structure.
+//!
+//! A scalar fact states `I_->(method)(receiver, args...) = result`; a set
+//! fact states `member ∈ I_->>(method)(receiver, args...)`.  Facts are stored
+//! in dense vectors with hash indexes by key, by method, by
+//! (method, result/member) and by receiver, which back the engine's matching
+//! of molecules with unbound positions.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::{Error, Result};
+
+use super::Oid;
+
+/// Key identifying one method application: `(method, receiver, args)`.
+pub type FactKey = (Oid, Oid, Box<[Oid]>);
+
+/// A stored scalar fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarFact {
+    /// The method object.
+    pub method: Oid,
+    /// The receiver object.
+    pub receiver: Oid,
+    /// The argument objects.
+    pub args: Box<[Oid]>,
+    /// The result object.
+    pub result: Oid,
+}
+
+/// A stored set-valued fact (one per `(method, receiver, args)` application,
+/// holding all members).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetFact {
+    /// The method object.
+    pub method: Oid,
+    /// The receiver object.
+    pub receiver: Oid,
+    /// The argument objects.
+    pub args: Box<[Oid]>,
+    /// The members of the result set.
+    pub members: BTreeSet<Oid>,
+}
+
+/// Outcome of asserting a fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assert {
+    /// The fact was not present before.
+    New,
+    /// The fact was already present; nothing changed.
+    Unchanged,
+}
+
+impl Assert {
+    /// `true` if the assertion added new information.
+    pub fn is_new(self) -> bool {
+        matches!(self, Assert::New)
+    }
+}
+
+/// The fact tables of a structure.
+#[derive(Debug, Default, Clone)]
+pub struct Facts {
+    scalar: Vec<ScalarFact>,
+    scalar_key: HashMap<FactKey, usize>,
+    scalar_by_method: HashMap<Oid, Vec<usize>>,
+    scalar_by_method_result: HashMap<(Oid, Oid), Vec<usize>>,
+    scalar_by_receiver: HashMap<Oid, Vec<usize>>,
+
+    set: Vec<SetFact>,
+    set_key: HashMap<FactKey, usize>,
+    set_by_method: HashMap<Oid, Vec<usize>>,
+    set_by_method_member: HashMap<(Oid, Oid), Vec<usize>>,
+    set_by_receiver: HashMap<Oid, Vec<usize>>,
+
+    set_member_count: usize,
+}
+
+impl Facts {
+    /// Empty fact tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // -- scalar ------------------------------------------------------------
+
+    /// Assert `I_->(method)(receiver, args) = result`.
+    ///
+    /// Returns an error if a *different* result is already stored for the
+    /// same application: scalar methods are partial functions, so conflicting
+    /// results indicate an inconsistent program.
+    pub fn assert_scalar(&mut self, method: Oid, receiver: Oid, args: &[Oid], result: Oid) -> Result<Assert> {
+        let key: FactKey = (method, receiver, args.into());
+        if let Some(&idx) = self.scalar_key.get(&key) {
+            let existing = self.scalar[idx].result;
+            if existing == result {
+                return Ok(Assert::Unchanged);
+            }
+            return Err(Error::Other(format!(
+                "conflicting scalar results for method {:?} on receiver {:?}: {:?} vs {:?}",
+                method, receiver, existing, result
+            )));
+        }
+        let idx = self.scalar.len();
+        self.scalar.push(ScalarFact { method, receiver, args: key.2.clone(), result });
+        self.scalar_key.insert(key, idx);
+        self.scalar_by_method.entry(method).or_default().push(idx);
+        self.scalar_by_method_result.entry((method, result)).or_default().push(idx);
+        self.scalar_by_receiver.entry(receiver).or_default().push(idx);
+        Ok(Assert::New)
+    }
+
+    /// Look up the scalar result of a method application, if defined.
+    pub fn scalar_result(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<Oid> {
+        // Avoid allocating the boxed key for the common zero-arg case by
+        // checking the per-receiver index first when it is small.
+        let key: FactKey = (method, receiver, args.into());
+        self.scalar_key.get(&key).map(|&i| self.scalar[i].result)
+    }
+
+    /// All scalar facts for a method.
+    pub fn scalar_facts_of_method(&self, method: Oid) -> impl Iterator<Item = &ScalarFact> + '_ {
+        self.scalar_by_method.get(&method).into_iter().flatten().map(move |&i| &self.scalar[i])
+    }
+
+    /// All scalar facts for a method with a given result.
+    pub fn scalar_facts_with_result(&self, method: Oid, result: Oid) -> impl Iterator<Item = &ScalarFact> + '_ {
+        self.scalar_by_method_result
+            .get(&(method, result))
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.scalar[i])
+    }
+
+    /// All scalar facts whose receiver is `receiver`.
+    pub fn scalar_facts_of_receiver(&self, receiver: Oid) -> impl Iterator<Item = &ScalarFact> + '_ {
+        self.scalar_by_receiver.get(&receiver).into_iter().flatten().map(move |&i| &self.scalar[i])
+    }
+
+    /// Every scalar fact.
+    pub fn scalar_facts(&self) -> impl Iterator<Item = &ScalarFact> + '_ {
+        self.scalar.iter()
+    }
+
+    /// Number of scalar facts.
+    pub fn num_scalar(&self) -> usize {
+        self.scalar.len()
+    }
+
+    /// Retract the scalar fact for `(method, receiver, args)`, if present.
+    /// Returns the result the application had.
+    ///
+    /// Retraction is an extension beyond the paper (bottom-up evaluation of
+    /// deductive rules only ever adds facts); it exists for the production /
+    /// active-rule layer (`pathlog-reactive`) and for the object store's
+    /// update operations.
+    pub fn retract_scalar(&mut self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<Oid> {
+        let key: FactKey = (method, receiver, args.into());
+        let idx = self.scalar_key.remove(&key)?;
+        let fact = self.scalar.swap_remove(idx);
+        remove_index(&mut self.scalar_by_method, &fact.method, idx);
+        remove_index(&mut self.scalar_by_method_result, &(fact.method, fact.result), idx);
+        remove_index(&mut self.scalar_by_receiver, &fact.receiver, idx);
+        // `swap_remove` moved the previously-last fact (if any) into `idx`;
+        // re-point every index entry that referred to its old position.
+        let old = self.scalar.len();
+        if idx < old {
+            let moved = self.scalar[idx].clone();
+            let moved_key: FactKey = (moved.method, moved.receiver, moved.args.clone());
+            self.scalar_key.insert(moved_key, idx);
+            replace_index(&mut self.scalar_by_method, &moved.method, old, idx);
+            replace_index(&mut self.scalar_by_method_result, &(moved.method, moved.result), old, idx);
+            replace_index(&mut self.scalar_by_receiver, &moved.receiver, old, idx);
+        }
+        Some(fact.result)
+    }
+
+    // -- set-valued --------------------------------------------------------
+
+    /// Assert `member ∈ I_->>(method)(receiver, args)`.
+    pub fn assert_set_member(&mut self, method: Oid, receiver: Oid, args: &[Oid], member: Oid) -> Assert {
+        let key: FactKey = (method, receiver, args.into());
+        let idx = match self.set_key.get(&key) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.set.len();
+                self.set.push(SetFact { method, receiver, args: key.2.clone(), members: BTreeSet::new() });
+                self.set_key.insert(key, idx);
+                self.set_by_method.entry(method).or_default().push(idx);
+                self.set_by_receiver.entry(receiver).or_default().push(idx);
+                idx
+            }
+        };
+        if self.set[idx].members.insert(member) {
+            self.set_by_method_member.entry((method, member)).or_default().push(idx);
+            self.set_member_count += 1;
+            Assert::New
+        } else {
+            Assert::Unchanged
+        }
+    }
+
+    /// Declare an (initially empty) set-valued application, so that
+    /// `set_result` reports it as defined.  Used when loading data where a
+    /// set attribute exists but has no members.
+    pub fn declare_set(&mut self, method: Oid, receiver: Oid, args: &[Oid]) {
+        let key: FactKey = (method, receiver, args.into());
+        if self.set_key.contains_key(&key) {
+            return;
+        }
+        let idx = self.set.len();
+        self.set.push(SetFact { method, receiver, args: key.2.clone(), members: BTreeSet::new() });
+        self.set_key.insert(key, idx);
+        self.set_by_method.entry(method).or_default().push(idx);
+        self.set_by_receiver.entry(receiver).or_default().push(idx);
+    }
+
+    /// Look up the member set of a set-valued application, if defined.
+    pub fn set_result(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<&BTreeSet<Oid>> {
+        let key: FactKey = (method, receiver, args.into());
+        self.set_key.get(&key).map(|&i| &self.set[i].members)
+    }
+
+    /// All set facts for a method.
+    pub fn set_facts_of_method(&self, method: Oid) -> impl Iterator<Item = &SetFact> + '_ {
+        self.set_by_method.get(&method).into_iter().flatten().map(move |&i| &self.set[i])
+    }
+
+    /// All set facts (for a method) that contain `member`.
+    pub fn set_facts_containing(&self, method: Oid, member: Oid) -> impl Iterator<Item = &SetFact> + '_ {
+        self.set_by_method_member
+            .get(&(method, member))
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.set[i])
+    }
+
+    /// All set facts whose receiver is `receiver`.
+    pub fn set_facts_of_receiver(&self, receiver: Oid) -> impl Iterator<Item = &SetFact> + '_ {
+        self.set_by_receiver.get(&receiver).into_iter().flatten().map(move |&i| &self.set[i])
+    }
+
+    /// Every set fact.
+    pub fn set_facts(&self) -> impl Iterator<Item = &SetFact> + '_ {
+        self.set.iter()
+    }
+
+    /// Number of set-valued applications (not members).
+    pub fn num_set_applications(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Total number of set members across all applications.
+    pub fn num_set_members(&self) -> usize {
+        self.set_member_count
+    }
+
+    /// Retract `member` from `I_->>(method)(receiver, args)`.  Returns `true`
+    /// if the member was present.  The application itself stays defined
+    /// (possibly empty), mirroring [`Facts::declare_set`].
+    pub fn retract_set_member(&mut self, method: Oid, receiver: Oid, args: &[Oid], member: Oid) -> bool {
+        let key: FactKey = (method, receiver, args.into());
+        let Some(&idx) = self.set_key.get(&key) else {
+            return false;
+        };
+        if !self.set[idx].members.remove(&member) {
+            return false;
+        }
+        self.set_member_count -= 1;
+        remove_index(&mut self.set_by_method_member, &(method, member), idx);
+        true
+    }
+}
+
+/// Remove one occurrence of `idx` from the posting list under `key`.
+fn remove_index<K: std::hash::Hash + Eq>(index: &mut HashMap<K, Vec<usize>>, key: &K, idx: usize) {
+    if let Some(list) = index.get_mut(key) {
+        if let Some(pos) = list.iter().position(|&i| i == idx) {
+            list.swap_remove(pos);
+        }
+        if list.is_empty() {
+            index.remove(key);
+        }
+    }
+}
+
+/// Re-point one occurrence of `old` to `new` in the posting list under `key`.
+fn replace_index<K: std::hash::Hash + Eq>(index: &mut HashMap<K, Vec<usize>>, key: &K, old: usize, new: usize) {
+    if let Some(list) = index.get_mut(key) {
+        if let Some(pos) = list.iter().position(|&i| i == old) {
+            list[pos] = new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u32) -> Oid {
+        Oid(i)
+    }
+
+    #[test]
+    fn scalar_assert_and_lookup() {
+        let mut f = Facts::new();
+        assert!(f.assert_scalar(o(1), o(10), &[], o(20)).unwrap().is_new());
+        assert!(!f.assert_scalar(o(1), o(10), &[], o(20)).unwrap().is_new());
+        assert_eq!(f.scalar_result(o(1), o(10), &[]), Some(o(20)));
+        assert_eq!(f.scalar_result(o(1), o(11), &[]), None);
+        assert_eq!(f.num_scalar(), 1);
+    }
+
+    #[test]
+    fn scalar_conflict_is_an_error() {
+        let mut f = Facts::new();
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        assert!(f.assert_scalar(o(1), o(10), &[], o(21)).is_err());
+    }
+
+    #[test]
+    fn scalar_args_distinguish_applications() {
+        let mut f = Facts::new();
+        // john.salary@(1993) and john.salary@(1994) are different applications.
+        f.assert_scalar(o(1), o(10), &[o(1993)], o(50)).unwrap();
+        f.assert_scalar(o(1), o(10), &[o(1994)], o(60)).unwrap();
+        assert_eq!(f.scalar_result(o(1), o(10), &[o(1993)]), Some(o(50)));
+        assert_eq!(f.scalar_result(o(1), o(10), &[o(1994)]), Some(o(60)));
+        assert_eq!(f.scalar_result(o(1), o(10), &[]), None);
+    }
+
+    #[test]
+    fn set_assert_and_lookup() {
+        let mut f = Facts::new();
+        assert!(f.assert_set_member(o(2), o(10), &[], o(30)).is_new());
+        assert!(f.assert_set_member(o(2), o(10), &[], o(31)).is_new());
+        assert!(!f.assert_set_member(o(2), o(10), &[], o(30)).is_new());
+        let members = f.set_result(o(2), o(10), &[]).unwrap();
+        assert_eq!(members.len(), 2);
+        assert!(members.contains(&o(30)));
+        assert_eq!(f.num_set_applications(), 1);
+        assert_eq!(f.num_set_members(), 2);
+    }
+
+    #[test]
+    fn declared_empty_set_is_defined() {
+        let mut f = Facts::new();
+        assert_eq!(f.set_result(o(2), o(10), &[]), None);
+        f.declare_set(o(2), o(10), &[]);
+        assert_eq!(f.set_result(o(2), o(10), &[]).map(|s| s.len()), Some(0));
+        // declaring again is a no-op
+        f.declare_set(o(2), o(10), &[]);
+        assert_eq!(f.num_set_applications(), 1);
+    }
+
+    #[test]
+    fn method_indexes() {
+        let mut f = Facts::new();
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_scalar(o(1), o(11), &[], o(20)).unwrap();
+        f.assert_scalar(o(1), o(12), &[], o(21)).unwrap();
+        f.assert_scalar(o(9), o(10), &[], o(20)).unwrap();
+        assert_eq!(f.scalar_facts_of_method(o(1)).count(), 3);
+        assert_eq!(f.scalar_facts_with_result(o(1), o(20)).count(), 2);
+        assert_eq!(f.scalar_facts_of_receiver(o(10)).count(), 2);
+        assert_eq!(f.scalar_facts().count(), 4);
+
+        f.assert_set_member(o(2), o(10), &[], o(30));
+        f.assert_set_member(o(2), o(11), &[], o(30));
+        f.assert_set_member(o(2), o(11), &[], o(31));
+        assert_eq!(f.set_facts_of_method(o(2)).count(), 2);
+        assert_eq!(f.set_facts_containing(o(2), o(30)).count(), 2);
+        assert_eq!(f.set_facts_containing(o(2), o(31)).count(), 1);
+        assert_eq!(f.set_facts_of_receiver(o(11)).count(), 1);
+        assert_eq!(f.set_facts().count(), 2);
+    }
+
+    #[test]
+    fn retract_scalar_removes_the_fact_and_reports_its_result() {
+        let mut f = Facts::new();
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_scalar(o(1), o(11), &[], o(21)).unwrap();
+        assert_eq!(f.retract_scalar(o(1), o(10), &[]), Some(o(20)));
+        assert_eq!(f.retract_scalar(o(1), o(10), &[]), None, "already gone");
+        assert_eq!(f.scalar_result(o(1), o(10), &[]), None);
+        assert_eq!(f.scalar_result(o(1), o(11), &[]), Some(o(21)));
+        assert_eq!(f.num_scalar(), 1);
+        // The fact can now be re-asserted with a different result.
+        f.assert_scalar(o(1), o(10), &[], o(99)).unwrap();
+        assert_eq!(f.scalar_result(o(1), o(10), &[]), Some(o(99)));
+    }
+
+    #[test]
+    fn retract_scalar_keeps_every_index_consistent_after_the_swap() {
+        let mut f = Facts::new();
+        // Three facts; retracting the first forces the last to move into its slot.
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_scalar(o(1), o(11), &[], o(20)).unwrap();
+        f.assert_scalar(o(3), o(12), &[o(7)], o(22)).unwrap();
+        assert_eq!(f.retract_scalar(o(1), o(10), &[]), Some(o(20)));
+        // the moved fact is still reachable through every index
+        assert_eq!(f.scalar_result(o(3), o(12), &[o(7)]), Some(o(22)));
+        assert_eq!(f.scalar_facts_of_method(o(3)).count(), 1);
+        assert_eq!(f.scalar_facts_with_result(o(3), o(22)).count(), 1);
+        assert_eq!(f.scalar_facts_of_receiver(o(12)).count(), 1);
+        assert_eq!(f.scalar_facts_of_method(o(1)).count(), 1);
+        assert_eq!(f.scalar_facts_with_result(o(1), o(20)).count(), 1);
+        assert_eq!(f.scalar_facts_of_receiver(o(10)).count(), 0);
+        assert_eq!(f.scalar_facts().count(), 2);
+    }
+
+    #[test]
+    fn retract_set_member_removes_only_that_member() {
+        let mut f = Facts::new();
+        f.assert_set_member(o(2), o(10), &[], o(30));
+        f.assert_set_member(o(2), o(10), &[], o(31));
+        assert!(f.retract_set_member(o(2), o(10), &[], o(30)));
+        assert!(!f.retract_set_member(o(2), o(10), &[], o(30)), "already gone");
+        assert!(!f.retract_set_member(o(2), o(99), &[], o(30)), "undefined application");
+        assert_eq!(f.set_result(o(2), o(10), &[]).unwrap().len(), 1);
+        assert_eq!(f.num_set_members(), 1);
+        assert_eq!(f.set_facts_containing(o(2), o(30)).count(), 0);
+        assert_eq!(f.set_facts_containing(o(2), o(31)).count(), 1);
+        // The application stays defined even when it becomes empty.
+        assert!(f.retract_set_member(o(2), o(10), &[], o(31)));
+        assert_eq!(f.set_result(o(2), o(10), &[]).map(|s| s.len()), Some(0));
+    }
+}

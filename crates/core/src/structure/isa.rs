@@ -1,0 +1,193 @@
+//! The class hierarchy: a binary relation `isa ⊆ U × U` relating objects to
+//! classes (Section 3 of the paper).
+//!
+//! Because PathLog does not distinguish between objects, classes and methods,
+//! class membership reduces to a single binary relation on objects, ordered
+//! transitively: if `p1 isa employee` and `employee isa person` then
+//! `p1 isa person`.
+//!
+//! The paper models the relation as a partial order (hence reflexive).  This
+//! implementation keeps the *transitive closure of the asserted edges* and
+//! deliberately omits reflexivity: including every class in its own extent
+//! would make `X : employee` also bind `X` to the class object `employee`,
+//! which is never what the paper's example answers contain.  The deviation is
+//! documented in `DESIGN.md`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use super::Oid;
+
+/// Incrementally maintained transitive closure of the is-a relation.
+#[derive(Debug, Default, Clone)]
+pub struct Isa {
+    /// Direct edges `sub -> sup`, as asserted.
+    direct_up: HashMap<Oid, BTreeSet<Oid>>,
+    /// Direct edges `sup -> sub`.
+    direct_down: HashMap<Oid, BTreeSet<Oid>>,
+    /// Transitive closure: all (strict) ancestors of an object.
+    up: HashMap<Oid, BTreeSet<Oid>>,
+    /// Transitive closure: all (strict) descendants of an object.
+    down: HashMap<Oid, BTreeSet<Oid>>,
+    /// Number of pairs in the transitive closure.
+    pairs: usize,
+}
+
+impl Isa {
+    /// An empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assert `sub isa sup`.  Returns `true` if the transitive closure grew.
+    pub fn add(&mut self, sub: Oid, sup: Oid) -> bool {
+        self.direct_up.entry(sub).or_default().insert(sup);
+        self.direct_down.entry(sup).or_default().insert(sub);
+
+        if self.up.get(&sub).is_some_and(|s| s.contains(&sup)) {
+            return false;
+        }
+
+        // New closure pairs: every descendant of `sub` (plus `sub`) is now
+        // below every ancestor of `sup` (plus `sup`).
+        let mut lows: BTreeSet<Oid> = self.down.get(&sub).cloned().unwrap_or_default();
+        lows.insert(sub);
+        let mut highs: BTreeSet<Oid> = self.up.get(&sup).cloned().unwrap_or_default();
+        highs.insert(sup);
+
+        let mut grew = false;
+        for &lo in &lows {
+            for &hi in &highs {
+                if lo == hi {
+                    continue;
+                }
+                if self.up.entry(lo).or_default().insert(hi) {
+                    self.down.entry(hi).or_default().insert(lo);
+                    self.pairs += 1;
+                    grew = true;
+                }
+            }
+        }
+        grew
+    }
+
+    /// Is `obj` a member of `class` (transitively)?
+    pub fn in_class(&self, obj: Oid, class: Oid) -> bool {
+        self.up.get(&obj).is_some_and(|s| s.contains(&class))
+    }
+
+    /// All (transitive) classes of `obj`.
+    pub fn classes_of(&self, obj: Oid) -> impl Iterator<Item = Oid> + '_ {
+        self.up.get(&obj).into_iter().flatten().copied()
+    }
+
+    /// All (transitive) members of `class`.
+    pub fn instances_of(&self, class: Oid) -> impl Iterator<Item = Oid> + '_ {
+        self.down.get(&class).into_iter().flatten().copied()
+    }
+
+    /// Number of members of `class`.
+    pub fn extent_size(&self, class: Oid) -> usize {
+        self.down.get(&class).map_or(0, BTreeSet::len)
+    }
+
+    /// Directly asserted edges, for persistence and debugging.
+    pub fn direct_edges(&self) -> impl Iterator<Item = (Oid, Oid)> + '_ {
+        self.direct_up.iter().flat_map(|(&sub, sups)| sups.iter().map(move |&sup| (sub, sup)))
+    }
+
+    /// Number of pairs in the transitive closure.
+    pub fn closure_size(&self) -> usize {
+        self.pairs
+    }
+
+    /// Number of directly asserted edges.
+    pub fn direct_size(&self) -> usize {
+        self.direct_up.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u32) -> Oid {
+        Oid(i)
+    }
+
+    #[test]
+    fn direct_membership() {
+        let mut isa = Isa::new();
+        assert!(isa.add(o(1), o(10)));
+        assert!(isa.in_class(o(1), o(10)));
+        assert!(!isa.in_class(o(10), o(1)));
+        assert!(!isa.in_class(o(1), o(1)), "membership is not reflexive");
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut isa = Isa::new();
+        // automobile isa vehicle, a1 isa automobile => a1 isa vehicle
+        isa.add(o(20), o(21));
+        isa.add(o(1), o(20));
+        assert!(isa.in_class(o(1), o(21)));
+        assert!(isa.in_class(o(1), o(20)));
+        assert!(isa.in_class(o(20), o(21)));
+    }
+
+    #[test]
+    fn transitivity_when_edges_added_in_any_order() {
+        let mut isa = Isa::new();
+        isa.add(o(1), o(20)); // a1 isa automobile
+        isa.add(o(20), o(21)); // automobile isa vehicle (added later)
+        assert!(isa.in_class(o(1), o(21)));
+        // deeper chain: vehicle isa thing
+        isa.add(o(21), o(22));
+        assert!(isa.in_class(o(1), o(22)));
+        assert!(isa.in_class(o(20), o(22)));
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_grow() {
+        let mut isa = Isa::new();
+        assert!(isa.add(o(1), o(2)));
+        assert!(!isa.add(o(1), o(2)));
+        assert_eq!(isa.closure_size(), 1);
+        assert_eq!(isa.direct_size(), 1);
+    }
+
+    #[test]
+    fn implied_edge_does_not_grow_closure() {
+        let mut isa = Isa::new();
+        isa.add(o(1), o(2));
+        isa.add(o(2), o(3));
+        assert!(!isa.add(o(1), o(3)), "already implied transitively");
+    }
+
+    #[test]
+    fn extents_and_classes() {
+        let mut isa = Isa::new();
+        isa.add(o(1), o(10));
+        isa.add(o(2), o(10));
+        isa.add(o(10), o(11));
+        let mut ext: Vec<_> = isa.instances_of(o(11)).collect();
+        ext.sort();
+        assert_eq!(ext, vec![o(1), o(2), o(10)]);
+        assert_eq!(isa.extent_size(o(10)), 2);
+        let cls: Vec<_> = isa.classes_of(o(1)).collect();
+        assert_eq!(cls.len(), 2);
+        assert_eq!(isa.direct_edges().count(), 3);
+    }
+
+    #[test]
+    fn diamond_hierarchy() {
+        let mut isa = Isa::new();
+        // d isa b, d isa c, b isa a, c isa a
+        isa.add(o(4), o(2));
+        isa.add(o(4), o(3));
+        isa.add(o(2), o(1));
+        isa.add(o(3), o(1));
+        assert!(isa.in_class(o(4), o(1)));
+        assert_eq!(isa.classes_of(o(4)).count(), 3);
+        assert_eq!(isa.extent_size(o(1)), 3);
+    }
+}

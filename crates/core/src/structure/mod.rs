@@ -1,0 +1,492 @@
+//! Semantic structures (Section 3 of the paper).
+//!
+//! A semantic structure is a tuple `I = (U, isa, I_N, I_->, I_->>)`:
+//!
+//! * `U` — the universe of objects.  Objects also serve as classes and as
+//!   methods; values (integers, strings) are objects too.
+//! * `isa` — a binary relation on `U` relating objects to their classes (see
+//!   [`isa::Isa`]).
+//! * `I_N : N -> U` — the interpretation of names: which object a name
+//!   denotes.
+//! * `I_->` — the interpretation of scalar methods: partial functions
+//!   `U^k -> U` attached to method objects.
+//! * `I_->>` — the interpretation of set-valued methods: functions
+//!   `U^k -> 2^U` attached to method objects.
+//!
+//! [`Structure`] is the mutable, indexed realisation of this tuple used by
+//! both the extensional database (facts loaded from an
+//! [`ObjectStore`](https://docs.rs/pathlog-oodb)) and the intensional part
+//! (facts derived by rules, including virtual objects).
+
+mod facts;
+mod isa;
+mod sigs;
+
+pub use facts::{Assert, Facts, ScalarFact, SetFact};
+pub use isa::Isa;
+pub use sigs::{Signature, Signatures};
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::builtins;
+use crate::names::Name;
+
+/// An object identifier — a dense index into the universe.
+///
+/// OIDs are a storage-level concept: users address objects through names
+/// (`I_N`) or by navigating methods, never through OIDs directly.  The inner
+/// index is exposed for the benefit of substrates (object store, baselines,
+/// workload generators) that need dense arrays over the universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub u32);
+
+impl Oid {
+    /// The dense index of this object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Per-object bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// The name denoting this object, if any (virtual objects have none).
+    pub name: Option<Name>,
+    /// `true` if the object was created by rule evaluation (a *virtual*
+    /// object in the sense of Section 2 / \[AB91\]).
+    pub is_virtual: bool,
+}
+
+/// Summary statistics of a structure, used by benchmarks and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StructureStats {
+    /// Number of objects in the universe.
+    pub objects: usize,
+    /// Number of named objects.
+    pub named: usize,
+    /// Number of virtual objects.
+    pub virtuals: usize,
+    /// Number of scalar method facts.
+    pub scalar_facts: usize,
+    /// Number of set-valued method applications.
+    pub set_applications: usize,
+    /// Total number of set members.
+    pub set_members: usize,
+    /// Number of directly asserted is-a edges.
+    pub isa_edges: usize,
+}
+
+/// A mutable semantic structure with indexes.
+#[derive(Debug, Clone)]
+pub struct Structure {
+    objects: Vec<ObjectInfo>,
+    names: HashMap<Name, Oid>,
+    isa: Isa,
+    facts: Facts,
+    sigs: Signatures,
+    self_method: Oid,
+    comparison_methods: HashMap<Oid, &'static str>,
+}
+
+impl Default for Structure {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Structure {
+    /// An empty structure with the built-in methods pre-registered.
+    pub fn new() -> Self {
+        let mut s = Structure {
+            objects: Vec::new(),
+            names: HashMap::new(),
+            isa: Isa::new(),
+            facts: Facts::new(),
+            sigs: Signatures::new(),
+            self_method: Oid(0),
+            comparison_methods: HashMap::new(),
+        };
+        s.self_method = s.ensure_name(&Name::atom(builtins::SELF_METHOD));
+        for &b in builtins::ALL_BUILTINS {
+            let oid = s.ensure_name(&Name::atom(b));
+            if builtins::is_comparison(b) {
+                s.comparison_methods.insert(oid, b);
+            }
+        }
+        s
+    }
+
+    // -- universe and names -------------------------------------------------
+
+    /// The object denoted by `name`, creating it if necessary (`I_N` is a
+    /// total function in the paper; the engine registers every name it sees).
+    pub fn ensure_name(&mut self, name: &Name) -> Oid {
+        if let Some(&oid) = self.names.get(name) {
+            return oid;
+        }
+        let oid = Oid(self.objects.len() as u32);
+        self.objects.push(ObjectInfo { name: Some(name.clone()), is_virtual: false });
+        self.names.insert(name.clone(), oid);
+        oid
+    }
+
+    /// Convenience: `ensure_name` for an atom.
+    pub fn atom(&mut self, name: &str) -> Oid {
+        self.ensure_name(&Name::atom(name))
+    }
+
+    /// Convenience: `ensure_name` for an integer.
+    pub fn int(&mut self, i: i64) -> Oid {
+        self.ensure_name(&Name::Int(i))
+    }
+
+    /// Convenience: `ensure_name` for a string value.
+    pub fn string(&mut self, s: &str) -> Oid {
+        self.ensure_name(&Name::string(s))
+    }
+
+    /// The object denoted by `name`, if registered.
+    pub fn lookup_name(&self, name: &Name) -> Option<Oid> {
+        self.names.get(name).copied()
+    }
+
+    /// The name denoting `oid`, if it has one.
+    pub fn name_of(&self, oid: Oid) -> Option<&Name> {
+        self.objects.get(oid.index()).and_then(|o| o.name.as_ref())
+    }
+
+    /// A printable identification of `oid`: its name, or `_#<oid>` for
+    /// anonymous (virtual) objects.
+    pub fn display_name(&self, oid: Oid) -> String {
+        match self.name_of(oid) {
+            Some(n) => n.to_string(),
+            None => format!("_{oid}"),
+        }
+    }
+
+    /// Allocate a fresh, unnamed (virtual) object.
+    pub fn new_virtual(&mut self) -> Oid {
+        let oid = Oid(self.objects.len() as u32);
+        self.objects.push(ObjectInfo { name: None, is_virtual: true });
+        oid
+    }
+
+    /// `true` if `oid` was created as a virtual object.
+    pub fn is_virtual(&self, oid: Oid) -> bool {
+        self.objects.get(oid.index()).is_some_and(|o| o.is_virtual)
+    }
+
+    /// Does the universe contain `oid`?
+    pub fn contains(&self, oid: Oid) -> bool {
+        oid.index() < self.objects.len()
+    }
+
+    /// Number of objects in the universe.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Iterate over all objects.
+    pub fn objects(&self) -> impl Iterator<Item = Oid> + '_ {
+        (0..self.objects.len() as u32).map(Oid)
+    }
+
+    /// Iterate over all registered names and the objects they denote.
+    pub fn names(&self) -> impl Iterator<Item = (&Name, Oid)> + '_ {
+        self.names.iter().map(|(n, &o)| (n, o))
+    }
+
+    /// The object of the built-in `self` method.
+    pub fn self_method(&self) -> Oid {
+        self.self_method
+    }
+
+    // -- class hierarchy ----------------------------------------------------
+
+    /// Assert `obj isa class`.  Returns `true` if new information was added.
+    pub fn add_isa(&mut self, obj: Oid, class: Oid) -> bool {
+        self.isa.add(obj, class)
+    }
+
+    /// Is `obj` a (transitive) member of `class`?
+    pub fn in_class(&self, obj: Oid, class: Oid) -> bool {
+        self.isa.in_class(obj, class)
+    }
+
+    /// All (transitive) members of `class`.
+    pub fn instances_of(&self, class: Oid) -> impl Iterator<Item = Oid> + '_ {
+        self.isa.instances_of(class)
+    }
+
+    /// All (transitive) classes of `obj`.
+    pub fn classes_of(&self, obj: Oid) -> impl Iterator<Item = Oid> + '_ {
+        self.isa.classes_of(obj)
+    }
+
+    /// Size of the extent of `class`.
+    pub fn extent_size(&self, class: Oid) -> usize {
+        self.isa.extent_size(class)
+    }
+
+    /// The underlying class hierarchy.
+    pub fn isa(&self) -> &Isa {
+        &self.isa
+    }
+
+    // -- facts ----------------------------------------------------------------
+
+    /// Assert a scalar fact `I_->(method)(receiver, args) = result`.
+    pub fn assert_scalar(&mut self, method: Oid, receiver: Oid, args: &[Oid], result: Oid) -> crate::error::Result<Assert> {
+        self.facts.assert_scalar(method, receiver, args, result)
+    }
+
+    /// Assert membership `member ∈ I_->>(method)(receiver, args)`.
+    pub fn assert_set_member(&mut self, method: Oid, receiver: Oid, args: &[Oid], member: Oid) -> Assert {
+        self.facts.assert_set_member(method, receiver, args, member)
+    }
+
+    /// Declare a (possibly empty) set-valued application.
+    pub fn declare_set(&mut self, method: Oid, receiver: Oid, args: &[Oid]) {
+        self.facts.declare_set(method, receiver, args)
+    }
+
+    /// Apply a scalar method, taking built-ins into account:
+    ///
+    /// * `self` yields the receiver;
+    /// * comparison built-ins (extension) yield the receiver when the
+    ///   comparison between the receiver's and the argument's names holds;
+    /// * otherwise the stored scalar facts are consulted.
+    pub fn apply_scalar(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<Oid> {
+        if method == self.self_method && args.is_empty() {
+            return Some(receiver);
+        }
+        if let Some(&cmp) = self.comparison_methods.get(&method) {
+            if args.len() == 1 {
+                let lhs = self.name_of(receiver)?;
+                let rhs = self.name_of(args[0])?;
+                return match builtins::compare(cmp, lhs, rhs) {
+                    Some(true) => Some(receiver),
+                    _ => None,
+                };
+            }
+            return None;
+        }
+        self.facts.scalar_result(method, receiver, args)
+    }
+
+    /// Apply a set-valued method (no built-ins are set-valued).
+    pub fn apply_set(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<&BTreeSet<Oid>> {
+        self.facts.set_result(method, receiver, args)
+    }
+
+    /// Retract a stored scalar fact; returns the result it had.  Built-in
+    /// methods (`self`, comparisons) cannot be retracted.
+    ///
+    /// Retraction is an extension beyond the paper used by the production /
+    /// active-rule layer; the deductive engine itself only adds facts.
+    pub fn retract_scalar(&mut self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<Oid> {
+        if method == self.self_method || self.comparison_methods.contains_key(&method) {
+            return None;
+        }
+        self.facts.retract_scalar(method, receiver, args)
+    }
+
+    /// Retract one member from a stored set-valued fact; returns `true` if it
+    /// was present.
+    pub fn retract_set_member(&mut self, method: Oid, receiver: Oid, args: &[Oid], member: Oid) -> bool {
+        self.facts.retract_set_member(method, receiver, args, member)
+    }
+
+    /// Read access to the fact tables (for baselines and reporting).
+    pub fn facts(&self) -> &Facts {
+        &self.facts
+    }
+
+    // -- signatures -----------------------------------------------------------
+
+    /// Add a signature declaration.
+    pub fn add_signature(&mut self, sig: Signature) -> bool {
+        self.sigs.add(sig)
+    }
+
+    /// Read access to the signature declarations.
+    pub fn signatures(&self) -> &Signatures {
+        &self.sigs
+    }
+
+    // -- statistics -----------------------------------------------------------
+
+    /// Summary statistics.
+    pub fn stats(&self) -> StructureStats {
+        StructureStats {
+            objects: self.objects.len(),
+            named: self.objects.iter().filter(|o| o.name.is_some()).count(),
+            virtuals: self.objects.iter().filter(|o| o.is_virtual).count(),
+            scalar_facts: self.facts.num_scalar(),
+            set_applications: self.facts.num_set_applications(),
+            set_members: self.facts.num_set_members(),
+            isa_edges: self.isa.direct_size(),
+        }
+    }
+}
+
+impl fmt::Display for StructureStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} objects ({} named, {} virtual), {} scalar facts, {} set applications ({} members), {} isa edges",
+            self.objects, self.named, self.virtuals, self.scalar_facts, self.set_applications, self.set_members, self.isa_edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_interned_once() {
+        let mut s = Structure::new();
+        let a = s.atom("mary");
+        let b = s.ensure_name(&Name::atom("mary"));
+        assert_eq!(a, b);
+        assert_eq!(s.lookup_name(&Name::atom("mary")), Some(a));
+        assert_eq!(s.name_of(a), Some(&Name::atom("mary")));
+        assert_eq!(s.display_name(a), "mary");
+    }
+
+    #[test]
+    fn integers_and_strings_are_objects() {
+        let mut s = Structure::new();
+        let i = s.int(30);
+        let t = s.string("red");
+        assert_ne!(i, t);
+        assert_eq!(s.lookup_name(&Name::int(30)), Some(i));
+        assert_eq!(s.lookup_name(&Name::string("red")), Some(t));
+        assert_eq!(s.lookup_name(&Name::atom("red")), None, "string and atom are distinct names");
+    }
+
+    #[test]
+    fn virtual_objects_are_unnamed() {
+        let mut s = Structure::new();
+        let v = s.new_virtual();
+        assert!(s.is_virtual(v));
+        assert_eq!(s.name_of(v), None);
+        assert!(s.display_name(v).starts_with('_'));
+        assert!(s.contains(v));
+        assert!(!s.contains(Oid(1_000_000)));
+    }
+
+    #[test]
+    fn self_builtin_yields_receiver() {
+        let mut s = Structure::new();
+        let mary = s.atom("mary");
+        let self_m = s.self_method();
+        assert_eq!(s.apply_scalar(self_m, mary, &[]), Some(mary));
+        assert_eq!(s.apply_scalar(self_m, mary, &[mary]), None, "self takes no arguments");
+    }
+
+    #[test]
+    fn comparison_builtins() {
+        let mut s = Structure::new();
+        let three = s.int(3);
+        let four = s.int(4);
+        let lt = s.atom("lt");
+        let ge = s.atom("ge");
+        assert_eq!(s.apply_scalar(lt, three, &[four]), Some(three));
+        assert_eq!(s.apply_scalar(lt, four, &[three]), None);
+        assert_eq!(s.apply_scalar(ge, four, &[three]), Some(four));
+        // wrong arity or non-integers: undefined
+        assert_eq!(s.apply_scalar(lt, three, &[]), None);
+        let mary = s.atom("mary");
+        assert_eq!(s.apply_scalar(lt, mary, &[four]), None);
+    }
+
+    #[test]
+    fn scalar_and_set_facts_via_structure() {
+        let mut s = Structure::new();
+        let (age, mary, thirty) = (s.atom("age"), s.atom("mary"), s.int(30));
+        let (kids, tim) = (s.atom("kids"), s.atom("tim"));
+        assert!(s.assert_scalar(age, mary, &[], thirty).unwrap().is_new());
+        assert_eq!(s.apply_scalar(age, mary, &[]), Some(thirty));
+        assert!(s.assert_set_member(kids, mary, &[], tim).is_new());
+        assert!(s.apply_set(kids, mary, &[]).unwrap().contains(&tim));
+        assert_eq!(s.apply_set(age, mary, &[]), None);
+    }
+
+    #[test]
+    fn class_hierarchy_via_structure() {
+        let mut s = Structure::new();
+        let (a1, auto, vehicle) = (s.atom("a1"), s.atom("automobile"), s.atom("vehicle"));
+        s.add_isa(auto, vehicle);
+        s.add_isa(a1, auto);
+        assert!(s.in_class(a1, vehicle));
+        assert_eq!(s.extent_size(vehicle), 2);
+        assert!(s.instances_of(vehicle).any(|o| o == a1));
+        assert!(s.classes_of(a1).any(|c| c == vehicle));
+    }
+
+    #[test]
+    fn stats_reflect_content() {
+        let mut s = Structure::new();
+        let base = s.stats();
+        let (age, mary, thirty) = (s.atom("age"), s.atom("mary"), s.int(30));
+        s.assert_scalar(age, mary, &[], thirty).unwrap();
+        let v = s.new_virtual();
+        s.add_isa(v, mary);
+        let st = s.stats();
+        assert_eq!(st.objects, base.objects + 4);
+        assert_eq!(st.virtuals, 1);
+        assert_eq!(st.scalar_facts, 1);
+        assert_eq!(st.isa_edges, 1);
+        assert!(st.to_string().contains("objects"));
+    }
+
+    #[test]
+    fn signatures_are_stored() {
+        let mut s = Structure::new();
+        let (person, age, integer) = (s.atom("person"), s.atom("age"), s.atom("integer"));
+        assert!(s.add_signature(Signature {
+            class: person,
+            method: age,
+            arg_classes: Box::new([]),
+            result_classes: vec![integer],
+            set_valued: false,
+        }));
+        assert!(s.signatures().declares_method(age));
+        assert_eq!(s.signatures().len(), 1);
+    }
+
+    #[test]
+    fn retracting_facts_makes_method_applications_undefined_again() {
+        let mut s = Structure::new();
+        let (age, kids, mary, tim, thirty) = (s.atom("age"), s.atom("kids"), s.atom("mary"), s.atom("tim"), s.int(30));
+        s.assert_scalar(age, mary, &[], thirty).unwrap();
+        s.assert_set_member(kids, mary, &[], tim);
+
+        assert_eq!(s.retract_scalar(age, mary, &[]), Some(thirty));
+        assert_eq!(s.apply_scalar(age, mary, &[]), None);
+        assert_eq!(s.retract_scalar(age, mary, &[]), None);
+
+        assert!(s.retract_set_member(kids, mary, &[], tim));
+        assert_eq!(s.apply_set(kids, mary, &[]).map(|m| m.len()), Some(0));
+        assert!(!s.retract_set_member(kids, mary, &[], tim));
+    }
+
+    #[test]
+    fn built_in_methods_cannot_be_retracted() {
+        let mut s = Structure::new();
+        let mary = s.atom("mary");
+        let self_m = s.self_method();
+        assert_eq!(s.apply_scalar(self_m, mary, &[]), Some(mary));
+        assert_eq!(s.retract_scalar(self_m, mary, &[]), None);
+        assert_eq!(s.apply_scalar(self_m, mary, &[]), Some(mary), "self still applies");
+    }
+}

@@ -1,0 +1,30 @@
+//! # pathlog-datagen
+//!
+//! Synthetic workload generators for the PathLog reproduction.  The paper
+//! evaluates its language design on example domains but publishes no data
+//! sets; these generators rebuild those domains at parameterised scale:
+//!
+//! * [`company`] — the employee / manager / vehicle / automobile / company
+//!   world behind the queries of Sections 1 and 2;
+//! * [`genealogy`] — the person / kids forest behind the transitive-closure
+//!   rules of Section 6 (including the exact six-person family of the paper);
+//! * [`bom`] — a bill-of-materials (parts explosion) hierarchy, the classic
+//!   deep-recursion workload for the same transitive-closure rules, with a
+//!   sharing knob that turns the forest into a DAG.
+//!
+//! All produce [`pathlog_oodb::ObjectStore`]s (so they can be persisted and
+//! integrity-checked) and offer shortcuts straight to
+//! [`pathlog_core::structure::Structure`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bom;
+pub mod company;
+pub mod genealogy;
+
+pub use bom::{generate as generate_bom, generate_structure as bom_structure, BomParams};
+pub use company::{generate as generate_company, generate_structure as company_structure, CompanyParams};
+pub use genealogy::{
+    generate as generate_genealogy, generate_structure as genealogy_structure, paper_family, GenealogyParams,
+};

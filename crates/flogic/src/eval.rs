@@ -1,0 +1,868 @@
+//! Bottom-up evaluation of flat programs over a [`Structure`].
+//!
+//! The evaluator is deliberately simple — it is the baseline the direct
+//! PathLog engine is compared against: rule bodies are solved left-to-right
+//! by joining one flat atom at a time against the fact tables, skolem terms
+//! in heads are materialised as unnamed objects keyed by `(functor, args)`,
+//! and the rule set is iterated to a fixpoint.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use pathlog_core::builtins;
+use pathlog_core::names::Var;
+use pathlog_core::structure::{Oid, Structure};
+
+use crate::error::{FlogicError, Result};
+use crate::flat::{FlatAtom, FlatLiteral, FlatProgram, FlatQuery, FlatTerm};
+
+/// Options for the flat evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatEvalOptions {
+    /// Maximum number of fixpoint iterations.
+    pub max_iterations: usize,
+    /// Maximum number of derived facts before giving up.
+    pub max_derived: usize,
+}
+
+impl Default for FlatEvalOptions {
+    fn default() -> Self {
+        FlatEvalOptions { max_iterations: 100_000, max_derived: 10_000_000 }
+    }
+}
+
+/// Statistics of one evaluation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlatStats {
+    /// Fixpoint iterations executed.
+    pub iterations: usize,
+    /// Rule/solution pairs whose heads were asserted.
+    pub firings: usize,
+    /// Scalar facts added.
+    pub scalar_facts: usize,
+    /// Set members added.
+    pub set_members: usize,
+    /// Class memberships added.
+    pub isa_edges: usize,
+    /// Objects created for skolem terms.
+    pub skolem_objects: usize,
+}
+
+impl FlatStats {
+    /// Total derived facts.
+    pub fn derived(&self) -> usize {
+        self.scalar_facts + self.set_members + self.isa_edges
+    }
+}
+
+/// A variable valuation over flat terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FlatBindings {
+    map: BTreeMap<Var, Oid>,
+}
+
+impl FlatBindings {
+    /// The empty valuation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The object bound to `var`, if any.
+    pub fn get(&self, var: &Var) -> Option<Oid> {
+        self.map.get(var).copied()
+    }
+
+    /// Extend with `var = oid`; `None` if `var` is already bound to a
+    /// different object.
+    pub fn bind(&self, var: &Var, oid: Oid) -> Option<FlatBindings> {
+        match self.map.get(var) {
+            Some(&existing) if existing != oid => None,
+            Some(_) => Some(self.clone()),
+            None => {
+                let mut next = self.clone();
+                next.map.insert(var.clone(), oid);
+                Some(next)
+            }
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over the bound pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, Oid)> + '_ {
+        self.map.iter().map(|(v, &o)| (v, o))
+    }
+
+    /// Keep only the given variables (used to project query answers).
+    pub fn project(&self, vars: &[Var]) -> FlatBindings {
+        FlatBindings {
+            map: self.map.iter().filter(|(v, _)| vars.contains(v)).map(|(v, &o)| (v.clone(), o)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for FlatBindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, o)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} = {o}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Key identifying a skolem object: functor plus resolved argument objects.
+type SkolemKey = (String, Vec<Oid>);
+
+/// The flat-program evaluator.
+#[derive(Debug, Default, Clone)]
+pub struct FlatEngine {
+    options: FlatEvalOptions,
+}
+
+impl FlatEngine {
+    /// An engine with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with the given options.
+    pub fn with_options(options: FlatEvalOptions) -> Self {
+        FlatEngine { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &FlatEvalOptions {
+        &self.options
+    }
+
+    /// Run all rules of `program` to a fixpoint, mutating `structure`.
+    pub fn run(&self, structure: &mut Structure, program: &FlatProgram) -> Result<FlatStats> {
+        let mut stats = FlatStats::default();
+        let mut skolems: HashMap<SkolemKey, Oid> = HashMap::new();
+        loop {
+            stats.iterations += 1;
+            if stats.iterations > self.options.max_iterations {
+                return Err(FlogicError::LimitExceeded(format!(
+                    "no fixpoint after {} iterations",
+                    self.options.max_iterations
+                )));
+            }
+            let mut changed = false;
+            for rule in &program.rules {
+                let solutions = solve(structure, &rule.body, &FlatBindings::new())?;
+                for solution in solutions {
+                    let mut fired = false;
+                    for atom in &rule.head {
+                        if assert_atom(structure, atom, &solution, &mut skolems, &mut stats)? {
+                            fired = true;
+                        }
+                    }
+                    if fired {
+                        stats.firings += 1;
+                        changed = true;
+                    }
+                    if stats.derived() > self.options.max_derived {
+                        return Err(FlogicError::LimitExceeded(format!(
+                            "more than {} facts derived",
+                            self.options.max_derived
+                        )));
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Answer a flat query against (the current state of) `structure`.
+    /// Answers are projected to the query's answer variables and
+    /// de-duplicated.
+    pub fn query(&self, structure: &Structure, query: &FlatQuery) -> Result<Vec<FlatBindings>> {
+        let solutions = solve(structure, &query.body, &FlatBindings::new())?;
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for solution in solutions {
+            let projected = solution.project(&query.answer_variables);
+            if seen.insert(projected.clone()) {
+                out.push(projected);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Solve a conjunction of flat literals, extending `seed` left to right.
+pub fn solve(structure: &Structure, body: &[FlatLiteral], seed: &FlatBindings) -> Result<Vec<FlatBindings>> {
+    let mut frontier = vec![seed.clone()];
+    for literal in body {
+        if frontier.is_empty() {
+            return Ok(frontier);
+        }
+        let mut next = Vec::new();
+        match literal {
+            FlatLiteral::Pos(atom) => {
+                for bindings in &frontier {
+                    next.extend(match_atom(structure, atom, bindings)?);
+                }
+            }
+            FlatLiteral::NegGroup(atoms) => {
+                let positives: Vec<FlatLiteral> = atoms.iter().cloned().map(FlatLiteral::Pos).collect();
+                for bindings in &frontier {
+                    if solve(structure, &positives, bindings)?.is_empty() {
+                        next.push(bindings.clone());
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(frontier)
+}
+
+/// How a flat term relates to the structure under a valuation.
+enum Resolution {
+    /// Denotes this object.
+    Known(Oid),
+    /// Contains an unbound variable.
+    Unknown,
+    /// A name or skolem term that denotes nothing in the structure.
+    NoMatch,
+}
+
+fn resolve(structure: &Structure, term: &FlatTerm, bindings: &FlatBindings) -> Resolution {
+    match term {
+        FlatTerm::Name(n) => match structure.lookup_name(n) {
+            Some(o) => Resolution::Known(o),
+            None => Resolution::NoMatch,
+        },
+        FlatTerm::Var(v) => match bindings.get(v) {
+            Some(o) => Resolution::Known(o),
+            None => Resolution::Unknown,
+        },
+        // Skolem terms only occur in rule heads; in body matching they denote
+        // nothing (the translated program re-derives their facts instead).
+        FlatTerm::Skolem(_) => Resolution::NoMatch,
+    }
+}
+
+/// Unify a flat term with a concrete object.
+fn unify(
+    structure: &Structure,
+    term: &FlatTerm,
+    oid: Oid,
+    bindings: &FlatBindings,
+) -> Option<FlatBindings> {
+    match term {
+        FlatTerm::Name(n) => (structure.lookup_name(n) == Some(oid)).then(|| bindings.clone()),
+        FlatTerm::Var(v) => bindings.bind(v, oid),
+        FlatTerm::Skolem(_) => None,
+    }
+}
+
+fn unify_all(
+    structure: &Structure,
+    terms: &[FlatTerm],
+    oids: &[Oid],
+    bindings: &FlatBindings,
+) -> Option<FlatBindings> {
+    if terms.len() != oids.len() {
+        return None;
+    }
+    let mut current = bindings.clone();
+    for (t, &o) in terms.iter().zip(oids.iter()) {
+        current = unify(structure, t, o, &current)?;
+    }
+    Some(current)
+}
+
+/// All extensions of `bindings` under which `atom` holds in `structure`.
+pub fn match_atom(structure: &Structure, atom: &FlatAtom, bindings: &FlatBindings) -> Result<Vec<FlatBindings>> {
+    match atom {
+        FlatAtom::Scalar { receiver, method, args, result } => {
+            if let FlatTerm::Name(n) = method {
+                if let Some(atom_name) = n.as_atom() {
+                    if atom_name == builtins::SELF_METHOD {
+                        return Ok(match_self(structure, receiver, result, bindings));
+                    }
+                    if builtins::is_comparison(atom_name) {
+                        return Ok(match_comparison(structure, atom_name, receiver, result, bindings));
+                    }
+                }
+            }
+            match_scalar(structure, receiver, method, args, result, bindings)
+        }
+        FlatAtom::SetMember { receiver, method, args, member } => {
+            match_set_member(structure, receiver, method, args, member, bindings)
+        }
+        FlatAtom::IsA { receiver, class } => Ok(match_isa(structure, receiver, class, bindings)),
+    }
+}
+
+fn match_self(
+    structure: &Structure,
+    receiver: &FlatTerm,
+    result: &FlatTerm,
+    bindings: &FlatBindings,
+) -> Vec<FlatBindings> {
+    match (resolve(structure, receiver, bindings), resolve(structure, result, bindings)) {
+        (Resolution::Known(r), _) => unify(structure, result, r, bindings).into_iter().collect(),
+        (_, Resolution::Known(r)) => unify(structure, receiver, r, bindings).into_iter().collect(),
+        (Resolution::Unknown, Resolution::Unknown) => structure
+            .objects()
+            .filter_map(|o| unify(structure, receiver, o, bindings).and_then(|b| unify(structure, result, o, &b)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn match_comparison(
+    structure: &Structure,
+    builtin: &str,
+    receiver: &FlatTerm,
+    result: &FlatTerm,
+    bindings: &FlatBindings,
+) -> Vec<FlatBindings> {
+    let (Resolution::Known(lhs), Resolution::Known(rhs)) =
+        (resolve(structure, receiver, bindings), resolve(structure, result, bindings))
+    else {
+        return Vec::new();
+    };
+    let (Some(lhs), Some(rhs)) = (structure.name_of(lhs), structure.name_of(rhs)) else {
+        return Vec::new();
+    };
+    match builtins::compare(builtin, lhs, rhs) {
+        Some(true) => vec![bindings.clone()],
+        _ => Vec::new(),
+    }
+}
+
+fn match_scalar(
+    structure: &Structure,
+    receiver: &FlatTerm,
+    method: &FlatTerm,
+    args: &[FlatTerm],
+    result: &FlatTerm,
+    bindings: &FlatBindings,
+) -> Result<Vec<FlatBindings>> {
+    let mut out = Vec::new();
+    match resolve(structure, method, bindings) {
+        Resolution::NoMatch => {}
+        Resolution::Known(m) => match resolve(structure, receiver, bindings) {
+            Resolution::NoMatch => {}
+            Resolution::Known(r) => {
+                let all_args: Option<Vec<Oid>> = args
+                    .iter()
+                    .map(|a| match resolve(structure, a, bindings) {
+                        Resolution::Known(o) => Some(o),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(arg_oids) = all_args {
+                    if let Some(res) = structure.apply_scalar(m, r, &arg_oids) {
+                        out.extend(unify(structure, result, res, bindings));
+                    }
+                } else {
+                    for fact in structure.facts().scalar_facts_of_method(m) {
+                        if fact.receiver != r {
+                            continue;
+                        }
+                        if let Some(b) = unify_all(structure, args, &fact.args, bindings) {
+                            out.extend(unify(structure, result, fact.result, &b));
+                        }
+                    }
+                }
+            }
+            Resolution::Unknown => {
+                for fact in structure.facts().scalar_facts_of_method(m) {
+                    if let Some(b) = unify(structure, receiver, fact.receiver, bindings) {
+                        if let Some(b) = unify_all(structure, args, &fact.args, &b) {
+                            out.extend(unify(structure, result, fact.result, &b));
+                        }
+                    }
+                }
+            }
+        },
+        Resolution::Unknown => {
+            for fact in structure.facts().scalar_facts() {
+                if let Some(b) = unify(structure, method, fact.method, bindings) {
+                    if let Some(b) = unify(structure, receiver, fact.receiver, &b) {
+                        if let Some(b) = unify_all(structure, args, &fact.args, &b) {
+                            out.extend(unify(structure, result, fact.result, &b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn match_set_member(
+    structure: &Structure,
+    receiver: &FlatTerm,
+    method: &FlatTerm,
+    args: &[FlatTerm],
+    member: &FlatTerm,
+    bindings: &FlatBindings,
+) -> Result<Vec<FlatBindings>> {
+    let mut out = Vec::new();
+    let mut emit = |fact_receiver: Oid, fact_args: &[Oid], members: &BTreeSet<Oid>, b: &FlatBindings| {
+        if let Some(b) = unify(structure, receiver, fact_receiver, b) {
+            if let Some(b) = unify_all(structure, args, fact_args, &b) {
+                for &m in members {
+                    out.extend(unify(structure, member, m, &b));
+                }
+            }
+        }
+    };
+    match resolve(structure, method, bindings) {
+        Resolution::NoMatch => {}
+        Resolution::Known(m) => {
+            for fact in structure.facts().set_facts_of_method(m) {
+                emit(fact.receiver, &fact.args, &fact.members, bindings);
+            }
+        }
+        Resolution::Unknown => {
+            for fact in structure.facts().set_facts() {
+                if let Some(b) = unify(structure, method, fact.method, bindings) {
+                    emit(fact.receiver, &fact.args, &fact.members, &b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn match_isa(
+    structure: &Structure,
+    receiver: &FlatTerm,
+    class: &FlatTerm,
+    bindings: &FlatBindings,
+) -> Vec<FlatBindings> {
+    match (resolve(structure, receiver, bindings), resolve(structure, class, bindings)) {
+        (Resolution::NoMatch, _) | (_, Resolution::NoMatch) => Vec::new(),
+        (Resolution::Known(r), Resolution::Known(c)) => {
+            if structure.in_class(r, c) {
+                vec![bindings.clone()]
+            } else {
+                Vec::new()
+            }
+        }
+        (Resolution::Unknown, Resolution::Known(c)) => structure
+            .instances_of(c)
+            .filter_map(|o| unify(structure, receiver, o, bindings))
+            .collect(),
+        (Resolution::Known(r), Resolution::Unknown) => structure
+            .classes_of(r)
+            .filter_map(|c| unify(structure, class, c, bindings))
+            .collect(),
+        (Resolution::Unknown, Resolution::Unknown) => {
+            let mut out = Vec::new();
+            for o in structure.objects() {
+                for c in structure.classes_of(o) {
+                    if let Some(b) = unify(structure, receiver, o, bindings) {
+                        out.extend(unify(structure, class, c, &b));
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Resolve a head term for assertion, creating objects for new skolem terms.
+fn resolve_for_assert(
+    structure: &mut Structure,
+    term: &FlatTerm,
+    bindings: &FlatBindings,
+    skolems: &mut HashMap<SkolemKey, Oid>,
+    stats: &mut FlatStats,
+) -> Result<Oid> {
+    match term {
+        FlatTerm::Name(n) => Ok(structure.ensure_name(n)),
+        FlatTerm::Var(v) => bindings.get(v).ok_or_else(|| {
+            FlogicError::InvalidHead(format!("head variable {v} is not bound by the body"))
+        }),
+        FlatTerm::Skolem(sk) => {
+            let mut arg_oids = Vec::with_capacity(sk.args.len());
+            for a in &sk.args {
+                arg_oids.push(resolve_for_assert(structure, a, bindings, skolems, stats)?);
+            }
+            let key = (sk.functor.clone(), arg_oids);
+            if let Some(&oid) = skolems.get(&key) {
+                return Ok(oid);
+            }
+            let oid = structure.new_virtual();
+            stats.skolem_objects += 1;
+            skolems.insert(key, oid);
+            Ok(oid)
+        }
+    }
+}
+
+/// Assert one head atom under a valuation.  Returns `true` if new information
+/// was added.
+fn assert_atom(
+    structure: &mut Structure,
+    atom: &FlatAtom,
+    bindings: &FlatBindings,
+    skolems: &mut HashMap<SkolemKey, Oid>,
+    stats: &mut FlatStats,
+) -> Result<bool> {
+    match atom {
+        FlatAtom::Scalar { receiver, method, args, result } => {
+            let r = resolve_for_assert(structure, receiver, bindings, skolems, stats)?;
+            let m = resolve_for_assert(structure, method, bindings, skolems, stats)?;
+            let arg_oids: Vec<Oid> = args
+                .iter()
+                .map(|a| resolve_for_assert(structure, a, bindings, skolems, stats))
+                .collect::<Result<_>>()?;
+            let res = resolve_for_assert(structure, result, bindings, skolems, stats)?;
+            let added = structure
+                .assert_scalar(m, r, &arg_oids, res)
+                .map_err(|e| FlogicError::InvalidHead(e.to_string()))?
+                .is_new();
+            if added {
+                stats.scalar_facts += 1;
+            }
+            Ok(added)
+        }
+        FlatAtom::SetMember { receiver, method, args, member } => {
+            let r = resolve_for_assert(structure, receiver, bindings, skolems, stats)?;
+            let m = resolve_for_assert(structure, method, bindings, skolems, stats)?;
+            let arg_oids: Vec<Oid> = args
+                .iter()
+                .map(|a| resolve_for_assert(structure, a, bindings, skolems, stats))
+                .collect::<Result<_>>()?;
+            let mem = resolve_for_assert(structure, member, bindings, skolems, stats)?;
+            let added = structure.assert_set_member(m, r, &arg_oids, mem).is_new();
+            if added {
+                stats.set_members += 1;
+            }
+            Ok(added)
+        }
+        FlatAtom::IsA { receiver, class } => {
+            let r = resolve_for_assert(structure, receiver, bindings, skolems, stats)?;
+            let c = resolve_for_assert(structure, class, bindings, skolems, stats)?;
+            let added = structure.add_isa(r, c);
+            if added {
+                stats.isa_edges += 1;
+            }
+            Ok(added)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::{FlatQuery, FlatRule};
+    use pathlog_core::names::Name;
+
+    fn name(s: &str) -> FlatTerm {
+        FlatTerm::name(s)
+    }
+
+    fn var(s: &str) -> FlatTerm {
+        FlatTerm::var(s)
+    }
+
+    /// A small company structure built directly through the core API.
+    fn company() -> Structure {
+        let mut s = Structure::new();
+        let employee = s.atom("employee");
+        let automobile = s.atom("automobile");
+        let mary = s.atom("mary");
+        let john = s.atom("john");
+        let a1 = s.atom("a1");
+        let v1 = s.atom("v1");
+        let red = s.atom("red");
+        let blue = s.atom("blue");
+        let color = s.atom("color");
+        let vehicles = s.atom("vehicles");
+        let age = s.atom("age");
+        let thirty = s.int(30);
+        s.add_isa(mary, employee);
+        s.add_isa(john, employee);
+        s.add_isa(a1, automobile);
+        s.assert_scalar(age, mary, &[], thirty).unwrap();
+        s.assert_scalar(color, a1, &[], red).unwrap();
+        s.assert_scalar(color, v1, &[], blue).unwrap();
+        s.assert_set_member(vehicles, mary, &[], a1);
+        s.assert_set_member(vehicles, john, &[], v1);
+        s
+    }
+
+    #[test]
+    fn bindings_bind_and_project() {
+        let b = FlatBindings::new();
+        assert!(b.is_empty());
+        let b = b.bind(&Var::new("X"), Oid(3)).unwrap();
+        let b = b.bind(&Var::new("Y"), Oid(4)).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b.bind(&Var::new("X"), Oid(5)).is_none());
+        assert!(b.bind(&Var::new("X"), Oid(3)).is_some());
+        let p = b.project(&[Var::new("Y")]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(&Var::new("Y")), Some(Oid(4)));
+        assert!(p.to_string().contains("Y ="));
+    }
+
+    #[test]
+    fn match_isa_enumerates_instances() {
+        let s = company();
+        let atom = FlatAtom::isa(var("X"), name("employee"));
+        let answers = match_atom(&s, &atom, &FlatBindings::new()).unwrap();
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn match_isa_checks_a_ground_pair() {
+        let s = company();
+        let yes = FlatAtom::isa(name("mary"), name("employee"));
+        let no = FlatAtom::isa(name("a1"), name("employee"));
+        assert_eq!(match_atom(&s, &yes, &FlatBindings::new()).unwrap().len(), 1);
+        assert!(match_atom(&s, &no, &FlatBindings::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn match_scalar_with_unbound_receiver_enumerates_facts() {
+        let s = company();
+        let atom = FlatAtom::scalar(var("V"), name("color"), var("C"));
+        let answers = match_atom(&s, &atom, &FlatBindings::new()).unwrap();
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn match_scalar_with_everything_bound_uses_lookup() {
+        let s = company();
+        let atom = FlatAtom::scalar(name("a1"), name("color"), name("red"));
+        assert_eq!(match_atom(&s, &atom, &FlatBindings::new()).unwrap().len(), 1);
+        let wrong = FlatAtom::scalar(name("a1"), name("color"), name("blue"));
+        assert!(match_atom(&s, &wrong, &FlatBindings::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn match_scalar_with_unknown_name_matches_nothing() {
+        let s = company();
+        let atom = FlatAtom::scalar(name("nobody"), name("color"), var("C"));
+        assert!(match_atom(&s, &atom, &FlatBindings::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn match_set_member_enumerates_members() {
+        let s = company();
+        let atom = FlatAtom::member(name("mary"), name("vehicles"), var("V"));
+        let answers = match_atom(&s, &atom, &FlatBindings::new()).unwrap();
+        assert_eq!(answers.len(), 1);
+        let all = FlatAtom::member(var("X"), name("vehicles"), var("V"));
+        assert_eq!(match_atom(&s, &all, &FlatBindings::new()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn self_builtin_equates_receiver_and_result() {
+        let s = company();
+        let atom = FlatAtom::scalar(name("mary"), name("self"), var("Z"));
+        let answers = match_atom(&s, &atom, &FlatBindings::new()).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].get(&Var::new("Z")), Some(s.lookup_name(&Name::atom("mary")).unwrap()));
+    }
+
+    #[test]
+    fn comparison_builtins_compare_integers() {
+        let mut s = company();
+        s.int(20);
+        let lt = FlatAtom::Scalar {
+            receiver: FlatTerm::Name(Name::int(20)),
+            method: name("lt"),
+            args: vec![],
+            result: FlatTerm::Name(Name::int(30)),
+        };
+        assert_eq!(match_atom(&s, &lt, &FlatBindings::new()).unwrap().len(), 1);
+        let ge = FlatAtom::Scalar {
+            receiver: FlatTerm::Name(Name::int(20)),
+            method: name("ge"),
+            args: vec![],
+            result: FlatTerm::Name(Name::int(30)),
+        };
+        assert!(match_atom(&s, &ge, &FlatBindings::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn solve_joins_atoms_left_to_right() {
+        let s = company();
+        // X : employee, X[vehicles ->> {V}], V[color -> C]
+        let body = vec![
+            FlatLiteral::Pos(FlatAtom::isa(var("X"), name("employee"))),
+            FlatLiteral::Pos(FlatAtom::member(var("X"), name("vehicles"), var("V"))),
+            FlatLiteral::Pos(FlatAtom::scalar(var("V"), name("color"), var("C"))),
+        ];
+        let answers = solve(&s, &body, &FlatBindings::new()).unwrap();
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn negated_groups_filter_solutions() {
+        let s = company();
+        // employees without an age fact
+        let body = vec![
+            FlatLiteral::Pos(FlatAtom::isa(var("X"), name("employee"))),
+            FlatLiteral::NegGroup(vec![FlatAtom::scalar(var("X"), name("age"), var("A"))]),
+        ];
+        let answers = solve(&s, &body, &FlatBindings::new()).unwrap();
+        assert_eq!(answers.len(), 1);
+        let john = s.lookup_name(&Name::atom("john")).unwrap();
+        assert_eq!(answers[0].get(&Var::new("X")), Some(john));
+    }
+
+    #[test]
+    fn run_derives_facts_and_reaches_a_fixpoint() {
+        let mut s = company();
+        // X[hasCar -> V] <- X[vehicles ->> {V}], V : automobile.
+        let rule = FlatRule::new(
+            vec![FlatAtom::scalar(var("X"), name("hasCar"), var("V"))],
+            vec![
+                FlatLiteral::Pos(FlatAtom::member(var("X"), name("vehicles"), var("V"))),
+                FlatLiteral::Pos(FlatAtom::isa(var("V"), name("automobile"))),
+            ],
+        );
+        let program = FlatProgram { rules: vec![rule], queries: vec![] };
+        let stats = FlatEngine::new().run(&mut s, &program).unwrap();
+        assert_eq!(stats.scalar_facts, 1);
+        assert!(stats.iterations >= 2);
+        let has_car = s.lookup_name(&Name::atom("hasCar")).unwrap();
+        let mary = s.lookup_name(&Name::atom("mary")).unwrap();
+        assert!(s.apply_scalar(has_car, mary, &[]).is_some());
+    }
+
+    #[test]
+    fn skolem_heads_create_one_object_per_key() {
+        let mut s = company();
+        // X[address -> address(X)], address(X)[owner -> X] <- X : employee.
+        let rule = FlatRule::new(
+            vec![
+                FlatAtom::scalar(var("X"), name("address"), FlatTerm::skolem("address", vec![var("X")])),
+                FlatAtom::scalar(FlatTerm::skolem("address", vec![var("X")]), name("owner"), var("X")),
+            ],
+            vec![FlatLiteral::Pos(FlatAtom::isa(var("X"), name("employee")))],
+        );
+        let program = FlatProgram { rules: vec![rule], queries: vec![] };
+        let stats = FlatEngine::new().run(&mut s, &program).unwrap();
+        // one skolem object per employee, re-used across the two head atoms
+        // and across fixpoint iterations.
+        assert_eq!(stats.skolem_objects, 2);
+        assert_eq!(stats.scalar_facts, 4);
+    }
+
+    #[test]
+    fn transitive_closure_reaches_a_fixpoint() {
+        let mut s = Structure::new();
+        let kids = s.atom("kids");
+        let desc = s.atom("desc");
+        let peter = s.atom("peter");
+        let tim = s.atom("tim");
+        let mary = s.atom("mary");
+        let sally = s.atom("sally");
+        s.assert_set_member(kids, peter, &[], tim);
+        s.assert_set_member(kids, peter, &[], mary);
+        s.assert_set_member(kids, tim, &[], sally);
+        let _ = desc;
+        // X[desc ->> {Y}] <- X[kids ->> {Y}].
+        // X[desc ->> {Y}] <- X[desc ->> {Z}], Z[kids ->> {Y}].
+        let r1 = FlatRule::new(
+            vec![FlatAtom::member(var("X"), name("desc"), var("Y"))],
+            vec![FlatLiteral::Pos(FlatAtom::member(var("X"), name("kids"), var("Y")))],
+        );
+        let r2 = FlatRule::new(
+            vec![FlatAtom::member(var("X"), name("desc"), var("Y"))],
+            vec![
+                FlatLiteral::Pos(FlatAtom::member(var("X"), name("desc"), var("Z"))),
+                FlatLiteral::Pos(FlatAtom::member(var("Z"), name("kids"), var("Y"))),
+            ],
+        );
+        let program = FlatProgram { rules: vec![r1, r2], queries: vec![] };
+        let stats = FlatEngine::new().run(&mut s, &program).unwrap();
+        assert_eq!(stats.set_members, 4); // tim, mary, sally from peter; sally from tim... = 3 + 1
+        let desc = s.lookup_name(&Name::atom("desc")).unwrap();
+        let peter = s.lookup_name(&Name::atom("peter")).unwrap();
+        assert_eq!(s.apply_set(desc, peter, &[]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn queries_project_and_deduplicate() {
+        let s = company();
+        let query = FlatQuery {
+            body: vec![
+                FlatLiteral::Pos(FlatAtom::isa(var("X"), name("employee"))),
+                FlatLiteral::Pos(FlatAtom::member(var("X"), name("vehicles"), var("V"))),
+            ],
+            answer_variables: vec![Var::new("X")],
+        };
+        let answers = FlatEngine::new().query(&s, &query).unwrap();
+        assert_eq!(answers.len(), 2);
+        for a in &answers {
+            assert_eq!(a.len(), 1);
+        }
+    }
+
+    #[test]
+    fn unbound_head_variables_are_an_error() {
+        let mut s = company();
+        let rule = FlatRule::new(
+            vec![FlatAtom::scalar(var("X"), name("a"), var("Unbound"))],
+            vec![FlatLiteral::Pos(FlatAtom::isa(var("X"), name("employee")))],
+        );
+        let program = FlatProgram { rules: vec![rule], queries: vec![] };
+        let err = FlatEngine::new().run(&mut s, &program).unwrap_err();
+        assert!(matches!(err, FlogicError::InvalidHead(_)));
+    }
+
+    #[test]
+    fn conflicting_scalar_heads_are_an_error() {
+        let mut s = company();
+        let program = FlatProgram {
+            rules: vec![
+                FlatRule::fact(vec![FlatAtom::scalar(name("mary"), name("boss"), name("john"))]),
+                FlatRule::fact(vec![FlatAtom::scalar(name("mary"), name("boss"), name("a1"))]),
+            ],
+            queries: vec![],
+        };
+        let err = FlatEngine::new().run(&mut s, &program).unwrap_err();
+        assert!(matches!(err, FlogicError::InvalidHead(_)));
+    }
+
+    #[test]
+    fn derived_fact_limit_is_enforced() {
+        let mut s = Structure::new();
+        let kids = s.atom("kids");
+        let a = s.atom("a");
+        let b = s.atom("b");
+        s.assert_set_member(kids, a, &[], b);
+        // Every pair of descendants becomes a kid again — quadratic blow-up,
+        // here just used to trip a tiny limit.
+        let rule = FlatRule::new(
+            vec![FlatAtom::member(var("X"), name("other"), var("Y"))],
+            vec![
+                FlatLiteral::Pos(FlatAtom::member(var("X"), name("kids"), var("Y"))),
+            ],
+        );
+        let program = FlatProgram { rules: vec![rule], queries: vec![] };
+        let engine = FlatEngine::with_options(FlatEvalOptions { max_iterations: 100, max_derived: 0 });
+        let err = engine.run(&mut s, &program).unwrap_err();
+        assert!(matches!(err, FlogicError::LimitExceeded(_)));
+    }
+}

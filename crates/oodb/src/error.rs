@@ -1,0 +1,47 @@
+//! Errors of the object store.
+
+use std::fmt;
+
+/// Errors raised by schema definition, object manipulation, integrity
+/// checking and persistence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A class, attribute or object name was defined twice.
+    Duplicate(String),
+    /// A referenced class, attribute or object does not exist.
+    Unknown(String),
+    /// An operation violates the schema (wrong scalarity, wrong domain or
+    /// range class).
+    SchemaViolation(String),
+    /// The persistence format could not be parsed.
+    Format(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Duplicate(m) => write!(f, "duplicate definition: {m}"),
+            StoreError::Unknown(m) => write!(f, "unknown name: {m}"),
+            StoreError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            StoreError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StoreError::Duplicate("employee".into()).to_string().contains("duplicate"));
+        assert!(StoreError::Unknown("x".into()).to_string().contains("unknown"));
+        assert!(StoreError::SchemaViolation("y".into()).to_string().contains("schema"));
+        assert!(StoreError::Format("line 3".into()).to_string().contains("format"));
+    }
+}

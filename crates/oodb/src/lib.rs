@@ -1,0 +1,38 @@
+//! # pathlog-oodb
+//!
+//! The extensional object-oriented database substrate assumed by the paper:
+//! a schema (classes, subclass hierarchy, typed scalar/set attributes), an
+//! in-memory [`ObjectStore`] with integrity checking and text persistence,
+//! and conversion into the semantic structures
+//! ([`pathlog_core::structure::Structure`]) that PathLog's direct semantics
+//! and rule engine evaluate against.
+//!
+//! ```
+//! use pathlog_oodb::{ObjectStore, Schema, Value};
+//!
+//! let mut db = ObjectStore::with_schema(Schema::company());
+//! db.create("e1", "employee").unwrap();
+//! db.create("a1", "automobile").unwrap();
+//! db.set("e1", "age", Value::Int(30)).unwrap();
+//! db.add("e1", "vehicles", Value::obj("a1")).unwrap();
+//! db.set("a1", "color", Value::Atom("red".into())).unwrap();
+//! db.integrity_check().unwrap();
+//!
+//! let structure = db.to_structure();
+//! assert!(structure.stats().scalar_facts >= 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod persist;
+mod schema;
+mod store;
+mod txn;
+
+pub use error::{Result, StoreError};
+pub use persist::{dump, load};
+pub use schema::{AttrDef, AttrKind, ClassDef, Range, Schema};
+pub use store::{ObjId, ObjectStore, StoreStats, StoredObject, Value};
+pub use txn::{DeleteMode, Transaction};

@@ -1,0 +1,221 @@
+//! Text persistence for [`ObjectStore`].
+//!
+//! The format is a simple line-oriented dump, stable under round-tripping:
+//!
+//! ```text
+//! class employee : person
+//! attr  vehicles set person -> class vehicle
+//! obj   e1 employee
+//! set   e1 age int 30
+//! add   e1 vehicles ref a1
+//! ```
+//!
+//! Values are tagged (`ref`, `int`, `str`, `atom`); strings are quoted with
+//! the same escaping the PathLog lexer uses.  Lines starting with `#` and
+//! blank lines are ignored.
+
+use std::fmt::Write as _;
+
+use crate::error::{Result, StoreError};
+use crate::schema::{AttrKind, Range, Schema};
+use crate::store::{ObjectStore, Value};
+
+/// Serialise a store (schema, objects, values) to the text format.
+pub fn dump(store: &ObjectStore) -> String {
+    let mut out = String::new();
+    let schema = store.schema();
+    for class in schema.classes() {
+        if class.superclasses.is_empty() {
+            let _ = writeln!(out, "class {}", class.name);
+        } else {
+            let _ = writeln!(out, "class {} : {}", class.name, class.superclasses.join(" "));
+        }
+    }
+    for attr in schema.attrs() {
+        let kind = match attr.kind {
+            AttrKind::Scalar => "scalar",
+            AttrKind::Set => "set",
+        };
+        let range = match &attr.range {
+            Range::Class(c) => format!("class {c}"),
+            Range::Integer => "int".to_string(),
+            Range::Str => "str".to_string(),
+            Range::Atom => "atom".to_string(),
+            Range::Any => "any".to_string(),
+        };
+        let _ = writeln!(out, "attr {} {} {} -> {}", attr.name, kind, attr.domain, range);
+    }
+    for (_, obj) in store.objects() {
+        let _ = writeln!(out, "obj {} {}", obj.name, obj.class);
+    }
+    for (_, obj) in store.objects() {
+        for attr in schema.attrs() {
+            if attr.kind == AttrKind::Scalar {
+                if let Some(v) = store.get(&obj.name, &attr.name) {
+                    let _ = writeln!(out, "set {} {} {}", obj.name, attr.name, value_text(v));
+                }
+            } else if let Some(vs) = store.get_set(&obj.name, &attr.name) {
+                for v in vs {
+                    let _ = writeln!(out, "add {} {} {}", obj.name, attr.name, value_text(v));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse the text format back into a store.
+pub fn load(text: &str) -> Result<ObjectStore> {
+    let mut schema = Schema::new();
+    let mut pending_objects: Vec<(String, String)> = Vec::new();
+    let mut pending_scalar: Vec<(String, String, Value)> = Vec::new();
+    let mut pending_set: Vec<(String, String, Value)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().unwrap_or_default();
+        let rest: Vec<&str> = words.collect();
+        let err = |msg: &str| StoreError::Format(format!("line {}: {msg}: {line}", lineno + 1));
+        match keyword {
+            "class" => {
+                let name = rest.first().ok_or_else(|| err("missing class name"))?;
+                let supers: Vec<&str> = if rest.len() > 2 && rest[1] == ":" { rest[2..].to_vec() } else { Vec::new() };
+                schema.class(name, &supers).map_err(|e| err(&e.to_string()))?;
+            }
+            "attr" => {
+                if rest.len() < 5 || rest[3] != "->" {
+                    return Err(err("expected `attr <name> <scalar|set> <domain> -> <range>`"));
+                }
+                let kind = match rest[1] {
+                    "scalar" => AttrKind::Scalar,
+                    "set" => AttrKind::Set,
+                    other => return Err(err(&format!("unknown attribute kind {other}"))),
+                };
+                let range = match rest[4] {
+                    "int" => Range::Integer,
+                    "str" => Range::Str,
+                    "atom" => Range::Atom,
+                    "any" => Range::Any,
+                    "class" => Range::Class(rest.get(5).ok_or_else(|| err("missing range class"))?.to_string()),
+                    other => return Err(err(&format!("unknown range {other}"))),
+                };
+                schema.attr(rest[0], kind, rest[2], range).map_err(|e| err(&e.to_string()))?;
+            }
+            "obj" => {
+                if rest.len() != 2 {
+                    return Err(err("expected `obj <name> <class>`"));
+                }
+                pending_objects.push((rest[0].to_string(), rest[1].to_string()));
+            }
+            "set" | "add" => {
+                if rest.len() < 4 {
+                    return Err(err("expected `<set|add> <obj> <attr> <tag> <value>`"));
+                }
+                let value = parse_value(rest[2], &rest[3..]).ok_or_else(|| err("bad value"))?;
+                if keyword == "set" {
+                    pending_scalar.push((rest[0].to_string(), rest[1].to_string(), value));
+                } else {
+                    pending_set.push((rest[0].to_string(), rest[1].to_string(), value));
+                }
+            }
+            other => return Err(err(&format!("unknown keyword {other}"))),
+        }
+    }
+
+    schema.validate()?;
+    let mut store = ObjectStore::with_schema(schema);
+    for (name, class) in pending_objects {
+        store.create(&name, &class)?;
+    }
+    for (obj, attr, value) in pending_scalar {
+        store.set(&obj, &attr, value)?;
+    }
+    for (obj, attr, value) in pending_set {
+        store.add(&obj, &attr, value)?;
+    }
+    Ok(store)
+}
+
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::Ref(s) => format!("ref {s}"),
+        Value::Int(i) => format!("int {i}"),
+        Value::Atom(s) => format!("atom {s}"),
+        Value::Str(s) => format!("str \"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+    }
+}
+
+fn parse_value(tag: &str, rest: &[&str]) -> Option<Value> {
+    match tag {
+        "ref" => Some(Value::Ref(rest.first()?.to_string())),
+        "atom" => Some(Value::Atom(rest.first()?.to_string())),
+        "int" => rest.first()?.parse().ok().map(Value::Int),
+        "str" => {
+            let joined = rest.join(" ");
+            let inner = joined.strip_prefix('"')?.strip_suffix('"')?;
+            Some(Value::Str(inner.replace("\\\"", "\"").replace("\\\\", "\\")))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn sample() -> ObjectStore {
+        let mut db = ObjectStore::with_schema(Schema::company());
+        db.create("e1", "employee").unwrap();
+        db.create("a1", "automobile").unwrap();
+        db.set("e1", "age", Value::Int(30)).unwrap();
+        db.set("e1", "street", Value::Str("Main \"St\"".into())).unwrap();
+        db.set("e1", "city", Value::Atom("newYork".into())).unwrap();
+        db.add("e1", "vehicles", Value::obj("a1")).unwrap();
+        db.set("a1", "color", Value::Atom("red".into())).unwrap();
+        db
+    }
+
+    #[test]
+    fn dump_load_roundtrip() {
+        let db = sample();
+        let text = dump(&db);
+        let loaded = load(&text).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        assert_eq!(loaded.get("e1", "age"), Some(&Value::Int(30)));
+        assert_eq!(loaded.get("e1", "street"), Some(&Value::Str("Main \"St\"".into())));
+        assert_eq!(loaded.get_set("e1", "vehicles").unwrap().len(), 1);
+        assert_eq!(loaded.get("a1", "color"), Some(&Value::Atom("red".into())));
+        assert!(loaded.integrity_check().is_ok());
+        // a second round-trip is byte-identical
+        assert_eq!(dump(&loaded), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\n\nclass person\nobj p person\n";
+        let db = load(text).unwrap();
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn format_errors_are_reported_with_line_numbers() {
+        let err = load("clazz person").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = load("class person\nattr age wrong person -> int").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(load("class person\nobj p").is_err());
+        assert!(load("class person\nobj p person\nset p age int notanumber").is_err());
+    }
+
+    #[test]
+    fn loading_checks_schema() {
+        // value references an unknown object
+        let text = "class person\nattr friend scalar person -> class person\nobj p person\nset p friend ref ghost";
+        assert!(load(text).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Schema: classes, a subclass hierarchy, and attribute (method) signatures.
+//!
+//! PathLog itself is schema-less — objects, classes and methods are all just
+//! objects — but the extensional databases the paper's examples assume (an
+//! employee/vehicle world, a person/address world, a genealogy) have obvious
+//! schemas.  This module provides them: classes with single or multiple
+//! inheritance, and typed scalar/set-valued attributes.  The schema is
+//! translated into PathLog signature declarations by
+//! [`ObjectStore::to_structure`](crate::store::ObjectStore::to_structure) so
+//! the paper's type-checking claim can be exercised end to end.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, StoreError};
+
+/// Is an attribute scalar (at most one value) or set-valued?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Scalar attribute (`I_->`).
+    Scalar,
+    /// Set-valued attribute (`I_->>`).
+    Set,
+}
+
+/// The range of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Range {
+    /// Values must be members of this class.
+    Class(String),
+    /// Values are integers.
+    Integer,
+    /// Values are strings.
+    Str,
+    /// Values are atoms (symbolic constants such as `red`).
+    Atom,
+    /// No restriction.
+    Any,
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Direct superclasses.
+    pub superclasses: Vec<String>,
+}
+
+/// An attribute definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute (method) name.
+    pub name: String,
+    /// Scalar or set-valued.
+    pub kind: AttrKind,
+    /// The class whose members carry the attribute.
+    pub domain: String,
+    /// The range of the attribute's values.
+    pub range: Range,
+}
+
+/// A database schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    classes: BTreeMap<String, ClassDef>,
+    attrs: BTreeMap<String, AttrDef>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a class with its direct superclasses.
+    pub fn class(&mut self, name: &str, superclasses: &[&str]) -> Result<&mut Self> {
+        if self.classes.contains_key(name) {
+            return Err(StoreError::Duplicate(format!("class {name}")));
+        }
+        self.classes.insert(
+            name.to_owned(),
+            ClassDef { name: name.to_owned(), superclasses: superclasses.iter().map(|s| s.to_string()).collect() },
+        );
+        Ok(self)
+    }
+
+    /// Define an attribute.
+    pub fn attr(&mut self, name: &str, kind: AttrKind, domain: &str, range: Range) -> Result<&mut Self> {
+        if self.attrs.contains_key(name) {
+            return Err(StoreError::Duplicate(format!("attribute {name}")));
+        }
+        self.attrs.insert(name.to_owned(), AttrDef { name: name.to_owned(), kind, domain: domain.to_owned(), range });
+        Ok(self)
+    }
+
+    /// Look up a class.
+    pub fn class_def(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.get(name)
+    }
+
+    /// Look up an attribute.
+    pub fn attr_def(&self, name: &str) -> Option<&AttrDef> {
+        self.attrs.get(name)
+    }
+
+    /// All classes.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDef> + '_ {
+        self.classes.values()
+    }
+
+    /// All attributes.
+    pub fn attrs(&self) -> impl Iterator<Item = &AttrDef> + '_ {
+        self.attrs.values()
+    }
+
+    /// Is `sub` equal to or a (transitive) subclass of `sup`?
+    pub fn is_subclass(&self, sub: &str, sup: &str) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut stack = vec![sub];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c.to_owned()) {
+                continue;
+            }
+            if let Some(def) = self.classes.get(c) {
+                for s in &def.superclasses {
+                    if s == sup {
+                        return true;
+                    }
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Check internal consistency: every superclass and every domain/range
+    /// class must be defined, and the hierarchy must be acyclic.
+    pub fn validate(&self) -> Result<()> {
+        for c in self.classes.values() {
+            for s in &c.superclasses {
+                if !self.classes.contains_key(s) {
+                    return Err(StoreError::Unknown(format!("superclass {s} of class {}", c.name)));
+                }
+            }
+        }
+        for a in self.attrs.values() {
+            if !self.classes.contains_key(&a.domain) {
+                return Err(StoreError::Unknown(format!("domain class {} of attribute {}", a.domain, a.name)));
+            }
+            if let Range::Class(r) = &a.range {
+                if !self.classes.contains_key(r) {
+                    return Err(StoreError::Unknown(format!("range class {r} of attribute {}", a.name)));
+                }
+            }
+        }
+        // cycle check: a class must not be a strict subclass of itself
+        for c in self.classes.keys() {
+            for s in &self.classes[c].superclasses {
+                if self.is_subclass(s, c) {
+                    return Err(StoreError::SchemaViolation(format!("class hierarchy cycle through {c}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The schema of the company/vehicle world used by Sections 1 and 2 of
+    /// the paper (employees and managers owning vehicles and automobiles
+    /// produced by companies).
+    pub fn company() -> Schema {
+        let mut s = Schema::new();
+        s.class("person", &[]).unwrap();
+        s.class("employee", &["person"]).unwrap();
+        s.class("manager", &["employee"]).unwrap();
+        s.class("vehicle", &[]).unwrap();
+        s.class("automobile", &["vehicle"]).unwrap();
+        s.class("company", &[]).unwrap();
+        s.class("department", &[]).unwrap();
+        s.class("engine", &[]).unwrap();
+        s.attr("age", AttrKind::Scalar, "person", Range::Integer).unwrap();
+        s.attr("city", AttrKind::Scalar, "person", Range::Atom).unwrap();
+        s.attr("street", AttrKind::Scalar, "person", Range::Str).unwrap();
+        s.attr("salary", AttrKind::Scalar, "employee", Range::Integer).unwrap();
+        s.attr("boss", AttrKind::Scalar, "employee", Range::Class("employee".into())).unwrap();
+        s.attr("worksFor", AttrKind::Scalar, "employee", Range::Class("department".into())).unwrap();
+        s.attr("assistants", AttrKind::Set, "employee", Range::Class("employee".into())).unwrap();
+        s.attr("vehicles", AttrKind::Set, "person", Range::Class("vehicle".into())).unwrap();
+        s.attr("friends", AttrKind::Set, "person", Range::Class("person".into())).unwrap();
+        s.attr("kids", AttrKind::Set, "person", Range::Class("person".into())).unwrap();
+        s.attr("color", AttrKind::Scalar, "vehicle", Range::Atom).unwrap();
+        s.attr("cylinders", AttrKind::Scalar, "automobile", Range::Integer).unwrap();
+        s.attr("engineOf", AttrKind::Scalar, "automobile", Range::Class("engine".into())).unwrap();
+        s.attr("power", AttrKind::Scalar, "engine", Range::Integer).unwrap();
+        s.attr("producedBy", AttrKind::Scalar, "vehicle", Range::Class("company".into())).unwrap();
+        s.attr("cityOf", AttrKind::Scalar, "company", Range::Atom).unwrap();
+        s.attr("president", AttrKind::Scalar, "company", Range::Class("person".into())).unwrap();
+        debug_assert!(s.validate().is_ok());
+        s
+    }
+
+    /// The genealogy schema of Section 6 (persons and their kids).
+    pub fn genealogy() -> Schema {
+        let mut s = Schema::new();
+        s.class("person", &[]).unwrap();
+        s.attr("kids", AttrKind::Set, "person", Range::Class("person".into())).unwrap();
+        s.attr("age", AttrKind::Scalar, "person", Range::Integer).unwrap();
+        debug_assert!(s.validate().is_ok());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_schema() {
+        let s = Schema::company();
+        assert!(s.validate().is_ok());
+        assert!(s.class_def("manager").is_some());
+        assert!(s.attr_def("vehicles").is_some());
+        assert_eq!(s.attr_def("vehicles").unwrap().kind, AttrKind::Set);
+        assert!(s.classes().count() >= 8);
+        assert!(s.attrs().count() >= 15);
+    }
+
+    #[test]
+    fn subclass_relation_is_transitive_and_reflexive() {
+        let s = Schema::company();
+        assert!(s.is_subclass("manager", "person"));
+        assert!(s.is_subclass("manager", "employee"));
+        assert!(s.is_subclass("employee", "employee"));
+        assert!(!s.is_subclass("person", "manager"));
+        assert!(!s.is_subclass("vehicle", "person"));
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut s = Schema::new();
+        s.class("a", &[]).unwrap();
+        assert!(s.class("a", &[]).is_err());
+        s.attr("x", AttrKind::Scalar, "a", Range::Any).unwrap();
+        assert!(s.attr("x", AttrKind::Set, "a", Range::Any).is_err());
+    }
+
+    #[test]
+    fn validation_finds_unknown_references() {
+        let mut s = Schema::new();
+        s.class("a", &["ghost"]).unwrap();
+        assert!(matches!(s.validate(), Err(StoreError::Unknown(_))));
+
+        let mut s = Schema::new();
+        s.class("a", &[]).unwrap();
+        s.attr("x", AttrKind::Scalar, "nowhere", Range::Any).unwrap();
+        assert!(s.validate().is_err());
+
+        let mut s = Schema::new();
+        s.class("a", &[]).unwrap();
+        s.attr("x", AttrKind::Scalar, "a", Range::Class("ghost".into())).unwrap();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn hierarchy_cycles_are_rejected() {
+        let mut s = Schema::new();
+        s.class("a", &["b"]).unwrap();
+        s.class("b", &["a"]).unwrap();
+        assert!(matches!(s.validate(), Err(StoreError::SchemaViolation(_))));
+    }
+
+    #[test]
+    fn genealogy_schema() {
+        let s = Schema::genealogy();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.attr_def("kids").unwrap().kind, AttrKind::Set);
+    }
+}

@@ -1,0 +1,45 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// An error produced by the lexer or parser, with a 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+}
+
+impl ParseError {
+    /// Construct an error at a position.
+    pub fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
+        ParseError { message: message.into(), line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsing operations.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position_and_message() {
+        let e = ParseError::new("unexpected token", 3, 14);
+        let s = e.to_string();
+        assert!(s.contains("3:14"));
+        assert!(s.contains("unexpected token"));
+    }
+}

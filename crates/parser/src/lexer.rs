@@ -1,0 +1,477 @@
+//! Lexer for the PathLog concrete syntax.
+//!
+//! The only delicate point is the full stop: `.` is both the path-composition
+//! operator (`mary.spouse`) and the statement terminator (`... .`).  The
+//! lexer resolves the ambiguity locally: a `.` immediately followed by a
+//! character that can start a reference (letter, digit, `_`, `(` or `"`)
+//! is a path dot; otherwise (whitespace, end of input, a comment, or any
+//! other punctuation) it is a statement terminator.  `..` is always the
+//! set-valued path operator.
+
+use crate::error::{ParseError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A lowercase-initial identifier (an atom name).
+    Atom(String),
+    /// An uppercase- or underscore-initial identifier (a variable).
+    Variable(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+    /// `.` used as path composition.
+    Dot,
+    /// `..` — set-valued path composition.
+    DotDot,
+    /// `.` used as statement terminator.
+    End,
+    /// `:`
+    Colon,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `@`
+    At,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `->`
+    Arrow,
+    /// `->>`
+    DoubleArrow,
+    /// `=>`
+    SigArrow,
+    /// `=>>`
+    SigDoubleArrow,
+    /// `<-`
+    Implies,
+    /// `?-`
+    QueryPrefix,
+    /// the keyword `not`
+    Not,
+}
+
+/// A token together with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Tokenise an input string.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    out: Vec<Spanned>,
+    _input: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { chars: input.chars().collect(), pos: 0, line: 1, column: 1, out: Vec::new(), _input: input }
+    }
+
+    fn peek(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, token: Token, line: usize, column: usize) {
+        self.out.push(Spanned { token, line, column });
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(message, self.line, self.column)
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>> {
+        while let Some(c) = self.peek(0) {
+            let (line, column) = (self.line, self.column);
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '%' | '#' => {
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '.' => {
+                    self.bump();
+                    if self.peek(0) == Some('.') {
+                        self.bump();
+                        self.push(Token::DotDot, line, column);
+                    } else if self.peek(0).is_some_and(starts_reference) {
+                        self.push(Token::Dot, line, column);
+                    } else {
+                        self.push(Token::End, line, column);
+                    }
+                }
+                ':' => {
+                    self.bump();
+                    self.push(Token::Colon, line, column);
+                }
+                '[' => {
+                    self.bump();
+                    self.push(Token::LBracket, line, column);
+                }
+                ']' => {
+                    self.bump();
+                    self.push(Token::RBracket, line, column);
+                }
+                '(' => {
+                    self.bump();
+                    self.push(Token::LParen, line, column);
+                }
+                ')' => {
+                    self.bump();
+                    self.push(Token::RParen, line, column);
+                }
+                '{' => {
+                    self.bump();
+                    self.push(Token::LBrace, line, column);
+                }
+                '}' => {
+                    self.bump();
+                    self.push(Token::RBrace, line, column);
+                }
+                '@' => {
+                    self.bump();
+                    self.push(Token::At, line, column);
+                }
+                ',' => {
+                    self.bump();
+                    self.push(Token::Comma, line, column);
+                }
+                ';' => {
+                    self.bump();
+                    self.push(Token::Semicolon, line, column);
+                }
+                '-' => {
+                    self.bump();
+                    match self.peek(0) {
+                        Some('>') => {
+                            self.bump();
+                            if self.peek(0) == Some('>') {
+                                self.bump();
+                                self.push(Token::DoubleArrow, line, column);
+                            } else {
+                                self.push(Token::Arrow, line, column);
+                            }
+                        }
+                        Some(d) if d.is_ascii_digit() => {
+                            let n = self.lex_integer()?;
+                            self.push(Token::Int(-n), line, column);
+                        }
+                        _ => return Err(self.error("expected '->', '->>' or a digit after '-'")),
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek(0) == Some('>') {
+                        self.bump();
+                        if self.peek(0) == Some('>') {
+                            self.bump();
+                            self.push(Token::SigDoubleArrow, line, column);
+                        } else {
+                            self.push(Token::SigArrow, line, column);
+                        }
+                    } else {
+                        return Err(self.error("expected '=>' or '=>>'"));
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek(0) == Some('-') {
+                        self.bump();
+                        self.push(Token::Implies, line, column);
+                    } else {
+                        return Err(self.error("expected '<-'"));
+                    }
+                }
+                '?' => {
+                    self.bump();
+                    if self.peek(0) == Some('-') {
+                        self.bump();
+                        self.push(Token::QueryPrefix, line, column);
+                    } else {
+                        return Err(self.error("expected '?-'"));
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('"') => break,
+                            Some('\\') => match self.bump() {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some(other) => {
+                                    return Err(self.error(format!("unknown escape sequence '\\{other}'")))
+                                }
+                                None => return Err(self.error("unterminated string literal")),
+                            },
+                            Some(c) => s.push(c),
+                            None => return Err(self.error("unterminated string literal")),
+                        }
+                    }
+                    self.push(Token::Str(s), line, column);
+                }
+                c if c.is_ascii_digit() => {
+                    let n = self.lex_integer()?;
+                    self.push(Token::Int(n), line, column);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            s.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let token = if s == "not" {
+                        Token::Not
+                    } else if s.starts_with(|c: char| c.is_uppercase() || c == '_') {
+                        Token::Variable(s)
+                    } else {
+                        Token::Atom(s)
+                    };
+                    self.push(token, line, column);
+                }
+                other => return Err(self.error(format!("unexpected character '{other}'"))),
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn lex_integer(&mut self) -> Result<i64> {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s.parse::<i64>().map_err(|_| self.error(format!("integer literal '{s}' out of range")))
+    }
+}
+
+/// Can this character start a reference (making a preceding `.` a path dot)?
+fn starts_reference(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '(' || c == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn simple_path_and_terminator() {
+        assert_eq!(
+            toks("mary.spouse."),
+            vec![Token::Atom("mary".into()), Token::Dot, Token::Atom("spouse".into()), Token::End]
+        );
+    }
+
+    #[test]
+    fn set_valued_dots() {
+        assert_eq!(
+            toks("p1..assistants"),
+            vec![Token::Atom("p1".into()), Token::DotDot, Token::Atom("assistants".into())]
+        );
+    }
+
+    #[test]
+    fn dot_before_paren_is_a_path_dot() {
+        let t = toks("X..(M.tc)");
+        assert_eq!(
+            t,
+            vec![
+                Token::Variable("X".into()),
+                Token::DotDot,
+                Token::LParen,
+                Token::Variable("M".into()),
+                Token::Dot,
+                Token::Atom("tc".into()),
+                Token::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_and_filters() {
+        assert_eq!(
+            toks("[age -> 30; kids ->> {tim}]"),
+            vec![
+                Token::LBracket,
+                Token::Atom("age".into()),
+                Token::Arrow,
+                Token::Int(30),
+                Token::Semicolon,
+                Token::Atom("kids".into()),
+                Token::DoubleArrow,
+                Token::LBrace,
+                Token::Atom("tim".into()),
+                Token::RBrace,
+                Token::RBracket
+            ]
+        );
+    }
+
+    #[test]
+    fn signature_arrows() {
+        assert_eq!(
+            toks("person[age => integer; kids =>> person]")[2..5].to_vec(),
+            vec![Token::Atom("age".into()), Token::SigArrow, Token::Atom("integer".into())]
+        );
+        assert!(toks("a =>> b").contains(&Token::SigDoubleArrow));
+    }
+
+    #[test]
+    fn rule_and_query_markers() {
+        assert_eq!(
+            toks("X <- Y. ?- Z."),
+            vec![
+                Token::Variable("X".into()),
+                Token::Implies,
+                Token::Variable("Y".into()),
+                Token::End,
+                Token::QueryPrefix,
+                Token::Variable("Z".into()),
+                Token::End
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_atoms_and_not() {
+        assert_eq!(
+            toks("X boss Boss _tmp not"),
+            vec![
+                Token::Variable("X".into()),
+                Token::Atom("boss".into()),
+                Token::Variable("Boss".into()),
+                Token::Variable("_tmp".into()),
+                Token::Not
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks("\"Main St\""), vec![Token::Str("Main St".into())]);
+        assert_eq!(toks("\"a\\\"b\\n\""), vec![Token::Str("a\"b\n".into())]);
+        assert!(tokenize("\"open").is_err());
+    }
+
+    #[test]
+    fn integers_including_negative() {
+        assert_eq!(toks("42 -7"), vec![Token::Int(42), Token::Int(-7)]);
+        assert_eq!(toks("salary@(1994)")[2..3].to_vec(), vec![Token::LParen]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a % comment\nb # another\nc // third\nd"), vec![
+            Token::Atom("a".into()),
+            Token::Atom("b".into()),
+            Token::Atom("c".into()),
+            Token::Atom("d".into()),
+        ]);
+    }
+
+    #[test]
+    fn method_call_dot_inside_statement() {
+        // `a.b.c.` — two path dots then a terminator
+        assert_eq!(
+            toks("a.b.c."),
+            vec![
+                Token::Atom("a".into()),
+                Token::Dot,
+                Token::Atom("b".into()),
+                Token::Dot,
+                Token::Atom("c".into()),
+                Token::End
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_before_bracket_is_a_terminator() {
+        // `X[kids ->> {Y}].` ends the statement even right before EOF.
+        let t = toks("X[a -> b].");
+        assert_eq!(*t.last().unwrap(), Token::End);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = tokenize("a\n  $").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column >= 3);
+    }
+
+    #[test]
+    fn lone_equals_or_angle_is_an_error() {
+        assert!(tokenize("a = b").is_err());
+        assert!(tokenize("a < b").is_err());
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("a - b").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # pathlog-parser
+//!
+//! Lexer, parser and (via the `Display` implementations of
+//! [`pathlog_core`]) pretty-printer for the PathLog concrete syntax used
+//! throughout the paper *Access to Objects by Path Expressions and Rules*:
+//!
+//! ```text
+//! X:employee[age->30; city->newYork]..vehicles:automobile[cylinders->4].color[Z]
+//!
+//! X.address[street -> X.street; city -> X.city] <- X : person.
+//!
+//! ?- X : manager..vehicles[color -> red].producedBy[city -> detroit; president -> X].
+//! ```
+//!
+//! The parser produces [`pathlog_core::term::Term`],
+//! [`pathlog_core::program::Rule`] and [`pathlog_core::program::Program`]
+//! values that evaluate directly with [`pathlog_core::engine::Engine`].
+//!
+//! ```
+//! use pathlog_core::prelude::*;
+//! use pathlog_parser::parse_program;
+//!
+//! let program = parse_program(
+//!     "peter[kids ->> {tim, mary}].
+//!      tim[kids ->> {sally}].
+//!      X[desc ->> {Y}] <- X[kids ->> {Y}].
+//!      X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+//!      ?- peter[desc ->> {Z}].",
+//! )
+//! .unwrap();
+//!
+//! let mut structure = Structure::new();
+//! let engine = Engine::new();
+//! engine.load_program(&mut structure, &program).unwrap();
+//! let answers = engine.query(&structure, &program.queries[0]).unwrap();
+//! assert_eq!(answers.len(), 3); // tim, mary, sally
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod lexer;
+mod parser;
+
+pub use error::{ParseError, Result};
+pub use lexer::{tokenize, Spanned, Token};
+pub use parser::{parse_program, parse_query, parse_rule, parse_term};

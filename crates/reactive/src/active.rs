@@ -1,0 +1,708 @@
+//! Active rules: event–condition–action triggers over a semantic structure.
+//!
+//! The second "other kind of rule language" the paper mentions.  An
+//! [`ActiveStore`] wraps a [`Structure`]; every primitive mutation performed
+//! through the store is an *event*.  Each [`EcaRule`] names the event kind it
+//! reacts to, a PathLog body as its *condition*, and a list of mutation
+//! templates as its *action*.  Actions are themselves primitive mutations, so
+//! they can trigger further rules; cascades are bounded by
+//! [`ActiveOptions::max_cascade_depth`] and
+//! [`ActiveOptions::max_total_firings`].
+//!
+//! When a rule fires, the event's participants are available to the condition
+//! and action terms through reserved variables:
+//!
+//! | event | bound variables |
+//! |---|---|
+//! | scalar asserted / retracted | `Receiver`, `Value` |
+//! | set member added / removed | `Receiver`, `Member` |
+//! | class membership added | `Object`, `Class` |
+
+use std::fmt;
+
+use pathlog_core::engine::solve_body;
+use pathlog_core::names::{Name, Var};
+use pathlog_core::program::Literal;
+use pathlog_core::semantics::{valuate, Bindings};
+use pathlog_core::structure::{Oid, Structure};
+use pathlog_core::term::Term;
+
+use crate::error::{ReactiveError, Result};
+
+/// The kind of primitive mutation an ECA rule reacts to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A scalar fact for the named method was asserted.
+    ScalarAsserted(Name),
+    /// A scalar fact for the named method was retracted.
+    ScalarRetracted(Name),
+    /// A member was added to a set-valued fact of the named method.
+    SetMemberAdded(Name),
+    /// A member was removed from a set-valued fact of the named method.
+    SetMemberRemoved(Name),
+    /// An object became a member of the named class.
+    ClassAdded(Name),
+}
+
+impl Event {
+    /// The method/class name the event watches.
+    pub fn name(&self) -> &Name {
+        match self {
+            Event::ScalarAsserted(n)
+            | Event::ScalarRetracted(n)
+            | Event::SetMemberAdded(n)
+            | Event::SetMemberRemoved(n)
+            | Event::ClassAdded(n) => n,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::ScalarAsserted(n) => write!(f, "on assert {n} ->"),
+            Event::ScalarRetracted(n) => write!(f, "on retract {n} ->"),
+            Event::SetMemberAdded(n) => write!(f, "on add {n} ->>"),
+            Event::SetMemberRemoved(n) => write!(f, "on remove {n} ->>"),
+            Event::ClassAdded(n) => write!(f, "on classify : {n}"),
+        }
+    }
+}
+
+/// An action template: a primitive mutation whose participants are PathLog
+/// references evaluated under the rule's bindings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcaAction {
+    /// Assert `receiver[method -> value]`.
+    AssertScalar {
+        /// The receiver reference.
+        receiver: Term,
+        /// The method name.
+        method: Name,
+        /// The value reference.
+        value: Term,
+    },
+    /// Assert `member ∈ receiver..method`.
+    AddSetMember {
+        /// The receiver reference.
+        receiver: Term,
+        /// The method name.
+        method: Name,
+        /// The member reference.
+        member: Term,
+    },
+    /// Assert `object : class`.
+    AddIsA {
+        /// The object reference.
+        object: Term,
+        /// The class name.
+        class: Name,
+    },
+    /// Retract the scalar fact `receiver[method -> _]`.
+    RetractScalar {
+        /// The receiver reference.
+        receiver: Term,
+        /// The method name.
+        method: Name,
+    },
+    /// Retract `member` from `receiver..method`.
+    RemoveSetMember {
+        /// The receiver reference.
+        receiver: Term,
+        /// The method name.
+        method: Name,
+        /// The member reference.
+        member: Term,
+    },
+}
+
+impl fmt::Display for EcaAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcaAction::AssertScalar { receiver, method, value } => write!(f, "assert {receiver}[{method} -> {value}]"),
+            EcaAction::AddSetMember { receiver, method, member } => {
+                write!(f, "assert {receiver}[{method} ->> {{{member}}}]")
+            }
+            EcaAction::AddIsA { object, class } => write!(f, "assert {object} : {class}"),
+            EcaAction::RetractScalar { receiver, method } => write!(f, "retract {receiver}.{method}"),
+            EcaAction::RemoveSetMember { receiver, method, member } => {
+                write!(f, "retract {member} from {receiver}..{method}")
+            }
+        }
+    }
+}
+
+/// One event–condition–action rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcaRule {
+    /// A name used in traces and errors.
+    pub name: String,
+    /// The triggering event.
+    pub event: Event,
+    /// The condition: a PathLog body, evaluated with the event's reserved
+    /// variables pre-bound.  An empty condition always holds.
+    pub condition: Vec<Literal>,
+    /// The actions, applied for every solution of the condition.
+    pub actions: Vec<EcaAction>,
+    /// Higher priorities run first when several rules match one event.
+    pub priority: i64,
+}
+
+impl EcaRule {
+    /// A rule with priority 0.
+    pub fn new(name: impl Into<String>, event: Event, condition: Vec<Literal>, actions: Vec<EcaAction>) -> Self {
+        EcaRule { name: name.into(), event, condition, actions, priority: 0 }
+    }
+
+    /// Set the priority.
+    pub fn with_priority(mut self, priority: i64) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+impl fmt::Display for EcaRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ", self.name, self.event)?;
+        if !self.condition.is_empty() {
+            write!(f, "IF ")?;
+            for (i, l) in self.condition.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, " ")?;
+        }
+        write!(f, "DO ")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Options of the active store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveOptions {
+    /// Maximum trigger cascade depth (a mutation performed by an action runs
+    /// at depth + 1).
+    pub max_cascade_depth: usize,
+    /// Maximum number of rule firings for a single external mutation.
+    pub max_total_firings: usize,
+}
+
+impl Default for ActiveOptions {
+    fn default() -> Self {
+        ActiveOptions { max_cascade_depth: 32, max_total_firings: 100_000 }
+    }
+}
+
+/// Statistics of one external mutation (including its cascade).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveStats {
+    /// Rule firings (one per rule and condition solution).
+    pub firings: usize,
+    /// Primitive mutations that actually changed the structure.
+    pub mutations: usize,
+    /// The deepest cascade level reached (0 = only the external mutation).
+    pub max_depth_reached: usize,
+}
+
+/// A structure wrapped with ECA triggers.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveStore {
+    structure: Structure,
+    rules: Vec<EcaRule>,
+    options: ActiveOptions,
+}
+
+impl ActiveStore {
+    /// Wrap an existing structure.
+    pub fn new(structure: Structure) -> Self {
+        ActiveStore { structure, rules: Vec::new(), options: ActiveOptions::default() }
+    }
+
+    /// Wrap a structure with the given options.
+    pub fn with_options(structure: Structure, options: ActiveOptions) -> Self {
+        ActiveStore { structure, rules: Vec::new(), options }
+    }
+
+    /// Register a trigger.
+    pub fn add_rule(&mut self, rule: EcaRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The registered triggers.
+    pub fn rules(&self) -> &[EcaRule] {
+        &self.rules
+    }
+
+    /// Read access to the wrapped structure.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// Unwrap the structure.
+    pub fn into_structure(self) -> Structure {
+        self.structure
+    }
+
+    /// Intern a name (no event fires for this).
+    pub fn oid(&mut self, name: &str) -> Oid {
+        self.structure.atom(name)
+    }
+
+    /// Intern an integer (no event fires for this).
+    pub fn int(&mut self, value: i64) -> Oid {
+        self.structure.int(value)
+    }
+
+    // ------------------------------------------------------------- mutations
+
+    /// Assert a scalar fact, firing matching triggers.
+    pub fn assert_scalar(&mut self, method: Oid, receiver: Oid, result: Oid) -> Result<ActiveStats> {
+        let mut stats = ActiveStats::default();
+        self.mutate(Mutation::AssertScalar { method, receiver, result }, 0, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Retract a scalar fact, firing matching triggers.
+    pub fn retract_scalar(&mut self, method: Oid, receiver: Oid) -> Result<ActiveStats> {
+        let mut stats = ActiveStats::default();
+        self.mutate(Mutation::RetractScalar { method, receiver }, 0, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Add a set member, firing matching triggers.
+    pub fn add_set_member(&mut self, method: Oid, receiver: Oid, member: Oid) -> Result<ActiveStats> {
+        let mut stats = ActiveStats::default();
+        self.mutate(Mutation::AddSetMember { method, receiver, member }, 0, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Remove a set member, firing matching triggers.
+    pub fn remove_set_member(&mut self, method: Oid, receiver: Oid, member: Oid) -> Result<ActiveStats> {
+        let mut stats = ActiveStats::default();
+        self.mutate(Mutation::RemoveSetMember { method, receiver, member }, 0, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Add a class membership, firing matching triggers.
+    pub fn add_isa(&mut self, object: Oid, class: Oid) -> Result<ActiveStats> {
+        let mut stats = ActiveStats::default();
+        self.mutate(Mutation::AddIsA { object, class }, 0, &mut stats)?;
+        Ok(stats)
+    }
+
+    // -------------------------------------------------------------- internal
+
+    fn mutate(&mut self, mutation: Mutation, depth: usize, stats: &mut ActiveStats) -> Result<()> {
+        if depth > self.options.max_cascade_depth {
+            return Err(ReactiveError::LimitExceeded(format!(
+                "trigger cascade exceeded depth {}",
+                self.options.max_cascade_depth
+            )));
+        }
+        stats.max_depth_reached = stats.max_depth_reached.max(depth);
+
+        // 1. Apply the primitive mutation; only real changes raise events.
+        let (changed, seed, watched) = match mutation {
+            Mutation::AssertScalar { method, receiver, result } => {
+                let changed = self.structure.assert_scalar(method, receiver, &[], result)?.is_new();
+                (changed, seed_scalar(receiver, result), (EventKind::ScalarAsserted, method))
+            }
+            Mutation::RetractScalar { method, receiver } => match self.structure.retract_scalar(method, receiver, &[]) {
+                Some(old) => (true, seed_scalar(receiver, old), (EventKind::ScalarRetracted, method)),
+                None => (false, Bindings::new(), (EventKind::ScalarRetracted, method)),
+            },
+            Mutation::AddSetMember { method, receiver, member } => {
+                let changed = self.structure.assert_set_member(method, receiver, &[], member).is_new();
+                (changed, seed_member(receiver, member), (EventKind::SetMemberAdded, method))
+            }
+            Mutation::RemoveSetMember { method, receiver, member } => {
+                let changed = self.structure.retract_set_member(method, receiver, &[], member);
+                (changed, seed_member(receiver, member), (EventKind::SetMemberRemoved, method))
+            }
+            Mutation::AddIsA { object, class } => {
+                let changed = self.structure.add_isa(object, class);
+                (changed, seed_isa(object, class), (EventKind::ClassAdded, class))
+            }
+        };
+        if !changed {
+            return Ok(());
+        }
+        stats.mutations += 1;
+
+        // 2. Find matching rules (events match by name).
+        let Some(watched_name) = self.structure.name_of(watched.1).cloned() else {
+            return Ok(());
+        };
+        let mut matching: Vec<usize> = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| event_matches(&r.event, watched.0, &watched_name))
+            .map(|(i, _)| i)
+            .collect();
+        matching.sort_by_key(|&i| (-self.rules[i].priority, i));
+
+        // 3. Fire each rule for every solution of its condition.
+        for index in matching {
+            let rule = self.rules[index].clone();
+            let solutions = solve_body(&self.structure, &rule.condition, &seed)?;
+            for solution in solutions {
+                stats.firings += 1;
+                if stats.firings > self.options.max_total_firings {
+                    return Err(ReactiveError::LimitExceeded(format!(
+                        "more than {} trigger firings for one mutation",
+                        self.options.max_total_firings
+                    )));
+                }
+                for action in &rule.actions {
+                    let next = self.compile_action(action, &solution)?;
+                    self.mutate(next, depth + 1, stats)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate an action template into a primitive mutation.
+    fn compile_action(&mut self, action: &EcaAction, bindings: &Bindings) -> Result<Mutation> {
+        Ok(match action {
+            EcaAction::AssertScalar { receiver, method, value } => Mutation::AssertScalar {
+                method: self.structure.ensure_name(method),
+                receiver: self.single(receiver, bindings, "action receiver")?,
+                result: self.single(value, bindings, "action value")?,
+            },
+            EcaAction::AddSetMember { receiver, method, member } => Mutation::AddSetMember {
+                method: self.structure.ensure_name(method),
+                receiver: self.single(receiver, bindings, "action receiver")?,
+                member: self.single(member, bindings, "action member")?,
+            },
+            EcaAction::AddIsA { object, class } => Mutation::AddIsA {
+                class: self.structure.ensure_name(class),
+                object: self.single(object, bindings, "action object")?,
+            },
+            EcaAction::RetractScalar { receiver, method } => Mutation::RetractScalar {
+                method: self.structure.ensure_name(method),
+                receiver: self.single(receiver, bindings, "action receiver")?,
+            },
+            EcaAction::RemoveSetMember { receiver, method, member } => Mutation::RemoveSetMember {
+                method: self.structure.ensure_name(method),
+                receiver: self.single(receiver, bindings, "action receiver")?,
+                member: self.single(member, bindings, "action member")?,
+            },
+        })
+    }
+
+    fn single(&mut self, term: &Term, bindings: &Bindings, what: &str) -> Result<Oid> {
+        // Names used in actions may be new to the structure.
+        if let Term::Name(n) = term {
+            return Ok(self.structure.ensure_name(n));
+        }
+        let objects = valuate(&self.structure, term, bindings)?;
+        match objects.len() {
+            1 => Ok(objects.into_iter().next().expect("len checked")),
+            0 => Err(ReactiveError::InvalidAction(format!("{what} `{term}` denotes no object"))),
+            n => Err(ReactiveError::InvalidAction(format!("{what} `{term}` denotes {n} objects, expected one"))),
+        }
+    }
+}
+
+/// A primitive mutation (all participants resolved to objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mutation {
+    AssertScalar { method: Oid, receiver: Oid, result: Oid },
+    RetractScalar { method: Oid, receiver: Oid },
+    AddSetMember { method: Oid, receiver: Oid, member: Oid },
+    RemoveSetMember { method: Oid, receiver: Oid, member: Oid },
+    AddIsA { object: Oid, class: Oid },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    ScalarAsserted,
+    ScalarRetracted,
+    SetMemberAdded,
+    SetMemberRemoved,
+    ClassAdded,
+}
+
+fn event_matches(event: &Event, kind: EventKind, name: &Name) -> bool {
+    match (event, kind) {
+        (Event::ScalarAsserted(n), EventKind::ScalarAsserted)
+        | (Event::ScalarRetracted(n), EventKind::ScalarRetracted)
+        | (Event::SetMemberAdded(n), EventKind::SetMemberAdded)
+        | (Event::SetMemberRemoved(n), EventKind::SetMemberRemoved)
+        | (Event::ClassAdded(n), EventKind::ClassAdded) => n == name,
+        _ => false,
+    }
+}
+
+fn seed_scalar(receiver: Oid, value: Oid) -> Bindings {
+    Bindings::from_pairs([(Var::new("Receiver"), receiver), (Var::new("Value"), value)])
+        .expect("distinct reserved variables")
+}
+
+fn seed_member(receiver: Oid, member: Oid) -> Bindings {
+    Bindings::from_pairs([(Var::new("Receiver"), receiver), (Var::new("Member"), member)])
+        .expect("distinct reserved variables")
+}
+
+fn seed_isa(object: Oid, class: Oid) -> Bindings {
+    Bindings::from_pairs([(Var::new("Object"), object), (Var::new("Class"), class)])
+        .expect("distinct reserved variables")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ActiveStore {
+        let mut s = Structure::new();
+        let employee = s.atom("employee");
+        let mary = s.atom("mary");
+        let john = s.atom("john");
+        s.add_isa(mary, employee);
+        s.add_isa(john, employee);
+        ActiveStore::new(s)
+    }
+
+    #[test]
+    fn a_scalar_assert_trigger_fires_and_acts() {
+        let mut store = store();
+        // on assert salary: if the receiver is an employee, stamp it as paid.
+        store.add_rule(EcaRule::new(
+            "mark-paid",
+            Event::ScalarAsserted(Name::atom("salary")),
+            vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("paid") }],
+        ));
+        let (salary, mary) = (store.oid("salary"), store.oid("mary"));
+        let amount = store.int(1200);
+        let stats = store.assert_scalar(salary, mary, amount).unwrap();
+        assert_eq!(stats.firings, 1);
+        assert_eq!(stats.mutations, 2, "the external assert plus the trigger's isa");
+        assert_eq!(stats.max_depth_reached, 1);
+        let paid = store.oid("paid");
+        let mary = store.oid("mary");
+        assert!(store.structure().in_class(mary, paid));
+    }
+
+    #[test]
+    fn conditions_filter_which_events_act() {
+        let mut store = store();
+        let outsider = store.oid("outsider");
+        store.add_rule(EcaRule::new(
+            "mark-paid",
+            Event::ScalarAsserted(Name::atom("salary")),
+            vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("paid") }],
+        ));
+        let salary = store.oid("salary");
+        let amount = store.int(900);
+        let stats = store.assert_scalar(salary, outsider, amount).unwrap();
+        assert_eq!(stats.firings, 0, "the outsider is not an employee");
+        assert_eq!(stats.mutations, 1);
+    }
+
+    #[test]
+    fn unchanged_mutations_raise_no_events() {
+        let mut store = store();
+        store.add_rule(EcaRule::new(
+            "watch",
+            Event::SetMemberAdded(Name::atom("vehicles")),
+            vec![],
+            vec![EcaAction::AddIsA { object: Term::var("Member"), class: Name::atom("seen") }],
+        ));
+        let (vehicles, mary, a1) = (store.oid("vehicles"), store.oid("mary"), store.oid("a1"));
+        assert_eq!(store.add_set_member(vehicles, mary, a1).unwrap().firings, 1);
+        // adding the same member again changes nothing and fires nothing
+        assert_eq!(store.add_set_member(vehicles, mary, a1).unwrap().firings, 0);
+    }
+
+    #[test]
+    fn cascading_triggers_run_to_the_configured_depth() {
+        let mut store = store();
+        // Propagate a salary change to the bonus (10% of salary is modelled as
+        // a second scalar assert, which itself triggers an audit mark).
+        store.add_rule(EcaRule::new(
+            "derive-bonus",
+            Event::ScalarAsserted(Name::atom("salary")),
+            vec![],
+            vec![EcaAction::AssertScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("bonusBase"),
+                value: Term::var("Value"),
+            }],
+        ));
+        store.add_rule(EcaRule::new(
+            "audit",
+            Event::ScalarAsserted(Name::atom("bonusBase")),
+            vec![],
+            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("audited") }],
+        ));
+        let (salary, mary) = (store.oid("salary"), store.oid("mary"));
+        let amount = store.int(2000);
+        let stats = store.assert_scalar(salary, mary, amount).unwrap();
+        assert_eq!(stats.firings, 2);
+        assert_eq!(stats.mutations, 3);
+        assert_eq!(stats.max_depth_reached, 2);
+        let audited = store.oid("audited");
+        let mary = store.oid("mary");
+        assert!(store.structure().in_class(mary, audited));
+    }
+
+    #[test]
+    fn retraction_events_see_the_old_value() {
+        let mut store = store();
+        store.add_rule(EcaRule::new(
+            "archive",
+            Event::ScalarRetracted(Name::atom("salary")),
+            vec![],
+            vec![EcaAction::AssertScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("lastKnownSalary"),
+                value: Term::var("Value"),
+            }],
+        ));
+        let (salary, mary) = (store.oid("salary"), store.oid("mary"));
+        let amount = store.int(1500);
+        store.assert_scalar(salary, mary, amount).unwrap();
+        let stats = store.retract_scalar(salary, mary).unwrap();
+        assert_eq!(stats.firings, 1);
+        let last = store.oid("lastKnownSalary");
+        let mary = store.oid("mary");
+        assert_eq!(store.structure().apply_scalar(last, mary, &[]), Some(amount));
+        assert_eq!(store.structure().apply_scalar(salary, mary, &[]), None);
+    }
+
+    #[test]
+    fn set_member_removal_triggers_fire() {
+        let mut store = store();
+        store.add_rule(EcaRule::new(
+            "log-removal",
+            Event::SetMemberRemoved(Name::atom("vehicles")),
+            vec![],
+            vec![EcaAction::AddSetMember {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("formerVehicles"),
+                member: Term::var("Member"),
+            }],
+        ));
+        let (vehicles, mary, a1) = (store.oid("vehicles"), store.oid("mary"), store.oid("a1"));
+        store.add_set_member(vehicles, mary, a1).unwrap();
+        let stats = store.remove_set_member(vehicles, mary, a1).unwrap();
+        assert_eq!(stats.firings, 1);
+        let former = store.oid("formerVehicles");
+        let (mary, a1) = (store.oid("mary"), store.oid("a1"));
+        assert!(store.structure().apply_set(former, mary, &[]).unwrap().contains(&a1));
+    }
+
+    #[test]
+    fn classification_events_bind_object_and_class() {
+        let mut store = store();
+        store.add_rule(EcaRule::new(
+            "welcome",
+            Event::ClassAdded(Name::atom("manager")),
+            vec![Literal::pos(Term::var("Object").isa("employee"))],
+            vec![EcaAction::AssertScalar {
+                receiver: Term::var("Object"),
+                method: Name::atom("status"),
+                value: Term::name("promoted"),
+            }],
+        ));
+        let (manager, mary) = (store.oid("manager"), store.oid("mary"));
+        let stats = store.add_isa(mary, manager).unwrap();
+        assert_eq!(stats.firings, 1);
+        let status = store.oid("status");
+        let promoted = store.oid("promoted");
+        let mary = store.oid("mary");
+        assert_eq!(store.structure().apply_scalar(status, mary, &[]), Some(promoted));
+    }
+
+    #[test]
+    fn infinite_cascades_hit_the_depth_limit() {
+        let mut store = ActiveStore::with_options(Structure::new(), ActiveOptions {
+            max_cascade_depth: 8,
+            ..ActiveOptions::default()
+        });
+        // Each ping asserts a pong and vice versa, with ever-changing values
+        // (the value is the receiver, swapped), so the cascade never quiesces.
+        store.add_rule(EcaRule::new(
+            "ping",
+            Event::ScalarAsserted(Name::atom("ping")),
+            vec![],
+            vec![EcaAction::RetractScalar { receiver: Term::var("Receiver"), method: Name::atom("ping") }],
+        ));
+        store.add_rule(EcaRule::new(
+            "pong",
+            Event::ScalarRetracted(Name::atom("ping")),
+            vec![],
+            vec![EcaAction::AssertScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("ping"),
+                value: Term::var("Value"),
+            }],
+        ));
+        let (ping, a, b) = (store.oid("ping"), store.oid("a"), store.oid("b"));
+        let err = store.assert_scalar(ping, a, b).unwrap_err();
+        assert!(matches!(err, ReactiveError::LimitExceeded(_)));
+    }
+
+    #[test]
+    fn priorities_order_rule_firings_per_event() {
+        let mut store = store();
+        store.add_rule(
+            EcaRule::new(
+                "second",
+                Event::ScalarAsserted(Name::atom("salary")),
+                vec![Literal::pos(Term::var("Receiver").isa("vip"))],
+                vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("doubleChecked") }],
+            )
+            .with_priority(1),
+        );
+        store.add_rule(
+            EcaRule::new(
+                "first",
+                Event::ScalarAsserted(Name::atom("salary")),
+                vec![],
+                vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("vip") }],
+            )
+            .with_priority(10),
+        );
+        let (salary, mary) = (store.oid("salary"), store.oid("mary"));
+        let amount = store.int(9000);
+        let stats = store.assert_scalar(salary, mary, amount).unwrap();
+        // "first" runs before "second", so "second"'s condition (vip) already
+        // holds and both fire.
+        assert_eq!(stats.firings, 2);
+        let double_checked = store.oid("doubleChecked");
+        let mary = store.oid("mary");
+        assert!(store.structure().in_class(mary, double_checked));
+    }
+
+    #[test]
+    fn rules_and_events_display_readably() {
+        let rule = EcaRule::new(
+            "mark-paid",
+            Event::ScalarAsserted(Name::atom("salary")),
+            vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("paid") }],
+        );
+        let text = rule.to_string();
+        assert!(text.contains("on assert salary ->"));
+        assert!(text.contains("IF Receiver : employee"));
+        assert!(text.contains("DO assert Receiver : paid"));
+        assert_eq!(Event::SetMemberAdded(Name::atom("kids")).name(), &Name::atom("kids"));
+        assert!(EcaAction::RetractScalar { receiver: Term::var("X"), method: Name::atom("age") }
+            .to_string()
+            .contains("retract X.age"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Errors of the production / active rule layer.
+
+use std::fmt;
+
+use pathlog_core::error::Error as CoreError;
+
+/// Errors raised while running production or active rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReactiveError {
+    /// An action references something it cannot act on (e.g. retracting a
+    /// path, or an action term that does not denote exactly one object).
+    InvalidAction(String),
+    /// A resource limit was exceeded (cycles, cascade depth, total firings).
+    LimitExceeded(String),
+    /// The underlying PathLog evaluation failed.
+    Evaluation(String),
+}
+
+impl fmt::Display for ReactiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReactiveError::InvalidAction(m) => write!(f, "invalid action: {m}"),
+            ReactiveError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            ReactiveError::Evaluation(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReactiveError {}
+
+impl From<CoreError> for ReactiveError {
+    fn from(e: CoreError) -> Self {
+        ReactiveError::Evaluation(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ReactiveError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_kind() {
+        assert!(ReactiveError::InvalidAction("x".into()).to_string().contains("invalid action"));
+        assert!(ReactiveError::LimitExceeded("x".into()).to_string().contains("limit"));
+        assert!(ReactiveError::Evaluation("x".into()).to_string().contains("evaluation"));
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let core = CoreError::InvalidRule("bad".into());
+        let converted: ReactiveError = core.into();
+        assert!(matches!(converted, ReactiveError::Evaluation(_)));
+        assert!(converted.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # pathlog-reactive — production and active rules over PathLog references
+//!
+//! The paper's conclusion states that PathLog's techniques "can be also
+//! applied in the context of other kinds of rule languages, e.g. production
+//! rules or active rules", because path expressions are merely a way to
+//! *reference* objects while rule evaluation is an orthogonal concern.  This
+//! crate substantiates that claim with two additional rule systems that share
+//! the deductive engine's matcher
+//! ([`solve_body`](pathlog_core::engine::solve_body)) and its reference
+//! syntax:
+//!
+//! * [`production`] — a forward-chaining recognise–act production system:
+//!   conditions are PathLog bodies, actions assert or retract references,
+//!   conflict resolution picks one instantiation per cycle.
+//! * [`active`] — an event–condition–action trigger layer over a
+//!   [`Structure`](pathlog_core::structure::Structure): primitive mutations
+//!   raise events, conditions are PathLog bodies seeded with the event's
+//!   participants, actions are further mutations (cascades are bounded).
+//!
+//! Retraction — which deductive bottom-up evaluation never needs — is
+//! provided by the core structure's `retract_scalar` / `retract_set_member`
+//! extensions.
+//!
+//! ```
+//! use pathlog_core::program::Literal;
+//! use pathlog_core::structure::Structure;
+//! use pathlog_core::term::Term;
+//! use pathlog_reactive::{Action, ProductionEngine, ProductionRule};
+//!
+//! let mut structure = Structure::new();
+//! let employee = structure.atom("employee");
+//! let mary = structure.atom("mary");
+//! structure.add_isa(mary, employee);
+//!
+//! let mut engine = ProductionEngine::new();
+//! engine.add_rule(ProductionRule::new(
+//!     "everyone-gets-an-address",
+//!     vec![Literal::pos(Term::var("X").isa("employee"))],
+//!     vec![Action::Assert(Term::var("X").scalar("address"))],
+//! ));
+//! let stats = engine.run(&mut structure).unwrap();
+//! assert_eq!(stats.virtual_objects, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod active;
+pub mod error;
+pub mod production;
+
+pub use action::{apply_action, Action, ActionEffect};
+pub use active::{ActiveOptions, ActiveStats, ActiveStore, EcaAction, EcaRule, Event};
+pub use error::{ReactiveError, Result};
+pub use production::{
+    ConflictResolution, Firing, ProductionEngine, ProductionOptions, ProductionRule, ProductionStats,
+};

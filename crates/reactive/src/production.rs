@@ -1,0 +1,408 @@
+//! A forward-chaining production rule engine with PathLog conditions.
+//!
+//! The paper's conclusion: path expressions are "a convenient tool to
+//! reference objects; the way in which a set of rules is being evaluated is
+//! an orthogonal issue".  This module demonstrates that orthogonality with a
+//! classic recognise–act production system:
+//!
+//! * the **condition** of a rule is an ordinary PathLog body (a conjunction
+//!   of references, evaluated by [`solve_body`] — the same matcher the
+//!   deductive engine uses);
+//! * the **actions** assert or retract references ([`Action`]);
+//! * one instantiation fires per cycle, chosen by a conflict-resolution
+//!   strategy; refractoriness prevents the same instantiation from firing
+//!   twice.
+//!
+//! Unlike the deductive engine, production rules can *retract* facts, so the
+//! fixpoint guarantee of the bottom-up semantics is replaced by explicit
+//! cycle limits.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pathlog_core::engine::solve_body;
+use pathlog_core::program::Literal;
+use pathlog_core::semantics::Bindings;
+use pathlog_core::structure::{Oid, Structure};
+
+use crate::action::{apply_action, Action, ActionEffect};
+use crate::error::{ReactiveError, Result};
+
+/// How the conflict set is ordered before the first instantiation fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictResolution {
+    /// Highest priority first; ties broken by rule definition order, then by
+    /// binding order (the default).
+    #[default]
+    Priority,
+    /// Rule definition order only (priorities ignored).
+    DefinitionOrder,
+}
+
+/// One production rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductionRule {
+    /// A name used in traces and error messages.
+    pub name: String,
+    /// Higher priorities fire first under [`ConflictResolution::Priority`].
+    pub priority: i64,
+    /// The condition: a PathLog body.
+    pub condition: Vec<Literal>,
+    /// The actions, applied in order when the rule fires.
+    pub actions: Vec<Action>,
+}
+
+impl ProductionRule {
+    /// A rule with priority 0.
+    pub fn new(name: impl Into<String>, condition: Vec<Literal>, actions: Vec<Action>) -> Self {
+        ProductionRule { name: name.into(), priority: 0, condition, actions }
+    }
+
+    /// Set the priority.
+    pub fn with_priority(mut self, priority: i64) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+impl fmt::Display for ProductionRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: IF ", self.name, self.priority)?;
+        for (i, l) in self.condition.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, " THEN ")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Options of the production engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductionOptions {
+    /// Maximum number of recognise–act cycles before giving up.
+    pub max_cycles: usize,
+    /// Remember fired instantiations so they never fire again.
+    pub refractory: bool,
+    /// Conflict-resolution strategy.
+    pub conflict_resolution: ConflictResolution,
+    /// Create virtual objects for undefined scalar paths in assert actions.
+    pub create_virtuals: bool,
+}
+
+impl Default for ProductionOptions {
+    fn default() -> Self {
+        ProductionOptions {
+            max_cycles: 10_000,
+            refractory: true,
+            conflict_resolution: ConflictResolution::Priority,
+            create_virtuals: true,
+        }
+    }
+}
+
+/// Statistics of one production run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProductionStats {
+    /// Recognise–act cycles executed.
+    pub cycles: usize,
+    /// Rule instantiations fired.
+    pub firings: usize,
+    /// Facts asserted by actions.
+    pub asserted: usize,
+    /// Facts retracted by actions.
+    pub retracted: usize,
+    /// Virtual objects created by actions.
+    pub virtual_objects: usize,
+}
+
+/// One entry of the firing trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firing {
+    /// The cycle in which the rule fired (1-based).
+    pub cycle: usize,
+    /// The rule's name.
+    pub rule: String,
+    /// The instantiation, as `(variable, object)` pairs.
+    pub bindings: Vec<(String, Oid)>,
+}
+
+/// The production rule engine.
+#[derive(Debug, Clone, Default)]
+pub struct ProductionEngine {
+    rules: Vec<ProductionRule>,
+    options: ProductionOptions,
+}
+
+impl ProductionEngine {
+    /// An engine with default options and no rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with the given options.
+    pub fn with_options(options: ProductionOptions) -> Self {
+        ProductionEngine { rules: Vec::new(), options }
+    }
+
+    /// Add a rule; rules keep their definition order.
+    pub fn add_rule(&mut self, rule: ProductionRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The rules in definition order.
+    pub fn rules(&self) -> &[ProductionRule] {
+        &self.rules
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &ProductionOptions {
+        &self.options
+    }
+
+    /// Run recognise–act cycles until no (new) instantiation matches.
+    /// Returns statistics; use [`ProductionEngine::run_traced`] to also get
+    /// the firing trace.
+    pub fn run(&self, structure: &mut Structure) -> Result<ProductionStats> {
+        self.run_traced(structure).map(|(stats, _)| stats)
+    }
+
+    /// Run recognise–act cycles, returning statistics and the firing trace.
+    pub fn run_traced(&self, structure: &mut Structure) -> Result<(ProductionStats, Vec<Firing>)> {
+        let mut stats = ProductionStats::default();
+        let mut trace = Vec::new();
+        let mut fired: BTreeSet<(usize, Vec<(String, Oid)>)> = BTreeSet::new();
+
+        loop {
+            if stats.cycles >= self.options.max_cycles {
+                return Err(ReactiveError::LimitExceeded(format!(
+                    "no quiescence after {} recognise-act cycles",
+                    self.options.max_cycles
+                )));
+            }
+            stats.cycles += 1;
+
+            // Recognise: build the conflict set.
+            let mut conflict_set: Vec<(usize, Bindings)> = Vec::new();
+            for (index, rule) in self.rules.iter().enumerate() {
+                for bindings in solve_body(structure, &rule.condition, &Bindings::new())? {
+                    let key = (index, instantiation_key(&bindings));
+                    if self.options.refractory && fired.contains(&key) {
+                        continue;
+                    }
+                    conflict_set.push((index, bindings));
+                }
+            }
+            if conflict_set.is_empty() {
+                break;
+            }
+
+            // Resolve: order and pick the first instantiation.
+            conflict_set.sort_by(|(ia, ba), (ib, bb)| {
+                let by_priority = match self.options.conflict_resolution {
+                    ConflictResolution::Priority => self.rules[*ib].priority.cmp(&self.rules[*ia].priority),
+                    ConflictResolution::DefinitionOrder => std::cmp::Ordering::Equal,
+                };
+                by_priority
+                    .then(ia.cmp(ib))
+                    .then_with(|| instantiation_key(ba).cmp(&instantiation_key(bb)))
+            });
+            let (index, bindings) = conflict_set.into_iter().next().expect("non-empty conflict set");
+            let rule = &self.rules[index];
+
+            // Act.
+            for action in &rule.actions {
+                let effect: ActionEffect = apply_action(structure, action, &bindings, self.options.create_virtuals)?;
+                stats.asserted += effect.asserted;
+                stats.retracted += effect.retracted;
+                stats.virtual_objects += effect.virtual_objects;
+            }
+            stats.firings += 1;
+            let key = instantiation_key(&bindings);
+            trace.push(Firing { cycle: stats.cycles, rule: rule.name.clone(), bindings: key.clone() });
+            if self.options.refractory {
+                fired.insert((index, key));
+            }
+        }
+        Ok((stats, trace))
+    }
+}
+
+/// A canonical, comparable form of an instantiation.
+fn instantiation_key(bindings: &Bindings) -> Vec<(String, Oid)> {
+    let mut pairs: Vec<(String, Oid)> = bindings.iter().map(|(v, o)| (v.name().to_string(), o)).collect();
+    pairs.sort();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathlog_core::term::{Filter, Term};
+
+    /// Employees with salaries; the rules below classify and adjust them.
+    fn payroll() -> Structure {
+        let mut s = Structure::new();
+        let employee = s.atom("employee");
+        let salary = s.atom("salary");
+        for (name, pay) in [("ann", 900), ("bob", 1500), ("cleo", 2000)] {
+            let p = s.atom(name);
+            let v = s.int(pay);
+            s.add_isa(p, employee);
+            s.assert_scalar(salary, p, &[], v).unwrap();
+        }
+        // The minimum-wage threshold must exist in the universe for the
+        // comparison literal `S.lt@(1000)` to valuate it.
+        s.int(1000);
+        s
+    }
+
+    fn lit(text_term: Term) -> Literal {
+        Literal::pos(text_term)
+    }
+
+    #[test]
+    fn a_simple_rule_fires_once_per_instantiation() {
+        let mut s = payroll();
+        let mut engine = ProductionEngine::new();
+        // IF X : employee THEN assert X : person
+        engine.add_rule(ProductionRule::new(
+            "classify",
+            vec![lit(Term::var("X").isa("employee"))],
+            vec![Action::Assert(Term::var("X").isa("person"))],
+        ));
+        let (stats, trace) = engine.run_traced(&mut s).unwrap();
+        assert_eq!(stats.firings, 3, "one firing per employee");
+        assert_eq!(stats.asserted, 3);
+        assert_eq!(trace.len(), 3);
+        assert!(trace.iter().all(|f| f.rule == "classify"));
+        let person = s.atom("person");
+        assert_eq!(s.instances_of(person).count(), 3);
+        // Quiescence: running again fires nothing new thanks to refractoriness
+        // (the derived facts still match, but the instantiations are the same).
+        let stats2 = engine.run(&mut s).unwrap();
+        assert_eq!(stats2.firings, 3, "fresh engine state refires; facts unchanged");
+        assert_eq!(stats2.asserted, 0);
+    }
+
+    #[test]
+    fn priorities_decide_which_rule_fires_first() {
+        let mut s = payroll();
+        let mut engine = ProductionEngine::new();
+        engine.add_rule(
+            ProductionRule::new(
+                "low",
+                vec![lit(Term::var("X").isa("employee"))],
+                vec![Action::Assert(Term::var("X").isa("reviewedSecond"))],
+            )
+            .with_priority(1),
+        );
+        engine.add_rule(
+            ProductionRule::new(
+                "high",
+                vec![lit(Term::var("X").isa("employee"))],
+                vec![Action::Assert(Term::var("X").isa("reviewedFirst"))],
+            )
+            .with_priority(10),
+        );
+        let (_, trace) = engine.run_traced(&mut s).unwrap();
+        // The first three firings must all be the high-priority rule.
+        assert!(trace[..3].iter().all(|f| f.rule == "high"), "{trace:?}");
+        assert!(trace[3..].iter().all(|f| f.rule == "low"));
+    }
+
+    #[test]
+    fn definition_order_strategy_ignores_priorities() {
+        let mut s = payroll();
+        let mut engine = ProductionEngine::with_options(ProductionOptions {
+            conflict_resolution: ConflictResolution::DefinitionOrder,
+            ..ProductionOptions::default()
+        });
+        engine.add_rule(
+            ProductionRule::new(
+                "first",
+                vec![lit(Term::var("X").isa("employee"))],
+                vec![Action::Assert(Term::var("X").isa("a"))],
+            )
+            .with_priority(-5),
+        );
+        engine.add_rule(
+            ProductionRule::new(
+                "second",
+                vec![lit(Term::var("X").isa("employee"))],
+                vec![Action::Assert(Term::var("X").isa("b"))],
+            )
+            .with_priority(100),
+        );
+        let (_, trace) = engine.run_traced(&mut s).unwrap();
+        assert_eq!(trace[0].rule, "first");
+    }
+
+    #[test]
+    fn retracting_the_triggering_fact_reaches_quiescence() {
+        let mut s = payroll();
+        let mut engine = ProductionEngine::new();
+        // IF X : employee[salary -> S], S.lt@(1000) THEN
+        //   retract X[salary -> S]; assert X[salary -> 1000]   (raise to minimum wage)
+        let condition = vec![
+            lit(Term::var("X").isa("employee").filter(Filter::scalar("salary", Term::var("S")))),
+            lit(Term::var("S").scalar_args("lt", vec![Term::int(1000)])),
+        ];
+        engine.add_rule(ProductionRule::new(
+            "minimum-wage",
+            condition,
+            vec![
+                Action::Retract(Term::var("X").filter(Filter::scalar("salary", Term::var("S")))),
+                Action::Assert(Term::var("X").filter(Filter::scalar("salary", Term::int(1000)))),
+            ],
+        ));
+        let stats = engine.run(&mut s).unwrap();
+        assert_eq!(stats.firings, 1, "only ann is below minimum wage");
+        assert_eq!(stats.retracted, 1);
+        assert_eq!(stats.asserted, 1);
+        let (salary, ann, thousand) = (s.atom("salary"), s.atom("ann"), s.int(1000));
+        assert_eq!(s.apply_scalar(salary, ann, &[]), Some(thousand));
+    }
+
+    #[test]
+    fn runaway_rule_sets_hit_the_cycle_limit() {
+        let mut s = payroll();
+        let mut engine = ProductionEngine::with_options(ProductionOptions {
+            max_cycles: 5,
+            refractory: false, // the same instantiation may fire forever
+            ..ProductionOptions::default()
+        });
+        engine.add_rule(ProductionRule::new(
+            "loop",
+            vec![lit(Term::var("X").isa("employee"))],
+            vec![Action::Assert(Term::var("X").isa("employee"))],
+        ));
+        let err = engine.run(&mut s).unwrap_err();
+        assert!(matches!(err, ReactiveError::LimitExceeded(_)));
+    }
+
+    #[test]
+    fn rules_and_engine_expose_their_configuration() {
+        let rule = ProductionRule::new(
+            "r",
+            vec![lit(Term::var("X").isa("employee"))],
+            vec![Action::Assert(Term::var("X").isa("person"))],
+        )
+        .with_priority(7);
+        assert!(rule.to_string().contains("IF X : employee THEN assert X : person"));
+        assert_eq!(rule.priority, 7);
+        let mut engine = ProductionEngine::new();
+        engine.add_rule(rule);
+        assert_eq!(engine.rules().len(), 1);
+        assert_eq!(engine.options().max_cycles, 10_000);
+    }
+}

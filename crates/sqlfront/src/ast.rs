@@ -1,0 +1,411 @@
+//! Abstract syntax of the object-SQL dialect.
+//!
+//! The dialect deliberately covers exactly the constructs of the paper's
+//! examples: O2SQL ranges (`FROM X IN employee`), XSQL ranges
+//! (`FROM employee X`), selectors (`color[Z]`), PathLog-style bracket filters
+//! (`vehicles[cylinders -> 4]`, query 2.2) and the XSQL view definition of
+//! query 6.3 (`CREATE VIEW ... OID FUNCTION OF ...`).
+
+use std::fmt;
+
+/// A path expression on the SQL surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlExpr {
+    /// A lower-case identifier: a class, attribute or object name.
+    Name(String),
+    /// An upper-case identifier: a variable.
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+    /// A parenthesised expression.
+    Paren(Box<SqlExpr>),
+    /// A method/attribute step `recv.method(args)` (O2SQL/XSQL write `.` even
+    /// for set-valued attributes; the compiler consults the catalog).
+    Step {
+        /// The receiver.
+        recv: Box<SqlExpr>,
+        /// The attribute/method name.
+        method: String,
+        /// Call arguments (PathLog's `@(...)`).
+        args: Vec<SqlExpr>,
+        /// `true` if written with `..` (explicitly set-valued).
+        explicit_set: bool,
+    },
+    /// An XSQL selector `recv[sel]`, binding or testing the intermediate
+    /// result.
+    Selector {
+        /// The receiver.
+        recv: Box<SqlExpr>,
+        /// The selector expression (variable or constant).
+        selector: Box<SqlExpr>,
+    },
+    /// A PathLog-style filter list `recv[m1 -> v1; m2 -> v2]` (query 2.2).
+    Filtered {
+        /// The receiver.
+        recv: Box<SqlExpr>,
+        /// The filters.
+        filters: Vec<SqlFilter>,
+    },
+}
+
+impl SqlExpr {
+    /// `true` for names, variables and literals.
+    pub fn is_simple(&self) -> bool {
+        matches!(self, SqlExpr::Name(_) | SqlExpr::Var(_) | SqlExpr::Int(_) | SqlExpr::Str(_))
+    }
+
+    /// All variables occurring in the expression, in order of first occurrence.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        match self {
+            SqlExpr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            SqlExpr::Name(_) | SqlExpr::Int(_) | SqlExpr::Str(_) => {}
+            SqlExpr::Paren(e) => e.collect_variables(out),
+            SqlExpr::Step { recv, args, .. } => {
+                recv.collect_variables(out);
+                for a in args {
+                    a.collect_variables(out);
+                }
+            }
+            SqlExpr::Selector { recv, selector } => {
+                recv.collect_variables(out);
+                selector.collect_variables(out);
+            }
+            SqlExpr::Filtered { recv, filters } => {
+                recv.collect_variables(out);
+                for f in filters {
+                    for a in &f.args {
+                        a.collect_variables(out);
+                    }
+                    f.value.collect_variables(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for SqlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlExpr::Name(n) => write!(f, "{n}"),
+            SqlExpr::Var(v) => write!(f, "{v}"),
+            SqlExpr::Int(i) => write!(f, "{i}"),
+            SqlExpr::Str(s) => write!(f, "'{s}'"),
+            SqlExpr::Paren(e) => write!(f, "({e})"),
+            SqlExpr::Step { recv, method, args, explicit_set } => {
+                write!(f, "{recv}{}{method}", if *explicit_set { ".." } else { "." })?;
+                if !args.is_empty() {
+                    write!(f, "@(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            SqlExpr::Selector { recv, selector } => write!(f, "{recv}[{selector}]"),
+            SqlExpr::Filtered { recv, filters } => {
+                write!(f, "{recv}[")?;
+                for (i, filter) in filters.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{filter}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// One filter `method(args) -> value` inside a bracket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlFilter {
+    /// The attribute/method name.
+    pub method: String,
+    /// Call arguments.
+    pub args: Vec<SqlExpr>,
+    /// The required value.
+    pub value: SqlExpr,
+}
+
+impl fmt::Display for SqlFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.method)?;
+        if !self.args.is_empty() {
+            write!(f, "@(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, " -> {}", self.value)
+    }
+}
+
+/// One item of a SELECT list, optionally labelled (`WorksFor = D`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectItem {
+    /// The result column label; defaults to the expression's text.
+    pub label: Option<String>,
+    /// The selected expression.
+    pub expr: SqlExpr,
+}
+
+impl SelectItem {
+    /// The column label to report for this item.
+    pub fn column_name(&self) -> String {
+        self.label.clone().unwrap_or_else(|| self.expr.to_string())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "{l} = {}", self.expr),
+            None => write!(f, "{}", self.expr),
+        }
+    }
+}
+
+/// One range of a FROM clause: a variable and the collection it ranges over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromRange {
+    /// The range variable.
+    pub var: String,
+    /// The class or set-valued path the variable ranges over.
+    pub source: SqlExpr,
+    /// `true` if written XSQL-style (`FROM employee X`), `false` for the
+    /// O2SQL style (`FROM X IN employee`).  Only affects pretty-printing.
+    pub xsql_style: bool,
+}
+
+impl fmt::Display for FromRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.xsql_style {
+            write!(f, "{} {}", self.source, self.var)
+        } else {
+            write!(f, "{} IN {}", self.var, self.source)
+        }
+    }
+}
+
+/// A WHERE condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// `lhs = rhs`.
+    Eq(SqlExpr, SqlExpr),
+    /// `element IN collection` (class membership or set membership).
+    In(SqlExpr, SqlExpr),
+    /// A bare path expression, true iff it denotes at least one object
+    /// (XSQL's `X.vehicles[Y].color[Z]` style).
+    Truth(SqlExpr),
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Eq(a, b) => write!(f, "{a} = {b}"),
+            Condition::In(a, b) => write!(f, "{a} IN {b}"),
+            Condition::Truth(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectQuery {
+    /// The SELECT list.
+    pub select: Vec<SelectItem>,
+    /// The FROM ranges (several FROM clauses are concatenated).
+    pub from: Vec<FromRange>,
+    /// The WHERE conditions (AND-connected).
+    pub conditions: Vec<Condition>,
+}
+
+impl fmt::Display for SelectQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, s) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        for r in &self.from {
+            write!(f, " FROM {r}")?;
+        }
+        if !self.conditions.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, c) in self.conditions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The XSQL view definition of query (6.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateView {
+    /// The view (and skolem function) name.
+    pub name: String,
+    /// The view attributes: `(attribute, defining expression)`.
+    pub attributes: Vec<(String, SqlExpr)>,
+    /// The source class.
+    pub source_class: String,
+    /// The range variable over the source class.
+    pub var: String,
+    /// The variable whose value determines the view object identity
+    /// (`OID FUNCTION OF X`).
+    pub oid_of: String,
+    /// The WHERE conditions.
+    pub conditions: Vec<Condition>,
+}
+
+impl fmt::Display for CreateView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE VIEW {} SELECT ", self.name)?;
+        for (i, (a, e)) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a} = {e}")?;
+        }
+        write!(f, " FROM {} {} OID FUNCTION OF {}", self.source_class, self.var, self.oid_of)?;
+        if !self.conditions.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, c) in self.conditions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One object-SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A SELECT query.
+    Select(SelectQuery),
+    /// A CREATE VIEW definition.
+    CreateView(CreateView),
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::CreateView(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(v: &str) -> SqlExpr {
+        SqlExpr::Var(v.into())
+    }
+
+    fn step(recv: SqlExpr, m: &str) -> SqlExpr {
+        SqlExpr::Step { recv: Box::new(recv), method: m.into(), args: vec![], explicit_set: false }
+    }
+
+    #[test]
+    fn expressions_render_like_the_paper() {
+        let e = SqlExpr::Selector {
+            recv: Box::new(step(step(var("X"), "vehicles"), "color")),
+            selector: Box::new(var("Z")),
+        };
+        assert_eq!(e.to_string(), "X.vehicles.color[Z]");
+        let filtered = SqlExpr::Filtered {
+            recv: Box::new(step(var("X"), "vehicles")),
+            filters: vec![SqlFilter { method: "cylinders".into(), args: vec![], value: SqlExpr::Int(4) }],
+        };
+        assert_eq!(filtered.to_string(), "X.vehicles[cylinders -> 4]");
+    }
+
+    #[test]
+    fn expressions_report_their_variables() {
+        let e = SqlExpr::Selector {
+            recv: Box::new(step(var("X"), "color")),
+            selector: Box::new(var("Z")),
+        };
+        assert_eq!(e.variables(), vec!["X".to_string(), "Z".to_string()]);
+        assert!(e.is_simple() == false);
+        assert!(var("X").is_simple());
+    }
+
+    #[test]
+    fn select_query_renders_round_trippable_text() {
+        let q = SelectQuery {
+            select: vec![SelectItem { label: None, expr: var("Z") }],
+            from: vec![
+                FromRange { var: "X".into(), source: SqlExpr::Name("employee".into()), xsql_style: false },
+                FromRange { var: "Y".into(), source: step(var("X"), "vehicles"), xsql_style: false },
+            ],
+            conditions: vec![Condition::In(var("Y"), SqlExpr::Name("automobile".into()))],
+        };
+        assert_eq!(q.to_string(), "SELECT Z FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile");
+    }
+
+    #[test]
+    fn view_renders_the_6_3_shape() {
+        let v = CreateView {
+            name: "employeeBoss".into(),
+            attributes: vec![("worksFor".into(), var("D"))],
+            source_class: "employee".into(),
+            var: "X".into(),
+            oid_of: "X".into(),
+            conditions: vec![Condition::Truth(SqlExpr::Selector {
+                recv: Box::new(step(var("X"), "worksFor")),
+                selector: Box::new(var("D")),
+            })],
+        };
+        let text = v.to_string();
+        assert!(text.starts_with("CREATE VIEW employeeBoss SELECT worksFor = D FROM employee X OID FUNCTION OF X"));
+        assert!(text.contains("WHERE X.worksFor[D]"));
+        assert_eq!(Statement::CreateView(v.clone()).to_string(), text);
+    }
+
+    #[test]
+    fn select_item_column_names_default_to_the_expression() {
+        let plain = SelectItem { label: None, expr: step(var("Y"), "color") };
+        assert_eq!(plain.column_name(), "Y.color");
+        let labelled = SelectItem { label: Some("colour".into()), expr: var("Z") };
+        assert_eq!(labelled.column_name(), "colour");
+    }
+
+    #[test]
+    fn from_range_styles_print_differently() {
+        let o2 = FromRange { var: "X".into(), source: SqlExpr::Name("employee".into()), xsql_style: false };
+        let xsql = FromRange { var: "X".into(), source: SqlExpr::Name("employee".into()), xsql_style: true };
+        assert_eq!(o2.to_string(), "X IN employee");
+        assert_eq!(xsql.to_string(), "employee X");
+    }
+}

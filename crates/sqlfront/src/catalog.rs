@@ -1,0 +1,132 @@
+//! Attribute catalog: which attributes are set-valued.
+//!
+//! O2SQL and XSQL write `X.vehicles` with a single dot even though `vehicles`
+//! is a set-valued attribute — the schema disambiguates.  PathLog instead
+//! distinguishes `.` and `..` syntactically.  The compiler therefore needs a
+//! small catalog of set-valued attribute names to translate the SQL surface
+//! faithfully; it can be derived from an OODB [`Schema`], from an existing
+//! [`Structure`], or written by hand.
+
+use std::collections::BTreeSet;
+
+use pathlog_core::structure::Structure;
+use pathlog_oodb::{AttrKind, Schema};
+
+/// Knowledge about which attributes are set-valued.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    set_valued: BTreeSet<String>,
+}
+
+impl Catalog {
+    /// An empty catalog (every attribute is treated as scalar unless the
+    /// query writes `..`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A catalog listing the given attributes as set-valued.
+    pub fn with_set_attrs<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Catalog { set_valued: attrs.into_iter().map(Into::into).collect() }
+    }
+
+    /// Derive the catalog from an OODB schema.
+    pub fn from_schema(schema: &Schema) -> Self {
+        Catalog {
+            set_valued: schema
+                .attrs()
+                .filter(|a| a.kind == AttrKind::Set)
+                .map(|a| a.name.clone())
+                .collect(),
+        }
+    }
+
+    /// Derive the catalog from a semantic structure: every method that has at
+    /// least one set-valued application is set-valued.
+    pub fn from_structure(structure: &Structure) -> Self {
+        let mut set_valued = BTreeSet::new();
+        for fact in structure.facts().set_facts() {
+            if let Some(name) = structure.name_of(fact.method) {
+                set_valued.insert(name.to_string());
+            }
+        }
+        Catalog { set_valued }
+    }
+
+    /// Declare one more attribute as set-valued.
+    pub fn add_set_attr(&mut self, name: impl Into<String>) -> &mut Self {
+        self.set_valued.insert(name.into());
+        self
+    }
+
+    /// Is `name` a set-valued attribute?
+    pub fn is_set_valued(&self, name: &str) -> bool {
+        self.set_valued.contains(name)
+    }
+
+    /// Number of set-valued attributes known to the catalog.
+    pub fn len(&self) -> usize {
+        self.set_valued.len()
+    }
+
+    /// `true` if the catalog knows no set-valued attributes.
+    pub fn is_empty(&self) -> bool {
+        self.set_valued.is_empty()
+    }
+
+    /// The set-valued attribute names.
+    pub fn set_attrs(&self) -> impl Iterator<Item = &str> + '_ {
+        self.set_valued.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_written_catalogs_answer_membership() {
+        let c = Catalog::with_set_attrs(["vehicles", "kids"]);
+        assert!(c.is_set_valued("vehicles"));
+        assert!(c.is_set_valued("kids"));
+        assert!(!c.is_set_valued("color"));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.set_attrs().collect::<Vec<_>>(), vec!["kids", "vehicles"]);
+    }
+
+    #[test]
+    fn the_company_schema_knows_vehicles_is_set_valued() {
+        let c = Catalog::from_schema(&Schema::company());
+        assert!(c.is_set_valued("vehicles"));
+        assert!(!c.is_set_valued("color"));
+    }
+
+    #[test]
+    fn structures_reveal_their_set_valued_methods() {
+        let mut s = Structure::new();
+        let vehicles = s.atom("vehicles");
+        let color = s.atom("color");
+        let mary = s.atom("mary");
+        let a1 = s.atom("a1");
+        let red = s.atom("red");
+        s.assert_set_member(vehicles, mary, &[], a1);
+        s.assert_scalar(color, a1, &[], red).unwrap();
+        let c = Catalog::from_structure(&s);
+        assert!(c.is_set_valued("vehicles"));
+        assert!(!c.is_set_valued("color"));
+    }
+
+    #[test]
+    fn attributes_can_be_added_incrementally() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.add_set_attr("friends").add_set_attr("projects");
+        assert!(c.is_set_valued("friends"));
+        assert_eq!(c.len(), 2);
+    }
+}

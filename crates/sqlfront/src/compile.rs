@@ -1,0 +1,417 @@
+//! Compilation of object-SQL statements into PathLog queries and rules.
+//!
+//! This is the constructive half of the paper's conclusion — "we have shown
+//! by several examples how to adopt path expressions generalized in this way
+//! to object oriented SQL dialects": every SELECT query becomes one PathLog
+//! [`Query`] whose body literals are references, and every XSQL-style
+//! `CREATE VIEW ... OID FUNCTION OF X` becomes the corresponding PathLog
+//! rule `X.view[attr -> ...] <- X : class, ...` that defines the view
+//! objects through a *method* instead of a function symbol (Section 6).
+
+use pathlog_core::builtins::SELF_METHOD;
+use pathlog_core::names::Var;
+use pathlog_core::program::{Literal, Query, Rule};
+use pathlog_core::term::{Filter, Term};
+
+use crate::ast::{Condition, CreateView, FromRange, SelectQuery, SqlExpr, Statement};
+use crate::catalog::Catalog;
+use crate::error::{Result, SqlError};
+
+/// A SELECT query compiled to PathLog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledQuery {
+    /// The PathLog query whose answers are the SQL result rows.
+    pub query: Query,
+    /// The result columns: label and the variable that carries the value.
+    pub columns: Vec<(String, Var)>,
+}
+
+impl CompiledQuery {
+    /// The PathLog concrete syntax of the compiled query (`?- ...`).
+    pub fn pathlog_text(&self) -> String {
+        self.query.to_string()
+    }
+}
+
+/// The result of compiling one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Compiled {
+    /// A SELECT query.
+    Query(CompiledQuery),
+    /// A view definition, compiled to a PathLog rule with a virtual-object
+    /// head.
+    Rule(Rule),
+}
+
+/// Statement compiler.
+#[derive(Debug)]
+pub struct Compiler<'a> {
+    catalog: &'a Catalog,
+    fresh: usize,
+}
+
+impl<'a> Compiler<'a> {
+    /// A compiler using the given attribute catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Compiler { catalog, fresh: 0 }
+    }
+
+    /// Compile one statement.
+    pub fn statement(&mut self, statement: &Statement) -> Result<Compiled> {
+        match statement {
+            Statement::Select(q) => Ok(Compiled::Query(self.select(q)?)),
+            Statement::CreateView(v) => Ok(Compiled::Rule(self.view(v)?)),
+        }
+    }
+
+    /// Compile a SELECT query into a PathLog query plus result columns.
+    ///
+    /// Body literals are ordered by a simple connectivity heuristic (start
+    /// with the first FROM range, then always pick a literal that shares a
+    /// variable with the ones already placed): O2SQL range lists such as
+    /// `FROM employee X, automobile Y` would otherwise compile to a cross
+    /// product that the engine's left-to-right join materialises in full.
+    pub fn select(&mut self, query: &SelectQuery) -> Result<CompiledQuery> {
+        let mut body = Vec::new();
+        for range in &query.from {
+            body.push(self.range(range)?);
+        }
+        for condition in &query.conditions {
+            body.push(self.condition(condition)?);
+        }
+        let mut columns = Vec::new();
+        for item in &query.select {
+            match &item.expr {
+                SqlExpr::Var(v) => columns.push((item.column_name(), Var::new(v.clone()))),
+                expr => {
+                    // A selected path gets a fresh result variable bound by an
+                    // extra body literal (`Y.color` -> `Y.color[_SEL1]`).
+                    self.fresh += 1;
+                    let var = Var::new(format!("_SEL{}", self.fresh));
+                    let term = self.term(expr)?;
+                    body.push(Literal::pos(term.selector(Term::Var(var.clone()))));
+                    columns.push((item.column_name(), var));
+                }
+            }
+        }
+        Ok(CompiledQuery { query: Query::new(order_body(body)), columns })
+    }
+
+    /// Compile a `CREATE VIEW` into the PathLog rule that defines the view
+    /// objects as virtual objects referenced through the view method.
+    pub fn view(&mut self, view: &CreateView) -> Result<Rule> {
+        if view.oid_of != view.var {
+            return Err(SqlError::message(format!(
+                "OID FUNCTION OF {} must name the range variable {} (views keyed by other variables \
+                 are not part of query 6.3)",
+                view.oid_of, view.var
+            )));
+        }
+        let mut filters = Vec::with_capacity(view.attributes.len());
+        for (attr, expr) in &view.attributes {
+            filters.push(Filter::scalar(Term::name(normalise(attr)), self.term(expr)?));
+        }
+        let head = Term::var(view.var.clone()).scalar(Term::name(normalise(&view.name))).filters(filters);
+        let mut body = vec![Literal::pos(Term::var(view.var.clone()).isa(Term::name(normalise(&view.source_class))))];
+        for condition in &view.conditions {
+            body.push(self.condition(condition)?);
+        }
+        Ok(Rule::new(head, body))
+    }
+
+    /// Compile one FROM range into a body literal.
+    fn range(&mut self, range: &FromRange) -> Result<Literal> {
+        match &range.source {
+            SqlExpr::Name(class) => {
+                Ok(Literal::pos(Term::var(range.var.clone()).isa(Term::name(normalise(class)))))
+            }
+            source => {
+                let term = self.term(source)?;
+                Ok(Literal::pos(term.selector(Term::var(range.var.clone()))))
+            }
+        }
+    }
+
+    /// Compile one WHERE condition into a body literal.
+    fn condition(&mut self, condition: &Condition) -> Result<Literal> {
+        let term = match condition {
+            Condition::Eq(lhs, rhs) => {
+                if rhs.is_simple() {
+                    self.term(lhs)?.selector(self.term(rhs)?)
+                } else if lhs.is_simple() {
+                    self.term(rhs)?.selector(self.term(lhs)?)
+                } else {
+                    let rhs = self.term(rhs)?;
+                    self.term(lhs)?.filter(Filter::scalar(SELF_METHOD, rhs))
+                }
+            }
+            Condition::In(element, collection) => match collection {
+                SqlExpr::Name(class) => self.term(element)?.isa(Term::name(normalise(class))),
+                _ => {
+                    let element = self.term(element)?;
+                    self.term(collection)?.selector(element)
+                }
+            },
+            Condition::Truth(expr) => self.term(expr)?,
+        };
+        Ok(Literal::pos(term))
+    }
+
+    /// Compile a path expression into a PathLog reference, consulting the
+    /// catalog for attribute scalarity.
+    pub fn term(&mut self, expr: &SqlExpr) -> Result<Term> {
+        Ok(match expr {
+            SqlExpr::Name(n) => Term::name(normalise(n)),
+            SqlExpr::Var(v) => Term::var(v.clone()),
+            SqlExpr::Int(i) => Term::int(*i),
+            SqlExpr::Str(s) => Term::string(s.clone()),
+            SqlExpr::Paren(e) => self.term(e)?.paren(),
+            SqlExpr::Step { recv, method, args, explicit_set } => {
+                let recv = self.term(recv)?;
+                let args = args.iter().map(|a| self.term(a)).collect::<Result<Vec<_>>>()?;
+                let method_term = Term::name(normalise(method));
+                if *explicit_set || self.catalog.is_set_valued(method) {
+                    recv.set_args(method_term, args)
+                } else {
+                    recv.scalar_args(method_term, args)
+                }
+            }
+            SqlExpr::Selector { recv, selector } => {
+                let recv = self.term(recv)?;
+                recv.selector(self.term(selector)?)
+            }
+            SqlExpr::Filtered { recv, filters } => {
+                let recv = self.term(recv)?;
+                let mut compiled = Vec::with_capacity(filters.len());
+                for f in filters {
+                    let args = f.args.iter().map(|a| self.term(a)).collect::<Result<Vec<_>>>()?;
+                    compiled.push(Filter::scalar(Term::name(normalise(&f.method)), self.term(&f.value)?).with_args(args));
+                }
+                recv.filters(compiled)
+            }
+        })
+    }
+}
+
+/// Greedy connectivity-based ordering of positive body literals: keep the
+/// first literal first, then repeatedly append the literal that shares a
+/// variable with the already-placed ones and leaves the fewest new variables
+/// unbound; fall back to the earliest remaining literal when nothing
+/// connects.  Semantically the body is a conjunction, so any order is
+/// correct; this one avoids materialising cross products of FROM ranges.
+fn order_body(body: Vec<Literal>) -> Vec<Literal> {
+    use std::collections::BTreeSet;
+    let mut remaining: Vec<Literal> = body;
+    let mut ordered: Vec<Literal> = Vec::with_capacity(remaining.len());
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(index, literal)| {
+                let vars = literal.term.variables();
+                let connected = ordered.is_empty() || vars.iter().any(|v| bound.contains(v));
+                let new_vars = vars.iter().filter(|v| !bound.contains(v)).count();
+                (usize::from(!connected), new_vars, *index)
+            })
+            .map(|(index, _)| index)
+            .expect("remaining is non-empty");
+        let literal = remaining.remove(pick);
+        bound.extend(literal.term.variables());
+        ordered.push(literal);
+    }
+    ordered
+}
+
+/// Class, attribute and view names are case-insensitive on the SQL surface
+/// (the paper writes both `Employee` and `employee`); PathLog names are not.
+/// Normalise by lower-casing the first character only, which maps `Employee`
+/// to `employee` and `WorksFor` to `worksFor` while leaving camel-case tails
+/// intact.
+fn normalise(name: &str) -> String {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(first) => first.to_lowercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+/// Parse and compile a single statement.
+pub fn compile_statement(sql: &str, catalog: &Catalog) -> Result<Compiled> {
+    let statement = crate::parser::parse_statement(sql)?;
+    Compiler::new(catalog).statement(&statement)
+}
+
+/// Parse and compile a single SELECT query; views are rejected.
+pub fn compile_query(sql: &str, catalog: &Catalog) -> Result<CompiledQuery> {
+    match compile_statement(sql, catalog)? {
+        Compiled::Query(q) => Ok(q),
+        Compiled::Rule(_) => Err(SqlError::message("expected a SELECT query, found a CREATE VIEW statement")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::with_set_attrs(["vehicles", "kids", "assistants"])
+    }
+
+    fn compile(sql: &str) -> CompiledQuery {
+        compile_query(sql, &catalog()).unwrap()
+    }
+
+    #[test]
+    fn query_1_1_compiles_to_the_pathlog_formulation() {
+        let q = compile(
+            "SELECT Y.color FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile",
+        );
+        let text = q.pathlog_text();
+        assert!(text.contains("X : employee"), "{text}");
+        assert!(text.contains("X..vehicles[self -> Y]"), "{text}");
+        assert!(text.contains("Y : automobile"), "{text}");
+        assert!(text.contains("Y.color[self -> _SEL1]"), "{text}");
+        assert_eq!(q.columns.len(), 1);
+        assert_eq!(q.columns[0].0, "Y.color");
+    }
+
+    #[test]
+    fn query_1_2_selectors_compile_to_self_filters() {
+        let q = compile("SELECT Z FROM employee X, automobile Y WHERE X.vehicles[Y].color[Z]");
+        let text = q.pathlog_text();
+        assert!(text.contains("X : employee"));
+        assert!(text.contains("Y : automobile"));
+        assert!(text.contains("X..vehicles[self -> Y].color[self -> Z]"), "{text}");
+        assert_eq!(q.columns, vec![("Z".to_string(), Var::new("Z"))]);
+    }
+
+    #[test]
+    fn query_2_2_filters_pass_through() {
+        let q = compile(
+            "SELECT Z FROM employee X, automobile Y
+             WHERE X[age -> 30; city -> newYork].vehicles[cylinders -> 4][Y].color[Z]",
+        );
+        let text = q.pathlog_text();
+        assert!(text.contains("X[age -> 30; city -> newYork]"), "{text}");
+        // The selector [Y] merges into the same filter list as [cylinders -> 4]
+        // (both apply to the vehicle), exactly the paper's shorthand rule.
+        assert!(text.contains("[cylinders -> 4; self -> Y]"), "{text}");
+    }
+
+    #[test]
+    fn equality_conditions_become_selectors_or_self_filters() {
+        let q = compile(
+            "SELECT X FROM X IN manager FROM Y IN X.vehicles
+             WHERE Y.color = red AND Y.producedBy.president = X AND X.boss.city = X.city",
+        );
+        let text = q.pathlog_text();
+        assert!(text.contains("Y.color[self -> red]"), "{text}");
+        assert!(text.contains("Y.producedBy.president[self -> X]"), "{text}");
+        // both sides composite: a self filter with a nested reference value
+        assert!(text.contains("X.boss.city[self -> X.city]"), "{text}");
+    }
+
+    #[test]
+    fn membership_in_a_path_compiles_to_a_selector_on_the_set() {
+        let q = compile("SELECT Y FROM X IN employee FROM Y IN automobile WHERE Y IN X.vehicles");
+        let text = q.pathlog_text();
+        assert!(text.contains("X..vehicles[self -> Y]"), "{text}");
+    }
+
+    #[test]
+    fn selected_variables_need_no_extra_literal() {
+        let q = compile("SELECT X FROM X IN employee");
+        assert_eq!(q.query.body.len(), 1);
+        assert_eq!(q.columns, vec![("X".to_string(), Var::new("X"))]);
+    }
+
+    #[test]
+    fn explicit_double_dot_forces_a_set_step() {
+        let q = compile_query("SELECT Y FROM X IN person WHERE X..friends[Y]", &Catalog::new()).unwrap();
+        assert!(q.pathlog_text().contains("X..friends[self -> Y]"));
+    }
+
+    #[test]
+    fn the_catalog_decides_single_dot_scalarity() {
+        let with = compile_query("SELECT Y FROM X IN person WHERE X.kids[Y]", &catalog()).unwrap();
+        assert!(with.pathlog_text().contains("X..kids"));
+        let without = compile_query("SELECT Y FROM X IN person WHERE X.kids[Y]", &Catalog::new()).unwrap();
+        assert!(without.pathlog_text().contains("X.kids["));
+        assert!(!without.pathlog_text().contains("X..kids"));
+    }
+
+    #[test]
+    fn view_6_3_compiles_to_a_virtual_object_rule() {
+        let compiled = compile_statement(
+            "CREATE VIEW EmployeeBoss SELECT WorksFor = D FROM Employee X OID FUNCTION OF X WHERE X.WorksFor[D]",
+            &catalog(),
+        )
+        .unwrap();
+        let Compiled::Rule(rule) = compiled else { panic!("expected a rule") };
+        let text = rule.to_string();
+        assert!(text.starts_with("X.employeeBoss[worksFor -> D] <- "), "{text}");
+        assert!(text.contains("X : employee"), "{text}");
+        assert!(text.contains("X.worksFor[self -> D]"), "{text}");
+    }
+
+    #[test]
+    fn views_keyed_by_a_different_variable_are_rejected() {
+        let err = compile_statement(
+            "CREATE VIEW v SELECT a = D FROM employee X OID FUNCTION OF D WHERE X.worksFor[D]",
+            &catalog(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("OID FUNCTION OF"));
+    }
+
+    #[test]
+    fn compile_query_rejects_views() {
+        let err = compile_query("CREATE VIEW v SELECT a = X FROM c X OID FUNCTION OF X", &catalog()).unwrap_err();
+        assert!(err.to_string().contains("SELECT query"));
+    }
+
+    #[test]
+    fn string_and_integer_literals_compile() {
+        let empty = Catalog::new();
+        let mut compiler = Compiler::new(&empty);
+        let t = compiler.term(&SqlExpr::Str("new york".into())).unwrap();
+        assert_eq!(t.to_string(), "\"new york\"");
+        let t = compiler.term(&SqlExpr::Int(4)).unwrap();
+        assert_eq!(t.to_string(), "4");
+    }
+
+    #[test]
+    fn method_arguments_are_preserved() {
+        let q = compile("SELECT S FROM X IN employee WHERE X.salary@(1994)[S]");
+        assert!(q.pathlog_text().contains("X.salary@(1994)[self -> S]"), "{}", q.pathlog_text());
+    }
+
+    #[test]
+    fn body_literals_are_ordered_by_connectivity_not_textual_position() {
+        // `FROM employee X, automobile Y` must not compile to the cross
+        // product `X : employee, Y : automobile, ...`; the vehicles literal
+        // that connects X and Y has to come before the Y range.
+        let q = compile("SELECT Z FROM employee X, automobile Y WHERE X.vehicles[Y].color[Z] AND Y.cylinders[4]");
+        let rendered: Vec<String> = q.query.body.iter().map(|l| l.to_string()).collect();
+        let pos_of = |needle: &str| rendered.iter().position(|l| l.contains(needle)).unwrap_or(usize::MAX);
+        assert_eq!(pos_of("X : employee"), 0, "{rendered:?}");
+        assert!(pos_of("vehicles") < pos_of("Y : automobile"), "{rendered:?}");
+        assert!(pos_of("Y : automobile") < rendered.len(), "{rendered:?}");
+    }
+
+    #[test]
+    fn ordering_keeps_disconnected_literals_in_textual_order() {
+        let q = compile("SELECT X, Y FROM X IN employee FROM Y IN department");
+        let rendered: Vec<String> = q.query.body.iter().map(|l| l.to_string()).collect();
+        assert_eq!(rendered, vec!["X : employee".to_string(), "Y : department".to_string()]);
+    }
+
+    #[test]
+    fn normalise_lowercases_only_the_first_character() {
+        assert_eq!(normalise("Employee"), "employee");
+        assert_eq!(normalise("WorksFor"), "worksFor");
+        assert_eq!(normalise("producedBy"), "producedBy");
+        assert_eq!(normalise(""), "");
+    }
+}

@@ -1,0 +1,65 @@
+//! Errors of the object-SQL frontend.
+
+use std::fmt;
+
+/// An error raised while lexing, parsing or compiling an object-SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the offending token (0 if unknown).
+    pub line: usize,
+    /// 1-based column of the offending token (0 if unknown).
+    pub column: usize,
+}
+
+impl SqlError {
+    /// An error at a known position.
+    pub fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
+        SqlError { message: message.into(), line, column }
+    }
+
+    /// An error without position information (compilation-stage errors).
+    pub fn message(message: impl Into<String>) -> Self {
+        SqlError { message: message.into(), line: 0, column: 0 }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 && self.column == 0 {
+            write!(f, "object-SQL error: {}", self.message)
+        } else {
+            write!(f, "object-SQL error at {}:{}: {}", self.line, self.column, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positioned_errors_print_line_and_column() {
+        let e = SqlError::new("unexpected token", 3, 14);
+        assert_eq!(e.to_string(), "object-SQL error at 3:14: unexpected token");
+    }
+
+    #[test]
+    fn unpositioned_errors_omit_the_position() {
+        let e = SqlError::message("no FROM clause");
+        assert!(!e.to_string().contains(" at "));
+        assert!(e.to_string().contains("no FROM clause"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SqlError::message("x"), SqlError::message("x"));
+        assert_ne!(SqlError::message("x"), SqlError::new("x", 1, 1));
+    }
+}

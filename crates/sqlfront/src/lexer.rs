@@ -1,0 +1,384 @@
+//! Tokenizer for the object-SQL dialect.
+//!
+//! The dialect merges the surface syntax of the paper's O2SQL examples
+//! (`SELECT ... FROM X IN employee ... WHERE ...`), the XSQL examples
+//! (`FROM employee X, automobile Y` and selectors `color[Z]`) and PathLog's
+//! bracket filters (`vehicles[cylinders -> 4]`, query 2.2).  Keywords are
+//! case-insensitive; identifiers starting with an upper-case letter are
+//! variables, as in PathLog.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlToken {
+    /// `SELECT`
+    Select,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `IN`
+    In,
+    /// `AND`
+    And,
+    /// `CREATE`
+    Create,
+    /// `VIEW`
+    View,
+    /// `OID`
+    Oid,
+    /// `FUNCTION`
+    Function,
+    /// `OF`
+    Of,
+    /// An identifier starting with a lower-case letter (class, attribute or
+    /// object name).
+    Ident(String),
+    /// An identifier starting with an upper-case letter (a variable).
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (single quotes).
+    Str(String),
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `@` (method call arguments, PathLog style)
+    At,
+}
+
+impl SqlToken {
+    /// A short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            SqlToken::Ident(s) => format!("identifier `{s}`"),
+            SqlToken::Var(s) => format!("variable `{s}`"),
+            SqlToken::Int(i) => format!("integer `{i}`"),
+            SqlToken::Str(s) => format!("string '{s}'"),
+            other => format!("`{other:?}`"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: SqlToken,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Map a keyword spelling to its token, case-insensitively.
+fn keyword(word: &str) -> Option<SqlToken> {
+    match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Some(SqlToken::Select),
+        "FROM" => Some(SqlToken::From),
+        "WHERE" => Some(SqlToken::Where),
+        "IN" => Some(SqlToken::In),
+        "AND" => Some(SqlToken::And),
+        "CREATE" => Some(SqlToken::Create),
+        "VIEW" => Some(SqlToken::View),
+        "OID" => Some(SqlToken::Oid),
+        "FUNCTION" => Some(SqlToken::Function),
+        "OF" => Some(SqlToken::Of),
+        _ => None,
+    }
+}
+
+/// Tokenize an object-SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    macro_rules! push {
+        ($tok:expr, $col:expr) => {
+            tokens.push(SpannedToken { token: $tok, line, column: $col })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let start_col = column;
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '-' => {
+                chars.next();
+                column += 1;
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        column += 1;
+                        push!(SqlToken::Arrow, start_col);
+                    }
+                    Some('-') => {
+                        // `--` line comment
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                column = 1;
+                                break;
+                            }
+                        }
+                    }
+                    _ => return Err(SqlError::new("expected `->` or `--` after `-`", line, start_col)),
+                }
+            }
+            '.' => {
+                chars.next();
+                column += 1;
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    column += 1;
+                    push!(SqlToken::DotDot, start_col);
+                } else {
+                    push!(SqlToken::Dot, start_col);
+                }
+            }
+            ',' => {
+                chars.next();
+                column += 1;
+                push!(SqlToken::Comma, start_col);
+            }
+            ';' => {
+                chars.next();
+                column += 1;
+                push!(SqlToken::Semicolon, start_col);
+            }
+            '=' => {
+                chars.next();
+                column += 1;
+                push!(SqlToken::Eq, start_col);
+            }
+            '(' => {
+                chars.next();
+                column += 1;
+                push!(SqlToken::LParen, start_col);
+            }
+            ')' => {
+                chars.next();
+                column += 1;
+                push!(SqlToken::RParen, start_col);
+            }
+            '[' => {
+                chars.next();
+                column += 1;
+                push!(SqlToken::LBracket, start_col);
+            }
+            ']' => {
+                chars.next();
+                column += 1;
+                push!(SqlToken::RBracket, start_col);
+            }
+            '@' => {
+                chars.next();
+                column += 1;
+                push!(SqlToken::At, start_col);
+            }
+            '\'' => {
+                chars.next();
+                column += 1;
+                let mut value = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    column += 1;
+                    if c == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                        column = 1;
+                    }
+                    value.push(c);
+                }
+                if !closed {
+                    return Err(SqlError::new("unterminated string literal", line, start_col));
+                }
+                push!(SqlToken::Str(value), start_col);
+            }
+            c if c.is_ascii_digit() => {
+                let mut value = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        value.push(d);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let parsed = value
+                    .parse::<i64>()
+                    .map_err(|_| SqlError::new(format!("integer literal `{value}` is out of range"), line, start_col))?;
+                push!(SqlToken::Int(parsed), start_col);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        word.push(d);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(kw) = keyword(&word) {
+                    push!(kw, start_col);
+                } else if word.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    push!(SqlToken::Var(word), start_col);
+                } else {
+                    push!(SqlToken::Ident(word), start_col);
+                }
+            }
+            other => {
+                return Err(SqlError::new(format!("unexpected character `{other}`"), line, start_col));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<SqlToken> {
+        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select SELECT Select"), vec![SqlToken::Select, SqlToken::Select, SqlToken::Select]);
+        assert_eq!(kinds("from where in and"), vec![SqlToken::From, SqlToken::Where, SqlToken::In, SqlToken::And]);
+        assert_eq!(
+            kinds("create view oid function of"),
+            vec![SqlToken::Create, SqlToken::View, SqlToken::Oid, SqlToken::Function, SqlToken::Of]
+        );
+    }
+
+    #[test]
+    fn identifier_case_selects_variable_or_name() {
+        assert_eq!(kinds("employee X color Z2"), vec![
+            SqlToken::Ident("employee".into()),
+            SqlToken::Var("X".into()),
+            SqlToken::Ident("color".into()),
+            SqlToken::Var("Z2".into()),
+        ]);
+    }
+
+    #[test]
+    fn punctuation_and_paths() {
+        assert_eq!(kinds("X.vehicles[Y].color[Z]"), vec![
+            SqlToken::Var("X".into()),
+            SqlToken::Dot,
+            SqlToken::Ident("vehicles".into()),
+            SqlToken::LBracket,
+            SqlToken::Var("Y".into()),
+            SqlToken::RBracket,
+            SqlToken::Dot,
+            SqlToken::Ident("color".into()),
+            SqlToken::LBracket,
+            SqlToken::Var("Z".into()),
+            SqlToken::RBracket,
+        ]);
+        assert_eq!(kinds("X..kids"), vec![SqlToken::Var("X".into()), SqlToken::DotDot, SqlToken::Ident("kids".into())]);
+    }
+
+    #[test]
+    fn filters_arrows_and_arguments() {
+        assert_eq!(kinds("vehicles[cylinders -> 4]"), vec![
+            SqlToken::Ident("vehicles".into()),
+            SqlToken::LBracket,
+            SqlToken::Ident("cylinders".into()),
+            SqlToken::Arrow,
+            SqlToken::Int(4),
+            SqlToken::RBracket,
+        ]);
+        assert_eq!(kinds("salary@(1994)"), vec![
+            SqlToken::Ident("salary".into()),
+            SqlToken::At,
+            SqlToken::LParen,
+            SqlToken::Int(1994),
+            SqlToken::RParen,
+        ]);
+    }
+
+    #[test]
+    fn strings_and_integers() {
+        assert_eq!(kinds("'new york' 42"), vec![SqlToken::Str("new york".into()), SqlToken::Int(42)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("SELECT -- the colour\n X"), vec![SqlToken::Select, SqlToken::Var("X".into())]);
+    }
+
+    #[test]
+    fn positions_are_recorded() {
+        let toks = tokenize("SELECT X\nFROM employee X").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].column, 1);
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[2].column, 1);
+        assert_eq!(toks[3].column, 6);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn stray_characters_are_an_error() {
+        let err = tokenize("SELECT #").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn lone_minus_is_an_error() {
+        let err = tokenize("a - b").unwrap_err();
+        assert!(err.to_string().contains("expected `->`"));
+    }
+
+    #[test]
+    fn describe_mentions_the_lexeme() {
+        assert!(SqlToken::Ident("color".into()).describe().contains("color"));
+        assert!(SqlToken::Var("X".into()).describe().contains('X'));
+        assert!(SqlToken::Int(4).describe().contains('4'));
+        assert!(SqlToken::Str("s".into()).describe().contains('s'));
+        assert!(SqlToken::Select.describe().contains("Select"));
+    }
+}

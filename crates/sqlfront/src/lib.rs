@@ -1,0 +1,59 @@
+//! # pathlog-sqlfront — object-SQL surface syntax over PathLog
+//!
+//! The paper introduces PathLog through a series of object-SQL queries:
+//! O2SQL's range-based `SELECT ... FROM X IN employee` (query 1.1), XSQL's
+//! selectors `X.vehicles[Y].color[Z]` (queries 1.2/1.4), PathLog-style
+//! bracket filters inside an SQL WHERE clause (query 2.2) and XSQL's
+//! `CREATE VIEW ... OID FUNCTION OF X` (query 6.3).  Its conclusion claims
+//! that generalized path expressions "can be adopted by object oriented SQL
+//! dialects".
+//!
+//! This crate makes that claim executable:
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] implement the object-SQL dialect
+//!   covering all of the paper's SQL examples;
+//! * [`catalog`] supplies the schema knowledge (which attributes are
+//!   set-valued) that O2SQL/XSQL presuppose;
+//! * [`compile`] turns SELECT queries into PathLog [`Query`]s
+//!   (one body literal per range/condition) and CREATE VIEW statements into
+//!   PathLog rules whose heads define the view objects through a *method*
+//!   rather than a function symbol — exactly the contrast of Section 6;
+//! * [`exec`] evaluates compiled statements with the PathLog engine and
+//!   formats result rows.
+//!
+//! ```
+//! use pathlog_core::structure::Structure;
+//! use pathlog_sqlfront::{compile_query, Catalog};
+//!
+//! let catalog = Catalog::with_set_attrs(["vehicles"]);
+//! let compiled = compile_query(
+//!     "SELECT Y.color FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile",
+//!     &catalog,
+//! )
+//! .unwrap();
+//! // The SQL query became one PathLog query ...
+//! assert!(compiled.pathlog_text().starts_with("?- X : employee"));
+//! // ... that any PathLog engine can answer.
+//! let (columns, rows) = pathlog_sqlfront::execute_query(&Structure::new(), &compiled).unwrap();
+//! assert_eq!(columns, vec!["Y.color".to_string()]);
+//! assert!(rows.is_empty());
+//! ```
+//!
+//! [`Query`]: pathlog_core::program::Query
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod catalog;
+pub mod compile;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Condition, CreateView, FromRange, SelectItem, SelectQuery, SqlExpr, SqlFilter, Statement};
+pub use catalog::Catalog;
+pub use compile::{compile_query, compile_statement, Compiled, CompiledQuery, Compiler};
+pub use error::{Result, SqlError};
+pub use exec::{execute, execute_query, StatementResult};
+pub use parser::{parse_expression, parse_statement, parse_statements};

@@ -1,0 +1,529 @@
+//! Recursive-descent parser for the object-SQL dialect.
+
+use crate::ast::{Condition, CreateView, FromRange, SelectItem, SelectQuery, SqlExpr, SqlFilter, Statement};
+use crate::error::{Result, SqlError};
+use crate::lexer::{tokenize, SpannedToken, SqlToken};
+
+/// Parse a single statement (`SELECT ...` or `CREATE VIEW ...`).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut parser = Parser::new(tokenize(input)?);
+    let statement = parser.statement()?;
+    parser.skip_semicolons();
+    parser.expect_end()?;
+    Ok(statement)
+}
+
+/// Parse a sequence of statements separated by `;`.
+pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
+    let mut parser = Parser::new(tokenize(input)?);
+    let mut out = Vec::new();
+    parser.skip_semicolons();
+    while !parser.at_end() {
+        out.push(parser.statement()?);
+        parser.skip_semicolons();
+    }
+    Ok(out)
+}
+
+/// Parse a path expression on its own (useful for tests and tools).
+pub fn parse_expression(input: &str) -> Result<SqlExpr> {
+    let mut parser = Parser::new(tokenize(input)?);
+    let expr = parser.expression()?;
+    parser.expect_end()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<SpannedToken>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&SqlToken> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek_ahead(&self, offset: usize) -> Option<&SqlToken> {
+        self.tokens.get(self.pos + offset).map(|t| &t.token)
+    }
+
+    fn advance(&mut self) -> Option<SpannedToken> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| (t.line, t.column))
+            .unwrap_or((1, 1))
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        let (line, column) = self.here();
+        SqlError::new(message, line, column)
+    }
+
+    fn expect(&mut self, expected: &SqlToken, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.advance();
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected {what}, found {}", t.describe()))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.error(format!("unexpected {} after the statement", t.describe()))),
+        }
+    }
+
+    fn skip_semicolons(&mut self) {
+        while self.peek() == Some(&SqlToken::Semicolon) {
+            self.advance();
+        }
+    }
+
+    /// Accept an identifier or variable token and return its text (used where
+    /// the dialect is case-agnostic: view names, attribute labels, class
+    /// names written `Employee`).
+    fn word(&mut self, what: &str) -> Result<String> {
+        match self.peek().cloned() {
+            Some(SqlToken::Ident(s)) | Some(SqlToken::Var(s)) => {
+                self.advance();
+                Ok(s)
+            }
+            Some(t) => Err(self.error(format!("expected {what}, found {}", t.describe()))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn variable(&mut self, what: &str) -> Result<String> {
+        match self.peek().cloned() {
+            Some(SqlToken::Var(s)) => {
+                self.advance();
+                Ok(s)
+            }
+            Some(t) => Err(self.error(format!("expected {what} (a capitalised variable), found {}", t.describe()))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    // ------------------------------------------------------------ statements
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(SqlToken::Select) => Ok(Statement::Select(self.select_query()?)),
+            Some(SqlToken::Create) => Ok(Statement::CreateView(self.create_view()?)),
+            Some(t) => Err(self.error(format!("expected SELECT or CREATE VIEW, found {}", t.describe()))),
+            None => Err(self.error("expected SELECT or CREATE VIEW, found end of input")),
+        }
+    }
+
+    fn select_query(&mut self) -> Result<SelectQuery> {
+        self.expect(&SqlToken::Select, "SELECT")?;
+        let select = self.select_list()?;
+        let mut from = Vec::new();
+        while self.peek() == Some(&SqlToken::From) {
+            self.advance();
+            loop {
+                from.push(self.from_range()?);
+                if self.peek() == Some(&SqlToken::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        if from.is_empty() {
+            return Err(self.error("a SELECT query needs at least one FROM clause"));
+        }
+        let conditions = self.where_clause()?;
+        Ok(SelectQuery { select, from, conditions })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if self.peek() == Some(&SqlToken::Comma) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // `label = expr` if the next-but-one token is `=`; otherwise a plain
+        // expression.
+        let labelled = matches!(self.peek(), Some(SqlToken::Ident(_) | SqlToken::Var(_)))
+            && self.peek_ahead(1) == Some(&SqlToken::Eq);
+        if labelled {
+            let label = self.word("a column label")?;
+            self.expect(&SqlToken::Eq, "`=`")?;
+            let expr = self.expression()?;
+            Ok(SelectItem { label: Some(label), expr })
+        } else {
+            Ok(SelectItem { label: None, expr: self.expression()? })
+        }
+    }
+
+    fn from_range(&mut self) -> Result<FromRange> {
+        // O2SQL style: `X IN <expr>`; XSQL style: `<class> X`.
+        if matches!(self.peek(), Some(SqlToken::Var(_))) && self.peek_ahead(1) == Some(&SqlToken::In) {
+            let var = self.variable("a range variable")?;
+            self.expect(&SqlToken::In, "IN")?;
+            let source = self.expression()?;
+            return Ok(FromRange { var, source, xsql_style: false });
+        }
+        let class = self.word("a class name")?;
+        let var = self.variable("a range variable")?;
+        Ok(FromRange { var, source: SqlExpr::Name(class), xsql_style: true })
+    }
+
+    fn where_clause(&mut self) -> Result<Vec<Condition>> {
+        let mut conditions = Vec::new();
+        if self.peek() == Some(&SqlToken::Where) {
+            self.advance();
+            loop {
+                conditions.push(self.condition()?);
+                if self.peek() == Some(&SqlToken::And) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(conditions)
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let lhs = self.expression()?;
+        match self.peek() {
+            Some(SqlToken::Eq) => {
+                self.advance();
+                let rhs = self.expression()?;
+                Ok(Condition::Eq(lhs, rhs))
+            }
+            Some(SqlToken::In) => {
+                self.advance();
+                let rhs = self.expression()?;
+                Ok(Condition::In(lhs, rhs))
+            }
+            _ => Ok(Condition::Truth(lhs)),
+        }
+    }
+
+    fn create_view(&mut self) -> Result<CreateView> {
+        self.expect(&SqlToken::Create, "CREATE")?;
+        self.expect(&SqlToken::View, "VIEW")?;
+        let name = self.word("a view name")?;
+        self.expect(&SqlToken::Select, "SELECT")?;
+        let mut attributes = Vec::new();
+        loop {
+            let attr = self.word("a view attribute name")?;
+            self.expect(&SqlToken::Eq, "`=`")?;
+            let expr = self.expression()?;
+            attributes.push((attr, expr));
+            if self.peek() == Some(&SqlToken::Comma) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        self.expect(&SqlToken::From, "FROM")?;
+        let source_class = self.word("a class name")?;
+        let var = self.variable("the range variable")?;
+        self.expect(&SqlToken::Oid, "OID")?;
+        self.expect(&SqlToken::Function, "FUNCTION")?;
+        self.expect(&SqlToken::Of, "OF")?;
+        let oid_of = self.variable("the OID FUNCTION OF variable")?;
+        let conditions = self.where_clause()?;
+        Ok(CreateView { name, attributes, source_class, var, oid_of, conditions })
+    }
+
+    // ----------------------------------------------------------- expressions
+
+    fn expression(&mut self) -> Result<SqlExpr> {
+        let mut expr = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(SqlToken::Dot) | Some(SqlToken::DotDot) => {
+                    let explicit_set = self.peek() == Some(&SqlToken::DotDot);
+                    self.advance();
+                    let method = self.word("an attribute name")?;
+                    let args = self.call_args()?;
+                    expr = SqlExpr::Step { recv: Box::new(expr), method, args, explicit_set };
+                }
+                Some(SqlToken::LBracket) => {
+                    self.advance();
+                    expr = self.bracket(expr)?;
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr> {
+        match self.peek().cloned() {
+            Some(SqlToken::Ident(s)) => {
+                self.advance();
+                Ok(SqlExpr::Name(s))
+            }
+            Some(SqlToken::Var(s)) => {
+                self.advance();
+                Ok(SqlExpr::Var(s))
+            }
+            Some(SqlToken::Int(i)) => {
+                self.advance();
+                Ok(SqlExpr::Int(i))
+            }
+            Some(SqlToken::Str(s)) => {
+                self.advance();
+                Ok(SqlExpr::Str(s))
+            }
+            Some(SqlToken::LParen) => {
+                self.advance();
+                let inner = self.expression()?;
+                self.expect(&SqlToken::RParen, "`)`")?;
+                Ok(SqlExpr::Paren(Box::new(inner)))
+            }
+            Some(t) => Err(self.error(format!("expected an expression, found {}", t.describe()))),
+            None => Err(self.error("expected an expression, found end of input")),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<SqlExpr>> {
+        if self.peek() != Some(&SqlToken::At) {
+            return Ok(Vec::new());
+        }
+        self.advance();
+        self.expect(&SqlToken::LParen, "`(` after `@`")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&SqlToken::RParen) {
+            loop {
+                args.push(self.expression()?);
+                if self.peek() == Some(&SqlToken::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&SqlToken::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    /// Parse the inside of `recv[...]`: either a filter list
+    /// (`cylinders -> 4; color -> red`) or an XSQL selector (`Z`, `4`).
+    fn bracket(&mut self, recv: SqlExpr) -> Result<SqlExpr> {
+        let is_filter = matches!(self.peek(), Some(SqlToken::Ident(_) | SqlToken::Var(_)))
+            && (self.peek_ahead(1) == Some(&SqlToken::Arrow) || self.peek_ahead(1) == Some(&SqlToken::At));
+        if is_filter {
+            let mut filters = Vec::new();
+            loop {
+                let method = self.word("a filter attribute")?;
+                let args = self.call_args()?;
+                self.expect(&SqlToken::Arrow, "`->`")?;
+                let value = self.expression()?;
+                filters.push(SqlFilter { method, args, value });
+                if self.peek() == Some(&SqlToken::Semicolon) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&SqlToken::RBracket, "`]`")?;
+            Ok(SqlExpr::Filtered { recv: Box::new(recv), filters })
+        } else {
+            let selector = self.expression()?;
+            self.expect(&SqlToken::RBracket, "`]`")?;
+            Ok(SqlExpr::Selector { recv: Box::new(recv), selector: Box::new(selector) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_1_1_o2sql_style_parses() {
+        let q = parse_statement(
+            "SELECT Y.color
+             FROM X IN employee
+             FROM Y IN X.vehicles
+             WHERE Y IN automobile",
+        )
+        .unwrap();
+        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.from.len(), 2);
+        assert!(!q.from[0].xsql_style);
+        assert_eq!(q.conditions.len(), 1);
+        assert!(matches!(q.conditions[0], Condition::In(_, _)));
+        assert_eq!(q.to_string(), "SELECT Y.color FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile");
+    }
+
+    #[test]
+    fn query_1_2_xsql_style_with_selectors_parses() {
+        let q = parse_statement(
+            "SELECT Z
+             FROM employee X, automobile Y
+             WHERE X.vehicles[Y].color[Z]",
+        )
+        .unwrap();
+        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        assert_eq!(q.from.len(), 2);
+        assert!(q.from[0].xsql_style);
+        assert_eq!(q.conditions.len(), 1);
+        assert_eq!(q.conditions[0].to_string(), "X.vehicles[Y].color[Z]");
+    }
+
+    #[test]
+    fn query_1_4_with_the_extra_conjunct_parses() {
+        let q = parse_statement(
+            "SELECT Z
+             FROM employee X, automobile Y
+             WHERE X.vehicles[Y].color[Z]
+               AND Y.cylinders[4]",
+        )
+        .unwrap();
+        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        assert_eq!(q.conditions.len(), 2);
+        assert_eq!(q.conditions[1].to_string(), "Y.cylinders[4]");
+    }
+
+    #[test]
+    fn query_2_2_with_pathlog_filters_parses() {
+        let q = parse_statement(
+            "SELECT Z
+             FROM employee X, automobile Y
+             WHERE X[age -> 30; city -> newYork].vehicles[cylinders -> 4][Y].color[Z]",
+        )
+        .unwrap();
+        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        assert_eq!(q.conditions.len(), 1);
+        let text = q.conditions[0].to_string();
+        assert!(text.contains("[age -> 30; city -> newYork]"));
+        assert!(text.contains("[cylinders -> 4][Y]"));
+    }
+
+    #[test]
+    fn the_manager_query_parses() {
+        let q = parse_statement(
+            "SELECT X
+             FROM X IN manager
+             FROM Y IN X.vehicles
+             WHERE Y.color = red
+               AND Y.producedBy.cityOf = detroit
+               AND Y.producedBy.president = X",
+        )
+        .unwrap();
+        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        assert_eq!(q.conditions.len(), 3);
+        assert!(matches!(q.conditions[0], Condition::Eq(_, _)));
+    }
+
+    #[test]
+    fn view_6_3_parses() {
+        let v = parse_statement(
+            "CREATE VIEW employeeBoss
+             SELECT worksFor = D
+             FROM employee X
+             OID FUNCTION OF X
+             WHERE X.worksFor[D]",
+        )
+        .unwrap();
+        let Statement::CreateView(v) = v else { panic!("expected a view") };
+        assert_eq!(v.name, "employeeBoss");
+        assert_eq!(v.attributes.len(), 1);
+        assert_eq!(v.attributes[0].0, "worksFor");
+        assert_eq!(v.source_class, "employee");
+        assert_eq!(v.var, "X");
+        assert_eq!(v.oid_of, "X");
+        assert_eq!(v.conditions.len(), 1);
+    }
+
+    #[test]
+    fn capitalised_class_names_are_accepted_in_xsql_ranges() {
+        // The paper writes `FROM Employee X`.
+        let q = parse_statement("SELECT X FROM Employee X").unwrap();
+        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        assert_eq!(q.from[0].source, SqlExpr::Name("Employee".into()));
+    }
+
+    #[test]
+    fn multiple_statements_are_separated_by_semicolons() {
+        let stmts = parse_statements(
+            "CREATE VIEW v SELECT a = X FROM c X OID FUNCTION OF X;
+             SELECT X FROM X IN c;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn method_arguments_parse() {
+        let e = parse_expression("john.salary@(1994)").unwrap();
+        assert_eq!(e.to_string(), "john.salary@(1994)");
+        let e = parse_expression("p1.paidFor@(p1..vehicles)").unwrap();
+        assert_eq!(e.to_string(), "p1.paidFor@(p1..vehicles)");
+    }
+
+    #[test]
+    fn parenthesised_expressions_parse() {
+        let e = parse_expression("(integer.list)").unwrap();
+        assert_eq!(e.to_string(), "(integer.list)");
+    }
+
+    #[test]
+    fn missing_from_is_an_error() {
+        let err = parse_statement("SELECT X WHERE X IN employee").unwrap_err();
+        assert!(err.to_string().contains("FROM"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let err = parse_statement("SELECT X FROM X IN employee extra").unwrap_err();
+        assert!(err.to_string().contains("unexpected"));
+    }
+
+    #[test]
+    fn unclosed_bracket_is_an_error() {
+        let err = parse_statement("SELECT X FROM X IN employee WHERE X.color[Z").unwrap_err();
+        assert!(err.to_string().contains("]"));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_statement("SELECT X\nFROM X employee").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column > 1);
+    }
+
+    #[test]
+    fn view_without_oid_clause_is_an_error() {
+        let err = parse_statement("CREATE VIEW v SELECT a = X FROM c X WHERE X.a[Y]").unwrap_err();
+        assert!(err.to_string().contains("OID"));
+    }
+}

@@ -1,0 +1,91 @@
+//! An interactive PathLog shell: type facts, rules and queries and see the
+//! answers immediately.
+//!
+//! Run with `cargo run --example pathlog_shell`, then e.g.:
+//!
+//! ```text
+//! pathlog> peter[kids ->> {tim, mary}].
+//! pathlog> tim[kids ->> {sally}].
+//! pathlog> X[desc ->> {Y}] <- X[kids ->> {Y}].
+//! pathlog> X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+//! pathlog> ?- peter[desc ->> {Z}].
+//! Z = tim
+//! Z = mary
+//! Z = sally
+//! ```
+//!
+//! Commands: `:stats` prints structure statistics, `:check` runs the type
+//! checker, `:quit` exits.
+
+use std::io::{self, BufRead, Write};
+
+use pathlog::prelude::*;
+
+fn main() {
+    let mut structure = Structure::new();
+    let engine = Engine::new();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+
+    println!("PathLog shell — facts, rules (head <- body.) and queries (?- body.)");
+    print!("pathlog> ");
+    stdout.flush().unwrap();
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let input = line.trim();
+        match input {
+            "" => {}
+            ":quit" | ":q" => break,
+            ":stats" => println!("{}", structure.stats()),
+            ":check" => {
+                let errors = pathlog::core::typing::type_check(&structure);
+                if errors.is_empty() {
+                    println!("no type violations");
+                } else {
+                    for e in errors {
+                        println!("type violation: {e}");
+                    }
+                }
+            }
+            _ => match parse_program(input) {
+                Ok(program) => {
+                    if !program.rules.is_empty() {
+                        match engine.load_program(&mut structure, &program) {
+                            Ok(stats) => {
+                                println!("ok ({} facts derived, {} virtual objects)", stats.derived(), stats.virtual_objects)
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    for query in &program.queries {
+                        match engine.query(&structure, query) {
+                            Ok(solutions) if solutions.is_empty() => println!("no"),
+                            Ok(solutions) => {
+                                for bindings in solutions {
+                                    if bindings.is_empty() {
+                                        println!("yes");
+                                    } else {
+                                        let line: Vec<String> = bindings
+                                            .iter()
+                                            .map(|(v, o)| format!("{v} = {}", structure.display_name(o)))
+                                            .collect();
+                                        println!("{}", line.join(", "));
+                                    }
+                                }
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+        }
+        print!("pathlog> ");
+        stdout.flush().unwrap();
+    }
+    println!("\nbye");
+}

@@ -1,0 +1,109 @@
+//! Production rules and active rules sharing PathLog's references.
+//!
+//! The paper's conclusion: the way a rule set is evaluated is orthogonal to
+//! how objects are referenced, so the same path expressions work for
+//! "production rules or active rules".  This example runs both:
+//!
+//! 1. a production system that raises every employee salary below a minimum
+//!    wage (retracting the old fact — something deductive rules cannot do)
+//!    and gives every manager a virtual company car;
+//! 2. an active store whose triggers react to salary updates by maintaining
+//!    a derived `bonusBase` attribute and an audit class.
+//!
+//! Run with `cargo run --example reactive_rules`.
+
+use pathlog::core::names::Name;
+use pathlog::core::program::Literal;
+use pathlog::core::term::{Filter, Term};
+use pathlog::prelude::*;
+use pathlog::reactive::{ActiveStore, EcaAction, Event};
+
+fn main() {
+    production_rules();
+    active_rules();
+}
+
+/// Forward-chaining production rules over the company workload.
+fn production_rules() {
+    let mut structure = pathlog::datagen::company::generate_structure(&CompanyParams::scaled(100));
+    // The threshold must exist in the universe for the comparison built-in.
+    structure.int(60_000);
+    println!("== production rules ==");
+    println!("before: {}", structure.stats());
+
+    let mut engine = ProductionEngine::new();
+    // IF X : employee[salary -> S], S.lt@(60000)
+    // THEN retract X[salary -> S]; assert X[salary -> 60000].
+    engine.add_rule(
+        ProductionRule::new(
+            "minimum-wage",
+            vec![
+                Literal::pos(Term::var("X").isa("employee").filter(Filter::scalar("salary", Term::var("S")))),
+                Literal::pos(Term::var("S").scalar_args("lt", vec![Term::int(60_000)])),
+            ],
+            vec![
+                Action::Retract(Term::var("X").filter(Filter::scalar("salary", Term::var("S")))),
+                Action::Assert(Term::var("X").filter(Filter::scalar("salary", Term::int(60_000)))),
+            ],
+        )
+        .with_priority(10),
+    );
+    // IF X : manager THEN assert X.companyCar[color -> black]  (a virtual object).
+    engine.add_rule(ProductionRule::new(
+        "company-car",
+        vec![Literal::pos(Term::var("X").isa("manager"))],
+        vec![Action::Assert(Term::var("X").scalar("companyCar").filter(Filter::scalar("color", Term::name("black"))))],
+    ));
+
+    let (stats, trace) = engine.run_traced(&mut structure).expect("production rules reach quiescence");
+    println!(
+        "after {} cycles: {} firings, {} asserted, {} retracted, {} virtual company cars",
+        stats.cycles, stats.firings, stats.asserted, stats.retracted, stats.virtual_objects
+    );
+    for firing in trace.iter().take(5) {
+        println!("  cycle {:>3}: {}", firing.cycle, firing.rule);
+    }
+    println!("after: {}\n", structure.stats());
+}
+
+/// Event–condition–action triggers over an active store.
+fn active_rules() {
+    println!("== active rules ==");
+    let base = pathlog::datagen::company::generate_structure(&CompanyParams::scaled(50));
+    let mut store = ActiveStore::new(base);
+
+    // ON assert salary IF the receiver is an employee DO derive its bonus base.
+    store.add_rule(EcaRule::new(
+        "derive-bonus",
+        Event::ScalarAsserted(Name::atom("salary")),
+        vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+        vec![EcaAction::AssertScalar {
+            receiver: Term::var("Receiver"),
+            method: Name::atom("bonusBase"),
+            value: Term::var("Value"),
+        }],
+    ));
+    // ON assert bonusBase DO mark the employee for auditing (a cascade).
+    store.add_rule(EcaRule::new(
+        "audit",
+        Event::ScalarAsserted(Name::atom("bonusBase")),
+        vec![],
+        vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("audited") }],
+    ));
+
+    let salary = store.oid("salary");
+    let employee = store.oid("e0");
+    let raise = store.int(99_000);
+    // The employee already has a salary fact; retract it first, then set the
+    // new one — both mutations go through the trigger layer.
+    store.retract_scalar(salary, employee).expect("retraction triggers run");
+    let stats = store.assert_scalar(salary, employee, raise).expect("assertion triggers run");
+    println!(
+        "one salary update fired {} triggers, {} mutations, cascade depth {}",
+        stats.firings, stats.mutations, stats.max_depth_reached
+    );
+
+    let structure = store.into_structure();
+    let audited = structure.lookup_name(&Name::atom("audited")).expect("audited class exists");
+    println!("audited objects: {}", structure.instances_of(audited).count());
+}

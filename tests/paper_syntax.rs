@@ -1,0 +1,142 @@
+//! Every concrete-syntax expression quoted in the paper must parse, print
+//! and re-parse to the same abstract reference (experiment E10), and the
+//! statically checkable properties (scalarity, well-formedness) must match
+//! what the paper states about them.
+
+use pathlog::core::scalarity::is_set_valued;
+use pathlog::core::wellformed::is_well_formed;
+use pathlog::prelude::*;
+
+/// (expression, is a rule/fact, expected set-valued) — terms only.
+const TERMS: &[(&str, bool)] = &[
+    // Section 2
+    ("X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]", true),
+    ("X[age -> 30; city -> newYork].vehicles[cylinders -> 4][Y].color[Z]", false),
+    ("X[city -> X.boss.city]", false),
+    ("X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]", true),
+    // Section 4
+    ("mary.spouse", false),
+    ("mary.spouse[boss -> mary]", false),
+    ("mary.spouse[boss -> mary].age", false),
+    ("mary.spouse[boss -> mary[age -> 25]]", false),
+    ("john.salary@(1994)", false),
+    ("mary.boss", false),
+    ("mary[age -> 30][boss -> peter]", false),
+    ("mary[age -> 30; boss -> peter]", false),
+    ("X..vehicles.color[Z]", true),
+    ("L : (integer.list)", false),
+    ("L : integer.list", false),
+    ("p1.age", false),
+    ("p1..assistants", true),
+    ("p1..assistants[salary -> 1000]", true),
+    ("p2[friends ->> {p3, p4}]", false),
+    ("p2[friends ->> p1..assistants]", false),
+    ("p1..assistants.salary", true),
+    ("p1..assistants..projects", true),
+    ("p1.paidFor@(p1..vehicles)", true),
+    ("p2[boss -> p1..assistants]", false), // ill-formed (4.5), still parses; scalar receiver
+
+    ("p1[assistants ->> {X[salary -> 1000]}]", false),
+    ("john..kids..kids", true),
+];
+
+const RULES: &[&str] = &[
+    "X[power -> Y] <- X : automobile.engineOf[power -> Y].",
+    "X.boss[worksFor -> D] <- X : employee[worksFor -> D].",
+    "Z[worksFor -> D] <- X : employee[worksFor -> D].boss[Z].",
+    "X.address[street -> X.street; city -> X.city] <- X : person.",
+    "X[desc ->> {Y}] <- X[kids ->> {Y}].",
+    "X[desc ->> {Y}] <- X..desc[kids ->> {Y}].",
+    "X[(M.tc) ->> {Y}] <- X[M ->> {Y}].",
+    "X[(M.tc) ->> {Y}] <- X..(M.tc)[M ->> {Y}].",
+    "peter[kids ->> {tim, mary}].",
+    "tim[kids ->> {sally}].",
+    "mary[kids ->> {tom, paul}].",
+    "peter[(kids.tc) ->> {tim, mary, sally, tom, paul}].",
+    "p1 : employee[worksFor -> cs1].",
+];
+
+#[test]
+fn every_paper_term_parses_and_round_trips() {
+    for (src, _) in TERMS {
+        let term = parse_term(src).unwrap_or_else(|e| panic!("`{src}` must parse: {e}"));
+        let printed = term.to_string();
+        let reparsed = parse_term(&printed).unwrap_or_else(|e| panic!("printed form `{printed}` must re-parse: {e}"));
+        assert_eq!(term, reparsed, "round trip of `{src}` via `{printed}`");
+    }
+}
+
+#[test]
+fn every_paper_rule_parses_and_round_trips() {
+    for src in RULES {
+        let rule = parse_rule(src).unwrap_or_else(|e| panic!("`{src}` must parse: {e}"));
+        let printed = rule.to_string();
+        let reparsed = parse_rule(&printed).unwrap_or_else(|e| panic!("printed form `{printed}` must re-parse: {e}"));
+        assert_eq!(rule, reparsed, "round trip of `{src}` via `{printed}`");
+    }
+}
+
+#[test]
+fn scalarity_matches_definition_2() {
+    for (src, set_valued) in TERMS {
+        let term = parse_term(src).unwrap();
+        assert_eq!(is_set_valued(&term), *set_valued, "scalarity of `{src}`");
+    }
+}
+
+#[test]
+fn only_4_5_is_ill_formed_among_the_paper_terms() {
+    for (src, _) in TERMS {
+        let term = parse_term(src).unwrap();
+        let expected_ill_formed = *src == "p2[boss -> p1..assistants]";
+        assert_eq!(!is_well_formed(&term), expected_ill_formed, "well-formedness of `{src}`");
+    }
+}
+
+#[test]
+fn selectors_are_sugar_for_self() {
+    let with_selector = parse_term("X..vehicles.color[Z]").unwrap();
+    let explicit = parse_term("X..vehicles.color[self -> Z]").unwrap();
+    assert_eq!(with_selector, explicit);
+}
+
+#[test]
+fn filter_lists_are_sugar_for_repeated_filters() {
+    let listed = parse_term("mary[age -> 30; boss -> peter]").unwrap();
+    let repeated = parse_term("mary[age -> 30][boss -> peter]").unwrap();
+    assert_eq!(listed, repeated);
+}
+
+#[test]
+fn bracketing_changes_the_reading_of_class_positions() {
+    // L : (integer.list) vs L : integer.list — different references.
+    let bracketed = parse_term("L : (integer.list)").unwrap();
+    let unbracketed = parse_term("L : integer.list").unwrap();
+    assert_ne!(bracketed, unbracketed);
+}
+
+#[test]
+fn a_whole_paper_program_parses() {
+    let src = r#"
+        % Section 6, all together
+        peter[kids ->> {tim, mary}].
+        tim[kids ->> {sally}].
+        mary[kids ->> {tom, paul}].
+
+        X[power -> Y]               <- X : automobile.engineOf[power -> Y].
+        X.boss[worksFor -> D]       <- X : employee[worksFor -> D].
+        Z[worksFor -> D]            <- X : employee[worksFor -> D].boss[Z].
+        X.address[street -> X.street; city -> X.city] <- X : person.
+        X[desc ->> {Y}]             <- X[kids ->> {Y}].
+        X[desc ->> {Y}]             <- X..desc[kids ->> {Y}].
+
+        ?- peter[desc ->> {Z}].
+        ?- X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X].
+    "#;
+    let program = parse_program(src).unwrap();
+    assert_eq!(program.rules.len(), 9);
+    assert_eq!(program.facts().count(), 3);
+    assert_eq!(program.queries.len(), 2);
+    // every rule validates except none — the whole program is legal
+    assert!(pathlog::core::program::validate_program(&program).is_ok());
+}

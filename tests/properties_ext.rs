@@ -1,0 +1,218 @@
+//! Property-based tests for the extension layers added around the core
+//! reproduction: retraction in the fact store, the object-SQL frontend, and
+//! the F-logic translation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use pathlog::core::structure::{Oid, Structure};
+use pathlog::core::term::Term;
+use pathlog::flogic::Translator;
+use pathlog::prelude::*;
+use pathlog::sqlfront;
+
+// ---------------------------------------------------------------------------
+// 1. Retraction: the fact store behaves like a map / multimap model under any
+//    interleaving of asserts and retracts (this exercises the swap-remove
+//    index maintenance added for the reactive layer).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    AssertScalar { method: u8, receiver: u8, value: u8 },
+    RetractScalar { method: u8, receiver: u8 },
+    AddMember { method: u8, receiver: u8, member: u8 },
+    RemoveMember { method: u8, receiver: u8, member: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let m = 0u8..3;
+    let o = 0u8..5;
+    prop_oneof![
+        (m.clone(), o.clone(), o.clone()).prop_map(|(method, receiver, value)| Op::AssertScalar { method, receiver, value }),
+        (m.clone(), o.clone()).prop_map(|(method, receiver)| Op::RetractScalar { method, receiver }),
+        (m.clone(), o.clone(), o.clone()).prop_map(|(method, receiver, member)| Op::AddMember { method, receiver, member }),
+        (m, o.clone(), o).prop_map(|(method, receiver, member)| Op::RemoveMember { method, receiver, member }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fact_store_with_retraction_matches_a_map_model(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        let mut structure = Structure::new();
+        let methods: Vec<Oid> = (0..3).map(|i| structure.atom(&format!("m{i}"))).collect();
+        let objects: Vec<Oid> = (0..5).map(|i| structure.atom(&format!("o{i}"))).collect();
+
+        let mut scalar_model: BTreeMap<(u8, u8), u8> = BTreeMap::new();
+        let mut set_model: BTreeMap<(u8, u8), BTreeSet<u8>> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::AssertScalar { method, receiver, value } => {
+                    let outcome = structure.assert_scalar(
+                        methods[method as usize], objects[receiver as usize], &[], objects[value as usize]);
+                    match scalar_model.get(&(method, receiver)) {
+                        Some(&existing) if existing != value => prop_assert!(outcome.is_err(),
+                            "conflicting scalar assert must be rejected"),
+                        _ => {
+                            prop_assert!(outcome.is_ok());
+                            scalar_model.insert((method, receiver), value);
+                        }
+                    }
+                }
+                Op::RetractScalar { method, receiver } => {
+                    let removed = structure.retract_scalar(methods[method as usize], objects[receiver as usize], &[]);
+                    let expected = scalar_model.remove(&(method, receiver));
+                    prop_assert_eq!(removed, expected.map(|v| objects[v as usize]));
+                }
+                Op::AddMember { method, receiver, member } => {
+                    structure.assert_set_member(
+                        methods[method as usize], objects[receiver as usize], &[], objects[member as usize]);
+                    set_model.entry((method, receiver)).or_default().insert(member);
+                }
+                Op::RemoveMember { method, receiver, member } => {
+                    let removed = structure.retract_set_member(
+                        methods[method as usize], objects[receiver as usize], &[], objects[member as usize]);
+                    let expected = set_model.get_mut(&(method, receiver)).map(|s| s.remove(&member)).unwrap_or(false);
+                    prop_assert_eq!(removed, expected);
+                }
+            }
+        }
+
+        // Final states agree on every (method, receiver) application.
+        for m in 0u8..3 {
+            for r in 0u8..5 {
+                let stored = structure.apply_scalar(methods[m as usize], objects[r as usize], &[]);
+                let expected = scalar_model.get(&(m, r)).map(|&v| objects[v as usize]);
+                prop_assert_eq!(stored, expected);
+                let stored_members: BTreeSet<Oid> = structure
+                    .apply_set(methods[m as usize], objects[r as usize], &[])
+                    .cloned()
+                    .unwrap_or_default();
+                let expected_members: BTreeSet<Oid> = set_model
+                    .get(&(m, r))
+                    .map(|s| s.iter().map(|&v| objects[v as usize]).collect())
+                    .unwrap_or_default();
+                prop_assert_eq!(stored_members, expected_members);
+            }
+        }
+        // Counters never go negative / stale.
+        prop_assert_eq!(structure.facts().num_scalar(), scalar_model.len());
+        let expected_members: usize = set_model.values().map(BTreeSet::len).sum();
+        prop_assert_eq!(structure.facts().num_set_members(), expected_members);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Object-SQL path expressions: print -> parse is the identity, and the
+//    compiled PathLog reference is always well-formed.
+// ---------------------------------------------------------------------------
+
+fn sql_attr() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["vehicles", "color", "boss", "city", "kids", "producedBy", "president"])
+        .prop_map(str::to_string)
+}
+
+fn sql_base() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["mary", "peter", "employee", "X", "Y"]).prop_map(str::to_string)
+}
+
+#[derive(Debug, Clone)]
+enum SqlStep {
+    Scalar(String),
+    Set(String),
+    Selector(String),
+    Filter(String, i64),
+}
+
+fn sql_step() -> impl Strategy<Value = SqlStep> {
+    prop_oneof![
+        sql_attr().prop_map(SqlStep::Scalar),
+        sql_attr().prop_map(SqlStep::Set),
+        prop::sample::select(vec!["Z", "W", "4"]).prop_map(|s| SqlStep::Selector(s.to_string())),
+        (sql_attr(), 0i64..100).prop_map(|(a, v)| SqlStep::Filter(a, v)),
+    ]
+}
+
+fn render_sql_expr(base: &str, steps: &[SqlStep]) -> String {
+    let mut text = base.to_string();
+    for step in steps {
+        match step {
+            SqlStep::Scalar(attr) => text.push_str(&format!(".{attr}")),
+            SqlStep::Set(attr) => text.push_str(&format!("..{attr}")),
+            SqlStep::Selector(sel) => text.push_str(&format!("[{sel}]")),
+            SqlStep::Filter(attr, value) => text.push_str(&format!("[{attr} -> {value}]")),
+        }
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sql_path_expressions_round_trip_and_compile_well_formed(
+        base in sql_base(),
+        steps in prop::collection::vec(sql_step(), 0..6),
+    ) {
+        let text = render_sql_expr(&base, &steps);
+        let parsed = sqlfront::parse_expression(&text).expect("generated expression parses");
+        let printed = parsed.to_string();
+        let reparsed = sqlfront::parse_expression(&printed).expect("printed expression parses");
+        prop_assert_eq!(&parsed, &reparsed, "print -> parse is the identity for `{}`", printed);
+
+        // Compilation always yields a well-formed PathLog reference.
+        let catalog = Catalog::with_set_attrs(["vehicles", "kids"]);
+        let mut compiler = sqlfront::Compiler::new(&catalog);
+        let term = compiler.term(&parsed).expect("expression compiles");
+        prop_assert!(pathlog::core::wellformed::is_well_formed(&term), "`{}` compiled to an ill-formed reference", text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. F-logic translation: one flat atom per navigation step, and equivalence
+//    with the direct semantics on chain references over a known structure.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn translation_produces_one_atom_per_step(
+        scalar_steps in 0usize..5,
+        filters in 0usize..4,
+        set_steps in 0usize..3,
+    ) {
+        let mut term = Term::name("mary");
+        for i in 0..scalar_steps {
+            term = term.scalar(format!("s{i}").as_str());
+        }
+        for i in 0..set_steps {
+            term = term.set(format!("m{i}").as_str());
+        }
+        for i in 0..filters {
+            term = term.filter(pathlog::core::term::Filter::scalar(format!("f{i}").as_str(), Term::int(i as i64)));
+        }
+        let translation = Translator::new().reference(&term).expect("chain references translate");
+        prop_assert_eq!(translation.conjuncts(), scalar_steps + set_steps + filters);
+    }
+
+    #[test]
+    fn direct_and_translated_agree_on_random_genealogies(
+        depth in 1usize..4,
+        fanout in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let structure = pathlog::datagen::genealogy_structure(
+            &pathlog::datagen::GenealogyParams { roots: 1, depth, fanout, seed });
+        let program = parse_program("?- X[kids ->> {Y}].").unwrap();
+
+        let direct = Engine::new().query(&structure, &program.queries[0]).unwrap().len();
+        let (flat, _) = Translator::new().program(&program).unwrap();
+        let translated = pathlog::flogic::FlatEngine::new().query(&structure, &flat.queries[0]).unwrap().len();
+        prop_assert_eq!(direct, translated);
+    }
+}

@@ -1,0 +1,172 @@
+//! Integration tests for the typing (signature) extension and for the
+//! stratification and safety restrictions of the engine (experiments E5/E8).
+
+use pathlog::prelude::*;
+
+#[test]
+fn signatures_written_in_pathlog_syntax_drive_the_type_checker() {
+    let mut s = Structure::new();
+    let engine = Engine::new();
+    let program = parse_program(
+        "person[age => integer; kids =>> person].
+         3 : integer. 7 : integer. 90 : integer.
+         mary : person[age -> 3].
+         mary[kids ->> {tim}].
+         tim : person[age -> red].",
+    )
+    .unwrap();
+    engine.load_program(&mut s, &program).unwrap();
+    let errors = pathlog::core::typing::type_check(&s);
+    // two violations: tim's age is `red` (not an integer), and mary's kid tim
+    // is fine (tim : person) — so exactly one age violation plus ... tim is a
+    // person, so kids is fine.
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert!(errors[0].to_string().contains("age"));
+}
+
+#[test]
+fn signature_declarations_are_queryable_as_formulas() {
+    let mut s = Structure::new();
+    let engine = Engine::new();
+    // `string` is mentioned as an ordinary name so that the negative test
+    // below asks about a known (but undeclared) result class.
+    let program = parse_program("person[age => integer]. string : valueClass.").unwrap();
+    engine.load_program(&mut s, &program).unwrap();
+    // the declaration itself is entailed, a different one is not
+    let yes = parse_term("person[age => integer]").unwrap();
+    let no = parse_term("person[age => string]").unwrap();
+    assert!(entails(&s, &yes, &Bindings::new()).unwrap());
+    assert!(!entails(&s, &no, &Bindings::new()).unwrap());
+}
+
+#[test]
+fn strict_coverage_mode_reports_uncovered_facts() {
+    let mut s = Structure::new();
+    let engine = Engine::new();
+    let program = parse_program(
+        "employee[salary => integer].
+         50000 : integer.
+         mary : employee[salary -> 50000].
+         intruder[salary -> 10].",
+    )
+    .unwrap();
+    engine.load_program(&mut s, &program).unwrap();
+    assert!(pathlog::core::typing::type_check(&s).is_empty());
+    let strict = pathlog::core::typing::type_check_with(
+        &s,
+        pathlog::core::typing::TypeCheckOptions { strict_coverage: true },
+    );
+    assert_eq!(strict.len(), 1, "the intruder's salary is covered by no signature");
+}
+
+#[test]
+fn unsafe_rules_are_rejected_with_helpful_messages() {
+    // head variable not bound in the body
+    let rule = parse_rule("X[likes -> Y] <- X : person.").unwrap();
+    let err = pathlog::core::program::validate_rule(&rule).unwrap_err();
+    assert!(err.to_string().contains("Y"));
+
+    // negated-only variable
+    let rule = parse_rule("X : lonely <- X : person, not Y[friendOf -> X].").unwrap();
+    assert!(pathlog::core::program::validate_rule(&rule).is_err());
+
+    // set-valued head
+    let rule = parse_rule("X..kids[age -> 1] <- X : person.").unwrap();
+    let err = pathlog::core::program::validate_rule(&rule).unwrap_err();
+    assert!(err.to_string().contains("set-valued"));
+}
+
+#[test]
+fn stratified_negation_behaves_like_negation_as_failure() {
+    let mut s = Structure::new();
+    let engine = Engine::new();
+    let program = parse_program(
+        "mary : person[spouse -> peter].
+         john : person.
+         X : single <- X : person, not X.spouse[].
+         ?- X : single.",
+    )
+    .unwrap();
+    engine.load_program(&mut s, &program).unwrap();
+    let answers = engine.query(&s, &program.queries[0]).unwrap();
+    assert_eq!(answers.len(), 1);
+    let x = answers[0].get(&Var::new("X")).unwrap();
+    assert_eq!(s.display_name(x), "john");
+}
+
+#[test]
+fn negation_that_depends_on_its_own_definitions_is_rejected() {
+    let program = parse_program(
+        "a : p.
+         X : q <- X : p, not X : r.
+         X : r <- X : p, not X : q.",
+    )
+    .unwrap();
+    let mut s = Structure::new();
+    let engine = Engine::new();
+    assert!(matches!(engine.load_program(&mut s, &program), Err(Error::NotStratifiable(_))));
+}
+
+#[test]
+fn set_at_a_time_reads_are_evaluated_after_their_producers() {
+    // friends is copied from assistants, assistants is derived from reports:
+    // three strata, and the copy sees the complete set.
+    let mut s = Structure::new();
+    let engine = Engine::new();
+    let program = parse_program(
+        "boss[reports ->> {anna, bert, carl}].
+         boss[assistants ->> {Y}] <- boss[reports ->> {Y}].
+         buddy[friends ->> boss..assistants] <- boss[assistants ->> {Y}].
+         ?- buddy[friends ->> {F}].",
+    )
+    .unwrap();
+    let stats = engine.load_program(&mut s, &program).unwrap();
+    assert!(stats.strata >= 2);
+    let answers = engine.query(&s, &program.queries[0]).unwrap();
+    assert_eq!(answers.len(), 3, "all three assistants became friends");
+}
+
+#[test]
+fn comparison_builtins_extension_filters_bindings() {
+    let mut s = Structure::new();
+    let engine = Engine::new();
+    let program = parse_program(
+        "anna : person[age -> 30].
+         bert : person[age -> 50].
+         carl : person[age -> 41].
+         X : senior <- X : person[age -> A], A[ge@(41) -> A].
+         ?- X : senior.",
+    )
+    .unwrap();
+    engine.load_program(&mut s, &program).unwrap();
+    let seniors: Vec<String> = engine
+        .query(&s, &program.queries[0])
+        .unwrap()
+        .iter()
+        .map(|b| s.display_name(b.get(&Var::new("X")).unwrap()))
+        .collect();
+    assert_eq!(seniors.len(), 2);
+    assert!(seniors.contains(&"bert".to_string()) && seniors.contains(&"carl".to_string()));
+}
+
+#[test]
+fn scalar_conflicts_are_reported_not_silently_overwritten() {
+    let mut s = Structure::new();
+    let engine = Engine::new();
+    let program = parse_program("mary[age -> 30]. mary[age -> 31].").unwrap();
+    let err = engine.load_program(&mut s, &program).unwrap_err();
+    assert!(err.to_string().contains("conflicting"));
+}
+
+#[test]
+fn evaluation_limits_guard_against_runaway_programs() {
+    let program = parse_program(
+        "n0 : node.
+         X.next[] <- X : node.
+         Y : node <- X : node.next[Y].",
+    )
+    .unwrap();
+    let mut s = Structure::new();
+    let engine = Engine::with_options(EvalOptions { max_iterations: 30, ..EvalOptions::default() });
+    assert!(matches!(engine.load_program(&mut s, &program), Err(Error::LimitExceeded(_))));
+}
