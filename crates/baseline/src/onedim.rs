@@ -104,13 +104,22 @@ impl OneDimQuery {
 
     /// Add `FROM var IN class`.
     pub fn from_class(mut self, var: &str, class: &str) -> Self {
-        self.ranges.push(RangeVar { var: var.into(), source: RangeSource::Class(class.into()) });
+        self.ranges.push(RangeVar {
+            var: var.into(),
+            source: RangeSource::Class(class.into()),
+        });
         self
     }
 
     /// Add `FROM var IN of.attr`.
     pub fn from_set(mut self, var: &str, of: &str, attr: &str) -> Self {
-        self.ranges.push(RangeVar { var: var.into(), source: RangeSource::SetAttr { of: of.into(), attr: attr.into() } });
+        self.ranges.push(RangeVar {
+            var: var.into(),
+            source: RangeSource::SetAttr {
+                of: of.into(),
+                attr: attr.into(),
+            },
+        });
         self
     }
 
@@ -136,7 +145,10 @@ impl OneDimQuery {
 
     /// Add `WHERE var IN class`.
     pub fn where_isa(mut self, var: &str, class: &str) -> Self {
-        self.conditions.push(Condition::IsA { var: var.into(), class: class.into() });
+        self.conditions.push(Condition::IsA {
+            var: var.into(),
+            class: class.into(),
+        });
         self
     }
 
@@ -148,7 +160,10 @@ impl OneDimQuery {
 
     /// Add `SELECT start.methods`.
     pub fn select_path(mut self, start: &str, methods: &[&str]) -> Self {
-        self.select.push(SelectItem::Path { start: start.into(), methods: methods.iter().map(|s| s.to_string()).collect() });
+        self.select.push(SelectItem::Path {
+            start: start.into(),
+            methods: methods.iter().map(|s| s.to_string()).collect(),
+        });
         self
     }
 }
@@ -171,8 +186,11 @@ fn eval_ranges(
 ) {
     if depth == query.ranges.len() {
         if query.conditions.iter().all(|c| check_condition(structure, c, bindings)) {
-            if let Some(tuple) =
-                query.select.iter().map(|item| eval_select(structure, item, bindings)).collect::<Option<Vec<_>>>()
+            if let Some(tuple) = query
+                .select
+                .iter()
+                .map(|item| eval_select(structure, item, bindings))
+                .collect::<Option<Vec<_>>>()
             {
                 results.insert(tuple);
             }
@@ -186,8 +204,12 @@ fn eval_ranges(
             None => Vec::new(),
         },
         RangeSource::SetAttr { of, attr } => {
-            let Some(&(_, subject)) = bindings.iter().find(|(v, _)| v == of) else { return };
-            let Some(attr) = structure.lookup_name(&Name::atom(attr)) else { return };
+            let Some(&(_, subject)) = bindings.iter().find(|(v, _)| v == of) else {
+                return;
+            };
+            let Some(attr) = structure.lookup_name(&Name::atom(attr)) else {
+                return;
+            };
             match structure.apply_set(attr, subject, &[]) {
                 Some(members) => members.iter().copied().collect(),
                 None => Vec::new(),
@@ -229,8 +251,12 @@ fn condition_ready(condition: &Condition, bindings: &[(String, Oid)]) -> bool {
 fn check_condition(structure: &Structure, condition: &Condition, bindings: &[(String, Oid)]) -> bool {
     match condition {
         Condition::PathEq { start, methods, rhs } => {
-            let Some(start) = lookup(bindings, start) else { return false };
-            let Some(result) = follow_path(structure, start, methods) else { return false };
+            let Some(start) = lookup(bindings, start) else {
+                return false;
+            };
+            let Some(result) = follow_path(structure, start, methods) else {
+                return false;
+            };
             match rhs {
                 Rhs::Const(n) => structure.lookup_name(n) == Some(result),
                 Rhs::Var(v) => lookup(bindings, v) == Some(result),
@@ -267,8 +293,12 @@ mod tests {
 
     fn world() -> Structure {
         let mut s = Structure::new();
-        let (employee, manager, automobile, vehicle) =
-            (s.atom("employee"), s.atom("manager"), s.atom("automobile"), s.atom("vehicle"));
+        let (employee, manager, automobile, vehicle) = (
+            s.atom("employee"),
+            s.atom("manager"),
+            s.atom("automobile"),
+            s.atom("vehicle"),
+        );
         s.add_isa(manager, employee);
         s.add_isa(automobile, vehicle);
         let (vehicles, color, cylinders) = (s.atom("vehicles"), s.atom("color"), s.atom("cylinders"));
@@ -361,7 +391,10 @@ mod tests {
         let s = world();
         let q = OneDimQuery::new().from_class("X", "spaceship").select_var("X");
         assert!(evaluate(&s, &q).is_empty());
-        let q = OneDimQuery::new().from_class("X", "employee").from_set("Y", "X", "hats").select_var("Y");
+        let q = OneDimQuery::new()
+            .from_class("X", "employee")
+            .from_set("Y", "X", "hats")
+            .select_var("Y");
         assert!(evaluate(&s, &q).is_empty());
     }
 

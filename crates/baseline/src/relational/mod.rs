@@ -31,12 +31,18 @@ pub struct Relation {
 impl Relation {
     /// An empty relation with the given columns.
     pub fn new(columns: &[&str]) -> Self {
-        Relation { columns: columns.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Relation {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// A relation built from rows.
     pub fn from_rows(columns: &[&str], rows: Vec<Vec<Oid>>) -> Self {
-        let r = Relation { columns: columns.iter().map(|s| s.to_string()).collect(), rows };
+        let r = Relation {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows,
+        };
         debug_assert!(r.rows.iter().all(|row| row.len() == r.columns.len()));
         r
     }
@@ -72,7 +78,10 @@ impl Relation {
 
     /// Project onto the given columns (in the given order).
     pub fn project(&self, columns: &[&str]) -> Relation {
-        let idxs: Vec<usize> = columns.iter().map(|c| self.column(c).expect("project: unknown column")).collect();
+        let idxs: Vec<usize> = columns
+            .iter()
+            .map(|c| self.column(c).expect("project: unknown column"))
+            .collect();
         Relation {
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: self.rows.iter().map(|r| idxs.iter().map(|&i| r[i]).collect()).collect(),
@@ -84,14 +93,23 @@ impl Relation {
         let mut seen = BTreeSet::new();
         Relation {
             columns: self.columns.clone(),
-            rows: self.rows.iter().filter(|r| seen.insert((*r).clone())).cloned().collect(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| seen.insert((*r).clone()))
+                .cloned()
+                .collect(),
         }
     }
 
     /// Rename a column.
     pub fn rename(&self, from: &str, to: &str) -> Relation {
         Relation {
-            columns: self.columns.iter().map(|c| if c == from { to.to_string() } else { c.clone() }).collect(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| if c == from { to.to_string() } else { c.clone() })
+                .collect(),
             rows: self.rows.clone(),
         }
     }
@@ -101,13 +119,21 @@ impl Relation {
         assert_eq!(self.columns, other.columns, "union: schema mismatch");
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Relation { columns: self.columns.clone(), rows }.distinct()
+        Relation {
+            columns: self.columns.clone(),
+            rows,
+        }
+        .distinct()
     }
 
     /// Natural hash join on all shared columns.
     pub fn join(&self, other: &Relation) -> Relation {
-        let shared: Vec<String> =
-            self.columns.iter().filter(|c| other.columns.contains(c)).cloned().collect();
+        let shared: Vec<String> = self
+            .columns
+            .iter()
+            .filter(|c| other.columns.contains(c))
+            .cloned()
+            .collect();
         let left_keys: Vec<usize> = shared.iter().map(|c| self.column(c).unwrap()).collect();
         let right_keys: Vec<usize> = shared.iter().map(|c| other.column(c).unwrap()).collect();
         let right_extra: Vec<usize> = (0..other.columns.len()).filter(|i| !right_keys.contains(i)).collect();
@@ -172,7 +198,9 @@ impl RelationalDb {
         }
         for fact in structure.facts().set_facts() {
             if let Some(Name::Atom(a)) = structure.name_of(fact.method) {
-                let rel = attrs.entry(a.clone()).or_insert_with(|| Relation::new(&["subject", "value"]));
+                let rel = attrs
+                    .entry(a.clone())
+                    .or_insert_with(|| Relation::new(&["subject", "value"]));
                 for &m in &fact.members {
                     rel.rows.push(vec![fact.receiver, m]);
                 }
@@ -230,7 +258,10 @@ mod tests {
     #[test]
     fn join_on_shared_columns() {
         let owners = Relation::from_rows(&["person", "vehicle"], vec![vec![o(1), o(10)], vec![o(2), o(11)]]);
-        let colors = Relation::from_rows(&["vehicle", "color"], vec![vec![o(10), o(100)], vec![o(11), o(101)], vec![o(12), o(102)]]);
+        let colors = Relation::from_rows(
+            &["vehicle", "color"],
+            vec![vec![o(10), o(100)], vec![o(11), o(101)], vec![o(12), o(102)]],
+        );
         let joined = owners.join(&colors);
         assert_eq!(joined.columns, vec!["person", "vehicle", "color"]);
         assert_eq!(joined.len(), 2);
@@ -271,7 +302,10 @@ mod tests {
         assert!(db.total_tuples() >= 4);
 
         // the joined query: colours of employees' vehicles
-        let q = db.class("employee", "x").join(&db.attr("vehicles", "x", "v")).join(&db.attr("color", "v", "c"));
+        let q = db
+            .class("employee", "x")
+            .join(&db.attr("vehicles", "x", "v"))
+            .join(&db.attr("color", "v", "c"));
         assert_eq!(q.project(&["c"]).distinct().len(), 1);
     }
 }

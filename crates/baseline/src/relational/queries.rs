@@ -71,12 +71,21 @@ mod tests {
     /// Hand-built world where the expected answers are known exactly.
     fn world() -> Structure {
         let mut s = Structure::new();
-        let (employee, manager, automobile, vehicle) =
-            (s.atom("employee"), s.atom("manager"), s.atom("automobile"), s.atom("vehicle"));
+        let (employee, manager, automobile, vehicle) = (
+            s.atom("employee"),
+            s.atom("manager"),
+            s.atom("automobile"),
+            s.atom("vehicle"),
+        );
         s.add_isa(manager, employee);
         s.add_isa(automobile, vehicle);
-        let (vehicles, color, cylinders, age, city) =
-            (s.atom("vehicles"), s.atom("color"), s.atom("cylinders"), s.atom("age"), s.atom("city"));
+        let (vehicles, color, cylinders, age, city) = (
+            s.atom("vehicles"),
+            s.atom("color"),
+            s.atom("cylinders"),
+            s.atom("age"),
+            s.atom("city"),
+        );
         let (produced_by, city_of, president) = (s.atom("producedBy"), s.atom("cityOf"), s.atom("president"));
         let (red, blue, ny, detroit) = (s.atom("red"), s.atom("blue"), s.atom("newYork"), s.atom("detroit"));
         let (thirty, four, six) = (s.int(30), s.int(4), s.int(6));

@@ -96,7 +96,13 @@ mod tests {
         // peter(0) -> tim(1), mary(2); tim -> sally(3); mary -> tom(4), paul(5)
         let base = Relation::from_rows(
             &["parent", "child"],
-            vec![vec![o(0), o(1)], vec![o(0), o(2)], vec![o(1), o(3)], vec![o(2), o(4)], vec![o(2), o(5)]],
+            vec![
+                vec![o(0), o(1)],
+                vec![o(0), o(2)],
+                vec![o(1), o(3)],
+                vec![o(2), o(4)],
+                vec![o(2), o(5)],
+            ],
         );
         let tc = transitive_closure(&base);
         let peters: BTreeSet<Oid> = tc.rows.iter().filter(|r| r[0] == o(0)).map(|r| r[1]).collect();

@@ -46,12 +46,20 @@ pub struct ViewDef {
 impl ViewDef {
     /// Start a view definition.
     pub fn new(name: &str, source_class: &str) -> Self {
-        ViewDef { name: name.into(), source_class: source_class.into(), attrs: Vec::new(), require_all: true }
+        ViewDef {
+            name: name.into(),
+            source_class: source_class.into(),
+            attrs: Vec::new(),
+            require_all: true,
+        }
     }
 
     /// Add an attribute computed by a scalar path over the source object.
     pub fn attr(mut self, name: &str, path: &[&str]) -> Self {
-        self.attrs.push(ViewAttr { name: name.into(), path: path.iter().map(|s| s.to_string()).collect() });
+        self.attrs.push(ViewAttr {
+            name: name.into(),
+            path: path.iter().map(|s| s.to_string()).collect(),
+        });
         self
     }
 
@@ -199,7 +207,9 @@ mod tests {
         let ny = s.atom("newYork");
         s.assert_scalar(street, p1, &[], main_st).unwrap();
         s.assert_scalar(city, p1, &[], ny).unwrap();
-        let view = ViewDef::new("Address", "employee").attr("street", &["street"]).attr("city", &["city"]);
+        let view = ViewDef::new("Address", "employee")
+            .attr("street", &["street"])
+            .attr("city", &["city"]);
         let stats = materialize(&mut s, &view);
         assert_eq!(stats.objects, 1, "only p1 has both attributes");
         let addr = s.lookup_name(&Name::atom("Address(p1)")).unwrap();

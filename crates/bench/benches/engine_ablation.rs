@@ -8,8 +8,14 @@ use pathlog_parser::parse_program;
 
 fn run(structure: &Structure, program: &Program, delta: bool) -> usize {
     let mut s = structure.clone();
-    let engine = Engine::with_options(EvalOptions { delta_driven: delta, ..EvalOptions::default() });
-    engine.load_program(&mut s, program).expect("rules evaluate").set_members
+    let engine = Engine::with_options(EvalOptions {
+        delta_driven: delta,
+        ..EvalOptions::default()
+    });
+    engine
+        .load_program(&mut s, program)
+        .expect("rules evaluate")
+        .set_members
 }
 
 fn bench_engine_ablation(c: &mut Criterion) {

@@ -20,9 +20,11 @@ fn bench_manager_query(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("onedim", employees), &structure, |b, s| {
             b.iter(|| manager_query::onedim(s))
         });
-        group.bench_with_input(BenchmarkId::new("relational", employees), &(structure.clone(), db), |b, (s, db)| {
-            b.iter(|| manager_query::relational(s, db))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("relational", employees),
+            &(structure.clone(), db),
+            |b, (s, db)| b.iter(|| manager_query::relational(s, db)),
+        );
     }
     group.finish();
 }

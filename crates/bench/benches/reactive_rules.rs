@@ -15,12 +15,16 @@ fn bench_reactive_rules(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     for &employees in &[100usize, 250, 500] {
         let structure = workloads::company(employees);
-        group.bench_with_input(BenchmarkId::new("production_minimum_wage", employees), &structure, |b, s| {
-            b.iter(|| reactive_rules::production_minimum_wage(s))
-        });
-        group.bench_with_input(BenchmarkId::new("active_salary_cascade_50", employees), &structure, |b, s| {
-            b.iter(|| reactive_rules::active_salary_cascade(s, 50))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("production_minimum_wage", employees),
+            &structure,
+            |b, s| b.iter(|| reactive_rules::production_minimum_wage(s)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("active_salary_cascade_50", employees),
+            &structure,
+            |b, s| b.iter(|| reactive_rules::active_salary_cascade(s, 50)),
+        );
     }
     group.finish();
 }

@@ -19,9 +19,11 @@ fn bench_two_dimensional(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("onedim", employees), &structure, |b, s| {
             b.iter(|| two_dimensional::onedim(s))
         });
-        group.bench_with_input(BenchmarkId::new("relational", employees), &(structure.clone(), db), |b, (s, db)| {
-            b.iter(|| two_dimensional::relational(s, db))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("relational", employees),
+            &(structure.clone(), db),
+            |b, (s, db)| b.iter(|| two_dimensional::relational(s, db)),
+        );
     }
     group.finish();
 }

@@ -14,15 +14,21 @@ fn bench_virtual_objects(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("pathlog_addresses", employees), &structure, |b, s| {
             b.iter(|| virtual_objects::pathlog_addresses(s))
         });
-        group.bench_with_input(BenchmarkId::new("xsql_view_addresses", employees), &structure, |b, s| {
-            b.iter(|| virtual_objects::xsql_view_addresses(s))
-        });
-        group.bench_with_input(BenchmarkId::new("pathlog_virtual_bosses", employees), &structure, |b, s| {
-            b.iter(|| virtual_objects::pathlog_virtual_bosses(s))
-        });
-        group.bench_with_input(BenchmarkId::new("xsql_employee_boss_view", employees), &structure, |b, s| {
-            b.iter(|| virtual_objects::xsql_employee_boss_view(s))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("xsql_view_addresses", employees),
+            &structure,
+            |b, s| b.iter(|| virtual_objects::xsql_view_addresses(s)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pathlog_virtual_bosses", employees),
+            &structure,
+            |b, s| b.iter(|| virtual_objects::pathlog_virtual_bosses(s)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xsql_employee_boss_view", employees),
+            &structure,
+            |b, s| b.iter(|| virtual_objects::xsql_employee_boss_view(s)),
+        );
     }
     group.finish();
 }

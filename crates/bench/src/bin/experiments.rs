@@ -4,7 +4,7 @@
 //! across PathLog and the baselines) and wall-clock timings of a few
 //! repetitions.  Criterion (`cargo bench`) produces the statistically sound
 //! numbers; this binary exists so the full table can be regenerated in
-//! seconds with `cargo run --release -p pathlog-bench --bin experiments`.
+//! seconds with `cargo run --release -p pathlog_bench --bin experiments`.
 
 use std::time::Instant;
 
@@ -78,7 +78,10 @@ fn main() {
             ],
         });
     }
-    print_table("E2: two-dimensional reference (2.1) vs conjunction of paths (1.4)", &rows);
+    print_table(
+        "E2: two-dimensional reference (2.1) vs conjunction of paths (1.4)",
+        &rows,
+    );
 
     // E3 — manager query
     let mut rows = Vec::new();
@@ -173,7 +176,10 @@ fn main() {
             ],
         });
     }
-    print_table("E11: direct semantics vs F-logic translation (Section 2 contrast)", &rows);
+    print_table(
+        "E11: direct semantics vs F-logic translation (Section 2 contrast)",
+        &rows,
+    );
 
     // E12 — object-SQL frontend vs native PathLog
     let mut rows = Vec::new();

@@ -30,7 +30,12 @@ pub mod workloads {
 
     /// A genealogy structure of the given depth and fan-out.
     pub fn genealogy(depth: usize, fanout: usize) -> Structure {
-        pathlog_datagen::genealogy_structure(&GenealogyParams { roots: 1, depth, fanout, seed: 42 })
+        pathlog_datagen::genealogy_structure(&GenealogyParams {
+            roots: 1,
+            depth,
+            fanout,
+            seed: 42,
+        })
     }
 
     /// The exact six-person family of Section 6.
@@ -84,11 +89,13 @@ pub mod two_dimensional {
 
     /// The paper's reference (2.1), evaluated as a single PathLog reference.
     pub fn pathlog(structure: &Structure) -> usize {
-        let term = parse_term(
-            "X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]",
-        )
-        .expect("valid query");
-        Engine::new().query_term(structure, &term).expect("query evaluates").len()
+        let term =
+            parse_term("X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]")
+                .expect("valid query");
+        Engine::new()
+            .query_term(structure, &term)
+            .expect("query evaluates")
+            .len()
     }
 
     /// The same question as a conjunction of one-dimensional paths (1.4).
@@ -118,10 +125,8 @@ pub mod manager_query {
 
     /// One PathLog reference.
     pub fn pathlog(structure: &Structure) -> usize {
-        let term = parse_term(
-            "X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]",
-        )
-        .expect("valid query");
+        let term = parse_term("X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]")
+            .expect("valid query");
         let engine = Engine::new();
         let managers: BTreeSet<Oid> = engine
             .query_term(structure, &term)
@@ -159,10 +164,8 @@ pub mod virtual_objects {
     /// number of virtual objects created.
     pub fn pathlog_addresses(structure: &Structure) -> usize {
         let mut s = structure.clone();
-        let program = parse_program(
-            "X.address[street -> X.street; city -> X.city] <- X : employee.",
-        )
-        .expect("valid rule");
+        let program =
+            parse_program("X.address[street -> X.street; city -> X.city] <- X : employee.").expect("valid rule");
         let stats = Engine::new().load_program(&mut s, &program).expect("rule evaluates");
         stats.virtual_objects
     }
@@ -171,7 +174,9 @@ pub mod virtual_objects {
     /// number of view objects created.
     pub fn xsql_view_addresses(structure: &Structure) -> usize {
         let mut s = structure.clone();
-        let view = ViewDef::new("Address", "employee").attr("street", &["street"]).attr("city", &["city"]);
+        let view = ViewDef::new("Address", "employee")
+            .attr("street", &["street"])
+            .attr("city", &["city"]);
         materialize(&mut s, &view).objects
     }
 
@@ -179,10 +184,7 @@ pub mod virtual_objects {
     /// works for the same department.
     pub fn pathlog_virtual_bosses(structure: &Structure) -> usize {
         let mut s = structure.clone();
-        let program = parse_program(
-            "X.boss2[worksFor -> D] <- X : employee[worksFor -> D].",
-        )
-        .expect("valid rule");
+        let program = parse_program("X.boss2[worksFor -> D] <- X : employee[worksFor -> D].").expect("valid rule");
         let stats = Engine::new().load_program(&mut s, &program).expect("rule evaluates");
         stats.virtual_objects
     }
@@ -216,14 +218,20 @@ pub mod transitive_closure {
     pub fn pathlog_desc(structure: &Structure) -> usize {
         let mut s = structure.clone();
         let program = parse_program(DESC_RULES).expect("valid rules");
-        Engine::new().load_program(&mut s, &program).expect("rules evaluate").set_members
+        Engine::new()
+            .load_program(&mut s, &program)
+            .expect("rules evaluate")
+            .set_members
     }
 
     /// Evaluate the generic `kids.tc` rules; returns the derived set members.
     pub fn pathlog_generic(structure: &Structure) -> usize {
         let mut s = structure.clone();
         let program = parse_program(GENERIC_TC_RULES).expect("valid rules");
-        Engine::new().load_program(&mut s, &program).expect("rules evaluate").set_members
+        Engine::new()
+            .load_program(&mut s, &program)
+            .expect("rules evaluate")
+            .set_members
     }
 
     /// Relational semi-naive closure of the flat `kids` relation; returns the
@@ -295,7 +303,10 @@ pub mod flogic_translation {
     /// Answer the query with the direct semantics.
     pub fn direct(structure: &Structure) -> usize {
         let program = parse_program(QUERY).expect("query parses");
-        Engine::new().query(structure, &program.queries[0]).expect("query evaluates").len()
+        Engine::new()
+            .query(structure, &program.queries[0])
+            .expect("query evaluates")
+            .len()
     }
 
     /// Translate the query into flat molecules and answer it with the flat
@@ -303,7 +314,10 @@ pub mod flogic_translation {
     pub fn translated(structure: &Structure) -> usize {
         let program = parse_program(QUERY).expect("query parses");
         let (flat, _) = Translator::new().program(&program).expect("query translates");
-        FlatEngine::new().query(structure, &flat.queries[0]).expect("flat query evaluates").len()
+        FlatEngine::new()
+            .query(structure, &flat.queries[0])
+            .expect("flat query evaluates")
+            .len()
     }
 
     /// The number of flat atoms the single PathLog reference expands into —
@@ -322,8 +336,7 @@ pub mod sql_frontend {
     use pathlog_sqlfront::{compile_query, execute_query, Catalog};
 
     /// Query (1.4) on the SQL surface.
-    pub const SQL: &str =
-        "SELECT Z FROM employee X, automobile Y WHERE X.vehicles[Y].color[Z] AND Y.cylinders[4]";
+    pub const SQL: &str = "SELECT Z FROM employee X, automobile Y WHERE X.vehicles[Y].color[Z] AND Y.cylinders[4]";
     /// The same question as a native PathLog reference.
     pub const PATHLOG: &str = "X : employee..vehicles : automobile[cylinders -> 4].color[Z]";
 
@@ -375,7 +388,11 @@ pub mod reactive_rules {
         engine.add_rule(ProductionRule::new(
             "minimum-wage",
             vec![
-                Literal::pos(Term::var("X").isa("employee").filter(Filter::scalar("salary", Term::var("S")))),
+                Literal::pos(
+                    Term::var("X")
+                        .isa("employee")
+                        .filter(Filter::scalar("salary", Term::var("S"))),
+                ),
                 Literal::pos(Term::var("S").scalar_args("lt", vec![Term::int(60_000)])),
             ],
             vec![
@@ -404,7 +421,10 @@ pub mod reactive_rules {
             "audit",
             Event::ScalarAsserted(Name::atom("bonusBase")),
             vec![],
-            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("audited") }],
+            vec![EcaAction::AddIsA {
+                object: Term::var("Receiver"),
+                class: Name::atom("audited"),
+            }],
         ));
         let salary = store.oid("salary");
         let mut firings = 0;
@@ -414,8 +434,13 @@ pub mod reactive_rules {
             store.retract_scalar(salary, employee).expect("retraction triggers run");
             // the bonusBase from the previous round must not conflict
             let bonus = store.oid("bonusBase");
-            store.retract_scalar(bonus, employee).expect("bonus retraction triggers run");
-            firings += store.assert_scalar(salary, employee, amount).expect("assertion triggers run").firings;
+            store
+                .retract_scalar(bonus, employee)
+                .expect("bonus retraction triggers run");
+            firings += store
+                .assert_scalar(salary, employee, amount)
+                .expect("assertion triggers run")
+                .firings;
         }
         firings
     }
@@ -434,7 +459,10 @@ pub mod parts_explosion {
     pub fn pathlog(structure: &Structure) -> usize {
         let mut s = structure.clone();
         let program = parse_program(CONTAINS_RULES).expect("closure rules parse");
-        Engine::new().load_program(&mut s, &program).expect("closure rules evaluate").set_members
+        Engine::new()
+            .load_program(&mut s, &program)
+            .expect("closure rules evaluate")
+            .set_members
     }
 
     /// Relational semi-naive closure of the flat `subparts` relation.
@@ -488,14 +516,15 @@ mod tests {
         // The relational plan projects colours only; the one-dimensional
         // query returns (X, colour) pairs, so compare colour counts by
         // re-deriving them from the PathLog answers instead.
-        let term = parse_term(
-            "X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]",
-        )
-        .unwrap();
+        let term =
+            parse_term("X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]")
+                .unwrap();
         let answers = Engine::new().query_term(&s, &term).unwrap();
         let colours: BTreeSet<Oid> = answers.iter().map(|a| a.object).collect();
-        let pairs: BTreeSet<(Option<Oid>, Oid)> =
-            answers.iter().map(|a| (a.bindings.get(&Var::new("X")), a.object)).collect();
+        let pairs: BTreeSet<(Option<Oid>, Oid)> = answers
+            .iter()
+            .map(|a| (a.bindings.get(&Var::new("X")), a.object))
+            .collect();
         assert_eq!(colours.len(), c);
         assert_eq!(pairs.len(), b);
     }
@@ -541,7 +570,9 @@ mod tests {
         let mut s2 = s.clone();
         let program = parse_program(transitive_closure::DESC_RULES).unwrap();
         Engine::new().load_program(&mut s2, &program).unwrap();
-        let desc = Engine::new().eval_ground(&s2, &parse_term("peter..desc").unwrap()).unwrap();
+        let desc = Engine::new()
+            .eval_ground(&s2, &parse_term("peter..desc").unwrap())
+            .unwrap();
         assert_eq!(desc.len(), 5);
     }
 
@@ -554,7 +585,10 @@ mod tests {
     fn direct_and_translated_evaluation_agree() {
         let s = workloads::company(150);
         assert_eq!(flogic_translation::direct(&s), flogic_translation::translated(&s));
-        assert!(flogic_translation::translation_atoms() >= 5, "one reference expands into a conjunction");
+        assert!(
+            flogic_translation::translation_atoms() >= 5,
+            "one reference expands into a conjunction"
+        );
     }
 
     #[test]
@@ -571,7 +605,10 @@ mod tests {
         let firings = reactive_rules::production_minimum_wage(&s);
         assert!(firings > 0, "some employee is below the threshold");
         let cascade = reactive_rules::active_salary_cascade(&s, 10);
-        assert_eq!(cascade, 20, "each update fires derive-bonus plus the cascaded audit trigger");
+        assert_eq!(
+            cascade, 20,
+            "each update fires derive-bonus plus the cascaded audit trigger"
+        );
     }
 
     #[test]
@@ -584,7 +621,10 @@ mod tests {
 
     #[test]
     fn row_display() {
-        let r = Row { scale: "employees=1000".into(), values: vec![("pathlog_ms".into(), 1.5)] };
+        let r = Row {
+            scale: "employees=1000".into(),
+            values: vec![("pathlog_ms".into(), 1.5)],
+        };
         assert!(r.to_string().contains("pathlog_ms=1.500"));
     }
 }

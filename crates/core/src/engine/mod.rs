@@ -132,7 +132,10 @@ impl Engine {
 
     /// Evaluate a set of rules (and facts) against `structure`.
     pub fn run_rules(&self, structure: &mut Structure, rules: &[Rule]) -> Result<EvalStats> {
-        let infos = rules.iter().map(crate::program::validate_rule).collect::<Result<Vec<_>>>()?;
+        let infos = rules
+            .iter()
+            .map(crate::program::validate_rule)
+            .collect::<Result<Vec<_>>>()?;
         for rule in rules {
             register_names(structure, &rule.head);
             for lit in &rule.body {
@@ -144,8 +147,13 @@ impl Engine {
 
     fn run(&self, structure: &mut Structure, rules: &[Rule], infos: &[RuleInfo]) -> Result<EvalStats> {
         let stratification = stratify(infos)?;
-        let mut stats = EvalStats { strata: stratification.len(), ..EvalStats::default() };
-        let assert_options = AssertOptions { create_virtuals: self.options.create_virtuals };
+        let mut stats = EvalStats {
+            strata: stratification.len(),
+            ..EvalStats::default()
+        };
+        let assert_options = AssertOptions {
+            create_virtuals: self.options.create_virtuals,
+        };
 
         for stratum in &stratification.strata {
             let mut changed_keys: Option<BTreeSet<DepKey>> = None; // None = first iteration, fire everything
@@ -218,10 +226,16 @@ fn rule_affected(info: &RuleInfo, changed: &BTreeSet<DepKey>) -> bool {
     if changed.is_empty() {
         return false;
     }
-    if changed.contains(&DepKey::Unknown) || info.uses.contains(&DepKey::Unknown) || info.strict_uses.contains(&DepKey::Unknown) {
+    if changed.contains(&DepKey::Unknown)
+        || info.uses.contains(&DepKey::Unknown)
+        || info.strict_uses.contains(&DepKey::Unknown)
+    {
         return true;
     }
-    info.uses.iter().chain(info.strict_uses.iter()).any(|k| changed.contains(k))
+    info.uses
+        .iter()
+        .chain(info.strict_uses.iter())
+        .any(|k| changed.contains(k))
 }
 
 /// Register every name occurring in a term, making `I_N` total over the
@@ -322,19 +336,27 @@ mod tests {
         let mut rules = genealogy_facts();
         rules.push(Rule::new(
             Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
-            vec![Literal::pos(Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])))],
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
         ));
         rules.push(Rule::new(
             Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
-            vec![Literal::pos(Term::var("X").set("desc").filter(Filter::set("kids", vec![Term::var("Y")])))],
+            vec![Literal::pos(
+                Term::var("X")
+                    .set("desc")
+                    .filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
         ));
         let mut s = Structure::new();
         let engine = Engine::new();
         engine.run_rules(&mut s, &rules).unwrap();
         let desc = oid(&s, "desc");
         let peter_desc = s.apply_set(desc, oid(&s, "peter"), &[]).unwrap();
-        let expected: BTreeSet<Oid> =
-            ["tim", "mary", "sally", "tom", "paul"].iter().map(|n| oid(&s, n)).collect();
+        let expected: BTreeSet<Oid> = ["tim", "mary", "sally", "tom", "paul"]
+            .iter()
+            .map(|n| oid(&s, n))
+            .collect();
         assert_eq!(peter_desc, &expected);
     }
 
@@ -352,14 +374,19 @@ mod tests {
         rules.push(Rule::fact(Term::name("kids").isa("baseMethod")));
         rules.push(Rule::new(
             Term::var("X").filter(Filter::set(tc(Term::var("M")), vec![Term::var("Y")])),
-            vec![guard(), Literal::pos(Term::var("X").filter(Filter::set(Term::var("M"), vec![Term::var("Y")])))],
+            vec![
+                guard(),
+                Literal::pos(Term::var("X").filter(Filter::set(Term::var("M"), vec![Term::var("Y")]))),
+            ],
         ));
         rules.push(Rule::new(
             Term::var("X").filter(Filter::set(tc(Term::var("M")), vec![Term::var("Y")])),
             vec![
                 guard(),
                 Literal::pos(
-                    Term::var("X").set_args(tc(Term::var("M")), vec![]).filter(Filter::set(Term::var("M"), vec![Term::var("Y")])),
+                    Term::var("X")
+                        .set_args(tc(Term::var("M")), vec![])
+                        .filter(Filter::set(Term::var("M"), vec![Term::var("Y")])),
                 ),
             ],
         ));
@@ -369,10 +396,14 @@ mod tests {
         // peter[(kids.tc) ->> {tim, mary, sally, tom, paul}]
         let kids = oid(&s, "kids");
         let tc_m = oid(&s, "tc");
-        let kids_tc = s.apply_scalar(tc_m, kids, &[]).expect("kids.tc must denote a (virtual) method");
+        let kids_tc = s
+            .apply_scalar(tc_m, kids, &[])
+            .expect("kids.tc must denote a (virtual) method");
         let closure = s.apply_set(kids_tc, oid(&s, "peter"), &[]).unwrap();
-        let expected: BTreeSet<Oid> =
-            ["tim", "mary", "sally", "tom", "paul"].iter().map(|n| oid(&s, n)).collect();
+        let expected: BTreeSet<Oid> = ["tim", "mary", "sally", "tom", "paul"]
+            .iter()
+            .map(|n| oid(&s, n))
+            .collect();
         assert_eq!(closure, &expected);
     }
 
@@ -381,10 +412,20 @@ mod tests {
         // X.boss[worksFor -> D] <- X : employee[worksFor -> D].
         // with only p1:employee[worksFor -> cs1] given.
         let rules = vec![
-            Rule::fact(Term::name("p1").isa("employee").filter(Filter::scalar("worksFor", Term::name("cs1")))),
+            Rule::fact(
+                Term::name("p1")
+                    .isa("employee")
+                    .filter(Filter::scalar("worksFor", Term::name("cs1"))),
+            ),
             Rule::new(
-                Term::var("X").scalar("boss").filter(Filter::scalar("worksFor", Term::var("D"))),
-                vec![Literal::pos(Term::var("X").isa("employee").filter(Filter::scalar("worksFor", Term::var("D"))))],
+                Term::var("X")
+                    .scalar("boss")
+                    .filter(Filter::scalar("worksFor", Term::var("D"))),
+                vec![Literal::pos(
+                    Term::var("X")
+                        .isa("employee")
+                        .filter(Filter::scalar("worksFor", Term::var("D"))),
+                )],
             ),
         ];
         let mut s = Structure::new();
@@ -403,7 +444,11 @@ mod tests {
     fn existing_boss_rule_6_2_creates_no_virtuals() {
         // Z[worksFor -> D] <- X : employee[worksFor -> D].boss[Z].
         let rules = vec![
-            Rule::fact(Term::name("p1").isa("employee").filter(Filter::scalar("worksFor", Term::name("cs1")))),
+            Rule::fact(
+                Term::name("p1")
+                    .isa("employee")
+                    .filter(Filter::scalar("worksFor", Term::name("cs1"))),
+            ),
             Rule::fact(Term::name("p2").isa("employee").filters(vec![
                 Filter::scalar("worksFor", Term::name("cs2")),
                 Filter::scalar("boss", Term::name("bert")),
@@ -465,12 +510,19 @@ mod tests {
     fn intensional_power_method() {
         // X[power -> Y] <- X : automobile.engine[power -> Y].
         let rules = vec![
-            Rule::fact(Term::name("a1").isa("automobile").filter(Filter::scalar("engine", Term::name("e100")))),
+            Rule::fact(
+                Term::name("a1")
+                    .isa("automobile")
+                    .filter(Filter::scalar("engine", Term::name("e100"))),
+            ),
             Rule::fact(Term::name("e100").filter(Filter::scalar("power", Term::int(90)))),
             Rule::new(
                 Term::var("X").filter(Filter::scalar("power", Term::var("Y"))),
                 vec![Literal::pos(
-                    Term::var("X").isa("automobile").scalar("engine").filter(Filter::scalar("power", Term::var("Y"))),
+                    Term::var("X")
+                        .isa("automobile")
+                        .scalar("engine")
+                        .filter(Filter::scalar("power", Term::var("Y"))),
                 )],
             ),
         ];
@@ -489,11 +541,15 @@ mod tests {
             Rule::fact(Term::name("p1").filter(Filter::set("reports", vec![Term::name("anna"), Term::name("bert")]))),
             Rule::new(
                 Term::name("p1").filter(Filter::set("assistants", vec![Term::var("Y")])),
-                vec![Literal::pos(Term::name("p1").filter(Filter::set("reports", vec![Term::var("Y")])))],
+                vec![Literal::pos(
+                    Term::name("p1").filter(Filter::set("reports", vec![Term::var("Y")])),
+                )],
             ),
             Rule::new(
                 Term::name("p2").filter(Filter::set_ref("friends", Term::name("p1").set("assistants"))),
-                vec![Literal::pos(Term::name("p1").filter(Filter::set("assistants", vec![Term::var("Y")])))],
+                vec![Literal::pos(
+                    Term::name("p1").filter(Filter::set("assistants", vec![Term::var("Y")])),
+                )],
             ),
         ];
         let mut s = Structure::new();
@@ -510,11 +566,16 @@ mod tests {
         // head defines friends, body reads friends set-at-a-time.
         let rule = Rule::new(
             Term::name("p2").filter(Filter::set_ref("friends", Term::name("p2").set("friends"))),
-            vec![Literal::pos(Term::name("p2").filter(Filter::set("friends", vec![Term::var("Y")])))],
+            vec![Literal::pos(
+                Term::name("p2").filter(Filter::set("friends", vec![Term::var("Y")])),
+            )],
         );
         let mut s = Structure::new();
         let engine = Engine::new();
-        assert!(matches!(engine.run_rules(&mut s, &[rule]), Err(Error::NotStratifiable(_))));
+        assert!(matches!(
+            engine.run_rules(&mut s, &[rule]),
+            Err(Error::NotStratifiable(_))
+        ));
     }
 
     #[test]
@@ -522,7 +583,11 @@ mod tests {
         // X : single <- X : person, not X.spouse[].
         let rules = vec![
             Rule::fact(Term::name("john").isa("person")),
-            Rule::fact(Term::name("mary").isa("person").filter(Filter::scalar("spouse", Term::name("peter")))),
+            Rule::fact(
+                Term::name("mary")
+                    .isa("person")
+                    .filter(Filter::scalar("spouse", Term::name("peter"))),
+            ),
             Rule::new(
                 Term::var("X").isa("single"),
                 vec![
@@ -545,7 +610,9 @@ mod tests {
         for f in genealogy_facts() {
             program.push_rule(f);
         }
-        program.push_query(Query::single(Term::name("peter").filter(Filter::set("kids", vec![Term::var("K")]))));
+        program.push_query(Query::single(
+            Term::name("peter").filter(Filter::set("kids", vec![Term::var("K")])),
+        ));
         let mut s = Structure::new();
         let engine = Engine::new();
         engine.load_program(&mut s, &program).unwrap();
@@ -572,11 +639,16 @@ mod tests {
             ),
             Rule::new(
                 Term::var("Y").isa("node"),
-                vec![Literal::pos(Term::var("X").isa("node").scalar("next").selector(Term::var("Y")))],
+                vec![Literal::pos(
+                    Term::var("X").isa("node").scalar("next").selector(Term::var("Y")),
+                )],
             ),
         ];
         let mut s = Structure::new();
-        let engine = Engine::with_options(EvalOptions { max_iterations: 50, ..EvalOptions::default() });
+        let engine = Engine::with_options(EvalOptions {
+            max_iterations: 50,
+            ..EvalOptions::default()
+        });
         let err = engine.run_rules(&mut s, &rules).unwrap_err();
         assert!(matches!(err, Error::LimitExceeded(_)));
     }
@@ -586,20 +658,32 @@ mod tests {
         let mut rules = genealogy_facts();
         rules.push(Rule::new(
             Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
-            vec![Literal::pos(Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])))],
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
         ));
         rules.push(Rule::new(
             Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
-            vec![Literal::pos(Term::var("X").set("desc").filter(Filter::set("kids", vec![Term::var("Y")])))],
+            vec![Literal::pos(
+                Term::var("X")
+                    .set("desc")
+                    .filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
         ));
         let mut s1 = Structure::new();
-        Engine::with_options(EvalOptions { delta_driven: true, ..EvalOptions::default() })
-            .run_rules(&mut s1, &rules)
-            .unwrap();
+        Engine::with_options(EvalOptions {
+            delta_driven: true,
+            ..EvalOptions::default()
+        })
+        .run_rules(&mut s1, &rules)
+        .unwrap();
         let mut s2 = Structure::new();
-        Engine::with_options(EvalOptions { delta_driven: false, ..EvalOptions::default() })
-            .run_rules(&mut s2, &rules)
-            .unwrap();
+        Engine::with_options(EvalOptions {
+            delta_driven: false,
+            ..EvalOptions::default()
+        })
+        .run_rules(&mut s2, &rules)
+        .unwrap();
         assert_eq!(s1.stats().set_members, s2.stats().set_members);
         assert_eq!(s1.stats().scalar_facts, s2.stats().scalar_facts);
     }

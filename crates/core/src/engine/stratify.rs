@@ -58,7 +58,10 @@ pub fn stratify(infos: &[RuleInfo]) -> Result<Stratification> {
     let n = infos.len();
     let mut stratum = vec![1usize; n];
     if n == 0 {
-        return Ok(Stratification { strata: Vec::new(), stratum_of: stratum });
+        return Ok(Stratification {
+            strata: Vec::new(),
+            stratum_of: stratum,
+        });
     }
 
     loop {
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn strict_use_forces_a_later_stratum() {
         // rule 0 defines assistants; rule 1 reads assistants set-at-a-time.
-        let infos = vec![info(&["assistants"], &["worksFor"], &[]), info(&["friendly"], &[], &["assistants"])];
+        let infos = vec![
+            info(&["assistants"], &["worksFor"], &[]),
+            info(&["friendly"], &[], &["assistants"]),
+        ];
         let s = stratify(&infos).unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.stratum_of[0], 0);

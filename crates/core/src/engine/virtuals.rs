@@ -88,9 +88,11 @@ fn assert_term(
 ) -> Result<Oid> {
     match term {
         Term::Name(n) => Ok(structure.ensure_name(n)),
-        Term::Var(v) => bindings
-            .get(v)
-            .ok_or_else(|| Error::InvalidRule(format!("head variable {v} is unbound (unsafe rule slipped through validation)"))),
+        Term::Var(v) => bindings.get(v).ok_or_else(|| {
+            Error::InvalidRule(format!(
+                "head variable {v} is unbound (unsafe rule slipped through validation)"
+            ))
+        }),
         Term::Paren(t) => assert_term(structure, t, bindings, options, effect),
         Term::Path(p) => {
             if p.set_valued {
@@ -231,12 +233,14 @@ mod tests {
         let p1 = s.atom("p1");
         let cs1 = s.atom("cs1");
         let bindings = Bindings::from_pairs([(Var::new("X"), p1), (Var::new("D"), cs1)]).unwrap();
-        let head = Term::var("X").scalar("boss").filter(Filter::scalar("worksFor", Term::var("D")));
+        let head = Term::var("X")
+            .scalar("boss")
+            .filter(Filter::scalar("worksFor", Term::var("D")));
         let (boss, eff) = assert_head(&mut s, &head, &bindings, AssertOptions::default()).unwrap();
         assert!(s.is_virtual(boss));
         assert_eq!(eff.virtual_objects, 1);
         assert_eq!(eff.scalar_facts, 2); // boss(p1)=v and worksFor(v)=cs1
-        // Re-asserting reuses the same virtual object: the path is the skolem.
+                                         // Re-asserting reuses the same virtual object: the path is the skolem.
         let (boss2, eff2) = assert_head(&mut s, &head, &bindings, AssertOptions::default()).unwrap();
         assert_eq!(boss, boss2);
         assert!(!eff2.changed());
@@ -247,7 +251,9 @@ mod tests {
         let mut s = Structure::new();
         let (boss, p1, mary) = (s.atom("boss"), s.atom("p1"), s.atom("mary"));
         s.assert_scalar(boss, p1, &[], mary).unwrap();
-        let head = Term::name("p1").scalar("boss").filter(Filter::scalar("age", Term::int(50)));
+        let head = Term::name("p1")
+            .scalar("boss")
+            .filter(Filter::scalar("age", Term::int(50)));
         let (obj, eff) = assert_head(&mut s, &head, &Bindings::new(), AssertOptions::default()).unwrap();
         assert_eq!(obj, mary);
         assert_eq!(eff.virtual_objects, 0);
@@ -259,7 +265,13 @@ mod tests {
         let mut s = Structure::new();
         s.atom("p1");
         let head = Term::name("p1").scalar("boss");
-        let err = assert_head(&mut s, &head, &Bindings::new(), AssertOptions { create_virtuals: false }).unwrap_err();
+        let err = assert_head(
+            &mut s,
+            &head,
+            &Bindings::new(),
+            AssertOptions { create_virtuals: false },
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("virtual"));
     }
 
@@ -294,7 +306,10 @@ mod tests {
         let peter = s.atom("peter");
         let tim = s.atom("tim");
         let bindings = Bindings::from_pairs([(Var::new("X"), peter), (Var::new("Y"), tim)]).unwrap();
-        let head = Term::var("X").filter(Filter::set(Term::name("kids").scalar("tc").paren(), vec![Term::var("Y")]));
+        let head = Term::var("X").filter(Filter::set(
+            Term::name("kids").scalar("tc").paren(),
+            vec![Term::var("Y")],
+        ));
         let (_, eff) = assert_head(&mut s, &head, &bindings, AssertOptions::default()).unwrap();
         assert_eq!(eff.virtual_objects, 1, "an object for the method kids.tc");
         assert_eq!(eff.set_members, 1);
@@ -309,8 +324,16 @@ mod tests {
     fn signature_filters_become_declarations() {
         let mut s = Structure::new();
         let head = Term::name("person").filters(vec![
-            Filter { method: Term::name("age"), args: vec![], value: FilterValue::SigScalar(vec![Term::name("integer")]) },
-            Filter { method: Term::name("kids"), args: vec![], value: FilterValue::SigSet(vec![Term::name("person")]) },
+            Filter {
+                method: Term::name("age"),
+                args: vec![],
+                value: FilterValue::SigScalar(vec![Term::name("integer")]),
+            },
+            Filter {
+                method: Term::name("kids"),
+                args: vec![],
+                value: FilterValue::SigSet(vec![Term::name("person")]),
+            },
         ]);
         let (_, eff) = assert_head(&mut s, &head, &Bindings::new(), AssertOptions::default()).unwrap();
         assert_eq!(eff.signatures, 2);
@@ -323,8 +346,19 @@ mod tests {
     #[test]
     fn conflicting_scalar_heads_are_an_error() {
         let mut s = Structure::new();
-        assert_head(&mut s, &Term::name("mary").filter(Filter::scalar("age", Term::int(30))), &Bindings::new(), AssertOptions::default()).unwrap();
-        let err = assert_head(&mut s, &Term::name("mary").filter(Filter::scalar("age", Term::int(31))), &Bindings::new(), AssertOptions::default());
+        assert_head(
+            &mut s,
+            &Term::name("mary").filter(Filter::scalar("age", Term::int(30))),
+            &Bindings::new(),
+            AssertOptions::default(),
+        )
+        .unwrap();
+        let err = assert_head(
+            &mut s,
+            &Term::name("mary").filter(Filter::scalar("age", Term::int(31))),
+            &Bindings::new(),
+            AssertOptions::default(),
+        );
         assert!(err.is_err());
     }
 }

@@ -128,7 +128,9 @@ impl Query {
 
     /// A query with a single positive literal.
     pub fn single(term: Term) -> Self {
-        Query { body: vec![Literal::pos(term)] }
+        Query {
+            body: vec![Literal::pos(term)],
+        }
     }
 
     /// The variables of the query, in order of first occurrence.
@@ -219,19 +221,20 @@ mod tests {
         let rule = Rule::new(
             Term::var("X").filter(Filter::scalar("power", Term::var("Y"))),
             vec![Literal::pos(
-                Term::var("X").isa("automobile").scalar("engine").filter(Filter::scalar("power", Term::var("Y"))),
+                Term::var("X")
+                    .isa("automobile")
+                    .scalar("engine")
+                    .filter(Filter::scalar("power", Term::var("Y"))),
             )],
         );
-        assert_eq!(
-            rule.to_string(),
-            "X[power -> Y] <- X : automobile.engine[power -> Y]."
-        );
+        assert_eq!(rule.to_string(), "X[power -> Y] <- X : automobile.engine[power -> Y].");
         assert!(!rule.is_fact());
     }
 
     #[test]
     fn fact_display_and_predicates() {
-        let f = Rule::fact(Term::name("peter").filter(Filter::set("kids", vec![Term::name("tim"), Term::name("mary")])));
+        let f =
+            Rule::fact(Term::name("peter").filter(Filter::set("kids", vec![Term::name("tim"), Term::name("mary")])));
         assert_eq!(f.to_string(), "peter[kids ->> {tim, mary}].");
         assert!(f.is_fact());
     }
@@ -264,7 +267,10 @@ mod tests {
     fn program_collects_and_partitions() {
         let mut p = Program::new();
         p.push_rule(Rule::fact(Term::name("a").isa("b")));
-        p.push_rule(Rule::new(Term::var("X").isa("c"), vec![Literal::pos(Term::var("X").isa("b"))]));
+        p.push_rule(Rule::new(
+            Term::var("X").isa("c"),
+            vec![Literal::pos(Term::var("X").isa("b"))],
+        ));
         p.push_query(Query::single(Term::var("X").isa("c")));
         assert_eq!(p.facts().count(), 1);
         assert_eq!(p.proper_rules().count(), 1);

@@ -314,7 +314,10 @@ mod tests {
         let rule = Rule::new(
             Term::var("X").filter(Filter::scalar("power", Term::var("Y"))),
             vec![Literal::pos(
-                Term::var("X").isa("automobile").scalar("engine").filter(Filter::scalar("power", Term::var("Y"))),
+                Term::var("X")
+                    .isa("automobile")
+                    .scalar("engine")
+                    .filter(Filter::scalar("power", Term::var("Y"))),
             )],
         );
         let info = validate_rule(&rule).unwrap();
@@ -329,8 +332,14 @@ mod tests {
     fn virtual_boss_rule_defines_boss_and_worksfor() {
         // X.boss[worksFor -> D] <- X : employee[worksFor -> D].
         let rule = Rule::new(
-            Term::var("X").scalar("boss").filter(Filter::scalar("worksFor", Term::var("D"))),
-            vec![Literal::pos(Term::var("X").isa("employee").filter(Filter::scalar("worksFor", Term::var("D"))))],
+            Term::var("X")
+                .scalar("boss")
+                .filter(Filter::scalar("worksFor", Term::var("D"))),
+            vec![Literal::pos(
+                Term::var("X")
+                    .isa("employee")
+                    .filter(Filter::scalar("worksFor", Term::var("D"))),
+            )],
         );
         let info = validate_rule(&rule).unwrap();
         assert!(info.defines.contains(&key("boss")));
@@ -421,7 +430,9 @@ mod tests {
         // X[(M.tc) ->> {Y}] <- X[M ->> {Y}].
         let rule = Rule::new(
             Term::var("X").filter(Filter::set(Term::var("M").scalar("tc").paren(), vec![Term::var("Y")])),
-            vec![Literal::pos(Term::var("X").filter(Filter::set(Term::var("M"), vec![Term::var("Y")])))],
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set(Term::var("M"), vec![Term::var("Y")])),
+            )],
         );
         let info = validate_rule(&rule).unwrap();
         assert!(info.defines.contains(&DepKey::Unknown));
@@ -434,11 +445,17 @@ mod tests {
         // X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
         let r1 = Rule::new(
             Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
-            vec![Literal::pos(Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])))],
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
         );
         let r2 = Rule::new(
             Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
-            vec![Literal::pos(Term::var("X").set("desc").filter(Filter::set("kids", vec![Term::var("Y")])))],
+            vec![Literal::pos(
+                Term::var("X")
+                    .set("desc")
+                    .filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
         );
         let mut p = Program::new();
         p.push_rule(r1);

@@ -45,10 +45,7 @@ pub fn is_set_valued(term: &Term) -> bool {
         Term::Name(_) | Term::Var(_) => false,
         Term::Paren(t) => is_set_valued(t),
         Term::Path(p) => {
-            p.set_valued
-                || is_set_valued(&p.receiver)
-                || is_set_valued(&p.method)
-                || p.args.iter().any(is_set_valued)
+            p.set_valued || is_set_valued(&p.receiver) || is_set_valued(&p.method) || p.args.iter().any(is_set_valued)
         }
         Term::Molecule(m) => is_set_valued(&m.receiver),
         Term::IsA(i) => is_set_valued(&i.receiver),
@@ -115,7 +112,9 @@ mod tests {
 
         // p1..assistants[salary -> 1000]  (example 4.2): set-valued, because
         // the receiver is set-valued.
-        let t = Term::name("p1").set("assistants").filter(Filter::scalar("salary", Term::int(1000)));
+        let t = Term::name("p1")
+            .set("assistants")
+            .filter(Filter::scalar("salary", Term::int(1000)));
         assert!(is_set_valued(&t));
     }
 

@@ -74,12 +74,7 @@ pub fn answers(structure: &Structure, term: &Term, seed: &Bindings) -> Result<Ve
 /// This is the "match a reference against a known object" operation used for
 /// filter results and explicit set members; it avoids the universe scan that
 /// `answers` would do for a bare unbound variable by binding it directly.
-pub fn answers_matching(
-    structure: &Structure,
-    term: &Term,
-    seed: &Bindings,
-    expected: Oid,
-) -> Result<Vec<Bindings>> {
+pub fn answers_matching(structure: &Structure, term: &Term, seed: &Bindings, expected: Oid) -> Result<Vec<Bindings>> {
     match term {
         Term::Name(n) => Ok(match structure.lookup_name(n) {
             Some(o) if o == expected => vec![seed.clone()],
@@ -119,11 +114,7 @@ fn path_answers(structure: &Structure, p: &crate::term::Path, seed: &Bindings) -
 /// Answers of the receiver of a path.  If the receiver is an unbound
 /// variable and the method is a ground name, seed candidates from the
 /// per-method index instead of the whole universe.
-fn receiver_answers_for_path(
-    structure: &Structure,
-    p: &crate::term::Path,
-    seed: &Bindings,
-) -> Result<Vec<Answer>> {
+fn receiver_answers_for_path(structure: &Structure, p: &crate::term::Path, seed: &Bindings) -> Result<Vec<Answer>> {
     if let Term::Var(v) = &p.receiver {
         if seed.get(v).is_none() {
             if let Some(method) = ground_name_oid(structure, &p.method, seed) {
@@ -172,11 +163,7 @@ fn method_answers(
 }
 
 /// Enumerate bindings and concrete argument tuples for a call argument list.
-fn arg_answers(
-    structure: &Structure,
-    args: &[Term],
-    seed: &Bindings,
-) -> Result<Vec<(Bindings, Vec<Oid>)>> {
+fn arg_answers(structure: &Structure, args: &[Term], seed: &Bindings) -> Result<Vec<(Bindings, Vec<Oid>)>> {
     let mut states = vec![(seed.clone(), Vec::new())];
     for arg in args {
         let mut next = Vec::new();
@@ -269,7 +256,9 @@ fn receiver_answers_for_molecule(
     // Try to find a filter whose method is a ground name; use its index.
     let mut candidates: Option<BTreeSet<Oid>> = None;
     for f in &m.filters {
-        let Some(method) = ground_name_oid(structure, &f.method, seed) else { continue };
+        let Some(method) = ground_name_oid(structure, &f.method, seed) else {
+            continue;
+        };
         let set = match &f.value {
             FilterValue::Scalar(rt) => {
                 if let Some(expected) = single_ground_object(structure, rt, seed) {
@@ -279,19 +268,33 @@ fn receiver_answers_for_molecule(
                         .map(|f| f.receiver)
                         .collect::<BTreeSet<_>>()
                 } else {
-                    structure.facts().scalar_facts_of_method(method).map(|f| f.receiver).collect()
+                    structure
+                        .facts()
+                        .scalar_facts_of_method(method)
+                        .map(|f| f.receiver)
+                        .collect()
                 }
             }
             FilterValue::SetExplicit(elems) => {
                 if let Some(first) = elems.iter().find_map(|e| single_ground_object(structure, e, seed)) {
-                    structure.facts().set_facts_containing(method, first).map(|f| f.receiver).collect()
+                    structure
+                        .facts()
+                        .set_facts_containing(method, first)
+                        .map(|f| f.receiver)
+                        .collect()
                 } else {
-                    structure.facts().set_facts_of_method(method).map(|f| f.receiver).collect()
+                    structure
+                        .facts()
+                        .set_facts_of_method(method)
+                        .map(|f| f.receiver)
+                        .collect()
                 }
             }
-            FilterValue::SetRef(_) => {
-                structure.facts().set_facts_of_method(method).map(|f| f.receiver).collect()
-            }
+            FilterValue::SetRef(_) => structure
+                .facts()
+                .set_facts_of_method(method)
+                .map(|f| f.receiver)
+                .collect(),
             FilterValue::SigScalar(_) | FilterValue::SigSet(_) => continue,
         };
         candidates = Some(match candidates {
@@ -317,7 +320,10 @@ fn receiver_answers_for_molecule(
 /// All valuations extending `seed` under which `receiver` satisfies `filter`.
 fn filter_answers(structure: &Structure, receiver: Oid, filter: &Filter, seed: &Bindings) -> Result<Vec<Bindings>> {
     let mut out = Vec::new();
-    let set_valued_method = matches!(filter.value, FilterValue::SetRef(_) | FilterValue::SetExplicit(_) | FilterValue::SigSet(_));
+    let set_valued_method = matches!(
+        filter.value,
+        FilterValue::SetRef(_) | FilterValue::SetExplicit(_) | FilterValue::SigSet(_)
+    );
     for ma in method_answers(structure, &filter.method, seed, receiver, set_valued_method)? {
         for (bindings, args) in arg_answers(structure, &filter.args, &ma.bindings)? {
             match &filter.value {
@@ -365,7 +371,10 @@ fn filter_answers(structure: &Structure, receiver: Oid, filter: &Filter, seed: &
                     let set_valued = matches!(filter.value, FilterValue::SigSet(_));
                     // Signatures are matched against the declarations table.
                     for sig in structure.signatures().for_method(ma.object) {
-                        if sig.set_valued != set_valued || sig.class != receiver || sig.arg_classes.as_ref() != args.as_slice() {
+                        if sig.set_valued != set_valued
+                            || sig.class != receiver
+                            || sig.arg_classes.as_ref() != args.as_slice()
+                        {
                             continue;
                         }
                         let mut states = vec![bindings.clone()];
@@ -445,13 +454,22 @@ mod tests {
 
     fn world() -> Structure {
         let mut s = Structure::new();
-        let (employee, automobile, vehicle, person) =
-            (s.atom("employee"), s.atom("automobile"), s.atom("vehicle"), s.atom("person"));
+        let (employee, automobile, vehicle, person) = (
+            s.atom("employee"),
+            s.atom("automobile"),
+            s.atom("vehicle"),
+            s.atom("person"),
+        );
         s.add_isa(employee, person);
         s.add_isa(automobile, vehicle);
 
-        let (vehicles, color, cylinders, age, city) =
-            (s.atom("vehicles"), s.atom("color"), s.atom("cylinders"), s.atom("age"), s.atom("city"));
+        let (vehicles, color, cylinders, age, city) = (
+            s.atom("vehicles"),
+            s.atom("color"),
+            s.atom("cylinders"),
+            s.atom("age"),
+            s.atom("city"),
+        );
         let (red, blue, ny, detroit) = (s.atom("red"), s.atom("blue"), s.atom("newYork"), s.atom("detroit"));
         let (four, six, thirty, forty) = (s.int(4), s.int(6), s.int(30), s.int(40));
 
@@ -533,7 +551,7 @@ mod tests {
         // X..vehicles — receivers seeded from the `vehicles` method index.
         let a = answers(&s, &Term::var("X").set("vehicles"), &Bindings::new()).unwrap();
         assert_eq!(a.len(), 3); // a1, b1 for e1; a2 for e2
-        // X.color — scalar variant
+                                // X.color — scalar variant
         let a = answers(&s, &Term::var("X").scalar("color"), &Bindings::new()).unwrap();
         assert_eq!(a.len(), 2);
     }
@@ -542,7 +560,12 @@ mod tests {
     fn molecule_with_unbound_receiver_uses_result_index() {
         let s = world();
         // X[color -> red] — only a1.
-        let a = answers(&s, &Term::var("X").filter(TFilter::scalar("color", "red")), &Bindings::new()).unwrap();
+        let a = answers(
+            &s,
+            &Term::var("X").filter(TFilter::scalar("color", "red")),
+            &Bindings::new(),
+        )
+        .unwrap();
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].object, o(&s, "a1"));
     }
@@ -554,7 +577,10 @@ mod tests {
         let t = Term::name("e1").filter(TFilter::scalar("age", Term::var("A")));
         let a = answers(&s, &t, &Bindings::new()).unwrap();
         assert_eq!(a.len(), 1);
-        assert_eq!(a[0].bindings.get(&Var::new("A")), Some(o(&s, "e1")).map(|_| s.lookup_name(&Name::int(30)).unwrap()));
+        assert_eq!(
+            a[0].bindings.get(&Var::new("A")),
+            Some(o(&s, "e1")).map(|_| s.lookup_name(&Name::int(30)).unwrap())
+        );
     }
 
     #[test]
@@ -563,7 +589,10 @@ mod tests {
         // X:employee[age->30; city->newYork]..vehicles:automobile[cylinders->4].color[Z]
         let t = Term::var("X")
             .isa("employee")
-            .filters(vec![TFilter::scalar("age", Term::int(30)), TFilter::scalar("city", "newYork")])
+            .filters(vec![
+                TFilter::scalar("age", Term::int(30)),
+                TFilter::scalar("city", "newYork"),
+            ])
             .set("vehicles")
             .isa("automobile")
             .filter(TFilter::scalar("cylinders", Term::int(4)))
@@ -643,7 +672,11 @@ mod tests {
             Term::name("a1").isa("vehicle"),
         ];
         for t in terms {
-            let via_answers: BTreeSet<_> = answers(&s, &t, &Bindings::new()).unwrap().into_iter().map(|a| a.object).collect();
+            let via_answers: BTreeSet<_> = answers(&s, &t, &Bindings::new())
+                .unwrap()
+                .into_iter()
+                .map(|a| a.object)
+                .collect();
             let via_valuate = valuate(&s, &t, &Bindings::new()).unwrap();
             assert_eq!(via_answers, via_valuate, "mismatch for {t}");
         }

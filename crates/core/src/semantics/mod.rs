@@ -402,8 +402,18 @@ mod tests {
     #[test]
     fn empty_filter_list_asserts_existence() {
         let s = world();
-        assert!(entails(&s, &Term::name("mary").scalar("spouse").empty_filters(), &Bindings::new()).unwrap());
-        assert!(!entails(&s, &Term::name("john").scalar("spouse").empty_filters(), &Bindings::new()).unwrap());
+        assert!(entails(
+            &s,
+            &Term::name("mary").scalar("spouse").empty_filters(),
+            &Bindings::new()
+        )
+        .unwrap());
+        assert!(!entails(
+            &s,
+            &Term::name("john").scalar("spouse").empty_filters(),
+            &Bindings::new()
+        )
+        .unwrap());
     }
 
     #[test]
@@ -459,8 +469,14 @@ mod tests {
         // peter..kids..kids = grandchildren, a flat set ("does not denote a
         // set of sets, but simply the set of john's grandchildren").
         let kids = s.atom("kids");
-        let (peter, tim, mary2, sally, tom, paul) =
-            (s.atom("peter"), s.atom("tim"), s.atom("mary"), s.atom("sally"), s.atom("tom"), s.atom("paul"));
+        let (peter, tim, mary2, sally, tom, paul) = (
+            s.atom("peter"),
+            s.atom("tim"),
+            s.atom("mary"),
+            s.atom("sally"),
+            s.atom("tom"),
+            s.atom("paul"),
+        );
         s.assert_set_member(kids, peter, &[], tim);
         s.assert_set_member(kids, peter, &[], mary2);
         s.assert_set_member(kids, tim, &[], sally);

@@ -32,7 +32,11 @@ pub fn check_rule(structure: &Structure, rule_index: usize, rule: &Rule) -> Resu
     let solutions = solve_body(structure, &rule.body, &Bindings::new())?;
     for bindings in solutions {
         if !entails(structure, &rule.head, &bindings)? {
-            return Ok(Some(Violation { rule_index, rule: rule.to_string(), bindings }));
+            return Ok(Some(Violation {
+                rule_index,
+                rule: rule.to_string(),
+                bindings,
+            }));
         }
     }
     Ok(None)
@@ -64,15 +68,25 @@ mod tests {
 
     fn desc_program() -> Program {
         let mut p = Program::new();
-        p.push_rule(Rule::fact(Term::name("peter").filter(Filter::set("kids", vec![Term::name("tim"), Term::name("mary")]))));
-        p.push_rule(Rule::fact(Term::name("tim").filter(Filter::set("kids", vec![Term::name("sally")]))));
-        p.push_rule(Rule::new(
-            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
-            vec![Literal::pos(Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])))],
+        p.push_rule(Rule::fact(
+            Term::name("peter").filter(Filter::set("kids", vec![Term::name("tim"), Term::name("mary")])),
+        ));
+        p.push_rule(Rule::fact(
+            Term::name("tim").filter(Filter::set("kids", vec![Term::name("sally")])),
         ));
         p.push_rule(Rule::new(
             Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
-            vec![Literal::pos(Term::var("X").set("desc").filter(Filter::set("kids", vec![Term::var("Y")])))],
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
+        ));
+        p.push_rule(Rule::new(
+            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            vec![Literal::pos(
+                Term::var("X")
+                    .set("desc")
+                    .filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
         ));
         p
     }
@@ -115,10 +129,14 @@ mod tests {
     fn violation_reports_the_offending_valuation() {
         // X : adult <- X[age -> 30].   with a fact but no rule evaluation
         let mut program = Program::new();
-        program.push_rule(Rule::fact(Term::name("mary").filter(Filter::scalar("age", Term::int(30)))));
+        program.push_rule(Rule::fact(
+            Term::name("mary").filter(Filter::scalar("age", Term::int(30))),
+        ));
         program.push_rule(Rule::new(
             Term::var("X").isa("adult"),
-            vec![Literal::pos(Term::var("X").filter(Filter::scalar("age", Term::int(30))))],
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::scalar("age", Term::int(30))),
+            )],
         ));
         let facts: Vec<Rule> = program.facts().cloned().collect();
         let mut s = Structure::new();

@@ -103,10 +103,18 @@ impl Facts {
             )));
         }
         let idx = self.scalar.len();
-        self.scalar.push(ScalarFact { method, receiver, args: key.2.clone(), result });
+        self.scalar.push(ScalarFact {
+            method,
+            receiver,
+            args: key.2.clone(),
+            result,
+        });
         self.scalar_key.insert(key, idx);
         self.scalar_by_method.entry(method).or_default().push(idx);
-        self.scalar_by_method_result.entry((method, result)).or_default().push(idx);
+        self.scalar_by_method_result
+            .entry((method, result))
+            .or_default()
+            .push(idx);
         self.scalar_by_receiver.entry(receiver).or_default().push(idx);
         Ok(Assert::New)
     }
@@ -121,7 +129,11 @@ impl Facts {
 
     /// All scalar facts for a method.
     pub fn scalar_facts_of_method(&self, method: Oid) -> impl Iterator<Item = &ScalarFact> + '_ {
-        self.scalar_by_method.get(&method).into_iter().flatten().map(move |&i| &self.scalar[i])
+        self.scalar_by_method
+            .get(&method)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.scalar[i])
     }
 
     /// All scalar facts for a method with a given result.
@@ -135,7 +147,11 @@ impl Facts {
 
     /// All scalar facts whose receiver is `receiver`.
     pub fn scalar_facts_of_receiver(&self, receiver: Oid) -> impl Iterator<Item = &ScalarFact> + '_ {
-        self.scalar_by_receiver.get(&receiver).into_iter().flatten().map(move |&i| &self.scalar[i])
+        self.scalar_by_receiver
+            .get(&receiver)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.scalar[i])
     }
 
     /// Every scalar fact.
@@ -170,7 +186,12 @@ impl Facts {
             let moved_key: FactKey = (moved.method, moved.receiver, moved.args.clone());
             self.scalar_key.insert(moved_key, idx);
             replace_index(&mut self.scalar_by_method, &moved.method, old, idx);
-            replace_index(&mut self.scalar_by_method_result, &(moved.method, moved.result), old, idx);
+            replace_index(
+                &mut self.scalar_by_method_result,
+                &(moved.method, moved.result),
+                old,
+                idx,
+            );
             replace_index(&mut self.scalar_by_receiver, &moved.receiver, old, idx);
         }
         Some(fact.result)
@@ -185,7 +206,12 @@ impl Facts {
             Some(&idx) => idx,
             None => {
                 let idx = self.set.len();
-                self.set.push(SetFact { method, receiver, args: key.2.clone(), members: BTreeSet::new() });
+                self.set.push(SetFact {
+                    method,
+                    receiver,
+                    args: key.2.clone(),
+                    members: BTreeSet::new(),
+                });
                 self.set_key.insert(key, idx);
                 self.set_by_method.entry(method).or_default().push(idx);
                 self.set_by_receiver.entry(receiver).or_default().push(idx);
@@ -210,7 +236,12 @@ impl Facts {
             return;
         }
         let idx = self.set.len();
-        self.set.push(SetFact { method, receiver, args: key.2.clone(), members: BTreeSet::new() });
+        self.set.push(SetFact {
+            method,
+            receiver,
+            args: key.2.clone(),
+            members: BTreeSet::new(),
+        });
         self.set_key.insert(key, idx);
         self.set_by_method.entry(method).or_default().push(idx);
         self.set_by_receiver.entry(receiver).or_default().push(idx);
@@ -224,7 +255,11 @@ impl Facts {
 
     /// All set facts for a method.
     pub fn set_facts_of_method(&self, method: Oid) -> impl Iterator<Item = &SetFact> + '_ {
-        self.set_by_method.get(&method).into_iter().flatten().map(move |&i| &self.set[i])
+        self.set_by_method
+            .get(&method)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.set[i])
     }
 
     /// All set facts (for a method) that contain `member`.
@@ -238,7 +273,11 @@ impl Facts {
 
     /// All set facts whose receiver is `receiver`.
     pub fn set_facts_of_receiver(&self, receiver: Oid) -> impl Iterator<Item = &SetFact> + '_ {
-        self.set_by_receiver.get(&receiver).into_iter().flatten().map(move |&i| &self.set[i])
+        self.set_by_receiver
+            .get(&receiver)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.set[i])
     }
 
     /// Every set fact.

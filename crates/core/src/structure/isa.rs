@@ -92,7 +92,9 @@ impl Isa {
 
     /// Directly asserted edges, for persistence and debugging.
     pub fn direct_edges(&self) -> impl Iterator<Item = (Oid, Oid)> + '_ {
-        self.direct_up.iter().flat_map(|(&sub, sups)| sups.iter().map(move |&sup| (sub, sup)))
+        self.direct_up
+            .iter()
+            .flat_map(|(&sub, sups)| sups.iter().map(move |&sup| (sub, sup)))
     }
 
     /// Number of pairs in the transitive closure.

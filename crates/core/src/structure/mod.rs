@@ -132,7 +132,10 @@ impl Structure {
             return oid;
         }
         let oid = Oid(self.objects.len() as u32);
-        self.objects.push(ObjectInfo { name: Some(name.clone()), is_virtual: false });
+        self.objects.push(ObjectInfo {
+            name: Some(name.clone()),
+            is_virtual: false,
+        });
         self.names.insert(name.clone(), oid);
         oid
     }
@@ -174,7 +177,10 @@ impl Structure {
     /// Allocate a fresh, unnamed (virtual) object.
     pub fn new_virtual(&mut self) -> Oid {
         let oid = Oid(self.objects.len() as u32);
-        self.objects.push(ObjectInfo { name: None, is_virtual: true });
+        self.objects.push(ObjectInfo {
+            name: None,
+            is_virtual: true,
+        });
         oid
     }
 
@@ -243,7 +249,13 @@ impl Structure {
     // -- facts ----------------------------------------------------------------
 
     /// Assert a scalar fact `I_->(method)(receiver, args) = result`.
-    pub fn assert_scalar(&mut self, method: Oid, receiver: Oid, args: &[Oid], result: Oid) -> crate::error::Result<Assert> {
+    pub fn assert_scalar(
+        &mut self,
+        method: Oid,
+        receiver: Oid,
+        args: &[Oid],
+        result: Oid,
+    ) -> crate::error::Result<Assert> {
         self.facts.assert_scalar(method, receiver, args, result)
     }
 
@@ -342,7 +354,13 @@ impl fmt::Display for StructureStats {
         write!(
             f,
             "{} objects ({} named, {} virtual), {} scalar facts, {} set applications ({} members), {} isa edges",
-            self.objects, self.named, self.virtuals, self.scalar_facts, self.set_applications, self.set_members, self.isa_edges
+            self.objects,
+            self.named,
+            self.virtuals,
+            self.scalar_facts,
+            self.set_applications,
+            self.set_members,
+            self.isa_edges
         )
     }
 }
@@ -370,7 +388,11 @@ mod tests {
         assert_ne!(i, t);
         assert_eq!(s.lookup_name(&Name::int(30)), Some(i));
         assert_eq!(s.lookup_name(&Name::string("red")), Some(t));
-        assert_eq!(s.lookup_name(&Name::atom("red")), None, "string and atom are distinct names");
+        assert_eq!(
+            s.lookup_name(&Name::atom("red")),
+            None,
+            "string and atom are distinct names"
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl Signatures {
 
     /// Declarations for a method (any class, any arity).
     pub fn for_method(&self, method: Oid) -> impl Iterator<Item = &Signature> + '_ {
-        self.by_method.get(&method).into_iter().flatten().map(move |&i| &self.sigs[i])
+        self.by_method
+            .get(&method)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.sigs[i])
     }
 
     /// `true` if any declaration exists for the method.

@@ -57,18 +57,30 @@ pub struct Filter {
 impl Filter {
     /// A scalar filter `method -> value` without arguments.
     pub fn scalar(method: impl Into<Term>, value: impl Into<Term>) -> Self {
-        Filter { method: method.into(), args: Vec::new(), value: FilterValue::Scalar(value.into()) }
+        Filter {
+            method: method.into(),
+            args: Vec::new(),
+            value: FilterValue::Scalar(value.into()),
+        }
     }
 
     /// A set filter `method ->> {values...}` without arguments.
     pub fn set(method: impl Into<Term>, values: Vec<Term>) -> Self {
-        Filter { method: method.into(), args: Vec::new(), value: FilterValue::SetExplicit(values) }
+        Filter {
+            method: method.into(),
+            args: Vec::new(),
+            value: FilterValue::SetExplicit(values),
+        }
     }
 
     /// A set filter `method ->> set_ref` without arguments, whose right-hand
     /// side is a set-valued reference.
     pub fn set_ref(method: impl Into<Term>, value: impl Into<Term>) -> Self {
-        Filter { method: method.into(), args: Vec::new(), value: FilterValue::SetRef(value.into()) }
+        Filter {
+            method: method.into(),
+            args: Vec::new(),
+            value: FilterValue::SetRef(value.into()),
+        }
     }
 
     /// Attach call arguments to this filter's method.
@@ -164,22 +176,42 @@ impl Term {
 
     /// Apply a scalar method: `self . method`.
     pub fn scalar(self, method: impl Into<Term>) -> Self {
-        Term::Path(Box::new(Path { receiver: self, set_valued: false, method: method.into(), args: Vec::new() }))
+        Term::Path(Box::new(Path {
+            receiver: self,
+            set_valued: false,
+            method: method.into(),
+            args: Vec::new(),
+        }))
     }
 
     /// Apply a scalar method with arguments: `self . method @ (args)`.
     pub fn scalar_args(self, method: impl Into<Term>, args: Vec<Term>) -> Self {
-        Term::Path(Box::new(Path { receiver: self, set_valued: false, method: method.into(), args }))
+        Term::Path(Box::new(Path {
+            receiver: self,
+            set_valued: false,
+            method: method.into(),
+            args,
+        }))
     }
 
     /// Apply a set-valued method: `self .. method`.
     pub fn set(self, method: impl Into<Term>) -> Self {
-        Term::Path(Box::new(Path { receiver: self, set_valued: true, method: method.into(), args: Vec::new() }))
+        Term::Path(Box::new(Path {
+            receiver: self,
+            set_valued: true,
+            method: method.into(),
+            args: Vec::new(),
+        }))
     }
 
     /// Apply a set-valued method with arguments: `self .. method @ (args)`.
     pub fn set_args(self, method: impl Into<Term>, args: Vec<Term>) -> Self {
-        Term::Path(Box::new(Path { receiver: self, set_valued: true, method: method.into(), args }))
+        Term::Path(Box::new(Path {
+            receiver: self,
+            set_valued: true,
+            method: method.into(),
+            args,
+        }))
     }
 
     /// Attach a single filter, producing a molecule.  Successive calls
@@ -191,7 +223,10 @@ impl Term {
                 m.filters.push(filter);
                 Term::Molecule(m)
             }
-            other => Term::Molecule(Box::new(Molecule { receiver: other, filters: vec![filter] })),
+            other => Term::Molecule(Box::new(Molecule {
+                receiver: other,
+                filters: vec![filter],
+            })),
         }
     }
 
@@ -205,13 +240,19 @@ impl Term {
     pub fn empty_filters(self) -> Self {
         match self {
             Term::Molecule(m) => Term::Molecule(m),
-            other => Term::Molecule(Box::new(Molecule { receiver: other, filters: Vec::new() })),
+            other => Term::Molecule(Box::new(Molecule {
+                receiver: other,
+                filters: Vec::new(),
+            })),
         }
     }
 
     /// Class membership `self : class`.
     pub fn isa(self, class: impl Into<Term>) -> Self {
-        Term::IsA(Box::new(IsA { receiver: self, class: class.into() }))
+        Term::IsA(Box::new(IsA {
+            receiver: self,
+            class: class.into(),
+        }))
     }
 
     /// The XSQL-style selector `t[X]`, an abbreviation for `t[self -> X]`
@@ -521,7 +562,9 @@ mod tests {
             "mary.spouse[boss -> mary].age"
         );
         assert_eq!(
-            Term::var("L").isa(Term::name("integer").scalar("list").paren()).to_string(),
+            Term::var("L")
+                .isa(Term::name("integer").scalar("list").paren())
+                .to_string(),
             "L : (integer.list)"
         );
     }

@@ -72,7 +72,16 @@ pub fn type_check_with(structure: &Structure, options: TypeCheckOptions) -> Vec<
     }
     for fact in structure.facts().set_facts() {
         let members: Vec<Oid> = fact.members.iter().copied().collect();
-        check_application(structure, options, fact.method, fact.receiver, &fact.args, &members, true, &mut errors);
+        check_application(
+            structure,
+            options,
+            fact.method,
+            fact.receiver,
+            &fact.args,
+            &members,
+            true,
+            &mut errors,
+        );
     }
     errors
 }
@@ -100,7 +109,11 @@ fn check_application(
         if !structure.in_class(receiver, sig.class) {
             continue;
         }
-        if !args.iter().zip(sig.arg_classes.iter()).all(|(&a, &c)| structure.in_class(a, c)) {
+        if !args
+            .iter()
+            .zip(sig.arg_classes.iter())
+            .all(|(&a, &c)| structure.in_class(a, c))
+        {
             continue;
         }
         covered = true;
@@ -216,7 +229,11 @@ mod tests {
         s.add_isa(e1, employee);
         s.assert_scalar(age, e1, &[], red).unwrap();
         let errors = type_check(&s);
-        assert_eq!(errors.len(), 1, "the person[age => integer] signature applies to employees too");
+        assert_eq!(
+            errors.len(),
+            1,
+            "the person[age => integer] signature applies to employees too"
+        );
     }
 
     #[test]

@@ -147,7 +147,7 @@ fn check_filter(filter: &Filter) -> Result<()> {
 // keep is_scalar imported usage explicit for readers of this module
 #[allow(dead_code)]
 fn _scalar_is_the_negation_of_set_valued(t: &Term) -> bool {
-    is_scalar(t) == !is_set_valued(t)
+    is_scalar(t) != is_set_valued(t)
 }
 
 #[cfg(test)]
@@ -172,7 +172,9 @@ mod tests {
         assert!(is_well_formed(&t));
 
         // (4.2) p1..assistants[salary -> 1000]
-        let t = Term::name("p1").set("assistants").filter(Filter::scalar("salary", Term::int(1000)));
+        let t = Term::name("p1")
+            .set("assistants")
+            .filter(Filter::scalar("salary", Term::int(1000)));
         assert!(is_well_formed(&t));
 
         // (4.4) p2[friends ->> p1..assistants]

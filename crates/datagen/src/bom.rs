@@ -32,7 +32,13 @@ pub struct BomParams {
 
 impl Default for BomParams {
     fn default() -> Self {
-        BomParams { assemblies: 2, depth: 4, fanout: 3, sharing: 0.25, seed: 42 }
+        BomParams {
+            assemblies: 2,
+            depth: 4,
+            fanout: 3,
+            sharing: 0.25,
+            seed: 42,
+        }
     }
 }
 
@@ -40,7 +46,10 @@ impl BomParams {
     /// A parameter set with the given depth, keeping other knobs at their
     /// defaults.
     pub fn with_depth(depth: usize) -> Self {
-        BomParams { depth, ..Self::default() }
+        BomParams {
+            depth,
+            ..Self::default()
+        }
     }
 
     /// Upper bound on the number of parts this parameter set can generate
@@ -60,9 +69,12 @@ pub fn schema() -> Schema {
     s.class("part", &[]).expect("fresh class");
     s.class("assembly", &["part"]).expect("fresh class");
     s.class("atomicPart", &["part"]).expect("fresh class");
-    s.attr("subparts", AttrKind::Set, "part", Range::Class("part".into())).expect("fresh attr");
-    s.attr("cost", AttrKind::Scalar, "part", Range::Integer).expect("fresh attr");
-    s.attr("weight", AttrKind::Scalar, "part", Range::Integer).expect("fresh attr");
+    s.attr("subparts", AttrKind::Set, "part", Range::Class("part".into()))
+        .expect("fresh attr");
+    s.attr("cost", AttrKind::Scalar, "part", Range::Integer)
+        .expect("fresh attr");
+    s.attr("weight", AttrKind::Scalar, "part", Range::Integer)
+        .expect("fresh attr");
     debug_assert!(s.validate().is_ok());
     s
 }
@@ -105,14 +117,21 @@ fn grow(
         } else {
             *counter += 1;
             let name = format!("part{counter}");
-            let class = if level == params.depth { "atomicPart" } else { "assembly" };
+            let class = if level == params.depth {
+                "atomicPart"
+            } else {
+                "assembly"
+            };
             db.create(&name, class).expect("fresh part name");
-            db.set(&name, "cost", Value::Int(rng.gen_range(1..100))).expect("cost in schema");
-            db.set(&name, "weight", Value::Int(rng.gen_range(1..50))).expect("weight in schema");
+            db.set(&name, "cost", Value::Int(rng.gen_range(1..100)))
+                .expect("cost in schema");
+            db.set(&name, "weight", Value::Int(rng.gen_range(1..50)))
+                .expect("weight in schema");
             levels[level].push(name.clone());
             name
         };
-        db.add(parent, "subparts", Value::obj(child.clone())).expect("subparts in schema");
+        db.add(parent, "subparts", Value::obj(child.clone()))
+            .expect("subparts in schema");
         if !reuse {
             grow(db, rng, params, &child, level + 1, levels, counter);
         }
@@ -134,23 +153,43 @@ mod tests {
         assert!(db.integrity_check().is_ok());
         assert!(db.len() > 10);
         assert!(db.len() <= BomParams::default().max_parts());
-        assert_eq!(db.members_of("assembly").len() + db.members_of("atomicPart").len(), db.len());
+        assert_eq!(
+            db.members_of("assembly").len() + db.members_of("atomicPart").len(),
+            db.len()
+        );
     }
 
     #[test]
     fn zero_sharing_generates_a_full_forest() {
-        let params = BomParams { sharing: 0.0, assemblies: 2, depth: 3, fanout: 2, seed: 7 };
+        let params = BomParams {
+            sharing: 0.0,
+            assemblies: 2,
+            depth: 3,
+            fanout: 2,
+            seed: 7,
+        };
         let db = generate(&params);
         assert_eq!(db.len(), params.max_parts());
     }
 
     #[test]
     fn sharing_shrinks_the_universe_but_keeps_every_slot_filled() {
-        let base = BomParams { sharing: 0.0, assemblies: 1, depth: 4, fanout: 3, seed: 11 };
+        let base = BomParams {
+            sharing: 0.0,
+            assemblies: 1,
+            depth: 4,
+            fanout: 3,
+            seed: 11,
+        };
         let shared = BomParams { sharing: 0.8, ..base };
         let full = generate(&base);
         let dag = generate(&shared);
-        assert!(dag.len() < full.len(), "sharing re-uses parts ({} vs {})", dag.len(), full.len());
+        assert!(
+            dag.len() < full.len(),
+            "sharing re-uses parts ({} vs {})",
+            dag.len(),
+            full.len()
+        );
         // every non-leaf still has `fanout` subpart slots (counted with
         // multiplicity collapsed to the set level, so at least one member).
         let structure = dag.to_structure();
@@ -160,14 +199,24 @@ mod tests {
 
     #[test]
     fn depth_zero_means_assemblies_only() {
-        let db = generate(&BomParams { depth: 0, assemblies: 3, ..BomParams::default() });
+        let db = generate(&BomParams {
+            depth: 0,
+            assemblies: 3,
+            ..BomParams::default()
+        });
         assert_eq!(db.len(), 3);
         assert!(db.members_of("atomicPart").is_empty());
     }
 
     #[test]
     fn structures_reflect_the_generated_parts() {
-        let params = BomParams { assemblies: 1, depth: 3, fanout: 2, sharing: 0.0, seed: 3 };
+        let params = BomParams {
+            assemblies: 1,
+            depth: 3,
+            fanout: 2,
+            sharing: 0.0,
+            seed: 3,
+        };
         let s = generate_structure(&params);
         let part_class = s.lookup_name(&pathlog_core::names::Name::atom("assembly")).unwrap();
         assert!(s.instances_of(part_class).count() > 0);
@@ -178,9 +227,39 @@ mod tests {
 
     #[test]
     fn max_parts_matches_the_geometric_series() {
-        assert_eq!(BomParams { assemblies: 1, depth: 2, fanout: 2, sharing: 0.0, seed: 0 }.max_parts(), 7);
-        assert_eq!(BomParams { assemblies: 2, depth: 1, fanout: 3, sharing: 0.0, seed: 0 }.max_parts(), 8);
-        assert_eq!(BomParams { assemblies: 1, depth: 3, fanout: 1, sharing: 0.0, seed: 0 }.max_parts(), 4);
+        assert_eq!(
+            BomParams {
+                assemblies: 1,
+                depth: 2,
+                fanout: 2,
+                sharing: 0.0,
+                seed: 0
+            }
+            .max_parts(),
+            7
+        );
+        assert_eq!(
+            BomParams {
+                assemblies: 2,
+                depth: 1,
+                fanout: 3,
+                sharing: 0.0,
+                seed: 0
+            }
+            .max_parts(),
+            8
+        );
+        assert_eq!(
+            BomParams {
+                assemblies: 1,
+                depth: 3,
+                fanout: 1,
+                sharing: 0.0,
+                seed: 0
+            }
+            .max_parts(),
+            4
+        );
     }
 
     #[test]

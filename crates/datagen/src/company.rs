@@ -57,7 +57,10 @@ impl CompanyParams {
     /// A parameter set scaled to roughly `employees` employees, keeping every
     /// other knob at its default.
     pub fn scaled(employees: usize) -> Self {
-        CompanyParams { employees, ..Self::default() }
+        CompanyParams {
+            employees,
+            ..Self::default()
+        }
     }
 }
 
@@ -73,7 +76,8 @@ pub fn generate(params: &CompanyParams) -> ObjectStore {
 
     // departments
     for d in 0..params.departments.max(1) {
-        db.create(&format!("dept{d}"), "department").expect("fresh department name");
+        db.create(&format!("dept{d}"), "department")
+            .expect("fresh department name");
     }
 
     // companies (presidents are filled in once employees exist)
@@ -81,7 +85,8 @@ pub fn generate(params: &CompanyParams) -> ObjectStore {
         let name = format!("comp{c}");
         db.create(&name, "company").expect("fresh company name");
         let city = CITIES[rng.gen_range(0..CITIES.len())];
-        db.set(&name, "cityOf", Value::Atom(city.into())).expect("cityOf in schema");
+        db.set(&name, "cityOf", Value::Atom(city.into()))
+            .expect("cityOf in schema");
     }
 
     // employees and managers
@@ -89,11 +94,24 @@ pub fn generate(params: &CompanyParams) -> ObjectStore {
     for e in 0..params.employees {
         let is_manager = rng.gen_bool(params.manager_fraction.clamp(0.0, 1.0));
         let name = format!("e{e}");
-        db.create(&name, if is_manager { "manager" } else { "employee" }).expect("fresh employee name");
-        db.set(&name, "age", Value::Int(rng.gen_range(20..65))).expect("age in schema");
-        db.set(&name, "city", Value::Atom(CITIES[rng.gen_range(0..CITIES.len())].into())).expect("city in schema");
-        db.set(&name, "street", Value::Str(format!("{} Main St", rng.gen_range(1..999)))).expect("street");
-        db.set(&name, "salary", Value::Int(rng.gen_range(30_000..150_000))).expect("salary");
+        db.create(&name, if is_manager { "manager" } else { "employee" })
+            .expect("fresh employee name");
+        db.set(&name, "age", Value::Int(rng.gen_range(20..65)))
+            .expect("age in schema");
+        db.set(
+            &name,
+            "city",
+            Value::Atom(CITIES[rng.gen_range(0..CITIES.len())].into()),
+        )
+        .expect("city in schema");
+        db.set(
+            &name,
+            "street",
+            Value::Str(format!("{} Main St", rng.gen_range(1..999))),
+        )
+        .expect("street");
+        db.set(&name, "salary", Value::Int(rng.gen_range(30_000..150_000)))
+            .expect("salary");
         let dept = format!("dept{}", rng.gen_range(0..params.departments.max(1)));
         db.set(&name, "worksFor", Value::obj(dept)).expect("worksFor");
         employee_names.push(name);
@@ -109,7 +127,8 @@ pub fn generate(params: &CompanyParams) -> ObjectStore {
                 }
             };
             db.set(name, "boss", Value::obj(boss.clone())).expect("boss");
-            db.add(&boss, "assistants", Value::obj(name.clone())).expect("assistants");
+            db.add(&boss, "assistants", Value::obj(name.clone()))
+                .expect("assistants");
         }
     }
 
@@ -117,7 +136,8 @@ pub fn generate(params: &CompanyParams) -> ObjectStore {
     if !employee_names.is_empty() {
         for c in 0..params.companies.max(1) {
             let president = employee_names[rng.gen_range(0..employee_names.len())].clone();
-            db.set(&format!("comp{c}"), "president", Value::obj(president)).expect("president");
+            db.set(&format!("comp{c}"), "president", Value::obj(president))
+                .expect("president");
         }
     }
 
@@ -129,8 +149,14 @@ pub fn generate(params: &CompanyParams) -> ObjectStore {
             let is_auto = rng.gen_bool(params.automobile_fraction.clamp(0.0, 1.0));
             let vname = format!("{}{}", if is_auto { "auto" } else { "veh" }, vehicle_counter);
             vehicle_counter += 1;
-            db.create(&vname, if is_auto { "automobile" } else { "vehicle" }).expect("fresh vehicle name");
-            db.set(&vname, "color", Value::Atom(COLOURS.choose(&mut rng).unwrap().to_string())).expect("color");
+            db.create(&vname, if is_auto { "automobile" } else { "vehicle" })
+                .expect("fresh vehicle name");
+            db.set(
+                &vname,
+                "color",
+                Value::Atom(COLOURS.choose(&mut rng).unwrap().to_string()),
+            )
+            .expect("color");
             let company = format!("comp{}", rng.gen_range(0..params.companies.max(1)));
             db.set(&vname, "producedBy", Value::obj(company)).expect("producedBy");
             if is_auto {
@@ -171,7 +197,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let p = CompanyParams { employees: 50, ..CompanyParams::default() };
+        let p = CompanyParams {
+            employees: 50,
+            ..CompanyParams::default()
+        };
         let a = generate(&p);
         let b = generate(&p);
         assert_eq!(pathlog_oodb::dump(&a), pathlog_oodb::dump(&b));
@@ -179,24 +208,41 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&CompanyParams { employees: 50, seed: 1, ..CompanyParams::default() });
-        let b = generate(&CompanyParams { employees: 50, seed: 2, ..CompanyParams::default() });
+        let a = generate(&CompanyParams {
+            employees: 50,
+            seed: 1,
+            ..CompanyParams::default()
+        });
+        let b = generate(&CompanyParams {
+            employees: 50,
+            seed: 2,
+            ..CompanyParams::default()
+        });
         assert_ne!(pathlog_oodb::dump(&a), pathlog_oodb::dump(&b));
     }
 
     #[test]
     fn generated_database_is_consistent() {
-        let db = generate(&CompanyParams { employees: 100, ..CompanyParams::default() });
+        let db = generate(&CompanyParams {
+            employees: 100,
+            ..CompanyParams::default()
+        });
         db.integrity_check().unwrap();
         assert_eq!(db.members_of("employee").len(), 100);
         assert!(db.members_of("manager").len() < 100);
-        assert!(db.members_of("vehicle").len() > 100, "about three vehicles per employee");
+        assert!(
+            db.members_of("vehicle").len() > 100,
+            "about three vehicles per employee"
+        );
         assert!(db.members_of("automobile").len() <= db.members_of("vehicle").len());
     }
 
     #[test]
     fn structure_conversion_scales() {
-        let s = generate_structure(&CompanyParams { employees: 20, ..CompanyParams::default() });
+        let s = generate_structure(&CompanyParams {
+            employees: 20,
+            ..CompanyParams::default()
+        });
         let stats = s.stats();
         assert!(stats.objects > 40);
         assert!(stats.scalar_facts > 100);
@@ -205,7 +251,12 @@ mod tests {
 
     #[test]
     fn zero_sizes_do_not_panic() {
-        let db = generate(&CompanyParams { employees: 0, companies: 0, departments: 0, ..CompanyParams::default() });
+        let db = generate(&CompanyParams {
+            employees: 0,
+            companies: 0,
+            departments: 0,
+            ..CompanyParams::default()
+        });
         assert_eq!(db.members_of("employee").len(), 0);
         db.integrity_check().unwrap();
     }

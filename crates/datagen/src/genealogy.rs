@@ -26,7 +26,12 @@ pub struct GenealogyParams {
 
 impl Default for GenealogyParams {
     fn default() -> Self {
-        GenealogyParams { roots: 1, depth: 4, fanout: 3, seed: 42 }
+        GenealogyParams {
+            roots: 1,
+            depth: 4,
+            fanout: 3,
+            seed: 42,
+        }
     }
 }
 
@@ -106,7 +111,12 @@ mod tests {
     #[test]
     fn tree_size_matches_expectation() {
         for (roots, depth, fanout) in [(1, 3, 2), (2, 2, 3), (1, 0, 5), (3, 4, 1)] {
-            let p = GenealogyParams { roots, depth, fanout, seed: 1 };
+            let p = GenealogyParams {
+                roots,
+                depth,
+                fanout,
+                seed: 1,
+            };
             let db = generate(&p);
             assert_eq!(db.len(), p.expected_persons(), "params {p:?}");
             db.integrity_check().unwrap();
@@ -115,7 +125,12 @@ mod tests {
 
     #[test]
     fn kids_link_parent_to_children() {
-        let db = generate(&GenealogyParams { roots: 1, depth: 2, fanout: 2, seed: 1 });
+        let db = generate(&GenealogyParams {
+            roots: 1,
+            depth: 2,
+            fanout: 2,
+            seed: 1,
+        });
         let kids = db.get_set("p0_0", "kids").unwrap();
         assert_eq!(kids.len(), 2);
     }
@@ -132,7 +147,12 @@ mod tests {
 
     #[test]
     fn structure_conversion() {
-        let s = generate_structure(&GenealogyParams { roots: 1, depth: 3, fanout: 2, seed: 1 });
+        let s = generate_structure(&GenealogyParams {
+            roots: 1,
+            depth: 3,
+            fanout: 2,
+            seed: 1,
+        });
         assert_eq!(s.stats().set_members, 14, "every non-root person is someone's kid");
     }
 

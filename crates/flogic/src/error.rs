@@ -44,7 +44,9 @@ mod tests {
 
     #[test]
     fn display_mentions_the_kind() {
-        assert!(FlogicError::Untranslatable("x".into()).to_string().contains("untranslatable"));
+        assert!(FlogicError::Untranslatable("x".into())
+            .to_string()
+            .contains("untranslatable"));
         assert!(FlogicError::InvalidHead("x".into()).to_string().contains("head"));
         assert!(FlogicError::LimitExceeded("x".into()).to_string().contains("limit"));
         assert!(FlogicError::UnboundSkolem("x".into()).to_string().contains("skolem"));
@@ -52,7 +54,13 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(FlogicError::InvalidHead("a".into()), FlogicError::InvalidHead("a".into()));
-        assert_ne!(FlogicError::InvalidHead("a".into()), FlogicError::InvalidHead("b".into()));
+        assert_eq!(
+            FlogicError::InvalidHead("a".into()),
+            FlogicError::InvalidHead("a".into())
+        );
+        assert_ne!(
+            FlogicError::InvalidHead("a".into()),
+            FlogicError::InvalidHead("b".into())
+        );
     }
 }

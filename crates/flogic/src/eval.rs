@@ -27,7 +27,10 @@ pub struct FlatEvalOptions {
 
 impl Default for FlatEvalOptions {
     fn default() -> Self {
-        FlatEvalOptions { max_iterations: 100_000, max_derived: 10_000_000 }
+        FlatEvalOptions {
+            max_iterations: 100_000,
+            max_derived: 10_000_000,
+        }
     }
 }
 
@@ -104,7 +107,12 @@ impl FlatBindings {
     /// Keep only the given variables (used to project query answers).
     pub fn project(&self, vars: &[Var]) -> FlatBindings {
         FlatBindings {
-            map: self.map.iter().filter(|(v, _)| vars.contains(v)).map(|(v, &o)| (v.clone(), o)).collect(),
+            map: self
+                .map
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .map(|(v, &o)| (v.clone(), o))
+                .collect(),
         }
     }
 }
@@ -260,12 +268,7 @@ fn resolve(structure: &Structure, term: &FlatTerm, bindings: &FlatBindings) -> R
 }
 
 /// Unify a flat term with a concrete object.
-fn unify(
-    structure: &Structure,
-    term: &FlatTerm,
-    oid: Oid,
-    bindings: &FlatBindings,
-) -> Option<FlatBindings> {
+fn unify(structure: &Structure, term: &FlatTerm, oid: Oid, bindings: &FlatBindings) -> Option<FlatBindings> {
     match term {
         FlatTerm::Name(n) => (structure.lookup_name(n) == Some(oid)).then(|| bindings.clone()),
         FlatTerm::Var(v) => bindings.bind(v, oid),
@@ -273,12 +276,7 @@ fn unify(
     }
 }
 
-fn unify_all(
-    structure: &Structure,
-    terms: &[FlatTerm],
-    oids: &[Oid],
-    bindings: &FlatBindings,
-) -> Option<FlatBindings> {
+fn unify_all(structure: &Structure, terms: &[FlatTerm], oids: &[Oid], bindings: &FlatBindings) -> Option<FlatBindings> {
     if terms.len() != oids.len() {
         return None;
     }
@@ -292,7 +290,12 @@ fn unify_all(
 /// All extensions of `bindings` under which `atom` holds in `structure`.
 pub fn match_atom(structure: &Structure, atom: &FlatAtom, bindings: &FlatBindings) -> Result<Vec<FlatBindings>> {
     match atom {
-        FlatAtom::Scalar { receiver, method, args, result } => {
+        FlatAtom::Scalar {
+            receiver,
+            method,
+            args,
+            result,
+        } => {
             if let FlatTerm::Name(n) = method {
                 if let Some(atom_name) = n.as_atom() {
                     if atom_name == builtins::SELF_METHOD {
@@ -305,9 +308,12 @@ pub fn match_atom(structure: &Structure, atom: &FlatAtom, bindings: &FlatBinding
             }
             match_scalar(structure, receiver, method, args, result, bindings)
         }
-        FlatAtom::SetMember { receiver, method, args, member } => {
-            match_set_member(structure, receiver, method, args, member, bindings)
-        }
+        FlatAtom::SetMember {
+            receiver,
+            method,
+            args,
+            member,
+        } => match_set_member(structure, receiver, method, args, member, bindings),
         FlatAtom::IsA { receiver, class } => Ok(match_isa(structure, receiver, class, bindings)),
     }
 }
@@ -318,7 +324,10 @@ fn match_self(
     result: &FlatTerm,
     bindings: &FlatBindings,
 ) -> Vec<FlatBindings> {
-    match (resolve(structure, receiver, bindings), resolve(structure, result, bindings)) {
+    match (
+        resolve(structure, receiver, bindings),
+        resolve(structure, result, bindings),
+    ) {
         (Resolution::Known(r), _) => unify(structure, result, r, bindings).into_iter().collect(),
         (_, Resolution::Known(r)) => unify(structure, receiver, r, bindings).into_iter().collect(),
         (Resolution::Unknown, Resolution::Unknown) => structure
@@ -336,9 +345,10 @@ fn match_comparison(
     result: &FlatTerm,
     bindings: &FlatBindings,
 ) -> Vec<FlatBindings> {
-    let (Resolution::Known(lhs), Resolution::Known(rhs)) =
-        (resolve(structure, receiver, bindings), resolve(structure, result, bindings))
-    else {
+    let (Resolution::Known(lhs), Resolution::Known(rhs)) = (
+        resolve(structure, receiver, bindings),
+        resolve(structure, result, bindings),
+    ) else {
         return Vec::new();
     };
     let (Some(lhs), Some(rhs)) = (structure.name_of(lhs), structure.name_of(rhs)) else {
@@ -453,7 +463,10 @@ fn match_isa(
     class: &FlatTerm,
     bindings: &FlatBindings,
 ) -> Vec<FlatBindings> {
-    match (resolve(structure, receiver, bindings), resolve(structure, class, bindings)) {
+    match (
+        resolve(structure, receiver, bindings),
+        resolve(structure, class, bindings),
+    ) {
         (Resolution::NoMatch, _) | (_, Resolution::NoMatch) => Vec::new(),
         (Resolution::Known(r), Resolution::Known(c)) => {
             if structure.in_class(r, c) {
@@ -494,9 +507,9 @@ fn resolve_for_assert(
 ) -> Result<Oid> {
     match term {
         FlatTerm::Name(n) => Ok(structure.ensure_name(n)),
-        FlatTerm::Var(v) => bindings.get(v).ok_or_else(|| {
-            FlogicError::InvalidHead(format!("head variable {v} is not bound by the body"))
-        }),
+        FlatTerm::Var(v) => bindings
+            .get(v)
+            .ok_or_else(|| FlogicError::InvalidHead(format!("head variable {v} is not bound by the body"))),
         FlatTerm::Skolem(sk) => {
             let mut arg_oids = Vec::with_capacity(sk.args.len());
             for a in &sk.args {
@@ -524,7 +537,12 @@ fn assert_atom(
     stats: &mut FlatStats,
 ) -> Result<bool> {
     match atom {
-        FlatAtom::Scalar { receiver, method, args, result } => {
+        FlatAtom::Scalar {
+            receiver,
+            method,
+            args,
+            result,
+        } => {
             let r = resolve_for_assert(structure, receiver, bindings, skolems, stats)?;
             let m = resolve_for_assert(structure, method, bindings, skolems, stats)?;
             let arg_oids: Vec<Oid> = args
@@ -541,7 +559,12 @@ fn assert_atom(
             }
             Ok(added)
         }
-        FlatAtom::SetMember { receiver, method, args, member } => {
+        FlatAtom::SetMember {
+            receiver,
+            method,
+            args,
+            member,
+        } => {
             let r = resolve_for_assert(structure, receiver, bindings, skolems, stats)?;
             let m = resolve_for_assert(structure, method, bindings, skolems, stats)?;
             let arg_oids: Vec<Oid> = args
@@ -679,7 +702,10 @@ mod tests {
         let atom = FlatAtom::scalar(name("mary"), name("self"), var("Z"));
         let answers = match_atom(&s, &atom, &FlatBindings::new()).unwrap();
         assert_eq!(answers.len(), 1);
-        assert_eq!(answers[0].get(&Var::new("Z")), Some(s.lookup_name(&Name::atom("mary")).unwrap()));
+        assert_eq!(
+            answers[0].get(&Var::new("Z")),
+            Some(s.lookup_name(&Name::atom("mary")).unwrap())
+        );
     }
 
     #[test]
@@ -740,7 +766,10 @@ mod tests {
                 FlatLiteral::Pos(FlatAtom::isa(var("V"), name("automobile"))),
             ],
         );
-        let program = FlatProgram { rules: vec![rule], queries: vec![] };
+        let program = FlatProgram {
+            rules: vec![rule],
+            queries: vec![],
+        };
         let stats = FlatEngine::new().run(&mut s, &program).unwrap();
         assert_eq!(stats.scalar_facts, 1);
         assert!(stats.iterations >= 2);
@@ -760,7 +789,10 @@ mod tests {
             ],
             vec![FlatLiteral::Pos(FlatAtom::isa(var("X"), name("employee")))],
         );
-        let program = FlatProgram { rules: vec![rule], queries: vec![] };
+        let program = FlatProgram {
+            rules: vec![rule],
+            queries: vec![],
+        };
         let stats = FlatEngine::new().run(&mut s, &program).unwrap();
         // one skolem object per employee, re-used across the two head atoms
         // and across fixpoint iterations.
@@ -794,7 +826,10 @@ mod tests {
                 FlatLiteral::Pos(FlatAtom::member(var("Z"), name("kids"), var("Y"))),
             ],
         );
-        let program = FlatProgram { rules: vec![r1, r2], queries: vec![] };
+        let program = FlatProgram {
+            rules: vec![r1, r2],
+            queries: vec![],
+        };
         let stats = FlatEngine::new().run(&mut s, &program).unwrap();
         assert_eq!(stats.set_members, 4); // tim, mary, sally from peter; sally from tim... = 3 + 1
         let desc = s.lookup_name(&Name::atom("desc")).unwrap();
@@ -826,7 +861,10 @@ mod tests {
             vec![FlatAtom::scalar(var("X"), name("a"), var("Unbound"))],
             vec![FlatLiteral::Pos(FlatAtom::isa(var("X"), name("employee")))],
         );
-        let program = FlatProgram { rules: vec![rule], queries: vec![] };
+        let program = FlatProgram {
+            rules: vec![rule],
+            queries: vec![],
+        };
         let err = FlatEngine::new().run(&mut s, &program).unwrap_err();
         assert!(matches!(err, FlogicError::InvalidHead(_)));
     }
@@ -856,12 +894,16 @@ mod tests {
         // here just used to trip a tiny limit.
         let rule = FlatRule::new(
             vec![FlatAtom::member(var("X"), name("other"), var("Y"))],
-            vec![
-                FlatLiteral::Pos(FlatAtom::member(var("X"), name("kids"), var("Y"))),
-            ],
+            vec![FlatLiteral::Pos(FlatAtom::member(var("X"), name("kids"), var("Y")))],
         );
-        let program = FlatProgram { rules: vec![rule], queries: vec![] };
-        let engine = FlatEngine::with_options(FlatEvalOptions { max_iterations: 100, max_derived: 0 });
+        let program = FlatProgram {
+            rules: vec![rule],
+            queries: vec![],
+        };
+        let engine = FlatEngine::with_options(FlatEvalOptions {
+            max_iterations: 100,
+            max_derived: 0,
+        });
         let err = engine.run(&mut s, &program).unwrap_err();
         assert!(matches!(err, FlogicError::LimitExceeded(_)));
     }

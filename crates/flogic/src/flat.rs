@@ -27,7 +27,10 @@ pub struct SkolemTerm {
 impl SkolemTerm {
     /// Build a skolem term.
     pub fn new(functor: impl Into<String>, args: Vec<FlatTerm>) -> Self {
-        SkolemTerm { functor: functor.into(), args }
+        SkolemTerm {
+            functor: functor.into(),
+            args,
+        }
     }
 }
 
@@ -164,12 +167,22 @@ pub enum FlatAtom {
 impl FlatAtom {
     /// A scalar atom without arguments.
     pub fn scalar(receiver: FlatTerm, method: FlatTerm, result: FlatTerm) -> Self {
-        FlatAtom::Scalar { receiver, method, args: Vec::new(), result }
+        FlatAtom::Scalar {
+            receiver,
+            method,
+            args: Vec::new(),
+            result,
+        }
     }
 
     /// A set-membership atom without arguments.
     pub fn member(receiver: FlatTerm, method: FlatTerm, member: FlatTerm) -> Self {
-        FlatAtom::SetMember { receiver, method, args: Vec::new(), member }
+        FlatAtom::SetMember {
+            receiver,
+            method,
+            args: Vec::new(),
+            member,
+        }
     }
 
     /// A class-membership atom.
@@ -188,13 +201,23 @@ impl FlatAtom {
             }
         };
         match self {
-            FlatAtom::Scalar { receiver, method, args, result } => {
+            FlatAtom::Scalar {
+                receiver,
+                method,
+                args,
+                result,
+            } => {
                 push(receiver);
                 push(method);
                 args.iter().for_each(&mut push);
                 push(result);
             }
-            FlatAtom::SetMember { receiver, method, args, member } => {
+            FlatAtom::SetMember {
+                receiver,
+                method,
+                args,
+                member,
+            } => {
                 push(receiver);
                 push(method);
                 args.iter().for_each(&mut push);
@@ -232,12 +255,22 @@ fn fmt_call(f: &mut fmt::Formatter<'_>, method: &FlatTerm, args: &[FlatTerm]) ->
 impl fmt::Display for FlatAtom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FlatAtom::Scalar { receiver, method, args, result } => {
+            FlatAtom::Scalar {
+                receiver,
+                method,
+                args,
+                result,
+            } => {
                 write!(f, "{receiver}[")?;
                 fmt_call(f, method, args)?;
                 write!(f, " -> {result}]")
             }
-            FlatAtom::SetMember { receiver, method, args, member } => {
+            FlatAtom::SetMember {
+                receiver,
+                method,
+                args,
+                member,
+            } => {
                 write!(f, "{receiver}[")?;
                 fmt_call(f, method, args)?;
                 write!(f, " ->> {{{member}}}]")
@@ -488,7 +521,11 @@ mod tests {
         let body = vec![
             FlatLiteral::Pos(FlatAtom::isa(x(), FlatTerm::name("automobile"))),
             FlatLiteral::Pos(FlatAtom::scalar(x(), FlatTerm::name("engine"), FlatTerm::var("E"))),
-            FlatLiteral::Pos(FlatAtom::scalar(FlatTerm::var("E"), FlatTerm::name("power"), FlatTerm::var("Y"))),
+            FlatLiteral::Pos(FlatAtom::scalar(
+                FlatTerm::var("E"),
+                FlatTerm::name("power"),
+                FlatTerm::var("Y"),
+            )),
         ];
         let rule = FlatRule::new(head, body);
         assert_eq!(
@@ -510,7 +547,11 @@ mod tests {
 
     #[test]
     fn negative_groups_bind_nothing() {
-        let neg = FlatLiteral::NegGroup(vec![FlatAtom::scalar(x(), FlatTerm::name("spouse"), FlatTerm::var("S"))]);
+        let neg = FlatLiteral::NegGroup(vec![FlatAtom::scalar(
+            x(),
+            FlatTerm::name("spouse"),
+            FlatTerm::var("S"),
+        )]);
         assert!(neg.binding_variables().is_empty());
         assert_eq!(neg.atom_count(), 1);
         assert_eq!(neg.to_string(), "not (X[spouse -> S])");

@@ -131,7 +131,10 @@ impl Translator {
         for literal in &query.body {
             body.extend(self.literal(literal)?);
         }
-        Ok(FlatQuery { body, answer_variables: query.variables() })
+        Ok(FlatQuery {
+            body,
+            answer_variables: query.variables(),
+        })
     }
 
     /// Translate a whole program and report counters.
@@ -163,19 +166,36 @@ impl Translator {
             Term::Path(p) => {
                 let receiver = self.body_term(&p.receiver, atoms)?;
                 let method = self.body_term(&p.method, atoms)?;
-                let args = p.args.iter().map(|a| self.body_term(a, atoms)).collect::<Result<Vec<_>>>()?;
+                let args = p
+                    .args
+                    .iter()
+                    .map(|a| self.body_term(a, atoms))
+                    .collect::<Result<Vec<_>>>()?;
                 let result = self.fresh();
                 if p.set_valued {
-                    atoms.push(FlatAtom::SetMember { receiver, method, args, member: result.clone() });
+                    atoms.push(FlatAtom::SetMember {
+                        receiver,
+                        method,
+                        args,
+                        member: result.clone(),
+                    });
                 } else {
-                    atoms.push(FlatAtom::Scalar { receiver, method, args, result: result.clone() });
+                    atoms.push(FlatAtom::Scalar {
+                        receiver,
+                        method,
+                        args,
+                        result: result.clone(),
+                    });
                 }
                 Ok(result)
             }
             Term::IsA(i) => {
                 let receiver = self.body_term(&i.receiver, atoms)?;
                 let class = self.body_term(&i.class, atoms)?;
-                atoms.push(FlatAtom::IsA { receiver: receiver.clone(), class });
+                atoms.push(FlatAtom::IsA {
+                    receiver: receiver.clone(),
+                    class,
+                });
                 Ok(receiver)
             }
             Term::Molecule(m) => {
@@ -190,11 +210,20 @@ impl Translator {
 
     fn body_filter(&mut self, receiver: &FlatTerm, filter: &Filter, atoms: &mut Vec<FlatAtom>) -> Result<()> {
         let method = self.body_term(&filter.method, atoms)?;
-        let args = filter.args.iter().map(|a| self.body_term(a, atoms)).collect::<Result<Vec<_>>>()?;
+        let args = filter
+            .args
+            .iter()
+            .map(|a| self.body_term(a, atoms))
+            .collect::<Result<Vec<_>>>()?;
         match &filter.value {
             FilterValue::Scalar(t) => {
                 let value = self.body_term(t, atoms)?;
-                atoms.push(FlatAtom::Scalar { receiver: receiver.clone(), method, args, result: value });
+                atoms.push(FlatAtom::Scalar {
+                    receiver: receiver.clone(),
+                    method,
+                    args,
+                    result: value,
+                });
             }
             FilterValue::SetExplicit(ts) => {
                 for t in ts {
@@ -228,12 +257,7 @@ impl Translator {
     /// Translate a head reference.  Returns the flat term denoting the object
     /// the head describes; pushes head atoms and (for filter-value look-ups)
     /// extra body atoms.
-    fn head_term(
-        &mut self,
-        term: &Term,
-        head: &mut Vec<FlatAtom>,
-        body: &mut Vec<FlatAtom>,
-    ) -> Result<FlatTerm> {
+    fn head_term(&mut self, term: &Term, head: &mut Vec<FlatAtom>, body: &mut Vec<FlatAtom>) -> Result<FlatTerm> {
         match term {
             Term::Name(n) => Ok(FlatTerm::Name(n.clone())),
             Term::Var(v) => Ok(FlatTerm::Var(v.clone())),
@@ -263,7 +287,10 @@ impl Translator {
             Term::IsA(i) => {
                 let receiver = self.head_term(&i.receiver, head, body)?;
                 let class = self.head_term(&i.class, head, body)?;
-                head.push(FlatAtom::IsA { receiver: receiver.clone(), class });
+                head.push(FlatAtom::IsA {
+                    receiver: receiver.clone(),
+                    class,
+                });
                 Ok(receiver)
             }
             Term::Molecule(m) => {
@@ -284,11 +311,20 @@ impl Translator {
         body: &mut Vec<FlatAtom>,
     ) -> Result<()> {
         let method = self.head_term(&filter.method, head, body)?;
-        let args = filter.args.iter().map(|a| self.body_term(a, body)).collect::<Result<Vec<_>>>()?;
+        let args = filter
+            .args
+            .iter()
+            .map(|a| self.body_term(a, body))
+            .collect::<Result<Vec<_>>>()?;
         match &filter.value {
             FilterValue::Scalar(t) => {
                 let value = self.head_value(t, body)?;
-                head.push(FlatAtom::Scalar { receiver: receiver.clone(), method, args, result: value });
+                head.push(FlatAtom::Scalar {
+                    receiver: receiver.clone(),
+                    method,
+                    args,
+                    result: value,
+                });
             }
             FilterValue::SetExplicit(ts) => {
                 for t in ts {
@@ -307,7 +343,12 @@ impl Translator {
                 // body look-up whose auxiliary result variable appears in the
                 // head (formula (4.4)).
                 let member = self.body_term(t, body)?;
-                head.push(FlatAtom::SetMember { receiver: receiver.clone(), method, args, member });
+                head.push(FlatAtom::SetMember {
+                    receiver: receiver.clone(),
+                    method,
+                    args,
+                    member,
+                });
             }
             FilterValue::SigScalar(_) | FilterValue::SigSet(_) => {
                 return Err(FlogicError::Untranslatable(
@@ -424,10 +465,7 @@ mod tests {
     fn set_ref_filters_in_bodies_are_untranslatable() {
         // ... <- X[friends ->> p1..assistants]
         let body_term = Term::var("X").filter(Filter::set_ref("friends", name("p1").set("assistants")));
-        let rule = Rule::new(
-            Term::var("X").isa("popular"),
-            vec![Literal::pos(body_term)],
-        );
+        let rule = Rule::new(Term::var("X").isa("popular"), vec![Literal::pos(body_term)]);
         let err = Translator::new().rule(&rule).unwrap_err();
         assert!(matches!(err, FlogicError::Untranslatable(_)));
     }
@@ -476,18 +514,21 @@ mod tests {
     #[test]
     fn generic_tc_head_uses_an_apply_skolem() {
         // X[(M.tc) ->> {Y}] <- X[M ->> {Y}].
-        let head = Term::var("X").filter(Filter::set(
-            Term::var("M").scalar("tc").paren(),
-            vec![Term::var("Y")],
-        ));
+        let head = Term::var("X").filter(Filter::set(Term::var("M").scalar("tc").paren(), vec![Term::var("Y")]));
         let body = Term::var("X").filter(Filter::set(Term::var("M"), vec![Term::var("Y")]));
         let rule = Rule::new(head, vec![Literal::pos(body)]);
         let flat = Translator::new().rule(&rule).unwrap();
         // The method position `(M.tc)` is itself a head path: the skolem is
         // tc(M), linked by a head atom M[tc -> tc(M)].
         let rendered: Vec<String> = flat.head.iter().map(|a| a.to_string()).collect();
-        assert!(rendered.contains(&"M[tc -> tc(M)]".to_string()), "head was {rendered:?}");
-        assert!(rendered.contains(&"X[tc(M) ->> {Y}]".to_string()), "head was {rendered:?}");
+        assert!(
+            rendered.contains(&"M[tc -> tc(M)]".to_string()),
+            "head was {rendered:?}"
+        );
+        assert!(
+            rendered.contains(&"X[tc(M) ->> {Y}]".to_string()),
+            "head was {rendered:?}"
+        );
     }
 
     #[test]
@@ -532,8 +573,14 @@ mod tests {
         let mut program = Program::new();
         program.push_rule(Rule::fact(name("p1").isa("employee")));
         program.push_rule(Rule::new(
-            Term::var("X").scalar("boss").filter(Filter::scalar("worksFor", Term::var("D"))),
-            vec![Literal::pos(Term::var("X").isa("employee").filter(Filter::scalar("worksFor", Term::var("D"))))],
+            Term::var("X")
+                .scalar("boss")
+                .filter(Filter::scalar("worksFor", Term::var("D"))),
+            vec![Literal::pos(
+                Term::var("X")
+                    .isa("employee")
+                    .filter(Filter::scalar("worksFor", Term::var("D"))),
+            )],
         ));
         program.push_query(Query::single(Term::var("X").isa("employee")));
         let (flat, stats) = Translator::new().program(&program).unwrap();
@@ -546,7 +593,13 @@ mod tests {
 
     #[test]
     fn query_answer_variables_exclude_aux_variables() {
-        let q = Query::single(Term::var("X").isa("employee").set("vehicles").scalar("color").selector(Term::var("Z")));
+        let q = Query::single(
+            Term::var("X")
+                .isa("employee")
+                .set("vehicles")
+                .scalar("color")
+                .selector(Term::var("Z")),
+        );
         let flat = Translator::new().query(&q).unwrap();
         assert_eq!(flat.answer_variables, vec![Var::new("X"), Var::new("Z")]);
         assert!(flat.atom_count() >= 3);
@@ -562,7 +615,10 @@ mod tests {
 
     #[test]
     fn translation_struct_counts_conjuncts() {
-        let t = Translation { result: FlatTerm::name("x"), atoms: vec![] };
+        let t = Translation {
+            result: FlatTerm::name("x"),
+            atoms: vec![],
+        };
         assert_eq!(t.conjuncts(), 0);
     }
 }

@@ -39,7 +39,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(StoreError::Duplicate("employee".into()).to_string().contains("duplicate"));
+        assert!(StoreError::Duplicate("employee".into())
+            .to_string()
+            .contains("duplicate"));
         assert!(StoreError::Unknown("x".into()).to_string().contains("unknown"));
         assert!(StoreError::SchemaViolation("y".into()).to_string().contains("schema"));
         assert!(StoreError::Format("line 3".into()).to_string().contains("format"));

@@ -83,7 +83,11 @@ pub fn load(text: &str) -> Result<ObjectStore> {
         match keyword {
             "class" => {
                 let name = rest.first().ok_or_else(|| err("missing class name"))?;
-                let supers: Vec<&str> = if rest.len() > 2 && rest[1] == ":" { rest[2..].to_vec() } else { Vec::new() };
+                let supers: Vec<&str> = if rest.len() > 2 && rest[1] == ":" {
+                    rest[2..].to_vec()
+                } else {
+                    Vec::new()
+                };
                 schema.class(name, &supers).map_err(|e| err(&e.to_string()))?;
             }
             "attr" => {
@@ -103,7 +107,9 @@ pub fn load(text: &str) -> Result<ObjectStore> {
                     "class" => Range::Class(rest.get(5).ok_or_else(|| err("missing range class"))?.to_string()),
                     other => return Err(err(&format!("unknown range {other}"))),
                 };
-                schema.attr(rest[0], kind, rest[2], range).map_err(|e| err(&e.to_string()))?;
+                schema
+                    .attr(rest[0], kind, rest[2], range)
+                    .map_err(|e| err(&e.to_string()))?;
             }
             "obj" => {
                 if rest.len() != 2 {

@@ -79,7 +79,10 @@ impl Schema {
         }
         self.classes.insert(
             name.to_owned(),
-            ClassDef { name: name.to_owned(), superclasses: superclasses.iter().map(|s| s.to_string()).collect() },
+            ClassDef {
+                name: name.to_owned(),
+                superclasses: superclasses.iter().map(|s| s.to_string()).collect(),
+            },
         );
         Ok(self)
     }
@@ -89,7 +92,15 @@ impl Schema {
         if self.attrs.contains_key(name) {
             return Err(StoreError::Duplicate(format!("attribute {name}")));
         }
-        self.attrs.insert(name.to_owned(), AttrDef { name: name.to_owned(), kind, domain: domain.to_owned(), range });
+        self.attrs.insert(
+            name.to_owned(),
+            AttrDef {
+                name: name.to_owned(),
+                kind,
+                domain: domain.to_owned(),
+                range,
+            },
+        );
         Ok(self)
     }
 
@@ -148,7 +159,10 @@ impl Schema {
         }
         for a in self.attrs.values() {
             if !self.classes.contains_key(&a.domain) {
-                return Err(StoreError::Unknown(format!("domain class {} of attribute {}", a.domain, a.name)));
+                return Err(StoreError::Unknown(format!(
+                    "domain class {} of attribute {}",
+                    a.domain, a.name
+                )));
             }
             if let Range::Class(r) = &a.range {
                 if !self.classes.contains_key(r) {
@@ -160,7 +174,9 @@ impl Schema {
         for c in self.classes.keys() {
             for s in &self.classes[c].superclasses {
                 if self.is_subclass(s, c) {
-                    return Err(StoreError::SchemaViolation(format!("class hierarchy cycle through {c}")));
+                    return Err(StoreError::SchemaViolation(format!(
+                        "class hierarchy cycle through {c}"
+                    )));
                 }
             }
         }
@@ -184,19 +200,44 @@ impl Schema {
         s.attr("city", AttrKind::Scalar, "person", Range::Atom).unwrap();
         s.attr("street", AttrKind::Scalar, "person", Range::Str).unwrap();
         s.attr("salary", AttrKind::Scalar, "employee", Range::Integer).unwrap();
-        s.attr("boss", AttrKind::Scalar, "employee", Range::Class("employee".into())).unwrap();
-        s.attr("worksFor", AttrKind::Scalar, "employee", Range::Class("department".into())).unwrap();
-        s.attr("assistants", AttrKind::Set, "employee", Range::Class("employee".into())).unwrap();
-        s.attr("vehicles", AttrKind::Set, "person", Range::Class("vehicle".into())).unwrap();
-        s.attr("friends", AttrKind::Set, "person", Range::Class("person".into())).unwrap();
-        s.attr("kids", AttrKind::Set, "person", Range::Class("person".into())).unwrap();
+        s.attr("boss", AttrKind::Scalar, "employee", Range::Class("employee".into()))
+            .unwrap();
+        s.attr(
+            "worksFor",
+            AttrKind::Scalar,
+            "employee",
+            Range::Class("department".into()),
+        )
+        .unwrap();
+        s.attr("assistants", AttrKind::Set, "employee", Range::Class("employee".into()))
+            .unwrap();
+        s.attr("vehicles", AttrKind::Set, "person", Range::Class("vehicle".into()))
+            .unwrap();
+        s.attr("friends", AttrKind::Set, "person", Range::Class("person".into()))
+            .unwrap();
+        s.attr("kids", AttrKind::Set, "person", Range::Class("person".into()))
+            .unwrap();
         s.attr("color", AttrKind::Scalar, "vehicle", Range::Atom).unwrap();
-        s.attr("cylinders", AttrKind::Scalar, "automobile", Range::Integer).unwrap();
-        s.attr("engineOf", AttrKind::Scalar, "automobile", Range::Class("engine".into())).unwrap();
+        s.attr("cylinders", AttrKind::Scalar, "automobile", Range::Integer)
+            .unwrap();
+        s.attr(
+            "engineOf",
+            AttrKind::Scalar,
+            "automobile",
+            Range::Class("engine".into()),
+        )
+        .unwrap();
         s.attr("power", AttrKind::Scalar, "engine", Range::Integer).unwrap();
-        s.attr("producedBy", AttrKind::Scalar, "vehicle", Range::Class("company".into())).unwrap();
+        s.attr(
+            "producedBy",
+            AttrKind::Scalar,
+            "vehicle",
+            Range::Class("company".into()),
+        )
+        .unwrap();
         s.attr("cityOf", AttrKind::Scalar, "company", Range::Atom).unwrap();
-        s.attr("president", AttrKind::Scalar, "company", Range::Class("person".into())).unwrap();
+        s.attr("president", AttrKind::Scalar, "company", Range::Class("person".into()))
+            .unwrap();
         debug_assert!(s.validate().is_ok());
         s
     }
@@ -205,7 +246,8 @@ impl Schema {
     pub fn genealogy() -> Schema {
         let mut s = Schema::new();
         s.class("person", &[]).unwrap();
-        s.attr("kids", AttrKind::Set, "person", Range::Class("person".into())).unwrap();
+        s.attr("kids", AttrKind::Set, "person", Range::Class("person".into()))
+            .unwrap();
         s.attr("age", AttrKind::Scalar, "person", Range::Integer).unwrap();
         debug_assert!(s.validate().is_ok());
         s
@@ -259,7 +301,8 @@ mod tests {
 
         let mut s = Schema::new();
         s.class("a", &[]).unwrap();
-        s.attr("x", AttrKind::Scalar, "a", Range::Class("ghost".into())).unwrap();
+        s.attr("x", AttrKind::Scalar, "a", Range::Class("ghost".into()))
+            .unwrap();
         assert!(s.validate().is_err());
     }
 

@@ -88,7 +88,10 @@ impl ObjectStore {
 
     /// A store over the given schema.
     pub fn with_schema(schema: Schema) -> Self {
-        ObjectStore { schema, ..Self::default() }
+        ObjectStore {
+            schema,
+            ..Self::default()
+        }
     }
 
     /// The schema.
@@ -111,7 +114,10 @@ impl ObjectStore {
             return Err(StoreError::Unknown(format!("class {class}")));
         }
         let id = ObjId(self.objects.len() as u32);
-        self.objects.push(StoredObject { name: name.to_owned(), class: class.to_owned() });
+        self.objects.push(StoredObject {
+            name: name.to_owned(),
+            class: class.to_owned(),
+        });
         self.by_name.insert(name.to_owned(), id);
         self.by_class.entry(class.to_owned()).or_default().push(id);
         Ok(id)
@@ -158,7 +164,9 @@ impl ObjectStore {
 
     /// Remove one member from a set attribute; `true` if it was present.
     pub(crate) fn remove_set_member(&mut self, id: ObjId, attr: &str, value: &Value) -> bool {
-        self.sets.get_mut(&(id, attr.to_owned())).is_some_and(|s| s.remove(value))
+        self.sets
+            .get_mut(&(id, attr.to_owned()))
+            .is_some_and(|s| s.remove(value))
     }
 
     /// Remove an object record and all of its own attribute values.
@@ -187,7 +195,9 @@ impl ObjectStore {
     }
 
     fn attr_check(&self, id: ObjId, attr: &str, expected: AttrKind, value: &Value) -> Result<()> {
-        let obj = self.object(id).ok_or_else(|| StoreError::Unknown(format!("object #{id:?}")))?;
+        let obj = self
+            .object(id)
+            .ok_or_else(|| StoreError::Unknown(format!("object #{id:?}")))?;
         let Some(def) = self.schema.attr_def(attr) else {
             return Err(StoreError::Unknown(format!("attribute {attr}")));
         };
@@ -230,7 +240,9 @@ impl ObjectStore {
 
     /// Set a scalar attribute.
     pub fn set(&mut self, obj: &str, attr: &str, value: Value) -> Result<()> {
-        let id = self.id_of(obj).ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
+        let id = self
+            .id_of(obj)
+            .ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
         self.attr_check(id, attr, AttrKind::Scalar, &value)?;
         self.scalar.insert((id, attr.to_owned()), value);
         Ok(())
@@ -238,7 +250,9 @@ impl ObjectStore {
 
     /// Add a member to a set-valued attribute.
     pub fn add(&mut self, obj: &str, attr: &str, value: Value) -> Result<()> {
-        let id = self.id_of(obj).ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
+        let id = self
+            .id_of(obj)
+            .ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
         self.attr_check(id, attr, AttrKind::Set, &value)?;
         self.sets.entry((id, attr.to_owned())).or_default().insert(value);
         Ok(())
@@ -412,7 +426,10 @@ mod tests {
     fn schema_violations_are_rejected() {
         let mut db = small_company();
         // age is scalar, not set
-        assert!(matches!(db.add("e1", "age", Value::Int(31)), Err(StoreError::SchemaViolation(_))));
+        assert!(matches!(
+            db.add("e1", "age", Value::Int(31)),
+            Err(StoreError::SchemaViolation(_))
+        ));
         // cylinders is only defined for automobiles
         db.create("e2", "employee").unwrap();
         assert!(db.set("e2", "cylinders", Value::Int(4)).is_err());

@@ -25,7 +25,11 @@ pub enum DeleteMode {
 #[derive(Debug, Clone, PartialEq)]
 enum Change {
     /// A scalar attribute was set; `previous` restores the old state.
-    ScalarSet { obj: String, attr: String, previous: Option<Value> },
+    ScalarSet {
+        obj: String,
+        attr: String,
+        previous: Option<Value>,
+    },
     /// A member was added to a set attribute.
     SetAdded { obj: String, attr: String, value: Value },
     /// A member was removed from a set attribute.
@@ -37,14 +41,18 @@ enum Change {
 impl ObjectStore {
     /// Remove the value of a scalar attribute.  Returns the removed value.
     pub fn clear(&mut self, obj: &str, attr: &str) -> Result<Option<Value>> {
-        let id = self.id_of(obj).ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
+        let id = self
+            .id_of(obj)
+            .ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
         Ok(self.take_scalar(id, attr))
     }
 
     /// Remove one member from a set-valued attribute.  Returns `true` if the
     /// member was present.
     pub fn remove(&mut self, obj: &str, attr: &str, value: &Value) -> Result<bool> {
-        let id = self.id_of(obj).ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
+        let id = self
+            .id_of(obj)
+            .ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
         Ok(self.remove_set_member(id, attr, value))
     }
 
@@ -75,7 +83,9 @@ impl ObjectStore {
     /// values are removed first.  The object's own attribute values are
     /// always removed.
     pub fn delete_object(&mut self, name: &str, mode: DeleteMode) -> Result<()> {
-        let id = self.id_of(name).ok_or_else(|| StoreError::Unknown(format!("object {name}")))?;
+        let id = self
+            .id_of(name)
+            .ok_or_else(|| StoreError::Unknown(format!("object {name}")))?;
         let referrers = self.referrers_of(name);
         if !referrers.is_empty() {
             match mode {
@@ -113,7 +123,11 @@ impl ObjectStore {
     /// Start a transaction; mutations through it are undone on drop unless
     /// [`Transaction::commit`] is called.
     pub fn begin(&mut self) -> Transaction<'_> {
-        Transaction { store: self, log: Vec::new(), committed: false }
+        Transaction {
+            store: self,
+            log: Vec::new(),
+            committed: false,
+        }
     }
 }
 
@@ -135,7 +149,11 @@ impl<'a> Transaction<'a> {
     pub fn set(&mut self, obj: &str, attr: &str, value: Value) -> Result<()> {
         let previous = self.store.get(obj, attr).cloned();
         self.store.set(obj, attr, value)?;
-        self.log.push(Change::ScalarSet { obj: obj.to_owned(), attr: attr.to_owned(), previous });
+        self.log.push(Change::ScalarSet {
+            obj: obj.to_owned(),
+            attr: attr.to_owned(),
+            previous,
+        });
         Ok(())
     }
 
@@ -144,7 +162,11 @@ impl<'a> Transaction<'a> {
         let already = self.store.get_set(obj, attr).is_some_and(|vs| vs.contains(&value));
         self.store.add(obj, attr, value.clone())?;
         if !already {
-            self.log.push(Change::SetAdded { obj: obj.to_owned(), attr: attr.to_owned(), value });
+            self.log.push(Change::SetAdded {
+                obj: obj.to_owned(),
+                attr: attr.to_owned(),
+                value,
+            });
         }
         Ok(())
     }
@@ -153,7 +175,11 @@ impl<'a> Transaction<'a> {
     pub fn remove(&mut self, obj: &str, attr: &str, value: &Value) -> Result<bool> {
         let removed = self.store.remove(obj, attr, value)?;
         if removed {
-            self.log.push(Change::SetRemoved { obj: obj.to_owned(), attr: attr.to_owned(), value: value.clone() });
+            self.log.push(Change::SetRemoved {
+                obj: obj.to_owned(),
+                attr: attr.to_owned(),
+                value: value.clone(),
+            });
         }
         Ok(removed)
     }
@@ -162,7 +188,11 @@ impl<'a> Transaction<'a> {
     pub fn clear(&mut self, obj: &str, attr: &str) -> Result<Option<Value>> {
         let previous = self.store.clear(obj, attr)?;
         if let Some(previous) = previous.clone() {
-            self.log.push(Change::ScalarCleared { obj: obj.to_owned(), attr: attr.to_owned(), previous });
+            self.log.push(Change::ScalarCleared {
+                obj: obj.to_owned(),
+                attr: attr.to_owned(),
+                previous,
+            });
         }
         Ok(previous)
     }
@@ -195,7 +225,9 @@ impl Drop for Transaction<'_> {
                     let id = self.store.id_of(&obj).expect("object still exists during rollback");
                     match previous {
                         Some(v) => {
-                            self.store.set(&obj, &attr, v).expect("restoring a previously valid value");
+                            self.store
+                                .set(&obj, &attr, v)
+                                .expect("restoring a previously valid value");
                         }
                         None => {
                             self.store.take_scalar(id, &attr);
@@ -206,13 +238,22 @@ impl Drop for Transaction<'_> {
                     let id = self.store.id_of(&obj).expect("object still exists during rollback");
                     self.store.remove_set_member(id, &attr, &value);
                 }
-                Change::SetRemoved { obj, attr, value } | Change::ScalarCleared { obj, attr, previous: value } => {
+                Change::SetRemoved { obj, attr, value }
+                | Change::ScalarCleared {
+                    obj,
+                    attr,
+                    previous: value,
+                } => {
                     // re-adding / re-setting a previously valid value cannot fail
                     match self.store.schema().attr_def(&attr).map(|a| a.kind) {
-                        Some(crate::schema::AttrKind::Set) => {
-                            self.store.add(&obj, &attr, value).expect("restoring a previously valid member")
-                        }
-                        _ => self.store.set(&obj, &attr, value).expect("restoring a previously valid value"),
+                        Some(crate::schema::AttrKind::Set) => self
+                            .store
+                            .add(&obj, &attr, value)
+                            .expect("restoring a previously valid member"),
+                        _ => self
+                            .store
+                            .set(&obj, &attr, value)
+                            .expect("restoring a previously valid value"),
                     }
                 }
             }
@@ -265,7 +306,7 @@ mod tests {
         let mut db = sample();
         db.delete_object("a1", DeleteMode::Cascade).unwrap();
         assert!(db.id_of("a1").is_none());
-        assert!(db.get_set("e1", "vehicles").map_or(true, |vs| vs.is_empty()));
+        assert!(db.get_set("e1", "vehicles").is_none_or(|vs| vs.is_empty()));
         db.integrity_check().unwrap();
         // deleting the boss cascades the scalar reference away
         db.delete_object("e2", DeleteMode::Cascade).unwrap();
@@ -289,7 +330,7 @@ mod tests {
         }
         assert_eq!(db.get("e1", "age"), Some(&Value::Int(30)));
         assert_eq!(db.get("e2", "age"), None);
-        assert!(db.get_set("e2", "vehicles").map_or(true, |vs| vs.is_empty()));
+        assert!(db.get_set("e2", "vehicles").is_none_or(|vs| vs.is_empty()));
         assert!(db.get_set("e1", "vehicles").unwrap().contains(&Value::obj("a1")));
         assert_eq!(db.get("e1", "boss"), Some(&Value::obj("e2")));
         db.integrity_check().unwrap();

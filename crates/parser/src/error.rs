@@ -16,7 +16,11 @@ pub struct ParseError {
 impl ParseError {
     /// Construct an error at a position.
     pub fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
-        ParseError { message: message.into(), line, column }
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
     }
 }
 

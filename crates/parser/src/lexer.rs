@@ -90,7 +90,14 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(input: &'a str) -> Self {
-        Lexer { chars: input.chars().collect(), pos: 0, line: 1, column: 1, out: Vec::new(), _input: input }
+        Lexer {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            out: Vec::new(),
+            _input: input,
+        }
     }
 
     fn peek(&self, offset: usize) -> Option<char> {
@@ -255,9 +262,7 @@ impl<'a> Lexer<'a> {
                                 Some('\\') => s.push('\\'),
                                 Some('n') => s.push('\n'),
                                 Some('t') => s.push('\t'),
-                                Some(other) => {
-                                    return Err(self.error(format!("unknown escape sequence '\\{other}'")))
-                                }
+                                Some(other) => return Err(self.error(format!("unknown escape sequence '\\{other}'"))),
                                 None => return Err(self.error("unterminated string literal")),
                             },
                             Some(c) => s.push(c),
@@ -305,7 +310,8 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        s.parse::<i64>().map_err(|_| self.error(format!("integer literal '{s}' out of range")))
+        s.parse::<i64>()
+            .map_err(|_| self.error(format!("integer literal '{s}' out of range")))
     }
 }
 
@@ -326,7 +332,12 @@ mod tests {
     fn simple_path_and_terminator() {
         assert_eq!(
             toks("mary.spouse."),
-            vec![Token::Atom("mary".into()), Token::Dot, Token::Atom("spouse".into()), Token::End]
+            vec![
+                Token::Atom("mary".into()),
+                Token::Dot,
+                Token::Atom("spouse".into()),
+                Token::End
+            ]
         );
     }
 
@@ -334,7 +345,11 @@ mod tests {
     fn set_valued_dots() {
         assert_eq!(
             toks("p1..assistants"),
-            vec![Token::Atom("p1".into()), Token::DotDot, Token::Atom("assistants".into())]
+            vec![
+                Token::Atom("p1".into()),
+                Token::DotDot,
+                Token::Atom("assistants".into())
+            ]
         );
     }
 
@@ -379,7 +394,11 @@ mod tests {
     fn signature_arrows() {
         assert_eq!(
             toks("person[age => integer; kids =>> person]")[2..5].to_vec(),
-            vec![Token::Atom("age".into()), Token::SigArrow, Token::Atom("integer".into())]
+            vec![
+                Token::Atom("age".into()),
+                Token::SigArrow,
+                Token::Atom("integer".into())
+            ]
         );
         assert!(toks("a =>> b").contains(&Token::SigDoubleArrow));
     }
@@ -429,12 +448,15 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a % comment\nb # another\nc // third\nd"), vec![
-            Token::Atom("a".into()),
-            Token::Atom("b".into()),
-            Token::Atom("c".into()),
-            Token::Atom("d".into()),
-        ]);
+        assert_eq!(
+            toks("a % comment\nb # another\nc // third\nd"),
+            vec![
+                Token::Atom("a".into()),
+                Token::Atom("b".into()),
+                Token::Atom("c".into()),
+                Token::Atom("d".into()),
+            ]
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> Result<Self> {
-        Ok(Parser { tokens: tokenize(input)?, pos: 0 })
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -194,13 +197,23 @@ impl Parser {
                     self.bump();
                     let method = self.simple()?;
                     let args = self.optional_args()?;
-                    term = Term::Path(Box::new(Path { receiver: term, set_valued: false, method, args }));
+                    term = Term::Path(Box::new(Path {
+                        receiver: term,
+                        set_valued: false,
+                        method,
+                        args,
+                    }));
                 }
                 Some(Token::DotDot) => {
                     self.bump();
                     let method = self.simple()?;
                     let args = self.optional_args()?;
-                    term = Term::Path(Box::new(Path { receiver: term, set_valued: true, method, args }));
+                    term = Term::Path(Box::new(Path {
+                        receiver: term,
+                        set_valued: true,
+                        method,
+                        args,
+                    }));
                 }
                 Some(Token::Colon) => {
                     self.bump();
@@ -251,7 +264,9 @@ impl Parser {
                 self.expect(&Token::RParen, "')'")?;
                 Ok(Term::Paren(Box::new(inner)))
             }
-            other => Err(self.error(format!("expected a name, variable, integer, string or '(', found {other:?}"))),
+            other => Err(self.error(format!(
+                "expected a name, variable, integer, string or '(', found {other:?}"
+            ))),
         }
     }
 
@@ -318,7 +333,11 @@ impl Parser {
                 self.bump();
                 let value = self.term()?;
                 let method = check_method(self, first)?;
-                Ok(Filter { method, args, value: FilterValue::Scalar(value) })
+                Ok(Filter {
+                    method,
+                    args,
+                    value: FilterValue::Scalar(value),
+                })
             }
             Some(Token::DoubleArrow) => {
                 self.bump();
@@ -344,20 +363,32 @@ impl Parser {
                 self.bump();
                 let results = self.sig_results()?;
                 let method = check_method(self, first)?;
-                Ok(Filter { method, args, value: FilterValue::SigScalar(results) })
+                Ok(Filter {
+                    method,
+                    args,
+                    value: FilterValue::SigScalar(results),
+                })
             }
             Some(Token::SigDoubleArrow) => {
                 self.bump();
                 let results = self.sig_results()?;
                 let method = check_method(self, first)?;
-                Ok(Filter { method, args, value: FilterValue::SigSet(results) })
+                Ok(Filter {
+                    method,
+                    args,
+                    value: FilterValue::SigSet(results),
+                })
             }
             // Selector: `[Z]` abbreviates `[self -> Z]` (Section 4.1).
             _ => {
                 if !args.is_empty() {
                     return Err(self.error("an argument list must be followed by '->', '->>', '=>' or '=>>'"));
                 }
-                Ok(Filter { method: Term::name(SELF_METHOD), args: Vec::new(), value: FilterValue::Scalar(first) })
+                Ok(Filter {
+                    method: Term::name(SELF_METHOD),
+                    args: Vec::new(),
+                    value: FilterValue::Scalar(first),
+                })
             }
         }
     }
@@ -385,10 +416,16 @@ mod tests {
     #[test]
     fn parse_simple_paths() {
         assert_eq!(parse_term("mary.spouse").unwrap(), Term::name("mary").scalar("spouse"));
-        assert_eq!(parse_term("p1..assistants").unwrap(), Term::name("p1").set("assistants"));
+        assert_eq!(
+            parse_term("p1..assistants").unwrap(),
+            Term::name("p1").set("assistants")
+        );
         assert_eq!(
             parse_term("mary.spouse[boss -> mary].age").unwrap(),
-            Term::name("mary").scalar("spouse").filter(Filter::scalar("boss", "mary")).scalar("age")
+            Term::name("mary")
+                .scalar("spouse")
+                .filter(Filter::scalar("boss", "mary"))
+                .scalar("age")
         );
     }
 
@@ -406,13 +443,13 @@ mod tests {
 
     #[test]
     fn parse_example_2_1() {
-        let t = parse_term(
-            "X:employee[age->30; city->newYork]..vehicles:automobile[cylinders->4].color[Z]",
-        )
-        .unwrap();
+        let t = parse_term("X:employee[age->30; city->newYork]..vehicles:automobile[cylinders->4].color[Z]").unwrap();
         let expected = Term::var("X")
             .isa("employee")
-            .filters(vec![Filter::scalar("age", Term::int(30)), Filter::scalar("city", "newYork")])
+            .filters(vec![
+                Filter::scalar("age", Term::int(30)),
+                Filter::scalar("city", "newYork"),
+            ])
             .set("vehicles")
             .isa("automobile")
             .filter(Filter::scalar("cylinders", Term::int(4)))
@@ -424,7 +461,10 @@ mod tests {
     #[test]
     fn selector_is_sugar_for_self() {
         let t = parse_term("X..vehicles.color[Z]").unwrap();
-        assert_eq!(t, Term::var("X").set("vehicles").scalar("color").selector(Term::var("Z")));
+        assert_eq!(
+            t,
+            Term::var("X").set("vehicles").scalar("color").selector(Term::var("Z"))
+        );
     }
 
     #[test]

@@ -145,8 +145,12 @@ fn single_object(structure: &Structure, term: &Term, bindings: &Bindings, what: 
     let objects = valuate(structure, term, bindings)?;
     match objects.len() {
         1 => Ok(objects.into_iter().next().expect("len checked")),
-        0 => Err(ReactiveError::InvalidAction(format!("{what} `{term}` denotes no object"))),
-        n => Err(ReactiveError::InvalidAction(format!("{what} `{term}` denotes {n} objects, expected one"))),
+        0 => Err(ReactiveError::InvalidAction(format!(
+            "{what} `{term}` denotes no object"
+        ))),
+        n => Err(ReactiveError::InvalidAction(format!(
+            "{what} `{term}` denotes {n} objects, expected one"
+        ))),
     }
 }
 
@@ -158,7 +162,13 @@ mod tests {
 
     fn family() -> Structure {
         let mut s = Structure::new();
-        let (kids, age, mary, tim, tom) = (s.atom("kids"), s.atom("age"), s.atom("mary"), s.atom("tim"), s.atom("tom"));
+        let (kids, age, mary, tim, tom) = (
+            s.atom("kids"),
+            s.atom("age"),
+            s.atom("mary"),
+            s.atom("tim"),
+            s.atom("tom"),
+        );
         let thirty = s.int(30);
         s.assert_scalar(age, mary, &[], thirty).unwrap();
         s.assert_set_member(kids, mary, &[], tim);
@@ -169,7 +179,9 @@ mod tests {
     #[test]
     fn assert_actions_add_facts_and_virtual_objects() {
         let mut s = family();
-        let term = Term::name("mary").scalar("address").filter(Filter::scalar("city", Term::name("newYork")));
+        let term = Term::name("mary")
+            .scalar("address")
+            .filter(Filter::scalar("city", Term::name("newYork")));
         let effect = apply_action(&mut s, &Action::Assert(term), &Bindings::new(), true).unwrap();
         assert_eq!(effect.virtual_objects, 1);
         assert_eq!(effect.asserted, 2);
@@ -214,8 +226,13 @@ mod tests {
     #[test]
     fn retracting_a_bare_path_is_rejected() {
         let mut s = family();
-        let err = apply_action(&mut s, &Action::Retract(Term::name("mary").scalar("age")), &Bindings::new(), true)
-            .unwrap_err();
+        let err = apply_action(
+            &mut s,
+            &Action::Retract(Term::name("mary").scalar("age")),
+            &Bindings::new(),
+            true,
+        )
+        .unwrap_err();
         assert!(matches!(err, ReactiveError::InvalidAction(_)));
     }
 
@@ -244,8 +261,16 @@ mod tests {
     fn effects_accumulate() {
         let mut total = ActionEffect::default();
         assert!(!total.changed());
-        total.absorb(ActionEffect { asserted: 2, retracted: 1, virtual_objects: 1 });
-        total.absorb(ActionEffect { asserted: 1, retracted: 0, virtual_objects: 0 });
+        total.absorb(ActionEffect {
+            asserted: 2,
+            retracted: 1,
+            virtual_objects: 1,
+        });
+        total.absorb(ActionEffect {
+            asserted: 1,
+            retracted: 0,
+            virtual_objects: 0,
+        });
         assert_eq!(total.asserted, 3);
         assert_eq!(total.retracted, 1);
         assert_eq!(total.virtual_objects, 1);

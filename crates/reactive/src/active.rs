@@ -119,13 +119,25 @@ pub enum EcaAction {
 impl fmt::Display for EcaAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EcaAction::AssertScalar { receiver, method, value } => write!(f, "assert {receiver}[{method} -> {value}]"),
-            EcaAction::AddSetMember { receiver, method, member } => {
+            EcaAction::AssertScalar {
+                receiver,
+                method,
+                value,
+            } => write!(f, "assert {receiver}[{method} -> {value}]"),
+            EcaAction::AddSetMember {
+                receiver,
+                method,
+                member,
+            } => {
                 write!(f, "assert {receiver}[{method} ->> {{{member}}}]")
             }
             EcaAction::AddIsA { object, class } => write!(f, "assert {object} : {class}"),
             EcaAction::RetractScalar { receiver, method } => write!(f, "retract {receiver}.{method}"),
-            EcaAction::RemoveSetMember { receiver, method, member } => {
+            EcaAction::RemoveSetMember {
+                receiver,
+                method,
+                member,
+            } => {
                 write!(f, "retract {member} from {receiver}..{method}")
             }
         }
@@ -151,7 +163,13 @@ pub struct EcaRule {
 impl EcaRule {
     /// A rule with priority 0.
     pub fn new(name: impl Into<String>, event: Event, condition: Vec<Literal>, actions: Vec<EcaAction>) -> Self {
-        EcaRule { name: name.into(), event, condition, actions, priority: 0 }
+        EcaRule {
+            name: name.into(),
+            event,
+            condition,
+            actions,
+            priority: 0,
+        }
     }
 
     /// Set the priority.
@@ -197,7 +215,10 @@ pub struct ActiveOptions {
 
 impl Default for ActiveOptions {
     fn default() -> Self {
-        ActiveOptions { max_cascade_depth: 32, max_total_firings: 100_000 }
+        ActiveOptions {
+            max_cascade_depth: 32,
+            max_total_firings: 100_000,
+        }
     }
 }
 
@@ -223,12 +244,20 @@ pub struct ActiveStore {
 impl ActiveStore {
     /// Wrap an existing structure.
     pub fn new(structure: Structure) -> Self {
-        ActiveStore { structure, rules: Vec::new(), options: ActiveOptions::default() }
+        ActiveStore {
+            structure,
+            rules: Vec::new(),
+            options: ActiveOptions::default(),
+        }
     }
 
     /// Wrap a structure with the given options.
     pub fn with_options(structure: Structure, options: ActiveOptions) -> Self {
-        ActiveStore { structure, rules: Vec::new(), options }
+        ActiveStore {
+            structure,
+            rules: Vec::new(),
+            options,
+        }
     }
 
     /// Register a trigger.
@@ -267,7 +296,15 @@ impl ActiveStore {
     /// Assert a scalar fact, firing matching triggers.
     pub fn assert_scalar(&mut self, method: Oid, receiver: Oid, result: Oid) -> Result<ActiveStats> {
         let mut stats = ActiveStats::default();
-        self.mutate(Mutation::AssertScalar { method, receiver, result }, 0, &mut stats)?;
+        self.mutate(
+            Mutation::AssertScalar {
+                method,
+                receiver,
+                result,
+            },
+            0,
+            &mut stats,
+        )?;
         Ok(stats)
     }
 
@@ -281,14 +318,30 @@ impl ActiveStore {
     /// Add a set member, firing matching triggers.
     pub fn add_set_member(&mut self, method: Oid, receiver: Oid, member: Oid) -> Result<ActiveStats> {
         let mut stats = ActiveStats::default();
-        self.mutate(Mutation::AddSetMember { method, receiver, member }, 0, &mut stats)?;
+        self.mutate(
+            Mutation::AddSetMember {
+                method,
+                receiver,
+                member,
+            },
+            0,
+            &mut stats,
+        )?;
         Ok(stats)
     }
 
     /// Remove a set member, firing matching triggers.
     pub fn remove_set_member(&mut self, method: Oid, receiver: Oid, member: Oid) -> Result<ActiveStats> {
         let mut stats = ActiveStats::default();
-        self.mutate(Mutation::RemoveSetMember { method, receiver, member }, 0, &mut stats)?;
+        self.mutate(
+            Mutation::RemoveSetMember {
+                method,
+                receiver,
+                member,
+            },
+            0,
+            &mut stats,
+        )?;
         Ok(stats)
     }
 
@@ -312,21 +365,47 @@ impl ActiveStore {
 
         // 1. Apply the primitive mutation; only real changes raise events.
         let (changed, seed, watched) = match mutation {
-            Mutation::AssertScalar { method, receiver, result } => {
+            Mutation::AssertScalar {
+                method,
+                receiver,
+                result,
+            } => {
                 let changed = self.structure.assert_scalar(method, receiver, &[], result)?.is_new();
-                (changed, seed_scalar(receiver, result), (EventKind::ScalarAsserted, method))
+                (
+                    changed,
+                    seed_scalar(receiver, result),
+                    (EventKind::ScalarAsserted, method),
+                )
             }
-            Mutation::RetractScalar { method, receiver } => match self.structure.retract_scalar(method, receiver, &[]) {
-                Some(old) => (true, seed_scalar(receiver, old), (EventKind::ScalarRetracted, method)),
-                None => (false, Bindings::new(), (EventKind::ScalarRetracted, method)),
-            },
-            Mutation::AddSetMember { method, receiver, member } => {
+            Mutation::RetractScalar { method, receiver } => {
+                match self.structure.retract_scalar(method, receiver, &[]) {
+                    Some(old) => (true, seed_scalar(receiver, old), (EventKind::ScalarRetracted, method)),
+                    None => (false, Bindings::new(), (EventKind::ScalarRetracted, method)),
+                }
+            }
+            Mutation::AddSetMember {
+                method,
+                receiver,
+                member,
+            } => {
                 let changed = self.structure.assert_set_member(method, receiver, &[], member).is_new();
-                (changed, seed_member(receiver, member), (EventKind::SetMemberAdded, method))
+                (
+                    changed,
+                    seed_member(receiver, member),
+                    (EventKind::SetMemberAdded, method),
+                )
             }
-            Mutation::RemoveSetMember { method, receiver, member } => {
+            Mutation::RemoveSetMember {
+                method,
+                receiver,
+                member,
+            } => {
                 let changed = self.structure.retract_set_member(method, receiver, &[], member);
-                (changed, seed_member(receiver, member), (EventKind::SetMemberRemoved, method))
+                (
+                    changed,
+                    seed_member(receiver, member),
+                    (EventKind::SetMemberRemoved, method),
+                )
             }
             Mutation::AddIsA { object, class } => {
                 let changed = self.structure.add_isa(object, class);
@@ -375,12 +454,20 @@ impl ActiveStore {
     /// Evaluate an action template into a primitive mutation.
     fn compile_action(&mut self, action: &EcaAction, bindings: &Bindings) -> Result<Mutation> {
         Ok(match action {
-            EcaAction::AssertScalar { receiver, method, value } => Mutation::AssertScalar {
+            EcaAction::AssertScalar {
+                receiver,
+                method,
+                value,
+            } => Mutation::AssertScalar {
                 method: self.structure.ensure_name(method),
                 receiver: self.single(receiver, bindings, "action receiver")?,
                 result: self.single(value, bindings, "action value")?,
             },
-            EcaAction::AddSetMember { receiver, method, member } => Mutation::AddSetMember {
+            EcaAction::AddSetMember {
+                receiver,
+                method,
+                member,
+            } => Mutation::AddSetMember {
                 method: self.structure.ensure_name(method),
                 receiver: self.single(receiver, bindings, "action receiver")?,
                 member: self.single(member, bindings, "action member")?,
@@ -393,7 +480,11 @@ impl ActiveStore {
                 method: self.structure.ensure_name(method),
                 receiver: self.single(receiver, bindings, "action receiver")?,
             },
-            EcaAction::RemoveSetMember { receiver, method, member } => Mutation::RemoveSetMember {
+            EcaAction::RemoveSetMember {
+                receiver,
+                method,
+                member,
+            } => Mutation::RemoveSetMember {
                 method: self.structure.ensure_name(method),
                 receiver: self.single(receiver, bindings, "action receiver")?,
                 member: self.single(member, bindings, "action member")?,
@@ -409,8 +500,12 @@ impl ActiveStore {
         let objects = valuate(&self.structure, term, bindings)?;
         match objects.len() {
             1 => Ok(objects.into_iter().next().expect("len checked")),
-            0 => Err(ReactiveError::InvalidAction(format!("{what} `{term}` denotes no object"))),
-            n => Err(ReactiveError::InvalidAction(format!("{what} `{term}` denotes {n} objects, expected one"))),
+            0 => Err(ReactiveError::InvalidAction(format!(
+                "{what} `{term}` denotes no object"
+            ))),
+            n => Err(ReactiveError::InvalidAction(format!(
+                "{what} `{term}` denotes {n} objects, expected one"
+            ))),
         }
     }
 }
@@ -482,7 +577,10 @@ mod tests {
             "mark-paid",
             Event::ScalarAsserted(Name::atom("salary")),
             vec![Literal::pos(Term::var("Receiver").isa("employee"))],
-            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("paid") }],
+            vec![EcaAction::AddIsA {
+                object: Term::var("Receiver"),
+                class: Name::atom("paid"),
+            }],
         ));
         let (salary, mary) = (store.oid("salary"), store.oid("mary"));
         let amount = store.int(1200);
@@ -503,7 +601,10 @@ mod tests {
             "mark-paid",
             Event::ScalarAsserted(Name::atom("salary")),
             vec![Literal::pos(Term::var("Receiver").isa("employee"))],
-            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("paid") }],
+            vec![EcaAction::AddIsA {
+                object: Term::var("Receiver"),
+                class: Name::atom("paid"),
+            }],
         ));
         let salary = store.oid("salary");
         let amount = store.int(900);
@@ -519,7 +620,10 @@ mod tests {
             "watch",
             Event::SetMemberAdded(Name::atom("vehicles")),
             vec![],
-            vec![EcaAction::AddIsA { object: Term::var("Member"), class: Name::atom("seen") }],
+            vec![EcaAction::AddIsA {
+                object: Term::var("Member"),
+                class: Name::atom("seen"),
+            }],
         ));
         let (vehicles, mary, a1) = (store.oid("vehicles"), store.oid("mary"), store.oid("a1"));
         assert_eq!(store.add_set_member(vehicles, mary, a1).unwrap().firings, 1);
@@ -546,7 +650,10 @@ mod tests {
             "audit",
             Event::ScalarAsserted(Name::atom("bonusBase")),
             vec![],
-            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("audited") }],
+            vec![EcaAction::AddIsA {
+                object: Term::var("Receiver"),
+                class: Name::atom("audited"),
+            }],
         ));
         let (salary, mary) = (store.oid("salary"), store.oid("mary"));
         let amount = store.int(2000);
@@ -629,17 +736,23 @@ mod tests {
 
     #[test]
     fn infinite_cascades_hit_the_depth_limit() {
-        let mut store = ActiveStore::with_options(Structure::new(), ActiveOptions {
-            max_cascade_depth: 8,
-            ..ActiveOptions::default()
-        });
+        let mut store = ActiveStore::with_options(
+            Structure::new(),
+            ActiveOptions {
+                max_cascade_depth: 8,
+                ..ActiveOptions::default()
+            },
+        );
         // Each ping asserts a pong and vice versa, with ever-changing values
         // (the value is the receiver, swapped), so the cascade never quiesces.
         store.add_rule(EcaRule::new(
             "ping",
             Event::ScalarAsserted(Name::atom("ping")),
             vec![],
-            vec![EcaAction::RetractScalar { receiver: Term::var("Receiver"), method: Name::atom("ping") }],
+            vec![EcaAction::RetractScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("ping"),
+            }],
         ));
         store.add_rule(EcaRule::new(
             "pong",
@@ -664,7 +777,10 @@ mod tests {
                 "second",
                 Event::ScalarAsserted(Name::atom("salary")),
                 vec![Literal::pos(Term::var("Receiver").isa("vip"))],
-                vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("doubleChecked") }],
+                vec![EcaAction::AddIsA {
+                    object: Term::var("Receiver"),
+                    class: Name::atom("doubleChecked"),
+                }],
             )
             .with_priority(1),
         );
@@ -673,7 +789,10 @@ mod tests {
                 "first",
                 Event::ScalarAsserted(Name::atom("salary")),
                 vec![],
-                vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("vip") }],
+                vec![EcaAction::AddIsA {
+                    object: Term::var("Receiver"),
+                    class: Name::atom("vip"),
+                }],
             )
             .with_priority(10),
         );
@@ -694,15 +813,21 @@ mod tests {
             "mark-paid",
             Event::ScalarAsserted(Name::atom("salary")),
             vec![Literal::pos(Term::var("Receiver").isa("employee"))],
-            vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("paid") }],
+            vec![EcaAction::AddIsA {
+                object: Term::var("Receiver"),
+                class: Name::atom("paid"),
+            }],
         );
         let text = rule.to_string();
         assert!(text.contains("on assert salary ->"));
         assert!(text.contains("IF Receiver : employee"));
         assert!(text.contains("DO assert Receiver : paid"));
         assert_eq!(Event::SetMemberAdded(Name::atom("kids")).name(), &Name::atom("kids"));
-        assert!(EcaAction::RetractScalar { receiver: Term::var("X"), method: Name::atom("age") }
-            .to_string()
-            .contains("retract X.age"));
+        assert!(EcaAction::RetractScalar {
+            receiver: Term::var("X"),
+            method: Name::atom("age")
+        }
+        .to_string()
+        .contains("retract X.age"));
     }
 }

@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn display_names_the_kind() {
-        assert!(ReactiveError::InvalidAction("x".into()).to_string().contains("invalid action"));
+        assert!(ReactiveError::InvalidAction("x".into())
+            .to_string()
+            .contains("invalid action"));
         assert!(ReactiveError::LimitExceeded("x".into()).to_string().contains("limit"));
         assert!(ReactiveError::Evaluation("x".into()).to_string().contains("evaluation"));
     }

@@ -55,7 +55,12 @@ pub struct ProductionRule {
 impl ProductionRule {
     /// A rule with priority 0.
     pub fn new(name: impl Into<String>, condition: Vec<Literal>, actions: Vec<Action>) -> Self {
-        ProductionRule { name: name.into(), priority: 0, condition, actions }
+        ProductionRule {
+            name: name.into(),
+            priority: 0,
+            condition,
+            actions,
+        }
     }
 
     /// Set the priority.
@@ -150,7 +155,10 @@ impl ProductionEngine {
 
     /// An engine with the given options.
     pub fn with_options(options: ProductionOptions) -> Self {
-        ProductionEngine { rules: Vec::new(), options }
+        ProductionEngine {
+            rules: Vec::new(),
+            options,
+        }
     }
 
     /// Add a rule; rules keep their definition order.
@@ -228,7 +236,11 @@ impl ProductionEngine {
             }
             stats.firings += 1;
             let key = instantiation_key(&bindings);
-            trace.push(Firing { cycle: stats.cycles, rule: rule.name.clone(), bindings: key.clone() });
+            trace.push(Firing {
+                cycle: stats.cycles,
+                rule: rule.name.clone(),
+                bindings: key.clone(),
+            });
             if self.options.refractory {
                 fired.insert((index, key));
             }
@@ -354,7 +366,9 @@ mod tests {
         // IF X : employee[salary -> S], S.lt@(1000) THEN
         //   retract X[salary -> S]; assert X[salary -> 1000]   (raise to minimum wage)
         let condition = vec![
-            lit(Term::var("X").isa("employee").filter(Filter::scalar("salary", Term::var("S")))),
+            lit(Term::var("X")
+                .isa("employee")
+                .filter(Filter::scalar("salary", Term::var("S")))),
             lit(Term::var("S").scalar_args("lt", vec![Term::int(1000)])),
         ];
         engine.add_rule(ProductionRule::new(

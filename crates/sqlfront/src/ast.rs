@@ -53,7 +53,10 @@ pub enum SqlExpr {
 impl SqlExpr {
     /// `true` for names, variables and literals.
     pub fn is_simple(&self) -> bool {
-        matches!(self, SqlExpr::Name(_) | SqlExpr::Var(_) | SqlExpr::Int(_) | SqlExpr::Str(_))
+        matches!(
+            self,
+            SqlExpr::Name(_) | SqlExpr::Var(_) | SqlExpr::Int(_) | SqlExpr::Str(_)
+        )
     }
 
     /// All variables occurring in the expression, in order of first occurrence.
@@ -103,7 +106,12 @@ impl fmt::Display for SqlExpr {
             SqlExpr::Int(i) => write!(f, "{i}"),
             SqlExpr::Str(s) => write!(f, "'{s}'"),
             SqlExpr::Paren(e) => write!(f, "({e})"),
-            SqlExpr::Step { recv, method, args, explicit_set } => {
+            SqlExpr::Step {
+                recv,
+                method,
+                args,
+                explicit_set,
+            } => {
                 write!(f, "{recv}{}{method}", if *explicit_set { ".." } else { "." })?;
                 if !args.is_empty() {
                     write!(f, "@(")?;
@@ -292,7 +300,11 @@ impl fmt::Display for CreateView {
             }
             write!(f, "{a} = {e}")?;
         }
-        write!(f, " FROM {} {} OID FUNCTION OF {}", self.source_class, self.var, self.oid_of)?;
+        write!(
+            f,
+            " FROM {} {} OID FUNCTION OF {}",
+            self.source_class, self.var, self.oid_of
+        )?;
         if !self.conditions.is_empty() {
             write!(f, " WHERE ")?;
             for (i, c) in self.conditions.iter().enumerate() {
@@ -333,7 +345,12 @@ mod tests {
     }
 
     fn step(recv: SqlExpr, m: &str) -> SqlExpr {
-        SqlExpr::Step { recv: Box::new(recv), method: m.into(), args: vec![], explicit_set: false }
+        SqlExpr::Step {
+            recv: Box::new(recv),
+            method: m.into(),
+            args: vec![],
+            explicit_set: false,
+        }
     }
 
     #[test]
@@ -345,7 +362,11 @@ mod tests {
         assert_eq!(e.to_string(), "X.vehicles.color[Z]");
         let filtered = SqlExpr::Filtered {
             recv: Box::new(step(var("X"), "vehicles")),
-            filters: vec![SqlFilter { method: "cylinders".into(), args: vec![], value: SqlExpr::Int(4) }],
+            filters: vec![SqlFilter {
+                method: "cylinders".into(),
+                args: vec![],
+                value: SqlExpr::Int(4),
+            }],
         };
         assert_eq!(filtered.to_string(), "X.vehicles[cylinders -> 4]");
     }
@@ -357,21 +378,35 @@ mod tests {
             selector: Box::new(var("Z")),
         };
         assert_eq!(e.variables(), vec!["X".to_string(), "Z".to_string()]);
-        assert!(e.is_simple() == false);
+        assert!(!e.is_simple());
         assert!(var("X").is_simple());
     }
 
     #[test]
     fn select_query_renders_round_trippable_text() {
         let q = SelectQuery {
-            select: vec![SelectItem { label: None, expr: var("Z") }],
+            select: vec![SelectItem {
+                label: None,
+                expr: var("Z"),
+            }],
             from: vec![
-                FromRange { var: "X".into(), source: SqlExpr::Name("employee".into()), xsql_style: false },
-                FromRange { var: "Y".into(), source: step(var("X"), "vehicles"), xsql_style: false },
+                FromRange {
+                    var: "X".into(),
+                    source: SqlExpr::Name("employee".into()),
+                    xsql_style: false,
+                },
+                FromRange {
+                    var: "Y".into(),
+                    source: step(var("X"), "vehicles"),
+                    xsql_style: false,
+                },
             ],
             conditions: vec![Condition::In(var("Y"), SqlExpr::Name("automobile".into()))],
         };
-        assert_eq!(q.to_string(), "SELECT Z FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile");
+        assert_eq!(
+            q.to_string(),
+            "SELECT Z FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile"
+        );
     }
 
     #[test]
@@ -395,16 +430,30 @@ mod tests {
 
     #[test]
     fn select_item_column_names_default_to_the_expression() {
-        let plain = SelectItem { label: None, expr: step(var("Y"), "color") };
+        let plain = SelectItem {
+            label: None,
+            expr: step(var("Y"), "color"),
+        };
         assert_eq!(plain.column_name(), "Y.color");
-        let labelled = SelectItem { label: Some("colour".into()), expr: var("Z") };
+        let labelled = SelectItem {
+            label: Some("colour".into()),
+            expr: var("Z"),
+        };
         assert_eq!(labelled.column_name(), "colour");
     }
 
     #[test]
     fn from_range_styles_print_differently() {
-        let o2 = FromRange { var: "X".into(), source: SqlExpr::Name("employee".into()), xsql_style: false };
-        let xsql = FromRange { var: "X".into(), source: SqlExpr::Name("employee".into()), xsql_style: true };
+        let o2 = FromRange {
+            var: "X".into(),
+            source: SqlExpr::Name("employee".into()),
+            xsql_style: false,
+        };
+        let xsql = FromRange {
+            var: "X".into(),
+            source: SqlExpr::Name("employee".into()),
+            xsql_style: true,
+        };
         assert_eq!(o2.to_string(), "X IN employee");
         assert_eq!(xsql.to_string(), "employee X");
     }

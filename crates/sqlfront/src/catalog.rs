@@ -31,7 +31,9 @@ impl Catalog {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Catalog { set_valued: attrs.into_iter().map(Into::into).collect() }
+        Catalog {
+            set_valued: attrs.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Derive the catalog from an OODB schema.

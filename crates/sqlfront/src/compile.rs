@@ -94,7 +94,10 @@ impl<'a> Compiler<'a> {
                 }
             }
         }
-        Ok(CompiledQuery { query: Query::new(order_body(body)), columns })
+        Ok(CompiledQuery {
+            query: Query::new(order_body(body)),
+            columns,
+        })
     }
 
     /// Compile a `CREATE VIEW` into the PathLog rule that defines the view
@@ -111,8 +114,12 @@ impl<'a> Compiler<'a> {
         for (attr, expr) in &view.attributes {
             filters.push(Filter::scalar(Term::name(normalise(attr)), self.term(expr)?));
         }
-        let head = Term::var(view.var.clone()).scalar(Term::name(normalise(&view.name))).filters(filters);
-        let mut body = vec![Literal::pos(Term::var(view.var.clone()).isa(Term::name(normalise(&view.source_class))))];
+        let head = Term::var(view.var.clone())
+            .scalar(Term::name(normalise(&view.name)))
+            .filters(filters);
+        let mut body = vec![Literal::pos(
+            Term::var(view.var.clone()).isa(Term::name(normalise(&view.source_class))),
+        )];
         for condition in &view.conditions {
             body.push(self.condition(condition)?);
         }
@@ -122,9 +129,9 @@ impl<'a> Compiler<'a> {
     /// Compile one FROM range into a body literal.
     fn range(&mut self, range: &FromRange) -> Result<Literal> {
         match &range.source {
-            SqlExpr::Name(class) => {
-                Ok(Literal::pos(Term::var(range.var.clone()).isa(Term::name(normalise(class)))))
-            }
+            SqlExpr::Name(class) => Ok(Literal::pos(
+                Term::var(range.var.clone()).isa(Term::name(normalise(class))),
+            )),
             source => {
                 let term = self.term(source)?;
                 Ok(Literal::pos(term.selector(Term::var(range.var.clone()))))
@@ -166,7 +173,12 @@ impl<'a> Compiler<'a> {
             SqlExpr::Int(i) => Term::int(*i),
             SqlExpr::Str(s) => Term::string(s.clone()),
             SqlExpr::Paren(e) => self.term(e)?.paren(),
-            SqlExpr::Step { recv, method, args, explicit_set } => {
+            SqlExpr::Step {
+                recv,
+                method,
+                args,
+                explicit_set,
+            } => {
                 let recv = self.term(recv)?;
                 let args = args.iter().map(|a| self.term(a)).collect::<Result<Vec<_>>>()?;
                 let method_term = Term::name(normalise(method));
@@ -185,7 +197,8 @@ impl<'a> Compiler<'a> {
                 let mut compiled = Vec::with_capacity(filters.len());
                 for f in filters {
                     let args = f.args.iter().map(|a| self.term(a)).collect::<Result<Vec<_>>>()?;
-                    compiled.push(Filter::scalar(Term::name(normalise(&f.method)), self.term(&f.value)?).with_args(args));
+                    compiled
+                        .push(Filter::scalar(Term::name(normalise(&f.method)), self.term(&f.value)?).with_args(args));
                 }
                 recv.filters(compiled)
             }
@@ -246,7 +259,9 @@ pub fn compile_statement(sql: &str, catalog: &Catalog) -> Result<Compiled> {
 pub fn compile_query(sql: &str, catalog: &Catalog) -> Result<CompiledQuery> {
     match compile_statement(sql, catalog)? {
         Compiled::Query(q) => Ok(q),
-        Compiled::Rule(_) => Err(SqlError::message("expected a SELECT query, found a CREATE VIEW statement")),
+        Compiled::Rule(_) => Err(SqlError::message(
+            "expected a SELECT query, found a CREATE VIEW statement",
+        )),
     }
 }
 
@@ -264,9 +279,7 @@ mod tests {
 
     #[test]
     fn query_1_1_compiles_to_the_pathlog_formulation() {
-        let q = compile(
-            "SELECT Y.color FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile",
-        );
+        let q = compile("SELECT Y.color FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile");
         let text = q.pathlog_text();
         assert!(text.contains("X : employee"), "{text}");
         assert!(text.contains("X..vehicles[self -> Y]"), "{text}");
@@ -348,7 +361,9 @@ mod tests {
             &catalog(),
         )
         .unwrap();
-        let Compiled::Rule(rule) = compiled else { panic!("expected a rule") };
+        let Compiled::Rule(rule) = compiled else {
+            panic!("expected a rule")
+        };
         let text = rule.to_string();
         assert!(text.starts_with("X.employeeBoss[worksFor -> D] <- "), "{text}");
         assert!(text.contains("X : employee"), "{text}");
@@ -384,7 +399,11 @@ mod tests {
     #[test]
     fn method_arguments_are_preserved() {
         let q = compile("SELECT S FROM X IN employee WHERE X.salary@(1994)[S]");
-        assert!(q.pathlog_text().contains("X.salary@(1994)[self -> S]"), "{}", q.pathlog_text());
+        assert!(
+            q.pathlog_text().contains("X.salary@(1994)[self -> S]"),
+            "{}",
+            q.pathlog_text()
+        );
     }
 
     #[test]

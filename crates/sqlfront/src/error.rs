@@ -16,12 +16,20 @@ pub struct SqlError {
 impl SqlError {
     /// An error at a known position.
     pub fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
-        SqlError { message: message.into(), line, column }
+        SqlError {
+            message: message.into(),
+            line,
+            column,
+        }
     }
 
     /// An error without position information (compilation-stage errors).
     pub fn message(message: impl Into<String>) -> Self {
-        SqlError { message: message.into(), line: 0, column: 0 }
+        SqlError {
+            message: message.into(),
+            line: 0,
+            column: 0,
+        }
     }
 }
 

@@ -60,7 +60,12 @@ pub fn execute_query(structure: &Structure, compiled: &CompiledQuery) -> Result<
         let row: Vec<String> = compiled
             .columns
             .iter()
-            .map(|(_, var)| bindings.get(var).map(|o| structure.display_name(o)).unwrap_or_else(|| "?".to_string()))
+            .map(|(_, var)| {
+                bindings
+                    .get(var)
+                    .map(|o| structure.display_name(o))
+                    .unwrap_or_else(|| "?".to_string())
+            })
             .collect();
         rows.insert(row);
     }
@@ -173,7 +178,9 @@ mod tests {
             &catalog,
         )
         .unwrap();
-        let StatementResult::Rows { rows, .. } = &results[0] else { panic!("expected rows") };
+        let StatementResult::Rows { rows, .. } = &results[0] else {
+            panic!("expected rows")
+        };
         assert_eq!(rows, &vec![vec!["frank".to_string()]]);
     }
 
@@ -188,13 +195,20 @@ mod tests {
         )
         .unwrap();
         assert_eq!(results.len(), 2);
-        let StatementResult::ViewDefined { virtual_objects, derived_facts, rule } = &results[0] else {
+        let StatementResult::ViewDefined {
+            virtual_objects,
+            derived_facts,
+            rule,
+        } = &results[0]
+        else {
             panic!("expected a view definition");
         };
         assert_eq!(*virtual_objects, 2, "one view object per employee");
         assert!(*derived_facts >= 2);
         assert!(rule.contains("X.employeeBoss[worksFor -> D]"));
-        let StatementResult::Rows { rows, columns } = &results[1] else { panic!("expected rows") };
+        let StatementResult::Rows { rows, columns } = &results[1] else {
+            panic!("expected rows")
+        };
         assert_eq!(columns, &vec!["X".to_string(), "D".to_string()]);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r[1] == "dept1"));
@@ -223,6 +237,10 @@ mod tests {
         let (structure, catalog) = company();
         let q = crate::compile::compile_query("SELECT D FROM X IN employee WHERE X.worksFor[D]", &catalog).unwrap();
         let (_, rows) = execute_query(&structure, &q).unwrap();
-        assert_eq!(rows, vec![vec!["dept1".to_string()]], "both employees map to the same department");
+        assert_eq!(
+            rows,
+            vec![vec!["dept1".to_string()]],
+            "both employees map to the same department"
+        );
     }
 }

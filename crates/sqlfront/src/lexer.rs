@@ -115,7 +115,11 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
 
     macro_rules! push {
         ($tok:expr, $col:expr) => {
-            tokens.push(SpannedToken { token: $tok, line, column: $col })
+            tokens.push(SpannedToken {
+                token: $tok,
+                line,
+                column: $col,
+            })
         };
     }
 
@@ -237,9 +241,9 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
                         break;
                     }
                 }
-                let parsed = value
-                    .parse::<i64>()
-                    .map_err(|_| SqlError::new(format!("integer literal `{value}` is out of range"), line, start_col))?;
+                let parsed = value.parse::<i64>().map_err(|_| {
+                    SqlError::new(format!("integer literal `{value}` is out of range"), line, start_col)
+                })?;
                 push!(SqlToken::Int(parsed), start_col);
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -262,7 +266,11 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
                 }
             }
             other => {
-                return Err(SqlError::new(format!("unexpected character `{other}`"), line, start_col));
+                return Err(SqlError::new(
+                    format!("unexpected character `{other}`"),
+                    line,
+                    start_col,
+                ));
             }
         }
     }
@@ -279,69 +287,106 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(kinds("select SELECT Select"), vec![SqlToken::Select, SqlToken::Select, SqlToken::Select]);
-        assert_eq!(kinds("from where in and"), vec![SqlToken::From, SqlToken::Where, SqlToken::In, SqlToken::And]);
+        assert_eq!(
+            kinds("select SELECT Select"),
+            vec![SqlToken::Select, SqlToken::Select, SqlToken::Select]
+        );
+        assert_eq!(
+            kinds("from where in and"),
+            vec![SqlToken::From, SqlToken::Where, SqlToken::In, SqlToken::And]
+        );
         assert_eq!(
             kinds("create view oid function of"),
-            vec![SqlToken::Create, SqlToken::View, SqlToken::Oid, SqlToken::Function, SqlToken::Of]
+            vec![
+                SqlToken::Create,
+                SqlToken::View,
+                SqlToken::Oid,
+                SqlToken::Function,
+                SqlToken::Of
+            ]
         );
     }
 
     #[test]
     fn identifier_case_selects_variable_or_name() {
-        assert_eq!(kinds("employee X color Z2"), vec![
-            SqlToken::Ident("employee".into()),
-            SqlToken::Var("X".into()),
-            SqlToken::Ident("color".into()),
-            SqlToken::Var("Z2".into()),
-        ]);
+        assert_eq!(
+            kinds("employee X color Z2"),
+            vec![
+                SqlToken::Ident("employee".into()),
+                SqlToken::Var("X".into()),
+                SqlToken::Ident("color".into()),
+                SqlToken::Var("Z2".into()),
+            ]
+        );
     }
 
     #[test]
     fn punctuation_and_paths() {
-        assert_eq!(kinds("X.vehicles[Y].color[Z]"), vec![
-            SqlToken::Var("X".into()),
-            SqlToken::Dot,
-            SqlToken::Ident("vehicles".into()),
-            SqlToken::LBracket,
-            SqlToken::Var("Y".into()),
-            SqlToken::RBracket,
-            SqlToken::Dot,
-            SqlToken::Ident("color".into()),
-            SqlToken::LBracket,
-            SqlToken::Var("Z".into()),
-            SqlToken::RBracket,
-        ]);
-        assert_eq!(kinds("X..kids"), vec![SqlToken::Var("X".into()), SqlToken::DotDot, SqlToken::Ident("kids".into())]);
+        assert_eq!(
+            kinds("X.vehicles[Y].color[Z]"),
+            vec![
+                SqlToken::Var("X".into()),
+                SqlToken::Dot,
+                SqlToken::Ident("vehicles".into()),
+                SqlToken::LBracket,
+                SqlToken::Var("Y".into()),
+                SqlToken::RBracket,
+                SqlToken::Dot,
+                SqlToken::Ident("color".into()),
+                SqlToken::LBracket,
+                SqlToken::Var("Z".into()),
+                SqlToken::RBracket,
+            ]
+        );
+        assert_eq!(
+            kinds("X..kids"),
+            vec![
+                SqlToken::Var("X".into()),
+                SqlToken::DotDot,
+                SqlToken::Ident("kids".into())
+            ]
+        );
     }
 
     #[test]
     fn filters_arrows_and_arguments() {
-        assert_eq!(kinds("vehicles[cylinders -> 4]"), vec![
-            SqlToken::Ident("vehicles".into()),
-            SqlToken::LBracket,
-            SqlToken::Ident("cylinders".into()),
-            SqlToken::Arrow,
-            SqlToken::Int(4),
-            SqlToken::RBracket,
-        ]);
-        assert_eq!(kinds("salary@(1994)"), vec![
-            SqlToken::Ident("salary".into()),
-            SqlToken::At,
-            SqlToken::LParen,
-            SqlToken::Int(1994),
-            SqlToken::RParen,
-        ]);
+        assert_eq!(
+            kinds("vehicles[cylinders -> 4]"),
+            vec![
+                SqlToken::Ident("vehicles".into()),
+                SqlToken::LBracket,
+                SqlToken::Ident("cylinders".into()),
+                SqlToken::Arrow,
+                SqlToken::Int(4),
+                SqlToken::RBracket,
+            ]
+        );
+        assert_eq!(
+            kinds("salary@(1994)"),
+            vec![
+                SqlToken::Ident("salary".into()),
+                SqlToken::At,
+                SqlToken::LParen,
+                SqlToken::Int(1994),
+                SqlToken::RParen,
+            ]
+        );
     }
 
     #[test]
     fn strings_and_integers() {
-        assert_eq!(kinds("'new york' 42"), vec![SqlToken::Str("new york".into()), SqlToken::Int(42)]);
+        assert_eq!(
+            kinds("'new york' 42"),
+            vec![SqlToken::Str("new york".into()), SqlToken::Int(42)]
+        );
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("SELECT -- the colour\n X"), vec![SqlToken::Select, SqlToken::Var("X".into())]);
+        assert_eq!(
+            kinds("SELECT -- the colour\n X"),
+            vec![SqlToken::Select, SqlToken::Var("X".into())]
+        );
     }
 
     #[test]

@@ -120,7 +120,10 @@ impl Parser {
                 self.advance();
                 Ok(s)
             }
-            Some(t) => Err(self.error(format!("expected {what} (a capitalised variable), found {}", t.describe()))),
+            Some(t) => Err(self.error(format!(
+                "expected {what} (a capitalised variable), found {}",
+                t.describe()
+            ))),
             None => Err(self.error(format!("expected {what}, found end of input"))),
         }
     }
@@ -155,7 +158,11 @@ impl Parser {
             return Err(self.error("a SELECT query needs at least one FROM clause"));
         }
         let conditions = self.where_clause()?;
-        Ok(SelectQuery { select, from, conditions })
+        Ok(SelectQuery {
+            select,
+            from,
+            conditions,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>> {
@@ -180,23 +187,39 @@ impl Parser {
             let label = self.word("a column label")?;
             self.expect(&SqlToken::Eq, "`=`")?;
             let expr = self.expression()?;
-            Ok(SelectItem { label: Some(label), expr })
+            Ok(SelectItem {
+                label: Some(label),
+                expr,
+            })
         } else {
-            Ok(SelectItem { label: None, expr: self.expression()? })
+            Ok(SelectItem {
+                label: None,
+                expr: self.expression()?,
+            })
         }
     }
 
+    // `from_` here is the SQL FROM clause, not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
     fn from_range(&mut self) -> Result<FromRange> {
         // O2SQL style: `X IN <expr>`; XSQL style: `<class> X`.
         if matches!(self.peek(), Some(SqlToken::Var(_))) && self.peek_ahead(1) == Some(&SqlToken::In) {
             let var = self.variable("a range variable")?;
             self.expect(&SqlToken::In, "IN")?;
             let source = self.expression()?;
-            return Ok(FromRange { var, source, xsql_style: false });
+            return Ok(FromRange {
+                var,
+                source,
+                xsql_style: false,
+            });
         }
         let class = self.word("a class name")?;
         let var = self.variable("a range variable")?;
-        Ok(FromRange { var, source: SqlExpr::Name(class), xsql_style: true })
+        Ok(FromRange {
+            var,
+            source: SqlExpr::Name(class),
+            xsql_style: true,
+        })
     }
 
     fn where_clause(&mut self) -> Result<Vec<Condition>> {
@@ -257,7 +280,14 @@ impl Parser {
         self.expect(&SqlToken::Of, "OF")?;
         let oid_of = self.variable("the OID FUNCTION OF variable")?;
         let conditions = self.where_clause()?;
-        Ok(CreateView { name, attributes, source_class, var, oid_of, conditions })
+        Ok(CreateView {
+            name,
+            attributes,
+            source_class,
+            var,
+            oid_of,
+            conditions,
+        })
     }
 
     // ----------------------------------------------------------- expressions
@@ -271,7 +301,12 @@ impl Parser {
                     self.advance();
                     let method = self.word("an attribute name")?;
                     let args = self.call_args()?;
-                    expr = SqlExpr::Step { recv: Box::new(expr), method, args, explicit_set };
+                    expr = SqlExpr::Step {
+                        recv: Box::new(expr),
+                        method,
+                        args,
+                        explicit_set,
+                    };
                 }
                 Some(SqlToken::LBracket) => {
                     self.advance();
@@ -353,11 +388,17 @@ impl Parser {
                 }
             }
             self.expect(&SqlToken::RBracket, "`]`")?;
-            Ok(SqlExpr::Filtered { recv: Box::new(recv), filters })
+            Ok(SqlExpr::Filtered {
+                recv: Box::new(recv),
+                filters,
+            })
         } else {
             let selector = self.expression()?;
             self.expect(&SqlToken::RBracket, "`]`")?;
-            Ok(SqlExpr::Selector { recv: Box::new(recv), selector: Box::new(selector) })
+            Ok(SqlExpr::Selector {
+                recv: Box::new(recv),
+                selector: Box::new(selector),
+            })
         }
     }
 }
@@ -375,13 +416,18 @@ mod tests {
              WHERE Y IN automobile",
         )
         .unwrap();
-        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        let Statement::Select(q) = q else {
+            panic!("expected a SELECT")
+        };
         assert_eq!(q.select.len(), 1);
         assert_eq!(q.from.len(), 2);
         assert!(!q.from[0].xsql_style);
         assert_eq!(q.conditions.len(), 1);
         assert!(matches!(q.conditions[0], Condition::In(_, _)));
-        assert_eq!(q.to_string(), "SELECT Y.color FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile");
+        assert_eq!(
+            q.to_string(),
+            "SELECT Y.color FROM X IN employee FROM Y IN X.vehicles WHERE Y IN automobile"
+        );
     }
 
     #[test]
@@ -392,7 +438,9 @@ mod tests {
              WHERE X.vehicles[Y].color[Z]",
         )
         .unwrap();
-        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        let Statement::Select(q) = q else {
+            panic!("expected a SELECT")
+        };
         assert_eq!(q.from.len(), 2);
         assert!(q.from[0].xsql_style);
         assert_eq!(q.conditions.len(), 1);
@@ -408,7 +456,9 @@ mod tests {
                AND Y.cylinders[4]",
         )
         .unwrap();
-        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        let Statement::Select(q) = q else {
+            panic!("expected a SELECT")
+        };
         assert_eq!(q.conditions.len(), 2);
         assert_eq!(q.conditions[1].to_string(), "Y.cylinders[4]");
     }
@@ -421,7 +471,9 @@ mod tests {
              WHERE X[age -> 30; city -> newYork].vehicles[cylinders -> 4][Y].color[Z]",
         )
         .unwrap();
-        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        let Statement::Select(q) = q else {
+            panic!("expected a SELECT")
+        };
         assert_eq!(q.conditions.len(), 1);
         let text = q.conditions[0].to_string();
         assert!(text.contains("[age -> 30; city -> newYork]"));
@@ -439,7 +491,9 @@ mod tests {
                AND Y.producedBy.president = X",
         )
         .unwrap();
-        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        let Statement::Select(q) = q else {
+            panic!("expected a SELECT")
+        };
         assert_eq!(q.conditions.len(), 3);
         assert!(matches!(q.conditions[0], Condition::Eq(_, _)));
     }
@@ -454,7 +508,9 @@ mod tests {
              WHERE X.worksFor[D]",
         )
         .unwrap();
-        let Statement::CreateView(v) = v else { panic!("expected a view") };
+        let Statement::CreateView(v) = v else {
+            panic!("expected a view")
+        };
         assert_eq!(v.name, "employeeBoss");
         assert_eq!(v.attributes.len(), 1);
         assert_eq!(v.attributes[0].0, "worksFor");
@@ -468,7 +524,9 @@ mod tests {
     fn capitalised_class_names_are_accepted_in_xsql_ranges() {
         // The paper writes `FROM Employee X`.
         let q = parse_statement("SELECT X FROM Employee X").unwrap();
-        let Statement::Select(q) = q else { panic!("expected a SELECT") };
+        let Statement::Select(q) = q else {
+            panic!("expected a SELECT")
+        };
         assert_eq!(q.from[0].source, SqlExpr::Name("Employee".into()));
     }
 

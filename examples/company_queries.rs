@@ -47,12 +47,20 @@ fn main() {
         .select_path("Y", &["color"]);
     let start = Instant::now();
     let onedim = pathlog::baseline::evaluate_onedim(&structure, &q);
-    println!("O2SQL-style conjunction of paths -> {} colour(s) in {:.2?}", onedim.len(), start.elapsed());
+    println!(
+        "O2SQL-style conjunction of paths -> {} colour(s) in {:.2?}",
+        onedim.len(),
+        start.elapsed()
+    );
 
     // And flat relations (six joins).
     let start = Instant::now();
     let relational = relq::filtered_automobile_colours(&structure, &db);
-    println!("relational join plan             -> {} colour(s) in {:.2?}", relational.len(), start.elapsed());
+    println!(
+        "relational join plan             -> {} colour(s) in {:.2?}",
+        relational.len(),
+        start.elapsed()
+    );
 
     // --- The Section 2 manager query ---------------------------------------
     let reference =
@@ -65,9 +73,17 @@ fn main() {
         .into_iter()
         .filter_map(|a| a.bindings.get(&Var::new("X")))
         .collect();
-    println!("  -> {} manager(s) presiding over the Detroit producer of their red vehicle in {:.2?}", managers.len(), start.elapsed());
+    println!(
+        "  -> {} manager(s) presiding over the Detroit producer of their red vehicle in {:.2?}",
+        managers.len(),
+        start.elapsed()
+    );
     let start = Instant::now();
     let rel = relq::manager_red_detroit_presidents(&structure, &db);
-    println!("relational join plan -> {} manager(s) in {:.2?}", rel.len(), start.elapsed());
+    println!(
+        "relational join plan -> {} manager(s) in {:.2?}",
+        rel.len(),
+        start.elapsed()
+    );
     assert_eq!(managers.len(), rel.len(), "PathLog and the baseline must agree");
 }

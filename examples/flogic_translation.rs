@@ -50,7 +50,11 @@ fn main() {
         let (flat, stats) = Translator::new().program(&program).expect("paper program translates");
 
         println!("== {label}");
-        println!("   PathLog ({} rule(s), {} query):", program.rules.len(), program.queries.len());
+        println!(
+            "   PathLog ({} rule(s), {} query):",
+            program.rules.len(),
+            program.queries.len()
+        );
         for line in text.lines() {
             println!("      {}", line.trim());
         }
@@ -67,13 +71,23 @@ fn main() {
 
         // Both roads produce the same number of answers.
         let mut direct = structure.clone();
-        Engine::new().load_program(&mut direct, &program).expect("direct evaluation succeeds");
-        let direct_answers = Engine::new().query(&direct, &program.queries[0]).expect("direct query succeeds").len();
+        Engine::new()
+            .load_program(&mut direct, &program)
+            .expect("direct evaluation succeeds");
+        let direct_answers = Engine::new()
+            .query(&direct, &program.queries[0])
+            .expect("direct query succeeds")
+            .len();
 
         let mut translated = structure.clone();
         let flat_engine = FlatEngine::new();
-        flat_engine.run(&mut translated, &flat).expect("flat evaluation succeeds");
-        let translated_answers = flat_engine.query(&translated, &flat.queries[0]).expect("flat query succeeds").len();
+        flat_engine
+            .run(&mut translated, &flat)
+            .expect("flat evaluation succeeds");
+        let translated_answers = flat_engine
+            .query(&translated, &flat.queries[0])
+            .expect("flat query succeeds")
+            .len();
 
         assert_eq!(direct_answers, translated_answers);
         println!("   answers: {direct_answers} (identical under both semantics)\n");
@@ -87,8 +101,13 @@ fn main() {
                 X.boss[worksFor -> D] <- X : employee[worksFor -> D].";
     let program = parse_program(text).expect("program parses");
     let mut direct = Structure::new();
-    let stats = Engine::new().load_program(&mut direct, &program).expect("direct evaluation succeeds");
-    println!("   direct semantics: ok — {} virtual bosses created, p2's stored boss b2 reused", stats.virtual_objects);
+    let stats = Engine::new()
+        .load_program(&mut direct, &program)
+        .expect("direct evaluation succeeds");
+    println!(
+        "   direct semantics: ok — {} virtual bosses created, p2's stored boss b2 reused",
+        stats.virtual_objects
+    );
 
     let (flat, _) = Translator::new().program(&program).expect("program translates");
     match FlatEngine::new().run(&mut Structure::new(), &flat) {

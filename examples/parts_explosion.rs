@@ -21,7 +21,10 @@ use pathlog::prelude::*;
 
 fn main() {
     for depth in [2usize, 3, 4] {
-        let params = BomParams { depth, ..BomParams::default() };
+        let params = BomParams {
+            depth,
+            ..BomParams::default()
+        };
         let structure = pathlog::datagen::bom::generate_structure(&params);
         println!("== parts hierarchy, depth {depth}: {}", structure.stats());
 
@@ -32,7 +35,9 @@ fn main() {
              X[contains ->> {Y}] <- X..contains[subparts ->> {Y}].",
         )
         .expect("closure rules parse");
-        let stats = Engine::new().load_program(&mut with_desc, &program).expect("closure rules evaluate");
+        let stats = Engine::new()
+            .load_program(&mut with_desc, &program)
+            .expect("closure rules evaluate");
         let desc_members = stats.set_members;
 
         // 2. The generic tc method of Section 6 applied to `subparts`.
@@ -43,7 +48,9 @@ fn main() {
              X[(M.tc) ->> {Y}] <- M : baseMethod, X..(M.tc)[M ->> {Y}].",
         )
         .expect("generic tc rules parse");
-        Engine::new().load_program(&mut with_tc, &program).expect("generic tc rules evaluate");
+        Engine::new()
+            .load_program(&mut with_tc, &program)
+            .expect("generic tc rules evaluate");
 
         // 3. The relational baseline: semi-naive closure of the subparts relation.
         let db = RelationalDb::from_structure(&structure);
@@ -51,7 +58,9 @@ fn main() {
         let closure = baseline::tc::transitive_closure(&subparts);
 
         // All three agree on the parts contained in the first assembly.
-        let asm0 = structure.lookup_name(&pathlog::core::names::Name::atom("asm0")).expect("asm0 exists");
+        let asm0 = structure
+            .lookup_name(&pathlog::core::names::Name::atom("asm0"))
+            .expect("asm0 exists");
         let via_desc = members_of(&with_desc, "contains", asm0);
         let via_tc = members_of_generic(&with_tc, asm0);
         let via_rel = baseline::tc::descendants_of(&subparts, asm0);
@@ -69,7 +78,9 @@ fn main() {
 
 /// The members of `part[method ->> {...}]`.
 fn members_of(structure: &Structure, method: &str, part: Oid) -> BTreeSet<Oid> {
-    let method = structure.lookup_name(&pathlog::core::names::Name::atom(method)).expect("method exists");
+    let method = structure
+        .lookup_name(&pathlog::core::names::Name::atom(method))
+        .expect("method exists");
     structure.apply_set(method, part, &[]).cloned().unwrap_or_default()
 }
 
@@ -77,7 +88,12 @@ fn members_of(structure: &Structure, method: &str, part: Oid) -> BTreeSet<Oid> {
 /// object denoted by the path `subparts.tc`.
 fn members_of_generic(structure: &Structure, part: Oid) -> BTreeSet<Oid> {
     let term = parse_term("(subparts.tc)").expect("method path parses");
-    let methods = Engine::new().eval_ground(structure, &term).expect("method path evaluates");
-    let method = methods.into_iter().next().expect("subparts.tc denotes the virtual method object");
+    let methods = Engine::new()
+        .eval_ground(structure, &term)
+        .expect("method path evaluates");
+    let method = methods
+        .into_iter()
+        .next()
+        .expect("subparts.tc denotes the virtual method object");
     structure.apply_set(method, part, &[]).cloned().unwrap_or_default()
 }

@@ -56,7 +56,11 @@ fn main() {
                     if !program.rules.is_empty() {
                         match engine.load_program(&mut structure, &program) {
                             Ok(stats) => {
-                                println!("ok ({} facts derived, {} virtual objects)", stats.derived(), stats.virtual_objects)
+                                println!(
+                                    "ok ({} facts derived, {} virtual objects)",
+                                    stats.derived(),
+                                    stats.virtual_objects
+                                )
                             }
                             Err(e) => println!("error: {e}"),
                         }

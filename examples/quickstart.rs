@@ -35,7 +35,11 @@ fn main() {
     .unwrap();
     let engine = Engine::new();
     let stats = engine.load_program(&mut structure, &program).unwrap();
-    println!("after rule evaluation: {} ({} virtual objects)", structure.stats(), stats.virtual_objects);
+    println!(
+        "after rule evaluation: {} ({} virtual objects)",
+        structure.stats(),
+        stats.virtual_objects
+    );
 
     // 4. Ask the paper's query 2.1-style question: colours of 4-cylinder
     //    automobiles owned by employees.
@@ -43,7 +47,11 @@ fn main() {
     for bindings in engine.query(&structure, query).unwrap() {
         let x = bindings.get(&Var::new("X")).unwrap();
         let z = bindings.get(&Var::new("Z")).unwrap();
-        println!("employee {} owns a 4-cylinder automobile coloured {}", structure.display_name(x), structure.display_name(z));
+        println!(
+            "employee {} owns a 4-cylinder automobile coloured {}",
+            structure.display_name(x),
+            structure.display_name(z)
+        );
     }
 
     // 5. Reference the virtual address object through a path.

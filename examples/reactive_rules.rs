@@ -38,7 +38,11 @@ fn production_rules() {
         ProductionRule::new(
             "minimum-wage",
             vec![
-                Literal::pos(Term::var("X").isa("employee").filter(Filter::scalar("salary", Term::var("S")))),
+                Literal::pos(
+                    Term::var("X")
+                        .isa("employee")
+                        .filter(Filter::scalar("salary", Term::var("S"))),
+                ),
                 Literal::pos(Term::var("S").scalar_args("lt", vec![Term::int(60_000)])),
             ],
             vec![
@@ -52,10 +56,16 @@ fn production_rules() {
     engine.add_rule(ProductionRule::new(
         "company-car",
         vec![Literal::pos(Term::var("X").isa("manager"))],
-        vec![Action::Assert(Term::var("X").scalar("companyCar").filter(Filter::scalar("color", Term::name("black"))))],
+        vec![Action::Assert(
+            Term::var("X")
+                .scalar("companyCar")
+                .filter(Filter::scalar("color", Term::name("black"))),
+        )],
     ));
 
-    let (stats, trace) = engine.run_traced(&mut structure).expect("production rules reach quiescence");
+    let (stats, trace) = engine
+        .run_traced(&mut structure)
+        .expect("production rules reach quiescence");
     println!(
         "after {} cycles: {} firings, {} asserted, {} retracted, {} virtual company cars",
         stats.cycles, stats.firings, stats.asserted, stats.retracted, stats.virtual_objects
@@ -88,7 +98,10 @@ fn active_rules() {
         "audit",
         Event::ScalarAsserted(Name::atom("bonusBase")),
         vec![],
-        vec![EcaAction::AddIsA { object: Term::var("Receiver"), class: Name::atom("audited") }],
+        vec![EcaAction::AddIsA {
+            object: Term::var("Receiver"),
+            class: Name::atom("audited"),
+        }],
     ));
 
     let salary = store.oid("salary");
@@ -97,13 +110,17 @@ fn active_rules() {
     // The employee already has a salary fact; retract it first, then set the
     // new one — both mutations go through the trigger layer.
     store.retract_scalar(salary, employee).expect("retraction triggers run");
-    let stats = store.assert_scalar(salary, employee, raise).expect("assertion triggers run");
+    let stats = store
+        .assert_scalar(salary, employee, raise)
+        .expect("assertion triggers run");
     println!(
         "one salary update fired {} triggers, {} mutations, cascade depth {}",
         stats.firings, stats.mutations, stats.max_depth_reached
     );
 
     let structure = store.into_structure();
-    let audited = structure.lookup_name(&Name::atom("audited")).expect("audited class exists");
+    let audited = structure
+        .lookup_name(&Name::atom("audited"))
+        .expect("audited class exists");
     println!("audited objects: {}", structure.instances_of(audited).count());
 }

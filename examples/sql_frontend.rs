@@ -62,7 +62,11 @@ fn main() {
     .expect("view definition and query execute");
     for result in results {
         match result {
-            StatementResult::ViewDefined { rule, derived_facts, virtual_objects } => {
+            StatementResult::ViewDefined {
+                rule,
+                derived_facts,
+                virtual_objects,
+            } => {
                 println!("-- view (6.3) as a PathLog rule");
                 println!("   {rule}");
                 println!("   materialised {virtual_objects} view objects / {derived_facts} facts\n");

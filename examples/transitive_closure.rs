@@ -23,7 +23,9 @@ fn main() {
     )
     .unwrap();
     engine.load_program(&mut family, &program).unwrap();
-    let closure = engine.eval_ground(&family, &parse_term("peter..(kids.tc)").unwrap()).unwrap();
+    let closure = engine
+        .eval_ground(&family, &parse_term("peter..(kids.tc)").unwrap())
+        .unwrap();
     let mut names: Vec<String> = closure.iter().map(|&o| family.display_name(o)).collect();
     names.sort();
     println!("peter[(kids.tc) ->> {{{}}}]", names.join(", "));
@@ -32,7 +34,12 @@ fn main() {
     // --- A bigger synthetic genealogy ---------------------------------------
     let depth: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let fanout: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
-    let structure = pathlog::datagen::genealogy_structure(&GenealogyParams { roots: 1, depth, fanout, seed: 42 });
+    let structure = pathlog::datagen::genealogy_structure(&GenealogyParams {
+        roots: 1,
+        depth,
+        fanout,
+        seed: 42,
+    });
     println!("\ngenealogy depth={depth} fanout={fanout}: {}", structure.stats());
 
     let desc_rules = parse_program(
@@ -54,7 +61,11 @@ fn main() {
     let db = RelationalDb::from_structure(&structure);
     let start = Instant::now();
     let closure = tc::transitive_closure(&db.attr("kids", "parent", "child"));
-    println!("relational semi-naive closure: {} pairs in {:.2?}", closure.len(), start.elapsed());
+    println!(
+        "relational semi-naive closure: {} pairs in {:.2?}",
+        closure.len(),
+        start.elapsed()
+    );
     assert_eq!(closure.len(), stats.set_members);
 
     // descendants of the root, queried through a path

@@ -14,12 +14,12 @@ fn main() {
 
     // --- Rule (2.4): restructure address attributes into address objects ----
     let mut with_rules = base.clone();
-    let program = parse_program(
-        "X.address[street -> X.street; city -> X.city] <- X : employee.",
-    )
-    .unwrap();
+    let program = parse_program("X.address[street -> X.street; city -> X.city] <- X : employee.").unwrap();
     let stats = engine.load_program(&mut with_rules, &program).unwrap();
-    println!("\nPathLog rule (2.4) created {} virtual address objects", stats.virtual_objects);
+    println!(
+        "\nPathLog rule (2.4) created {} virtual address objects",
+        stats.virtual_objects
+    );
 
     // The virtual objects are referenced through the path X.address — pick one employee.
     let term = parse_term("e0.address.city").unwrap();
@@ -29,7 +29,9 @@ fn main() {
 
     // --- The XSQL way (6.3): a view class with an OID function --------------
     let mut with_views = base.clone();
-    let view = ViewDef::new("Address", "employee").attr("street", &["street"]).attr("city", &["city"]);
+    let view = ViewDef::new("Address", "employee")
+        .attr("street", &["street"])
+        .attr("city", &["city"]);
     let vstats = materialize(&mut with_views, &view);
     println!("XSQL-style view materialised {} Address(...) objects", vstats.objects);
     assert_eq!(vstats.objects, stats.virtual_objects);
@@ -38,7 +40,10 @@ fn main() {
     let mut s61 = base.clone();
     let p = parse_program("X.deputy[worksFor -> D] <- X : employee[worksFor -> D].").unwrap();
     let s = engine.load_program(&mut s61, &p).unwrap();
-    println!("\nrule (6.1)-style: every employee gets a virtual deputy: {} virtual objects", s.virtual_objects);
+    println!(
+        "\nrule (6.1)-style: every employee gets a virtual deputy: {} virtual objects",
+        s.virtual_objects
+    );
 
     let mut s62 = base.clone();
     let p = parse_program("Z[deptOfReports ->> {D}] <- X : employee[worksFor -> D].boss[Z].").unwrap();
@@ -51,5 +56,8 @@ fn main() {
 
     // --- Typing: virtual objects are type checked through signatures --------
     let errors = pathlog::core::typing::type_check(&with_rules);
-    println!("\ntype check of the structure incl. virtual objects: {} violation(s)", errors.len());
+    println!(
+        "\ntype check of the structure incl. virtual objects: {} violation(s)",
+        errors.len()
+    );
 }

@@ -10,7 +10,11 @@ use pathlog::prelude::*;
 
 #[test]
 fn generated_store_survives_persistence_and_conversion() {
-    let params = CompanyParams { employees: 60, seed: 7, ..CompanyParams::default() };
+    let params = CompanyParams {
+        employees: 60,
+        seed: 7,
+        ..CompanyParams::default()
+    };
     let db = pathlog::datagen::generate_company(&params);
     db.integrity_check().unwrap();
 
@@ -29,14 +33,22 @@ fn generated_store_survives_persistence_and_conversion() {
 
 #[test]
 fn pathlog_engine_and_baselines_agree_on_generated_data() {
-    let structure = pathlog::datagen::company_structure(&CompanyParams { employees: 150, seed: 3, ..CompanyParams::default() });
+    let structure = pathlog::datagen::company_structure(&CompanyParams {
+        employees: 150,
+        seed: 3,
+        ..CompanyParams::default()
+    });
     let engine = Engine::new();
     let db = RelationalDb::from_structure(&structure);
 
     // E1: colours of employees' automobiles
     let term = parse_term("X : employee..vehicles : automobile.color[Z]").unwrap();
-    let pathlog_colours: BTreeSet<Oid> =
-        engine.query_term(&structure, &term).unwrap().into_iter().map(|a| a.object).collect();
+    let pathlog_colours: BTreeSet<Oid> = engine
+        .query_term(&structure, &term)
+        .unwrap()
+        .into_iter()
+        .map(|a| a.object)
+        .collect();
     let relational = relq::employee_automobile_colours(&db);
     assert_eq!(pathlog_colours.len(), relational.len());
 
@@ -51,8 +63,7 @@ fn pathlog_engine_and_baselines_agree_on_generated_data() {
     assert_eq!(pathlog_colours.len(), onedim.len());
 
     // E3: the manager query
-    let term =
-        parse_term("X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]").unwrap();
+    let term = parse_term("X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]").unwrap();
     let pathlog_managers: BTreeSet<Oid> = engine
         .query_term(&structure, &term)
         .unwrap()
@@ -66,8 +77,12 @@ fn pathlog_engine_and_baselines_agree_on_generated_data() {
 #[test]
 fn transitive_closure_agrees_with_relational_baseline_on_generated_trees() {
     for (depth, fanout) in [(3usize, 3usize), (6, 2), (1, 5)] {
-        let structure =
-            pathlog::datagen::genealogy_structure(&GenealogyParams { roots: 2, depth, fanout, seed: 11 });
+        let structure = pathlog::datagen::genealogy_structure(&GenealogyParams {
+            roots: 2,
+            depth,
+            fanout,
+            seed: 11,
+        });
         let mut s = structure.clone();
         let program = parse_program(
             "X[desc ->> {Y}] <- X[kids ->> {Y}].
@@ -84,7 +99,11 @@ fn transitive_closure_agrees_with_relational_baseline_on_generated_trees() {
 
 #[test]
 fn virtual_objects_on_generated_data_are_typed_and_countable() {
-    let structure = pathlog::datagen::company_structure(&CompanyParams { employees: 80, seed: 5, ..CompanyParams::default() });
+    let structure = pathlog::datagen::company_structure(&CompanyParams {
+        employees: 80,
+        seed: 5,
+        ..CompanyParams::default()
+    });
     let mut s = structure.clone();
     let engine = Engine::new();
     let program = parse_program("X.address[street -> X.street; city -> X.city] <- X : employee.").unwrap();
@@ -95,7 +114,11 @@ fn virtual_objects_on_generated_data_are_typed_and_countable() {
     let term = parse_term("X : employee.address.city[C]").unwrap();
     let solutions = engine.query(&s, &Query::single(term)).unwrap();
     assert_eq!(
-        solutions.iter().map(|b| b.get(&Var::new("X")).unwrap()).collect::<BTreeSet<_>>().len(),
+        solutions
+            .iter()
+            .map(|b| b.get(&Var::new("X")).unwrap())
+            .collect::<BTreeSet<_>>()
+            .len(),
         80
     );
 
@@ -137,7 +160,12 @@ fn queries_through_the_full_stack_with_parsed_program() {
 
 #[test]
 fn engine_options_affect_behaviour_but_not_answers() {
-    let structure = pathlog::datagen::genealogy_structure(&GenealogyParams { roots: 1, depth: 5, fanout: 2, seed: 1 });
+    let structure = pathlog::datagen::genealogy_structure(&GenealogyParams {
+        roots: 1,
+        depth: 5,
+        fanout: 2,
+        seed: 1,
+    });
     let program = parse_program(
         "X[desc ->> {Y}] <- X[kids ->> {Y}].
          X[desc ->> {Y}] <- X..desc[kids ->> {Y}].",
@@ -145,17 +173,26 @@ fn engine_options_affect_behaviour_but_not_answers() {
     .unwrap();
     let mut with_delta = structure.clone();
     let mut without_delta = structure.clone();
-    Engine::with_options(EvalOptions { delta_driven: true, ..EvalOptions::default() })
-        .load_program(&mut with_delta, &program)
-        .unwrap();
-    Engine::with_options(EvalOptions { delta_driven: false, ..EvalOptions::default() })
-        .load_program(&mut without_delta, &program)
-        .unwrap();
+    Engine::with_options(EvalOptions {
+        delta_driven: true,
+        ..EvalOptions::default()
+    })
+    .load_program(&mut with_delta, &program)
+    .unwrap();
+    Engine::with_options(EvalOptions {
+        delta_driven: false,
+        ..EvalOptions::default()
+    })
+    .load_program(&mut without_delta, &program)
+    .unwrap();
     assert_eq!(with_delta.stats().set_members, without_delta.stats().set_members);
 
     // disabling virtual objects turns the address rule into an error
     let mut s = pathlog::datagen::company_structure(&CompanyParams::scaled(10));
     let address_rule = parse_program("X.address[city -> X.city] <- X : employee.").unwrap();
-    let strict = Engine::with_options(EvalOptions { create_virtuals: false, ..EvalOptions::default() });
+    let strict = Engine::with_options(EvalOptions {
+        create_virtuals: false,
+        ..EvalOptions::default()
+    });
     assert!(strict.load_program(&mut s, &address_rule).is_err());
 }

@@ -21,7 +21,9 @@ fn direct_answers(base: &Structure, program_text: &str) -> Vec<NamedAnswers> {
     let program = parse_program(program_text).expect("program parses");
     let mut structure = base.clone();
     let engine = Engine::new();
-    engine.load_program(&mut structure, &program).expect("direct evaluation succeeds");
+    engine
+        .load_program(&mut structure, &program)
+        .expect("direct evaluation succeeds");
     program
         .queries
         .iter()
@@ -33,7 +35,11 @@ fn direct_answers(base: &Structure, program_text: &str) -> Vec<NamedAnswers> {
                 .into_iter()
                 .map(|bindings| {
                     vars.iter()
-                        .filter_map(|v| bindings.get(v).map(|o| (v.name().to_string(), structure.display_name(o))))
+                        .filter_map(|v| {
+                            bindings
+                                .get(v)
+                                .map(|o| (v.name().to_string(), structure.display_name(o)))
+                        })
                         .collect::<BTreeMap<_, _>>()
                 })
                 .collect()
@@ -73,7 +79,10 @@ fn assert_equivalent(base: &Structure, program_text: &str) -> Vec<NamedAnswers> 
     let translated = translated_answers(base, program_text);
     assert_eq!(direct.len(), translated.len(), "same number of queries");
     for (i, (d, t)) in direct.iter().zip(translated.iter()).enumerate() {
-        assert_eq!(d, t, "query {i} of `{program_text}` disagrees between direct and translated evaluation");
+        assert_eq!(
+            d, t,
+            "query {i} of `{program_text}` disagrees between direct and translated evaluation"
+        );
     }
     direct
 }
@@ -89,7 +98,10 @@ fn family() -> Structure {
 #[test]
 fn colours_query_1_1_agrees() {
     let answers = assert_equivalent(&company(), "?- X : employee..vehicles : automobile.color[Z].");
-    assert!(!answers[0].is_empty(), "the workload contains employee-owned automobiles");
+    assert!(
+        !answers[0].is_empty(),
+        "the workload contains employee-owned automobiles"
+    );
 }
 
 #[test]
@@ -115,7 +127,10 @@ fn address_rule_2_4_agrees_on_named_projections() {
         "X.address[city -> X.city] <- X : employee.
          ?- X : employee.address[city -> C].",
     );
-    assert!(!answers[0].is_empty(), "every employee has a (virtual) address with its city");
+    assert!(
+        !answers[0].is_empty(),
+        "every employee has a (virtual) address with its city"
+    );
 }
 
 #[test]
@@ -185,7 +200,10 @@ fn transitive_closure_6_4_agrees_on_the_paper_family() {
          ?- peter[desc ->> {Y}].",
     );
     let descendants: BTreeSet<&str> = answers[0].iter().map(|a| a["Y"].as_str()).collect();
-    assert_eq!(descendants, ["tim", "mary", "sally", "tom", "paul"].into_iter().collect());
+    assert_eq!(
+        descendants,
+        ["tim", "mary", "sally", "tom", "paul"].into_iter().collect()
+    );
 }
 
 #[test]
@@ -215,13 +233,16 @@ fn intensional_power_method_agrees() {
 fn translation_is_less_compact_than_the_direct_reference() {
     // The compactness claim: one two-dimensional reference expands into a
     // conjunction of flat atoms (here 8), one atom per step/filter.
-    let program = parse_program(
-        "?- X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z].",
-    )
-    .unwrap();
+    let program =
+        parse_program("?- X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z].")
+            .unwrap();
     let (flat, stats) = Translator::new().program(&program).unwrap();
     assert_eq!(program.queries[0].body.len(), 1, "PathLog needs a single reference");
-    assert!(stats.flat_atoms >= 8, "the translation needs a conjunction (got {})", stats.flat_atoms);
+    assert!(
+        stats.flat_atoms >= 8,
+        "the translation needs a conjunction (got {})",
+        stats.flat_atoms
+    );
     assert_eq!(flat.queries[0].atom_count(), stats.flat_atoms);
     assert!(stats.aux_variables >= 2);
 }
@@ -239,6 +260,9 @@ fn virtual_object_counts_match_between_engines() {
     let mut translated = base.clone();
     let flat_stats = FlatEngine::new().run(&mut translated, &flat).unwrap();
 
-    assert_eq!(stats.virtual_objects, flat_stats.skolem_objects, "one virtual address per employee in both");
+    assert_eq!(
+        stats.virtual_objects, flat_stats.skolem_objects,
+        "one virtual address per employee in both"
+    );
     assert_eq!(direct.num_objects(), translated.num_objects());
 }

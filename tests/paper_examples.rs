@@ -93,10 +93,8 @@ fn e2_two_dimensional_reference_2_1() {
     // (2.1): X:employee[age->30; city->newYork]..vehicles:automobile[cylinders->4].color[Z]
     let s = company_world();
     let engine = Engine::new();
-    let term = parse_term(
-        "X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]",
-    )
-    .unwrap();
+    let term =
+        parse_term("X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]").unwrap();
     let answers = engine.query_term(&s, &term).unwrap();
     assert_eq!(answers.len(), 1);
     let x = answers[0].bindings.get(&Var::new("X")).unwrap();
@@ -123,8 +121,7 @@ fn e3_manager_query_single_reference() {
     // Detroit whose president is the manager.
     let s = company_world();
     let engine = Engine::new();
-    let term =
-        parse_term("X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]").unwrap();
+    let term = parse_term("X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]").unwrap();
     let managers: BTreeSet<String> = engine
         .query_term(&s, &term)
         .unwrap()
@@ -148,7 +145,9 @@ fn e4_address_rule_2_4_creates_virtual_objects() {
     let stats = engine.load_program(&mut s, &program).unwrap();
     assert_eq!(stats.virtual_objects, 2);
     // The address object is referenced by applying the method address to X.
-    let cities = engine.eval_ground(&s, &parse_term("anna.address.city").unwrap()).unwrap();
+    let cities = engine
+        .eval_ground(&s, &parse_term("anna.address.city").unwrap())
+        .unwrap();
     assert_eq!(names(&s, cities), ["newYork"].iter().map(|s| s.to_string()).collect());
     // Re-running the rule does not create further objects (idempotence).
     let stats2 = engine.run_rules(&mut s, &program.rules).unwrap();
@@ -175,18 +174,27 @@ fn e5_set_valued_references_section_4() {
     assert_eq!(assistants.len(), 2);
     // (4.2) p1..assistants[salary -> 1000] — only anna
     let t = parse_term("p1..assistants[salary -> 1000]").unwrap();
-    assert_eq!(names(&s, engine.eval_ground(&s, &t).unwrap()), ["anna"].iter().map(|s| s.to_string()).collect());
+    assert_eq!(
+        names(&s, engine.eval_ground(&s, &t).unwrap()),
+        ["anna"].iter().map(|s| s.to_string()).collect()
+    );
     // (4.4) the assistants of p1 are friends of p2
     let friends = engine.eval_ground(&s, &parse_term("p2..friends").unwrap()).unwrap();
     assert_eq!(friends.len(), 2);
     // p1..assistants.salary — the set of salaries
-    let salaries = engine.eval_ground(&s, &parse_term("p1..assistants.salary").unwrap()).unwrap();
+    let salaries = engine
+        .eval_ground(&s, &parse_term("p1..assistants.salary").unwrap())
+        .unwrap();
     assert_eq!(salaries.len(), 2);
     // p1..assistants..projects — the set of projects of all assistants
-    let projects = engine.eval_ground(&s, &parse_term("p1..assistants..projects").unwrap()).unwrap();
+    let projects = engine
+        .eval_ground(&s, &parse_term("p1..assistants..projects").unwrap())
+        .unwrap();
     assert_eq!(projects.len(), 3);
     // p1.paidFor@(p1..vehicles) — the set of prices paid
-    let prices = engine.eval_ground(&s, &parse_term("p1.paidFor@(p1..vehicles)").unwrap()).unwrap();
+    let prices = engine
+        .eval_ground(&s, &parse_term("p1.paidFor@(p1..vehicles)").unwrap())
+        .unwrap();
     assert_eq!(prices.len(), 2);
     // accessing the assistants one by one through a variable
     let t = parse_term("p1[assistants ->> {X[salary -> 1000]}]").unwrap();
@@ -249,7 +257,9 @@ fn e6_rule_6_1_vs_6_2() {
     .unwrap();
     let stats = engine.load_program(&mut s1, &program).unwrap();
     assert_eq!(stats.virtual_objects, 1);
-    let dept = engine.eval_ground(&s1, &parse_term("p1.boss.worksFor").unwrap()).unwrap();
+    let dept = engine
+        .eval_ground(&s1, &parse_term("p1.boss.worksFor").unwrap())
+        .unwrap();
     assert_eq!(names(&s1, dept), ["cs1"].iter().map(|s| s.to_string()).collect());
 
     let mut s2 = Structure::new();
@@ -263,7 +273,10 @@ fn e6_rule_6_1_vs_6_2() {
     assert_eq!(stats.virtual_objects, 0);
     let dept = engine.eval_ground(&s2, &parse_term("bert.worksFor").unwrap()).unwrap();
     assert_eq!(names(&s2, dept), ["cs2"].iter().map(|s| s.to_string()).collect());
-    assert!(engine.eval_ground(&s2, &parse_term("p1.boss").unwrap()).unwrap().is_empty());
+    assert!(engine
+        .eval_ground(&s2, &parse_term("p1.boss").unwrap())
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -283,7 +296,10 @@ fn e7_transitive_closure_6_4_and_generic_tc() {
     let desc = engine.eval_ground(&s, &parse_term("peter..desc").unwrap()).unwrap();
     assert_eq!(
         names(&s, desc),
-        ["tim", "mary", "sally", "tom", "paul"].iter().map(|s| s.to_string()).collect()
+        ["tim", "mary", "sally", "tom", "paul"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     );
 
     // generic kids.tc (guarded; see DESIGN.md) reproduces the paper's answer
@@ -297,10 +313,15 @@ fn e7_transitive_closure_6_4_and_generic_tc() {
     ))
     .unwrap();
     engine.load_program(&mut s, &program).unwrap();
-    let closure = engine.eval_ground(&s, &parse_term("peter..(kids.tc)").unwrap()).unwrap();
+    let closure = engine
+        .eval_ground(&s, &parse_term("peter..(kids.tc)").unwrap())
+        .unwrap();
     assert_eq!(
         names(&s, closure),
-        ["tim", "mary", "sally", "tom", "paul"].iter().map(|s| s.to_string()).collect()
+        ["tim", "mary", "sally", "tom", "paul"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     );
     // the derived method is itself referenced through a path — no new name
     // and no function symbol was needed.
@@ -330,7 +351,10 @@ fn e8_stratification_requirement() {
     )
     .unwrap();
     let mut s = Structure::new();
-    assert!(matches!(engine.load_program(&mut s, &bad), Err(Error::NotStratifiable(_))));
+    assert!(matches!(
+        engine.load_program(&mut s, &bad),
+        Err(Error::NotStratifiable(_))
+    ));
 }
 
 #[test]
@@ -347,7 +371,10 @@ fn e9_xsql_view_6_3_vs_pathlog_virtual_objects() {
 
     // XSQL: CREATE VIEW EmployeeBoss ... OID FUNCTION OF X
     let mut with_view = base.clone();
-    let stats = materialize(&mut with_view, &ViewDef::new("EmployeeBoss", "employee").attr("WorksFor", &["worksFor"]));
+    let stats = materialize(
+        &mut with_view,
+        &ViewDef::new("EmployeeBoss", "employee").attr("WorksFor", &["worksFor"]),
+    );
     assert_eq!(stats.objects, 2);
     // the derived object needs the function-symbol-style name EmployeeBoss(p1)
     assert!(with_view.lookup_name(&Name::atom("EmployeeBoss(p1)")).is_some());
@@ -358,8 +385,13 @@ fn e9_xsql_view_6_3_vs_pathlog_virtual_objects() {
     let program = parse_program("X.boss[worksFor -> D] <- X : employee[worksFor -> D].").unwrap();
     let stats = engine.load_program(&mut with_rule, &program).unwrap();
     assert_eq!(stats.virtual_objects, 2);
-    let boss_dept = engine.eval_ground(&with_rule, &parse_term("p1.boss.worksFor").unwrap()).unwrap();
-    assert_eq!(names(&with_rule, boss_dept), ["cs1"].iter().map(|s| s.to_string()).collect());
+    let boss_dept = engine
+        .eval_ground(&with_rule, &parse_term("p1.boss.worksFor").unwrap())
+        .unwrap();
+    assert_eq!(
+        names(&with_rule, boss_dept),
+        ["cs1"].iter().map(|s| s.to_string()).collect()
+    );
 }
 
 #[test]
@@ -387,5 +419,8 @@ fn signatures_make_virtual_objects_type_checkable() {
     let errors = pathlog::core::typing::type_check(&s);
     // p9's own fact and p9's virtual boss both violate the signature.
     assert_eq!(errors.len(), 2);
-    assert!(errors.iter().any(|e| s.is_virtual(e.receiver)), "a virtual object is among the offenders");
+    assert!(
+        errors.iter().any(|e| s.is_virtual(e.receiver)),
+        "a virtual object is among the offenders"
+    );
 }

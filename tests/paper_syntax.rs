@@ -10,10 +10,19 @@ use pathlog::prelude::*;
 /// (expression, is a rule/fact, expected set-valued) — terms only.
 const TERMS: &[(&str, bool)] = &[
     // Section 2
-    ("X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]", true),
-    ("X[age -> 30; city -> newYork].vehicles[cylinders -> 4][Y].color[Z]", false),
+    (
+        "X : employee[age -> 30; city -> newYork]..vehicles : automobile[cylinders -> 4].color[Z]",
+        true,
+    ),
+    (
+        "X[age -> 30; city -> newYork].vehicles[cylinders -> 4][Y].color[Z]",
+        false,
+    ),
     ("X[city -> X.boss.city]", false),
-    ("X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]", true),
+    (
+        "X : manager..vehicles[color -> red].producedBy[cityOf -> detroit; president -> X]",
+        true,
+    ),
     // Section 4
     ("mary.spouse", false),
     ("mary.spouse[boss -> mary]", false),
@@ -35,7 +44,6 @@ const TERMS: &[(&str, bool)] = &[
     ("p1..assistants..projects", true),
     ("p1.paidFor@(p1..vehicles)", true),
     ("p2[boss -> p1..assistants]", false), // ill-formed (4.5), still parses; scalar receiver
-
     ("p1[assistants ->> {X[salary -> 1000]}]", false),
     ("john..kids..kids", true),
 ];
@@ -89,7 +97,11 @@ fn only_4_5_is_ill_formed_among_the_paper_terms() {
     for (src, _) in TERMS {
         let term = parse_term(src).unwrap();
         let expected_ill_formed = *src == "p2[boss -> p1..assistants]";
-        assert_eq!(!is_well_formed(&term), expected_ill_formed, "well-formedness of `{src}`");
+        assert_eq!(
+            !is_well_formed(&term),
+            expected_ill_formed,
+            "well-formedness of `{src}`"
+        );
     }
 }
 

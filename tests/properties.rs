@@ -39,8 +39,13 @@ fn simple_term() -> impl Strategy<Value = Term> {
 /// A reference in parser normal form, with bounded depth.
 fn term_strategy() -> impl Strategy<Value = Term> {
     simple_term().prop_recursive(3, 24, 4, |inner| {
-        let filter = (simple_term(), prop::collection::vec(inner.clone(), 0..2), inner.clone(), 0..3u8).prop_map(
-            |(method, args, value, kind)| {
+        let filter = (
+            simple_term(),
+            prop::collection::vec(inner.clone(), 0..2),
+            inner.clone(),
+            0..3u8,
+        )
+            .prop_map(|(method, args, value, kind)| {
                 // Method positions must be simple; wrap anything else in parentheses.
                 let method = if method.is_simple() { method } else { method.paren() };
                 let value = match kind {
@@ -49,8 +54,7 @@ fn term_strategy() -> impl Strategy<Value = Term> {
                     _ => FilterValue::SigScalar(vec![Term::name("integer")]),
                 };
                 Filter { method, args, value }
-            },
-        );
+            });
         prop_oneof![
             // paths
             (inner.clone(), simple_term(), any::<bool>()).prop_map(|(recv, method, set)| {
@@ -65,7 +69,12 @@ fn term_strategy() -> impl Strategy<Value = Term> {
             }),
             // molecules (receiver must not itself be a molecule so that the
             // printed `r[f1][f2]` form does not re-parse to a merged filter list)
-            (inner.clone().prop_filter("non-molecule receiver", |t| !matches!(t, Term::Molecule(_))), prop::collection::vec(filter, 1..3))
+            (
+                inner
+                    .clone()
+                    .prop_filter("non-molecule receiver", |t| !matches!(t, Term::Molecule(_))),
+                prop::collection::vec(filter, 1..3)
+            )
                 .prop_map(|(recv, filters)| recv.filters(filters)),
             // class membership
             (inner.clone(), simple_term()).prop_map(|(recv, class)| {

@@ -30,10 +30,22 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     let m = 0u8..3;
     let o = 0u8..5;
     prop_oneof![
-        (m.clone(), o.clone(), o.clone()).prop_map(|(method, receiver, value)| Op::AssertScalar { method, receiver, value }),
+        (m.clone(), o.clone(), o.clone()).prop_map(|(method, receiver, value)| Op::AssertScalar {
+            method,
+            receiver,
+            value
+        }),
         (m.clone(), o.clone()).prop_map(|(method, receiver)| Op::RetractScalar { method, receiver }),
-        (m.clone(), o.clone(), o.clone()).prop_map(|(method, receiver, member)| Op::AddMember { method, receiver, member }),
-        (m, o.clone(), o).prop_map(|(method, receiver, member)| Op::RemoveMember { method, receiver, member }),
+        (m.clone(), o.clone(), o.clone()).prop_map(|(method, receiver, member)| Op::AddMember {
+            method,
+            receiver,
+            member
+        }),
+        (m, o.clone(), o).prop_map(|(method, receiver, member)| Op::RemoveMember {
+            method,
+            receiver,
+            member
+        }),
     ]
 }
 
@@ -112,8 +124,16 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 fn sql_attr() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["vehicles", "color", "boss", "city", "kids", "producedBy", "president"])
-        .prop_map(str::to_string)
+    prop::sample::select(vec![
+        "vehicles",
+        "color",
+        "boss",
+        "city",
+        "kids",
+        "producedBy",
+        "president",
+    ])
+    .prop_map(str::to_string)
 }
 
 fn sql_base() -> impl Strategy<Value = String> {

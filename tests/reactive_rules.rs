@@ -58,8 +58,14 @@ fn production_retraction_then_deduction_stays_a_model() {
     let mut production = ProductionEngine::new();
     production.add_rule(ProductionRule::new(
         "drop-bosses",
-        vec![Literal::pos(Term::var("X").isa("employee").filter(Filter::scalar("boss", Term::var("B"))))],
-        vec![Action::Retract(Term::var("X").filter(Filter::scalar("boss", Term::var("B"))))],
+        vec![Literal::pos(
+            Term::var("X")
+                .isa("employee")
+                .filter(Filter::scalar("boss", Term::var("B"))),
+        )],
+        vec![Action::Retract(
+            Term::var("X").filter(Filter::scalar("boss", Term::var("B"))),
+        )],
     ));
     let stats = production.run(&mut structure).unwrap();
     assert!(stats.retracted > 0);
@@ -86,7 +92,10 @@ fn active_triggers_keep_a_derived_attribute_in_sync() {
         "on-add",
         Event::SetMemberAdded(Name::atom("vehicles")),
         vec![Literal::pos(Term::var("Receiver").isa("employee"))],
-        vec![EcaAction::AddIsA { object: Term::var("Member"), class: Name::atom("tracked") }],
+        vec![EcaAction::AddIsA {
+            object: Term::var("Member"),
+            class: Name::atom("tracked"),
+        }],
     ));
     store.add_rule(EcaRule::new(
         "on-remove",
@@ -134,7 +143,10 @@ fn production_and_deductive_engines_agree_on_monotone_rule_sets() {
 
     // Production: the same two rules as condition/action pairs.
     let mut produced = base.clone();
-    let mut engine = ProductionEngine::with_options(ProductionOptions { max_cycles: 1_000, ..Default::default() });
+    let mut engine = ProductionEngine::with_options(ProductionOptions {
+        max_cycles: 1_000,
+        ..Default::default()
+    });
     for rule in &program.rules {
         engine.add_rule(ProductionRule::new(
             "desc",
@@ -150,10 +162,17 @@ fn production_and_deductive_engines_agree_on_monotone_rule_sets() {
             .set_facts_of_method(desc)
             .flat_map(|f| {
                 let receiver = s.display_name(f.receiver);
-                f.members.iter().map(move |&m| (receiver.clone(), s.display_name(m))).collect::<Vec<_>>()
+                f.members
+                    .iter()
+                    .map(move |&m| (receiver.clone(), s.display_name(m)))
+                    .collect::<Vec<_>>()
             })
             .collect()
     };
     assert_eq!(collect(&deductive), collect(&produced));
-    assert_eq!(collect(&deductive).len(), 8, "the paper family has eight descendant pairs");
+    assert_eq!(
+        collect(&deductive).len(),
+        8,
+        "the paper family has eight descendant pairs"
+    );
 }

@@ -124,8 +124,12 @@ fn view_6_3_defines_the_same_departments_as_rule_6_1_reports() {
         &catalog,
     )
     .unwrap();
-    let StatementResult::ViewDefined { virtual_objects, .. } = &results[0] else { panic!("expected a view") };
-    let StatementResult::Rows { rows, .. } = &results[1] else { panic!("expected rows") };
+    let StatementResult::ViewDefined { virtual_objects, .. } = &results[0] else {
+        panic!("expected a view")
+    };
+    let StatementResult::Rows { rows, .. } = &results[1] else {
+        panic!("expected rows")
+    };
     let via_view: BTreeSet<String> = rows.iter().map(|r| r[0].clone()).collect();
     let direct = pathlog_answers(&structure, "X : employee[worksFor -> D]", "D");
     assert_eq!(via_view, direct);

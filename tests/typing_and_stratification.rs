@@ -52,10 +52,8 @@ fn strict_coverage_mode_reports_uncovered_facts() {
     .unwrap();
     engine.load_program(&mut s, &program).unwrap();
     assert!(pathlog::core::typing::type_check(&s).is_empty());
-    let strict = pathlog::core::typing::type_check_with(
-        &s,
-        pathlog::core::typing::TypeCheckOptions { strict_coverage: true },
-    );
+    let strict =
+        pathlog::core::typing::type_check_with(&s, pathlog::core::typing::TypeCheckOptions { strict_coverage: true });
     assert_eq!(strict.len(), 1, "the intruder's salary is covered by no signature");
 }
 
@@ -104,7 +102,10 @@ fn negation_that_depends_on_its_own_definitions_is_rejected() {
     .unwrap();
     let mut s = Structure::new();
     let engine = Engine::new();
-    assert!(matches!(engine.load_program(&mut s, &program), Err(Error::NotStratifiable(_))));
+    assert!(matches!(
+        engine.load_program(&mut s, &program),
+        Err(Error::NotStratifiable(_))
+    ));
 }
 
 #[test]
@@ -167,6 +168,12 @@ fn evaluation_limits_guard_against_runaway_programs() {
     )
     .unwrap();
     let mut s = Structure::new();
-    let engine = Engine::with_options(EvalOptions { max_iterations: 30, ..EvalOptions::default() });
-    assert!(matches!(engine.load_program(&mut s, &program), Err(Error::LimitExceeded(_))));
+    let engine = Engine::with_options(EvalOptions {
+        max_iterations: 30,
+        ..EvalOptions::default()
+    });
+    assert!(matches!(
+        engine.load_program(&mut s, &program),
+        Err(Error::LimitExceeded(_))
+    ));
 }

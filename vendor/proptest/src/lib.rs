@@ -1,0 +1,127 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the slice of the proptest API the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, strategies for integer ranges, tuples, vectors
+//! ([`collection::vec`]) and uniform selection ([`sample::select`]), plus the
+//! [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`]
+//! macros.
+//!
+//! Differences from real proptest: generation is plain pseudo-random (no
+//! size-driven growth) and failing cases are reported but **not shrunk**.
+//! Like real proptest, every run explores a fresh random case set; failures
+//! print the run seed and can be replayed with `PROPTEST_SEED=<seed>`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Run each test case body, failing the surrounding test on the first case
+/// whose body returns an error.
+///
+/// Supports the subset of the real macro's grammar used in this workspace:
+/// an optional `#![proptest_config(..)]` inner attribute followed by test
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::default_seed(stringify!($name));
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::gen_value(&strategies, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed (replay with PROPTEST_SEED={}): {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            rng.run_seed(),
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fail the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}

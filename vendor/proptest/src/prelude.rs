@@ -1,0 +1,7 @@
+//! The usual `use proptest::prelude::*;` imports.
+
+pub use crate as prop;
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

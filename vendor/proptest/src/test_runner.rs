@@ -1,0 +1,113 @@
+//! Test-runner configuration, RNG and case-failure plumbing.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test function runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Splitmix64 generator driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    run_seed: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from an explicit value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed,
+            run_seed: seed,
+        }
+    }
+
+    /// A generator for one test run: the per-test stream mixes an FNV-1a
+    /// hash of the test name with a per-run seed, so each run explores a
+    /// fresh case set (like real proptest) while staying reproducible.
+    ///
+    /// The run seed comes from `PROPTEST_SEED` if set, otherwise from the
+    /// system clock; [`TestRng::run_seed`] reports it so failures can be
+    /// replayed with `PROPTEST_SEED=<seed>`.
+    pub fn default_seed(test_name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let run_seed = match std::env::var("PROPTEST_SEED") {
+            Ok(value) => value
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got `{value}`")),
+            Err(_) => std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0),
+        };
+        TestRng {
+            state: hash ^ run_seed,
+            run_seed,
+        }
+    }
+
+    /// The per-run seed mixed into this generator (set `PROPTEST_SEED` to
+    /// this value to replay the run).
+    pub fn run_seed(&self) -> u64 {
+        self.run_seed
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample below 0");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Why a test case failed (carried out of the case body by the
+/// `prop_assert!` family of macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
