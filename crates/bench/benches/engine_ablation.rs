@@ -1,5 +1,6 @@
-//! Ablation: the coarse-grained semi-naive optimisation (`delta_driven`) of
-//! the engine, on the recursive `desc` workload where it matters most.
+//! Ablation: the engine's semi-naive evaluation (`delta_driven`) — per-rule
+//! watermark deltas with per-literal delta joins — against naive full
+//! re-solves, on the recursive `desc` workload where it matters most.
 //! DESIGN.md calls this design choice out; this bench quantifies it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -30,7 +31,7 @@ fn bench_engine_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for &(depth, fanout) in &[(6usize, 2usize), (8, 2)] {
+    for &(depth, fanout) in &[(6usize, 2usize), (8, 2), (10, 2)] {
         let structure = pathlog_bench::workloads::genealogy(depth, fanout);
         let label = format!("d{depth}f{fanout}");
         group.bench_with_input(BenchmarkId::new("delta_on", &label), &structure, |b, s| {

@@ -5,6 +5,11 @@
 //! repetitions.  Criterion (`cargo bench`) produces the statistically sound
 //! numbers; this binary exists so the full table can be regenerated in
 //! seconds with `cargo run --release -p pathlog_bench --bin experiments`.
+//!
+//! With `--json <path>` the tables are additionally written as a
+//! machine-readable JSON document (`BENCH_results.json` by convention), so
+//! the perf trajectory can be tracked across pull requests and archived by
+//! CI.
 
 use std::time::Instant;
 
@@ -28,14 +33,66 @@ fn time_ms(mut f: impl FnMut() -> usize) -> (usize, f64) {
     (result, best)
 }
 
-fn print_table(title: &str, rows: &[Row]) {
-    println!("\n== {title} ==");
-    for row in rows {
-        println!("{row}");
+/// All experiment tables of one run, accumulated for printing and JSON.
+#[derive(Default)]
+struct Report {
+    tables: Vec<(String, Vec<Row>)>,
+}
+
+impl Report {
+    fn table(&mut self, title: &str, rows: Vec<Row>) {
+        println!("\n== {title} ==");
+        for row in &rows {
+            println!("{row}");
+        }
+        self.tables.push((title.to_string(), rows));
+    }
+
+    /// Serialise as JSON.  The values are answer sizes and millisecond
+    /// timings; names are plain ASCII, so escaping quotes and backslashes
+    /// suffices.
+    fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"experiments\": [\n");
+        for (t, (title, rows)) in self.tables.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\n      \"name\": \"{}\",\n      \"rows\": [\n",
+                esc(title)
+            ));
+            for (i, row) in rows.iter().enumerate() {
+                out.push_str(&format!("        {{\"scale\": \"{}\", \"values\": {{", esc(&row.scale)));
+                for (j, (name, value)) in row.values.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\": {}", esc(name), format_number(*value)));
+                }
+                out.push_str("}}");
+                out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ]\n    }");
+            out.push_str(if t + 1 < self.tables.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON-safe number formatting (finite floats only; fixed precision keeps
+/// diffs readable).
+fn format_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
     }
 }
 
 fn main() {
+    let json_path = parse_json_arg();
+    let mut report = Report::default();
     let scales = [200usize, 1_000, 5_000];
 
     // E1 — colours of employees' automobiles
@@ -58,7 +115,7 @@ fn main() {
             ],
         });
     }
-    print_table("E1: colours of employees' automobiles (1.1-1.3)", &rows);
+    report.table("E1: colours of employees' automobiles (1.1-1.3)", rows);
 
     // E2 — two-dimensional reference vs conjunction of paths
     let mut rows = Vec::new();
@@ -78,9 +135,9 @@ fn main() {
             ],
         });
     }
-    print_table(
+    report.table(
         "E2: two-dimensional reference (2.1) vs conjunction of paths (1.4)",
-        &rows,
+        rows,
     );
 
     // E3 — manager query
@@ -103,7 +160,7 @@ fn main() {
             ],
         });
     }
-    print_table("E3: manager query (Section 2)", &rows);
+    report.table("E3: manager query (Section 2)", rows);
 
     // E4/E6/E9 — virtual objects vs views
     let mut rows = Vec::new();
@@ -125,7 +182,7 @@ fn main() {
             ],
         });
     }
-    print_table("E4/E6/E9: virtual objects (2.4, 6.1) vs XSQL views (6.3)", &rows);
+    report.table("E4/E6/E9: virtual objects (2.4, 6.1) vs XSQL views (6.3)", rows);
 
     // E7 — transitive closure
     let mut rows = Vec::new();
@@ -147,13 +204,13 @@ fn main() {
             ],
         });
     }
-    print_table("E7: transitive closure (6.4, kids.tc) vs relational semi-naive", &rows);
+    report.table("E7: transitive closure (6.4, kids.tc) vs relational semi-naive", rows);
 
     // E10 — parser
     let (count, parse_ms) = time_ms(parsing::parse_all);
-    print_table(
+    report.table(
         "E10: parser over the paper's expressions",
-        &[Row {
+        vec![Row {
             scale: format!("expressions={count}"),
             values: vec![("parse_all_ms".into(), parse_ms)],
         }],
@@ -176,9 +233,9 @@ fn main() {
             ],
         });
     }
-    print_table(
+    report.table(
         "E11: direct semantics vs F-logic translation (Section 2 contrast)",
-        &rows,
+        rows,
     );
 
     // E12 — object-SQL frontend vs native PathLog
@@ -198,7 +255,7 @@ fn main() {
             ],
         });
     }
-    print_table("E12: object-SQL frontend (1.4) vs native PathLog", &rows);
+    report.table("E12: object-SQL frontend (1.4) vs native PathLog", rows);
 
     // E13 — production rules and active triggers
     let mut rows = Vec::new();
@@ -216,7 +273,7 @@ fn main() {
             ],
         });
     }
-    print_table("E13: production rules / active triggers (Section 7 outlook)", &rows);
+    report.table("E13: production rules / active triggers (Section 7 outlook)", rows);
 
     // E14 — parts explosion (transitive closure on a DAG)
     let mut rows = Vec::new();
@@ -235,7 +292,63 @@ fn main() {
             ],
         });
     }
-    print_table("E14: parts explosion closure (bill-of-materials DAG)", &rows);
+    report.table("E14: parts explosion closure (bill-of-materials DAG)", rows);
+
+    // E15 — the semi-naive ablation (delta_driven on/off) on the deepest
+    // recursive workloads, matching the `ablation_delta_driven` bench group.
+    let mut rows = Vec::new();
+    for &(depth, fanout) in &[(8usize, 2usize), (10, 2)] {
+        let s = workloads::genealogy(depth, fanout);
+        let program = pathlog_parser::parse_program(
+            "X[desc ->> {Y}] <- X[kids ->> {Y}].\n\
+             X[desc ->> {Y}] <- X..desc[kids ->> {Y}].\n\
+             X.summary[descendants ->> X..desc] <- X[kids ->> {Y}].",
+        )
+        .expect("ablation program parses");
+        let run = |delta: bool| {
+            let mut s2 = s.clone();
+            let engine = pathlog_core::engine::Engine::with_options(pathlog_core::engine::EvalOptions {
+                delta_driven: delta,
+                ..Default::default()
+            });
+            engine
+                .load_program(&mut s2, &program)
+                .expect("rules evaluate")
+                .set_members
+        };
+        let (members_on, on_ms) = time_ms(|| run(true));
+        let (members_off, off_ms) = time_ms(|| run(false));
+        assert_eq!(members_on, members_off, "naive and semi-naive must agree");
+        rows.push(Row {
+            scale: format!("depth={depth} fanout={fanout}"),
+            values: vec![
+                // desc pairs plus the summary rule's copies — not the bare
+                // closure size E7 reports.
+                ("derived_set_members".into(), members_on as f64),
+                ("delta_on_ms".into(), on_ms),
+                ("delta_off_ms".into(), off_ms),
+                ("speedup".into(), off_ms / on_ms),
+            ],
+        });
+    }
+    report.table("E15: ablation_delta_driven (semi-naive vs naive evaluation)", rows);
 
     println!("\nAll experiments finished; answers agreed across PathLog and the baselines.");
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("write JSON results");
+        println!("Wrote machine-readable results to {path}");
+    }
+}
+
+/// Parse `--json <path>` from the command line, if present.
+fn parse_json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: experiments [--json <path>]");
+            std::process::exit(2);
+        }
+    }
 }

@@ -7,11 +7,27 @@
 //! objects for undefined head paths (see [`virtuals`]).  Iteration stops when
 //! no rule adds new information.
 //!
-//! Between iterations the engine tracks which method/class names changed and
-//! skips rules whose bodies cannot be affected — a coarse-grained
-//! semi-naive optimisation that retains the simplicity of naive evaluation
-//! (rules are re-evaluated from scratch, but only when they can produce
-//! something new).
+//! With [`EvalOptions::delta_driven`] enabled (the default) the fixpoint is
+//! computed **semi-naively** at the granularity of body literals.  The
+//! engine captures watermarks ([`EvalMarks`]) of the structure at every
+//! iteration boundary; the facts between two consecutive watermarks — new
+//! scalar results, set members, is-a closure pairs, objects and signatures —
+//! form the iteration's *delta* ([`DeltaView`], an O(delta) slice of the
+//! fact-store insertion logs).  A rule whose read set intersects the changed
+//! dependency keys is then solved once per affected body literal, with that
+//! literal restricted to answers whose derivation reads the delta
+//! ([`crate::semantics::delta_answers`]) while the remaining literals join
+//! against the full structure.  Any firing that could add new information
+//! reads at least one fact derived in the previous iteration, so the union
+//! of these per-literal delta solves is complete; rules none of whose keys
+//! changed are skipped outright.  On recursive workloads (the transitive
+//! closures of Section 6) this turns each iteration from O(|closure|) into
+//! O(|delta|).
+//!
+//! With `delta_driven: false` every rule is re-solved in full each iteration
+//! — the naive evaluation kept as the ablation arm of the
+//! `ablation_delta_driven` experiment, and as the oracle the property tests
+//! compare the semi-naive evaluation against.
 
 mod stratify;
 mod virtuals;
@@ -19,12 +35,12 @@ mod virtuals;
 pub use stratify::{stratify, Stratification};
 pub use virtuals::{assert_head, AssertEffect, AssertOptions};
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 use crate::error::{Error, Result};
 use crate::names::Name;
-use crate::program::{DepKey, Literal, Program, Query, Rule, RuleInfo};
-use crate::semantics::{answers, Answer, Bindings};
+use crate::program::{literal_reads, DepKey, Literal, Program, Query, Rule, RuleInfo};
+use crate::semantics::{answers, delta_answers, Answer, Bindings, DeltaView, EvalMarks};
 use crate::structure::{Oid, Structure};
 use crate::term::Term;
 
@@ -38,8 +54,11 @@ pub struct EvalOptions {
     pub max_derived: usize,
     /// Create virtual objects for undefined scalar paths in rule heads.
     pub create_virtuals: bool,
-    /// Skip rules whose dependencies did not change in the previous
-    /// iteration (coarse-grained semi-naive evaluation).
+    /// Evaluate the fixpoint semi-naively: skip rules whose dependencies did
+    /// not change in the previous iteration, and solve affected recursive
+    /// rules per body literal with that literal restricted to the
+    /// iteration's delta.  Disabling this yields naive evaluation (every
+    /// rule re-solved in full each iteration) — the ablation arm.
     pub delta_driven: bool,
 }
 
@@ -73,6 +92,12 @@ pub struct EvalStats {
     pub signatures: usize,
     /// Virtual objects created.
     pub virtual_objects: usize,
+    /// Rule evaluations skipped because no dependency changed.
+    pub rules_skipped: usize,
+    /// Rule evaluations solved per-literal against an iteration delta.
+    pub delta_solves: usize,
+    /// Rule evaluations solved against the full structure.
+    pub full_solves: usize,
 }
 
 impl EvalStats {
@@ -154,6 +179,29 @@ impl Engine {
         let assert_options = AssertOptions {
             create_virtuals: self.options.create_virtuals,
         };
+        // Per-literal read keys, used to pick which body literals the
+        // iteration delta can drive (positive literals only; negated and
+        // set-at-a-time reads are stratified below the current stratum).
+        let body_reads: Vec<Vec<Option<BTreeSet<DepKey>>>> = if self.options.delta_driven {
+            rules
+                .iter()
+                .map(|rule| {
+                    rule.body
+                        .iter()
+                        .map(|lit| lit.positive.then(|| literal_reads(&lit.term)))
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Watermarks of the structure state each rule last solved against.
+        // A rule's delta is "everything asserted since *it* last ran" — not
+        // since the iteration started — so facts a rule already joined
+        // through (e.g. those asserted by earlier rules in the same
+        // iteration) are never re-presented to it as new.
+        let mut last_marks: Vec<Option<EvalMarks>> = vec![None; rules.len()];
 
         for stratum in &stratification.strata {
             let mut changed_keys: Option<BTreeSet<DepKey>> = None; // None = first iteration, fire everything
@@ -167,18 +215,47 @@ impl Engine {
                 }
                 let mut new_keys: BTreeSet<DepKey> = BTreeSet::new();
                 let mut any_change = false;
+                let iter_isa_mark = structure.isa().closure_size();
 
                 for &r in stratum {
                     let rule = &rules[r];
                     let info = &infos[r];
-                    if self.options.delta_driven {
-                        if let Some(changed) = &changed_keys {
+                    let solutions = match (&changed_keys, last_marks[r]) {
+                        (Some(changed), Some(lo)) if self.options.delta_driven => {
                             if !rule_affected(info, changed) {
+                                stats.rules_skipped += 1;
                                 continue;
                             }
+                            let now = EvalMarks::capture(structure);
+                            let lo_marks = lo;
+                            last_marks[r] = Some(now);
+                            if now == lo_marks {
+                                // Affected by key, but nothing actually new
+                                // since this rule last solved.
+                                stats.rules_skipped += 1;
+                                continue;
+                            }
+                            let dv = DeltaView::between(structure, &lo_marks, &now);
+                            let delta_lits = delta_literals(structure, &body_reads[r], &dv);
+                            if delta_lits.is_empty() {
+                                // Affected by iteration-level keys, but
+                                // nothing in this rule's own window can
+                                // drive any of its literals — its solutions
+                                // are unchanged.
+                                stats.rules_skipped += 1;
+                                continue;
+                            }
+                            stats.delta_solves += 1;
+                            solve_body_delta(structure, &rule.body, &Bindings::new(), &delta_lits, &dv)?
                         }
-                    }
-                    let solutions = solve_body(structure, &rule.body, &Bindings::new())?;
+                        _ => {
+                            if self.options.delta_driven {
+                                last_marks[r] = Some(EvalMarks::capture(structure));
+                            }
+                            stats.full_solves += 1;
+                            solve_body(structure, &rule.body, &Bindings::new())?
+                        }
+                    };
                     for bindings in solutions {
                         let (_, effect) = assert_head(structure, &rule.head, &bindings, assert_options)?;
                         if effect.changed() {
@@ -186,6 +263,15 @@ impl Engine {
                             stats.firings += 1;
                             stats.absorb(effect);
                             new_keys.extend(info.defines.iter().cloned());
+                            // A fresh virtual object can satisfy literals
+                            // through positions that read no named key (a
+                            // bare variable, a built-in filter), so object
+                            // creation is published as the catch-all key —
+                            // every rule is re-examined, and the per-rule
+                            // window keeps that cheap.
+                            if effect.virtual_objects > 0 {
+                                new_keys.insert(DepKey::Unknown);
+                            }
                         }
                         if stats.derived() > self.options.max_derived {
                             return Err(Error::LimitExceeded(format!(
@@ -196,6 +282,18 @@ impl Engine {
                     }
                 }
 
+                // Deriving `X : c` also adds closure pairs `(X, super)` for
+                // every superclass of `c`; rules that read only a superclass
+                // key must be woken too, so publish every class actually
+                // reached by this iteration's closure growth (O(new pairs),
+                // sliced from the is-a insertion log).  Unnamed classes get
+                // the catch-all key.
+                for &(_, sup) in structure.isa().pairs_since(iter_isa_mark) {
+                    new_keys.insert(match structure.name_of(sup) {
+                        Some(n) => DepKey::Known(n.clone()),
+                        None => DepKey::Unknown,
+                    });
+                }
                 if !any_change {
                     break;
                 }
@@ -219,6 +317,34 @@ impl Engine {
     pub fn eval_ground(&self, structure: &Structure, term: &Term) -> Result<BTreeSet<Oid>> {
         crate::semantics::valuate(structure, term, &Bindings::new())
     }
+}
+
+/// The indices of the positive body literals the rule's delta window can
+/// drive.  Selection is against the window's *contents* — not against the
+/// previous iteration's changed-key set, which has the wrong granularity: a
+/// rule's window spans back to its own last solve, so it can hold facts of
+/// keys that only entered the iteration-level changed set earlier (e.g.
+/// facts asserted by an earlier rule within the same iteration).  A literal
+/// qualifies when a key it reads has new facts in the window (or is
+/// `Unknown`); when objects were created or signature declarations changed,
+/// every positive literal qualifies (new objects can satisfy key-less
+/// positions such as bare variables or built-in filters, and declarations
+/// carry no per-key stamps).
+fn delta_literals(structure: &Structure, reads: &[Option<BTreeSet<DepKey>>], dv: &DeltaView) -> Vec<usize> {
+    let all = dv.has_new_objects() || dv.sigs_changed();
+    reads
+        .iter()
+        .enumerate()
+        .filter_map(|(i, keys)| {
+            let keys = keys.as_ref()?;
+            let drivable = all
+                || keys.iter().any(|k| match k {
+                    DepKey::Unknown => true,
+                    DepKey::Known(name) => structure.lookup_name(name).is_some_and(|oid| dv.has_new_facts_for(oid)),
+                });
+            drivable.then_some(i)
+        })
+        .collect()
 }
 
 /// Does `info` read anything in `changed`?
@@ -257,13 +383,67 @@ fn register_names(structure: &mut Structure, term: &Term) {
 /// order; negated literals are checked last (validation guarantees their
 /// variables are bound by then).
 pub fn solve_body(structure: &Structure, body: &[Literal], seed: &Bindings) -> Result<Vec<Bindings>> {
+    solve_body_pass(structure, body, seed, None)
+}
+
+/// Solve a body conjunction semi-naively: for each literal index in
+/// `delta_literals`, solve the body once with that literal restricted to
+/// answers whose derivation reads `dv` (the iteration delta) while every
+/// other literal joins against the full structure, and return the
+/// deduplicated union.  This is the per-literal decomposition of classic
+/// semi-naive evaluation: a solution that can contribute new information
+/// reads at least one delta fact in at least one literal, so it is found by
+/// the pass that restricts that literal.
+pub fn solve_body_delta(
+    structure: &Structure,
+    body: &[Literal],
+    seed: &Bindings,
+    delta_literals: &[usize],
+    dv: &DeltaView,
+) -> Result<Vec<Bindings>> {
+    let mut pass_results: Vec<Vec<Bindings>> = Vec::with_capacity(delta_literals.len());
+    for &d in delta_literals {
+        pass_results.push(solve_body_pass(structure, body, seed, Some((d, dv)))?);
+    }
+    // Each pass deduplicated itself (per literal stage); the cross-pass
+    // union only needs deduplication when more than one pass contributed.
+    if pass_results.iter().filter(|r| !r.is_empty()).count() <= 1 {
+        return Ok(pass_results.into_iter().flatten().collect());
+    }
+    let mut out = Vec::new();
+    let mut seen: HashSet<BindingKey> = HashSet::new();
+    for s in pass_results.into_iter().flatten() {
+        if seen.insert(binding_key(&s)) {
+            out.push(s);
+        }
+    }
+    Ok(out)
+}
+
+/// One solve over a body: positive literals joined in source order with
+/// per-stage deduplication, negated literals applied as filters last.  With
+/// `delta` set to `(d, view)`, the answers of positive literal `d` are
+/// restricted to derivations that read the delta view; with `None` every
+/// literal joins against the full structure.
+fn solve_body_pass(
+    structure: &Structure,
+    body: &[Literal],
+    seed: &Bindings,
+    delta: Option<(usize, &DeltaView)>,
+) -> Result<Vec<Bindings>> {
     let mut states = vec![seed.clone()];
-    // positive literals first, in source order
-    for lit in body.iter().filter(|l| l.positive) {
+    for (j, lit) in body.iter().enumerate() {
+        if !lit.positive {
+            continue;
+        }
         let mut next = Vec::new();
-        let mut seen: BTreeSet<Vec<(String, u32)>> = BTreeSet::new();
+        let mut seen: HashSet<BindingKey> = HashSet::new();
         for s in &states {
-            for a in answers(structure, &lit.term, s)? {
+            let lit_answers = match delta {
+                Some((d, dv)) if j == d => delta_answers(structure, &lit.term, s, dv)?,
+                _ => answers(structure, &lit.term, s)?,
+            };
+            for a in lit_answers {
                 if seen.insert(binding_key(&a.bindings)) {
                     next.push(a.bindings);
                 }
@@ -292,11 +472,14 @@ pub fn solve_body(structure: &Structure, body: &[Literal], seed: &Bindings) -> R
 
 /// A canonical, order-independent key for a set of bindings (used to remove
 /// duplicate valuations produced by set-valued references).
-fn binding_key(b: &Bindings) -> Vec<(String, u32)> {
-    let mut key: Vec<(String, u32)> = b.iter().map(|(v, o)| (v.0.clone(), o.0)).collect();
+fn binding_key(b: &Bindings) -> BindingKey {
+    let mut key: BindingKey = b.iter().map(|(v, o)| (v.0.clone(), o.0)).collect();
     key.sort();
     key
 }
+
+/// The canonical key type: variable names (cheaply shared) and object ids.
+type BindingKey = Vec<(std::sync::Arc<str>, u32)>;
 
 #[cfg(test)]
 mod tests {
@@ -651,6 +834,261 @@ mod tests {
         });
         let err = engine.run_rules(&mut s, &rules).unwrap_err();
         assert!(matches!(err, Error::LimitExceeded(_)));
+    }
+
+    #[test]
+    fn delta_method_resolving_to_builtin_enumerates_receivers_in_full() {
+        // Regression: a path literal whose *method derivation* lands in the
+        // delta and resolves to a built-in method (here `self`, via the
+        // derived alias fact a.alias = self).  Built-ins have no stored
+        // facts, so the per-method receiver seeding must fall back to full
+        // enumeration or the join silently drops every receiver.
+        //   X : copied <- X.(a.alias), X : person.
+        // `tim : person` and the seed fact live in the EDB (pre-asserted),
+        // and the copied rule comes FIRST, so the alias fact is derived
+        // *after* its iteration-1 solve and the only delta literal of the
+        // later iteration is the path whose method resolves to `self` — the
+        // join a wrongly-seeded built-in method would drop.
+        let rules = vec![
+            Rule::new(
+                Term::var("X").isa("copied"),
+                vec![
+                    Literal::pos(Term::var("X").scalar(Term::name("a").scalar("alias").paren())),
+                    Literal::pos(Term::var("X").isa("person")),
+                ],
+            ),
+            Rule::new(
+                Term::name("trigger").filter(Filter::scalar("on", Term::name("yes"))),
+                vec![Literal::pos(
+                    Term::name("seed").filter(Filter::scalar("go", Term::name("yes"))),
+                )],
+            ),
+            Rule::new(
+                Term::name("a").filter(Filter::scalar("alias", Term::name("self"))),
+                vec![Literal::pos(
+                    Term::name("trigger").filter(Filter::scalar("on", Term::name("yes"))),
+                )],
+            ),
+        ];
+        for delta_driven in [true, false] {
+            let mut s = Structure::new();
+            let (go, seed, yes) = (s.atom("go"), s.atom("seed"), s.atom("yes"));
+            s.assert_scalar(go, seed, &[], yes).unwrap();
+            let (tim, person) = (s.atom("tim"), s.atom("person"));
+            s.add_isa(tim, person);
+            Engine::with_options(EvalOptions {
+                delta_driven,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, &rules)
+            .unwrap();
+            let copied = oid(&s, "copied");
+            assert!(
+                s.in_class(oid(&s, "tim"), copied),
+                "tim must be copied (delta_driven: {delta_driven})"
+            );
+        }
+    }
+
+    #[test]
+    fn bare_variable_rule_sees_late_virtual_objects_under_unknown_keys() {
+        // Regression: a rule whose body reads no dependency keys at all
+        // (bare-variable literal) must still re-fire when the changed-key
+        // set contains `Unknown` — here the generic `(M.tc)` head — so the
+        // virtual tc-method object created mid-stratum is classified too.
+        //   Z : thing <- Z.
+        // The bare rule comes FIRST so that in iteration 1 it solves before
+        // the tc rules create the virtual method object — only a later
+        // iteration can classify it, which is exactly what a wrongly-skipped
+        // rule would miss.
+        let tc = |m: Term| m.scalar("tc").paren();
+        let guard = || Literal::pos(Term::var("M").isa("baseMethod"));
+        let mut rules = vec![Rule::new(
+            Term::var("Z").isa("thing"),
+            vec![Literal::pos(Term::var("Z"))],
+        )];
+        rules.extend(genealogy_facts());
+        rules.push(Rule::fact(Term::name("kids").isa("baseMethod")));
+        rules.push(Rule::new(
+            Term::var("X").filter(Filter::set(tc(Term::var("M")), vec![Term::var("Y")])),
+            vec![
+                guard(),
+                Literal::pos(Term::var("X").filter(Filter::set(Term::var("M"), vec![Term::var("Y")]))),
+            ],
+        ));
+        rules.push(Rule::new(
+            Term::var("X").filter(Filter::set(tc(Term::var("M")), vec![Term::var("Y")])),
+            vec![
+                guard(),
+                Literal::pos(
+                    Term::var("X")
+                        .set_args(tc(Term::var("M")), vec![])
+                        .filter(Filter::set(Term::var("M"), vec![Term::var("Y")])),
+                ),
+            ],
+        ));
+        let run = |delta_driven: bool| {
+            let mut s = Structure::new();
+            Engine::with_options(EvalOptions {
+                delta_driven,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, &rules)
+            .unwrap();
+            let thing = oid(&s, "thing");
+            (s.num_objects(), s.extent_size(thing), s.stats().isa_edges)
+        };
+        let semi = run(true);
+        let naive = run(false);
+        assert_eq!(semi, naive, "semi-naive and naive must classify the same objects");
+        // Every object — including the virtual tc method — is a thing.
+        assert_eq!(
+            semi.1,
+            semi.0 - 1,
+            "all objects except `thing` itself are in its extent"
+        );
+    }
+
+    #[test]
+    fn superclass_readers_are_woken_by_subclass_derivations() {
+        // Regression: deriving `tim : student` also puts (tim, person) into
+        // the transitive closure when `student isa person`; a rule that
+        // reads only `person` must be re-fired.  The mark rule is ordered
+        // FIRST so it solves before the student fact is derived and can
+        // only pick it up through a later iteration's wake-up.
+        //   x[mark ->> {Z}] <- Z : person.     X : student <- X[go -> yes].
+        let rules = vec![
+            Rule::new(
+                Term::name("x").filter(Filter::set("mark", vec![Term::var("Z")])),
+                vec![Literal::pos(Term::var("Z").isa("person"))],
+            ),
+            Rule::new(
+                Term::var("X").isa("student"),
+                vec![Literal::pos(
+                    Term::var("X").filter(Filter::scalar("go", Term::name("yes"))),
+                )],
+            ),
+        ];
+        let run = |delta_driven: bool| {
+            let mut s = Structure::new();
+            let (student, person) = (s.atom("student"), s.atom("person"));
+            s.add_isa(student, person);
+            let (go, tim, yes) = (s.atom("go"), s.atom("tim"), s.atom("yes"));
+            s.assert_scalar(go, tim, &[], yes).unwrap();
+            Engine::with_options(EvalOptions {
+                delta_driven,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, &rules)
+            .unwrap();
+            let mark = oid(&s, "mark");
+            s.apply_set(mark, oid(&s, "x"), &[]).map(BTreeSet::len).unwrap_or(0)
+        };
+        let semi = run(true);
+        let naive = run(false);
+        assert_eq!(semi, naive, "semi-naive must mark the same objects as naive");
+        assert_eq!(semi, 2, "both student (the class) and tim are persons");
+    }
+
+    #[test]
+    fn virtual_created_under_known_keys_reaches_keyless_rules() {
+        // Regression: a rule that reads no dependency keys at all must be
+        // woken when a virtual object appears, even when every changed key
+        // is Known (no generic `(M.tc)`-style Unknown in the program).
+        // Object creation publishes the catch-all key for exactly this.
+        //   Z : thing <- Z.        x.v[q -> c] <- a[p -> b].
+        let rules = vec![
+            Rule::new(Term::var("Z").isa("thing"), vec![Literal::pos(Term::var("Z"))]),
+            Rule::fact(Term::name("a").filter(Filter::scalar("p", Term::name("b")))),
+            Rule::new(
+                Term::name("x").scalar("v").filter(Filter::scalar("q", Term::name("c"))),
+                vec![Literal::pos(
+                    Term::name("a").filter(Filter::scalar("p", Term::name("b"))),
+                )],
+            ),
+        ];
+        let run = |delta_driven: bool| {
+            let mut s = Structure::new();
+            Engine::with_options(EvalOptions {
+                delta_driven,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, &rules)
+            .unwrap();
+            let thing = oid(&s, "thing");
+            (s.num_objects(), s.extent_size(thing), s.stats().isa_edges)
+        };
+        let semi = run(true);
+        let naive = run(false);
+        assert_eq!(semi, naive, "the virtual object must be classified in both modes");
+        assert_eq!(semi.1, semi.0 - 1, "every object except `thing` itself is a thing");
+    }
+
+    #[test]
+    fn same_iteration_fact_of_unchanged_key_is_not_lost() {
+        // Regression: drivable literals must be selected from the rule's
+        // own delta *window*, not from the previous iteration's changed-key
+        // set.  Here `marked` is first derived in the same iteration in
+        // which the `out` rule (which reads it) also runs: the iteration's
+        // changed set only names `desc` at that point, but the marked fact
+        // is inside the out rule's window — and by the next iteration it is
+        // behind the rule's watermark, so a changed-key-based selection
+        // loses the (old desc pair, new marked fact) joins forever.
+        let desc = |recv: Term| recv.filter(Filter::set("desc", vec![Term::var("Y")]));
+        let rules = vec![
+            Rule::fact(Term::name("d3").filter(Filter::set("kids", vec![Term::name("y")]))),
+            Rule::fact(Term::name("y").filter(Filter::set("kids", vec![Term::name("x")]))),
+            Rule::fact(Term::name("x").filter(Filter::set("kids", vec![Term::name("goal")]))),
+            Rule::fact(Term::name("d3").isa("watch")),
+            Rule::new(
+                desc(Term::var("X")),
+                vec![Literal::pos(
+                    Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+                )],
+            ),
+            Rule::new(
+                desc(Term::var("X")),
+                vec![Literal::pos(
+                    Term::var("X")
+                        .set("desc")
+                        .filter(Filter::set("kids", vec![Term::var("Y")])),
+                )],
+            ),
+            Rule::new(
+                Term::var("X").isa("marked"),
+                vec![
+                    Literal::pos(Term::var("X").filter(Filter::set("desc", vec![Term::name("goal")]))),
+                    Literal::pos(Term::var("X").isa("watch")),
+                ],
+            ),
+            Rule::new(
+                Term::var("X").isa("out"),
+                vec![
+                    Literal::pos(Term::var("W").filter(Filter::set("desc", vec![Term::var("X")]))),
+                    Literal::pos(Term::var("W").isa("marked")),
+                ],
+            ),
+            Rule::new(
+                Term::name("goal").filter(Filter::set("kids", vec![Term::name("bonus")])),
+                vec![Literal::pos(Term::var("X").isa("out"))],
+            ),
+        ];
+        let run = |delta_driven: bool| {
+            let mut s = Structure::new();
+            Engine::with_options(EvalOptions {
+                delta_driven,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, &rules)
+            .unwrap();
+            let out = oid(&s, "out");
+            let extent: BTreeSet<Oid> = s.instances_of(out).collect();
+            (extent, s.stats().isa_edges, s.stats().set_members)
+        };
+        let semi = run(true);
+        let naive = run(false);
+        assert_eq!(semi, naive, "semi-naive must reach the naive fixpoint");
+        assert_eq!(semi.0.len(), 4, "y, x, goal and bonus are all out");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! variable-valuation.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A name from the alphabet `N`.
 ///
@@ -86,13 +87,18 @@ impl From<i64> for Name {
 
 /// A variable from the alphabet `V`.  Variables are capitalised in the
 /// concrete syntax (`X`, `Boss`, `Z2`).
+///
+/// The name is stored behind an `Arc<str>` so that cloning a variable — and
+/// with it a whole variable-valuation, which the engine's join loops do per
+/// answer — is a reference-count bump instead of a string allocation.
+/// Ordering, equality and hashing still compare the textual name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Var(pub String);
+pub struct Var(pub Arc<str>);
 
 impl Var {
     /// Construct a variable from its textual name.
     pub fn new(s: impl Into<String>) -> Self {
-        Var(s.into())
+        Var(Arc::from(s.into()))
     }
 
     /// The textual name of the variable.
@@ -109,7 +115,7 @@ impl fmt::Display for Var {
 
 impl From<&str> for Var {
     fn from(s: &str) -> Self {
-        Var(s.to_owned())
+        Var(Arc::from(s))
     }
 }
 

@@ -109,6 +109,15 @@ pub fn validate_program(program: &Program) -> Result<Vec<RuleInfo>> {
     program.rules.iter().map(validate_rule).collect()
 }
 
+/// Every method/class key a reference reads, conservatively (object-at-a-time
+/// and set-at-a-time alike).  The engine uses this per body literal to decide
+/// which literals an iteration's delta can drive.
+pub fn literal_reads(term: &Term) -> BTreeSet<DepKey> {
+    let mut out = BTreeSet::new();
+    collect_keys(term, &mut out);
+    out
+}
+
 /// Can this reference be made true by adding facts (and virtual objects)?
 fn check_head_assertable(head: &Term) -> Result<()> {
     match head {

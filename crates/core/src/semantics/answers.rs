@@ -43,7 +43,7 @@ pub struct Answer {
 }
 
 impl Answer {
-    fn new(bindings: Bindings, object: Oid) -> Self {
+    pub(crate) fn new(bindings: Bindings, object: Oid) -> Self {
         Answer { bindings, object }
     }
 }
@@ -91,7 +91,7 @@ pub fn answers_matching(structure: &Structure, term: &Term, seed: &Bindings, exp
 }
 
 /// Answers of a path `t0 (.|..) m @ (args)`.
-fn path_answers(structure: &Structure, p: &crate::term::Path, seed: &Bindings) -> Result<Vec<Answer>> {
+pub(crate) fn path_answers(structure: &Structure, p: &crate::term::Path, seed: &Bindings) -> Result<Vec<Answer>> {
     let mut out = Vec::new();
     for recv in receiver_answers_for_path(structure, p, seed)? {
         for ma in method_answers(structure, &p.method, &recv.bindings, recv.object, p.set_valued)? {
@@ -114,30 +114,59 @@ fn path_answers(structure: &Structure, p: &crate::term::Path, seed: &Bindings) -
 /// Answers of the receiver of a path.  If the receiver is an unbound
 /// variable and the method is a ground name, seed candidates from the
 /// per-method index instead of the whole universe.
-fn receiver_answers_for_path(structure: &Structure, p: &crate::term::Path, seed: &Bindings) -> Result<Vec<Answer>> {
-    if let Term::Var(v) = &p.receiver {
-        if seed.get(v).is_none() {
-            if let Some(method) = ground_name_oid(structure, &p.method, seed) {
-                let mut receivers: BTreeSet<Oid> = BTreeSet::new();
-                if p.set_valued {
-                    receivers.extend(structure.facts().set_facts_of_method(method).map(|f| f.receiver));
-                } else {
-                    receivers.extend(structure.facts().scalar_facts_of_method(method).map(|f| f.receiver));
-                }
-                return Ok(receivers
-                    .into_iter()
-                    .filter_map(|o| seed.bind(v, o).map(|b| Answer::new(b, o)))
-                    .collect());
-            }
+pub(crate) fn receiver_answers_for_path(
+    structure: &Structure,
+    p: &crate::term::Path,
+    seed: &Bindings,
+) -> Result<Vec<Answer>> {
+    if let Some(method) = resolved_method_oid(structure, &p.method, seed) {
+        if let Some(seeded) = index_seeded_receivers(structure, &p.receiver, seed, method, p.set_valued) {
+            return Ok(seeded);
         }
     }
     answers(structure, &p.receiver, seed)
 }
 
+/// Receiver candidates for a *known* method object, seeded from the
+/// per-method fact indexes.  Applicable only when the receiver is an
+/// unbound variable and the method is not a built-in (`self` and the
+/// comparison methods apply without stored facts, so the indexes would
+/// wrongly restrict them); returns `None` when the caller must fall back to
+/// full receiver enumeration.  Shared by the full enumeration above and the
+/// delta enumeration's method-derivation part, so the built-in guard lives
+/// in exactly one place.
+pub(crate) fn index_seeded_receivers(
+    structure: &Structure,
+    receiver: &Term,
+    seed: &Bindings,
+    method: Oid,
+    set_valued: bool,
+) -> Option<Vec<Answer>> {
+    let Term::Var(v) = receiver else { return None };
+    if seed.get(v).is_some() {
+        return None;
+    }
+    if method == structure.self_method() || structure.is_comparison_method(method) {
+        return None;
+    }
+    let mut receivers: BTreeSet<Oid> = BTreeSet::new();
+    if set_valued {
+        receivers.extend(structure.facts().set_facts_of_method(method).map(|f| f.receiver));
+    } else {
+        receivers.extend(structure.facts().scalar_facts_of_method(method).map(|f| f.receiver));
+    }
+    Some(
+        receivers
+            .into_iter()
+            .filter_map(|o| seed.bind(v, o).map(|b| Answer::new(b, o)))
+            .collect(),
+    )
+}
+
 /// Answers of a method position.  An unbound variable is seeded from the
 /// methods defined on the receiver (this is what makes the generic
 /// `X[(M.tc) ->> {Y}]` rules of Section 6 evaluable).
-fn method_answers(
+pub(crate) fn method_answers(
     structure: &Structure,
     method: &Term,
     seed: &Bindings,
@@ -163,7 +192,7 @@ fn method_answers(
 }
 
 /// Enumerate bindings and concrete argument tuples for a call argument list.
-fn arg_answers(structure: &Structure, args: &[Term], seed: &Bindings) -> Result<Vec<(Bindings, Vec<Oid>)>> {
+pub(crate) fn arg_answers(structure: &Structure, args: &[Term], seed: &Bindings) -> Result<Vec<(Bindings, Vec<Oid>)>> {
     let mut states = vec![(seed.clone(), Vec::new())];
     for arg in args {
         let mut next = Vec::new();
@@ -180,7 +209,7 @@ fn arg_answers(structure: &Structure, args: &[Term], seed: &Bindings) -> Result<
 }
 
 /// Answers of `t0 : c`.
-fn isa_answers(structure: &Structure, i: &crate::term::IsA, seed: &Bindings) -> Result<Vec<Answer>> {
+pub(crate) fn isa_answers(structure: &Structure, i: &crate::term::IsA, seed: &Bindings) -> Result<Vec<Answer>> {
     // Unbound-variable receiver: enumerate the extent of the class.
     if let Term::Var(v) = &i.receiver {
         if seed.get(v).is_none() {
@@ -242,7 +271,7 @@ fn molecule_answers(structure: &Structure, m: &crate::term::Molecule, seed: &Bin
 
 /// Answers of the receiver of a molecule, seeding unbound variables from the
 /// most selective usable filter.
-fn receiver_answers_for_molecule(
+pub(crate) fn receiver_answers_for_molecule(
     structure: &Structure,
     m: &crate::term::Molecule,
     seed: &Bindings,
@@ -253,10 +282,10 @@ fn receiver_answers_for_molecule(
     if seed.get(v).is_some() {
         return answers(structure, &m.receiver, seed);
     }
-    // Try to find a filter whose method is a ground name; use its index.
+    // Try to find a filter whose method is fully determined; use its index.
     let mut candidates: Option<BTreeSet<Oid>> = None;
     for f in &m.filters {
-        let Some(method) = ground_name_oid(structure, &f.method, seed) else {
+        let Some(method) = resolved_method_oid(structure, &f.method, seed) else {
             continue;
         };
         let set = match &f.value {
@@ -318,7 +347,19 @@ fn receiver_answers_for_molecule(
 }
 
 /// All valuations extending `seed` under which `receiver` satisfies `filter`.
-fn filter_answers(structure: &Structure, receiver: Oid, filter: &Filter, seed: &Bindings) -> Result<Vec<Bindings>> {
+pub(crate) fn filter_answers(
+    structure: &Structure,
+    receiver: Oid,
+    filter: &Filter,
+    seed: &Bindings,
+) -> Result<Vec<Bindings>> {
+    // Fast path for the overwhelmingly common shape — a ground zero-argument
+    // method — skipping the method/argument enumeration ceremony.
+    if filter.args.is_empty() {
+        if let Some(method) = ground_name_oid(structure, &filter.method, seed) {
+            return filter_value_answers(structure, receiver, filter, method, &[], seed);
+        }
+    }
     let mut out = Vec::new();
     let set_valued_method = matches!(
         filter.value,
@@ -326,73 +367,86 @@ fn filter_answers(structure: &Structure, receiver: Oid, filter: &Filter, seed: &
     );
     for ma in method_answers(structure, &filter.method, seed, receiver, set_valued_method)? {
         for (bindings, args) in arg_answers(structure, &filter.args, &ma.bindings)? {
-            match &filter.value {
-                FilterValue::Scalar(rt) => {
-                    if let Some(res) = structure.apply_scalar(ma.object, receiver, &args) {
-                        out.extend(answers_matching(structure, rt, &bindings, res)?);
+            out.extend(filter_value_answers(
+                structure, receiver, filter, ma.object, &args, &bindings,
+            )?);
+        }
+    }
+    Ok(out)
+}
+
+/// Match a filter's value for an already-resolved method application.
+pub(crate) fn filter_value_answers(
+    structure: &Structure,
+    receiver: Oid,
+    filter: &Filter,
+    method: Oid,
+    args: &[Oid],
+    bindings: &Bindings,
+) -> Result<Vec<Bindings>> {
+    let mut out = Vec::new();
+    match &filter.value {
+        FilterValue::Scalar(rt) => {
+            if let Some(res) = structure.apply_scalar(method, receiver, args) {
+                out.extend(answers_matching(structure, rt, bindings, res)?);
+            }
+        }
+        FilterValue::SetRef(rt) => {
+            let members = structure.apply_set(method, receiver, args);
+            // The right-hand side is read set-at-a-time; it must be
+            // evaluable under the current valuation (the engine's
+            // stratification and safety checks guarantee this).
+            let required = valuate(structure, rt, bindings).map_err(|e| match e {
+                Error::NotGround(msg) => Error::NotGround(format!(
+                    "set-valued right-hand side `{rt}` must be bound by earlier literals: {msg}"
+                )),
+                other => other,
+            })?;
+            let ok = match members {
+                Some(ms) => required.iter().all(|x| ms.contains(x)),
+                None => required.is_empty(),
+            };
+            if ok {
+                out.push(bindings.clone());
+            }
+        }
+        FilterValue::SetExplicit(elems) => {
+            let empty = BTreeSet::new();
+            let members = structure.apply_set(method, receiver, args).unwrap_or(&empty);
+            let mut states = vec![bindings.clone()];
+            for e in elems {
+                let mut next = Vec::new();
+                for b in &states {
+                    next.extend(element_answers(structure, e, b, members)?);
+                }
+                states = next;
+                if states.is_empty() {
+                    break;
+                }
+            }
+            out.extend(states);
+        }
+        FilterValue::SigScalar(results) | FilterValue::SigSet(results) => {
+            let set_valued = matches!(filter.value, FilterValue::SigSet(_));
+            // Signatures are matched against the declarations table.
+            for sig in structure.signatures().for_method(method) {
+                if sig.set_valued != set_valued || sig.class != receiver || sig.arg_classes.as_ref() != args {
+                    continue;
+                }
+                let mut states = vec![bindings.clone()];
+                for r in results {
+                    let mut next = Vec::new();
+                    for b in &states {
+                        for &rc in &sig.result_classes {
+                            next.extend(answers_matching(structure, r, b, rc)?);
+                        }
+                    }
+                    states = next;
+                    if states.is_empty() {
+                        break;
                     }
                 }
-                FilterValue::SetRef(rt) => {
-                    let members = structure.apply_set(ma.object, receiver, &args);
-                    // The right-hand side is read set-at-a-time; it must be
-                    // evaluable under the current valuation (the engine's
-                    // stratification and safety checks guarantee this).
-                    let required = valuate(structure, rt, &bindings).map_err(|e| match e {
-                        Error::NotGround(msg) => Error::NotGround(format!(
-                            "set-valued right-hand side `{rt}` must be bound by earlier literals: {msg}"
-                        )),
-                        other => other,
-                    })?;
-                    let ok = match members {
-                        Some(ms) => required.iter().all(|x| ms.contains(x)),
-                        None => required.is_empty(),
-                    };
-                    if ok {
-                        out.push(bindings);
-                    }
-                }
-                FilterValue::SetExplicit(elems) => {
-                    let empty = BTreeSet::new();
-                    let members = structure.apply_set(ma.object, receiver, &args).unwrap_or(&empty);
-                    let mut states = vec![bindings.clone()];
-                    for e in elems {
-                        let mut next = Vec::new();
-                        for b in &states {
-                            next.extend(element_answers(structure, e, b, members)?);
-                        }
-                        states = next;
-                        if states.is_empty() {
-                            break;
-                        }
-                    }
-                    out.extend(states);
-                }
-                FilterValue::SigScalar(results) | FilterValue::SigSet(results) => {
-                    let set_valued = matches!(filter.value, FilterValue::SigSet(_));
-                    // Signatures are matched against the declarations table.
-                    for sig in structure.signatures().for_method(ma.object) {
-                        if sig.set_valued != set_valued
-                            || sig.class != receiver
-                            || sig.arg_classes.as_ref() != args.as_slice()
-                        {
-                            continue;
-                        }
-                        let mut states = vec![bindings.clone()];
-                        for r in results {
-                            let mut next = Vec::new();
-                            for b in &states {
-                                for &rc in &sig.result_classes {
-                                    next.extend(answers_matching(structure, r, b, rc)?);
-                                }
-                            }
-                            states = next;
-                            if states.is_empty() {
-                                break;
-                            }
-                        }
-                        out.extend(states);
-                    }
-                }
+                out.extend(states);
             }
         }
     }
@@ -400,7 +454,7 @@ fn filter_answers(structure: &Structure, receiver: Oid, filter: &Filter, seed: &
 }
 
 /// Valuations under which `element` denotes a member of `members`.
-fn element_answers(
+pub(crate) fn element_answers(
     structure: &Structure,
     element: &Term,
     seed: &Bindings,
@@ -423,7 +477,7 @@ fn element_answers(
 }
 
 /// If `term` is a ground name (or a bound variable), the object it denotes.
-fn ground_name_oid(structure: &Structure, term: &Term, seed: &Bindings) -> Option<Oid> {
+pub(crate) fn ground_name_oid(structure: &Structure, term: &Term, seed: &Bindings) -> Option<Oid> {
     match term {
         Term::Name(n) => structure.lookup_name(n),
         Term::Var(v) => seed.get(v),
@@ -432,9 +486,27 @@ fn ground_name_oid(structure: &Structure, term: &Term, seed: &Bindings) -> Optio
     }
 }
 
+/// The method object a method-position term denotes, when it is fully
+/// determined under `seed`: a ground name or bound variable resolves
+/// directly, and any other fully-bound term (e.g. the parenthesised `(M.tc)`
+/// of the paper's generic transitive closure with `M` bound) is valuated.
+/// Built-in methods (`self`, comparisons) yield `None`: they apply to
+/// arbitrary receivers without stored facts, so the per-method fact indexes
+/// must not be used to seed receiver candidates for them.
+pub(crate) fn resolved_method_oid(structure: &Structure, method: &Term, seed: &Bindings) -> Option<Oid> {
+    let oid = match ground_name_oid(structure, method, seed) {
+        Some(oid) => oid,
+        None => single_ground_object(structure, method, seed)?,
+    };
+    if oid == structure.self_method() || structure.is_comparison_method(oid) {
+        return None;
+    }
+    Some(oid)
+}
+
 /// If `term` evaluates, under `seed`, to exactly one object without needing
 /// further bindings, that object.
-fn single_ground_object(structure: &Structure, term: &Term, seed: &Bindings) -> Option<Oid> {
+pub(crate) fn single_ground_object(structure: &Structure, term: &Term, seed: &Bindings) -> Option<Oid> {
     if !term.variables().iter().all(|v| seed.is_bound(v)) {
         return None;
     }

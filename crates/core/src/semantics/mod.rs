@@ -14,9 +14,11 @@
 //! denotes something, which is what rule evaluation needs.
 
 pub mod answers;
+pub mod delta;
 pub mod model;
 
 pub use answers::{answers, answers_matching, Answer};
+pub use delta::{delta_answers, DeltaView, EvalMarks};
 pub use model::{is_model, violations, Violation};
 
 use std::collections::BTreeSet;
@@ -28,11 +30,22 @@ use crate::term::{Filter, FilterValue, Term};
 
 /// A variable-valuation `sigma : V -> U`, mapping variables to objects.
 ///
-/// Stored as a small sorted-by-insertion vector: rules bind only a handful of
-/// variables, so linear lookup beats hashing and keeps cloning cheap.
+/// Stored as a persistent (structurally shared) linked list: extending a
+/// valuation allocates one node and *cloning* one — which the engine's join
+/// loops do once or more per enumerated answer — is a reference-count bump.
+/// Rules bind only a handful of variables, so the linear lookup this costs
+/// is cheaper than hashing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Bindings {
-    slots: Vec<(Var, Oid)>,
+    head: Option<std::sync::Arc<BindingNode>>,
+    len: usize,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct BindingNode {
+    var: Var,
+    oid: Oid,
+    next: Option<std::sync::Arc<BindingNode>>,
 }
 
 impl Bindings {
@@ -43,7 +56,14 @@ impl Bindings {
 
     /// The object assigned to `var`, if bound.
     pub fn get(&self, var: &Var) -> Option<Oid> {
-        self.slots.iter().find(|(v, _)| v == var).map(|&(_, o)| o)
+        let mut node = self.head.as_deref();
+        while let Some(n) = node {
+            if &n.var == var {
+                return Some(n.oid);
+            }
+            node = n.next.as_deref();
+        }
+        None
     }
 
     /// Is `var` bound?
@@ -57,11 +77,14 @@ impl Bindings {
         match self.get(var) {
             Some(existing) if existing == oid => Some(self.clone()),
             Some(_) => None,
-            None => {
-                let mut next = self.clone();
-                next.slots.push((var.clone(), oid));
-                Some(next)
-            }
+            None => Some(Bindings {
+                head: Some(std::sync::Arc::new(BindingNode {
+                    var: var.clone(),
+                    oid,
+                    next: self.head.clone(),
+                })),
+                len: self.len + 1,
+            }),
         }
     }
 
@@ -70,7 +93,12 @@ impl Bindings {
         match self.get(var) {
             Some(existing) => existing == oid,
             None => {
-                self.slots.push((var.clone(), oid));
+                self.head = Some(std::sync::Arc::new(BindingNode {
+                    var: var.clone(),
+                    oid,
+                    next: self.head.take(),
+                }));
+                self.len += 1;
                 true
             }
         }
@@ -78,17 +106,17 @@ impl Bindings {
 
     /// Number of bound variables.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.len
     }
 
     /// `true` if no variable is bound.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len == 0
     }
 
-    /// Iterate over the bound variables.
+    /// Iterate over the bound variables (most recently bound first).
     pub fn iter(&self) -> impl Iterator<Item = (&Var, Oid)> + '_ {
-        self.slots.iter().map(|(v, o)| (v, *o))
+        std::iter::successors(self.head.as_deref(), |n| n.next.as_deref()).map(|n| (&n.var, n.oid))
     }
 
     /// Build a valuation from pairs (later pairs win is *not* supported —

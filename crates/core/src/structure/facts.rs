@@ -3,18 +3,31 @@
 //!
 //! A scalar fact states `I_->(method)(receiver, args...) = result`; a set
 //! fact states `member ∈ I_->>(method)(receiver, args...)`.  Facts are stored
-//! in dense vectors with hash indexes by key, by method, by
-//! (method, result/member) and by receiver, which back the engine's matching
-//! of molecules with unbound positions.
+//! in dense vectors with hash indexes by method, by (method, result/member),
+//! by receiver and by the compound `(method, receiver)` application key,
+//! which back the engine's matching of molecules with unbound positions.
+//!
+//! Two properties of the storage are load-bearing for the engine's semi-naive
+//! evaluation (see [`crate::semantics::delta`]):
+//!
+//! * **insertion order**: scalar facts keep their dense-vector position and
+//!   set-member insertions are recorded in an append-only log, so "the facts
+//!   added since watermark `k`" is an O(delta) slice;
+//! * **allocation-free lookups**: point lookups resolve through a nested
+//!   `(method, receiver)`-keyed application index instead of building a boxed
+//!   `(method, receiver, args)` key per call.
+//!
+//! Watermark slices are only meaningful across a span without retractions:
+//! [`Facts::retract_scalar`] reorders the dense vector (swap-remove) and
+//! [`Facts::retract_set_member`] leaves the insertion log untouched.  The
+//! deductive engine only ever adds facts while evaluating, so this holds for
+//! every fixpoint run; the reactive layer retracts *between* runs.
 
 use std::collections::{BTreeSet, HashMap};
 
 use crate::error::{Error, Result};
 
 use super::Oid;
-
-/// Key identifying one method application: `(method, receiver, args)`.
-pub type FactKey = (Oid, Oid, Box<[Oid]>);
 
 /// A stored scalar fact.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,22 +72,88 @@ impl Assert {
     }
 }
 
+/// Nested application index: resolves `(method, receiver, args)` to the
+/// position of the stored application.
+///
+/// Zero-argument applications — the overwhelmingly common case on every join
+/// hot path — are resolved with a single hash lookup on the `(Oid, Oid)`
+/// pair.  Applications with arguments go through a nested per-`(method,
+/// receiver)` map keyed by the argument tuple, looked up through
+/// `Borrow<[Oid]>`.  Neither path allocates.
+#[derive(Debug, Default, Clone)]
+struct AppIndex {
+    zero: HashMap<(Oid, Oid), usize>,
+    with_args: HashMap<(Oid, Oid), ArgsIndex>,
+}
+
+/// Per-`(method, receiver)` index of the applications with arguments,
+/// keyed by the argument tuple (looked up through `Borrow<[Oid]>`).
+type ArgsIndex = HashMap<Box<[Oid]>, usize>;
+
+impl AppIndex {
+    fn get(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
+        if args.is_empty() {
+            self.zero.get(&(method, receiver)).copied()
+        } else {
+            self.with_args.get(&(method, receiver))?.get(args).copied()
+        }
+    }
+
+    fn insert(&mut self, method: Oid, receiver: Oid, args: &[Oid], idx: usize) {
+        if args.is_empty() {
+            self.zero.insert((method, receiver), idx);
+        } else {
+            self.with_args
+                .entry((method, receiver))
+                .or_default()
+                .insert(args.into(), idx);
+        }
+    }
+
+    fn remove(&mut self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
+        if args.is_empty() {
+            self.zero.remove(&(method, receiver))
+        } else {
+            let inner = self.with_args.get_mut(&(method, receiver))?;
+            let idx = inner.remove(args)?;
+            if inner.is_empty() {
+                self.with_args.remove(&(method, receiver));
+            }
+            Some(idx)
+        }
+    }
+
+    /// All stored application positions for the compound `(method, receiver)`
+    /// key.
+    fn indices_of(&self, method: Oid, receiver: Oid) -> impl Iterator<Item = usize> + '_ {
+        self.zero.get(&(method, receiver)).copied().into_iter().chain(
+            self.with_args
+                .get(&(method, receiver))
+                .into_iter()
+                .flat_map(|inner| inner.values().copied()),
+        )
+    }
+}
+
 /// The fact tables of a structure.
 #[derive(Debug, Default, Clone)]
 pub struct Facts {
     scalar: Vec<ScalarFact>,
-    scalar_key: HashMap<FactKey, usize>,
+    scalar_app: AppIndex,
     scalar_by_method: HashMap<Oid, Vec<usize>>,
     scalar_by_method_result: HashMap<(Oid, Oid), Vec<usize>>,
     scalar_by_receiver: HashMap<Oid, Vec<usize>>,
 
     set: Vec<SetFact>,
-    set_key: HashMap<FactKey, usize>,
+    set_app: AppIndex,
     set_by_method: HashMap<Oid, Vec<usize>>,
     set_by_method_member: HashMap<(Oid, Oid), Vec<usize>>,
     set_by_receiver: HashMap<Oid, Vec<usize>>,
 
     set_member_count: usize,
+    /// Append-only insertion log of set members: `(application index,
+    /// member)` in assertion order.  Backs the engine's delta slices.
+    set_log: Vec<(u32, Oid)>,
 }
 
 impl Facts {
@@ -91,8 +170,7 @@ impl Facts {
     /// same application: scalar methods are partial functions, so conflicting
     /// results indicate an inconsistent program.
     pub fn assert_scalar(&mut self, method: Oid, receiver: Oid, args: &[Oid], result: Oid) -> Result<Assert> {
-        let key: FactKey = (method, receiver, args.into());
-        if let Some(&idx) = self.scalar_key.get(&key) {
+        if let Some(idx) = self.scalar_app.get(method, receiver, args) {
             let existing = self.scalar[idx].result;
             if existing == result {
                 return Ok(Assert::Unchanged);
@@ -106,10 +184,10 @@ impl Facts {
         self.scalar.push(ScalarFact {
             method,
             receiver,
-            args: key.2.clone(),
+            args: args.into(),
             result,
         });
-        self.scalar_key.insert(key, idx);
+        self.scalar_app.insert(method, receiver, args, idx);
         self.scalar_by_method.entry(method).or_default().push(idx);
         self.scalar_by_method_result
             .entry((method, result))
@@ -120,11 +198,39 @@ impl Facts {
     }
 
     /// Look up the scalar result of a method application, if defined.
+    ///
+    /// Resolves through the nested `(method, receiver)` application index:
+    /// allocation-free for both the zero-argument common case and
+    /// applications with arguments.
     pub fn scalar_result(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<Oid> {
-        // Avoid allocating the boxed key for the common zero-arg case by
-        // checking the per-receiver index first when it is small.
-        let key: FactKey = (method, receiver, args.into());
-        self.scalar_key.get(&key).map(|&i| self.scalar[i].result)
+        self.scalar_app
+            .get(method, receiver, args)
+            .map(|i| self.scalar[i].result)
+    }
+
+    /// The dense-vector position of the scalar fact for `(method, receiver,
+    /// args)`, if defined.  Positions are assigned in assertion order and
+    /// stable while no scalar fact is retracted, so they double as generation
+    /// stamps: `index >= k` means "asserted at or after watermark `k`".
+    pub fn scalar_index(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
+        self.scalar_app.get(method, receiver, args)
+    }
+
+    /// The scalar fact stored at dense-vector position `idx`.
+    pub fn scalar_fact_at(&self, idx: usize) -> &ScalarFact {
+        &self.scalar[idx]
+    }
+
+    /// All scalar facts for the compound `(method, receiver)` key — every
+    /// argument tuple the method is defined for on this receiver.
+    pub fn scalar_facts_of_method_receiver(
+        &self,
+        method: Oid,
+        receiver: Oid,
+    ) -> impl Iterator<Item = &ScalarFact> + '_ {
+        self.scalar_app
+            .indices_of(method, receiver)
+            .map(move |i| &self.scalar[i])
     }
 
     /// All scalar facts for a method.
@@ -172,8 +278,7 @@ impl Facts {
     /// active-rule layer (`pathlog-reactive`) and for the object store's
     /// update operations.
     pub fn retract_scalar(&mut self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<Oid> {
-        let key: FactKey = (method, receiver, args.into());
-        let idx = self.scalar_key.remove(&key)?;
+        let idx = self.scalar_app.remove(method, receiver, args)?;
         let fact = self.scalar.swap_remove(idx);
         remove_index(&mut self.scalar_by_method, &fact.method, idx);
         remove_index(&mut self.scalar_by_method_result, &(fact.method, fact.result), idx);
@@ -183,8 +288,7 @@ impl Facts {
         let old = self.scalar.len();
         if idx < old {
             let moved = self.scalar[idx].clone();
-            let moved_key: FactKey = (moved.method, moved.receiver, moved.args.clone());
-            self.scalar_key.insert(moved_key, idx);
+            self.scalar_app.insert(moved.method, moved.receiver, &moved.args, idx);
             replace_index(&mut self.scalar_by_method, &moved.method, old, idx);
             replace_index(
                 &mut self.scalar_by_method_result,
@@ -201,18 +305,17 @@ impl Facts {
 
     /// Assert `member ∈ I_->>(method)(receiver, args)`.
     pub fn assert_set_member(&mut self, method: Oid, receiver: Oid, args: &[Oid], member: Oid) -> Assert {
-        let key: FactKey = (method, receiver, args.into());
-        let idx = match self.set_key.get(&key) {
-            Some(&idx) => idx,
+        let idx = match self.set_app.get(method, receiver, args) {
+            Some(idx) => idx,
             None => {
                 let idx = self.set.len();
                 self.set.push(SetFact {
                     method,
                     receiver,
-                    args: key.2.clone(),
+                    args: args.into(),
                     members: BTreeSet::new(),
                 });
-                self.set_key.insert(key, idx);
+                self.set_app.insert(method, receiver, args, idx);
                 self.set_by_method.entry(method).or_default().push(idx);
                 self.set_by_receiver.entry(receiver).or_default().push(idx);
                 idx
@@ -221,6 +324,7 @@ impl Facts {
         if self.set[idx].members.insert(member) {
             self.set_by_method_member.entry((method, member)).or_default().push(idx);
             self.set_member_count += 1;
+            self.set_log.push((idx as u32, member));
             Assert::New
         } else {
             Assert::Unchanged
@@ -231,26 +335,63 @@ impl Facts {
     /// `set_result` reports it as defined.  Used when loading data where a
     /// set attribute exists but has no members.
     pub fn declare_set(&mut self, method: Oid, receiver: Oid, args: &[Oid]) {
-        let key: FactKey = (method, receiver, args.into());
-        if self.set_key.contains_key(&key) {
+        if self.set_app.get(method, receiver, args).is_some() {
             return;
         }
         let idx = self.set.len();
         self.set.push(SetFact {
             method,
             receiver,
-            args: key.2.clone(),
+            args: args.into(),
             members: BTreeSet::new(),
         });
-        self.set_key.insert(key, idx);
+        self.set_app.insert(method, receiver, args, idx);
         self.set_by_method.entry(method).or_default().push(idx);
         self.set_by_receiver.entry(receiver).or_default().push(idx);
     }
 
     /// Look up the member set of a set-valued application, if defined.
+    ///
+    /// Resolves through the nested `(method, receiver)` application index:
+    /// allocation-free for both the zero-argument common case and
+    /// applications with arguments.
     pub fn set_result(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<&BTreeSet<Oid>> {
-        let key: FactKey = (method, receiver, args.into());
-        self.set_key.get(&key).map(|&i| &self.set[i].members)
+        self.set_app.get(method, receiver, args).map(|i| &self.set[i].members)
+    }
+
+    /// The dense-vector position of the set application for `(method,
+    /// receiver, args)`, if defined.  Used with
+    /// [`Facts::set_members_since`] to identify applications in delta
+    /// slices.
+    pub fn set_index(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
+        self.set_app.get(method, receiver, args)
+    }
+
+    /// The set application stored at dense-vector position `idx`.
+    pub fn set_fact_at(&self, idx: usize) -> &SetFact {
+        &self.set[idx]
+    }
+
+    /// All set applications for the compound `(method, receiver)` key —
+    /// every argument tuple the method is defined for on this receiver.
+    pub fn set_facts_of_method_receiver(&self, method: Oid, receiver: Oid) -> impl Iterator<Item = &SetFact> + '_ {
+        self.set_app.indices_of(method, receiver).map(move |i| &self.set[i])
+    }
+
+    /// Number of set-member insertions recorded so far — the current
+    /// watermark for [`Facts::set_members_since`].
+    pub fn num_set_member_inserts(&self) -> usize {
+        self.set_log.len()
+    }
+
+    /// The set members inserted at or after watermark `mark`, as
+    /// `(application index, member)` pairs in insertion order.  O(delta):
+    /// a slice of the append-only insertion log.  Only meaningful across a
+    /// span without retractions (see the module docs).
+    pub fn set_members_since(&self, mark: usize) -> impl Iterator<Item = (usize, Oid)> + '_ {
+        self.set_log[mark.min(self.set_log.len())..]
+            .iter()
+            .map(|&(idx, member)| (idx as usize, member))
     }
 
     /// All set facts for a method.
@@ -299,8 +440,7 @@ impl Facts {
     /// if the member was present.  The application itself stays defined
     /// (possibly empty), mirroring [`Facts::declare_set`].
     pub fn retract_set_member(&mut self, method: Oid, receiver: Oid, args: &[Oid], member: Oid) -> bool {
-        let key: FactKey = (method, receiver, args.into());
-        let Some(&idx) = self.set_key.get(&key) else {
+        let Some(idx) = self.set_app.get(method, receiver, args) else {
             return false;
         };
         if !self.set[idx].members.remove(&member) {
@@ -413,6 +553,72 @@ mod tests {
         assert_eq!(f.set_facts_containing(o(2), o(31)).count(), 1);
         assert_eq!(f.set_facts_of_receiver(o(11)).count(), 1);
         assert_eq!(f.set_facts().count(), 2);
+    }
+
+    #[test]
+    fn compound_method_receiver_index_spans_argument_tuples() {
+        let mut f = Facts::new();
+        // Three scalar applications of method 1 on receiver 10 with distinct
+        // argument tuples, plus noise on other keys.
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_scalar(o(1), o(10), &[o(1993)], o(21)).unwrap();
+        f.assert_scalar(o(1), o(10), &[o(1994)], o(22)).unwrap();
+        f.assert_scalar(o(1), o(11), &[], o(23)).unwrap();
+        f.assert_scalar(o(2), o(10), &[], o(24)).unwrap();
+        let results: BTreeSet<Oid> = f
+            .scalar_facts_of_method_receiver(o(1), o(10))
+            .map(|s| s.result)
+            .collect();
+        assert_eq!(results, [o(20), o(21), o(22)].into_iter().collect());
+        assert_eq!(f.scalar_facts_of_method_receiver(o(1), o(11)).count(), 1);
+        assert_eq!(f.scalar_facts_of_method_receiver(o(9), o(10)).count(), 0);
+
+        f.assert_set_member(o(3), o(10), &[], o(30));
+        f.assert_set_member(o(3), o(10), &[o(7)], o(31));
+        f.assert_set_member(o(3), o(11), &[], o(32));
+        assert_eq!(f.set_facts_of_method_receiver(o(3), o(10)).count(), 2);
+        assert_eq!(f.set_facts_of_method_receiver(o(3), o(12)).count(), 0);
+    }
+
+    #[test]
+    fn scalar_indices_are_insertion_ordered_generation_stamps() {
+        let mut f = Facts::new();
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        let mark = f.num_scalar();
+        f.assert_scalar(o(1), o(11), &[], o(21)).unwrap();
+        f.assert_scalar(o(2), o(10), &[o(5)], o(22)).unwrap();
+        assert_eq!(f.scalar_index(o(1), o(10), &[]), Some(0));
+        assert!(f.scalar_index(o(1), o(11), &[]).unwrap() >= mark);
+        assert!(f.scalar_index(o(2), o(10), &[o(5)]).unwrap() >= mark);
+        assert_eq!(f.scalar_index(o(2), o(10), &[]), None);
+        // The slice [mark..] is exactly the facts asserted after the mark.
+        let since: Vec<Oid> = (mark..f.num_scalar()).map(|i| f.scalar_fact_at(i).result).collect();
+        assert_eq!(since, vec![o(21), o(22)]);
+    }
+
+    #[test]
+    fn set_member_log_yields_delta_slices() {
+        let mut f = Facts::new();
+        f.assert_set_member(o(2), o(10), &[], o(30));
+        f.assert_set_member(o(2), o(10), &[], o(31));
+        let mark = f.num_set_member_inserts();
+        assert_eq!(mark, 2);
+        // Re-asserting an existing member must not grow the log.
+        f.assert_set_member(o(2), o(10), &[], o(30));
+        assert_eq!(f.num_set_member_inserts(), mark);
+        f.assert_set_member(o(2), o(11), &[], o(32));
+        f.assert_set_member(o(4), o(10), &[o(7)], o(33));
+        let delta: Vec<(Oid, Oid, Oid)> = f
+            .set_members_since(mark)
+            .map(|(idx, member)| {
+                let fact = f.set_fact_at(idx);
+                (fact.method, fact.receiver, member)
+            })
+            .collect();
+        assert_eq!(delta, vec![(o(2), o(11), o(32)), (o(4), o(10), o(33))]);
+        // A mark beyond the log is an empty slice, not a panic.
+        assert_eq!(f.set_members_since(1_000).count(), 0);
+        assert_eq!(f.set_members_since(f.num_set_member_inserts()).count(), 0);
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct Isa {
     down: HashMap<Oid, BTreeSet<Oid>>,
     /// Number of pairs in the transitive closure.
     pairs: usize,
+    /// Append-only insertion log of closure pairs `(sub, sup)`, in the order
+    /// they entered the closure.  Backs the engine's semi-naive delta slices
+    /// (is-a edges are never retracted, so the log never goes stale).
+    log: Vec<(Oid, Oid)>,
 }
 
 impl Isa {
@@ -63,6 +67,7 @@ impl Isa {
                 if self.up.entry(lo).or_default().insert(hi) {
                     self.down.entry(hi).or_default().insert(lo);
                     self.pairs += 1;
+                    self.log.push((lo, hi));
                     grew = true;
                 }
             }
@@ -97,9 +102,16 @@ impl Isa {
             .flat_map(|(&sub, sups)| sups.iter().map(move |&sup| (sub, sup)))
     }
 
-    /// Number of pairs in the transitive closure.
+    /// Number of pairs in the transitive closure.  Doubles as the current
+    /// watermark for [`Isa::pairs_since`].
     pub fn closure_size(&self) -> usize {
         self.pairs
+    }
+
+    /// The closure pairs `(sub, sup)` added at or after watermark `mark`, in
+    /// insertion order.  O(delta): a slice of the append-only insertion log.
+    pub fn pairs_since(&self, mark: usize) -> &[(Oid, Oid)] {
+        &self.log[mark.min(self.log.len())..]
     }
 
     /// Number of directly asserted edges.
@@ -178,6 +190,25 @@ mod tests {
         let cls: Vec<_> = isa.classes_of(o(1)).collect();
         assert_eq!(cls.len(), 2);
         assert_eq!(isa.direct_edges().count(), 3);
+    }
+
+    #[test]
+    fn closure_log_yields_delta_slices() {
+        let mut isa = Isa::new();
+        isa.add(o(1), o(10));
+        let mark = isa.closure_size();
+        assert_eq!(mark, 1);
+        // Duplicate edge: closure unchanged, log unchanged.
+        isa.add(o(1), o(10));
+        assert_eq!(isa.pairs_since(mark).len(), 0);
+        // One asserted edge can add several closure pairs at once.
+        isa.add(o(10), o(11));
+        let delta: BTreeSet<(Oid, Oid)> = isa.pairs_since(mark).iter().copied().collect();
+        assert_eq!(delta, [(o(1), o(11)), (o(10), o(11))].into_iter().collect());
+        assert_eq!(isa.pairs_since(isa.closure_size()).len(), 0);
+        assert_eq!(isa.pairs_since(1_000).len(), 0);
+        // The full log replays the whole closure.
+        assert_eq!(isa.pairs_since(0).len(), isa.closure_size());
     }
 
     #[test]

@@ -214,6 +214,14 @@ impl Structure {
         self.self_method
     }
 
+    /// Is `oid` one of the built-in comparison methods (`lt`, `ge`, ...)?
+    ///
+    /// Built-in methods apply to arbitrary receivers without stored facts, so
+    /// index-driven receiver seeding must not be used for them.
+    pub fn is_comparison_method(&self, oid: Oid) -> bool {
+        self.comparison_methods.contains_key(&oid)
+    }
+
     // -- class hierarchy ----------------------------------------------------
 
     /// Assert `obj isa class`.  Returns `true` if new information was added.

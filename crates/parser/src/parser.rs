@@ -248,7 +248,7 @@ impl Parser {
             }
             Some(Token::Variable(s)) => {
                 self.bump();
-                Ok(Term::Var(Var(s)))
+                Ok(Term::Var(Var::new(s)))
             }
             Some(Token::Int(i)) => {
                 self.bump();
