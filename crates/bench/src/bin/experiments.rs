@@ -299,12 +299,10 @@ fn main() {
     let mut rows = Vec::new();
     for &(depth, fanout) in &[(8usize, 2usize), (10, 2)] {
         let s = workloads::genealogy(depth, fanout);
-        let program = pathlog_parser::parse_program(
-            "X[desc ->> {Y}] <- X[kids ->> {Y}].\n\
-             X[desc ->> {Y}] <- X..desc[kids ->> {Y}].\n\
-             X.summary[descendants ->> X..desc] <- X[kids ->> {Y}].",
-        )
-        .expect("ablation program parses");
+        // The same program E16 runs through `pathlog_desc_with_mode`, so the
+        // two ablations always benchmark an identical workload.
+        let program = pathlog_parser::parse_program(transitive_closure::PARALLEL_ABLATION_RULES)
+            .expect("ablation program parses");
         let run = |delta: bool| {
             let mut s2 = s.clone();
             let engine = pathlog_core::engine::Engine::with_options(pathlog_core::engine::EvalOptions {
@@ -332,6 +330,71 @@ fn main() {
         });
     }
     report.table("E15: ablation_delta_driven (semi-naive vs naive evaluation)", rows);
+
+    // E16 — parallel sharded delta evaluation: the same semi-naive workload
+    // with the per-rule delta solves fanned over 1/2/4/8 worker threads.
+    // Every parallel arm is cross-checked against the sequential run: the
+    // derived-member counts and the full EvalStats must be identical (the
+    // merge is canonical, so parallel mode is observationally equal), which
+    // makes this table double as the CI smoke gate for parallel evaluation.
+    let mut rows = Vec::new();
+    for &(depth, fanout) in &[(8usize, 2usize), (10, 2)] {
+        let s = workloads::genealogy(depth, fanout);
+        // Capture the EvalStats from inside the timed closure instead of
+        // re-running the whole fixpoint once more per arm just to fetch them.
+        let mut seq_stats = None;
+        let (seq_members, seq_ms) = time_ms(|| {
+            let (members, stats) =
+                transitive_closure::pathlog_desc_with_mode(&s, pathlog_core::engine::EvalMode::Sequential);
+            seq_stats = Some(stats);
+            members
+        });
+        let seq_stats = seq_stats.expect("sequential arm ran");
+        // Aggregate the arms' counters with EvalStats::merge.  The final
+        // total is implied by the per-arm equality asserts above it — this
+        // exists to exercise the saturating merge end-to-end, not to add
+        // coverage.
+        let mut aggregate = seq_stats;
+        let mut values = vec![
+            ("derived_set_members".into(), seq_members as f64),
+            ("sequential_ms".into(), seq_ms),
+        ];
+        let mut w4_ms = seq_ms;
+        for workers in [1usize, 2, 4, 8] {
+            let mode = pathlog_core::engine::EvalMode::Parallel { workers };
+            let mut par_stats = None;
+            let (members, ms) = time_ms(|| {
+                let (members, stats) = transitive_closure::pathlog_desc_with_mode(&s, mode);
+                par_stats = Some(stats);
+                members
+            });
+            let stats = par_stats.expect("parallel arm ran");
+            assert_eq!(
+                members, seq_members,
+                "parallel ({workers} workers) and sequential answer counts must match"
+            );
+            assert_eq!(
+                stats, seq_stats,
+                "parallel ({workers} workers) and sequential EvalStats must match"
+            );
+            aggregate.merge(&stats);
+            if workers == 4 {
+                w4_ms = ms;
+            }
+            values.push((format!("workers{workers}_ms"), ms));
+        }
+        assert_eq!(
+            aggregate.derived(),
+            seq_stats.derived() * 5,
+            "aggregated totals must be five identical runs"
+        );
+        values.push(("speedup_w4".into(), seq_ms / w4_ms));
+        rows.push(Row {
+            scale: format!("depth={depth} fanout={fanout}"),
+            values,
+        });
+    }
+    report.table("E16: parallel sharded delta evaluation (1/2/4/8 workers)", rows);
 
     println!("\nAll experiments finished; answers agreed across PathLog and the baselines.");
     if let Some(path) = json_path {

@@ -240,6 +240,28 @@ pub mod transitive_closure {
         let base = db.attr("kids", "parent", "child");
         tc::transitive_closure(&base).len()
     }
+
+    /// The deep-tree closure workload of the parallel ablation: the `desc`
+    /// rules plus the set-copying summary rule (a second stratum with
+    /// virtual-object heads), the same program as `ablation_delta_driven`.
+    pub const PARALLEL_ABLATION_RULES: &str = "X[desc ->> {Y}] <- X[kids ->> {Y}].\n\
+                                               X[desc ->> {Y}] <- X..desc[kids ->> {Y}].\n\
+                                               X.summary[descendants ->> X..desc] <- X[kids ->> {Y}].";
+
+    /// Evaluate the parallel-ablation program under an explicit evaluation
+    /// mode (semi-naive in both cases); returns the derived set members and
+    /// the run's [`EvalStats`] so callers can cross-check the modes.
+    pub fn pathlog_desc_with_mode(structure: &Structure, mode: EvalMode) -> (usize, EvalStats) {
+        let mut s = structure.clone();
+        let program = parse_program(PARALLEL_ABLATION_RULES).expect("valid rules");
+        let stats = Engine::with_options(EvalOptions {
+            mode,
+            ..EvalOptions::default()
+        })
+        .load_program(&mut s, &program)
+        .expect("rules evaluate");
+        (stats.set_members, stats)
+    }
 }
 
 /// Experiment E10: parser throughput over the paper's concrete syntax.
@@ -574,6 +596,18 @@ mod tests {
             .eval_ground(&s2, &parse_term("peter..desc").unwrap())
             .unwrap();
         assert_eq!(desc.len(), 5);
+    }
+
+    #[test]
+    fn parallel_and_sequential_ablation_agree() {
+        let s = workloads::genealogy(7, 2);
+        let (seq_members, seq_stats) = transitive_closure::pathlog_desc_with_mode(&s, EvalMode::Sequential);
+        for workers in [1usize, 2, 4] {
+            let (members, stats) = transitive_closure::pathlog_desc_with_mode(&s, EvalMode::Parallel { workers });
+            assert_eq!(members, seq_members, "answer counts must match at {workers} workers");
+            assert_eq!(stats, seq_stats, "EvalStats must match at {workers} workers");
+        }
+        assert!(seq_members > 0);
     }
 
     #[test]

@@ -28,6 +28,20 @@
 //! — the naive evaluation kept as the ablation arm of the
 //! `ablation_delta_driven` experiment, and as the oracle the property tests
 //! compare the semi-naive evaluation against.
+//!
+//! With [`EvalMode::Parallel`] the per-literal delta passes of each rule
+//! solve — further split into per-method shards of large deltas
+//! ([`DeltaView::shards`]) — are fanned out over scoped worker threads that
+//! read the shared immutable structure; the solutions are merged in
+//! canonical order before the single writer asserts them, so a parallel run
+//! is bit-identical to a sequential one (same model, same insertion logs,
+//! same virtual-object ids, same [`EvalStats`]).  Delta solves are merged
+//! canonically in sequential mode too — the two modes then assert the same
+//! solutions in the same order by construction — while full solves and
+//! query enumeration need no sort: their order is deterministic because
+//! every fact/signature index iterates an ordered container (the one
+//! hash-ordered path, the argument-tuple application index, is a `BTreeMap`
+//! precisely so that virtual-object allocation cannot drift between runs).
 
 mod stratify;
 mod virtuals;
@@ -35,7 +49,8 @@ mod virtuals;
 pub use stratify::{stratify, Stratification};
 pub use virtuals::{assert_head, AssertEffect, AssertOptions};
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::error::{Error, Result};
 use crate::names::Name;
@@ -43,6 +58,31 @@ use crate::program::{literal_reads, DepKey, Literal, Program, Query, Rule, RuleI
 use crate::semantics::{answers, delta_answers, Answer, Bindings, DeltaView, EvalMarks};
 use crate::structure::{Oid, Structure};
 use crate::term::Term;
+
+/// How the delta solves of one fixpoint iteration are scheduled.
+///
+/// Rules are always processed in stratum order (the per-rule delta windows
+/// depend on it); what parallel mode fans out over worker threads is the
+/// *inside* of one rule's semi-naive solve — its per-literal delta passes,
+/// further split into per-method shards of large deltas
+/// ([`DeltaView::shards`]).  Workers only read the shared `Structure` and
+/// their immutable `DeltaView` slice; the single writer (the engine loop)
+/// merges their solution buffers in canonical order before asserting, so a
+/// parallel run produces a bit-identical structure, insertion log and
+/// [`EvalStats`] to a sequential run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Solve every delta pass on the calling thread (the default).
+    #[default]
+    Sequential,
+    /// Fan delta passes out over up to `workers` scoped threads.  `workers`
+    /// of 0 or 1 behaves like `Sequential`; only `delta_driven` solves are
+    /// affected (naive full re-solves are a single pass).
+    Parallel {
+        /// Maximum number of worker threads per rule solve.
+        workers: usize,
+    },
+}
 
 /// Options controlling evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +100,9 @@ pub struct EvalOptions {
     /// iteration's delta.  Disabling this yields naive evaluation (every
     /// rule re-solved in full each iteration) — the ablation arm.
     pub delta_driven: bool,
+    /// Scheduling of the per-rule delta solves: sequential, or fanned out
+    /// over worker threads (observationally identical, see [`EvalMode`]).
+    pub mode: EvalMode,
 }
 
 impl Default for EvalOptions {
@@ -69,6 +112,18 @@ impl Default for EvalOptions {
             max_derived: 50_000_000,
             create_virtuals: true,
             delta_driven: true,
+            mode: EvalMode::Sequential,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// The number of worker threads the configured mode may use (1 for
+    /// sequential evaluation).
+    fn worker_threads(&self) -> usize {
+        match self.mode {
+            EvalMode::Sequential => 1,
+            EvalMode::Parallel { workers } => workers.max(1),
         }
     }
 }
@@ -103,15 +158,35 @@ pub struct EvalStats {
 impl EvalStats {
     /// Total number of derived facts.
     pub fn derived(&self) -> usize {
-        self.scalar_facts + self.set_members + self.isa_edges
+        self.scalar_facts
+            .saturating_add(self.set_members)
+            .saturating_add(self.isa_edges)
+    }
+
+    /// Fold the counters of another run (a worker's partial stats, a second
+    /// stratum, an ablation arm) into this one.  Every field is summed with
+    /// saturating arithmetic, so aggregating many large runs pins at
+    /// `usize::MAX` instead of wrapping (or panicking in debug builds).
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.strata = self.strata.saturating_add(other.strata);
+        self.iterations = self.iterations.saturating_add(other.iterations);
+        self.firings = self.firings.saturating_add(other.firings);
+        self.scalar_facts = self.scalar_facts.saturating_add(other.scalar_facts);
+        self.set_members = self.set_members.saturating_add(other.set_members);
+        self.isa_edges = self.isa_edges.saturating_add(other.isa_edges);
+        self.signatures = self.signatures.saturating_add(other.signatures);
+        self.virtual_objects = self.virtual_objects.saturating_add(other.virtual_objects);
+        self.rules_skipped = self.rules_skipped.saturating_add(other.rules_skipped);
+        self.delta_solves = self.delta_solves.saturating_add(other.delta_solves);
+        self.full_solves = self.full_solves.saturating_add(other.full_solves);
     }
 
     fn absorb(&mut self, e: AssertEffect) {
-        self.scalar_facts += e.scalar_facts;
-        self.set_members += e.set_members;
-        self.isa_edges += e.isa_edges;
-        self.signatures += e.signatures;
-        self.virtual_objects += e.virtual_objects;
+        self.scalar_facts = self.scalar_facts.saturating_add(e.scalar_facts);
+        self.set_members = self.set_members.saturating_add(e.set_members);
+        self.isa_edges = self.isa_edges.saturating_add(e.isa_edges);
+        self.signatures = self.signatures.saturating_add(e.signatures);
+        self.virtual_objects = self.virtual_objects.saturating_add(e.virtual_objects);
     }
 }
 
@@ -246,13 +321,26 @@ impl Engine {
                                 continue;
                             }
                             stats.delta_solves += 1;
-                            solve_body_delta(structure, &rule.body, &Bindings::new(), &delta_lits, &dv)?
+                            let passes = solve_delta_passes(
+                                structure,
+                                &rule.body,
+                                &delta_lits,
+                                &dv,
+                                self.options.worker_threads(),
+                            )?;
+                            merge_canonical(passes)
                         }
                         _ => {
                             if self.options.delta_driven {
                                 last_marks[r] = Some(EvalMarks::capture(structure));
                             }
                             stats.full_solves += 1;
+                            // Full solves need no canonical merge: they run
+                            // identically (and sequentially) in every mode,
+                            // and enumeration order is already deterministic
+                            // — the fact/sig indexes iterate ordered
+                            // structures, never hash maps.  Skipping the
+                            // sort keeps the naive ablation arm honest.
                             solve_body(structure, &rule.body, &Bindings::new())?
                         }
                     };
@@ -304,18 +392,62 @@ impl Engine {
     }
 
     /// Answer a query: the variable-valuations that satisfy its body.
+    ///
+    /// Enumeration order is deterministic (a function of the structure's
+    /// content only — every index iterates an ordered container, never a
+    /// hash map), so repeated runs and sequential/parallel-evaluated
+    /// structures emit byte-identical answer lists without a sort on this
+    /// hot path.
+    ///
+    /// Unknown names in a query body are permitted and simply denote no
+    /// object — queries are often generated (SQL frontend, F-logic
+    /// translation) against structures that may lack some attribute, and
+    /// "no solutions" is the correct answer there.
     pub fn query(&self, structure: &Structure, query: &Query) -> Result<Vec<Bindings>> {
         solve_body(structure, &query.body, &Bindings::new())
     }
 
-    /// Answers (valuation + denoted object) of a single reference.
+    /// Answers (valuation + denoted object) of a single reference, in
+    /// deterministic enumeration order.
+    ///
+    /// Unlike [`Engine::query`], a *symbolic* name the structure has never
+    /// seen is reported as [`Error::UnknownName`]: a hand-written reference
+    /// such as `peter..dsc` (a typo for `desc`) would otherwise silently
+    /// return no answers.  Integer and string literals stay permissive.
     pub fn query_term(&self, structure: &Structure, term: &Term) -> Result<Vec<Answer>> {
+        require_registered_names(structure, term)?;
         answers(structure, term, &Bindings::new())
     }
 
-    /// The objects denoted by a ground reference.
+    /// The objects denoted by a ground reference.  Like
+    /// [`Engine::query_term`], unregistered names are an
+    /// [`Error::UnknownName`] instead of a silently empty valuation.
     pub fn eval_ground(&self, structure: &Structure, term: &Term) -> Result<BTreeSet<Oid>> {
+        require_registered_names(structure, term)?;
         crate::semantics::valuate(structure, term, &Bindings::new())
+    }
+}
+
+/// Reject references that mention *symbolic* names the structure has never
+/// registered ([`Error::UnknownName`]).  Used by the engine's
+/// reference-query APIs, where an unknown atom is almost always a typo for
+/// a method or object that *was* asserted under a different spelling.
+/// Integer and string literals are exempt: values are only interned when
+/// some fact uses them, so probing a constant absent from the data (e.g.
+/// `peter[age -> 31]` when every age is 30) is a legitimately empty answer,
+/// not an error.
+fn require_registered_names(structure: &Structure, term: &Term) -> Result<()> {
+    let mut missing: Option<Name> = None;
+    term.visit(&mut |t| {
+        if let Term::Name(n @ Name::Atom(_)) = t {
+            if missing.is_none() && structure.lookup_name(n).is_none() {
+                missing = Some(n.clone());
+            }
+        }
+    });
+    match missing {
+        Some(n) => structure.require_name(&n).map(|_| ()),
+        None => Ok(()),
     }
 }
 
@@ -390,7 +522,9 @@ pub fn solve_body(structure: &Structure, body: &[Literal], seed: &Bindings) -> R
 /// `delta_literals`, solve the body once with that literal restricted to
 /// answers whose derivation reads `dv` (the iteration delta) while every
 /// other literal joins against the full structure, and return the
-/// deduplicated union.  This is the per-literal decomposition of classic
+/// deduplicated union in canonical order ([`merge_canonical`], the same
+/// merge the engine applies, so this entry point cannot drift from the
+/// scheduled paths).  This is the per-literal decomposition of classic
 /// semi-naive evaluation: a solution that can contribute new information
 /// reads at least one delta fact in at least one literal, so it is found by
 /// the pass that restricts that literal.
@@ -401,23 +535,109 @@ pub fn solve_body_delta(
     delta_literals: &[usize],
     dv: &DeltaView,
 ) -> Result<Vec<Bindings>> {
-    let mut pass_results: Vec<Vec<Bindings>> = Vec::with_capacity(delta_literals.len());
-    for &d in delta_literals {
-        pass_results.push(solve_body_pass(structure, body, seed, Some((d, dv)))?);
+    let pass_results = delta_literals
+        .iter()
+        .map(|&d| solve_body_pass(structure, body, seed, Some((d, dv))))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(merge_canonical(pass_results))
+}
+
+/// The per-literal delta passes of one rule solve, as one solution buffer
+/// per `(drivable literal, delta shard)` work item.
+///
+/// With `workers <= 1` (or a delta too small to shard) the passes run on the
+/// calling thread.  Otherwise the delta view is split into per-method shards
+/// ([`DeltaView::shards`]) and the work items are claimed off a shared
+/// atomic counter by `workers` scoped threads, each reading the shared
+/// immutable `Structure` and producing a private solution vector.  Buffers
+/// are returned in deterministic work-item order regardless of thread
+/// timing; [`merge_canonical`] makes the union identical to a sequential
+/// solve.
+fn solve_delta_passes(
+    structure: &Structure,
+    body: &[Literal],
+    delta_literals: &[usize],
+    dv: &DeltaView,
+    workers: usize,
+) -> Result<Vec<Vec<Bindings>>> {
+    let shards = if workers > 1 { dv.shards(workers) } else { None };
+    let views: Vec<&DeltaView> = match shards.as_ref() {
+        Some(vs) => vs.iter().collect(),
+        None => vec![dv],
+    };
+    let items: Vec<(usize, &DeltaView)> = delta_literals
+        .iter()
+        .flat_map(|&d| views.iter().map(move |&v| (d, v)))
+        .collect();
+    let threads = workers.min(items.len());
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .map(|(d, v)| solve_body_pass(structure, body, &Bindings::new(), Some((d, v))))
+            .collect();
     }
-    // Each pass deduplicated itself (per literal stage); the cross-pass
-    // union only needs deduplication when more than one pass contributed.
-    if pass_results.iter().filter(|r| !r.is_empty()).count() <= 1 {
-        return Ok(pass_results.into_iter().flatten().collect());
-    }
-    let mut out = Vec::new();
-    let mut seen: HashSet<BindingKey> = HashSet::new();
-    for s in pass_results.into_iter().flatten() {
-        if seen.insert(binding_key(&s)) {
-            out.push(s);
+    let next = AtomicUsize::new(0);
+    let mut done: Vec<(usize, Result<Vec<Bindings>>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let items = &items;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, Result<Vec<Bindings>>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let (d, v) = items[i];
+                        mine.push((i, solve_body_pass(structure, body, &Bindings::new(), Some((d, v)))));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(items.len());
+        for h in handles {
+            match h.join() {
+                Ok(mine) => all.extend(mine),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
+        all
+    });
+    done.sort_by_key(|&(i, _)| i);
+    if done.len() != items.len() {
+        return Err(Error::Other(format!(
+            "parallel delta solve lost work items: {} of {} completed",
+            done.len(),
+            items.len()
+        )));
     }
-    Ok(out)
+    done.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Deduplicate and canonically order rule-body solutions (sorted by their
+/// order-independent [`binding_key`]).
+///
+/// This is the single writer's merge point of parallel evaluation and the
+/// mode-identity boundary: sequential delta solves go through the same
+/// merge, so both modes assert the same solutions in the same order — and
+/// with them allocate identical virtual-object ids — no matter how the
+/// passes were scheduled or sharded.
+fn merge_canonical(parts: Vec<Vec<Bindings>>) -> Vec<Bindings> {
+    // A single solution buffer (the full-solve arm, one drivable literal) is
+    // already duplicate-free — every pass deduplicates per literal stage —
+    // so only the canonical sort is needed.
+    if parts.iter().filter(|p| !p.is_empty()).count() <= 1 {
+        let mut only: Vec<Bindings> = parts.into_iter().flatten().collect();
+        only.sort_by_cached_key(binding_key);
+        return only;
+    }
+    let mut merged: BTreeMap<BindingKey, Bindings> = BTreeMap::new();
+    for b in parts.into_iter().flatten() {
+        merged.entry(binding_key(&b)).or_insert(b);
+    }
+    merged.into_values().collect()
 }
 
 /// One solve over a body: positive literals joined in source order with
@@ -1089,6 +1309,183 @@ mod tests {
         let naive = run(false);
         assert_eq!(semi, naive, "semi-naive must reach the naive fixpoint");
         assert_eq!(semi.0.len(), 4, "y, x, goal and bonus are all out");
+    }
+
+    /// A complete binary tree of `depth` levels of `kids` facts, big enough
+    /// that per-iteration closure deltas exceed the sharding threshold.
+    fn binary_tree(depth: u32) -> Structure {
+        let mut s = Structure::new();
+        let kids = s.atom("kids");
+        let nodes: Vec<Oid> = (0..(1u32 << depth) - 1).map(|i| s.atom(&format!("n{i}"))).collect();
+        for i in 0..nodes.len() {
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < nodes.len() {
+                    s.assert_set_member(kids, nodes[i], &[], nodes[child]);
+                }
+            }
+        }
+        s
+    }
+
+    fn desc_closure_rules() -> Vec<Rule> {
+        vec![
+            Rule::new(
+                Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+                vec![Literal::pos(
+                    Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+                )],
+            ),
+            Rule::new(
+                Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+                vec![Literal::pos(
+                    Term::var("X")
+                        .set("desc")
+                        .filter(Filter::set("kids", vec![Term::var("Y")])),
+                )],
+            ),
+            // A second stratum with a virtual-object head, so parallel mode
+            // also has to reproduce virtual allocation order exactly.
+            Rule::new(
+                Term::var("X")
+                    .scalar("summary")
+                    .filter(Filter::set_ref("descendants", Term::var("X").set("desc"))),
+                vec![Literal::pos(
+                    Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+                )],
+            ),
+        ]
+    }
+
+    #[test]
+    fn parallel_mode_is_bit_identical_to_sequential() {
+        let base = binary_tree(8);
+        let rules = desc_closure_rules();
+        let run = |mode: EvalMode| {
+            let mut s = base.clone();
+            let stats = Engine::with_options(EvalOptions {
+                mode,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, &rules)
+            .unwrap();
+            (s, stats)
+        };
+        let (seq, seq_stats) = run(EvalMode::Sequential);
+        for workers in [2usize, 4, 8] {
+            let (par, par_stats) = run(EvalMode::Parallel { workers });
+            assert_eq!(seq_stats, par_stats, "EvalStats must match at {workers} workers");
+            assert_eq!(
+                seq.canonical_dump(),
+                par.canonical_dump(),
+                "models must be byte-identical at {workers} workers"
+            );
+        }
+        // Sanity: the workload is big enough that deltas actually sharded.
+        assert!(seq_stats.delta_solves > 0);
+        assert!(seq.stats().set_members > 2_000);
+    }
+
+    #[test]
+    fn parallel_mode_with_zero_or_one_worker_degrades_to_sequential() {
+        let base = binary_tree(4);
+        let rules = desc_closure_rules();
+        let run = |mode: EvalMode| {
+            let mut s = base.clone();
+            let stats = Engine::with_options(EvalOptions {
+                mode,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, &rules)
+            .unwrap();
+            (s.canonical_dump(), stats)
+        };
+        let seq = run(EvalMode::Sequential);
+        assert_eq!(seq, run(EvalMode::Parallel { workers: 0 }));
+        assert_eq!(seq, run(EvalMode::Parallel { workers: 1 }));
+    }
+
+    #[test]
+    fn eval_stats_merge_is_saturating_and_fieldwise() {
+        let mut a = EvalStats {
+            strata: 1,
+            iterations: 2,
+            firings: 3,
+            scalar_facts: usize::MAX - 1,
+            set_members: 5,
+            isa_edges: usize::MAX,
+            signatures: 0,
+            virtual_objects: 7,
+            rules_skipped: 8,
+            delta_solves: 9,
+            full_solves: 10,
+        };
+        let b = EvalStats {
+            strata: 10,
+            iterations: 20,
+            firings: 30,
+            scalar_facts: 40,
+            set_members: 50,
+            isa_edges: 60,
+            signatures: 70,
+            virtual_objects: 80,
+            rules_skipped: 90,
+            delta_solves: 100,
+            full_solves: 110,
+        };
+        a.merge(&b);
+        assert_eq!(a.strata, 11);
+        assert_eq!(a.iterations, 22);
+        assert_eq!(a.firings, 33);
+        assert_eq!(a.scalar_facts, usize::MAX, "saturates instead of wrapping");
+        assert_eq!(a.set_members, 55);
+        assert_eq!(a.isa_edges, usize::MAX, "saturates instead of wrapping");
+        assert_eq!(a.signatures, 70);
+        assert_eq!(a.virtual_objects, 87);
+        assert_eq!(a.rules_skipped, 98);
+        assert_eq!(a.delta_solves, 109);
+        assert_eq!(a.full_solves, 120);
+        // derived() of saturated counters must not overflow either.
+        assert_eq!(a.derived(), usize::MAX);
+    }
+
+    #[test]
+    fn unknown_names_in_reference_queries_are_reported_not_silent() {
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        engine.run_rules(&mut s, &genealogy_facts()).unwrap();
+        // `dsc` was never asserted by any fact or rule (a typo for `desc`).
+        let typo = Term::name("peter").set("dsc");
+        assert!(matches!(
+            engine.eval_ground(&s, &typo),
+            Err(Error::UnknownName(m)) if m.contains("dsc")
+        ));
+        assert!(matches!(engine.query_term(&s, &typo), Err(Error::UnknownName(_))));
+        // Registered vocabulary still answers normally.
+        assert_eq!(
+            engine.eval_ground(&s, &Term::name("peter").set("kids")).unwrap().len(),
+            2
+        );
+        // Value literals absent from the data are a legitimately empty
+        // answer, not a typo: probing kids for a never-interned int works.
+        let probe = Term::name("peter").filter(Filter::set("kids", vec![Term::int(31)]));
+        assert!(engine.query_term(&s, &probe).unwrap().is_empty());
+        // Query bodies stay permissive: unknown names mean "no solutions"
+        // (generated queries legitimately probe absent attributes).
+        let q = Query::single(Term::var("X").filter(Filter::set("dsc", vec![Term::var("Y")])));
+        assert!(engine.query(&s, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_canonical_sorts_and_deduplicates_across_parts() {
+        let (x, y) = (Var::new("X"), Var::new("Y"));
+        let b1 = Bindings::from_pairs([(x.clone(), Oid(3)), (y.clone(), Oid(1))]).unwrap();
+        let b2 = Bindings::from_pairs([(x.clone(), Oid(1)), (y.clone(), Oid(2))]).unwrap();
+        // Same valuation as b2, bound in the opposite order.
+        let b2_rev = Bindings::from_pairs([(y.clone(), Oid(2)), (x.clone(), Oid(1))]).unwrap();
+        let merged = merge_canonical(vec![vec![b1.clone()], vec![b2.clone(), b2_rev]]);
+        assert_eq!(merged.len(), 2, "order-independent duplicates collapse");
+        assert_eq!(merged[0].get(&x), Some(Oid(1)));
+        assert_eq!(merged[1].get(&x), Some(Oid(3)));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! deductive engine only ever adds facts while evaluating, so this holds for
 //! every fixpoint run; the reactive layer retracts *between* runs.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::error::{Error, Result};
 
@@ -88,7 +88,9 @@ struct AppIndex {
 
 /// Per-`(method, receiver)` index of the applications with arguments,
 /// keyed by the argument tuple (looked up through `Borrow<[Oid]>`).
-type ArgsIndex = HashMap<Box<[Oid]>, usize>;
+/// An ordered map: iteration follows argument-tuple order, so enumerating
+/// the applications of a compound key is deterministic without sorting.
+type ArgsIndex = BTreeMap<Box<[Oid]>, usize>;
 
 impl AppIndex {
     fn get(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
@@ -124,7 +126,9 @@ impl AppIndex {
     }
 
     /// All stored application positions for the compound `(method, receiver)`
-    /// key.
+    /// key: the zero-argument application first, then the
+    /// applications-with-arguments in argument-tuple order.  Deterministic
+    /// (the inner map is ordered) and allocation-free on both paths.
     fn indices_of(&self, method: Oid, receiver: Oid) -> impl Iterator<Item = usize> + '_ {
         self.zero.get(&(method, receiver)).copied().into_iter().chain(
             self.with_args

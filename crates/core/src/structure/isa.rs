@@ -95,11 +95,17 @@ impl Isa {
         self.down.get(&class).map_or(0, BTreeSet::len)
     }
 
-    /// Directly asserted edges, for persistence and debugging.
+    /// Directly asserted edges, for persistence and debugging, sorted by
+    /// `(sub, sup)` so emitted output is deterministic (the map over
+    /// subjects iterates in per-process random order).
     pub fn direct_edges(&self) -> impl Iterator<Item = (Oid, Oid)> + '_ {
-        self.direct_up
+        let mut all: Vec<(Oid, Oid)> = self
+            .direct_up
             .iter()
             .flat_map(|(&sub, sups)| sups.iter().map(move |&sup| (sub, sup)))
+            .collect();
+        all.sort_unstable();
+        all.into_iter()
     }
 
     /// Number of pairs in the transitive closure.  Doubles as the current

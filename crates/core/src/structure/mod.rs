@@ -160,6 +160,18 @@ impl Structure {
         self.names.get(name).copied()
     }
 
+    /// The object denoted by `name`, or [`crate::error::Error::UnknownName`].
+    ///
+    /// The fallible counterpart of [`Structure::lookup_name`] for call sites
+    /// that would otherwise `unwrap()`: a read-only path that *requires* the
+    /// name to exist (query evaluation over an asserted vocabulary, baseline
+    /// plan construction) gets a reportable error instead of a panic or a
+    /// silently empty answer.
+    pub fn require_name(&self, name: &Name) -> crate::error::Result<Oid> {
+        self.lookup_name(name)
+            .ok_or_else(|| crate::error::Error::UnknownName(format!("`{name}` is not registered in the structure")))
+    }
+
     /// The name denoting `oid`, if it has one.
     pub fn name_of(&self, oid: Oid) -> Option<&Name> {
         self.objects.get(oid.index()).and_then(|o| o.name.as_ref())
@@ -204,9 +216,17 @@ impl Structure {
         (0..self.objects.len() as u32).map(Oid)
     }
 
-    /// Iterate over all registered names and the objects they denote.
+    /// Iterate over all registered names and the objects they denote, in
+    /// interned-oid order.
+    ///
+    /// The underlying map iterates in a per-process random order; sorting by
+    /// oid here keeps every consumer that materialises the alphabet
+    /// (persistence, the relational baseline loader, canonical dumps)
+    /// deterministic run-to-run.
     pub fn names(&self) -> impl Iterator<Item = (&Name, Oid)> + '_ {
-        self.names.iter().map(|(n, &o)| (n, o))
+        let mut all: Vec<(&Name, Oid)> = self.names.iter().map(|(n, &o)| (n, o)).collect();
+        all.sort_unstable_by_key(|&(_, o)| o);
+        all.into_iter()
     }
 
     /// The object of the built-in `self` method.
@@ -339,6 +359,52 @@ impl Structure {
     /// Read access to the signature declarations.
     pub fn signatures(&self) -> &Signatures {
         &self.sigs
+    }
+
+    // -- canonical serialisation ----------------------------------------------
+
+    /// A canonical, byte-stable dump of the structure's content: names in
+    /// interned-oid order, then scalar facts, set members and is-a closure
+    /// pairs, each section sorted by `(method/class, receiver, args)` oids.
+    ///
+    /// Two structures holding the same model produce identical bytes no
+    /// matter in which order their facts were asserted by which evaluation
+    /// mode — this is the emission boundary tests diff to show that
+    /// sequential and parallel (or two repeated) runs agree exactly,
+    /// without depending on hash-map iteration order.
+    pub fn canonical_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "objects: {}", self.objects.len());
+        for (name, oid) in self.names() {
+            let _ = writeln!(out, "name {oid} {name}");
+        }
+        let mut scalars: Vec<&ScalarFact> = self.facts.scalar_facts().collect();
+        scalars.sort_unstable_by(|a, b| {
+            (a.method, a.receiver, &a.args, a.result).cmp(&(b.method, b.receiver, &b.args, b.result))
+        });
+        for f in scalars {
+            let _ = writeln!(out, "scalar {} {} {:?} -> {}", f.method, f.receiver, f.args, f.result);
+        }
+        let mut members: Vec<(Oid, Oid, &[Oid], Oid)> = self
+            .facts
+            .set_facts()
+            .flat_map(|f| {
+                f.members
+                    .iter()
+                    .map(move |&m| (f.method, f.receiver, f.args.as_ref(), m))
+            })
+            .collect();
+        members.sort_unstable();
+        for (method, receiver, args, member) in members {
+            let _ = writeln!(out, "member {method} {receiver} {args:?} ->> {member}");
+        }
+        let mut pairs: Vec<(Oid, Oid)> = self.isa.pairs_since(0).to_vec();
+        pairs.sort_unstable();
+        for (sub, sup) in pairs {
+            let _ = writeln!(out, "isa {sub} : {sup}");
+        }
+        out
     }
 
     // -- statistics -----------------------------------------------------------
@@ -477,6 +543,43 @@ mod tests {
         assert_eq!(st.scalar_facts, 1);
         assert_eq!(st.isa_edges, 1);
         assert!(st.to_string().contains("objects"));
+    }
+
+    #[test]
+    fn require_name_reports_unknown_names() {
+        let mut s = Structure::new();
+        let mary = s.atom("mary");
+        assert_eq!(s.require_name(&Name::atom("mary")).unwrap(), mary);
+        let err = s.require_name(&Name::atom("nobody")).unwrap_err();
+        assert!(matches!(err, crate::error::Error::UnknownName(ref m) if m.contains("nobody")));
+    }
+
+    #[test]
+    fn canonical_dump_is_independent_of_fact_assertion_order() {
+        let build = |flip: bool| {
+            let mut s = Structure::new();
+            let (kids, age) = (s.atom("kids"), s.atom("age"));
+            let (a, b, c) = (s.atom("a"), s.atom("b"), s.atom("c"));
+            let thirty = s.int(30);
+            if flip {
+                s.add_isa(c, a);
+                s.assert_scalar(age, b, &[], thirty).unwrap();
+                s.assert_set_member(kids, a, &[], c);
+                s.assert_set_member(kids, a, &[], b);
+            } else {
+                s.assert_set_member(kids, a, &[], b);
+                s.assert_set_member(kids, a, &[], c);
+                s.assert_scalar(age, b, &[], thirty).unwrap();
+                s.add_isa(c, a);
+            }
+            s.canonical_dump()
+        };
+        let d1 = build(false);
+        let d2 = build(true);
+        assert_eq!(d1, d2, "dump must not depend on assertion order");
+        for needle in ["objects:", "name", "scalar", "member", "isa"] {
+            assert!(d1.contains(needle), "dump section `{needle}` missing:\n{d1}");
+        }
     }
 
     #[test]
