@@ -39,6 +39,14 @@ struct Report {
     tables: Vec<(String, Vec<Row>)>,
 }
 
+/// The number of hardware threads the host exposes.  Recorded in the JSON
+/// meta block so committed BENCH results are interpretable: on a 1-core
+/// container the parallel arms can only measure scheduling overhead, and a
+/// reader must be able to tell that from the document alone.
+fn detected_cores() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
 impl Report {
     fn table(&mut self, title: &str, rows: Vec<Row>) {
         println!("\n== {title} ==");
@@ -55,7 +63,10 @@ impl Report {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
-        let mut out = String::from("{\n  \"experiments\": [\n");
+        let mut out = format!(
+            "{{\n  \"meta\": {{\"detected_cores\": {}}},\n  \"experiments\": [\n",
+            detected_cores()
+        );
         for (t, (title, rows)) in self.tables.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\n      \"name\": \"{}\",\n      \"rows\": [\n",
@@ -91,8 +102,37 @@ fn format_number(v: f64) -> String {
 }
 
 fn main() {
-    let json_path = parse_json_arg();
+    let args = parse_args();
     let mut report = Report::default();
+    if args.only.is_none() {
+        all_experiments(&mut report);
+    }
+    // E17 always runs: it is the executor cross-check the CI matrix arm
+    // invokes in isolation via `--only e17`.
+    e17_executor_ablation(&mut report);
+    match args.only.as_deref() {
+        None => println!("\nAll experiments finished; answers agreed across PathLog and the baselines."),
+        Some(_) => println!(
+            "\nE17 cross-checks passed: every executor/schedule arm matched the sequential fixpoint \
+             (cross-rule arms bit-identical EvalStats)."
+        ),
+    }
+    println!("(detected cores: {})", detected_cores());
+    if let Some(path) = args.json {
+        // Guard the committed full-results document: a partial run writes
+        // only the tables it produced, which must not clobber
+        // BENCH_results.json by accident.
+        if args.only.is_some() && path.ends_with("BENCH_results.json") {
+            eprintln!("refusing to overwrite {path} with a partial (--only) run; choose another --json path");
+            std::process::exit(2);
+        }
+        std::fs::write(&path, report.to_json()).expect("write JSON results");
+        println!("Wrote machine-readable results to {path}");
+    }
+}
+
+/// E1–E16: the full answer-size + timing table set.
+fn all_experiments(report: &mut Report) {
     let scales = [200usize, 1_000, 5_000];
 
     // E1 — colours of employees' automobiles
@@ -395,23 +435,97 @@ fn main() {
         });
     }
     report.table("E16: parallel sharded delta evaluation (1/2/4/8 workers)", rows);
-
-    println!("\nAll experiments finished; answers agreed across PathLog and the baselines.");
-    if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json()).expect("write JSON results");
-        println!("Wrote machine-readable results to {path}");
-    }
 }
 
-/// Parse `--json <path>` from the command line, if present.
-fn parse_json_arg() -> Option<String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [] => None,
-        [flag, path] if flag == "--json" => Some(path.clone()),
-        _ => {
-            eprintln!("usage: experiments [--json <path>]");
-            std::process::exit(2);
+/// E17 — the executor ablation: spawn-per-batch (scoped) vs persistent pool
+/// (pooled) executors, crossed with the two iteration schedules (snapshot-
+/// window cross-rule vs legacy rule-at-a-time), at 4 workers on the
+/// deep-tree `desc` workload.  Every arm's derived counts are cross-checked
+/// against the sequential run (the binary aborts on mismatch — this is the
+/// CI gate), the cross-rule arms' full `EvalStats` too; the per-run
+/// spawned-thread counts show the pooled executor's O(workers) spawn
+/// behaviour against the scoped executor's O(solves × workers).
+fn e17_executor_ablation(report: &mut Report) {
+    use pathlog_core::engine::{EvalMode, EvalOptions, ExecutorKind, Schedule};
+    let mut rows = Vec::new();
+    for &(depth, fanout) in &[(8usize, 2usize), (10, 2)] {
+        let s = workloads::genealogy(depth, fanout);
+        let ((seq_members, seq_stats), _) = transitive_closure::pathlog_desc_with_options(&s, EvalOptions::default());
+        let (_, seq_ms) = time_ms(|| {
+            transitive_closure::pathlog_desc_with_options(&s, EvalOptions::default())
+                .0
+                 .0
+        });
+        let mut values = vec![
+            ("derived_set_members".into(), seq_members as f64),
+            ("sequential_ms".into(), seq_ms),
+        ];
+        let schedules = [
+            ("cross_rule", Schedule::CrossRule),
+            ("rule_at_a_time", Schedule::RuleAtATime),
+        ];
+        let executors = [("pooled", ExecutorKind::Pooled), ("scoped", ExecutorKind::Scoped)];
+        for (s_label, schedule) in schedules {
+            for (e_label, executor) in executors {
+                let options = EvalOptions {
+                    mode: EvalMode::Parallel { workers: 4 },
+                    schedule,
+                    executor,
+                    ..EvalOptions::default()
+                };
+                let mut spawned = 0usize;
+                let mut arm_stats = None;
+                let (members, ms) = time_ms(|| {
+                    let ((members, stats), threads) = transitive_closure::pathlog_desc_with_options(&s, options);
+                    spawned = threads;
+                    arm_stats = Some(stats);
+                    members
+                });
+                assert_eq!(
+                    members, seq_members,
+                    "E17 {s_label}/{e_label}: answer counts must match the sequential run"
+                );
+                if schedule == Schedule::CrossRule {
+                    assert_eq!(
+                        arm_stats.expect("arm ran"),
+                        seq_stats,
+                        "E17 {s_label}/{e_label}: cross-rule EvalStats must be bit-identical to sequential"
+                    );
+                }
+                values.push((format!("{s_label}_{e_label}_w4_ms"), ms));
+                values.push((format!("{s_label}_{e_label}_spawned_threads"), spawned as f64));
+            }
+        }
+        rows.push(Row {
+            scale: format!("depth={depth} fanout={fanout}"),
+            values,
+        });
+    }
+    report.table(
+        "E17: executor ablation (pooled vs scoped x cross-rule vs rule-at-a-time, 4 workers)",
+        rows,
+    );
+}
+
+/// Command-line arguments: `[--json <path>] [--only e17]`.
+struct Args {
+    json: Option<String>,
+    only: Option<String>,
+}
+
+/// Parse the command line (exits with usage on anything unexpected).
+fn parse_args() -> Args {
+    let mut args = Args { json: None, only: None };
+    let mut raw = std::env::args().skip(1);
+    while let Some(flag) = raw.next() {
+        match (flag.as_str(), raw.next()) {
+            ("--json", Some(path)) => args.json = Some(path),
+            ("--only", Some(table)) if table == "e17" => args.only = Some(table),
+            _ => {
+                eprintln!("usage: experiments [--json <path>] [--only e17]");
+                std::process::exit(2);
+            }
         }
     }
+    args
 }

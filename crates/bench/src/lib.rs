@@ -252,15 +252,28 @@ pub mod transitive_closure {
     /// mode (semi-naive in both cases); returns the derived set members and
     /// the run's [`EvalStats`] so callers can cross-check the modes.
     pub fn pathlog_desc_with_mode(structure: &Structure, mode: EvalMode) -> (usize, EvalStats) {
+        pathlog_desc_with_options(
+            structure,
+            EvalOptions {
+                mode,
+                ..EvalOptions::default()
+            },
+        )
+        .0
+    }
+
+    /// Evaluate the parallel-ablation program under arbitrary
+    /// [`EvalOptions`] (schedule, executor, mode) on a throwaway engine —
+    /// the E17 executor-ablation entry point.  Returns `((set members,
+    /// stats), threads spawned by the run's engine)`, so callers can report
+    /// the pooled executor's O(workers) spawn count against the scoped
+    /// executor's O(solves × workers).
+    pub fn pathlog_desc_with_options(structure: &Structure, options: EvalOptions) -> ((usize, EvalStats), usize) {
         let mut s = structure.clone();
         let program = parse_program(PARALLEL_ABLATION_RULES).expect("valid rules");
-        let stats = Engine::with_options(EvalOptions {
-            mode,
-            ..EvalOptions::default()
-        })
-        .load_program(&mut s, &program)
-        .expect("rules evaluate");
-        (stats.set_members, stats)
+        let engine = Engine::with_options(options);
+        let stats = engine.load_program(&mut s, &program).expect("rules evaluate");
+        ((stats.set_members, stats), engine.threads_spawned())
     }
 }
 
@@ -600,14 +613,40 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_ablation_agree() {
+        // The worker counts here must stay aligned with the E16/E17
+        // cross-checks and the CI experiments job: 1/2/4/8.
         let s = workloads::genealogy(7, 2);
         let (seq_members, seq_stats) = transitive_closure::pathlog_desc_with_mode(&s, EvalMode::Sequential);
-        for workers in [1usize, 2, 4] {
+        for workers in [1usize, 2, 4, 8] {
             let (members, stats) = transitive_closure::pathlog_desc_with_mode(&s, EvalMode::Parallel { workers });
             assert_eq!(members, seq_members, "answer counts must match at {workers} workers");
             assert_eq!(stats, seq_stats, "EvalStats must match at {workers} workers");
         }
         assert!(seq_members > 0);
+    }
+
+    #[test]
+    fn executor_and_schedule_ablation_arms_agree_on_the_fixpoint() {
+        let s = workloads::genealogy(6, 2);
+        let ((seq_members, seq_stats), _) = transitive_closure::pathlog_desc_with_options(&s, EvalOptions::default());
+        for schedule in [Schedule::CrossRule, Schedule::RuleAtATime] {
+            for executor in [ExecutorKind::Pooled, ExecutorKind::Scoped] {
+                let options = EvalOptions {
+                    mode: EvalMode::Parallel { workers: 4 },
+                    schedule,
+                    executor,
+                    ..EvalOptions::default()
+                };
+                let ((members, stats), _) = transitive_closure::pathlog_desc_with_options(&s, options);
+                assert_eq!(
+                    members, seq_members,
+                    "derived counts must match for {schedule:?}/{executor:?}"
+                );
+                if schedule == Schedule::CrossRule {
+                    assert_eq!(stats, seq_stats, "cross-rule EvalStats must match {executor:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,613 @@
+//! The executor subsystem: how the engine's solve tasks are scheduled onto
+//! threads.
+//!
+//! Evaluation produces batches of *solve tasks* — one full body solve per
+//! rule on the first iteration of a stratum, and one `(rule, drivable
+//! literal, delta shard)` pass per affected rule afterwards (see
+//! [`SolveTask`]).  Tasks only read: they run against a structure that is
+//! frozen for the duration of the batch, so any subset of them may execute
+//! concurrently.  The [`Executor`] trait is the pluggable boundary between
+//! the engine loop (which plans batches and commits their results) and the
+//! thread management, with two implementations:
+//!
+//! * [`ScopedExecutor`] — the original spawn-per-batch path: a fresh set of
+//!   `std::thread::scope` workers per batch, ~0.5 ms of spawn cost each on
+//!   the reference container.  Kept as the reference arm of the E17
+//!   executor ablation and for tests.
+//! * [`PooledExecutor`] — a persistent [`WorkerPool`] created once per
+//!   [`Engine`](super::Engine) and reused across strata, iterations and
+//!   batches, so a whole `run_rules` call spawns O(workers) threads instead
+//!   of O(delta solves × workers).
+//!
+//! The pool is implemented without `unsafe` (this crate forbids it): the
+//! coordinator *moves* the structure into an [`Arc`]'d batch, broadcasts the
+//! batch to the workers, participates in the work itself, and reclaims sole
+//! ownership with [`Arc::try_unwrap`] once every task has completed.
+//! Workers claim tasks off a shared atomic cursor, so scheduling is
+//! work-stealing-ish and never depends on which worker runs what.
+//!
+//! **Sorted runs.**  Each delta task returns its solutions as a locally
+//! *sorted run* — deduplicated and ordered by the canonical, valuation-order
+//! independent [`BindingKey`] — so the sorting work happens on the workers,
+//! in parallel.  The single writer then only k-way-merges the runs
+//! ([`merge_sorted_runs`]): the per-element min is found by a linear scan
+//! over the run heads (the run count — drivable literals × shards — is a
+//! few dozen at most, where a heap's constant factors would not pay), so
+//! the serial commit section of an iteration is O(solutions · runs) cheap
+//! comparisons instead of a full O(solutions · log solutions) sort.  Full
+//! solves skip the
+//! sort: they are one task per rule whose enumeration order is already
+//! deterministic (every index iterates an ordered container), and keeping
+//! them sort-free keeps the naive ablation arm honest.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+
+use crate::error::{Error, Result};
+use crate::program::Rule;
+use crate::semantics::{Bindings, DeltaView};
+use crate::structure::Structure;
+
+/// A canonical, valuation-order independent key for a set of bindings:
+/// the bound `(variable, object)` pairs in sorted order.  Two bindings with
+/// equal keys denote the same valuation, so the key both deduplicates and
+/// totally orders rule-body solutions — the order in which the writer
+/// asserts them, and with that the order in which virtual objects are
+/// allocated, in every evaluation mode.
+pub type BindingKey = Vec<(std::sync::Arc<str>, u32)>;
+
+/// A locally sorted, deduplicated sequence of keyed solutions — the output
+/// of one delta task, ready for the writer's k-way merge.
+pub type SortedRun = Vec<(BindingKey, Bindings)>;
+
+/// The canonical key of `b` (see [`BindingKey`]).
+pub fn binding_key(b: &Bindings) -> BindingKey {
+    let mut key: BindingKey = b.iter().map(|(v, o)| (v.0.clone(), o.0)).collect();
+    key.sort();
+    key
+}
+
+/// Sort `solutions` into a canonical [`SortedRun`], dropping duplicate
+/// valuations (first occurrence wins).
+pub fn sorted_run(solutions: Vec<Bindings>) -> SortedRun {
+    let mut run: SortedRun = solutions.into_iter().map(|b| (binding_key(&b), b)).collect();
+    run.sort_by(|a, b| a.0.cmp(&b.0));
+    run.dedup_by(|a, b| a.0 == b.0);
+    run
+}
+
+/// K-way-merge canonically sorted runs into one deduplicated solution list
+/// in [`BindingKey`] order.  Duplicate keys across runs collapse to the
+/// first occurrence (all of them denote the same valuation).  This is the
+/// single writer's merge point and the mode-identity boundary: the merged
+/// list is a function of the *union* of the runs only, so any sharding of
+/// the same answer set — one run per literal, per shard, or one big
+/// sequential run — commits the same solutions in the same order.
+pub fn merge_sorted_runs(runs: Vec<SortedRun>) -> Vec<Bindings> {
+    let mut runs: Vec<SortedRun> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    match runs.len() {
+        0 => Vec::new(),
+        1 => runs.pop().expect("one run").into_iter().map(|(_, b)| b).collect(),
+        _ => {
+            let mut cursor = vec![0usize; runs.len()];
+            let mut out: Vec<Bindings> = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+            let mut last: Option<BindingKey> = None;
+            loop {
+                let mut min: Option<usize> = None;
+                for (i, run) in runs.iter().enumerate() {
+                    if cursor[i] < run.len() && min.is_none_or(|j| run[cursor[i]].0 < runs[j][cursor[j]].0) {
+                        min = Some(i);
+                    }
+                }
+                let Some(i) = min else { break };
+                let slot = &mut runs[i][cursor[i]];
+                let (key, b) = std::mem::replace(slot, (Vec::new(), Bindings::new()));
+                cursor[i] += 1;
+                if last.as_ref() != Some(&key) {
+                    out.push(b);
+                    last = Some(key);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// One schedulable unit of solve work: a rule body solved in full
+/// (`delta: None`), or with one body literal restricted to one delta view
+/// (`delta: Some((literal index, view index))`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveTask {
+    /// Index of the rule (into the batch's rule slice) whose body this task
+    /// solves.
+    pub rule: usize,
+    /// `None` for a full solve; `Some((l, v))` for a delta pass with
+    /// positive body literal `l` restricted to the batch's view `v`.
+    pub delta: Option<(usize, usize)>,
+}
+
+/// One execution round: every task of a batch runs against the same frozen
+/// structure, reading the same delta views.
+#[derive(Debug)]
+pub struct SolveBatch {
+    /// The rules of the run; tasks index into this slice.
+    pub rules: Arc<[Rule]>,
+    /// The delta views tasks reference by index (the iteration window, or
+    /// its per-method shards).
+    pub views: Vec<DeltaView>,
+    /// The tasks, in deterministic schedule order.
+    pub tasks: Vec<SolveTask>,
+}
+
+/// The result of one task.
+#[derive(Debug)]
+pub enum SolveOutput {
+    /// A full solve's buffer in its (deterministic) enumeration order —
+    /// deliberately unsorted, see the module docs.
+    Enumerated(Vec<Bindings>),
+    /// A delta pass's locally sorted, deduplicated run.
+    Sorted(SortedRun),
+}
+
+/// Solve one task of `batch` against `structure`.
+fn run_task(structure: &Structure, batch: &SolveBatch, task: SolveTask) -> Result<SolveOutput> {
+    let body = &batch.rules[task.rule].body;
+    let seed = Bindings::new();
+    match task.delta {
+        None => {
+            let solutions = super::solve_body_pass(structure, body, &seed, None)?;
+            Ok(SolveOutput::Enumerated(solutions))
+        }
+        Some((lit, view)) => {
+            let solutions = super::solve_body_pass(structure, body, &seed, Some((lit, &batch.views[view])))?;
+            Ok(SolveOutput::Sorted(sorted_run(solutions)))
+        }
+    }
+}
+
+/// Solve every task on the calling thread, in order.
+fn execute_inline(structure: &Structure, batch: &SolveBatch) -> Result<Vec<SolveOutput>> {
+    batch.tasks.iter().map(|&t| run_task(structure, batch, t)).collect()
+}
+
+/// How a batch of solve tasks is mapped onto threads.
+///
+/// Implementations must return one output per task, in task order,
+/// regardless of how the tasks were scheduled, and must leave `structure`
+/// unmodified (it is `&mut` only so that pool implementations can
+/// temporarily move it into shared ownership and back — tasks themselves
+/// only read).
+pub trait Executor: fmt::Debug {
+    /// Solve every task of `batch` against the frozen `structure`.
+    fn execute(&self, structure: &mut Structure, batch: SolveBatch) -> Result<Vec<SolveOutput>>;
+
+    /// The number of worker threads this executor fans tasks over (1 means
+    /// every batch runs inline on the calling thread).
+    fn workers(&self) -> usize;
+}
+
+/// The spawn-per-batch executor: `std::thread::scope` workers created fresh
+/// for every batch, exactly the PR 3 scheduling.  Kept as the reference /
+/// ablation arm — its per-batch spawn cost (~0.5 ms per thread here) is what
+/// [`PooledExecutor`] exists to amortise.
+#[derive(Debug)]
+pub struct ScopedExecutor {
+    workers: usize,
+    spawns: Arc<AtomicUsize>,
+}
+
+impl ScopedExecutor {
+    /// An executor fanning batches over up to `workers` scoped threads,
+    /// counting every spawn into `spawns`.
+    pub fn new(workers: usize, spawns: Arc<AtomicUsize>) -> Self {
+        ScopedExecutor {
+            workers: workers.max(1),
+            spawns,
+        }
+    }
+}
+
+impl Executor for ScopedExecutor {
+    fn execute(&self, structure: &mut Structure, batch: SolveBatch) -> Result<Vec<SolveOutput>> {
+        let threads = self.workers.min(batch.tasks.len());
+        if threads <= 1 {
+            return execute_inline(structure, &batch);
+        }
+        self.spawns.fetch_add(threads, Ordering::Relaxed);
+        let structure = &*structure;
+        let batch = &batch;
+        let next = AtomicUsize::new(0);
+        let mut done: Vec<(usize, Result<SolveOutput>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut mine: Vec<(usize, Result<SolveOutput>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= batch.tasks.len() {
+                                break;
+                            }
+                            mine.push((i, run_task(structure, batch, batch.tasks[i])));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(batch.tasks.len());
+            for h in handles {
+                match h.join() {
+                    Ok(mine) => all.extend(mine),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all
+        });
+        done.sort_by_key(|&(i, _)| i);
+        if done.len() != batch.tasks.len() {
+            return Err(Error::Other(format!(
+                "parallel solve lost work items: {} of {} completed",
+                done.len(),
+                batch.tasks.len()
+            )));
+        }
+        done.into_iter().map(|(_, r)| r).collect()
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+/// A counting latch: the coordinator waits until `target` arrivals.
+#[derive(Default)]
+struct Latch {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn arrive(&self) {
+        let mut count = self.count.lock().expect("latch poisoned");
+        *count += 1;
+        self.cv.notify_all();
+    }
+
+    fn wait_until(&self, target: usize) {
+        let mut count = self.count.lock().expect("latch poisoned");
+        while *count < target {
+            count = self.cv.wait(count).expect("latch poisoned");
+        }
+    }
+}
+
+/// Arrive at the latch when dropped — runs even if the task panicked, so the
+/// coordinator never waits forever; the missing result slot then surfaces as
+/// an explicit error instead of a deadlock.
+struct ArriveOnDrop<'a>(&'a Latch);
+
+impl Drop for ArriveOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.arrive();
+    }
+}
+
+/// Everything one pooled batch shares between the coordinator and the
+/// workers.  The structure lives *inside* (moved in by the coordinator,
+/// moved back out once it is the sole owner again), which is what makes the
+/// pool safe without `unsafe`: workers can never outlive their access.
+struct PooledBatch {
+    structure: Structure,
+    batch: SolveBatch,
+    next: AtomicUsize,
+    results: Mutex<Vec<Option<Result<SolveOutput>>>>,
+    progress: Latch,
+}
+
+impl PooledBatch {
+    /// Claim and solve tasks until the cursor is exhausted.  Called by every
+    /// participating worker *and* by the coordinator itself.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.batch.tasks.len() {
+                break;
+            }
+            let _arrive = ArriveOnDrop(&self.progress);
+            let result = run_task(&self.structure, &self.batch, self.batch.tasks[i]);
+            self.results.lock().expect("results poisoned")[i] = Some(result);
+        }
+    }
+}
+
+/// A persistent pool of parked worker threads, created once and reused for
+/// every batch of every run of an [`Engine`](super::Engine) (clones share
+/// it).  Each worker owns a private wake-up channel: the coordinator sends
+/// one [`Weak`] handle on the batch per worker, so no lock is ever held
+/// while a thread is parked, and a stale wake-up (a worker that never got
+/// scheduled before the batch ran dry) holds no ownership — the coordinator
+/// can reclaim the structure without waiting for laggards to drain their
+/// queues.  Dropping the last pool handle closes the channels and joins the
+/// threads.
+///
+/// Known limitation: a worker that *panics* inside a task exits its loop
+/// for good (the batch it was working on reports the lost work as an
+/// explicit error — see [`ArriveOnDrop`]); the pool does not respawn it, so
+/// subsequent batches on a long-lived engine run with fewer live workers
+/// than [`WorkerPool::workers`] reports.  Task code panicking is a bug, the
+/// coordinator always completes batches itself, and a degraded pool only
+/// costs parallelism — never correctness.
+pub struct WorkerPool {
+    senders: Vec<Sender<Weak<PooledBatch>>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` parked threads, counting the spawns into
+    /// `spawns`.
+    pub fn new(workers: usize, spawns: &Arc<AtomicUsize>) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (sender, receiver): (Sender<Weak<PooledBatch>>, Receiver<Weak<PooledBatch>>) = channel();
+            let spawned = std::thread::Builder::new()
+                .name(format!("pathlog-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(weak) = receiver.recv() {
+                        // A failed upgrade is a stale wake-up for a batch
+                        // that already completed without this worker.
+                        if let Some(shared) = weak.upgrade() {
+                            shared.work();
+                        }
+                    }
+                    // channel closed: pool dropped
+                });
+            if let Ok(handle) = spawned {
+                spawns.fetch_add(1, Ordering::Relaxed);
+                senders.push(sender);
+                handles.push(handle);
+            }
+        }
+        WorkerPool {
+            senders,
+            handles,
+            workers,
+        }
+    }
+
+    /// The number of worker threads the pool was created with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Wake every worker with its own (weak) handle on `shared`.
+    fn broadcast(&self, shared: &Arc<PooledBatch>) {
+        for sender in &self.senders {
+            let _ = sender.send(Arc::downgrade(shared));
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // closes the channels; workers exit their loops
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The pooled executor: batches are broadcast to a persistent
+/// [`WorkerPool`]; the coordinator moves the structure into the shared batch,
+/// works alongside the pool, and reclaims sole ownership when every task has
+/// completed.  Thread spawns per `run_rules` drop from O(delta solves ×
+/// workers) to O(workers) — see the E17 executor ablation.
+#[derive(Debug, Clone)]
+pub struct PooledExecutor {
+    pool: Arc<WorkerPool>,
+}
+
+impl PooledExecutor {
+    /// An executor backed by `pool`.
+    pub fn new(pool: Arc<WorkerPool>) -> Self {
+        PooledExecutor { pool }
+    }
+}
+
+impl Executor for PooledExecutor {
+    fn execute(&self, structure: &mut Structure, batch: SolveBatch) -> Result<Vec<SolveOutput>> {
+        let n_tasks = batch.tasks.len();
+        if self.pool.workers() <= 1 || n_tasks <= 1 {
+            return execute_inline(structure, &batch);
+        }
+        let shared = Arc::new(PooledBatch {
+            structure: std::mem::take(structure),
+            batch,
+            next: AtomicUsize::new(0),
+            results: Mutex::new((0..n_tasks).map(|_| None).collect()),
+            progress: Latch::default(),
+        });
+        self.pool.broadcast(&shared);
+        // The coordinator participates instead of blocking, which also keeps
+        // the batch finite when workers died (every task it claims completes
+        // on this thread).
+        shared.work();
+        shared.progress.wait_until(n_tasks);
+        // Reclaim sole ownership.  Wake-ups are weak, so queued stragglers
+        // hold nothing; after the latch the only other holders are workers
+        // in the instant between their last (empty) claim and their drop,
+        // which resolves within a yield or two.
+        let mut shared = shared;
+        let inner = loop {
+            match Arc::try_unwrap(shared) {
+                Ok(inner) => break inner,
+                Err(still_shared) => {
+                    shared = still_shared;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        *structure = inner.structure;
+        let results = inner.results.into_inner().expect("results poisoned");
+        let complete: Option<Vec<Result<SolveOutput>>> = results.into_iter().collect();
+        match complete {
+            Some(outputs) => outputs.into_iter().collect(),
+            None => Err(Error::Other(
+                "parallel solve lost work items: a pool worker panicked".to_string(),
+            )),
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::Var;
+    use crate::program::{Literal, Rule};
+    use crate::structure::Oid;
+    use crate::term::{Filter, Term};
+
+    fn keyed(pairs: &[(&str, u32)]) -> (BindingKey, Bindings) {
+        let bindings = Bindings::from_pairs(pairs.iter().map(|&(v, o)| (Var::new(v), Oid(o)))).unwrap();
+        (binding_key(&bindings), bindings)
+    }
+
+    #[test]
+    fn sorted_run_orders_and_deduplicates() {
+        let b1 = Bindings::from_pairs([(Var::new("X"), Oid(3))]).unwrap();
+        let b2 = Bindings::from_pairs([(Var::new("X"), Oid(1))]).unwrap();
+        let b2_dup = Bindings::from_pairs([(Var::new("X"), Oid(1))]).unwrap();
+        let run = sorted_run(vec![b1, b2, b2_dup]);
+        assert_eq!(run.len(), 2);
+        assert!(run[0].0 < run[1].0, "ascending key order");
+        assert_eq!(run[0].1.get(&Var::new("X")), Some(Oid(1)));
+    }
+
+    #[test]
+    fn merge_sorted_runs_is_a_canonical_union() {
+        let (k1, b1) = keyed(&[("X", 1), ("Y", 2)]);
+        let (k2, b2) = keyed(&[("X", 2), ("Y", 1)]);
+        let (k3, b3) = keyed(&[("X", 3), ("Y", 3)]);
+        // k2 appears in both runs; the merge must emit it once.
+        let merged = merge_sorted_runs(vec![
+            vec![(k1.clone(), b1), (k2.clone(), b2.clone())],
+            vec![(k2, b2), (k3, b3)],
+        ]);
+        assert_eq!(merged.len(), 3);
+        let xs: Vec<Option<Oid>> = merged.iter().map(|b| b.get(&Var::new("X"))).collect();
+        assert_eq!(xs, vec![Some(Oid(1)), Some(Oid(2)), Some(Oid(3))]);
+        // Merging the same answers as one big run yields the same list.
+        let (k1, b1) = keyed(&[("X", 1), ("Y", 2)]);
+        let (k2, b2) = keyed(&[("X", 2), ("Y", 1)]);
+        let (k3, b3) = keyed(&[("X", 3), ("Y", 3)]);
+        let single = merge_sorted_runs(vec![vec![(k1, b1), (k2, b2), (k3, b3)]]);
+        let xs1: Vec<Option<Oid>> = single.iter().map(|b| b.get(&Var::new("X"))).collect();
+        assert_eq!(xs, xs1, "sharding must not change the committed order");
+        assert!(merge_sorted_runs(vec![]).is_empty());
+        assert!(merge_sorted_runs(vec![vec![], vec![]]).is_empty());
+    }
+
+    /// A small structure + rule whose batch has several tasks, executed by
+    /// every executor; all must return identical outputs in task order.
+    fn executor_fixture() -> (Structure, SolveBatch) {
+        let mut s = Structure::new();
+        let kids = s.atom("kids");
+        let nodes: Vec<Oid> = (0..20).map(|i| s.atom(&format!("n{i}"))).collect();
+        for w in nodes.windows(2) {
+            s.assert_set_member(kids, w[0], &[], w[1]);
+        }
+        let rule = Rule::new(
+            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
+        );
+        let window = crate::semantics::SnapshotWindow::capture(&s);
+        let mut grown = s.clone();
+        let desc = grown.atom("desc");
+        for w in nodes.windows(2) {
+            grown.assert_set_member(desc, w[0], &[], w[1]);
+        }
+        let mut window = window;
+        let dv = window.slide(&grown);
+        let rules: Arc<[Rule]> = vec![rule].into();
+        let batch = SolveBatch {
+            rules,
+            views: vec![dv],
+            tasks: vec![
+                SolveTask { rule: 0, delta: None },
+                SolveTask {
+                    rule: 0,
+                    delta: Some((0, 0)),
+                },
+            ],
+        };
+        (grown, batch)
+    }
+
+    fn output_shape(outputs: &[SolveOutput]) -> Vec<(bool, usize)> {
+        outputs
+            .iter()
+            .map(|o| match o {
+                SolveOutput::Enumerated(v) => (false, v.len()),
+                SolveOutput::Sorted(r) => (true, r.len()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scoped_and_pooled_executors_agree_with_inline_execution() {
+        let spawns = Arc::new(AtomicUsize::new(0));
+        let (s, batch) = executor_fixture();
+        let inline = execute_inline(&s, &batch).unwrap();
+        assert_eq!(output_shape(&inline), vec![(false, 19), (true, 0)]);
+
+        let (mut s2, batch2) = executor_fixture();
+        let scoped = ScopedExecutor::new(3, Arc::clone(&spawns));
+        let scoped_out = scoped.execute(&mut s2, batch2).unwrap();
+        assert_eq!(output_shape(&scoped_out), output_shape(&inline));
+        assert_eq!(spawns.load(Ordering::Relaxed), 2, "one scoped thread per task");
+
+        let pool = Arc::new(WorkerPool::new(3, &spawns));
+        let pooled = PooledExecutor::new(Arc::clone(&pool));
+        let (mut s3, batch3) = executor_fixture();
+        let pooled_out = pooled.execute(&mut s3, batch3).unwrap();
+        assert_eq!(output_shape(&pooled_out), output_shape(&inline));
+        // The pool spawned exactly its workers, once.
+        assert_eq!(spawns.load(Ordering::Relaxed), 2 + 3);
+        // The structure was moved out and back unchanged.
+        assert_eq!(s3.canonical_dump(), s.canonical_dump());
+        // Reuse: a second batch spawns nothing new.
+        let (mut s4, batch4) = executor_fixture();
+        pooled.execute(&mut s4, batch4).unwrap();
+        assert_eq!(spawns.load(Ordering::Relaxed), 2 + 3);
+        drop(pooled);
+        drop(pool); // joins the workers
+    }
+
+    #[test]
+    fn pooled_executor_runs_tiny_batches_inline() {
+        let spawns = Arc::new(AtomicUsize::new(0));
+        let pool = Arc::new(WorkerPool::new(2, &spawns));
+        let pooled = PooledExecutor::new(pool);
+        let (mut s, mut batch) = executor_fixture();
+        batch.tasks.truncate(1);
+        let out = pooled.execute(&mut s, batch).unwrap();
+        assert_eq!(output_shape(&out), vec![(false, 19)]);
+    }
+}

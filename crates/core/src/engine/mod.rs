@@ -29,59 +29,115 @@
 //! `ablation_delta_driven` experiment, and as the oracle the property tests
 //! compare the semi-naive evaluation against.
 //!
-//! With [`EvalMode::Parallel`] the per-literal delta passes of each rule
-//! solve — further split into per-method shards of large deltas
-//! ([`DeltaView::shards`]) — are fanned out over scoped worker threads that
-//! read the shared immutable structure; the solutions are merged in
-//! canonical order before the single writer asserts them, so a parallel run
-//! is bit-identical to a sequential one (same model, same insertion logs,
-//! same virtual-object ids, same [`EvalStats`]).  Delta solves are merged
-//! canonically in sequential mode too — the two modes then assert the same
-//! solutions in the same order by construction — while full solves and
-//! query enumeration need no sort: their order is deterministic because
-//! every fact/signature index iterates an ordered container (the one
-//! hash-ordered path, the argument-tuple application index, is a `BTreeMap`
-//! precisely so that virtual-object allocation cannot drift between runs).
+//! Orchestration is delegated to the [`executor`] subsystem.  Under the
+//! default [`Schedule::CrossRule`] every stratum iteration is a two-phase
+//! commit: a single **snapshot window** ([`SnapshotWindow`], watermarks over
+//! the `Facts`/`Isa` insertion logs) is captured at the iteration boundary
+//! and shared by all rules of the stratum; every affected rule's `(rule,
+//! drivable literal, delta shard)` task is scheduled into one work queue and
+//! solved against the *frozen* structure (phase 1); then the single writer
+//! commits each rule's solutions in stratum order, each rule's delta runs
+//! k-way-merged in canonical `binding_key` order (phase 2).  Because phase 1
+//! is pure and phase 2 is a deterministic function of its outputs, a run
+//! under [`EvalMode::Parallel`] is **bit-identical** to a sequential one —
+//! same model, same insertion logs, same virtual-object ids, same
+//! [`EvalStats`] — no matter how many workers executed the queue or which
+//! [`Executor`] scheduled it.  Full solves and query enumeration need no
+//! sort: their order is deterministic because every fact/signature index
+//! iterates an ordered container (the one hash-ordered path, the
+//! argument-tuple application index, is a `BTreeMap` precisely so that
+//! virtual-object allocation cannot drift between runs).
+//!
+//! [`Schedule::RuleAtATime`] keeps the PR 3 scheduling — rules processed
+//! strictly in sequence, each against its own watermark window, asserting
+//! before the next rule solves — as the second arm of the E17 scheduling
+//! ablation.  Both schedules reach the same least fixpoint (the classic
+//! Jacobi vs Gauss–Seidel iteration trade: the snapshot schedule may take a
+//! few more, cheaper iterations) but they commit derivations in different
+//! orders, so virtual-object numbering and [`EvalStats`] are only
+//! comparable *within* a schedule, not across the two.
+//!
+//! The executors are the other ablation axis: [`ExecutorKind::Pooled`] (the
+//! default) reuses a persistent worker pool across all batches of an
+//! engine, [`ExecutorKind::Scoped`] spawns scoped threads per batch — see
+//! the [`executor`] module docs.
 
+pub mod executor;
 mod stratify;
 mod virtuals;
 
+pub use executor::{
+    binding_key, merge_sorted_runs, sorted_run, BindingKey, Executor, PooledExecutor, ScopedExecutor, SolveBatch,
+    SolveOutput, SolveTask, SortedRun, WorkerPool,
+};
 pub use stratify::{stratify, Stratification};
 pub use virtuals::{assert_head, AssertEffect, AssertOptions};
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::error::{Error, Result};
 use crate::names::Name;
 use crate::program::{literal_reads, DepKey, Literal, Program, Query, Rule, RuleInfo};
-use crate::semantics::{answers, delta_answers, Answer, Bindings, DeltaView, EvalMarks};
+use crate::semantics::{answers, delta_answers, Answer, Bindings, DeltaView, EvalMarks, SnapshotWindow};
 use crate::structure::{Oid, Structure};
 use crate::term::Term;
 
-/// How the delta solves of one fixpoint iteration are scheduled.
+/// Whether solve work is fanned out over worker threads.
 ///
-/// Rules are always processed in stratum order (the per-rule delta windows
-/// depend on it); what parallel mode fans out over worker threads is the
-/// *inside* of one rule's semi-naive solve — its per-literal delta passes,
-/// further split into per-method shards of large deltas
-/// ([`DeltaView::shards`]).  Workers only read the shared `Structure` and
-/// their immutable `DeltaView` slice; the single writer (the engine loop)
-/// merges their solution buffers in canonical order before asserting, so a
-/// parallel run produces a bit-identical structure, insertion log and
-/// [`EvalStats`] to a sequential run.
+/// Workers only read the shared `Structure` and immutable [`DeltaView`]
+/// slices; the single writer (the engine loop) merges their locally sorted
+/// solution runs in canonical order before asserting, so a parallel run
+/// produces a bit-identical structure, insertion log and [`EvalStats`] to a
+/// sequential run of the same [`Schedule`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvalMode {
-    /// Solve every delta pass on the calling thread (the default).
+    /// Solve every task on the calling thread (the default).
     #[default]
     Sequential,
-    /// Fan delta passes out over up to `workers` scoped threads.  `workers`
-    /// of 0 or 1 behaves like `Sequential`; only `delta_driven` solves are
-    /// affected (naive full re-solves are a single pass).
+    /// Fan solve tasks out over up to `workers` threads (see
+    /// [`ExecutorKind`] for *which* threads).  `workers` of 0 or 1 behaves
+    /// like `Sequential`.
     Parallel {
-        /// Maximum number of worker threads per rule solve.
+        /// Maximum number of worker threads.
         workers: usize,
     },
+}
+
+/// How the solves of one fixpoint iteration are scheduled against the
+/// structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Snapshot-window cross-rule scheduling (the default): each stratum
+    /// iteration captures one [`SnapshotWindow`] shared by all rules,
+    /// schedules every affected rule's `(rule, literal, shard)` tasks into
+    /// one queue against the frozen structure, and commits the results in a
+    /// deterministic second phase.  This is what lets *rules* — not just
+    /// the shards of one rule — solve concurrently.
+    #[default]
+    CrossRule,
+    /// The PR 3 scheduling, kept as the reference/ablation arm: rules are
+    /// processed strictly in sequence, each solved against its own
+    /// watermark window (everything asserted since *it* last ran) and
+    /// asserted before the next rule solves.  Within an iteration a rule
+    /// already sees the facts earlier rules just derived (Gauss–Seidel
+    /// style), at the price of a serial rule loop.
+    RuleAtATime,
+}
+
+/// Which [`Executor`] implementation carries [`EvalMode::Parallel`] work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// A persistent [`WorkerPool`] created once per [`Engine`] (shared by
+    /// clones) and reused across strata, iterations and solves — O(workers)
+    /// thread spawns per engine instead of O(delta solves × workers).  The
+    /// default.
+    #[default]
+    Pooled,
+    /// Fresh `std::thread::scope` workers per batch (the PR 3 behaviour),
+    /// kept as the spawn-cost reference arm of the E17 executor ablation.
+    Scoped,
 }
 
 /// Options controlling evaluation.
@@ -100,9 +156,16 @@ pub struct EvalOptions {
     /// iteration's delta.  Disabling this yields naive evaluation (every
     /// rule re-solved in full each iteration) — the ablation arm.
     pub delta_driven: bool,
-    /// Scheduling of the per-rule delta solves: sequential, or fanned out
-    /// over worker threads (observationally identical, see [`EvalMode`]).
+    /// Whether solve tasks are fanned out over worker threads
+    /// (observationally identical, see [`EvalMode`]).
     pub mode: EvalMode,
+    /// How iterations are scheduled: one shared snapshot window per
+    /// iteration (cross-rule, the default) or rule-at-a-time windows (the
+    /// PR 3 scheduling, kept for the ablation).
+    pub schedule: Schedule,
+    /// Which executor carries parallel work: the persistent per-engine pool
+    /// (default) or spawn-per-batch scoped threads.
+    pub executor: ExecutorKind,
 }
 
 impl Default for EvalOptions {
@@ -113,6 +176,8 @@ impl Default for EvalOptions {
             create_virtuals: true,
             delta_driven: true,
             mode: EvalMode::Sequential,
+            schedule: Schedule::CrossRule,
+            executor: ExecutorKind::Pooled,
         }
     }
 }
@@ -129,6 +194,20 @@ impl EvalOptions {
 }
 
 /// Statistics of one evaluation run.
+///
+/// **Contract (relaxed in the executor PR):** the derived-fact counters
+/// (`firings`, `scalar_facts`, `set_members`, `isa_edges`, `signatures`,
+/// `virtual_objects`) describe the least fixpoint and are identical across
+/// every mode, schedule and executor.  The *scheduling* counters
+/// (`iterations`, `rules_skipped`, `delta_solves`, `full_solves`) are
+/// **per-iteration aggregates of the configured [`Schedule`]**: under the
+/// default cross-rule schedule a "delta solve" is one (rule, iteration)
+/// solve against the iteration's shared snapshot window, under the legacy
+/// rule-at-a-time schedule it is a solve against that rule's private
+/// window, and the two schedules legitimately report different counts for
+/// the same program (the PR 3 per-rule-window guarantee no longer pins
+/// them).  Within a schedule the counters remain bit-identical between
+/// sequential and parallel runs and between executors.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EvalStats {
     /// Number of strata.
@@ -191,9 +270,22 @@ impl EvalStats {
 }
 
 /// The PathLog evaluation engine.
+///
+/// An engine owns its evaluation policy ([`EvalOptions`]) and, when the
+/// pooled executor is in use, a persistent [`WorkerPool`] created lazily on
+/// the first parallel run and reused by every subsequent `run_rules` /
+/// `load_program` call.  Clones share the pool (and the thread-spawn
+/// counter), so a cloned engine costs no new threads.
 #[derive(Debug, Default, Clone)]
 pub struct Engine {
     options: EvalOptions,
+    /// Lazily created persistent worker pool.  The cell itself is behind an
+    /// `Arc` so that clones share the *slot*, not just an initialized value
+    /// — cloning before the first parallel run must not mint a second pool.
+    pool: Arc<OnceLock<Arc<WorkerPool>>>,
+    /// Worker threads spawned on behalf of this engine (pool + scoped),
+    /// shared across clones; see [`Engine::threads_spawned`].
+    spawns: Arc<AtomicUsize>,
 }
 
 impl Engine {
@@ -204,12 +296,44 @@ impl Engine {
 
     /// An engine with the given options.
     pub fn with_options(options: EvalOptions) -> Self {
-        Engine { options }
+        Engine {
+            options,
+            ..Engine::default()
+        }
     }
 
     /// The options in use.
     pub fn options(&self) -> &EvalOptions {
         &self.options
+    }
+
+    /// Total worker threads spawned on behalf of this engine (and its
+    /// clones) so far: the pooled executor contributes its pool size once,
+    /// the scoped executor contributes every per-batch spawn.  The E17
+    /// executor ablation reports this to show the pooled executor's
+    /// O(workers)-per-engine spawn behaviour.
+    pub fn threads_spawned(&self) -> usize {
+        self.spawns.load(Ordering::Relaxed)
+    }
+
+    /// The executor configured by the options (inline for sequential runs;
+    /// the persistent pool is created on first use and reused afterwards).
+    fn executor(&self) -> Box<dyn Executor> {
+        let workers = self.options.worker_threads();
+        if workers <= 1 {
+            // Sequential: a 1-worker scoped executor runs everything inline
+            // without ever spawning.
+            return Box::new(ScopedExecutor::new(1, Arc::clone(&self.spawns)));
+        }
+        match self.options.executor {
+            ExecutorKind::Scoped => Box::new(ScopedExecutor::new(workers, Arc::clone(&self.spawns))),
+            ExecutorKind::Pooled => {
+                let pool = self
+                    .pool
+                    .get_or_init(|| Arc::new(WorkerPool::new(workers, &self.spawns)));
+                Box::new(PooledExecutor::new(Arc::clone(pool)))
+            }
+        }
     }
 
     /// Load a program into `structure`: validate, register every name,
@@ -251,25 +375,197 @@ impl Engine {
             strata: stratification.len(),
             ..EvalStats::default()
         };
+        let executor = self.executor();
+        let rules_arc: Arc<[Rule]> = rules.to_vec().into();
+        match self.options.schedule {
+            Schedule::CrossRule => {
+                self.run_cross_rule(structure, &rules_arc, &stratification, executor.as_ref(), &mut stats)?
+            }
+            Schedule::RuleAtATime => self.run_rule_at_a_time(
+                structure,
+                &rules_arc,
+                infos,
+                &stratification,
+                executor.as_ref(),
+                &mut stats,
+            )?,
+        }
+        Ok(stats)
+    }
+
+    /// Per-literal read keys, used to pick which body literals an iteration
+    /// delta can drive (positive literals only; negated and set-at-a-time
+    /// reads are stratified below the current stratum).
+    fn body_reads(&self, rules: &[Rule]) -> Vec<Vec<Option<BTreeSet<DepKey>>>> {
+        if !self.options.delta_driven {
+            return Vec::new();
+        }
+        rules
+            .iter()
+            .map(|rule| {
+                rule.body
+                    .iter()
+                    .map(|lit| lit.positive.then(|| literal_reads(&lit.term)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The default snapshot-window cross-rule scheduler.
+    ///
+    /// Each stratum iteration is a two-phase commit.  **Plan + solve
+    /// (phase 1):** slide the stratum's shared [`SnapshotWindow`] to the
+    /// present; for every rule the window can drive, enqueue one task per
+    /// (drivable literal, delta shard) — on the first iteration, one full
+    /// solve per rule — and hand the whole queue to the executor against the
+    /// now-frozen structure.  **Commit (phase 2):** the single writer merges
+    /// each rule's sorted runs in canonical order and asserts rule by rule
+    /// in stratum order.  Both phases are deterministic functions of the
+    /// structure content, so every mode/executor commits the same facts in
+    /// the same order and allocates identical virtual-object ids.
+    ///
+    /// Compared to the rule-at-a-time schedule, a rule sees facts derived by
+    /// its stratum peers one iteration later (Jacobi instead of
+    /// Gauss–Seidel); the fixpoint is the same, reached in a few more,
+    /// cheaper iterations, and the rule solves of an iteration become
+    /// independent — the parallelism the executor exploits.
+    fn run_cross_rule(
+        &self,
+        structure: &mut Structure,
+        rules: &Arc<[Rule]>,
+        stratification: &Stratification,
+        executor: &dyn Executor,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
         let assert_options = AssertOptions {
             create_virtuals: self.options.create_virtuals,
         };
-        // Per-literal read keys, used to pick which body literals the
-        // iteration delta can drive (positive literals only; negated and
-        // set-at-a-time reads are stratified below the current stratum).
-        let body_reads: Vec<Vec<Option<BTreeSet<DepKey>>>> = if self.options.delta_driven {
-            rules
-                .iter()
-                .map(|rule| {
-                    rule.body
-                        .iter()
-                        .map(|lit| lit.positive.then(|| literal_reads(&lit.term)))
-                        .collect()
-                })
-                .collect()
-        } else {
-            Vec::new()
+        let body_reads = self.body_reads(rules);
+        let workers = executor.workers();
+        for stratum in &stratification.strata {
+            let mut window = SnapshotWindow::capture(structure);
+            let mut first = true;
+            loop {
+                stats.iterations += 1;
+                if stats.iterations > self.options.max_iterations {
+                    return Err(Error::LimitExceeded(format!(
+                        "fixpoint did not converge within {} iterations",
+                        self.options.max_iterations
+                    )));
+                }
+                // Phase 1a: plan the iteration's task queue.
+                let mut tasks: Vec<SolveTask> = Vec::new();
+                let mut plan: Vec<(usize, usize, usize)> = Vec::new(); // (rule, first task, task count)
+                let mut views: Vec<DeltaView> = Vec::new();
+                if first || !self.options.delta_driven {
+                    // Every rule solves in full: the first time it runs (no
+                    // delta exists for it yet), or on every iteration of the
+                    // naive ablation arm.
+                    for &r in stratum {
+                        stats.full_solves += 1;
+                        plan.push((r, tasks.len(), 1));
+                        tasks.push(SolveTask { rule: r, delta: None });
+                    }
+                } else {
+                    let dv = window.slide(structure);
+                    if !dv.is_empty() {
+                        let mut scheduled: Vec<(usize, Vec<usize>)> = Vec::new();
+                        for &r in stratum {
+                            let delta_lits = delta_literals(structure, &body_reads[r], &dv);
+                            if delta_lits.is_empty() {
+                                // Nothing in the window can drive any of
+                                // this rule's literals — its solutions are
+                                // unchanged.
+                                stats.rules_skipped += 1;
+                            } else {
+                                stats.delta_solves += 1;
+                                scheduled.push((r, delta_lits));
+                            }
+                        }
+                        // Sharding is only worth computing when something
+                        // will actually read the views (the last window of a
+                        // stratum is typically non-empty yet drives nothing).
+                        if !scheduled.is_empty() {
+                            views = match (workers > 1).then(|| dv.shards(workers)).flatten() {
+                                Some(shards) => shards,
+                                None => vec![dv],
+                            };
+                            for (r, delta_lits) in scheduled {
+                                let start = tasks.len();
+                                for l in delta_lits {
+                                    for v in 0..views.len() {
+                                        tasks.push(SolveTask {
+                                            rule: r,
+                                            delta: Some((l, v)),
+                                        });
+                                    }
+                                }
+                                plan.push((r, start, tasks.len() - start));
+                            }
+                        }
+                    }
+                }
+                if tasks.is_empty() {
+                    // Nothing the window could drive: the stratum converged.
+                    break;
+                }
+                // Phase 1b: solve the queue against the frozen structure.
+                let batch = SolveBatch {
+                    rules: Arc::clone(rules),
+                    views,
+                    tasks,
+                };
+                let mut outputs = executor.execute(structure, batch)?.into_iter();
+                // Phase 2: the single writer commits in stratum order.
+                let mut any_change = false;
+                for &(r, _, count) in &plan {
+                    let rule = &rules[r];
+                    let solutions = merge_outputs((0..count).filter_map(|_| outputs.next()).collect());
+                    for bindings in solutions {
+                        let (_, effect) = assert_head(structure, &rule.head, &bindings, assert_options)?;
+                        if effect.changed() {
+                            any_change = true;
+                            stats.firings += 1;
+                            stats.absorb(effect);
+                        }
+                        if stats.derived() > self.options.max_derived {
+                            return Err(Error::LimitExceeded(format!(
+                                "more than {} facts derived; aborting",
+                                self.options.max_derived
+                            )));
+                        }
+                    }
+                }
+                first = false;
+                if !any_change {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The legacy rule-at-a-time scheduler (the PR 3 evaluation loop), kept
+    /// as the reference arm of the scheduling ablation.  Rules are processed
+    /// strictly in sequence; each solves against its own watermark window —
+    /// everything asserted since *it* last ran, including facts earlier
+    /// rules derived in the same iteration — and asserts before the next
+    /// rule solves.  Parallelism is confined to the inside of one rule's
+    /// delta solve.
+    fn run_rule_at_a_time(
+        &self,
+        structure: &mut Structure,
+        rules: &Arc<[Rule]>,
+        infos: &[RuleInfo],
+        stratification: &Stratification,
+        executor: &dyn Executor,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let assert_options = AssertOptions {
+            create_virtuals: self.options.create_virtuals,
         };
+        let body_reads = self.body_reads(rules);
+        let workers = executor.workers();
 
         // Watermarks of the structure state each rule last solved against.
         // A rule's delta is "everything asserted since *it* last ran" — not
@@ -321,14 +617,25 @@ impl Engine {
                                 continue;
                             }
                             stats.delta_solves += 1;
-                            let passes = solve_delta_passes(
-                                structure,
-                                &rule.body,
-                                &delta_lits,
-                                &dv,
-                                self.options.worker_threads(),
-                            )?;
-                            merge_canonical(passes)
+                            let views = match (workers > 1).then(|| dv.shards(workers)).flatten() {
+                                Some(shards) => shards,
+                                None => vec![dv],
+                            };
+                            let mut tasks = Vec::with_capacity(delta_lits.len() * views.len());
+                            for &l in &delta_lits {
+                                for v in 0..views.len() {
+                                    tasks.push(SolveTask {
+                                        rule: r,
+                                        delta: Some((l, v)),
+                                    });
+                                }
+                            }
+                            let batch = SolveBatch {
+                                rules: Arc::clone(rules),
+                                views,
+                                tasks,
+                            };
+                            merge_outputs(executor.execute(structure, batch)?)
                         }
                         _ => {
                             if self.options.delta_driven {
@@ -388,7 +695,7 @@ impl Engine {
                 changed_keys = Some(new_keys);
             }
         }
-        Ok(stats)
+        Ok(())
     }
 
     /// Answer a query: the variable-valuations that satisfy its body.
@@ -542,102 +849,38 @@ pub fn solve_body_delta(
     Ok(merge_canonical(pass_results))
 }
 
-/// The per-literal delta passes of one rule solve, as one solution buffer
-/// per `(drivable literal, delta shard)` work item.
-///
-/// With `workers <= 1` (or a delta too small to shard) the passes run on the
-/// calling thread.  Otherwise the delta view is split into per-method shards
-/// ([`DeltaView::shards`]) and the work items are claimed off a shared
-/// atomic counter by `workers` scoped threads, each reading the shared
-/// immutable `Structure` and producing a private solution vector.  Buffers
-/// are returned in deterministic work-item order regardless of thread
-/// timing; [`merge_canonical`] makes the union identical to a sequential
-/// solve.
-fn solve_delta_passes(
-    structure: &Structure,
-    body: &[Literal],
-    delta_literals: &[usize],
-    dv: &DeltaView,
-    workers: usize,
-) -> Result<Vec<Vec<Bindings>>> {
-    let shards = if workers > 1 { dv.shards(workers) } else { None };
-    let views: Vec<&DeltaView> = match shards.as_ref() {
-        Some(vs) => vs.iter().collect(),
-        None => vec![dv],
-    };
-    let items: Vec<(usize, &DeltaView)> = delta_literals
-        .iter()
-        .flat_map(|&d| views.iter().map(move |&v| (d, v)))
-        .collect();
-    let threads = workers.min(items.len());
-    if threads <= 1 {
-        return items
+/// Merge one rule's task outputs into its committed solution list.  A lone
+/// full solve keeps its (deterministic) enumeration order; delta runs are
+/// k-way-merged in canonical order ([`merge_sorted_runs`]), the single
+/// writer's half of the sorted-run protocol.
+fn merge_outputs(mut outputs: Vec<SolveOutput>) -> Vec<Bindings> {
+    if outputs.len() == 1 && matches!(outputs[0], SolveOutput::Enumerated(_)) {
+        let Some(SolveOutput::Enumerated(solutions)) = outputs.pop() else {
+            unreachable!("just matched a single Enumerated output")
+        };
+        return solutions;
+    }
+    merge_sorted_runs(
+        outputs
             .into_iter()
-            .map(|(d, v)| solve_body_pass(structure, body, &Bindings::new(), Some((d, v))))
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut done: Vec<(usize, Result<Vec<Bindings>>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let items = &items;
-                let next = &next;
-                scope.spawn(move || {
-                    let mut mine: Vec<(usize, Result<Vec<Bindings>>)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let (d, v) = items[i];
-                        mine.push((i, solve_body_pass(structure, body, &Bindings::new(), Some((d, v)))));
-                    }
-                    mine
-                })
+            .map(|o| match o {
+                SolveOutput::Sorted(run) => run,
+                SolveOutput::Enumerated(solutions) => sorted_run(solutions),
             })
-            .collect();
-        let mut all = Vec::with_capacity(items.len());
-        for h in handles {
-            match h.join() {
-                Ok(mine) => all.extend(mine),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-        all
-    });
-    done.sort_by_key(|&(i, _)| i);
-    if done.len() != items.len() {
-        return Err(Error::Other(format!(
-            "parallel delta solve lost work items: {} of {} completed",
-            done.len(),
-            items.len()
-        )));
-    }
-    done.into_iter().map(|(_, r)| r).collect()
+            .collect(),
+    )
 }
 
 /// Deduplicate and canonically order rule-body solutions (sorted by their
 /// order-independent [`binding_key`]).
 ///
-/// This is the single writer's merge point of parallel evaluation and the
-/// mode-identity boundary: sequential delta solves go through the same
-/// merge, so both modes assert the same solutions in the same order — and
-/// with them allocate identical virtual-object ids — no matter how the
-/// passes were scheduled or sharded.
+/// This is the mode-identity boundary for [`solve_body_delta`]: every
+/// scheduled path sorts per-pass runs and merges them with
+/// [`merge_sorted_runs`], and this entry point is that same composition, so
+/// it cannot drift from the engine's own merges no matter how the passes
+/// were scheduled or sharded.
 fn merge_canonical(parts: Vec<Vec<Bindings>>) -> Vec<Bindings> {
-    // A single solution buffer (the full-solve arm, one drivable literal) is
-    // already duplicate-free — every pass deduplicates per literal stage —
-    // so only the canonical sort is needed.
-    if parts.iter().filter(|p| !p.is_empty()).count() <= 1 {
-        let mut only: Vec<Bindings> = parts.into_iter().flatten().collect();
-        only.sort_by_cached_key(binding_key);
-        return only;
-    }
-    let mut merged: BTreeMap<BindingKey, Bindings> = BTreeMap::new();
-    for b in parts.into_iter().flatten() {
-        merged.entry(binding_key(&b)).or_insert(b);
-    }
-    merged.into_values().collect()
+    merge_sorted_runs(parts.into_iter().map(sorted_run).collect())
 }
 
 /// One solve over a body: positive literals joined in source order with
@@ -689,17 +932,6 @@ fn solve_body_pass(
     }
     Ok(states)
 }
-
-/// A canonical, order-independent key for a set of bindings (used to remove
-/// duplicate valuations produced by set-valued references).
-fn binding_key(b: &Bindings) -> BindingKey {
-    let mut key: BindingKey = b.iter().map(|(v, o)| (v.0.clone(), o.0)).collect();
-    key.sort();
-    key
-}
-
-/// The canonical key type: variable names (cheaply shared) and object ids.
-type BindingKey = Vec<(std::sync::Arc<str>, u32)>;
 
 #[cfg(test)]
 mod tests {
@@ -1402,6 +1634,176 @@ mod tests {
         let seq = run(EvalMode::Sequential);
         assert_eq!(seq, run(EvalMode::Parallel { workers: 0 }));
         assert_eq!(seq, run(EvalMode::Parallel { workers: 1 }));
+    }
+
+    #[test]
+    fn pooled_and_scoped_executors_are_bit_identical() {
+        let base = binary_tree(8);
+        let rules = desc_closure_rules();
+        let run = |executor: ExecutorKind| {
+            let mut s = base.clone();
+            let stats = Engine::with_options(EvalOptions {
+                mode: EvalMode::Parallel { workers: 4 },
+                executor,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, &rules)
+            .unwrap();
+            (s.canonical_dump(), stats)
+        };
+        let (pooled_dump, pooled_stats) = run(ExecutorKind::Pooled);
+        let (scoped_dump, scoped_stats) = run(ExecutorKind::Scoped);
+        assert_eq!(pooled_stats, scoped_stats, "EvalStats must not depend on the executor");
+        assert_eq!(pooled_dump, scoped_dump, "models must not depend on the executor");
+        // ... and both match the sequential run.
+        let mut s = base.clone();
+        Engine::new().run_rules(&mut s, &rules).unwrap();
+        assert_eq!(s.canonical_dump(), pooled_dump);
+    }
+
+    #[test]
+    fn worker_pool_is_reused_across_runs() {
+        let base = binary_tree(7);
+        let rules = desc_closure_rules();
+        let engine = Engine::with_options(EvalOptions {
+            mode: EvalMode::Parallel { workers: 4 },
+            ..EvalOptions::default()
+        });
+        assert_eq!(engine.threads_spawned(), 0, "the pool is created lazily");
+        for _ in 0..3 {
+            let mut s = base.clone();
+            engine.run_rules(&mut s, &rules).unwrap();
+            assert_eq!(
+                engine.threads_spawned(),
+                4,
+                "repeated runs reuse the pool instead of spawning"
+            );
+        }
+        // A clone shares the pool (and the counter).
+        let clone = engine.clone();
+        let mut s = base.clone();
+        clone.run_rules(&mut s, &rules).unwrap();
+        assert_eq!(clone.threads_spawned(), 4);
+
+        // Cloning *before* the first parallel run must share the pool slot
+        // too: whichever copy runs first initializes the one shared pool.
+        let fresh = Engine::with_options(EvalOptions {
+            mode: EvalMode::Parallel { workers: 4 },
+            ..EvalOptions::default()
+        });
+        let early_clone = fresh.clone();
+        let mut s = base.clone();
+        fresh.run_rules(&mut s, &rules).unwrap();
+        let mut s = base.clone();
+        early_clone.run_rules(&mut s, &rules).unwrap();
+        assert_eq!(
+            fresh.threads_spawned(),
+            4,
+            "a pre-run clone must not mint a second pool"
+        );
+
+        // The scoped executor, by contrast, spawns per batch: strictly more
+        // threads over the same three runs.
+        let scoped = Engine::with_options(EvalOptions {
+            mode: EvalMode::Parallel { workers: 4 },
+            executor: ExecutorKind::Scoped,
+            ..EvalOptions::default()
+        });
+        for _ in 0..3 {
+            let mut s = base.clone();
+            scoped.run_rules(&mut s, &rules).unwrap();
+        }
+        assert!(
+            scoped.threads_spawned() > 3 * 4,
+            "scoped spawns grow with the number of solves ({} <= 12)",
+            scoped.threads_spawned()
+        );
+    }
+
+    #[test]
+    fn cross_rule_and_rule_at_a_time_schedules_reach_the_same_fixpoint() {
+        // The two schedules commit derivations in different orders (snapshot
+        // windows vs rule-at-a-time), so virtual-object *numbering* may
+        // differ — but the derived model must not, and on a virtual-free
+        // program even the dumps must agree exactly.
+        let base = binary_tree(6);
+        let mut rules = vec![
+            Rule::new(
+                Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+                vec![Literal::pos(
+                    Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+                )],
+            ),
+            Rule::new(
+                Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+                vec![Literal::pos(
+                    Term::var("X")
+                        .set("desc")
+                        .filter(Filter::set("kids", vec![Term::var("Y")])),
+                )],
+            ),
+        ];
+        let run = |schedule: Schedule, rules: &[Rule]| {
+            let mut s = base.clone();
+            let stats = Engine::with_options(EvalOptions {
+                schedule,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, rules)
+            .unwrap();
+            (s, stats)
+        };
+        let (cross, cross_stats) = run(Schedule::CrossRule, &rules);
+        let (legacy, legacy_stats) = run(Schedule::RuleAtATime, &rules);
+        assert_eq!(
+            cross.canonical_dump(),
+            legacy.canonical_dump(),
+            "virtual-free programs must agree byte-for-byte across schedules"
+        );
+        assert_eq!(cross_stats.derived(), legacy_stats.derived());
+        assert_eq!(cross_stats.firings, legacy_stats.firings);
+
+        // With a virtual-object stratum on top, the schedules still derive
+        // the same *counts* (the relaxed contract: scheduling counters and
+        // oid numbering are only pinned within a schedule).
+        rules.push(Rule::new(
+            Term::var("X")
+                .scalar("summary")
+                .filter(Filter::set_ref("descendants", Term::var("X").set("desc"))),
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
+        ));
+        let (cross, cross_stats) = run(Schedule::CrossRule, &rules);
+        let (legacy, legacy_stats) = run(Schedule::RuleAtATime, &rules);
+        assert_eq!(cross_stats.derived(), legacy_stats.derived());
+        assert_eq!(cross_stats.virtual_objects, legacy_stats.virtual_objects);
+        assert_eq!(cross.stats(), legacy.stats());
+    }
+
+    #[test]
+    fn rule_at_a_time_parallel_is_bit_identical_to_its_sequential() {
+        // The identity guarantee holds within each schedule: the legacy arm
+        // with workers must match the legacy arm without.
+        let base = binary_tree(8);
+        let rules = desc_closure_rules();
+        let run = |mode: EvalMode| {
+            let mut s = base.clone();
+            let stats = Engine::with_options(EvalOptions {
+                mode,
+                schedule: Schedule::RuleAtATime,
+                ..EvalOptions::default()
+            })
+            .run_rules(&mut s, &rules)
+            .unwrap();
+            (s.canonical_dump(), stats)
+        };
+        let (seq_dump, seq_stats) = run(EvalMode::Sequential);
+        for workers in [2usize, 4] {
+            let (par_dump, par_stats) = run(EvalMode::Parallel { workers });
+            assert_eq!(seq_stats, par_stats, "legacy EvalStats must match at {workers} workers");
+            assert_eq!(seq_dump, par_dump, "legacy models must match at {workers} workers");
+        }
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub mod wellformed;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::engine::{solve_body, Engine, EvalMode, EvalOptions, EvalStats};
+    pub use crate::engine::{solve_body, Engine, EvalMode, EvalOptions, EvalStats, ExecutorKind, Schedule};
     pub use crate::error::{Error, Result};
     pub use crate::names::{Name, Var};
     pub use crate::program::{Literal, Program, Query, Rule};

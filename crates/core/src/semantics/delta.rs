@@ -46,33 +46,47 @@ use super::answers::{
 };
 use super::{valuate, Bindings};
 
-/// Watermarks of a structure at an iteration boundary.  Capturing marks is
-/// O(1); the facts between two marks are the delta of the iterations in
-/// between.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EvalMarks {
-    /// Number of scalar facts.
-    pub scalar_facts: usize,
-    /// Number of set-member insertions (log length).
-    pub set_member_inserts: usize,
-    /// Number of is-a closure pairs.
-    pub isa_pairs: usize,
-    /// Number of objects in the universe.
-    pub objects: usize,
-    /// Number of signature declarations.
-    pub signatures: usize,
+pub use crate::structure::EvalMarks;
+
+/// A sliding snapshot window over a structure's insertion logs — the
+/// iteration-boundary plumbing of the engine's cross-rule scheduling.
+///
+/// The window remembers the watermarks of its last capture; [`slide`]
+/// advances them to the present and returns the [`DeltaView`] of everything
+/// asserted in between.  One window per stratum, slid once per fixpoint
+/// iteration, gives every rule of the stratum the *same* delta — the
+/// scheduling contract that lets their solves run concurrently (see
+/// `pathlog_core::engine::Schedule`).
+///
+/// [`slide`]: SnapshotWindow::slide
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotWindow {
+    lo: EvalMarks,
 }
 
-impl EvalMarks {
-    /// Capture the current watermarks of `structure`.
+impl SnapshotWindow {
+    /// Open a window at the structure's current watermarks (the first
+    /// [`slide`](SnapshotWindow::slide) covers everything asserted after
+    /// this call).
     pub fn capture(structure: &Structure) -> Self {
-        EvalMarks {
-            scalar_facts: structure.facts().num_scalar(),
-            set_member_inserts: structure.facts().num_set_member_inserts(),
-            isa_pairs: structure.isa().closure_size(),
-            objects: structure.num_objects(),
-            signatures: structure.signatures().len(),
+        SnapshotWindow {
+            lo: EvalMarks::capture(structure),
         }
+    }
+
+    /// The lower watermarks of the window (the structure state its next
+    /// [`slide`](SnapshotWindow::slide) reaches back to).
+    pub fn marks(&self) -> EvalMarks {
+        self.lo
+    }
+
+    /// Advance the window to the structure's present and return the view of
+    /// the facts asserted since the previous boundary.  O(window).
+    pub fn slide(&mut self, structure: &Structure) -> DeltaView {
+        let hi = EvalMarks::capture(structure);
+        let view = DeltaView::between(structure, &self.lo, &hi);
+        self.lo = hi;
+        view
     }
 }
 
@@ -112,19 +126,17 @@ impl DeltaView {
             sigs_changed: hi.signatures > lo.signatures,
             ..DeltaView::default()
         };
-        for idx in lo.scalar_facts..hi.scalar_facts {
-            let fact = facts.scalar_fact_at(idx);
+        // The bounded log slices: entries past the `hi` watermark belong to
+        // the next window and must not leak into this one.
+        for (idx, fact) in facts.scalar_facts_in(lo.scalar_facts, hi.scalar_facts) {
             view.scalar_by_method.entry(fact.method).or_default().push(idx);
         }
-        // Entries past the `hi` watermark belong to the next delta.
-        let member_window = hi.set_member_inserts - lo.set_member_inserts;
-        for (app_idx, member) in facts.set_members_since(lo.set_member_inserts).take(member_window) {
+        for (app_idx, member) in facts.set_members_in(lo.set_member_inserts, hi.set_member_inserts) {
             let method = facts.set_fact_at(app_idx).method;
             view.set_by_method.entry(method).or_default().push((app_idx, member));
             view.set_by_app.entry(app_idx).or_default().insert(member);
         }
-        let isa_window = hi.isa_pairs - lo.isa_pairs;
-        for &(sub, sup) in structure.isa().pairs_since(lo.isa_pairs).iter().take(isa_window) {
+        for &(sub, sup) in structure.isa().pairs_in(lo.isa_pairs, hi.isa_pairs) {
             view.isa_pairs.insert((sub, sup));
             view.isa_by_class.entry(sup).or_default().push(sub);
         }

@@ -18,7 +18,7 @@ pub mod delta;
 pub mod model;
 
 pub use answers::{answers, answers_matching, Answer};
-pub use delta::{delta_answers, DeltaView, EvalMarks};
+pub use delta::{delta_answers, DeltaView, EvalMarks, SnapshotWindow};
 pub use model::{is_model, violations, Violation};
 
 use std::collections::BTreeSet;

@@ -388,6 +388,28 @@ impl Facts {
         self.set_log.len()
     }
 
+    /// The scalar facts in dense positions `[lo, hi)` — a snapshot-window
+    /// slice.  Both bounds are clamped to the table, so a window captured
+    /// before later growth (or beyond it) degrades to an empty/shorter slice
+    /// instead of panicking.  Yields `(position, fact)` pairs in assertion
+    /// order; O(window).
+    pub fn scalar_facts_in(&self, lo: usize, hi: usize) -> impl Iterator<Item = (usize, &ScalarFact)> + '_ {
+        let hi = hi.min(self.scalar.len());
+        let lo = lo.min(hi);
+        self.scalar[lo..hi].iter().enumerate().map(move |(i, f)| (lo + i, f))
+    }
+
+    /// The set members inserted in the log window `[lo, hi)`, as
+    /// `(application index, member)` pairs in insertion order — the bounded
+    /// counterpart of [`Facts::set_members_since`] used by snapshot-window
+    /// evaluation, where facts asserted *after* the window's upper watermark
+    /// belong to the next window and must not leak into this one.
+    pub fn set_members_in(&self, lo: usize, hi: usize) -> impl Iterator<Item = (usize, Oid)> + '_ {
+        let hi = hi.min(self.set_log.len());
+        let lo = lo.min(hi);
+        self.set_log[lo..hi].iter().map(|&(idx, member)| (idx as usize, member))
+    }
+
     /// The set members inserted at or after watermark `mark`, as
     /// `(application index, member)` pairs in insertion order.  O(delta):
     /// a slice of the append-only insertion log.  Only meaningful across a
@@ -623,6 +645,34 @@ mod tests {
         // A mark beyond the log is an empty slice, not a panic.
         assert_eq!(f.set_members_since(1_000).count(), 0);
         assert_eq!(f.set_members_since(f.num_set_member_inserts()).count(), 0);
+    }
+
+    #[test]
+    fn bounded_window_slices_exclude_later_entries() {
+        let mut f = Facts::new();
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_set_member(o(2), o(10), &[], o(30));
+        let lo_scalar = f.num_scalar();
+        let lo_members = f.num_set_member_inserts();
+        f.assert_scalar(o(1), o(11), &[], o(21)).unwrap();
+        f.assert_set_member(o(2), o(11), &[], o(31));
+        let hi_scalar = f.num_scalar();
+        let hi_members = f.num_set_member_inserts();
+        // Entries past the upper watermark belong to the next window.
+        f.assert_scalar(o(1), o(12), &[], o(22)).unwrap();
+        f.assert_set_member(o(2), o(12), &[], o(32));
+
+        let scalars: Vec<(usize, Oid)> = f
+            .scalar_facts_in(lo_scalar, hi_scalar)
+            .map(|(i, fact)| (i, fact.receiver))
+            .collect();
+        assert_eq!(scalars, vec![(1, o(11))]);
+        let members: Vec<Oid> = f.set_members_in(lo_members, hi_members).map(|(_, m)| m).collect();
+        assert_eq!(members, vec![o(31)]);
+        // Clamped bounds degrade to empty slices instead of panicking.
+        assert_eq!(f.scalar_facts_in(10, 100).count(), 0);
+        assert_eq!(f.set_members_in(5, 2).count(), 0);
+        assert_eq!(f.scalar_facts_in(0, f.num_scalar()).count(), 3);
     }
 
     #[test]

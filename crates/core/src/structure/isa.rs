@@ -120,6 +120,14 @@ impl Isa {
         &self.log[mark.min(self.log.len())..]
     }
 
+    /// The closure pairs added in the log window `[lo, hi)` — the bounded
+    /// counterpart of [`Isa::pairs_since`] used by snapshot-window
+    /// evaluation.  Both bounds are clamped to the log.
+    pub fn pairs_in(&self, lo: usize, hi: usize) -> &[(Oid, Oid)] {
+        let hi = hi.min(self.log.len());
+        &self.log[lo.min(hi)..hi]
+    }
+
     /// Number of directly asserted edges.
     pub fn direct_size(&self) -> usize {
         self.direct_up.values().map(BTreeSet::len).sum()
@@ -215,6 +223,21 @@ mod tests {
         assert_eq!(isa.pairs_since(1_000).len(), 0);
         // The full log replays the whole closure.
         assert_eq!(isa.pairs_since(0).len(), isa.closure_size());
+    }
+
+    #[test]
+    fn bounded_pair_windows_exclude_later_entries() {
+        let mut isa = Isa::new();
+        isa.add(o(1), o(10));
+        let lo = isa.closure_size();
+        isa.add(o(2), o(10));
+        let hi = isa.closure_size();
+        isa.add(o(3), o(10)); // past the window
+        assert_eq!(isa.pairs_in(lo, hi), &[(o(2), o(10))]);
+        assert_eq!(isa.pairs_in(0, isa.closure_size()).len(), 3);
+        // Clamped bounds degrade to empty slices instead of panicking.
+        assert!(isa.pairs_in(7, 100).is_empty());
+        assert!(isa.pairs_in(2, 1).is_empty());
     }
 
     #[test]

@@ -83,6 +83,45 @@ pub struct StructureStats {
     pub isa_edges: usize,
 }
 
+/// Watermarks of a structure at a snapshot boundary: the sizes of its
+/// append-only insertion logs (scalar facts, set-member log, is-a closure
+/// log, universe, signature declarations).
+///
+/// Capturing marks is O(1); the facts between two captures are the *snapshot
+/// window* of everything asserted in between, recoverable as O(window)
+/// slices through [`Facts::scalar_facts_in`], [`Facts::set_members_in`] and
+/// [`Isa::pairs_in`].  The engine's semi-naive evaluation captures one pair
+/// of marks per fixpoint iteration and derives its delta view from the
+/// slice (see `pathlog_core::semantics::DeltaView`).  Windows are only
+/// meaningful across a span without retractions (see the [`facts`] module
+/// docs); the deductive engine only ever adds facts while evaluating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalMarks {
+    /// Number of scalar facts.
+    pub scalar_facts: usize,
+    /// Number of set-member insertions (log length).
+    pub set_member_inserts: usize,
+    /// Number of is-a closure pairs.
+    pub isa_pairs: usize,
+    /// Number of objects in the universe.
+    pub objects: usize,
+    /// Number of signature declarations.
+    pub signatures: usize,
+}
+
+impl EvalMarks {
+    /// Capture the current watermarks of `structure`.
+    pub fn capture(structure: &Structure) -> Self {
+        EvalMarks {
+            scalar_facts: structure.facts().num_scalar(),
+            set_member_inserts: structure.facts().num_set_member_inserts(),
+            isa_pairs: structure.isa().closure_size(),
+            objects: structure.num_objects(),
+            signatures: structure.signatures().len(),
+        }
+    }
+}
+
 /// A mutable semantic structure with indexes.
 #[derive(Debug, Clone)]
 pub struct Structure {

@@ -16,18 +16,73 @@
 //!
 //! Commands: `:stats` prints structure statistics, `:check` runs the type
 //! checker, `:quit` exits.
+//!
+//! Evaluation is drivable from the command line: `--mode seq|par` selects
+//! sequential or parallel rule evaluation and `--workers N` sets the worker
+//! count (implies `--mode par` unless `seq` is given explicitly), e.g.
+//! `cargo run --example pathlog_shell -- --mode par --workers 4`.  Parallel
+//! runs use the engine's persistent worker pool and are bit-identical to
+//! sequential ones.
 
 use std::io::{self, BufRead, Write};
 
 use pathlog::prelude::*;
 
+/// Parse `--workers N` / `--mode seq|par` into evaluation options.
+fn options_from_args() -> EvalOptions {
+    let mut workers: Option<usize> = None;
+    let mut mode: Option<&'static str> = None;
+    let usage = || -> ! {
+        eprintln!("usage: pathlog_shell [--mode seq|par] [--workers N]");
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => workers = Some(n),
+                _ => usage(),
+            },
+            "--mode" => match args.next().as_deref() {
+                Some("seq") => mode = Some("seq"),
+                Some("par") => mode = Some("par"),
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let parallel = match mode {
+        Some("par") => true,
+        Some(_) => false,
+        // `--workers N` alone means "evaluate in parallel with N workers".
+        None => workers.is_some(),
+    };
+    let eval_mode = if parallel {
+        let workers = workers
+            .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
+            .unwrap_or(2);
+        EvalMode::Parallel { workers }
+    } else {
+        EvalMode::Sequential
+    };
+    EvalOptions {
+        mode: eval_mode,
+        ..EvalOptions::default()
+    }
+}
+
 fn main() {
+    let options = options_from_args();
     let mut structure = Structure::new();
-    let engine = Engine::new();
+    let engine = Engine::with_options(options);
     let stdin = io::stdin();
     let mut stdout = io::stdout();
 
     println!("PathLog shell — facts, rules (head <- body.) and queries (?- body.)");
+    match options.mode {
+        EvalMode::Sequential => println!("evaluation: sequential (use --mode par / --workers N for parallel)"),
+        EvalMode::Parallel { workers } => println!("evaluation: parallel, {workers} workers (pooled executor)"),
+    }
     print!("pathlog> ");
     stdout.flush().unwrap();
 

@@ -1,8 +1,9 @@
 //! Property-based tests for the extension layers added around the core
 //! reproduction: retraction in the fact store, the object-SQL frontend, the
 //! F-logic translation, the equivalence of naive and semi-naive
-//! (per-literal delta-join) evaluation, and the observational equivalence of
-//! sequential and parallel (sharded-delta) evaluation.
+//! (per-literal delta-join) evaluation, the observational equivalence of
+//! sequential and parallel (sharded-delta) evaluation, and the reuse of one
+//! engine's persistent worker pool across repeated runs.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -396,6 +397,68 @@ proptest! {
         prop_assert_eq!(seq_stats, par_stats, "EvalStats must be identical");
         prop_assert_eq!(seq.canonical_dump(), par.canonical_dump(), "models must be byte-identical");
         assert_equivalent(&seq, &par, "?- X[desc ->> {Y}].");
+    }
+
+    #[test]
+    fn reused_pooled_engine_matches_fresh_sequential_engines_on_random_trees(
+        depth in 1usize..5,
+        fanout in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        // One long-lived engine whose persistent worker pool is reused by
+        // every `load_program` call; each run must be canonical_dump()-
+        // identical to a throwaway sequential engine on the same input.
+        let reused = Engine::with_options(EvalOptions {
+            mode: EvalMode::Parallel { workers: 4 },
+            ..EvalOptions::default()
+        });
+        let structure = pathlog::datagen::genealogy_structure(
+            &pathlog::datagen::GenealogyParams { roots: 1, depth, fanout, seed });
+        let program = parse_program(
+            "X[desc ->> {Y}] <- X[kids ->> {Y}].\n\
+             X[desc ->> {Y}] <- X..desc[kids ->> {Y}].\n\
+             X.summary[descendants ->> X..desc] <- X[kids ->> {Y}].\n").unwrap();
+        for round in 0..3 {
+            let mut pooled = structure.clone();
+            let pooled_stats = reused.load_program(&mut pooled, &program).expect("pooled run succeeds");
+            let mut fresh = structure.clone();
+            let fresh_stats = Engine::new().load_program(&mut fresh, &program).expect("sequential run succeeds");
+            prop_assert_eq!(pooled_stats, fresh_stats, "EvalStats must match in round {}", round);
+            prop_assert_eq!(pooled.canonical_dump(), fresh.canonical_dump(),
+                "models must be byte-identical in round {}", round);
+        }
+        // Reuse, not respawn: the engine never spawned more than its pool.
+        prop_assert!(reused.threads_spawned() <= 4,
+            "pool must be reused across runs (spawned {})", reused.threads_spawned());
+    }
+
+    #[test]
+    fn reused_pooled_engine_matches_fresh_sequential_engines_on_random_graphs(
+        edges in prop::collection::vec((0u8..10, 0u8..10), 1..30),
+    ) {
+        let reused = Engine::with_options(EvalOptions {
+            mode: EvalMode::Parallel { workers: 4 },
+            ..EvalOptions::default()
+        });
+        let mut structure = Structure::new();
+        let kids = structure.atom("kids");
+        let nodes: Vec<Oid> = (0..10).map(|i| structure.atom(&format!("n{i}"))).collect();
+        for &(a, b) in &edges {
+            structure.assert_set_member(kids, nodes[a as usize], &[], nodes[b as usize]);
+        }
+        let program = parse_program(
+            "X[desc ->> {Y}] <- X[kids ->> {Y}].\n\
+             X[desc ->> {Y}] <- X..desc[kids ->> {Y}].\n\
+             X : parent <- X[kids ->> {Y}].\n").unwrap();
+        for round in 0..2 {
+            let mut pooled = structure.clone();
+            reused.load_program(&mut pooled, &program).expect("pooled run succeeds");
+            let mut fresh = structure.clone();
+            Engine::new().load_program(&mut fresh, &program).expect("sequential run succeeds");
+            prop_assert_eq!(pooled.canonical_dump(), fresh.canonical_dump(),
+                "models must be byte-identical in round {}", round);
+        }
+        prop_assert!(reused.threads_spawned() <= 4);
     }
 
     #[test]
