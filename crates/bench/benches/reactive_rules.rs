@@ -1,5 +1,7 @@
 //! Experiment E13: production rules and active triggers over the company
-//! workload (the paper's "other kinds of rule languages").
+//! workload (the paper's "other kinds of rule languages"), and the E18
+//! reactive-executor ablation (delta-gated vs full re-matching, pooled vs
+//! sequential condition batches).
 //!
 //! Series: running the minimum-wage production rule set to quiescence, and
 //! pushing a batch of salary updates through a two-level trigger cascade,
@@ -7,6 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathlog_bench::{reactive_rules, workloads};
+use pathlog_core::engine::EvalMode;
+use pathlog_reactive::{ActiveOptions, CascadeSchedule, ProductionOptions};
 
 fn bench_reactive_rules(c: &mut Criterion) {
     let mut group = c.benchmark_group("e13_reactive_rules");
@@ -29,5 +33,64 @@ fn bench_reactive_rules(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reactive_rules);
+/// The E18 axes: delta-gated vs full production re-matching, and the
+/// active rounds schedule sequential vs pooled at 4 workers.
+fn bench_reactive_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_reactive_executor");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &employees in &[100usize, 250] {
+        let structure = workloads::company(employees);
+        group.bench_with_input(
+            BenchmarkId::new("production_delta_gated", employees),
+            &structure,
+            |b, s| {
+                b.iter(|| {
+                    reactive_rules::production_classify(s, ProductionOptions::default())
+                        .0
+                        .firings
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("production_full_rematch", employees),
+            &structure,
+            |b, s| {
+                b.iter(|| {
+                    reactive_rules::production_classify(
+                        s,
+                        ProductionOptions {
+                            delta_gated: false,
+                            ..ProductionOptions::default()
+                        },
+                    )
+                    .0
+                    .firings
+                })
+            },
+        );
+        let rounds = ActiveOptions {
+            schedule: CascadeSchedule::Rounds,
+            ..ActiveOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("active_rounds_seq_50", employees),
+            &structure,
+            |b, s| b.iter(|| reactive_rules::active_fanout_updates(s, 50, rounds).0.firings),
+        );
+        let pooled = ActiveOptions {
+            mode: EvalMode::Parallel { workers: 4 },
+            ..rounds
+        };
+        group.bench_with_input(
+            BenchmarkId::new("active_rounds_pooled4_50", employees),
+            &structure,
+            |b, s| b.iter(|| reactive_rules::active_fanout_updates(s, 50, pooled).0.firings),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reactive_rules, bench_reactive_executor);
 criterion_main!(benches);

@@ -107,14 +107,24 @@ fn main() {
     if args.only.is_none() {
         all_experiments(&mut report);
     }
-    // E17 always runs: it is the executor cross-check the CI matrix arm
-    // invokes in isolation via `--only e17`.
-    e17_executor_ablation(&mut report);
+    // E17/E18 are the executor cross-checks the CI matrix arms invoke in
+    // isolation via `--only e17` / `--only e18`; a full run includes both.
+    if args.only.as_deref() != Some("e18") {
+        e17_executor_ablation(&mut report);
+    }
+    if args.only.as_deref() != Some("e17") {
+        e18_reactive_executor(&mut report);
+    }
     match args.only.as_deref() {
         None => println!("\nAll experiments finished; answers agreed across PathLog and the baselines."),
-        Some(_) => println!(
+        Some("e17") => println!(
             "\nE17 cross-checks passed: every executor/schedule arm matched the sequential fixpoint \
              (cross-rule arms bit-identical EvalStats)."
+        ),
+        Some(_) => println!(
+            "\nE18 cross-checks passed: pooled reactive evaluation matched the sequential runs \
+             bit-for-bit (firing traces, stats, canonical dumps), and delta-gated matching solved \
+             strictly fewer conditions than full re-matching."
         ),
     }
     println!("(detected cores: {})", detected_cores());
@@ -507,7 +517,125 @@ fn e17_executor_ablation(report: &mut Report) {
     );
 }
 
-/// Command-line arguments: `[--json <path>] [--only e17]`.
+/// E18 — reactive evaluation through the executor: the production
+/// classification workload (delta-gated vs full re-match, pooled at 1/2/4/8
+/// workers) and the active-store fan-out workload (snapshot-rounds schedule
+/// at 1/2/4/8 workers, mutations/sec).  Every arm is cross-checked against
+/// the sequential run — firing traces, stats and canonical dumps must be
+/// bit-identical, and delta gating must solve strictly fewer conditions
+/// than full re-matching (counter-asserted, not just timed) — so this table
+/// doubles as the CI gate for pooled reactive evaluation.
+fn e18_reactive_executor(report: &mut Report) {
+    use pathlog_core::engine::EvalMode;
+    use pathlog_reactive::{ActiveOptions, CascadeSchedule, ProductionOptions};
+    let mut rows = Vec::new();
+    for &n in &[100usize, 300] {
+        let s = workloads::company(n);
+
+        // --- Production arm: sequential delta-gated reference.
+        let (seq_stats, seq_trace, seq_dump) = reactive_rules::production_classify(&s, ProductionOptions::default());
+        let (_, seq_ms) = time_ms(|| {
+            reactive_rules::production_classify(&s, ProductionOptions::default())
+                .0
+                .firings
+        });
+        // Full re-matching ablation: identical run, strictly more solves.
+        let full_options = ProductionOptions {
+            delta_gated: false,
+            ..ProductionOptions::default()
+        };
+        let (full_stats, full_trace, full_dump) = reactive_rules::production_classify(&s, full_options);
+        let (_, full_ms) = time_ms(|| reactive_rules::production_classify(&s, full_options).0.firings);
+        assert_eq!(full_trace, seq_trace, "E18: full re-match must fire identically");
+        assert_eq!(full_dump, seq_dump, "E18: full re-match must reach the same structure");
+        assert_eq!(full_stats.firings, seq_stats.firings);
+        assert!(
+            seq_stats.condition_solves < full_stats.condition_solves,
+            "E18: delta gating must reduce condition solves ({} vs {})",
+            seq_stats.condition_solves,
+            full_stats.condition_solves
+        );
+        let mut values = vec![
+            ("production_firings".into(), seq_stats.firings as f64),
+            ("gated_condition_solves".into(), seq_stats.condition_solves as f64),
+            ("full_condition_solves".into(), full_stats.condition_solves as f64),
+            ("production_seq_ms".into(), seq_ms),
+            ("production_full_rematch_ms".into(), full_ms),
+        ];
+        for workers in [1usize, 2, 4, 8] {
+            let options = ProductionOptions {
+                mode: EvalMode::Parallel { workers },
+                ..ProductionOptions::default()
+            };
+            let mut arm = None;
+            let (_, ms) = time_ms(|| {
+                let (stats, trace, dump) = reactive_rules::production_classify(&s, options);
+                let firings = stats.firings;
+                arm = Some((stats, trace, dump));
+                firings
+            });
+            let (stats, trace, dump) = arm.expect("arm ran");
+            assert_eq!(stats, seq_stats, "E18: pooled ({workers}w) production stats must match");
+            assert_eq!(trace, seq_trace, "E18: pooled ({workers}w) firing order must match");
+            assert_eq!(dump, seq_dump, "E18: pooled ({workers}w) structure must match");
+            values.push((format!("production_w{workers}_ms"), ms));
+        }
+
+        // --- Active arm: snapshot-rounds schedule, 3 external mutations per
+        // update; the immediate schedule must agree on this fan-out workload
+        // (no two rules of one event interact).
+        let updates = 50usize;
+        let rounds = ActiveOptions {
+            schedule: CascadeSchedule::Rounds,
+            ..ActiveOptions::default()
+        };
+        let (rounds_stats, rounds_dump) = reactive_rules::active_fanout_updates(&s, updates, rounds);
+        let (_, rounds_ms) = time_ms(|| reactive_rules::active_fanout_updates(&s, updates, rounds).0.firings);
+        let (imm_stats, imm_dump) = reactive_rules::active_fanout_updates(&s, updates, ActiveOptions::default());
+        assert_eq!(
+            imm_stats, rounds_stats,
+            "E18: immediate and rounds schedules must agree on the fan-out workload"
+        );
+        assert_eq!(
+            imm_dump, rounds_dump,
+            "E18: the schedules must reach the same structure"
+        );
+        let mutations_per_sec = |ms: f64| (updates as f64 * 3.0) / (ms / 1e3);
+        values.push(("active_firings".into(), rounds_stats.firings as f64));
+        values.push(("active_seq_mutations_per_sec".into(), mutations_per_sec(rounds_ms)));
+        for workers in [1usize, 2, 4, 8] {
+            let options = ActiveOptions {
+                schedule: CascadeSchedule::Rounds,
+                mode: EvalMode::Parallel { workers },
+                ..ActiveOptions::default()
+            };
+            let mut arm = None;
+            let (_, ms) = time_ms(|| {
+                let (stats, dump) = reactive_rules::active_fanout_updates(&s, updates, options);
+                let firings = stats.firings;
+                arm = Some((stats, dump));
+                firings
+            });
+            let (stats, dump) = arm.expect("arm ran");
+            assert_eq!(stats, rounds_stats, "E18: pooled ({workers}w) active stats must match");
+            assert_eq!(
+                dump, rounds_dump,
+                "E18: pooled ({workers}w) active structure must match"
+            );
+            values.push((format!("active_w{workers}_mutations_per_sec"), mutations_per_sec(ms)));
+        }
+        rows.push(Row {
+            scale: format!("employees={n}"),
+            values,
+        });
+    }
+    report.table(
+        "E18: reactive evaluation through the executor (delta-gated production + pooled active rounds)",
+        rows,
+    );
+}
+
+/// Command-line arguments: `[--json <path>] [--only e17|e18]`.
 struct Args {
     json: Option<String>,
     only: Option<String>,
@@ -520,9 +648,9 @@ fn parse_args() -> Args {
     while let Some(flag) = raw.next() {
         match (flag.as_str(), raw.next()) {
             ("--json", Some(path)) => args.json = Some(path),
-            ("--only", Some(table)) if table == "e17" => args.only = Some(table),
+            ("--only", Some(table)) if table == "e17" || table == "e18" => args.only = Some(table),
             _ => {
-                eprintln!("usage: experiments [--json <path>] [--only e17]");
+                eprintln!("usage: experiments [--json <path>] [--only e17|e18]");
                 std::process::exit(2);
             }
         }

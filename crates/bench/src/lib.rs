@@ -438,6 +438,127 @@ pub mod reactive_rules {
         engine.run(&mut s).expect("production rules reach quiescence").firings
     }
 
+    /// E18 production workload: a three-phase classification cascade whose
+    /// later phases stop touching the earlier phases' read keys — the shape
+    /// delta-gated re-matching exploits (`staff` reads only `employee`,
+    /// the band rules read `staff`/`salary`, and band assertions wake no
+    /// rule at all).  Returns the run's statistics, the firing trace and
+    /// the quiescent structure's canonical dump, so callers can cross-check
+    /// arms bit-for-bit.
+    pub fn production_classify(
+        structure: &Structure,
+        options: pathlog_reactive::ProductionOptions,
+    ) -> (pathlog_reactive::ProductionStats, Vec<pathlog_reactive::Firing>, String) {
+        let mut s = structure.clone();
+        // The band threshold must exist in the universe for the comparison
+        // literals to valuate it.
+        s.int(60_000);
+        let mut engine = ProductionEngine::with_options(options);
+        engine.add_rule(ProductionRule::new(
+            "staff",
+            vec![Literal::pos(Term::var("X").isa("employee"))],
+            vec![Action::Assert(Term::var("X").isa("staff"))],
+        ));
+        engine.add_rule(ProductionRule::new(
+            "low-band",
+            vec![
+                Literal::pos(
+                    Term::var("X")
+                        .isa("staff")
+                        .filter(Filter::scalar("salary", Term::var("S"))),
+                ),
+                Literal::pos(Term::var("S").scalar_args("lt", vec![Term::int(60_000)])),
+            ],
+            vec![Action::Assert(Term::var("X").isa("lowBand"))],
+        ));
+        engine.add_rule(ProductionRule::new(
+            "high-band",
+            vec![
+                Literal::pos(
+                    Term::var("X")
+                        .isa("staff")
+                        .filter(Filter::scalar("salary", Term::var("S"))),
+                ),
+                Literal::pos(Term::var("S").scalar_args("ge", vec![Term::int(60_000)])),
+            ],
+            vec![Action::Assert(Term::var("X").isa("highBand"))],
+        ));
+        let (stats, trace) = engine.run_traced(&mut s).expect("classification reaches quiescence");
+        (stats, trace, s.canonical_dump())
+    }
+
+    /// E18 active workload: `updates` salary updates through a store whose
+    /// fan-out rule set matches several rules per event (the batch shape the
+    /// pooled rounds schedule parallelises) plus a second-level audit
+    /// cascade.  Each update performs three external mutations (retract
+    /// salary, retract the stale bonus, assert the new salary).  Returns the
+    /// aggregated statistics and the final structure's canonical dump.
+    pub fn active_fanout_updates(
+        structure: &Structure,
+        updates: usize,
+        options: pathlog_reactive::ActiveOptions,
+    ) -> (pathlog_reactive::ActiveStats, String) {
+        use pathlog_reactive::ActiveStats;
+        let mut store = ActiveStore::with_options(structure.clone(), options);
+        store.add_rule(EcaRule::new(
+            "mark-paid",
+            Event::ScalarAsserted(Name::atom("salary")),
+            vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+            vec![EcaAction::AddIsA {
+                object: Term::var("Receiver"),
+                class: Name::atom("paid"),
+            }],
+        ));
+        store.add_rule(EcaRule::new(
+            "keep-history",
+            Event::ScalarAsserted(Name::atom("salary")),
+            vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+            vec![EcaAction::AddSetMember {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("payHistory"),
+                member: Term::var("Value"),
+            }],
+        ));
+        store.add_rule(EcaRule::new(
+            "derive-bonus",
+            Event::ScalarAsserted(Name::atom("salary")),
+            vec![],
+            vec![EcaAction::AssertScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("bonusBase"),
+                value: Term::var("Value"),
+            }],
+        ));
+        store.add_rule(EcaRule::new(
+            "audit",
+            Event::ScalarAsserted(Name::atom("bonusBase")),
+            vec![],
+            vec![EcaAction::AddIsA {
+                object: Term::var("Receiver"),
+                class: Name::atom("audited"),
+            }],
+        ));
+        let salary = store.oid("salary");
+        let bonus = store.oid("bonusBase");
+        let mut total = ActiveStats::default();
+        for i in 0..updates {
+            let employee = store.oid(&format!("e{i}"));
+            let amount = store.int(70_000 + i as i64);
+            total.merge(&store.retract_scalar(salary, employee).expect("retraction triggers run"));
+            total.merge(
+                &store
+                    .retract_scalar(bonus, employee)
+                    .expect("bonus retraction triggers run"),
+            );
+            total.merge(
+                &store
+                    .assert_scalar(salary, employee, amount)
+                    .expect("assertion triggers run"),
+            );
+        }
+        (total, store.into_structure().canonical_dump())
+    }
+
     /// Push `updates` salary updates through an active store with a
     /// two-level trigger cascade; returns the total number of trigger firings.
     pub fn active_salary_cascade(structure: &Structure, updates: usize) -> usize {

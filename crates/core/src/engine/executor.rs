@@ -4,11 +4,15 @@
 //! Evaluation produces batches of *solve tasks* — one full body solve per
 //! rule on the first iteration of a stratum, and one `(rule, drivable
 //! literal, delta shard)` pass per affected rule afterwards (see
-//! [`SolveTask`]).  Tasks only read: they run against a structure that is
-//! frozen for the duration of the batch, so any subset of them may execute
-//! concurrently.  The [`Executor`] trait is the pluggable boundary between
-//! the engine loop (which plans batches and commits their results) and the
-//! thread management, with two implementations:
+//! [`SolveTask`]).  Callers outside stratified fixpoint evaluation submit
+//! *condition batches* instead ([`ConditionBatch`]): independent full body
+//! solves from pre-bound seeds, the unit of the reactive layer's production
+//! recognise phases and active-store quiescence rounds.  Tasks of either
+//! shape only read: they run against a structure that is frozen for the
+//! duration of the batch, so any subset of them may execute concurrently.
+//! The [`Executor`] trait is the pluggable boundary between the engine loop
+//! (which plans batches and commits their results) and the thread
+//! management, with two implementations:
 //!
 //! * [`ScopedExecutor`] — the original spawn-per-batch path: a fresh set of
 //!   `std::thread::scope` workers per batch, ~0.5 ms of spawn cost each on
@@ -47,7 +51,7 @@ use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 
 use crate::error::{Error, Result};
-use crate::program::Rule;
+use crate::program::{Literal, Rule};
 use crate::semantics::{Bindings, DeltaView};
 use crate::structure::Structure;
 
@@ -152,6 +156,92 @@ pub enum SolveOutput {
     Sorted(SortedRun),
 }
 
+/// One independent condition-solve job of a [`ConditionBatch`]: a full body
+/// solve from a pre-bound seed (the event participants of an ECA trigger,
+/// or an empty seed for a production rule's recognise phase).
+#[derive(Debug, Clone)]
+pub struct ConditionTask {
+    /// Index into the batch's body slice.
+    pub body: usize,
+    /// The seed bindings the solve extends.
+    pub seed: Bindings,
+}
+
+/// A batch of independent full body solves against a frozen structure — the
+/// entry point for callers *outside* stratified fixpoint evaluation (the
+/// reactive layer's production recognise phases and active-store quiescence
+/// rounds).  Unlike [`SolveBatch`] the jobs carry seeds and arbitrary bodies
+/// rather than rule/delta indices; they share the same frozen-structure
+/// contract, so any subset may execute concurrently on the same pool.
+#[derive(Debug)]
+pub struct ConditionBatch {
+    /// The distinct condition bodies; tasks index into this slice.
+    pub bodies: Arc<[Vec<Literal>]>,
+    /// The jobs, in deterministic order (outputs are returned in the same
+    /// order).
+    pub tasks: Vec<ConditionTask>,
+}
+
+/// Either batch shape the executors schedule.  Internal: the public trait
+/// methods wrap and unwrap it so each caller keeps its natural result type.
+#[derive(Debug)]
+enum BatchKind {
+    Fixpoint(SolveBatch),
+    Conditions(ConditionBatch),
+}
+
+impl BatchKind {
+    fn len(&self) -> usize {
+        match self {
+            BatchKind::Fixpoint(b) => b.tasks.len(),
+            BatchKind::Conditions(b) => b.tasks.len(),
+        }
+    }
+
+    /// Solve task `i` against `structure`.  Pure: reads only.
+    fn run(&self, structure: &Structure, i: usize) -> Result<TaskResult> {
+        match self {
+            BatchKind::Fixpoint(b) => run_task(structure, b, b.tasks[i]).map(TaskResult::Fixpoint),
+            BatchKind::Conditions(b) => {
+                let task = &b.tasks[i];
+                let solutions = super::solve_body_pass(structure, &b.bodies[task.body], &task.seed, None)?;
+                // Conditions commit in canonical `binding_key` order, so the
+                // sort happens here, on the worker.
+                Ok(TaskResult::Conditions(sorted_run(solutions)))
+            }
+        }
+    }
+}
+
+/// The result of one task of either batch shape.
+#[derive(Debug)]
+enum TaskResult {
+    Fixpoint(SolveOutput),
+    Conditions(SortedRun),
+}
+
+/// Unwrap fixpoint results (the batch shape guarantees the variant).
+fn expect_fixpoint(results: Vec<TaskResult>) -> Vec<SolveOutput> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            TaskResult::Fixpoint(o) => o,
+            TaskResult::Conditions(_) => unreachable!("fixpoint batch produced a condition result"),
+        })
+        .collect()
+}
+
+/// Unwrap condition results (the batch shape guarantees the variant).
+fn expect_conditions(results: Vec<TaskResult>) -> Vec<SortedRun> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            TaskResult::Conditions(run) => run,
+            TaskResult::Fixpoint(_) => unreachable!("condition batch produced a fixpoint result"),
+        })
+        .collect()
+}
+
 /// Solve one task of `batch` against `structure`.
 fn run_task(structure: &Structure, batch: &SolveBatch, task: SolveTask) -> Result<SolveOutput> {
     let body = &batch.rules[task.rule].body;
@@ -169,8 +259,8 @@ fn run_task(structure: &Structure, batch: &SolveBatch, task: SolveTask) -> Resul
 }
 
 /// Solve every task on the calling thread, in order.
-fn execute_inline(structure: &Structure, batch: &SolveBatch) -> Result<Vec<SolveOutput>> {
-    batch.tasks.iter().map(|&t| run_task(structure, batch, t)).collect()
+fn execute_inline(structure: &Structure, batch: &BatchKind) -> Result<Vec<TaskResult>> {
+    (0..batch.len()).map(|i| batch.run(structure, i)).collect()
 }
 
 /// How a batch of solve tasks is mapped onto threads.
@@ -183,6 +273,13 @@ fn execute_inline(structure: &Structure, batch: &SolveBatch) -> Result<Vec<Solve
 pub trait Executor: fmt::Debug {
     /// Solve every task of `batch` against the frozen `structure`.
     fn execute(&self, structure: &mut Structure, batch: SolveBatch) -> Result<Vec<SolveOutput>>;
+
+    /// Solve every condition job of `batch` against the frozen `structure`,
+    /// returning one canonically sorted, deduplicated run per job, in job
+    /// order.  Each job is solved whole by one thread, so the runs are
+    /// bit-identical at any worker count — the contract the reactive layer's
+    /// pooled condition matching relies on.
+    fn execute_conditions(&self, structure: &mut Structure, batch: ConditionBatch) -> Result<Vec<SortedRun>>;
 
     /// The number of worker threads this executor fans tasks over (1 means
     /// every batch runs inline on the calling thread).
@@ -210,34 +307,34 @@ impl ScopedExecutor {
     }
 }
 
-impl Executor for ScopedExecutor {
-    fn execute(&self, structure: &mut Structure, batch: SolveBatch) -> Result<Vec<SolveOutput>> {
-        let threads = self.workers.min(batch.tasks.len());
+impl ScopedExecutor {
+    /// The schedule shared by both batch shapes: scoped workers claim task
+    /// indices off an atomic cursor, results are re-ordered by task index.
+    fn execute_any(&self, structure: &Structure, batch: &BatchKind) -> Result<Vec<TaskResult>> {
+        let threads = self.workers.min(batch.len());
         if threads <= 1 {
-            return execute_inline(structure, &batch);
+            return execute_inline(structure, batch);
         }
         self.spawns.fetch_add(threads, Ordering::Relaxed);
-        let structure = &*structure;
-        let batch = &batch;
         let next = AtomicUsize::new(0);
-        let mut done: Vec<(usize, Result<SolveOutput>)> = std::thread::scope(|scope| {
+        let mut done: Vec<(usize, Result<TaskResult>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let next = &next;
                     scope.spawn(move || {
-                        let mut mine: Vec<(usize, Result<SolveOutput>)> = Vec::new();
+                        let mut mine: Vec<(usize, Result<TaskResult>)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= batch.tasks.len() {
+                            if i >= batch.len() {
                                 break;
                             }
-                            mine.push((i, run_task(structure, batch, batch.tasks[i])));
+                            mine.push((i, batch.run(structure, i)));
                         }
                         mine
                     })
                 })
                 .collect();
-            let mut all = Vec::with_capacity(batch.tasks.len());
+            let mut all = Vec::with_capacity(batch.len());
             for h in handles {
                 match h.join() {
                     Ok(mine) => all.extend(mine),
@@ -247,14 +344,26 @@ impl Executor for ScopedExecutor {
             all
         });
         done.sort_by_key(|&(i, _)| i);
-        if done.len() != batch.tasks.len() {
+        if done.len() != batch.len() {
             return Err(Error::Other(format!(
                 "parallel solve lost work items: {} of {} completed",
                 done.len(),
-                batch.tasks.len()
+                batch.len()
             )));
         }
         done.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Executor for ScopedExecutor {
+    fn execute(&self, structure: &mut Structure, batch: SolveBatch) -> Result<Vec<SolveOutput>> {
+        self.execute_any(structure, &BatchKind::Fixpoint(batch))
+            .map(expect_fixpoint)
+    }
+
+    fn execute_conditions(&self, structure: &mut Structure, batch: ConditionBatch) -> Result<Vec<SortedRun>> {
+        self.execute_any(structure, &BatchKind::Conditions(batch))
+            .map(expect_conditions)
     }
 
     fn workers(&self) -> usize {
@@ -301,9 +410,9 @@ impl Drop for ArriveOnDrop<'_> {
 /// pool safe without `unsafe`: workers can never outlive their access.
 struct PooledBatch {
     structure: Structure,
-    batch: SolveBatch,
+    batch: BatchKind,
     next: AtomicUsize,
-    results: Mutex<Vec<Option<Result<SolveOutput>>>>,
+    results: Mutex<Vec<Option<Result<TaskResult>>>>,
     progress: Latch,
 }
 
@@ -313,11 +422,11 @@ impl PooledBatch {
     fn work(&self) {
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.batch.tasks.len() {
+            if i >= self.batch.len() {
                 break;
             }
             let _arrive = ArriveOnDrop(&self.progress);
-            let result = run_task(&self.structure, &self.batch, self.batch.tasks[i]);
+            let result = self.batch.run(&self.structure, i);
             self.results.lock().expect("results poisoned")[i] = Some(result);
         }
     }
@@ -425,9 +534,11 @@ impl PooledExecutor {
     }
 }
 
-impl Executor for PooledExecutor {
-    fn execute(&self, structure: &mut Structure, batch: SolveBatch) -> Result<Vec<SolveOutput>> {
-        let n_tasks = batch.tasks.len();
+impl PooledExecutor {
+    /// The Arc-handoff protocol shared by both batch shapes (see the type
+    /// docs): move the structure in, broadcast, work, latch, reclaim.
+    fn execute_any(&self, structure: &mut Structure, batch: BatchKind) -> Result<Vec<TaskResult>> {
+        let n_tasks = batch.len();
         if self.pool.workers() <= 1 || n_tasks <= 1 {
             return execute_inline(structure, &batch);
         }
@@ -460,13 +571,25 @@ impl Executor for PooledExecutor {
         };
         *structure = inner.structure;
         let results = inner.results.into_inner().expect("results poisoned");
-        let complete: Option<Vec<Result<SolveOutput>>> = results.into_iter().collect();
+        let complete: Option<Vec<Result<TaskResult>>> = results.into_iter().collect();
         match complete {
             Some(outputs) => outputs.into_iter().collect(),
             None => Err(Error::Other(
                 "parallel solve lost work items: a pool worker panicked".to_string(),
             )),
         }
+    }
+}
+
+impl Executor for PooledExecutor {
+    fn execute(&self, structure: &mut Structure, batch: SolveBatch) -> Result<Vec<SolveOutput>> {
+        self.execute_any(structure, BatchKind::Fixpoint(batch))
+            .map(expect_fixpoint)
+    }
+
+    fn execute_conditions(&self, structure: &mut Structure, batch: ConditionBatch) -> Result<Vec<SortedRun>> {
+        self.execute_any(structure, BatchKind::Conditions(batch))
+            .map(expect_conditions)
     }
 
     fn workers(&self) -> usize {
@@ -574,7 +697,7 @@ mod tests {
     fn scoped_and_pooled_executors_agree_with_inline_execution() {
         let spawns = Arc::new(AtomicUsize::new(0));
         let (s, batch) = executor_fixture();
-        let inline = execute_inline(&s, &batch).unwrap();
+        let inline = expect_fixpoint(execute_inline(&s, &BatchKind::Fixpoint(batch)).unwrap());
         assert_eq!(output_shape(&inline), vec![(false, 19), (true, 0)]);
 
         let (mut s2, batch2) = executor_fixture();
@@ -609,5 +732,69 @@ mod tests {
         batch.tasks.truncate(1);
         let out = pooled.execute(&mut s, batch).unwrap();
         assert_eq!(output_shape(&out), vec![(false, 19)]);
+    }
+
+    /// A condition batch over the fixture's structure: one seeded and one
+    /// unseeded full body solve, executed by every executor; all must return
+    /// the same canonically sorted runs in job order.
+    fn condition_fixture() -> (Structure, ConditionBatch) {
+        let (s, _) = executor_fixture();
+        let n0 = s.lookup_name(&crate::names::Name::atom("n0")).unwrap();
+        let bodies: Arc<[Vec<Literal>]> = vec![
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            )],
+        ]
+        .into();
+        let seed = Bindings::from_pairs([(Var::new("X"), n0)]).unwrap();
+        let batch = ConditionBatch {
+            bodies,
+            tasks: vec![
+                ConditionTask {
+                    body: 0,
+                    seed: Bindings::new(),
+                },
+                ConditionTask { body: 0, seed },
+                ConditionTask {
+                    body: 1,
+                    seed: Bindings::new(),
+                },
+            ],
+        };
+        (s, batch)
+    }
+
+    #[test]
+    fn condition_batches_return_identical_sorted_runs_on_every_executor() {
+        let spawns = Arc::new(AtomicUsize::new(0));
+        let (s, batch) = condition_fixture();
+        let inline = expect_conditions(execute_inline(&s, &BatchKind::Conditions(batch)).unwrap());
+        // 19 kids edges in full, 1 from the seeded receiver, 19 desc edges.
+        assert_eq!(inline.iter().map(Vec::len).collect::<Vec<_>>(), vec![19, 1, 19]);
+        // Runs are canonically sorted.
+        for run in &inline {
+            assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "ascending key order");
+        }
+        let keys = |runs: &[SortedRun]| -> Vec<Vec<BindingKey>> {
+            runs.iter()
+                .map(|r| r.iter().map(|(k, _)| k.clone()).collect())
+                .collect()
+        };
+
+        let (mut s2, batch2) = condition_fixture();
+        let scoped = ScopedExecutor::new(3, Arc::clone(&spawns));
+        let scoped_out = scoped.execute_conditions(&mut s2, batch2).unwrap();
+        assert_eq!(keys(&scoped_out), keys(&inline));
+
+        let pool = Arc::new(WorkerPool::new(3, &spawns));
+        let pooled = PooledExecutor::new(pool);
+        let (mut s3, batch3) = condition_fixture();
+        let pooled_out = pooled.execute_conditions(&mut s3, batch3).unwrap();
+        assert_eq!(keys(&pooled_out), keys(&inline));
+        // The structure was moved out and back unchanged.
+        assert_eq!(s3.canonical_dump(), s.canonical_dump());
     }
 }

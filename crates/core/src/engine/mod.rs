@@ -67,8 +67,8 @@ mod stratify;
 mod virtuals;
 
 pub use executor::{
-    binding_key, merge_sorted_runs, sorted_run, BindingKey, Executor, PooledExecutor, ScopedExecutor, SolveBatch,
-    SolveOutput, SolveTask, SortedRun, WorkerPool,
+    binding_key, merge_sorted_runs, sorted_run, BindingKey, ConditionBatch, ConditionTask, Executor, PooledExecutor,
+    ScopedExecutor, SolveBatch, SolveOutput, SolveTask, SortedRun, WorkerPool,
 };
 pub use stratify::{stratify, Stratification};
 pub use virtuals::{assert_head, AssertEffect, AssertOptions};
@@ -696,6 +696,34 @@ impl Engine {
             }
         }
         Ok(())
+    }
+
+    /// Solve a batch of independent condition bodies against the frozen
+    /// `structure` on this engine's configured executor — the entry point
+    /// for callers outside stratified fixpoint evaluation (the reactive
+    /// layer's production recognise phases and active-store quiescence
+    /// rounds).  Each task solves `bodies[task.body]` from `task.seed`;
+    /// the result is one canonically sorted, deduplicated run per task, in
+    /// task order ([`SortedRun`], keyed by [`binding_key`]).
+    ///
+    /// Every task is solved whole by one thread against the same frozen
+    /// structure, so the returned runs are **bit-identical at any worker
+    /// count and under either executor** — pooled condition matching cannot
+    /// drift from a sequential run.  Under [`EvalMode::Parallel`] the tasks
+    /// fan out over this engine's persistent pool (created lazily, shared by
+    /// clones, reused across calls); under [`EvalMode::Sequential`] they run
+    /// inline on the calling thread.
+    pub fn solve_conditions(
+        &self,
+        structure: &mut Structure,
+        bodies: Arc<[Vec<Literal>]>,
+        tasks: Vec<ConditionTask>,
+    ) -> Result<Vec<SortedRun>> {
+        if tasks.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.executor()
+            .execute_conditions(structure, ConditionBatch { bodies, tasks })
     }
 
     /// Answer a query: the variable-valuations that satisfy its body.

@@ -18,9 +18,39 @@
 //! | set member added / removed | `Receiver`, `Member` |
 //! | class membership added | `Object`, `Class` |
 
-use std::fmt;
+//! **Scheduling.**  Two cascade schedules are available
+//! ([`ActiveOptions::schedule`]):
+//!
+//! * [`CascadeSchedule::Immediate`] (the default) — the classic depth-first
+//!   semantics: a rule's actions are applied (and their cascades run to
+//!   completion) before the next rule of the same event even solves its
+//!   condition, so rules can chain within one event in priority order.
+//! * [`CascadeSchedule::Rounds`] — breadth-first snapshot rounds: all
+//!   mutations of one cascade level are applied first, then *every*
+//!   candidate `(rule, event seed)` condition of the level is solved as one
+//!   [`ConditionBatch`](pathlog_core::engine::ConditionBatch) against the
+//!   frozen structure — fanned over the shared persistent worker pool when
+//!   [`ActiveOptions::mode`] is parallel — and matches commit in canonical
+//!   (event, priority, rule, `binding_key`) order, their actions forming the
+//!   next level.  Pooled runs are **bit-identical** to sequential runs of
+//!   the same schedule (same firings, stats and structure); the two
+//!   schedules themselves agree whenever no two rules matching the *same*
+//!   event interact, and differ exactly where Gauss–Seidel and Jacobi
+//!   iteration would.
+//!
+//! **Errors and partial commits.**  A cascade that exceeds
+//! [`ActiveOptions::max_cascade_depth`] or
+//! [`ActiveOptions::max_total_firings`] (or whose action fails to valuate)
+//! aborts with an error **after** some mutations have been applied: by
+//! default the store keeps everything committed before the error (partial
+//! commit — see [`ReactiveError::LimitExceeded`]).  Set
+//! [`ActiveOptions::rollback_on_error`] to restore the pre-mutation
+//! structure instead (one structure clone per external mutation).
 
-use pathlog_core::engine::solve_body;
+use std::fmt;
+use std::sync::Arc;
+
+use pathlog_core::engine::{solve_body, ConditionTask, Engine, EvalMode, EvalOptions};
 use pathlog_core::names::{Name, Var};
 use pathlog_core::program::Literal;
 use pathlog_core::semantics::{valuate, Bindings};
@@ -203,14 +233,50 @@ impl fmt::Display for EcaRule {
     }
 }
 
+/// How trigger cascades are scheduled (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CascadeSchedule {
+    /// Depth-first, immediate application (the default): each firing's
+    /// actions — and their entire cascades — run before the next rule of
+    /// the same event solves its condition (Gauss–Seidel style; rules can
+    /// chain within one event).
+    #[default]
+    Immediate,
+    /// Breadth-first snapshot rounds: one cascade level's mutations apply,
+    /// then every candidate condition of the level is solved as one batch
+    /// against the frozen structure (Jacobi style; the batch is what the
+    /// worker pool parallelises).
+    Rounds,
+}
+
 /// Options of the active store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ActiveOptions {
-    /// Maximum trigger cascade depth (a mutation performed by an action runs
-    /// at depth + 1).
+    /// Maximum trigger cascade depth.  The external mutation runs at
+    /// depth 0; a mutation performed by an action runs one level below its
+    /// trigger, so `max_cascade_depth = N` permits exactly `N` levels of
+    /// *triggered* mutations ([`ActiveStats::max_depth_reached`] can reach
+    /// `N`) and the first mutation at depth `N + 1` aborts the cascade.
+    /// With `N = 0` only the external mutation may change the structure —
+    /// rules still fire on it, but any action that performs a mutation
+    /// errors.
     pub max_cascade_depth: usize,
     /// Maximum number of rule firings for a single external mutation.
     pub max_total_firings: usize,
+    /// How cascades are scheduled (depth-first immediate, or batchable
+    /// breadth-first rounds).
+    pub schedule: CascadeSchedule,
+    /// How a round's condition batch is executed under
+    /// [`CascadeSchedule::Rounds`]: inline, or fanned over the shared
+    /// persistent worker pool.  Ignored by the immediate schedule (its
+    /// solves are inherently serial).  Pooled runs are bit-identical to
+    /// sequential runs of the rounds schedule.
+    pub mode: EvalMode,
+    /// Restore the pre-mutation structure when a cascade errors (depth /
+    /// firing limit, invalid action) instead of keeping the partially
+    /// committed mutations.  Costs one structure clone per external
+    /// mutation; see the module docs.
+    pub rollback_on_error: bool,
 }
 
 impl Default for ActiveOptions {
@@ -218,11 +284,16 @@ impl Default for ActiveOptions {
         ActiveOptions {
             max_cascade_depth: 32,
             max_total_firings: 100_000,
+            schedule: CascadeSchedule::Immediate,
+            mode: EvalMode::Sequential,
+            rollback_on_error: false,
         }
     }
 }
 
-/// Statistics of one external mutation (including its cascade).
+/// Statistics of one external mutation (including its cascade).  Counters
+/// saturate instead of wrapping, so aggregating many mutations (see
+/// [`ActiveStats::merge`]) cannot overflow in debug builds.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ActiveStats {
     /// Rule firings (one per rule and condition solution).
@@ -233,22 +304,42 @@ pub struct ActiveStats {
     pub max_depth_reached: usize,
 }
 
+impl ActiveStats {
+    /// Fold the counters of another mutation into this one: `firings` and
+    /// `mutations` sum with saturating arithmetic, `max_depth_reached`
+    /// takes the maximum — so a batch of mutations aggregates without
+    /// overflow panics in debug builds, mirroring
+    /// [`EvalStats::merge`](pathlog_core::engine::EvalStats::merge).
+    pub fn merge(&mut self, other: &ActiveStats) {
+        self.firings = self.firings.saturating_add(other.firings);
+        self.mutations = self.mutations.saturating_add(other.mutations);
+        self.max_depth_reached = self.max_depth_reached.max(other.max_depth_reached);
+    }
+}
+
 /// A structure wrapped with ECA triggers.
+///
+/// The embedded deductive [`Engine`] carries the executor configuration for
+/// [`CascadeSchedule::Rounds`]: in parallel mode its persistent worker pool
+/// is created lazily on the first batched round and reused across
+/// mutations and clones.
 #[derive(Debug, Clone, Default)]
 pub struct ActiveStore {
     structure: Structure,
     rules: Vec<EcaRule>,
     options: ActiveOptions,
+    core: Engine,
+    /// Condition bodies shared with the executor, built lazily from `rules`
+    /// and invalidated by [`ActiveStore::add_rule`] (the rule set cannot
+    /// change mid-cascade, so one Arc serves every round of every
+    /// mutation).
+    condition_bodies: Option<Arc<[Vec<Literal>]>>,
 }
 
 impl ActiveStore {
     /// Wrap an existing structure.
     pub fn new(structure: Structure) -> Self {
-        ActiveStore {
-            structure,
-            rules: Vec::new(),
-            options: ActiveOptions::default(),
-        }
+        Self::with_options(structure, ActiveOptions::default())
     }
 
     /// Wrap a structure with the given options.
@@ -257,13 +348,33 @@ impl ActiveStore {
             structure,
             rules: Vec::new(),
             options,
+            core: Engine::with_options(EvalOptions {
+                mode: options.mode,
+                ..EvalOptions::default()
+            }),
+            condition_bodies: None,
         }
     }
 
     /// Register a trigger.
     pub fn add_rule(&mut self, rule: EcaRule) -> &mut Self {
         self.rules.push(rule);
+        self.condition_bodies = None;
         self
+    }
+
+    /// The cached condition-body slice the executor's batches index into.
+    fn condition_bodies(&mut self) -> Arc<[Vec<Literal>]> {
+        if self.condition_bodies.is_none() {
+            self.condition_bodies = Some(
+                self.rules
+                    .iter()
+                    .map(|r| r.condition.clone())
+                    .collect::<Vec<_>>()
+                    .into(),
+            );
+        }
+        Arc::clone(self.condition_bodies.as_ref().expect("just built"))
     }
 
     /// The registered triggers.
@@ -295,76 +406,71 @@ impl ActiveStore {
 
     /// Assert a scalar fact, firing matching triggers.
     pub fn assert_scalar(&mut self, method: Oid, receiver: Oid, result: Oid) -> Result<ActiveStats> {
-        let mut stats = ActiveStats::default();
-        self.mutate(
-            Mutation::AssertScalar {
-                method,
-                receiver,
-                result,
-            },
-            0,
-            &mut stats,
-        )?;
-        Ok(stats)
+        self.run_external(Mutation::AssertScalar {
+            method,
+            receiver,
+            result,
+        })
     }
 
     /// Retract a scalar fact, firing matching triggers.
     pub fn retract_scalar(&mut self, method: Oid, receiver: Oid) -> Result<ActiveStats> {
-        let mut stats = ActiveStats::default();
-        self.mutate(Mutation::RetractScalar { method, receiver }, 0, &mut stats)?;
-        Ok(stats)
+        self.run_external(Mutation::RetractScalar { method, receiver })
     }
 
     /// Add a set member, firing matching triggers.
     pub fn add_set_member(&mut self, method: Oid, receiver: Oid, member: Oid) -> Result<ActiveStats> {
-        let mut stats = ActiveStats::default();
-        self.mutate(
-            Mutation::AddSetMember {
-                method,
-                receiver,
-                member,
-            },
-            0,
-            &mut stats,
-        )?;
-        Ok(stats)
+        self.run_external(Mutation::AddSetMember {
+            method,
+            receiver,
+            member,
+        })
     }
 
     /// Remove a set member, firing matching triggers.
     pub fn remove_set_member(&mut self, method: Oid, receiver: Oid, member: Oid) -> Result<ActiveStats> {
-        let mut stats = ActiveStats::default();
-        self.mutate(
-            Mutation::RemoveSetMember {
-                method,
-                receiver,
-                member,
-            },
-            0,
-            &mut stats,
-        )?;
-        Ok(stats)
+        self.run_external(Mutation::RemoveSetMember {
+            method,
+            receiver,
+            member,
+        })
     }
 
     /// Add a class membership, firing matching triggers.
     pub fn add_isa(&mut self, object: Oid, class: Oid) -> Result<ActiveStats> {
-        let mut stats = ActiveStats::default();
-        self.mutate(Mutation::AddIsA { object, class }, 0, &mut stats)?;
-        Ok(stats)
+        self.run_external(Mutation::AddIsA { object, class })
     }
 
     // -------------------------------------------------------------- internal
 
-    fn mutate(&mut self, mutation: Mutation, depth: usize, stats: &mut ActiveStats) -> Result<()> {
-        if depth > self.options.max_cascade_depth {
-            return Err(ReactiveError::LimitExceeded(format!(
-                "trigger cascade exceeded depth {}",
-                self.options.max_cascade_depth
-            )));
+    /// Run one external mutation and its cascade under the configured
+    /// schedule.  On error the structure keeps the mutations committed
+    /// before the failure (partial commit) unless
+    /// [`ActiveOptions::rollback_on_error`] restores the snapshot taken
+    /// here.
+    fn run_external(&mut self, mutation: Mutation) -> Result<ActiveStats> {
+        let snapshot = self.options.rollback_on_error.then(|| self.structure.clone());
+        let mut stats = ActiveStats::default();
+        let result = match self.options.schedule {
+            CascadeSchedule::Immediate => self.mutate(mutation, 0, &mut stats),
+            CascadeSchedule::Rounds => self.mutate_rounds(mutation, &mut stats),
+        };
+        match result {
+            Ok(()) => Ok(stats),
+            Err(e) => {
+                if let Some(saved) = snapshot {
+                    self.structure = saved;
+                }
+                Err(e)
+            }
         }
-        stats.max_depth_reached = stats.max_depth_reached.max(depth);
+    }
 
-        // 1. Apply the primitive mutation; only real changes raise events.
-        let (changed, seed, watched) = match mutation {
+    /// Apply one primitive mutation.  Returns whether the structure actually
+    /// changed, the event seed bindings, and the watched (kind, method/class)
+    /// pair — shared by both cascade schedules.
+    fn apply_mutation(&mut self, mutation: Mutation) -> Result<(bool, Bindings, (EventKind, Oid))> {
+        Ok(match mutation {
             Mutation::AssertScalar {
                 method,
                 receiver,
@@ -411,31 +517,49 @@ impl ActiveStore {
                 let changed = self.structure.add_isa(object, class);
                 (changed, seed_isa(object, class), (EventKind::ClassAdded, class))
             }
-        };
-        if !changed {
-            return Ok(());
-        }
-        stats.mutations += 1;
+        })
+    }
 
-        // 2. Find matching rules (events match by name).
-        let Some(watched_name) = self.structure.name_of(watched.1).cloned() else {
-            return Ok(());
+    /// The rule indices matching `(kind, method)`, in firing order
+    /// (priority descending, then definition order).
+    fn matching_rules(&self, kind: EventKind, method: Oid) -> Vec<usize> {
+        let Some(watched_name) = self.structure.name_of(method) else {
+            return Vec::new();
         };
         let mut matching: Vec<usize> = self
             .rules
             .iter()
             .enumerate()
-            .filter(|(_, r)| event_matches(&r.event, watched.0, &watched_name))
+            .filter(|(_, r)| event_matches(&r.event, kind, watched_name))
             .map(|(i, _)| i)
             .collect();
         matching.sort_by_key(|&i| (-self.rules[i].priority, i));
+        matching
+    }
 
-        // 3. Fire each rule for every solution of its condition.
-        for index in matching {
+    /// The depth-first immediate schedule (see the module docs).
+    fn mutate(&mut self, mutation: Mutation, depth: usize, stats: &mut ActiveStats) -> Result<()> {
+        if depth > self.options.max_cascade_depth {
+            return Err(ReactiveError::LimitExceeded(format!(
+                "trigger cascade exceeded depth {}",
+                self.options.max_cascade_depth
+            )));
+        }
+        stats.max_depth_reached = stats.max_depth_reached.max(depth);
+
+        // 1. Apply the primitive mutation; only real changes raise events.
+        let (changed, seed, watched) = self.apply_mutation(mutation)?;
+        if !changed {
+            return Ok(());
+        }
+        stats.mutations = stats.mutations.saturating_add(1);
+
+        // 2. Fire each matching rule for every solution of its condition.
+        for index in self.matching_rules(watched.0, watched.1) {
             let rule = self.rules[index].clone();
             let solutions = solve_body(&self.structure, &rule.condition, &seed)?;
             for solution in solutions {
-                stats.firings += 1;
+                stats.firings = stats.firings.saturating_add(1);
                 if stats.firings > self.options.max_total_firings {
                     return Err(ReactiveError::LimitExceeded(format!(
                         "more than {} trigger firings for one mutation",
@@ -447,6 +571,84 @@ impl ActiveStore {
                     self.mutate(next, depth + 1, stats)?;
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// The breadth-first snapshot-rounds schedule (see the module docs):
+    /// round `d` applies every depth-`d` mutation, batch-solves every
+    /// candidate condition of the raised events against the frozen
+    /// structure on the shared executor, and commits the matches — their
+    /// actions become round `d + 1`.
+    fn mutate_rounds(&mut self, external: Mutation, stats: &mut ActiveStats) -> Result<()> {
+        let bodies = self.condition_bodies();
+        let mut queue: Vec<Mutation> = vec![external];
+        let mut depth = 0usize;
+        while !queue.is_empty() {
+            if depth > self.options.max_cascade_depth {
+                return Err(ReactiveError::LimitExceeded(format!(
+                    "trigger cascade exceeded depth {}",
+                    self.options.max_cascade_depth
+                )));
+            }
+            stats.max_depth_reached = stats.max_depth_reached.max(depth);
+
+            // 1. Apply the round's mutations; real changes raise events in
+            // application order.
+            let mut events: Vec<(EventKind, Oid, Bindings)> = Vec::new();
+            for mutation in std::mem::take(&mut queue) {
+                let (changed, seed, watched) = self.apply_mutation(mutation)?;
+                if changed {
+                    stats.mutations = stats.mutations.saturating_add(1);
+                    events.push((watched.0, watched.1, seed));
+                }
+            }
+
+            // 2. The round's candidates: every (event, matching rule) pair,
+            // in commit order (event raise order, then priority, then rule
+            // definition order).
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for (e, &(kind, method, _)) in events.iter().enumerate() {
+                candidates.extend(self.matching_rules(kind, method).into_iter().map(|r| (e, r)));
+            }
+            if candidates.is_empty() {
+                break;
+            }
+
+            // 3. Batch-solve every candidate's condition against the frozen
+            // structure (this is the batch the worker pool parallelises).
+            let tasks = candidates
+                .iter()
+                .map(|&(e, r)| ConditionTask {
+                    body: r,
+                    seed: events[e].2.clone(),
+                })
+                .collect();
+            let runs = self
+                .core
+                .solve_conditions(&mut self.structure, Arc::clone(&bodies), tasks)?;
+
+            // 4. Commit: fire in candidate order, solutions in canonical
+            // `binding_key` order; compiled actions form the next round.
+            for (&(_, r), run) in candidates.iter().zip(runs) {
+                if run.is_empty() {
+                    continue;
+                }
+                let rule = self.rules[r].clone();
+                for (_, solution) in run {
+                    stats.firings = stats.firings.saturating_add(1);
+                    if stats.firings > self.options.max_total_firings {
+                        return Err(ReactiveError::LimitExceeded(format!(
+                            "more than {} trigger firings for one mutation",
+                            self.options.max_total_firings
+                        )));
+                    }
+                    for action in &rule.actions {
+                        queue.push(self.compile_action(action, &solution)?);
+                    }
+                }
+            }
+            depth += 1;
         }
         Ok(())
     }
@@ -805,6 +1007,237 @@ mod tests {
         let double_checked = store.oid("doubleChecked");
         let mary = store.oid("mary");
         assert!(store.structure().in_class(mary, double_checked));
+    }
+
+    /// A linear chain: asserting `c0` triggers `c1`, which triggers `c2`, …
+    /// — each triggered mutation runs one level deeper.
+    fn chain_store(levels: usize, options: ActiveOptions) -> ActiveStore {
+        let mut store = ActiveStore::with_options(Structure::new(), options);
+        for k in 0..levels {
+            store.add_rule(EcaRule::new(
+                format!("link-{k}"),
+                Event::ScalarAsserted(Name::atom(format!("c{k}"))),
+                vec![],
+                vec![EcaAction::AssertScalar {
+                    receiver: Term::var("Receiver"),
+                    method: Name::atom(format!("c{}", k + 1)),
+                    value: Term::var("Value"),
+                }],
+            ));
+        }
+        store
+    }
+
+    /// Pins the cascade-depth guard: `max_cascade_depth = N` permits exactly
+    /// `N` levels of triggered mutations (the external mutation is depth 0),
+    /// and the first mutation at depth `N + 1` errors.
+    #[test]
+    fn max_cascade_depth_permits_exactly_n_trigger_levels() {
+        for schedule in [CascadeSchedule::Immediate, CascadeSchedule::Rounds] {
+            // 3 chain rules → deepest triggered mutation at depth 3.
+            let options = |max_cascade_depth| ActiveOptions {
+                max_cascade_depth,
+                schedule,
+                ..ActiveOptions::default()
+            };
+            let mut store = chain_store(3, options(3));
+            let (c0, a, b) = (store.oid("c0"), store.oid("a"), store.oid("b"));
+            let stats = store.assert_scalar(c0, a, b).unwrap();
+            assert_eq!(stats.max_depth_reached, 3, "{schedule:?}: N levels fit exactly");
+            assert_eq!(stats.mutations, 4, "{schedule:?}: external + 3 triggered");
+
+            let mut store = chain_store(3, options(2));
+            let (c0, a, b) = (store.oid("c0"), store.oid("a"), store.oid("b"));
+            let err = store.assert_scalar(c0, a, b).unwrap_err();
+            assert!(matches!(err, ReactiveError::LimitExceeded(_)), "{schedule:?}");
+
+            // N = 0: only the external mutation may mutate.  A rule still
+            // fires on it, but its first action mutation errors...
+            let mut store = chain_store(1, options(0));
+            let (c0, a, b) = (store.oid("c0"), store.oid("a"), store.oid("b"));
+            assert!(store.assert_scalar(c0, a, b).is_err(), "{schedule:?}");
+            // ...while an action-free rule fires without error.
+            let mut store = ActiveStore::with_options(Structure::new(), options(0));
+            store.add_rule(EcaRule::new(
+                "observe",
+                Event::ScalarAsserted(Name::atom("c0")),
+                vec![],
+                vec![],
+            ));
+            let (c0, a, b) = (store.oid("c0"), store.oid("a"), store.oid("b"));
+            let stats = store.assert_scalar(c0, a, b).unwrap();
+            assert_eq!((stats.firings, stats.max_depth_reached), (1, 0), "{schedule:?}");
+        }
+    }
+
+    /// Pins the documented partial-commit semantics: a cascade aborted by
+    /// the depth limit keeps every mutation applied before the error.
+    #[test]
+    fn failed_cascades_keep_the_committed_prefix_by_default() {
+        let mut store = chain_store(
+            4,
+            ActiveOptions {
+                max_cascade_depth: 2,
+                ..ActiveOptions::default()
+            },
+        );
+        let (c0, a, b) = (store.oid("c0"), store.oid("a"), store.oid("b"));
+        assert!(store.assert_scalar(c0, a, b).is_err());
+        // c0 (external), c1 and c2 (depths 1–2) committed; c3 was rejected.
+        for (method, expect) in [("c0", true), ("c1", true), ("c2", true), ("c3", false)] {
+            let m = store.oid(method);
+            let a = store.oid("a");
+            assert_eq!(
+                store.structure().apply_scalar(m, a, &[]).is_some(),
+                expect,
+                "{method} committed state"
+            );
+        }
+    }
+
+    #[test]
+    fn rollback_on_error_restores_the_pre_mutation_structure() {
+        for schedule in [CascadeSchedule::Immediate, CascadeSchedule::Rounds] {
+            let mut store = chain_store(
+                4,
+                ActiveOptions {
+                    max_cascade_depth: 2,
+                    rollback_on_error: true,
+                    schedule,
+                    ..ActiveOptions::default()
+                },
+            );
+            let (c0, a, b) = (store.oid("c0"), store.oid("a"), store.oid("b"));
+            let before = store.structure().canonical_dump();
+            assert!(store.assert_scalar(c0, a, b).is_err());
+            assert_eq!(
+                store.structure().canonical_dump(),
+                before,
+                "{schedule:?}: rollback must restore the snapshot"
+            );
+        }
+    }
+
+    /// On chain workloads (one matching rule per event) the two schedules
+    /// agree exactly, and pooled rounds are bit-identical to sequential
+    /// rounds.
+    #[test]
+    fn rounds_schedule_matches_immediate_on_chains_and_is_pool_stable() {
+        let run = |schedule, mode| {
+            let mut store = chain_store(
+                5,
+                ActiveOptions {
+                    schedule,
+                    mode,
+                    ..ActiveOptions::default()
+                },
+            );
+            let (c0, a, b) = (store.oid("c0"), store.oid("a"), store.oid("b"));
+            let stats = store.assert_scalar(c0, a, b).unwrap();
+            (stats, store.into_structure().canonical_dump())
+        };
+        let (imm_stats, imm_dump) = run(CascadeSchedule::Immediate, EvalMode::Sequential);
+        let (seq_stats, seq_dump) = run(CascadeSchedule::Rounds, EvalMode::Sequential);
+        assert_eq!(imm_stats, seq_stats);
+        assert_eq!(imm_dump, seq_dump);
+        for workers in [1usize, 2, 4] {
+            let (stats, dump) = run(CascadeSchedule::Rounds, EvalMode::Parallel { workers });
+            assert_eq!(stats, seq_stats, "stats must match at {workers} workers");
+            assert_eq!(dump, seq_dump, "models must match at {workers} workers");
+        }
+    }
+
+    /// A fan-out workload where one event matches several rules with
+    /// conditions — the batch shape the pool parallelises; pooled and
+    /// sequential rounds must stay bit-identical.
+    #[test]
+    fn pooled_rounds_match_sequential_rounds_on_fanout_rule_sets() {
+        let run = |mode| {
+            let mut s = Structure::new();
+            let employee = s.atom("employee");
+            for i in 0..6 {
+                let p = s.atom(&format!("p{i}"));
+                s.add_isa(p, employee);
+            }
+            let mut store = ActiveStore::with_options(
+                s,
+                ActiveOptions {
+                    schedule: CascadeSchedule::Rounds,
+                    mode,
+                    ..ActiveOptions::default()
+                },
+            );
+            store.add_rule(EcaRule::new(
+                "mark-paid",
+                Event::ScalarAsserted(Name::atom("salary")),
+                vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+                vec![EcaAction::AddIsA {
+                    object: Term::var("Receiver"),
+                    class: Name::atom("paid"),
+                }],
+            ));
+            store.add_rule(EcaRule::new(
+                "keep-history",
+                Event::ScalarAsserted(Name::atom("salary")),
+                vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+                vec![EcaAction::AddSetMember {
+                    receiver: Term::var("Receiver"),
+                    method: Name::atom("payHistory"),
+                    member: Term::var("Value"),
+                }],
+            ));
+            store.add_rule(EcaRule::new(
+                "derive-bonus",
+                Event::ScalarAsserted(Name::atom("salary")),
+                vec![],
+                vec![EcaAction::AssertScalar {
+                    receiver: Term::var("Receiver"),
+                    method: Name::atom("bonusBase"),
+                    value: Term::var("Value"),
+                }],
+            ));
+            store.add_rule(EcaRule::new(
+                "audit",
+                Event::ScalarAsserted(Name::atom("bonusBase")),
+                vec![],
+                vec![EcaAction::AddIsA {
+                    object: Term::var("Receiver"),
+                    class: Name::atom("audited"),
+                }],
+            ));
+            let salary = store.oid("salary");
+            let mut total = ActiveStats::default();
+            for i in 0..6 {
+                let p = store.oid(&format!("p{i}"));
+                let amount = store.int(1000 + i as i64);
+                total.merge(&store.assert_scalar(salary, p, amount).unwrap());
+            }
+            (total, store.into_structure().canonical_dump())
+        };
+        let (seq_stats, seq_dump) = run(EvalMode::Sequential);
+        assert_eq!(seq_stats.firings, 24, "4 firings per salary assert");
+        for workers in [1usize, 2, 4, 8] {
+            let (stats, dump) = run(EvalMode::Parallel { workers });
+            assert_eq!(stats, seq_stats, "stats must match at {workers} workers");
+            assert_eq!(dump, seq_dump, "models must match at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn stats_merge_saturates_and_maxes_depth() {
+        let mut total = ActiveStats {
+            firings: usize::MAX - 1,
+            mutations: 3,
+            max_depth_reached: 2,
+        };
+        total.merge(&ActiveStats {
+            firings: 10,
+            mutations: 1,
+            max_depth_reached: 5,
+        });
+        assert_eq!(total.firings, usize::MAX, "saturates instead of overflowing");
+        assert_eq!(total.mutations, 4);
+        assert_eq!(total.max_depth_reached, 5, "depth is a maximum, not a sum");
     }
 
     #[test]

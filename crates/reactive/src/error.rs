@@ -9,8 +9,20 @@ use pathlog_core::error::Error as CoreError;
 pub enum ReactiveError {
     /// An action references something it cannot act on (e.g. retracting a
     /// path, or an action term that does not denote exactly one object).
+    ///
+    /// When raised mid-cascade by an active store, mutations applied before
+    /// the invalid action remain committed — see [`ReactiveError::LimitExceeded`].
     InvalidAction(String),
     /// A resource limit was exceeded (cycles, cascade depth, total firings).
+    ///
+    /// **Partial-commit semantics:** limits are detected *while* a cascade
+    /// or recognise–act run is mutating the structure, so by the time this
+    /// error surfaces every mutation applied before the limit was hit is
+    /// still committed — the structure is a consistent prefix of the run,
+    /// not the pre-run state.  Callers that need all-or-nothing behaviour
+    /// on an active store can opt into
+    /// `ActiveOptions::rollback_on_error`, which restores the pre-mutation
+    /// structure at the cost of one clone per external mutation.
     LimitExceeded(String),
     /// The underlying PathLog evaluation failed.
     Evaluation(String),

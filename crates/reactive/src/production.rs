@@ -16,13 +16,37 @@
 //! Unlike the deductive engine, production rules can *retract* facts, so the
 //! fixpoint guarantee of the bottom-up semantics is replaced by explicit
 //! cycle limits.
+//!
+//! **Scheduling.**  The recognise phase of a cycle solves every rule's
+//! condition against the *same* frozen structure, which makes it a natural
+//! [`ConditionBatch`](pathlog_core::engine::ConditionBatch): the engine
+//! routes it through the deductive engine's executor subsystem, so with
+//! [`ProductionOptions::mode`] set to [`EvalMode::Parallel`] the condition
+//! solves of a cycle fan out over a persistent worker pool.  Matches commit
+//! in canonical priority-then-`binding_key` order, so pooled runs are
+//! **bit-identical** to sequential ones — same firing order, same trace,
+//! same statistics, same structure.
+//!
+//! **Delta gating.**  With [`ProductionOptions::delta_gated`] (the default)
+//! a rule's condition is only re-solved when the firings since its last
+//! solve could have changed its solution set: when a fact was *retracted*
+//! (conditions are not monotone under retraction), when objects or
+//! signature declarations were created, or when the
+//! [`DeltaView`](pathlog_core::semantics::DeltaView) sliced from the
+//! insertion logs since the rule's watermark contains facts of a
+//! method/class any condition literal reads.  Otherwise the cached solution
+//! run is reused verbatim, turning O(rules × cycles) full re-matching into
+//! delta-gated matching — observationally identical to full re-matching
+//! (property-tested), with [`ProductionStats::condition_solves`] /
+//! [`ProductionStats::condition_skips`] recording the difference.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
-use pathlog_core::engine::solve_body;
-use pathlog_core::program::Literal;
-use pathlog_core::semantics::Bindings;
+use pathlog_core::engine::{BindingKey, ConditionTask, Engine, EvalMode, EvalOptions, SortedRun};
+use pathlog_core::program::{literal_reads, DepKey, Literal};
+use pathlog_core::semantics::{Bindings, DeltaView, EvalMarks};
 use pathlog_core::structure::{Oid, Structure};
 
 use crate::action::{apply_action, Action, ActionEffect};
@@ -101,6 +125,16 @@ pub struct ProductionOptions {
     pub conflict_resolution: ConflictResolution,
     /// Create virtual objects for undefined scalar paths in assert actions.
     pub create_virtuals: bool,
+    /// How a cycle's condition batch is executed: inline on the calling
+    /// thread, or fanned over the shared persistent worker pool.  Pooled
+    /// runs are bit-identical to sequential ones (see the module docs).
+    pub mode: EvalMode,
+    /// Skip re-solving conditions whose solution set provably did not change
+    /// since the rule's last watermark (see the module docs).  Disabling
+    /// this re-matches every rule every cycle — the ablation arm of the E18
+    /// experiment; firings, trace and final structure are identical either
+    /// way.
+    pub delta_gated: bool,
 }
 
 impl Default for ProductionOptions {
@@ -110,11 +144,15 @@ impl Default for ProductionOptions {
             refractory: true,
             conflict_resolution: ConflictResolution::Priority,
             create_virtuals: true,
+            mode: EvalMode::Sequential,
+            delta_gated: true,
         }
     }
 }
 
-/// Statistics of one production run.
+/// Statistics of one production run.  Counters saturate instead of wrapping,
+/// so aggregating many runs (see [`ProductionStats::merge`]) cannot overflow
+/// in debug builds.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ProductionStats {
     /// Recognise–act cycles executed.
@@ -127,6 +165,26 @@ pub struct ProductionStats {
     pub retracted: usize,
     /// Virtual objects created by actions.
     pub virtual_objects: usize,
+    /// Conditions solved (one per dirty rule per cycle).
+    pub condition_solves: usize,
+    /// Condition solves skipped because the rule's cached solutions were
+    /// provably still valid (delta-gated matching only).
+    pub condition_skips: usize,
+}
+
+impl ProductionStats {
+    /// Fold the counters of another run into this one.  Every field is
+    /// summed with saturating arithmetic, mirroring
+    /// [`EvalStats::merge`](pathlog_core::engine::EvalStats::merge).
+    pub fn merge(&mut self, other: &ProductionStats) {
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        self.firings = self.firings.saturating_add(other.firings);
+        self.asserted = self.asserted.saturating_add(other.asserted);
+        self.retracted = self.retracted.saturating_add(other.retracted);
+        self.virtual_objects = self.virtual_objects.saturating_add(other.virtual_objects);
+        self.condition_solves = self.condition_solves.saturating_add(other.condition_solves);
+        self.condition_skips = self.condition_skips.saturating_add(other.condition_skips);
+    }
 }
 
 /// One entry of the firing trace.
@@ -141,10 +199,21 @@ pub struct Firing {
 }
 
 /// The production rule engine.
-#[derive(Debug, Clone, Default)]
+///
+/// The embedded deductive [`Engine`] carries the executor configuration: in
+/// parallel mode its persistent worker pool is created lazily on the first
+/// batched recognise phase and reused across cycles, runs and clones.
+#[derive(Debug, Clone)]
 pub struct ProductionEngine {
     rules: Vec<ProductionRule>,
     options: ProductionOptions,
+    core: Engine,
+}
+
+impl Default for ProductionEngine {
+    fn default() -> Self {
+        Self::with_options(ProductionOptions::default())
+    }
 }
 
 impl ProductionEngine {
@@ -158,6 +227,10 @@ impl ProductionEngine {
         ProductionEngine {
             rules: Vec::new(),
             options,
+            core: Engine::with_options(EvalOptions {
+                mode: options.mode,
+                ..EvalOptions::default()
+            }),
         }
     }
 
@@ -188,7 +261,29 @@ impl ProductionEngine {
     pub fn run_traced(&self, structure: &mut Structure) -> Result<(ProductionStats, Vec<Firing>)> {
         let mut stats = ProductionStats::default();
         let mut trace = Vec::new();
-        let mut fired: BTreeSet<(usize, Vec<(String, Oid)>)> = BTreeSet::new();
+        let mut fired: Vec<BTreeSet<BindingKey>> = vec![BTreeSet::new(); self.rules.len()];
+
+        // Per-rule condition caches for delta-gated re-matching.
+        let bodies: Arc<[Vec<Literal>]> = self
+            .rules
+            .iter()
+            .map(|r| r.condition.clone())
+            .collect::<Vec<_>>()
+            .into();
+        let reads: Vec<BTreeSet<DepKey>> = self
+            .rules
+            .iter()
+            .map(|r| r.condition.iter().flat_map(|l| literal_reads(&l.term)).collect())
+            .collect();
+        let mut cache: Vec<SortedRun> = vec![Vec::new(); self.rules.len()];
+        let mut marks: Vec<Option<EvalMarks>> = vec![None; self.rules.len()];
+        // Insertion-log windows are only meaningful across retraction-free
+        // spans, and a retraction can both remove solutions (positive
+        // literals) and add them (negated literals) — so any retraction
+        // since a rule's watermark forces a re-solve.  The counter ticks
+        // once per retracting action.
+        let mut retractions: usize = 0;
+        let mut retract_marks: Vec<usize> = vec![0; self.rules.len()];
 
         loop {
             if stats.cycles >= self.options.max_cycles {
@@ -197,63 +292,119 @@ impl ProductionEngine {
                     self.options.max_cycles
                 )));
             }
-            stats.cycles += 1;
+            stats.cycles = stats.cycles.saturating_add(1);
 
-            // Recognise: build the conflict set.
-            let mut conflict_set: Vec<(usize, Bindings)> = Vec::new();
-            for (index, rule) in self.rules.iter().enumerate() {
-                for bindings in solve_body(structure, &rule.condition, &Bindings::new())? {
-                    let key = (index, instantiation_key(&bindings));
-                    if self.options.refractory && fired.contains(&key) {
-                        continue;
+            // Recognise: re-solve the rules whose solutions may have
+            // changed, as one batch against the frozen structure.
+            let now = EvalMarks::capture(structure);
+            // The delta windows of this cycle, one per distinct lower
+            // watermark (rules last solved in the same cycle share one).
+            let mut windows: Vec<(EvalMarks, DeltaView)> = Vec::new();
+            let mut dirty: Vec<usize> = Vec::new();
+            for r in 0..self.rules.len() {
+                let must_solve = match marks[r] {
+                    None => true,
+                    Some(_) if !self.options.delta_gated => true,
+                    Some(_) if retract_marks[r] != retractions => true,
+                    Some(lo) if lo == now => false,
+                    Some(lo) => {
+                        let view = match windows.iter().position(|(m, _)| *m == lo) {
+                            Some(i) => &windows[i].1,
+                            None => {
+                                windows.push((lo, DeltaView::between(structure, &lo, &now)));
+                                &windows.last().expect("just pushed").1
+                            }
+                        };
+                        view.has_new_objects()
+                            || view.sigs_changed()
+                            || reads[r].iter().any(|k| match k {
+                                DepKey::Unknown => true,
+                                DepKey::Known(name) => structure
+                                    .lookup_name(name)
+                                    .is_some_and(|oid| view.has_new_facts_for(oid)),
+                            })
                     }
-                    conflict_set.push((index, bindings));
+                };
+                if must_solve {
+                    dirty.push(r);
+                } else {
+                    stats.condition_skips = stats.condition_skips.saturating_add(1);
+                    // The skipped window was proven irrelevant to this rule,
+                    // so slide its watermark forward: the next cycle's check
+                    // stays O(that cycle's delta) instead of re-slicing an
+                    // ever-growing window back to the rule's last solve.
+                    marks[r] = Some(now);
                 }
             }
-            if conflict_set.is_empty() {
-                break;
+            if !dirty.is_empty() {
+                let tasks = dirty
+                    .iter()
+                    .map(|&r| ConditionTask {
+                        body: r,
+                        seed: Bindings::new(),
+                    })
+                    .collect();
+                let runs = self.core.solve_conditions(structure, Arc::clone(&bodies), tasks)?;
+                for (&r, run) in dirty.iter().zip(runs) {
+                    stats.condition_solves = stats.condition_solves.saturating_add(1);
+                    cache[r] = run;
+                    marks[r] = Some(now);
+                    retract_marks[r] = retractions;
+                }
             }
 
-            // Resolve: order and pick the first instantiation.
-            conflict_set.sort_by(|(ia, ba), (ib, bb)| {
-                let by_priority = match self.options.conflict_resolution {
-                    ConflictResolution::Priority => self.rules[*ib].priority.cmp(&self.rules[*ia].priority),
-                    ConflictResolution::DefinitionOrder => std::cmp::Ordering::Equal,
+            // Resolve: the first unfired instantiation in canonical
+            // priority-then-rule-then-`binding_key` order.  Within a rule's
+            // run the keys ascend, so its first unfired entry is its best
+            // candidate.
+            let mut best: Option<(i64, usize, &BindingKey, &Bindings)> = None;
+            for (r, run) in cache.iter().enumerate() {
+                let rank = match self.options.conflict_resolution {
+                    // Negated so that smaller ranks win for higher priorities.
+                    ConflictResolution::Priority => -self.rules[r].priority,
+                    ConflictResolution::DefinitionOrder => 0,
                 };
-                by_priority
-                    .then(ia.cmp(ib))
-                    .then_with(|| instantiation_key(ba).cmp(&instantiation_key(bb)))
-            });
-            let (index, bindings) = conflict_set.into_iter().next().expect("non-empty conflict set");
+                if let Some((key, bindings)) = run
+                    .iter()
+                    .find(|(key, _)| !(self.options.refractory && fired[r].contains(key)))
+                {
+                    let better = match &best {
+                        None => true,
+                        Some((brank, br, bkey, _)) => (rank, r, key) < (*brank, *br, *bkey),
+                    };
+                    if better {
+                        best = Some((rank, r, key, bindings));
+                    }
+                }
+            }
+            let Some((_, index, key, bindings)) = best else {
+                break; // quiescence
+            };
+            let (key, bindings) = (key.clone(), bindings.clone());
             let rule = &self.rules[index];
 
             // Act.
             for action in &rule.actions {
                 let effect: ActionEffect = apply_action(structure, action, &bindings, self.options.create_virtuals)?;
-                stats.asserted += effect.asserted;
-                stats.retracted += effect.retracted;
-                stats.virtual_objects += effect.virtual_objects;
+                stats.asserted = stats.asserted.saturating_add(effect.asserted);
+                stats.retracted = stats.retracted.saturating_add(effect.retracted);
+                stats.virtual_objects = stats.virtual_objects.saturating_add(effect.virtual_objects);
+                if effect.retracted > 0 {
+                    retractions += 1;
+                }
             }
-            stats.firings += 1;
-            let key = instantiation_key(&bindings);
+            stats.firings = stats.firings.saturating_add(1);
             trace.push(Firing {
                 cycle: stats.cycles,
                 rule: rule.name.clone(),
-                bindings: key.clone(),
+                bindings: key.iter().map(|(v, o)| (v.to_string(), Oid(*o))).collect(),
             });
             if self.options.refractory {
-                fired.insert((index, key));
+                fired[index].insert(key);
             }
         }
         Ok((stats, trace))
     }
-}
-
-/// A canonical, comparable form of an instantiation.
-fn instantiation_key(bindings: &Bindings) -> Vec<(String, Oid)> {
-    let mut pairs: Vec<(String, Oid)> = bindings.iter().map(|(v, o)| (v.name().to_string(), o)).collect();
-    pairs.sort();
-    pairs
 }
 
 #[cfg(test)]
@@ -402,6 +553,146 @@ mod tests {
         ));
         let err = engine.run(&mut s).unwrap_err();
         assert!(matches!(err, ReactiveError::LimitExceeded(_)));
+    }
+
+    /// A three-phase classification cascade whose later phases stop touching
+    /// the earlier phases' read keys — the shape delta gating exploits.
+    fn classification_engine(options: ProductionOptions) -> ProductionEngine {
+        let mut engine = ProductionEngine::with_options(options);
+        engine.add_rule(ProductionRule::new(
+            "staff",
+            vec![lit(Term::var("X").isa("employee"))],
+            vec![Action::Assert(Term::var("X").isa("staff"))],
+        ));
+        engine.add_rule(ProductionRule::new(
+            "low-band",
+            vec![
+                lit(Term::var("X")
+                    .isa("staff")
+                    .filter(Filter::scalar("salary", Term::var("S")))),
+                lit(Term::var("S").scalar_args("lt", vec![Term::int(1600)])),
+            ],
+            vec![Action::Assert(Term::var("X").isa("lowBand"))],
+        ));
+        engine.add_rule(ProductionRule::new(
+            "high-band",
+            vec![
+                lit(Term::var("X")
+                    .isa("staff")
+                    .filter(Filter::scalar("salary", Term::var("S")))),
+                lit(Term::var("S").scalar_args("ge", vec![Term::int(1600)])),
+            ],
+            vec![Action::Assert(Term::var("X").isa("highBand"))],
+        ));
+        engine
+    }
+
+    /// The payroll structure with the classification threshold interned (a
+    /// comparison literal can only valuate constants that exist in the
+    /// universe).
+    fn payroll_with_threshold() -> Structure {
+        let mut s = payroll();
+        s.int(1600);
+        s
+    }
+
+    #[test]
+    fn pooled_runs_are_bit_identical_to_sequential_runs() {
+        let (seq_stats, seq_trace, seq_dump) = {
+            let mut s = payroll_with_threshold();
+            let engine = classification_engine(ProductionOptions::default());
+            let (stats, trace) = engine.run_traced(&mut s).unwrap();
+            (stats, trace, s.canonical_dump())
+        };
+        assert_eq!(seq_stats.firings, 6, "3 staff + 2 low-band + 1 high-band");
+        for workers in [1usize, 2, 4] {
+            let mut s = payroll_with_threshold();
+            let engine = classification_engine(ProductionOptions {
+                mode: EvalMode::Parallel { workers },
+                ..ProductionOptions::default()
+            });
+            let (stats, trace) = engine.run_traced(&mut s).unwrap();
+            assert_eq!(stats, seq_stats, "stats must match at {workers} workers");
+            assert_eq!(trace, seq_trace, "firing order must match at {workers} workers");
+            assert_eq!(s.canonical_dump(), seq_dump, "models must match at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn delta_gating_skips_unaffected_rules_without_changing_the_run() {
+        let run = |delta_gated: bool| {
+            let mut s = payroll_with_threshold();
+            let engine = classification_engine(ProductionOptions {
+                delta_gated,
+                ..ProductionOptions::default()
+            });
+            let (stats, trace) = engine.run_traced(&mut s).unwrap();
+            (stats, trace, s.canonical_dump())
+        };
+        let (gated, gated_trace, gated_dump) = run(true);
+        let (full, full_trace, full_dump) = run(false);
+        assert_eq!(gated.firings, full.firings);
+        assert_eq!(gated.asserted, full.asserted);
+        assert_eq!(gated_trace, full_trace);
+        assert_eq!(gated_dump, full_dump);
+        // The full arm re-solves every rule every cycle; the gated arm only
+        // re-solves rules whose read keys the last firing touched.
+        assert_eq!(full.condition_solves, full.cycles * 3);
+        assert_eq!(full.condition_skips, 0);
+        assert!(
+            gated.condition_solves < full.condition_solves,
+            "gating must reduce solves ({} vs {})",
+            gated.condition_solves,
+            full.condition_solves
+        );
+        assert!(gated.condition_skips > 0);
+    }
+
+    #[test]
+    fn retraction_invalidates_cached_conditions() {
+        // The minimum-wage rule retracts the fact its own condition reads;
+        // gating must re-solve after the retraction or it would refire on
+        // the stale cached instantiation.
+        for delta_gated in [true, false] {
+            let mut s = payroll();
+            let mut engine = ProductionEngine::with_options(ProductionOptions {
+                delta_gated,
+                ..ProductionOptions::default()
+            });
+            engine.add_rule(ProductionRule::new(
+                "minimum-wage",
+                vec![
+                    lit(Term::var("X")
+                        .isa("employee")
+                        .filter(Filter::scalar("salary", Term::var("S")))),
+                    lit(Term::var("S").scalar_args("lt", vec![Term::int(1000)])),
+                ],
+                vec![
+                    Action::Retract(Term::var("X").filter(Filter::scalar("salary", Term::var("S")))),
+                    Action::Assert(Term::var("X").filter(Filter::scalar("salary", Term::int(1000)))),
+                ],
+            ));
+            let stats = engine.run(&mut s).unwrap();
+            assert_eq!(stats.firings, 1, "delta_gated={delta_gated}");
+        }
+    }
+
+    #[test]
+    fn stats_merge_saturates() {
+        let mut total = ProductionStats {
+            cycles: usize::MAX - 1,
+            firings: 10,
+            ..ProductionStats::default()
+        };
+        total.merge(&ProductionStats {
+            cycles: 5,
+            firings: 2,
+            condition_solves: 7,
+            ..ProductionStats::default()
+        });
+        assert_eq!(total.cycles, usize::MAX, "saturates instead of overflowing");
+        assert_eq!(total.firings, 12);
+        assert_eq!(total.condition_solves, 7);
     }
 
     #[test]

@@ -23,17 +23,28 @@
 //! `cargo run --example pathlog_shell -- --mode par --workers 4`.  Parallel
 //! runs use the engine's persistent worker pool and are bit-identical to
 //! sequential ones.
+//!
+//! `--reactive` skips the interactive loop and runs the active-database
+//! demo instead: salary updates pushed through an ECA trigger fan-out on
+//! the pooled snapshot-rounds schedule (`--mode`/`--workers` select the
+//! executor exactly as for the deductive engine), cross-checked against a
+//! sequential run of the same store.
 
 use std::io::{self, BufRead, Write};
 
+use pathlog::core::names::Name;
+use pathlog::core::program::Literal;
 use pathlog::prelude::*;
+use pathlog::reactive::{ActiveOptions, ActiveStats, ActiveStore, CascadeSchedule, EcaAction, EcaRule, Event};
 
-/// Parse `--workers N` / `--mode seq|par` into evaluation options.
-fn options_from_args() -> EvalOptions {
+/// Parse `--workers N` / `--mode seq|par` / `--reactive`; returns the
+/// evaluation options and whether the reactive demo was requested.
+fn options_from_args() -> (EvalOptions, bool) {
     let mut workers: Option<usize> = None;
     let mut mode: Option<&'static str> = None;
+    let mut reactive = false;
     let usage = || -> ! {
-        eprintln!("usage: pathlog_shell [--mode seq|par] [--workers N]");
+        eprintln!("usage: pathlog_shell [--mode seq|par] [--workers N] [--reactive]");
         std::process::exit(2);
     };
     let mut args = std::env::args().skip(1);
@@ -48,6 +59,7 @@ fn options_from_args() -> EvalOptions {
                 Some("par") => mode = Some("par"),
                 _ => usage(),
             },
+            "--reactive" => reactive = true,
             _ => usage(),
         }
     }
@@ -65,14 +77,124 @@ fn options_from_args() -> EvalOptions {
     } else {
         EvalMode::Sequential
     };
-    EvalOptions {
-        mode: eval_mode,
-        ..EvalOptions::default()
+    (
+        EvalOptions {
+            mode: eval_mode,
+            ..EvalOptions::default()
+        },
+        reactive,
+    )
+}
+
+/// An active store over a tiny payroll with a salary-event fan-out (three
+/// rules on one event, one cascaded audit rule) on the given schedule/mode.
+fn demo_store(schedule: CascadeSchedule, mode: EvalMode) -> ActiveStore {
+    let mut s = Structure::new();
+    let employee = s.atom("employee");
+    for name in ["ann", "bob", "cleo"] {
+        let p = s.atom(name);
+        s.add_isa(p, employee);
     }
+    let mut store = ActiveStore::with_options(
+        s,
+        ActiveOptions {
+            schedule,
+            mode,
+            ..ActiveOptions::default()
+        },
+    );
+    store.add_rule(EcaRule::new(
+        "mark-paid",
+        Event::ScalarAsserted(Name::atom("salary")),
+        vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+        vec![EcaAction::AddIsA {
+            object: Term::var("Receiver"),
+            class: Name::atom("paid"),
+        }],
+    ));
+    store.add_rule(EcaRule::new(
+        "keep-history",
+        Event::ScalarAsserted(Name::atom("salary")),
+        vec![Literal::pos(Term::var("Receiver").isa("employee"))],
+        vec![EcaAction::AddSetMember {
+            receiver: Term::var("Receiver"),
+            method: Name::atom("payHistory"),
+            member: Term::var("Value"),
+        }],
+    ));
+    store.add_rule(EcaRule::new(
+        "derive-bonus",
+        Event::ScalarAsserted(Name::atom("salary")),
+        vec![],
+        vec![EcaAction::AssertScalar {
+            receiver: Term::var("Receiver"),
+            method: Name::atom("bonusBase"),
+            value: Term::var("Value"),
+        }],
+    ));
+    store.add_rule(EcaRule::new(
+        "audit",
+        Event::ScalarAsserted(Name::atom("bonusBase")),
+        vec![],
+        vec![EcaAction::AddIsA {
+            object: Term::var("Receiver"),
+            class: Name::atom("audited"),
+        }],
+    ));
+    store
+}
+
+/// Push the demo's salary updates through `store`, printing per-mutation
+/// firings; returns the aggregate stats and the final canonical dump.
+fn run_demo(store: &mut ActiveStore, verbose: bool) -> (ActiveStats, String) {
+    let salary = store.oid("salary");
+    let mut total = ActiveStats::default();
+    for (name, pay) in [("ann", 900), ("bob", 1500), ("cleo", 2000)] {
+        let p = store.oid(name);
+        let amount = store.int(pay);
+        let stats = store.assert_scalar(salary, p, amount).expect("triggers run");
+        if verbose {
+            println!(
+                "  {name}[salary -> {pay}]: {} firings, {} mutations, depth {}",
+                stats.firings, stats.mutations, stats.max_depth_reached
+            );
+        }
+        total.merge(&stats);
+    }
+    (total, store.structure().canonical_dump())
+}
+
+/// The `--reactive` demo: the pooled active store versus a sequential run of
+/// the same rule set (the results must be bit-identical).
+fn reactive_demo(options: EvalOptions) {
+    match options.mode {
+        EvalMode::Sequential => println!("reactive demo: snapshot-rounds schedule, sequential"),
+        EvalMode::Parallel { workers } => {
+            println!("reactive demo: snapshot-rounds schedule, pooled condition batches ({workers} workers)")
+        }
+    }
+    let mut store = demo_store(CascadeSchedule::Rounds, options.mode);
+    let (total, dump) = run_demo(&mut store, true);
+    println!(
+        "quiescent: {} firings, {} mutations, max cascade depth {}",
+        total.firings, total.mutations, total.max_depth_reached
+    );
+    let mut reference = demo_store(CascadeSchedule::Rounds, EvalMode::Sequential);
+    let (ref_total, ref_dump) = run_demo(&mut reference, false);
+    assert_eq!(total, ref_total, "pooled stats must match sequential");
+    assert_eq!(dump, ref_dump, "pooled structure must match sequential");
+    println!("cross-check: bit-identical to the sequential run");
+    let structure = store.into_structure();
+    let audited = structure.lookup_name(&Name::atom("audited")).expect("audited class");
+    println!("audited employees: {}", structure.instances_of(audited).count());
 }
 
 fn main() {
-    let options = options_from_args();
+    let (options, reactive) = options_from_args();
+    if reactive {
+        reactive_demo(options);
+        return;
+    }
     let mut structure = Structure::new();
     let engine = Engine::with_options(options);
     let stdin = io::stdin();

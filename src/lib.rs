@@ -59,6 +59,9 @@ pub mod prelude {
     pub use pathlog_flogic::{FlatEngine, Translator};
     pub use pathlog_oodb::{ObjectStore, Schema, Value};
     pub use pathlog_parser::{parse_program, parse_query, parse_rule, parse_term};
-    pub use pathlog_reactive::{Action, ActiveStore, EcaRule, ProductionEngine, ProductionRule};
+    pub use pathlog_reactive::{
+        Action, ActiveOptions, ActiveStore, CascadeSchedule, EcaRule, ProductionEngine, ProductionOptions,
+        ProductionRule,
+    };
     pub use pathlog_sqlfront::Catalog;
 }

@@ -2,17 +2,23 @@
 //! reproduction: retraction in the fact store, the object-SQL frontend, the
 //! F-logic translation, the equivalence of naive and semi-naive
 //! (per-literal delta-join) evaluation, the observational equivalence of
-//! sequential and parallel (sharded-delta) evaluation, and the reuse of one
-//! engine's persistent worker pool across repeated runs.
+//! sequential and parallel (sharded-delta) evaluation, the reuse of one
+//! engine's persistent worker pool across repeated runs, and the
+//! equivalence of pooled and sequential *reactive* evaluation (production
+//! recognise batches and active-store snapshot rounds).
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use proptest::prelude::*;
 
+use pathlog::core::names::Name;
 use pathlog::core::structure::{Oid, Structure};
 use pathlog::core::term::Term;
 use pathlog::flogic::Translator;
 use pathlog::prelude::*;
+use pathlog::reactive::{
+    Action, ActiveOptions, ActiveStats, CascadeSchedule, EcaAction, EcaRule, Event, ProductionOptions,
+};
 use pathlog::sqlfront;
 
 // ---------------------------------------------------------------------------
@@ -459,6 +465,123 @@ proptest! {
                 "models must be byte-identical in round {}", round);
         }
         prop_assert!(reused.threads_spawned() <= 4);
+    }
+
+    // -----------------------------------------------------------------------
+    // 5. Reactive evaluation through the executor: pooled condition batches
+    //    must be bit-identical to sequential runs — production recognise
+    //    phases (with and without delta gating) on random trees, and
+    //    active-store snapshot rounds on random (possibly cyclic) graphs
+    //    with repeated mutations reusing one store's pool.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn pooled_production_matches_sequential_on_random_trees(
+        depth in 1usize..4,
+        fanout in 1usize..4,
+        seed in 0u64..300,
+        workers in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let structure = pathlog::datagen::genealogy_structure(
+            &pathlog::datagen::GenealogyParams { roots: 1, depth, fanout, seed });
+        // The desc closure as production rules, plus a key-disjoint
+        // classification phase (parents get marked once desc exists).
+        let rules = parse_program(
+            "X[desc ->> {Y}] <- X[kids ->> {Y}].\n\
+             X[desc ->> {Y}] <- X..desc[kids ->> {Y}].\n\
+             X : lineage <- X[desc ->> {Y}].\n").unwrap().rules;
+        let run = |options: ProductionOptions| {
+            let mut s = structure.clone();
+            let mut engine = ProductionEngine::with_options(options);
+            for rule in &rules {
+                engine.add_rule(ProductionRule::new(
+                    "r",
+                    rule.body.clone(),
+                    vec![Action::Assert(rule.head.clone())],
+                ));
+            }
+            let (stats, trace) = engine.run_traced(&mut s).expect("production run reaches quiescence");
+            (stats, trace, s.canonical_dump())
+        };
+        let base = ProductionOptions { max_cycles: 100_000, ..ProductionOptions::default() };
+        let (seq_stats, seq_trace, seq_dump) = run(base);
+        // Pooled ≡ sequential, bit for bit.
+        let (par_stats, par_trace, par_dump) = run(ProductionOptions {
+            mode: EvalMode::Parallel { workers },
+            ..base
+        });
+        prop_assert_eq!(par_stats, seq_stats, "stats must match at {} workers", workers);
+        prop_assert_eq!(par_trace, seq_trace, "firing order must match at {} workers", workers);
+        prop_assert_eq!(par_dump, seq_dump.clone(), "models must match at {} workers", workers);
+        // Delta gating is an optimisation, not a semantics change.
+        let (full_stats, full_trace, full_dump) = run(ProductionOptions { delta_gated: false, ..base });
+        prop_assert_eq!(full_stats.firings, seq_stats.firings);
+        prop_assert_eq!(full_trace, seq_trace);
+        prop_assert_eq!(full_dump, seq_dump);
+        prop_assert!(full_stats.condition_solves >= seq_stats.condition_solves,
+            "gating may only reduce solves ({} vs {})", seq_stats.condition_solves, full_stats.condition_solves);
+    }
+
+    #[test]
+    fn pooled_active_rounds_match_sequential_on_random_graphs(
+        edges in prop::collection::vec((0u8..8, 0u8..8), 1..25),
+        workers in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        // One store per mode; every edge insertion is an external mutation
+        // reusing the same store (and, pooled, the same worker pool).  The
+        // trigger fan-out: two rules on the same event plus a cascaded rule.
+        let run = |mode: EvalMode| {
+            let mut s = Structure::new();
+            let person = s.atom("person");
+            let nodes: Vec<Oid> = (0..8).map(|i| s.atom(&format!("n{i}"))).collect();
+            for &n in &nodes {
+                s.add_isa(n, person);
+            }
+            let mut store = ActiveStore::with_options(s, ActiveOptions {
+                schedule: CascadeSchedule::Rounds,
+                mode,
+                ..ActiveOptions::default()
+            });
+            store.add_rule(EcaRule::new(
+                "track-member",
+                Event::SetMemberAdded(Name::atom("kids")),
+                vec![Literal::pos(Term::var("Member").isa("person"))],
+                vec![EcaAction::AddIsA {
+                    object: Term::var("Member"),
+                    class: Name::atom("child"),
+                }],
+            ));
+            store.add_rule(EcaRule::new(
+                "mirror",
+                Event::SetMemberAdded(Name::atom("kids")),
+                vec![],
+                vec![EcaAction::AddSetMember {
+                    receiver: Term::var("Member"),
+                    method: Name::atom("parents"),
+                    member: Term::var("Receiver"),
+                }],
+            ));
+            store.add_rule(EcaRule::new(
+                "on-parenthood",
+                Event::SetMemberAdded(Name::atom("parents")),
+                vec![],
+                vec![EcaAction::AddIsA {
+                    object: Term::var("Member"),
+                    class: Name::atom("parent"),
+                }],
+            ));
+            let kids = store.oid("kids");
+            let mut total = ActiveStats::default();
+            for &(a, b) in &edges {
+                let (from, to) = (store.oid(&format!("n{a}")), store.oid(&format!("n{b}")));
+                total.merge(&store.add_set_member(kids, from, to).expect("triggers run"));
+            }
+            (total, store.into_structure().canonical_dump())
+        };
+        let (seq_stats, seq_dump) = run(EvalMode::Sequential);
+        let (par_stats, par_dump) = run(EvalMode::Parallel { workers });
+        prop_assert_eq!(par_stats, seq_stats, "stats must match at {} workers", workers);
+        prop_assert_eq!(par_dump, seq_dump, "models must match at {} workers", workers);
     }
 
     #[test]
