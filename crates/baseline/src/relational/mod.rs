@@ -201,7 +201,7 @@ impl RelationalDb {
                 let rel = attrs
                     .entry(a.clone())
                     .or_insert_with(|| Relation::new(&["subject", "value"]));
-                for &m in &fact.members {
+                for &m in fact.members {
                     rel.rows.push(vec![fact.receiver, m]);
                 }
             }

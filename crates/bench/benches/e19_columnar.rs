@@ -1,0 +1,37 @@
+//! Experiment E19: columnar fact storage + factorized path answers — the
+//! speed side.  Benchmarks building the factorized answer DAG of `X..desc`
+//! against materializing the exploded tuples, on the closed genealogy at
+//! increasing depth, plus the lazy enumeration of the DAG (which must cost
+//! no more than walking the tuple vector it replaces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_bench::{columnar_factorized, workloads};
+
+fn bench_e19_columnar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e19_columnar");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &depth in &[6usize, 8, 10] {
+        let label = format!("d{depth}f2");
+        let closed = columnar_factorized::close(&workloads::genealogy(depth, 2));
+        group.bench_with_input(BenchmarkId::new("materialized_tuples", &label), &closed, |b, s| {
+            b.iter(|| columnar_factorized::materialized(s).len())
+        });
+        group.bench_with_input(BenchmarkId::new("factorized_dag", &label), &closed, |b, s| {
+            b.iter(|| columnar_factorized::factorized(s).node_count())
+        });
+        let fact = columnar_factorized::factorized(&closed);
+        group.bench_with_input(BenchmarkId::new("factorized_enumerate", &label), &fact, |b, f| {
+            b.iter(|| {
+                let mut n = 0u64;
+                f.for_each(&mut |_, _| n += 1);
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e19_columnar);
+criterion_main!(benches);

@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use pathlog_baseline::RelationalDb;
 use pathlog_bench::{
-    colours, flogic_translation, manager_query, parsing, parts_explosion, reactive_rules, sql_frontend,
-    transitive_closure, two_dimensional, virtual_objects, workloads, Row,
+    colours, columnar_factorized, flogic_translation, manager_query, parsing, parts_explosion, reactive_rules, rss,
+    sql_frontend, transitive_closure, two_dimensional, virtual_objects, workloads, Row,
 };
 
 fn time_ms(mut f: impl FnMut() -> usize) -> (usize, f64) {
@@ -37,6 +37,9 @@ fn time_ms(mut f: impl FnMut() -> usize) -> (usize, f64) {
 #[derive(Default)]
 struct Report {
     tables: Vec<(String, Vec<Row>)>,
+    /// Per-arm peak-RSS increments in kilobytes, recorded into the JSON
+    /// meta block (0 on platforms without `/proc` support).
+    peak_rss_kb: Vec<(String, u64)>,
 }
 
 /// The number of hardware threads the host exposes.  Recorded in the JSON
@@ -56,6 +59,11 @@ impl Report {
         self.tables.push((title.to_string(), rows));
     }
 
+    /// Record one arm's peak-RSS increment for the JSON meta block.
+    fn record_peak_rss(&mut self, arm: &str, kb: u64) {
+        self.peak_rss_kb.push((arm.to_string(), kb));
+    }
+
     /// Serialise as JSON.  The values are answer sizes and millisecond
     /// timings; names are plain ASCII, so escaping quotes and backslashes
     /// suffices.
@@ -63,8 +71,16 @@ impl Report {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
+        let mut rss = String::from("{");
+        for (i, (arm, kb)) in self.peak_rss_kb.iter().enumerate() {
+            if i > 0 {
+                rss.push_str(", ");
+            }
+            rss.push_str(&format!("\"{}\": {kb}", esc(arm)));
+        }
+        rss.push('}');
         let mut out = format!(
-            "{{\n  \"meta\": {{\"detected_cores\": {}}},\n  \"experiments\": [\n",
+            "{{\n  \"meta\": {{\"detected_cores\": {}, \"peak_rss_kb\": {rss}}},\n  \"experiments\": [\n",
             detected_cores()
         );
         for (t, (title, rows)) in self.tables.iter().enumerate() {
@@ -104,22 +120,31 @@ fn format_number(v: f64) -> String {
 fn main() {
     let args = parse_args();
     let mut report = Report::default();
+    // E17/E18/E19 are the cross-check gates the CI matrix arms invoke in
+    // isolation via `--only e17|e18|e19`; a full run includes all of them.
+    let wants = |name: &str| args.only.is_none() || args.only.as_deref() == Some(name);
     if args.only.is_none() {
         all_experiments(&mut report);
     }
-    // E17/E18 are the executor cross-checks the CI matrix arms invoke in
-    // isolation via `--only e17` / `--only e18`; a full run includes both.
-    if args.only.as_deref() != Some("e18") {
+    if wants("e17") {
         e17_executor_ablation(&mut report);
     }
-    if args.only.as_deref() != Some("e17") {
+    if wants("e18") {
         e18_reactive_executor(&mut report);
+    }
+    if wants("e19") {
+        e19_columnar_factorized(&mut report, args.scale);
     }
     match args.only.as_deref() {
         None => println!("\nAll experiments finished; answers agreed across PathLog and the baselines."),
         Some("e17") => println!(
             "\nE17 cross-checks passed: every executor/schedule arm matched the sequential fixpoint \
              (cross-rule arms bit-identical EvalStats)."
+        ),
+        Some("e19") => println!(
+            "\nE19 cross-checks passed: every parallel closure arm's canonical dump was bit-identical \
+             to the sequential reference, and the factorized enumeration matched the materialized \
+             tuples answer-for-answer."
         ),
         Some(_) => println!(
             "\nE18 cross-checks passed: pooled reactive evaluation matched the sequential runs \
@@ -635,22 +660,132 @@ fn e18_reactive_executor(report: &mut Report) {
     );
 }
 
-/// Command-line arguments: `[--json <path>] [--only e17|e18]`.
+/// E19 — columnar fact storage + factorized path answers.  The memory gate
+/// of the columnar refactor: on the depth-10 `desc` closure (at the datagen
+/// scale selected with `--scale`), every parallel/executor closure arm must
+/// produce a canonical dump bit-identical to the sequential reference, the
+/// factorized answer DAG of `X..desc` must enumerate answer-for-answer
+/// identically to the materialized tuples, and the DAG's peak-RSS increment
+/// is reported against the tuple representation's (factorized measured
+/// first, so allocator reuse biases the comparison *against* it).  The
+/// second table tracks representation size across the E7 depth sweep: DAG
+/// nodes must grow sub-linearly in the tuple count.
+fn e19_columnar_factorized(report: &mut Report, scale: usize) {
+    use pathlog_core::engine::{EvalMode, EvalOptions, ExecutorKind};
+    let tenfold = scale >= 10;
+
+    // --- Memory arm: depth-10 transitive closure.
+    let s = workloads::genealogy_at_scale(10, 2, tenfold);
+    let closed = columnar_factorized::close(&s);
+    let reference = closed.canonical_dump();
+    for workers in [1usize, 2, 4, 8] {
+        for (label, executor) in [("pooled", ExecutorKind::Pooled), ("scoped", ExecutorKind::Scoped)] {
+            let options = EvalOptions {
+                mode: EvalMode::Parallel { workers },
+                executor,
+                ..EvalOptions::default()
+            };
+            let dump = columnar_factorized::closed_dump(&s, options);
+            assert_eq!(
+                dump, reference,
+                "E19 {label} w{workers}: canonical dump must be bit-identical to the sequential reference"
+            );
+        }
+    }
+    let (fact, fact_kb) = rss::measure(|| columnar_factorized::factorized(&closed));
+    let (tuples, tuples_kb) = rss::measure(|| columnar_factorized::materialized(&closed));
+    assert!(fact.is_factorized(), "E19: X..desc must take the factorized path");
+    assert_eq!(fact.count(), tuples.len() as u64, "E19: answer counts must match");
+    assert!(
+        columnar_factorized::enumeration_matches(&fact, &tuples),
+        "E19: factorized enumeration must be bit-identical to the materialized tuples"
+    );
+    report.record_peak_rss(&format!("e19_factorized_scale{scale}"), fact_kb);
+    report.record_peak_rss(&format!("e19_materialized_scale{scale}"), tuples_kb);
+    // The headline claim, asserted only when the platform measured both
+    // arms meaningfully (>= 64 kB increments; /proc may be unavailable).
+    if fact_kb >= 64 && tuples_kb >= 64 {
+        assert!(
+            tuples_kb >= 2 * fact_kb,
+            "E19: factorized answers must at least halve the peak-RSS increment ({tuples_kb} kB vs {fact_kb} kB)"
+        );
+    }
+    let (_, fact_ms) = time_ms(|| columnar_factorized::factorized(&closed).node_count());
+    let (_, mat_ms) = time_ms(|| columnar_factorized::materialized(&closed).len());
+    report.table(
+        "E19: columnar + factorized answers (depth-10 closure memory arm)",
+        vec![Row {
+            scale: format!("depth=10 fanout=2 scale={scale}"),
+            values: vec![
+                ("answers".into(), tuples.len() as f64),
+                ("dag_nodes".into(), fact.node_count() as f64),
+                ("materialized_peak_rss_kb".into(), tuples_kb as f64),
+                ("factorized_peak_rss_kb".into(), fact_kb as f64),
+                ("materialized_ms".into(), mat_ms),
+                ("factorized_ms".into(), fact_ms),
+            ],
+        }],
+    );
+
+    // --- Representation-size sweep over the E7 depths.
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for &depth in &[4usize, 6, 8, 10] {
+        let s = workloads::genealogy(depth, 2);
+        let closed = columnar_factorized::close(&s);
+        let fact = columnar_factorized::factorized(&closed);
+        let tuples = columnar_factorized::materialized(&closed);
+        assert!(
+            columnar_factorized::enumeration_matches(&fact, &tuples),
+            "E19 depth={depth}: factorized enumeration must match the tuples"
+        );
+        let nodes = fact.node_count();
+        assert!(
+            nodes < tuples.len(),
+            "E19 depth={depth}: the DAG must be smaller than the tuple list"
+        );
+        let ratio = nodes as f64 / tuples.len() as f64;
+        ratios.push(ratio);
+        rows.push(Row {
+            scale: format!("depth={depth} fanout=2"),
+            values: vec![
+                ("answers".into(), tuples.len() as f64),
+                ("dag_nodes".into(), nodes as f64),
+                ("nodes_per_answer".into(), ratio),
+            ],
+        });
+    }
+    assert!(
+        ratios.last().unwrap() < ratios.first().unwrap(),
+        "E19: DAG nodes must grow sub-linearly in the answer count across the depth sweep"
+    );
+    report.table("E19b: factorized representation size across the E7 depth sweep", rows);
+}
+
+/// Command-line arguments: `[--json <path>] [--only e17|e18|e19] [--scale 1|10]`.
 struct Args {
     json: Option<String>,
     only: Option<String>,
+    /// Datagen scale multiplier: 1 uses the default presets, 10 the
+    /// `scaled10` presets (E19's large-scale memory arm).
+    scale: usize,
 }
 
 /// Parse the command line (exits with usage on anything unexpected).
 fn parse_args() -> Args {
-    let mut args = Args { json: None, only: None };
+    let mut args = Args {
+        json: None,
+        only: None,
+        scale: 1,
+    };
     let mut raw = std::env::args().skip(1);
     while let Some(flag) = raw.next() {
         match (flag.as_str(), raw.next()) {
             ("--json", Some(path)) => args.json = Some(path),
-            ("--only", Some(table)) if table == "e17" || table == "e18" => args.only = Some(table),
+            ("--only", Some(table)) if table == "e17" || table == "e18" || table == "e19" => args.only = Some(table),
+            ("--scale", Some(n)) if n == "1" || n == "10" => args.scale = n.parse().expect("validated"),
             _ => {
-                eprintln!("usage: experiments [--json <path>] [--only e17|e18]");
+                eprintln!("usage: experiments [--json <path>] [--only e17|e18|e19] [--scale 1|10]");
                 std::process::exit(2);
             }
         }

@@ -38,6 +38,19 @@ pub mod workloads {
         })
     }
 
+    /// The genealogy workload with the datagen scale presets applied: the
+    /// default single-tree parameters, or the 10x preset
+    /// ([`GenealogyParams::scaled10`], ten independent trees) when
+    /// `tenfold` is set — the E19 memory experiment's large-scale arm.
+    pub fn genealogy_at_scale(depth: usize, fanout: usize, tenfold: bool) -> Structure {
+        let base = if tenfold {
+            GenealogyParams::scaled10()
+        } else {
+            GenealogyParams::default()
+        };
+        pathlog_datagen::genealogy_structure(&GenealogyParams { depth, fanout, ..base })
+    }
+
     /// The exact six-person family of Section 6.
     pub fn paper_family() -> Structure {
         pathlog_datagen::paper_family().to_structure()
@@ -625,6 +638,104 @@ pub mod parts_explosion {
     pub fn relational(db: &RelationalDb) -> usize {
         let base = db.attr("subparts", "parent", "child");
         tc::transitive_closure(&base).len()
+    }
+}
+
+/// Peak-RSS measurement for the memory experiments (Linux only; zero on
+/// platforms or containers where `/proc` is unavailable, so callers must
+/// gate assertions on a non-zero reading).
+pub mod rss {
+    /// The process's peak resident set size in kilobytes (`VmHWM` from
+    /// `/proc/self/status`), or 0 when it cannot be read.
+    pub fn peak_rss_kb() -> u64 {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            }
+        }
+        0
+    }
+
+    /// Reset the peak-RSS watermark to the current RSS (write `5` to
+    /// `/proc/self/clear_refs`, Linux >= 4.0).  Returns whether the reset
+    /// succeeded; per-arm deltas are only meaningful when it did.
+    pub fn reset_peak_rss() -> bool {
+        std::fs::write("/proc/self/clear_refs", "5").is_ok()
+    }
+
+    /// Measure the peak-RSS increment of running `f`: reset the watermark,
+    /// run, and report `(result, delta_kb)`.  The delta is 0 when the
+    /// platform does not support the reset (never negative).
+    pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        let supported = reset_peak_rss();
+        let before = peak_rss_kb();
+        let result = f();
+        let after = peak_rss_kb();
+        let delta = if supported { after.saturating_sub(before) } else { 0 };
+        (result, delta)
+    }
+}
+
+/// Experiment E19: columnar fact storage + factorized path answers — the
+/// memory side of the refactor.  Compares the exploded tuple representation
+/// of `X..desc` answers against the factorized DAG (which shares the fact
+/// table's member runs), on the closure of a deep genealogy.
+pub mod columnar_factorized {
+    use super::*;
+
+    /// The query whose answers are product-shaped after closure.
+    pub const QUERY: &str = "X..desc";
+
+    /// Run the `desc` closure rules on a clone of `structure` and return the
+    /// closed structure (shared by both representation arms, so the closure
+    /// itself is outside any measured region).
+    pub fn close(structure: &Structure) -> Structure {
+        let mut s = structure.clone();
+        let program = parse_program(transitive_closure::DESC_RULES).expect("closure rules parse");
+        Engine::new().load_program(&mut s, &program).expect("closure evaluates");
+        s
+    }
+
+    /// Run the closure under arbitrary options and return the canonical
+    /// dump — the E19 bit-identity cross-check against the sequential
+    /// reference.
+    pub fn closed_dump(structure: &Structure, options: EvalOptions) -> String {
+        let mut s = structure.clone();
+        let program = parse_program(transitive_closure::DESC_RULES).expect("closure rules parse");
+        Engine::with_options(options)
+            .load_program(&mut s, &program)
+            .expect("closure evaluates");
+        s.canonical_dump()
+    }
+
+    /// Materialize the exploded answer tuples of [`QUERY`].
+    pub fn materialized(closed: &Structure) -> Vec<Answer> {
+        let term = parse_term(QUERY).expect("query parses");
+        Engine::new().query_term(closed, &term).expect("query evaluates")
+    }
+
+    /// Build the factorized answer DAG of [`QUERY`].
+    pub fn factorized(closed: &Structure) -> FactorizedAnswers {
+        let term = parse_term(QUERY).expect("query parses");
+        Engine::new()
+            .query_term_factorized(closed, &term)
+            .expect("query evaluates")
+    }
+
+    /// Check that the factorized enumeration is bit-identical to the
+    /// materialized tuples — same answers, same order — without
+    /// re-materializing the DAG into a second tuple vector.
+    pub fn enumeration_matches(fact: &FactorizedAnswers, tuples: &[Answer]) -> bool {
+        let mut i = 0usize;
+        let mut ok = true;
+        fact.for_each(&mut |bindings, object| {
+            ok = ok && i < tuples.len() && tuples[i].bindings == *bindings && tuples[i].object == object;
+            i += 1;
+        });
+        ok && i == tuples.len()
     }
 }
 

@@ -80,7 +80,9 @@ use std::sync::{Arc, OnceLock};
 use crate::error::{Error, Result};
 use crate::names::Name;
 use crate::program::{literal_reads, DepKey, Literal, Program, Query, Rule, RuleInfo};
-use crate::semantics::{answers, delta_answers, Answer, Bindings, DeltaView, EvalMarks, SnapshotWindow};
+use crate::semantics::{
+    answers, delta_answers, Answer, Bindings, DeltaView, EvalMarks, FactorizedAnswers, SnapshotWindow,
+};
 use crate::structure::{Oid, Structure};
 use crate::term::Term;
 
@@ -166,6 +168,12 @@ pub struct EvalOptions {
     /// Which executor carries parallel work: the persistent per-engine pool
     /// (default) or spawn-per-batch scoped threads.
     pub executor: ExecutorKind,
+    /// Minimum number of delta log entries before a parallel iteration
+    /// shards its delta view across workers
+    /// ([`DeltaView::shards`](crate::semantics::DeltaView)).  Below the
+    /// threshold the fan-out is all thread overhead; ablations lower it to
+    /// force sharding at small scales.
+    pub shard_min_entries: usize,
 }
 
 impl Default for EvalOptions {
@@ -178,6 +186,7 @@ impl Default for EvalOptions {
             mode: EvalMode::Sequential,
             schedule: Schedule::CrossRule,
             executor: ExecutorKind::Pooled,
+            shard_min_entries: crate::semantics::DEFAULT_SHARD_MIN_ENTRIES,
         }
     }
 }
@@ -486,7 +495,10 @@ impl Engine {
                         // will actually read the views (the last window of a
                         // stratum is typically non-empty yet drives nothing).
                         if !scheduled.is_empty() {
-                            views = match (workers > 1).then(|| dv.shards(workers)).flatten() {
+                            views = match (workers > 1)
+                                .then(|| dv.shards(workers, self.options.shard_min_entries))
+                                .flatten()
+                            {
                                 Some(shards) => shards,
                                 None => vec![dv],
                             };
@@ -617,7 +629,10 @@ impl Engine {
                                 continue;
                             }
                             stats.delta_solves += 1;
-                            let views = match (workers > 1).then(|| dv.shards(workers)).flatten() {
+                            let views = match (workers > 1)
+                                .then(|| dv.shards(workers, self.options.shard_min_entries))
+                                .flatten()
+                            {
                                 Some(shards) => shards,
                                 None => vec![dv],
                             };
@@ -752,6 +767,17 @@ impl Engine {
     pub fn query_term(&self, structure: &Structure, term: &Term) -> Result<Vec<Answer>> {
         require_registered_names(structure, term)?;
         answers(structure, term, &Bindings::new())
+    }
+
+    /// Answers of a single reference as a factorized representation: a DAG
+    /// of unions and products over shared fact-table runs when `term` has a
+    /// supported path shape, exploded tuples otherwise.  Enumeration order
+    /// is identical to [`Engine::query_term`] — the representations are
+    /// interchangeable — but for product-shaped answer sets the DAG is
+    /// asymptotically smaller than the tuple list.
+    pub fn query_term_factorized(&self, structure: &Structure, term: &Term) -> Result<FactorizedAnswers> {
+        require_registered_names(structure, term)?;
+        crate::semantics::factorized_answers(structure, term, &Bindings::new())
     }
 
     /// The objects denoted by a ground reference.  Like
@@ -1462,7 +1488,7 @@ mod tests {
             .run_rules(&mut s, &rules)
             .unwrap();
             let mark = oid(&s, "mark");
-            s.apply_set(mark, oid(&s, "x"), &[]).map(BTreeSet::len).unwrap_or(0)
+            s.apply_set(mark, oid(&s, "x"), &[]).map(|m| m.len()).unwrap_or(0)
         };
         let semi = run(true);
         let naive = run(false);

@@ -27,7 +27,7 @@
 use std::collections::BTreeSet;
 
 use crate::error::{Error, Result};
-use crate::structure::{Oid, Structure};
+use crate::structure::{Oid, OidRun, Structure};
 use crate::term::{Filter, FilterValue, Term};
 
 use super::{valuate, Bindings};
@@ -411,8 +411,9 @@ pub(crate) fn filter_value_answers(
             }
         }
         FilterValue::SetExplicit(elems) => {
-            let empty = BTreeSet::new();
-            let members = structure.apply_set(method, receiver, args).unwrap_or(&empty);
+            let members = structure
+                .apply_set(method, receiver, args)
+                .unwrap_or(OidRun::empty_ref());
             let mut states = vec![bindings.clone()];
             for e in elems {
                 let mut next = Vec::new();
@@ -458,7 +459,7 @@ pub(crate) fn element_answers(
     structure: &Structure,
     element: &Term,
     seed: &Bindings,
-    members: &BTreeSet<Oid>,
+    members: &OidRun,
 ) -> Result<Vec<Bindings>> {
     // Unbound variable: bind to every member (this is the paper's
     // "p1[assistants ->> {X[salary -> 1000]}]" access pattern).

@@ -37,7 +37,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::error::Result;
-use crate::structure::{Oid, Structure};
+use crate::structure::{Oid, OidRun, Structure};
 use crate::term::{Filter, FilterValue, Term};
 
 use super::answers::{
@@ -47,6 +47,10 @@ use super::answers::{
 use super::{valuate, Bindings};
 
 pub use crate::structure::EvalMarks;
+
+/// Default fan-out threshold for [`DeltaView::shards`]: below this many log
+/// entries a sharded solve is all thread overhead.
+pub const DEFAULT_SHARD_MIN_ENTRIES: usize = 128;
 
 /// A sliding snapshot window over a structure's insertion logs — the
 /// iteration-boundary plumbing of the engine's cross-rule scheduling.
@@ -238,13 +242,14 @@ impl DeltaView {
     /// fact new" membership tests, where the full range is conservative but
     /// sound.
     ///
-    /// Returns `None` when `n < 2` or the window is too small for the
-    /// fan-out overhead to pay off.
-    pub fn shards(&self, n: usize) -> Option<Vec<DeltaView>> {
-        /// Fan-out threshold: below this many log entries a sharded solve is
-        /// all thread overhead.
-        const SHARD_MIN_ENTRIES: usize = 128;
-        if n < 2 || self.entry_count() < SHARD_MIN_ENTRIES {
+    /// Returns `None` when `n < 2` or the window holds fewer than
+    /// `min_entries` log entries, below which a sharded solve is all thread
+    /// overhead.  The threshold is a tunable
+    /// ([`EvalOptions::shard_min_entries`](crate::engine::EvalOptions)), so
+    /// ablations can force sharding at small scales; the engine default is
+    /// [`DEFAULT_SHARD_MIN_ENTRIES`].
+    pub fn shards(&self, n: usize, min_entries: usize) -> Option<Vec<DeltaView>> {
+        if n < 2 || self.entry_count() < min_entries {
             return None;
         }
         let mut shards: Vec<DeltaView> = (0..n)
@@ -550,7 +555,7 @@ fn delta_path_answers(
                         if p.args.is_empty() {
                             out.push(Answer::new(rb, member));
                         } else {
-                            for ab in tuple_matching(structure, &p.args, &rb, &fact.args)? {
+                            for ab in tuple_matching(structure, &p.args, &rb, fact.args)? {
                                 out.push(Answer::new(ab, member));
                             }
                         }
@@ -579,7 +584,7 @@ fn delta_path_answers(
                         if p.args.is_empty() {
                             out.push(Answer::new(rb, fact.result));
                         } else {
-                            for ab in tuple_matching(structure, &p.args, &rb, &fact.args)? {
+                            for ab in tuple_matching(structure, &p.args, &rb, fact.args)? {
                                 out.push(Answer::new(ab, fact.result));
                             }
                         }
@@ -920,10 +925,10 @@ fn filter_delta_answers(
                     let empty = BTreeSet::new();
                     let (full_members, new_members) = match structure.facts().set_index(ma.object, receiver, &args) {
                         Some(idx) => (
-                            &structure.facts().set_fact_at(idx).members,
+                            structure.facts().set_fact_at(idx).members,
                             dv.new_members_of_app(idx).unwrap_or(&empty),
                         ),
-                        None => (&empty, &empty),
+                        None => (OidRun::empty_ref(), &empty),
                     };
                     // One element witnesses the delta (a new member, or an
                     // element derivation that reads the delta); the others
@@ -967,7 +972,7 @@ fn element_delta_answers(
     structure: &Structure,
     element: &Term,
     seed: &Bindings,
-    full_members: &BTreeSet<Oid>,
+    full_members: &OidRun,
     new_members: &BTreeSet<Oid>,
     dv: &DeltaView,
 ) -> Result<Vec<Bindings>> {
@@ -1161,9 +1166,16 @@ mod tests {
     fn small_deltas_are_not_worth_sharding() {
         let (s, mark) = base_and_delta();
         let dv = DeltaView::between(&s, &mark, &EvalMarks::capture(&s));
-        assert!(dv.entry_count() < 128);
-        assert!(dv.shards(4).is_none());
-        assert!(dv.shards(1).is_none(), "a single shard is never useful");
+        assert!(dv.entry_count() < DEFAULT_SHARD_MIN_ENTRIES);
+        assert!(dv.shards(4, DEFAULT_SHARD_MIN_ENTRIES).is_none());
+        assert!(
+            dv.shards(1, DEFAULT_SHARD_MIN_ENTRIES).is_none(),
+            "a single shard is never useful"
+        );
+        // The threshold is a tunable: lowering it forces sharding even of a
+        // tiny delta (the E19 ablation relies on this).
+        assert!(dv.entry_count() > 1);
+        assert!(dv.shards(4, 1).is_some(), "min_entries = 1 forces sharding");
     }
 
     /// A wide delta (many new members of one method, new isa pairs, new
@@ -1189,7 +1201,9 @@ mod tests {
             }
         }
         let dv = DeltaView::between(&s, &mark, &EvalMarks::capture(&s));
-        let shards = dv.shards(4).expect("delta is large enough to shard");
+        let shards = dv
+            .shards(4, DEFAULT_SHARD_MIN_ENTRIES)
+            .expect("delta is large enough to shard");
         assert_eq!(shards.len(), 4);
         let terms = vec![
             Term::var("X").set("desc"),

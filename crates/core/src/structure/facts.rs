@@ -2,58 +2,85 @@
 //! `I_->>` (set-valued methods) of a semantic structure.
 //!
 //! A scalar fact states `I_->(method)(receiver, args...) = result`; a set
-//! fact states `member ∈ I_->>(method)(receiver, args...)`.  Facts are stored
-//! in dense vectors with hash indexes by method, by (method, result/member),
-//! by receiver and by the compound `(method, receiver)` application key,
-//! which back the engine's matching of molecules with unbound positions.
+//! fact states `member ∈ I_->>(method)(receiver, args...)`.
 //!
-//! Two properties of the storage are load-bearing for the engine's semi-naive
-//! evaluation (see [`crate::semantics::delta`]):
+//! # Columnar layout
 //!
-//! * **insertion order**: scalar facts keep their dense-vector position and
+//! Facts are stored column-wise, grouped per `(method, receiver)` key:
+//! each group holds parallel columns (argument tuples in a flattened
+//! `Oid` column with an offset table, results, member runs) with rows kept
+//! **sorted by argument tuple**.  The group columns sit behind an `Arc`, so
+//! cloning a `Structure` (snapshot windows, reactive simulations) bumps a
+//! reference count per group and copies nothing; the first mutation of a
+//! group after a clone detaches just that group (copy-on-write).  Point
+//! lookups resolve with one hash probe to the group plus a binary search over
+//! its argument column — allocation-free, like the nested application index
+//! this layout replaces.  Set members are [`OidRun`] columns: sorted,
+//! deduplicated, `Arc`-shared — the engine's factorized answer DAGs
+//! ([`crate::semantics::factorized`]) reference them zero-copy.
+//!
+//! Iteration hands out [`ScalarFactView`]/[`SetFactView`] values — `Copy`
+//! structs of borrowed columns — in the exact orders the previous
+//! row-oriented backing produced: global enumeration follows assertion
+//! order (through the dense slot/application tables), per-`(method,
+//! receiver)` enumeration follows argument-tuple order (zero-argument row
+//! first), and secondary indexes (`by_method`, `by_receiver`,
+//! `by_method_result`, `by_method_member`) keep posting lists in assertion
+//! order.  Canonical dumps and deterministic enumeration downstream are
+//! byte-identical to the row backend (property-tested).
+//!
+//! Two properties of the storage are load-bearing for the engine's
+//! semi-naive evaluation (see [`crate::semantics::delta`]):
+//!
+//! * **insertion order**: scalar facts keep their dense slot position and
 //!   set-member insertions are recorded in an append-only log, so "the facts
 //!   added since watermark `k`" is an O(delta) slice;
-//! * **allocation-free lookups**: point lookups resolve through a nested
-//!   `(method, receiver)`-keyed application index instead of building a boxed
-//!   `(method, receiver, args)` key per call.
+//! * **allocation-free lookups**: point lookups resolve through the group
+//!   table instead of building a boxed `(method, receiver, args)` key per
+//!   call.
 //!
 //! Watermark slices are only meaningful across a span without retractions:
-//! [`Facts::retract_scalar`] reorders the dense vector (swap-remove) and
+//! [`Facts::retract_scalar`] reorders the dense slot table (swap-remove) and
 //! [`Facts::retract_set_member`] leaves the insertion log untouched.  The
 //! deductive engine only ever adds facts while evaluating, so this holds for
 //! every fixpoint run; the reactive layer retracts *between* runs.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 
+use super::runs::OidRun;
 use super::Oid;
 
-/// A stored scalar fact.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ScalarFact {
+/// A borrowed view of one stored scalar fact: `method(receiver, args...) ->
+/// result`.  Cheap to copy; the argument tuple borrows the group's column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalarFactView<'a> {
     /// The method object.
     pub method: Oid,
     /// The receiver object.
     pub receiver: Oid,
     /// The argument objects.
-    pub args: Box<[Oid]>,
+    pub args: &'a [Oid],
     /// The result object.
     pub result: Oid,
 }
 
-/// A stored set-valued fact (one per `(method, receiver, args)` application,
-/// holding all members).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SetFact {
+/// A borrowed view of one stored set-valued application (one per `(method,
+/// receiver, args)`, holding all members).  Cheap to copy; the members
+/// reference the group's `Arc`-shared run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetFactView<'a> {
     /// The method object.
     pub method: Oid,
     /// The receiver object.
     pub receiver: Oid,
     /// The argument objects.
-    pub args: Box<[Oid]>,
-    /// The members of the result set.
-    pub members: BTreeSet<Oid>,
+    pub args: &'a [Oid],
+    /// The members of the result set, as a sorted run.
+    pub members: &'a OidRun,
 }
 
 /// Outcome of asserting a fact.
@@ -72,87 +99,144 @@ impl Assert {
     }
 }
 
-/// Nested application index: resolves `(method, receiver, args)` to the
-/// position of the stored application.
-///
-/// Zero-argument applications — the overwhelmingly common case on every join
-/// hot path — are resolved with a single hash lookup on the `(Oid, Oid)`
-/// pair.  Applications with arguments go through a nested per-`(method,
-/// receiver)` map keyed by the argument tuple, looked up through
-/// `Borrow<[Oid]>`.  Neither path allocates.
-#[derive(Debug, Default, Clone)]
-struct AppIndex {
-    zero: HashMap<(Oid, Oid), usize>,
-    with_args: HashMap<(Oid, Oid), ArgsIndex>,
+/// A flattened column of argument tuples: all tuples concatenated in
+/// `flat`, with `offsets[row]..offsets[row + 1]` delimiting row `row`.
+/// Rows are kept sorted by tuple (lexicographic slice order, so the
+/// zero-argument tuple sorts first), which makes point lookups a binary
+/// search and per-group enumeration deterministic without sorting.
+#[derive(Debug, Clone)]
+struct ArgsCol {
+    flat: Vec<Oid>,
+    offsets: Vec<u32>,
 }
 
-/// Per-`(method, receiver)` index of the applications with arguments,
-/// keyed by the argument tuple (looked up through `Borrow<[Oid]>`).
-/// An ordered map: iteration follows argument-tuple order, so enumerating
-/// the applications of a compound key is deterministic without sorting.
-type ArgsIndex = BTreeMap<Box<[Oid]>, usize>;
-
-impl AppIndex {
-    fn get(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
-        if args.is_empty() {
-            self.zero.get(&(method, receiver)).copied()
-        } else {
-            self.with_args.get(&(method, receiver))?.get(args).copied()
+impl ArgsCol {
+    fn new() -> Self {
+        ArgsCol {
+            flat: Vec::new(),
+            offsets: vec![0],
         }
     }
 
-    fn insert(&mut self, method: Oid, receiver: Oid, args: &[Oid], idx: usize) {
-        if args.is_empty() {
-            self.zero.insert((method, receiver), idx);
-        } else {
-            self.with_args
-                .entry((method, receiver))
-                .or_default()
-                .insert(args.into(), idx);
-        }
+    fn rows(&self) -> usize {
+        self.offsets.len() - 1
     }
 
-    fn remove(&mut self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
-        if args.is_empty() {
-            self.zero.remove(&(method, receiver))
-        } else {
-            let inner = self.with_args.get_mut(&(method, receiver))?;
-            let idx = inner.remove(args)?;
-            if inner.is_empty() {
-                self.with_args.remove(&(method, receiver));
+    fn get(&self, row: usize) -> &[Oid] {
+        &self.flat[self.offsets[row] as usize..self.offsets[row + 1] as usize]
+    }
+
+    /// Binary search for the row holding `args`: `Ok(row)` if present,
+    /// `Err(insertion_row)` otherwise.
+    fn find(&self, args: &[Oid]) -> std::result::Result<usize, usize> {
+        let (mut lo, mut hi) = (0, self.rows());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.get(mid).cmp(args) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Ok(mid),
             }
-            Some(idx)
+        }
+        Err(lo)
+    }
+
+    fn insert(&mut self, row: usize, args: &[Oid]) {
+        let at = self.offsets[row] as usize;
+        self.flat.splice(at..at, args.iter().copied());
+        let len = args.len() as u32;
+        self.offsets.insert(row + 1, self.offsets[row] + len);
+        for off in &mut self.offsets[row + 2..] {
+            *off += len;
         }
     }
 
-    /// All stored application positions for the compound `(method, receiver)`
-    /// key: the zero-argument application first, then the
-    /// applications-with-arguments in argument-tuple order.  Deterministic
-    /// (the inner map is ordered) and allocation-free on both paths.
-    fn indices_of(&self, method: Oid, receiver: Oid) -> impl Iterator<Item = usize> + '_ {
-        self.zero.get(&(method, receiver)).copied().into_iter().chain(
-            self.with_args
-                .get(&(method, receiver))
-                .into_iter()
-                .flat_map(|inner| inner.values().copied()),
-        )
+    fn remove(&mut self, row: usize) {
+        let lo = self.offsets[row] as usize;
+        let hi = self.offsets[row + 1] as usize;
+        self.flat.drain(lo..hi);
+        let len = (hi - lo) as u32;
+        self.offsets.remove(row + 1);
+        for off in &mut self.offsets[row + 1..] {
+            *off -= len;
+        }
     }
+}
+
+/// The columns of one scalar `(method, receiver)` group, rows sorted by
+/// argument tuple.  `slots[row]` is the row's dense global slot (assertion
+/// order), kept in sync with [`Facts::scalar_slots`].
+#[derive(Debug, Clone)]
+struct ScalarCols {
+    args: ArgsCol,
+    results: Vec<Oid>,
+    slots: Vec<u32>,
+}
+
+impl ScalarCols {
+    fn new() -> Self {
+        ScalarCols {
+            args: ArgsCol::new(),
+            results: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ScalarGroup {
+    method: Oid,
+    receiver: Oid,
+    cols: Arc<ScalarCols>,
+}
+
+/// The columns of one set-valued `(method, receiver)` group, rows sorted by
+/// argument tuple.  `apps[row]` is the row's dense global application index
+/// (creation order), kept in sync with [`Facts::set_apps`].
+#[derive(Debug, Clone)]
+struct SetCols {
+    args: ArgsCol,
+    members: Vec<OidRun>,
+    apps: Vec<u32>,
+}
+
+impl SetCols {
+    fn new() -> Self {
+        SetCols {
+            args: ArgsCol::new(),
+            members: Vec::new(),
+            apps: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SetGroup {
+    method: Oid,
+    receiver: Oid,
+    cols: Arc<SetCols>,
 }
 
 /// The fact tables of a structure.
 #[derive(Debug, Default, Clone)]
 pub struct Facts {
-    scalar: Vec<ScalarFact>,
-    scalar_app: AppIndex,
-    scalar_by_method: HashMap<Oid, Vec<usize>>,
-    scalar_by_method_result: HashMap<(Oid, Oid), Vec<usize>>,
-    scalar_by_receiver: HashMap<Oid, Vec<usize>>,
+    scalar_groups: Vec<ScalarGroup>,
+    scalar_group_of: HashMap<(Oid, Oid), u32>,
+    /// Dense slot table: `slot -> (group, row)`, in assertion order.  Slot
+    /// numbers double as generation stamps (see [`Facts::scalar_index`]).
+    scalar_slots: Vec<(u32, u32)>,
+    scalar_by_method: HashMap<Oid, Vec<u32>>,
+    scalar_by_method_result: HashMap<(Oid, Oid), Vec<u32>>,
+    scalar_by_receiver: HashMap<Oid, Vec<u32>>,
 
-    set: Vec<SetFact>,
-    set_app: AppIndex,
-    set_by_method: HashMap<Oid, Vec<usize>>,
-    set_by_method_member: HashMap<(Oid, Oid), Vec<usize>>,
-    set_by_receiver: HashMap<Oid, Vec<usize>>,
+    set_groups: Vec<SetGroup>,
+    set_group_of: HashMap<(Oid, Oid), u32>,
+    /// Dense application table: `app -> (group, row)`, in creation order.
+    /// Append-only: set applications are never removed.
+    set_apps: Vec<(u32, u32)>,
+    set_by_method: HashMap<Oid, Vec<u32>>,
+    set_by_method_member: HashMap<(Oid, Oid), Vec<u32>>,
+    set_by_receiver: HashMap<Oid, Vec<u32>>,
 
     set_member_count: usize,
     /// Append-only insertion log of set members: `(application index,
@@ -168,110 +252,163 @@ impl Facts {
 
     // -- scalar ------------------------------------------------------------
 
+    fn scalar_view(&self, slot: usize) -> ScalarFactView<'_> {
+        let (g, row) = self.scalar_slots[slot];
+        let grp = &self.scalar_groups[g as usize];
+        ScalarFactView {
+            method: grp.method,
+            receiver: grp.receiver,
+            args: grp.cols.args.get(row as usize),
+            result: grp.cols.results[row as usize],
+        }
+    }
+
+    /// Insert a new row into group `g` (which must not contain `args`) and
+    /// register it in the slot table and the secondary indexes.
+    fn scalar_insert_row(&mut self, g: u32, row: usize, args: &[Oid], result: Oid) {
+        let slot = self.scalar_slots.len() as u32;
+        let grp = &mut self.scalar_groups[g as usize];
+        let (method, receiver) = (grp.method, grp.receiver);
+        let cols = Arc::make_mut(&mut grp.cols);
+        cols.args.insert(row, args);
+        cols.results.insert(row, result);
+        cols.slots.insert(row, slot);
+        // Rows after the insertion point shifted up by one; re-point their
+        // slot-table entries.
+        for &s in &cols.slots[row + 1..] {
+            self.scalar_slots[s as usize].1 += 1;
+        }
+        self.scalar_slots.push((g, row as u32));
+        self.scalar_by_method.entry(method).or_default().push(slot);
+        self.scalar_by_method_result
+            .entry((method, result))
+            .or_default()
+            .push(slot);
+        self.scalar_by_receiver.entry(receiver).or_default().push(slot);
+    }
+
     /// Assert `I_->(method)(receiver, args) = result`.
     ///
     /// Returns an error if a *different* result is already stored for the
     /// same application: scalar methods are partial functions, so conflicting
     /// results indicate an inconsistent program.
     pub fn assert_scalar(&mut self, method: Oid, receiver: Oid, args: &[Oid], result: Oid) -> Result<Assert> {
-        if let Some(idx) = self.scalar_app.get(method, receiver, args) {
-            let existing = self.scalar[idx].result;
-            if existing == result {
-                return Ok(Assert::Unchanged);
+        if let Some(&g) = self.scalar_group_of.get(&(method, receiver)) {
+            match self.scalar_groups[g as usize].cols.args.find(args) {
+                Ok(row) => {
+                    let existing = self.scalar_groups[g as usize].cols.results[row];
+                    if existing == result {
+                        return Ok(Assert::Unchanged);
+                    }
+                    Err(Error::Other(format!(
+                        "conflicting scalar results for method {:?} on receiver {:?}: {:?} vs {:?}",
+                        method, receiver, existing, result
+                    )))
+                }
+                Err(row) => {
+                    self.scalar_insert_row(g, row, args, result);
+                    Ok(Assert::New)
+                }
             }
-            return Err(Error::Other(format!(
-                "conflicting scalar results for method {:?} on receiver {:?}: {:?} vs {:?}",
-                method, receiver, existing, result
-            )));
+        } else {
+            let g = self.scalar_groups.len() as u32;
+            self.scalar_groups.push(ScalarGroup {
+                method,
+                receiver,
+                cols: Arc::new(ScalarCols::new()),
+            });
+            self.scalar_group_of.insert((method, receiver), g);
+            self.scalar_insert_row(g, 0, args, result);
+            Ok(Assert::New)
         }
-        let idx = self.scalar.len();
-        self.scalar.push(ScalarFact {
-            method,
-            receiver,
-            args: args.into(),
-            result,
-        });
-        self.scalar_app.insert(method, receiver, args, idx);
-        self.scalar_by_method.entry(method).or_default().push(idx);
-        self.scalar_by_method_result
-            .entry((method, result))
-            .or_default()
-            .push(idx);
-        self.scalar_by_receiver.entry(receiver).or_default().push(idx);
-        Ok(Assert::New)
     }
 
     /// Look up the scalar result of a method application, if defined.
     ///
-    /// Resolves through the nested `(method, receiver)` application index:
-    /// allocation-free for both the zero-argument common case and
-    /// applications with arguments.
+    /// One hash probe to the `(method, receiver)` group plus a binary search
+    /// over its argument column: allocation-free for both the zero-argument
+    /// common case and applications with arguments.
     pub fn scalar_result(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<Oid> {
-        self.scalar_app
-            .get(method, receiver, args)
-            .map(|i| self.scalar[i].result)
+        let &g = self.scalar_group_of.get(&(method, receiver))?;
+        let cols = &self.scalar_groups[g as usize].cols;
+        let row = cols.args.find(args).ok()?;
+        Some(cols.results[row])
     }
 
-    /// The dense-vector position of the scalar fact for `(method, receiver,
+    /// The dense slot position of the scalar fact for `(method, receiver,
     /// args)`, if defined.  Positions are assigned in assertion order and
     /// stable while no scalar fact is retracted, so they double as generation
     /// stamps: `index >= k` means "asserted at or after watermark `k`".
     pub fn scalar_index(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
-        self.scalar_app.get(method, receiver, args)
+        let &g = self.scalar_group_of.get(&(method, receiver))?;
+        let cols = &self.scalar_groups[g as usize].cols;
+        let row = cols.args.find(args).ok()?;
+        Some(cols.slots[row] as usize)
     }
 
-    /// The scalar fact stored at dense-vector position `idx`.
-    pub fn scalar_fact_at(&self, idx: usize) -> &ScalarFact {
-        &self.scalar[idx]
+    /// The scalar fact stored at dense slot position `idx`.
+    pub fn scalar_fact_at(&self, idx: usize) -> ScalarFactView<'_> {
+        self.scalar_view(idx)
     }
 
     /// All scalar facts for the compound `(method, receiver)` key — every
-    /// argument tuple the method is defined for on this receiver.
+    /// argument tuple the method is defined for on this receiver, in
+    /// argument-tuple order (zero-argument row first): a contiguous walk of
+    /// the group's columns.
     pub fn scalar_facts_of_method_receiver(
         &self,
         method: Oid,
         receiver: Oid,
-    ) -> impl Iterator<Item = &ScalarFact> + '_ {
-        self.scalar_app
-            .indices_of(method, receiver)
-            .map(move |i| &self.scalar[i])
+    ) -> impl Iterator<Item = ScalarFactView<'_>> + '_ {
+        self.scalar_group_of
+            .get(&(method, receiver))
+            .into_iter()
+            .flat_map(move |&g| {
+                let grp = &self.scalar_groups[g as usize];
+                (0..grp.cols.results.len()).map(move |row| ScalarFactView {
+                    method: grp.method,
+                    receiver: grp.receiver,
+                    args: grp.cols.args.get(row),
+                    result: grp.cols.results[row],
+                })
+            })
     }
 
     /// All scalar facts for a method.
-    pub fn scalar_facts_of_method(&self, method: Oid) -> impl Iterator<Item = &ScalarFact> + '_ {
+    pub fn scalar_facts_of_method(&self, method: Oid) -> impl Iterator<Item = ScalarFactView<'_>> + '_ {
         self.scalar_by_method
             .get(&method)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.scalar[i])
+            .map(move |&i| self.scalar_view(i as usize))
     }
 
     /// All scalar facts for a method with a given result.
-    pub fn scalar_facts_with_result(&self, method: Oid, result: Oid) -> impl Iterator<Item = &ScalarFact> + '_ {
+    pub fn scalar_facts_with_result(&self, method: Oid, result: Oid) -> impl Iterator<Item = ScalarFactView<'_>> + '_ {
         self.scalar_by_method_result
             .get(&(method, result))
             .into_iter()
             .flatten()
-            .map(move |&i| &self.scalar[i])
+            .map(move |&i| self.scalar_view(i as usize))
     }
 
     /// All scalar facts whose receiver is `receiver`.
-    pub fn scalar_facts_of_receiver(&self, receiver: Oid) -> impl Iterator<Item = &ScalarFact> + '_ {
+    pub fn scalar_facts_of_receiver(&self, receiver: Oid) -> impl Iterator<Item = ScalarFactView<'_>> + '_ {
         self.scalar_by_receiver
             .get(&receiver)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.scalar[i])
+            .map(move |&i| self.scalar_view(i as usize))
     }
 
-    /// Every scalar fact.
-    pub fn scalar_facts(&self) -> impl Iterator<Item = &ScalarFact> + '_ {
-        self.scalar.iter()
+    /// Every scalar fact, in assertion order.
+    pub fn scalar_facts(&self) -> impl Iterator<Item = ScalarFactView<'_>> + '_ {
+        (0..self.scalar_slots.len()).map(move |i| self.scalar_view(i))
     }
 
     /// Number of scalar facts.
     pub fn num_scalar(&self) -> usize {
-        self.scalar.len()
+        self.scalar_slots.len()
     }
 
     /// Retract the scalar fact for `(method, receiver, args)`, if present.
@@ -282,53 +419,96 @@ impl Facts {
     /// active-rule layer (`pathlog-reactive`) and for the object store's
     /// update operations.
     pub fn retract_scalar(&mut self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<Oid> {
-        let idx = self.scalar_app.remove(method, receiver, args)?;
-        let fact = self.scalar.swap_remove(idx);
-        remove_index(&mut self.scalar_by_method, &fact.method, idx);
-        remove_index(&mut self.scalar_by_method_result, &(fact.method, fact.result), idx);
-        remove_index(&mut self.scalar_by_receiver, &fact.receiver, idx);
-        // `swap_remove` moved the previously-last fact (if any) into `idx`;
-        // re-point every index entry that referred to its old position.
-        let old = self.scalar.len();
-        if idx < old {
-            let moved = self.scalar[idx].clone();
-            self.scalar_app.insert(moved.method, moved.receiver, &moved.args, idx);
-            replace_index(&mut self.scalar_by_method, &moved.method, old, idx);
-            replace_index(
-                &mut self.scalar_by_method_result,
-                &(moved.method, moved.result),
-                old,
-                idx,
-            );
-            replace_index(&mut self.scalar_by_receiver, &moved.receiver, old, idx);
+        let &g = self.scalar_group_of.get(&(method, receiver))?;
+        let row = self.scalar_groups[g as usize].cols.args.find(args).ok()?;
+        let grp = &mut self.scalar_groups[g as usize];
+        let cols = Arc::make_mut(&mut grp.cols);
+        let slot = cols.slots[row] as usize;
+        let result = cols.results[row];
+        cols.args.remove(row);
+        cols.results.remove(row);
+        cols.slots.remove(row);
+        // Rows after the removed one shifted down by one.
+        for &s in &cols.slots[row..] {
+            self.scalar_slots[s as usize].1 -= 1;
         }
-        Some(fact.result)
+        remove_index(&mut self.scalar_by_method, &method, slot);
+        remove_index(&mut self.scalar_by_method_result, &(method, result), slot);
+        remove_index(&mut self.scalar_by_receiver, &receiver, slot);
+        // `swap_remove` moves the previously-last slot (if any) into `slot`;
+        // re-point every index entry that referred to its old position.
+        self.scalar_slots.swap_remove(slot);
+        let old = self.scalar_slots.len();
+        if slot < old {
+            let (mg, mrow) = self.scalar_slots[slot];
+            let mgrp = &mut self.scalar_groups[mg as usize];
+            let (mmethod, mreceiver) = (mgrp.method, mgrp.receiver);
+            let mcols = Arc::make_mut(&mut mgrp.cols);
+            mcols.slots[mrow as usize] = slot as u32;
+            let mresult = mcols.results[mrow as usize];
+            replace_index(&mut self.scalar_by_method, &mmethod, old, slot);
+            replace_index(&mut self.scalar_by_method_result, &(mmethod, mresult), old, slot);
+            replace_index(&mut self.scalar_by_receiver, &mreceiver, old, slot);
+        }
+        Some(result)
     }
 
     // -- set-valued --------------------------------------------------------
 
-    /// Assert `member ∈ I_->>(method)(receiver, args)`.
-    pub fn assert_set_member(&mut self, method: Oid, receiver: Oid, args: &[Oid], member: Oid) -> Assert {
-        let idx = match self.set_app.get(method, receiver, args) {
-            Some(idx) => idx,
+    fn set_find(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
+        let &g = self.set_group_of.get(&(method, receiver))?;
+        let cols = &self.set_groups[g as usize].cols;
+        let row = cols.args.find(args).ok()?;
+        Some(cols.apps[row] as usize)
+    }
+
+    /// Create the (initially empty) application row for `(method, receiver,
+    /// args)` and register it; `args` must not already have a row.
+    fn set_create_app(&mut self, method: Oid, receiver: Oid, args: &[Oid]) -> usize {
+        let g = match self.set_group_of.get(&(method, receiver)) {
+            Some(&g) => g,
             None => {
-                let idx = self.set.len();
-                self.set.push(SetFact {
+                let g = self.set_groups.len() as u32;
+                self.set_groups.push(SetGroup {
                     method,
                     receiver,
-                    args: args.into(),
-                    members: BTreeSet::new(),
+                    cols: Arc::new(SetCols::new()),
                 });
-                self.set_app.insert(method, receiver, args, idx);
-                self.set_by_method.entry(method).or_default().push(idx);
-                self.set_by_receiver.entry(receiver).or_default().push(idx);
-                idx
+                self.set_group_of.insert((method, receiver), g);
+                g
             }
         };
-        if self.set[idx].members.insert(member) {
-            self.set_by_method_member.entry((method, member)).or_default().push(idx);
+        let app = self.set_apps.len();
+        let grp = &mut self.set_groups[g as usize];
+        let cols = Arc::make_mut(&mut grp.cols);
+        let row = cols.args.find(args).unwrap_err();
+        cols.args.insert(row, args);
+        cols.members.insert(row, OidRun::new());
+        cols.apps.insert(row, app as u32);
+        for &a in &cols.apps[row + 1..] {
+            self.set_apps[a as usize].1 += 1;
+        }
+        self.set_apps.push((g, row as u32));
+        self.set_by_method.entry(method).or_default().push(app as u32);
+        self.set_by_receiver.entry(receiver).or_default().push(app as u32);
+        app
+    }
+
+    /// Assert `member ∈ I_->>(method)(receiver, args)`.
+    pub fn assert_set_member(&mut self, method: Oid, receiver: Oid, args: &[Oid], member: Oid) -> Assert {
+        let app = match self.set_find(method, receiver, args) {
+            Some(app) => app,
+            None => self.set_create_app(method, receiver, args),
+        };
+        let (g, row) = self.set_apps[app];
+        let cols = Arc::make_mut(&mut self.set_groups[g as usize].cols);
+        if cols.members[row as usize].insert(member) {
+            self.set_by_method_member
+                .entry((method, member))
+                .or_default()
+                .push(app as u32);
             self.set_member_count += 1;
-            self.set_log.push((idx as u32, member));
+            self.set_log.push((app as u32, member));
             Assert::New
         } else {
             Assert::Unchanged
@@ -339,47 +519,63 @@ impl Facts {
     /// `set_result` reports it as defined.  Used when loading data where a
     /// set attribute exists but has no members.
     pub fn declare_set(&mut self, method: Oid, receiver: Oid, args: &[Oid]) {
-        if self.set_app.get(method, receiver, args).is_some() {
-            return;
+        if self.set_find(method, receiver, args).is_none() {
+            self.set_create_app(method, receiver, args);
         }
-        let idx = self.set.len();
-        self.set.push(SetFact {
-            method,
-            receiver,
-            args: args.into(),
-            members: BTreeSet::new(),
-        });
-        self.set_app.insert(method, receiver, args, idx);
-        self.set_by_method.entry(method).or_default().push(idx);
-        self.set_by_receiver.entry(receiver).or_default().push(idx);
     }
 
-    /// Look up the member set of a set-valued application, if defined.
+    /// Look up the member run of a set-valued application, if defined.
     ///
-    /// Resolves through the nested `(method, receiver)` application index:
-    /// allocation-free for both the zero-argument common case and
-    /// applications with arguments.
-    pub fn set_result(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<&BTreeSet<Oid>> {
-        self.set_app.get(method, receiver, args).map(|i| &self.set[i].members)
+    /// One hash probe to the `(method, receiver)` group plus a binary search
+    /// over its argument column; the returned run is the stored column
+    /// itself (sorted, `Arc`-shared).
+    pub fn set_result(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<&OidRun> {
+        let &g = self.set_group_of.get(&(method, receiver))?;
+        let cols = &self.set_groups[g as usize].cols;
+        let row = cols.args.find(args).ok()?;
+        Some(&cols.members[row])
     }
 
-    /// The dense-vector position of the set application for `(method,
-    /// receiver, args)`, if defined.  Used with
-    /// [`Facts::set_members_since`] to identify applications in delta
-    /// slices.
+    /// The dense application index for `(method, receiver, args)`, if
+    /// defined.  Used with [`Facts::set_members_since`] to identify
+    /// applications in delta slices.
     pub fn set_index(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<usize> {
-        self.set_app.get(method, receiver, args)
+        self.set_find(method, receiver, args)
     }
 
-    /// The set application stored at dense-vector position `idx`.
-    pub fn set_fact_at(&self, idx: usize) -> &SetFact {
-        &self.set[idx]
+    /// The set application stored at dense application index `idx`.
+    pub fn set_fact_at(&self, idx: usize) -> SetFactView<'_> {
+        let (g, row) = self.set_apps[idx];
+        let grp = &self.set_groups[g as usize];
+        SetFactView {
+            method: grp.method,
+            receiver: grp.receiver,
+            args: grp.cols.args.get(row as usize),
+            members: &grp.cols.members[row as usize],
+        }
     }
 
     /// All set applications for the compound `(method, receiver)` key —
-    /// every argument tuple the method is defined for on this receiver.
-    pub fn set_facts_of_method_receiver(&self, method: Oid, receiver: Oid) -> impl Iterator<Item = &SetFact> + '_ {
-        self.set_app.indices_of(method, receiver).map(move |i| &self.set[i])
+    /// every argument tuple the method is defined for on this receiver, in
+    /// argument-tuple order (zero-argument row first): a contiguous walk of
+    /// the group's columns.
+    pub fn set_facts_of_method_receiver(
+        &self,
+        method: Oid,
+        receiver: Oid,
+    ) -> impl Iterator<Item = SetFactView<'_>> + '_ {
+        self.set_group_of
+            .get(&(method, receiver))
+            .into_iter()
+            .flat_map(move |&g| {
+                let grp = &self.set_groups[g as usize];
+                (0..grp.cols.members.len()).map(move |row| SetFactView {
+                    method: grp.method,
+                    receiver: grp.receiver,
+                    args: grp.cols.args.get(row),
+                    members: &grp.cols.members[row],
+                })
+            })
     }
 
     /// Number of set-member insertions recorded so far — the current
@@ -393,10 +589,10 @@ impl Facts {
     /// before later growth (or beyond it) degrades to an empty/shorter slice
     /// instead of panicking.  Yields `(position, fact)` pairs in assertion
     /// order; O(window).
-    pub fn scalar_facts_in(&self, lo: usize, hi: usize) -> impl Iterator<Item = (usize, &ScalarFact)> + '_ {
-        let hi = hi.min(self.scalar.len());
+    pub fn scalar_facts_in(&self, lo: usize, hi: usize) -> impl Iterator<Item = (usize, ScalarFactView<'_>)> + '_ {
+        let hi = hi.min(self.scalar_slots.len());
         let lo = lo.min(hi);
-        self.scalar[lo..hi].iter().enumerate().map(move |(i, f)| (lo + i, f))
+        (lo..hi).map(move |i| (i, self.scalar_view(i)))
     }
 
     /// The set members inserted in the log window `[lo, hi)`, as
@@ -421,40 +617,40 @@ impl Facts {
     }
 
     /// All set facts for a method.
-    pub fn set_facts_of_method(&self, method: Oid) -> impl Iterator<Item = &SetFact> + '_ {
+    pub fn set_facts_of_method(&self, method: Oid) -> impl Iterator<Item = SetFactView<'_>> + '_ {
         self.set_by_method
             .get(&method)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.set[i])
+            .map(move |&i| self.set_fact_at(i as usize))
     }
 
     /// All set facts (for a method) that contain `member`.
-    pub fn set_facts_containing(&self, method: Oid, member: Oid) -> impl Iterator<Item = &SetFact> + '_ {
+    pub fn set_facts_containing(&self, method: Oid, member: Oid) -> impl Iterator<Item = SetFactView<'_>> + '_ {
         self.set_by_method_member
             .get(&(method, member))
             .into_iter()
             .flatten()
-            .map(move |&i| &self.set[i])
+            .map(move |&i| self.set_fact_at(i as usize))
     }
 
     /// All set facts whose receiver is `receiver`.
-    pub fn set_facts_of_receiver(&self, receiver: Oid) -> impl Iterator<Item = &SetFact> + '_ {
+    pub fn set_facts_of_receiver(&self, receiver: Oid) -> impl Iterator<Item = SetFactView<'_>> + '_ {
         self.set_by_receiver
             .get(&receiver)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.set[i])
+            .map(move |&i| self.set_fact_at(i as usize))
     }
 
-    /// Every set fact.
-    pub fn set_facts(&self) -> impl Iterator<Item = &SetFact> + '_ {
-        self.set.iter()
+    /// Every set fact, in application-creation order.
+    pub fn set_facts(&self) -> impl Iterator<Item = SetFactView<'_>> + '_ {
+        (0..self.set_apps.len()).map(move |i| self.set_fact_at(i))
     }
 
     /// Number of set-valued applications (not members).
     pub fn num_set_applications(&self) -> usize {
-        self.set.len()
+        self.set_apps.len()
     }
 
     /// Total number of set members across all applications.
@@ -466,22 +662,24 @@ impl Facts {
     /// if the member was present.  The application itself stays defined
     /// (possibly empty), mirroring [`Facts::declare_set`].
     pub fn retract_set_member(&mut self, method: Oid, receiver: Oid, args: &[Oid], member: Oid) -> bool {
-        let Some(idx) = self.set_app.get(method, receiver, args) else {
+        let Some(app) = self.set_find(method, receiver, args) else {
             return false;
         };
-        if !self.set[idx].members.remove(&member) {
+        let (g, row) = self.set_apps[app];
+        let cols = Arc::make_mut(&mut self.set_groups[g as usize].cols);
+        if !cols.members[row as usize].remove(&member) {
             return false;
         }
         self.set_member_count -= 1;
-        remove_index(&mut self.set_by_method_member, &(method, member), idx);
+        remove_index(&mut self.set_by_method_member, &(method, member), app);
         true
     }
 }
 
 /// Remove one occurrence of `idx` from the posting list under `key`.
-fn remove_index<K: std::hash::Hash + Eq>(index: &mut HashMap<K, Vec<usize>>, key: &K, idx: usize) {
+fn remove_index<K: std::hash::Hash + Eq>(index: &mut HashMap<K, Vec<u32>>, key: &K, idx: usize) {
     if let Some(list) = index.get_mut(key) {
-        if let Some(pos) = list.iter().position(|&i| i == idx) {
+        if let Some(pos) = list.iter().position(|&i| i as usize == idx) {
             list.swap_remove(pos);
         }
         if list.is_empty() {
@@ -491,10 +689,10 @@ fn remove_index<K: std::hash::Hash + Eq>(index: &mut HashMap<K, Vec<usize>>, key
 }
 
 /// Re-point one occurrence of `old` to `new` in the posting list under `key`.
-fn replace_index<K: std::hash::Hash + Eq>(index: &mut HashMap<K, Vec<usize>>, key: &K, old: usize, new: usize) {
+fn replace_index<K: std::hash::Hash + Eq>(index: &mut HashMap<K, Vec<u32>>, key: &K, old: usize, new: usize) {
     if let Some(list) = index.get_mut(key) {
-        if let Some(pos) = list.iter().position(|&i| i == old) {
-            list[pos] = new;
+        if let Some(pos) = list.iter().position(|&i| i as usize == old) {
+            list[pos] = new as u32;
         }
     }
 }
@@ -502,6 +700,7 @@ fn replace_index<K: std::hash::Hash + Eq>(index: &mut HashMap<K, Vec<usize>>, ke
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     fn o(i: u32) -> Oid {
         Oid(i)
@@ -607,6 +806,23 @@ mod tests {
     }
 
     #[test]
+    fn compound_enumeration_is_zero_arg_first_then_args_order() {
+        let mut f = Facts::new();
+        // Asserted out of order: the columnar rows stay sorted by tuple.
+        f.assert_scalar(o(1), o(10), &[o(1994)], o(22)).unwrap();
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_scalar(o(1), o(10), &[o(1993)], o(21)).unwrap();
+        let results: Vec<Oid> = f
+            .scalar_facts_of_method_receiver(o(1), o(10))
+            .map(|s| s.result)
+            .collect();
+        assert_eq!(results, vec![o(20), o(21), o(22)]);
+        // The slot table still reports assertion order globally.
+        let global: Vec<Oid> = f.scalar_facts().map(|s| s.result).collect();
+        assert_eq!(global, vec![o(22), o(20), o(21)]);
+    }
+
+    #[test]
     fn scalar_indices_are_insertion_ordered_generation_stamps() {
         let mut f = Facts::new();
         f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
@@ -620,6 +836,21 @@ mod tests {
         // The slice [mark..] is exactly the facts asserted after the mark.
         let since: Vec<Oid> = (mark..f.num_scalar()).map(|i| f.scalar_fact_at(i).result).collect();
         assert_eq!(since, vec![o(21), o(22)]);
+    }
+
+    #[test]
+    fn generation_stamps_survive_in_group_row_shifts() {
+        let mut f = Facts::new();
+        // The second assertion lands *before* the first in the group's
+        // sorted rows ([] < [5]); the global stamps must stay in assertion
+        // order regardless.
+        f.assert_scalar(o(1), o(10), &[o(5)], o(20)).unwrap();
+        let mark = f.num_scalar();
+        f.assert_scalar(o(1), o(10), &[], o(21)).unwrap();
+        assert_eq!(f.scalar_index(o(1), o(10), &[o(5)]), Some(0));
+        assert_eq!(f.scalar_index(o(1), o(10), &[]), Some(mark));
+        assert_eq!(f.scalar_fact_at(0).result, o(20));
+        assert_eq!(f.scalar_fact_at(mark).result, o(21));
     }
 
     #[test]
@@ -645,6 +876,24 @@ mod tests {
         // A mark beyond the log is an empty slice, not a panic.
         assert_eq!(f.set_members_since(1_000).count(), 0);
         assert_eq!(f.set_members_since(f.num_set_member_inserts()).count(), 0);
+    }
+
+    #[test]
+    fn application_indices_survive_in_group_row_shifts() {
+        let mut f = Facts::new();
+        // Two applications in one group, the second sorting before the
+        // first; the log's application indices must keep resolving to the
+        // right rows after the shift.
+        f.assert_set_member(o(2), o(10), &[o(7)], o(30));
+        f.assert_set_member(o(2), o(10), &[], o(31));
+        let delta: Vec<(Oid, Oid)> = f
+            .set_members_since(0)
+            .map(|(idx, member)| {
+                let fact = f.set_fact_at(idx);
+                (member, fact.args.first().copied().unwrap_or(o(0)))
+            })
+            .collect();
+        assert_eq!(delta, vec![(o(30), o(7)), (o(31), o(0))]);
     }
 
     #[test]
@@ -710,6 +959,23 @@ mod tests {
     }
 
     #[test]
+    fn retract_scalar_within_one_group_keeps_the_slot_table_consistent() {
+        let mut f = Facts::new();
+        // Three rows in one group; retract the middle one by tuple order.
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_scalar(o(1), o(10), &[o(3)], o(21)).unwrap();
+        f.assert_scalar(o(1), o(10), &[o(5)], o(22)).unwrap();
+        assert_eq!(f.retract_scalar(o(1), o(10), &[o(3)]), Some(o(21)));
+        assert_eq!(f.num_scalar(), 2);
+        assert_eq!(f.scalar_result(o(1), o(10), &[]), Some(o(20)));
+        assert_eq!(f.scalar_result(o(1), o(10), &[o(5)]), Some(o(22)));
+        // Every slot resolves to a live row.
+        let results: BTreeSet<Oid> = f.scalar_facts().map(|s| s.result).collect();
+        assert_eq!(results, [o(20), o(22)].into_iter().collect());
+        assert_eq!(f.scalar_facts_of_method_receiver(o(1), o(10)).count(), 2);
+    }
+
+    #[test]
     fn retract_set_member_removes_only_that_member() {
         let mut f = Facts::new();
         f.assert_set_member(o(2), o(10), &[], o(30));
@@ -724,5 +990,21 @@ mod tests {
         // The application stays defined even when it becomes empty.
         assert!(f.retract_set_member(o(2), o(10), &[], o(31)));
         assert_eq!(f.set_result(o(2), o(10), &[]).map(|s| s.len()), Some(0));
+    }
+
+    #[test]
+    fn cloned_tables_share_group_columns_until_mutated() {
+        let mut f = Facts::new();
+        f.assert_set_member(o(2), o(10), &[], o(30));
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        let snap = f.clone();
+        assert!(Arc::ptr_eq(&f.set_groups[0].cols, &snap.set_groups[0].cols));
+        assert!(Arc::ptr_eq(&f.scalar_groups[0].cols, &snap.scalar_groups[0].cols));
+        // Mutating one side detaches only the touched group.
+        f.assert_set_member(o(2), o(10), &[], o(31));
+        assert!(!Arc::ptr_eq(&f.set_groups[0].cols, &snap.set_groups[0].cols));
+        assert!(Arc::ptr_eq(&f.scalar_groups[0].cols, &snap.scalar_groups[0].cols));
+        assert_eq!(snap.set_result(o(2), o(10), &[]).unwrap().len(), 1);
+        assert_eq!(f.set_result(o(2), o(10), &[]).unwrap().len(), 2);
     }
 }

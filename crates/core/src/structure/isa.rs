@@ -12,22 +12,30 @@
 //! would make `X : employee` also bind `X` to the class object `employee`,
 //! which is never what the paper's example answers contain.  The deviation is
 //! documented in `DESIGN.md`.
+//!
+//! Extents and ancestor sets are stored as [`OidRun`] columns: sorted,
+//! deduplicated, `Arc`-shared.  Membership tests are binary searches over a
+//! contiguous run, iteration is ascending-`Oid` (the same order the previous
+//! `BTreeSet` backing produced), and cloning a structure shares every run
+//! copy-on-write.  Class extents are handed to the factorized answer DAGs
+//! ([`crate::semantics::factorized`]) zero-copy.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
+use super::runs::OidRun;
 use super::Oid;
 
 /// Incrementally maintained transitive closure of the is-a relation.
 #[derive(Debug, Default, Clone)]
 pub struct Isa {
     /// Direct edges `sub -> sup`, as asserted.
-    direct_up: HashMap<Oid, BTreeSet<Oid>>,
+    direct_up: HashMap<Oid, OidRun>,
     /// Direct edges `sup -> sub`.
-    direct_down: HashMap<Oid, BTreeSet<Oid>>,
+    direct_down: HashMap<Oid, OidRun>,
     /// Transitive closure: all (strict) ancestors of an object.
-    up: HashMap<Oid, BTreeSet<Oid>>,
+    up: HashMap<Oid, OidRun>,
     /// Transitive closure: all (strict) descendants of an object.
-    down: HashMap<Oid, BTreeSet<Oid>>,
+    down: HashMap<Oid, OidRun>,
     /// Number of pairs in the transitive closure.
     pairs: usize,
     /// Append-only insertion log of closure pairs `(sub, sup)`, in the order
@@ -53,9 +61,9 @@ impl Isa {
 
         // New closure pairs: every descendant of `sub` (plus `sub`) is now
         // below every ancestor of `sup` (plus `sup`).
-        let mut lows: BTreeSet<Oid> = self.down.get(&sub).cloned().unwrap_or_default();
+        let mut lows: OidRun = self.down.get(&sub).cloned().unwrap_or_default();
         lows.insert(sub);
-        let mut highs: BTreeSet<Oid> = self.up.get(&sup).cloned().unwrap_or_default();
+        let mut highs: OidRun = self.up.get(&sup).cloned().unwrap_or_default();
         highs.insert(sup);
 
         let mut grew = false;
@@ -80,19 +88,26 @@ impl Isa {
         self.up.get(&obj).is_some_and(|s| s.contains(&class))
     }
 
-    /// All (transitive) classes of `obj`.
+    /// All (transitive) classes of `obj`, in ascending `Oid` order.
     pub fn classes_of(&self, obj: Oid) -> impl Iterator<Item = Oid> + '_ {
         self.up.get(&obj).into_iter().flatten().copied()
     }
 
-    /// All (transitive) members of `class`.
+    /// All (transitive) members of `class`, in ascending `Oid` order.
     pub fn instances_of(&self, class: Oid) -> impl Iterator<Item = Oid> + '_ {
         self.down.get(&class).into_iter().flatten().copied()
     }
 
+    /// The extent of `class` as a sorted run, if non-empty — the stored
+    /// column itself (`Arc`-shared), for zero-copy hand-off to factorized
+    /// answers.
+    pub fn extent_run(&self, class: Oid) -> Option<&OidRun> {
+        self.down.get(&class)
+    }
+
     /// Number of members of `class`.
     pub fn extent_size(&self, class: Oid) -> usize {
-        self.down.get(&class).map_or(0, BTreeSet::len)
+        self.down.get(&class).map_or(0, |r| r.len())
     }
 
     /// Directly asserted edges, for persistence and debugging, sorted by
@@ -130,7 +145,7 @@ impl Isa {
 
     /// Number of directly asserted edges.
     pub fn direct_size(&self) -> usize {
-        self.direct_up.values().map(BTreeSet::len).sum()
+        self.direct_up.values().map(|r| r.len()).sum()
     }
 }
 
@@ -201,6 +216,7 @@ mod tests {
         ext.sort();
         assert_eq!(ext, vec![o(1), o(2), o(10)]);
         assert_eq!(isa.extent_size(o(10)), 2);
+        assert_eq!(isa.extent_run(o(10)).unwrap().as_slice(), &[o(1), o(2)]);
         let cls: Vec<_> = isa.classes_of(o(1)).collect();
         assert_eq!(cls.len(), 2);
         assert_eq!(isa.direct_edges().count(), 3);
@@ -217,7 +233,7 @@ mod tests {
         assert_eq!(isa.pairs_since(mark).len(), 0);
         // One asserted edge can add several closure pairs at once.
         isa.add(o(10), o(11));
-        let delta: BTreeSet<(Oid, Oid)> = isa.pairs_since(mark).iter().copied().collect();
+        let delta: std::collections::BTreeSet<(Oid, Oid)> = isa.pairs_since(mark).iter().copied().collect();
         assert_eq!(delta, [(o(1), o(11)), (o(10), o(11))].into_iter().collect());
         assert_eq!(isa.pairs_since(isa.closure_size()).len(), 0);
         assert_eq!(isa.pairs_since(1_000).len(), 0);

@@ -20,13 +20,16 @@
 
 mod facts;
 mod isa;
+mod runs;
 mod sigs;
 
-pub use facts::{Assert, Facts, ScalarFact, SetFact};
+pub use facts::{Assert, Facts, ScalarFactView, SetFactView};
 pub use isa::Isa;
+pub use runs::OidRun;
 pub use sigs::{Signature, Signatures};
 
-use std::collections::{BTreeSet, HashMap};
+use std::borrow::Cow;
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::builtins;
@@ -218,10 +221,15 @@ impl Structure {
 
     /// A printable identification of `oid`: its name, or `_#<oid>` for
     /// anonymous (virtual) objects.
-    pub fn display_name(&self, oid: Oid) -> String {
+    ///
+    /// Atoms — the overwhelmingly common case on reporting paths — borrow
+    /// the stored name; only integers, strings (which display quoted) and
+    /// anonymous objects allocate.
+    pub fn display_name(&self, oid: Oid) -> Cow<'_, str> {
         match self.name_of(oid) {
-            Some(n) => n.to_string(),
-            None => format!("_{oid}"),
+            Some(Name::Atom(s)) => Cow::Borrowed(s.as_str()),
+            Some(n) => Cow::Owned(n.to_string()),
+            None => Cow::Owned(format!("_{oid}")),
         }
     }
 
@@ -360,8 +368,10 @@ impl Structure {
         self.facts.scalar_result(method, receiver, args)
     }
 
-    /// Apply a set-valued method (no built-ins are set-valued).
-    pub fn apply_set(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<&BTreeSet<Oid>> {
+    /// Apply a set-valued method (no built-ins are set-valued).  The
+    /// returned run is the stored member column itself (sorted,
+    /// `Arc`-shared).
+    pub fn apply_set(&self, method: Oid, receiver: Oid, args: &[Oid]) -> Option<&OidRun> {
         self.facts.set_result(method, receiver, args)
     }
 
@@ -418,9 +428,9 @@ impl Structure {
         for (name, oid) in self.names() {
             let _ = writeln!(out, "name {oid} {name}");
         }
-        let mut scalars: Vec<&ScalarFact> = self.facts.scalar_facts().collect();
+        let mut scalars: Vec<ScalarFactView<'_>> = self.facts.scalar_facts().collect();
         scalars.sort_unstable_by(|a, b| {
-            (a.method, a.receiver, &a.args, a.result).cmp(&(b.method, b.receiver, &b.args, b.result))
+            (a.method, a.receiver, a.args, a.result).cmp(&(b.method, b.receiver, b.args, b.result))
         });
         for f in scalars {
             let _ = writeln!(out, "scalar {} {} {:?} -> {}", f.method, f.receiver, f.args, f.result);
@@ -428,11 +438,7 @@ impl Structure {
         let mut members: Vec<(Oid, Oid, &[Oid], Oid)> = self
             .facts
             .set_facts()
-            .flat_map(|f| {
-                f.members
-                    .iter()
-                    .map(move |&m| (f.method, f.receiver, f.args.as_ref(), m))
-            })
+            .flat_map(|f| f.members.iter().map(move |&m| (f.method, f.receiver, f.args, m)))
             .collect();
         members.sort_unstable();
         for (method, receiver, args, member) in members {

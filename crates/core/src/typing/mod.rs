@@ -64,7 +64,7 @@ pub fn type_check_with(structure: &Structure, options: TypeCheckOptions) -> Vec<
             options,
             fact.method,
             fact.receiver,
-            &fact.args,
+            fact.args,
             std::slice::from_ref(&fact.result),
             false,
             &mut errors,
@@ -77,7 +77,7 @@ pub fn type_check_with(structure: &Structure, options: TypeCheckOptions) -> Vec<
             options,
             fact.method,
             fact.receiver,
-            &fact.args,
+            fact.args,
             &members,
             true,
             &mut errors,

@@ -11,7 +11,7 @@ use std::fmt;
 
 use pathlog_core::builtins;
 use pathlog_core::names::Var;
-use pathlog_core::structure::{Oid, Structure};
+use pathlog_core::structure::{Oid, OidRun, Structure};
 
 use crate::error::{FlogicError, Result};
 use crate::flat::{FlatAtom, FlatLiteral, FlatProgram, FlatQuery, FlatTerm};
@@ -390,7 +390,7 @@ fn match_scalar(
                         if fact.receiver != r {
                             continue;
                         }
-                        if let Some(b) = unify_all(structure, args, &fact.args, bindings) {
+                        if let Some(b) = unify_all(structure, args, fact.args, bindings) {
                             out.extend(unify(structure, result, fact.result, &b));
                         }
                     }
@@ -399,7 +399,7 @@ fn match_scalar(
             Resolution::Unknown => {
                 for fact in structure.facts().scalar_facts_of_method(m) {
                     if let Some(b) = unify(structure, receiver, fact.receiver, bindings) {
-                        if let Some(b) = unify_all(structure, args, &fact.args, &b) {
+                        if let Some(b) = unify_all(structure, args, fact.args, &b) {
                             out.extend(unify(structure, result, fact.result, &b));
                         }
                     }
@@ -410,7 +410,7 @@ fn match_scalar(
             for fact in structure.facts().scalar_facts() {
                 if let Some(b) = unify(structure, method, fact.method, bindings) {
                     if let Some(b) = unify(structure, receiver, fact.receiver, &b) {
-                        if let Some(b) = unify_all(structure, args, &fact.args, &b) {
+                        if let Some(b) = unify_all(structure, args, fact.args, &b) {
                             out.extend(unify(structure, result, fact.result, &b));
                         }
                     }
@@ -430,7 +430,7 @@ fn match_set_member(
     bindings: &FlatBindings,
 ) -> Result<Vec<FlatBindings>> {
     let mut out = Vec::new();
-    let mut emit = |fact_receiver: Oid, fact_args: &[Oid], members: &BTreeSet<Oid>, b: &FlatBindings| {
+    let mut emit = |fact_receiver: Oid, fact_args: &[Oid], members: &OidRun, b: &FlatBindings| {
         if let Some(b) = unify(structure, receiver, fact_receiver, b) {
             if let Some(b) = unify_all(structure, args, fact_args, &b) {
                 for &m in members {
@@ -443,13 +443,13 @@ fn match_set_member(
         Resolution::NoMatch => {}
         Resolution::Known(m) => {
             for fact in structure.facts().set_facts_of_method(m) {
-                emit(fact.receiver, &fact.args, &fact.members, bindings);
+                emit(fact.receiver, fact.args, fact.members, bindings);
             }
         }
         Resolution::Unknown => {
             for fact in structure.facts().set_facts() {
                 if let Some(b) = unify(structure, method, fact.method, bindings) {
-                    emit(fact.receiver, &fact.args, &fact.members, &b);
+                    emit(fact.receiver, fact.args, fact.members, &b);
                 }
             }
         }

@@ -63,7 +63,7 @@ pub fn execute_query(structure: &Structure, compiled: &CompiledQuery) -> Result<
             .map(|(_, var)| {
                 bindings
                     .get(var)
-                    .map(|o| structure.display_name(o))
+                    .map(|o| structure.display_name(o).into_owned())
                     .unwrap_or_else(|| "?".to_string())
             })
             .collect();

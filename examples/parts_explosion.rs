@@ -81,7 +81,10 @@ fn members_of(structure: &Structure, method: &str, part: Oid) -> BTreeSet<Oid> {
     let method = structure
         .lookup_name(&pathlog::core::names::Name::atom(method))
         .expect("method exists");
-    structure.apply_set(method, part, &[]).cloned().unwrap_or_default()
+    structure
+        .apply_set(method, part, &[])
+        .map(|m| m.iter().copied().collect())
+        .unwrap_or_default()
 }
 
 /// The members of `part[(subparts.tc) ->> {...}]` — the method itself is the
@@ -95,5 +98,8 @@ fn members_of_generic(structure: &Structure, part: Oid) -> BTreeSet<Oid> {
         .into_iter()
         .next()
         .expect("subparts.tc denotes the virtual method object");
-    structure.apply_set(method, part, &[]).cloned().unwrap_or_default()
+    structure
+        .apply_set(method, part, &[])
+        .map(|m| m.iter().copied().collect())
+        .unwrap_or_default()
 }

@@ -26,7 +26,7 @@ fn main() {
     let closure = engine
         .eval_ground(&family, &parse_term("peter..(kids.tc)").unwrap())
         .unwrap();
-    let mut names: Vec<String> = closure.iter().map(|&o| family.display_name(o)).collect();
+    let mut names: Vec<String> = closure.iter().map(|&o| family.display_name(o).into_owned()).collect();
     names.sort();
     println!("peter[(kids.tc) ->> {{{}}}]", names.join(", "));
     assert_eq!(names, ["mary", "paul", "sally", "tim", "tom"]);

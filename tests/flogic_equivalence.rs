@@ -38,7 +38,7 @@ fn direct_answers(base: &Structure, program_text: &str) -> Vec<NamedAnswers> {
                         .filter_map(|v| {
                             bindings
                                 .get(v)
-                                .map(|o| (v.name().to_string(), structure.display_name(o)))
+                                .map(|o| (v.name().to_string(), structure.display_name(o).into_owned()))
                         })
                         .collect::<BTreeMap<_, _>>()
                 })
@@ -65,7 +65,7 @@ fn translated_answers(base: &Structure, program_text: &str) -> Vec<NamedAnswers>
                 .map(|bindings| {
                     bindings
                         .iter()
-                        .map(|(v, o)| (v.name().to_string(), structure.display_name(o)))
+                        .map(|(v, o)| (v.name().to_string(), structure.display_name(o).into_owned()))
                         .collect::<BTreeMap<_, _>>()
                 })
                 .collect()

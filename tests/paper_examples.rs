@@ -63,7 +63,9 @@ fn company_world() -> Structure {
 }
 
 fn names(structure: &Structure, oids: impl IntoIterator<Item = Oid>) -> BTreeSet<String> {
-    oids.into_iter().map(|o| structure.display_name(o)).collect()
+    oids.into_iter()
+        .map(|o| structure.display_name(o).into_owned())
+        .collect()
 }
 
 #[test]
@@ -127,7 +129,7 @@ fn e3_manager_query_single_reference() {
         .unwrap()
         .into_iter()
         .filter_map(|a| a.bindings.get(&Var::new("X")))
-        .map(|o| s.display_name(o))
+        .map(|o| s.display_name(o).into_owned())
         .collect();
     assert_eq!(managers, ["frank"].iter().map(|s| s.to_string()).collect());
 }

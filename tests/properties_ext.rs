@@ -111,7 +111,7 @@ proptest! {
                 prop_assert_eq!(stored, expected);
                 let stored_members: BTreeSet<Oid> = structure
                     .apply_set(methods[m as usize], objects[r as usize], &[])
-                    .cloned()
+                    .map(|run| run.iter().copied().collect())
                     .unwrap_or_default();
                 let expected_members: BTreeSet<Oid> = set_model
                     .get(&(m, r))

@@ -161,10 +161,10 @@ fn production_and_deductive_engines_agree_on_monotone_rule_sets() {
         s.facts()
             .set_facts_of_method(desc)
             .flat_map(|f| {
-                let receiver = s.display_name(f.receiver);
+                let receiver = s.display_name(f.receiver).into_owned();
                 f.members
                     .iter()
-                    .map(move |&m| (receiver.clone(), s.display_name(m)))
+                    .map(move |&m| (receiver.clone(), s.display_name(m).into_owned()))
                     .collect::<Vec<_>>()
             })
             .collect()

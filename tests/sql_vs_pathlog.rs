@@ -25,7 +25,11 @@ fn pathlog_answers(structure: &Structure, reference: &str, var: &str) -> BTreeSe
         .query_term(structure, &term)
         .expect("PathLog query evaluates")
         .into_iter()
-        .filter_map(|a| a.bindings.get(&Var::new(var)).map(|o| structure.display_name(o)))
+        .filter_map(|a| {
+            a.bindings
+                .get(&Var::new(var))
+                .map(|o| structure.display_name(o).into_owned())
+        })
         .collect()
 }
 
@@ -179,13 +183,13 @@ fn compiled_sql_round_trips_through_the_pathlog_parser() {
         .query(&structure, &compiled.query)
         .unwrap()
         .into_iter()
-        .filter_map(|b| b.get(&Var::new("Z")).map(|o| structure.display_name(o)))
+        .filter_map(|b| b.get(&Var::new("Z")).map(|o| structure.display_name(o).into_owned()))
         .collect();
     let roundtrip: BTreeSet<String> = Engine::new()
         .query(&structure, &reparsed)
         .unwrap()
         .into_iter()
-        .filter_map(|b| b.get(&Var::new("Z")).map(|o| structure.display_name(o)))
+        .filter_map(|b| b.get(&Var::new("Z")).map(|o| structure.display_name(o).into_owned()))
         .collect();
     assert_eq!(direct, roundtrip);
 }

@@ -144,7 +144,7 @@ fn comparison_builtins_extension_filters_bindings() {
         .query(&s, &program.queries[0])
         .unwrap()
         .iter()
-        .map(|b| s.display_name(b.get(&Var::new("X")).unwrap()))
+        .map(|b| s.display_name(b.get(&Var::new("X")).unwrap()).into_owned())
         .collect();
     assert_eq!(seniors.len(), 2);
     assert!(seniors.contains(&"bert".to_string()) && seniors.contains(&"carl".to_string()));
