@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use pathlog_baseline::RelationalDb;
 use pathlog_bench::{
-    colours, columnar_factorized, flogic_translation, manager_query, parsing, parts_explosion, reactive_rules, rss,
-    sql_frontend, transitive_closure, two_dimensional, virtual_objects, workloads, Row,
+    colours, columnar_factorized, constraints_commit, flogic_translation, manager_query, parsing, parts_explosion,
+    reactive_rules, rss, sql_frontend, transitive_closure, two_dimensional, virtual_objects, workloads, Row,
 };
 
 fn time_ms(mut f: impl FnMut() -> usize) -> (usize, f64) {
@@ -120,8 +120,8 @@ fn format_number(v: f64) -> String {
 fn main() {
     let args = parse_args();
     let mut report = Report::default();
-    // E17/E18/E19 are the cross-check gates the CI matrix arms invoke in
-    // isolation via `--only e17|e18|e19`; a full run includes all of them.
+    // E17/E18/E19/E20 are the cross-check gates the CI matrix arms invoke in
+    // isolation via `--only e17|e18|e19|e20`; a full run includes all of them.
     let wants = |name: &str| args.only.is_none() || args.only.as_deref() == Some(name);
     if args.only.is_none() {
         all_experiments(&mut report);
@@ -135,6 +135,9 @@ fn main() {
     if wants("e19") {
         e19_columnar_factorized(&mut report, args.scale);
     }
+    if wants("e20") {
+        e20_constraint_commits(&mut report);
+    }
     match args.only.as_deref() {
         None => println!("\nAll experiments finished; answers agreed across PathLog and the baselines."),
         Some("e17") => println!(
@@ -145,6 +148,11 @@ fn main() {
             "\nE19 cross-checks passed: every parallel closure arm's canonical dump was bit-identical \
              to the sequential reference, and the factorized enumeration matched the materialized \
              tuples answer-for-answer."
+        ),
+        Some("e20") => println!(
+            "\nE20 cross-checks passed: incremental check-on-commit rejected the same violations in \
+             the same order as the forced full re-check while solving strictly fewer conditions, \
+             and quarantined commits degraded (tainted) answers instead of dropping them."
         ),
         Some(_) => println!(
             "\nE18 cross-checks passed: pooled reactive evaluation matched the sequential runs \
@@ -762,7 +770,97 @@ fn e19_columnar_factorized(report: &mut Report, scale: usize) {
     report.table("E19b: factorized representation size across the E7 depth sweep", rows);
 }
 
-/// Command-line arguments: `[--json <path>] [--only e17|e18|e19] [--scale 1|10]`.
+/// E20 — check-on-commit integrity constraints: guarded transactions over
+/// the datagen company store.  The incremental arm re-solves only the
+/// constraints whose read keys intersect the commit's delta; the full arm
+/// (an out-of-band touch before every transaction forces a shadow rebuild)
+/// re-solves everything.  Both arms must reject the same violations in the
+/// same order while the incremental arm performs strictly fewer condition
+/// solves (counter-asserted — the CI gate), and the pooled-executor arm
+/// must agree with the sequential one.  The quarantine arm commits pay cuts
+/// below the wage floor under `ConstraintPolicy::Quarantine` and serves the
+/// salary query tolerantly: every classical answer is still served, tainted
+/// answers are annotated rather than dropped.
+fn e20_constraint_commits(report: &mut Report) {
+    use pathlog_core::engine::{Engine, EvalMode, EvalOptions, ExecutorKind};
+    let mut rows = Vec::new();
+    for &n in &[100usize, 300] {
+        let updates = 100usize;
+
+        let inc = constraints_commit::run_commits(n, updates, false, Engine::new());
+        let (_, inc_ms) = time_ms(|| constraints_commit::run_commits(n, updates, false, Engine::new()).committed);
+        let full = constraints_commit::run_commits(n, updates, true, Engine::new());
+        let (_, full_ms) = time_ms(|| constraints_commit::run_commits(n, updates, true, Engine::new()).committed);
+        assert_eq!(
+            inc.rejections, full.rejections,
+            "E20: incremental and full re-check must reject the same violations in the same order"
+        );
+        assert_eq!(
+            inc.committed, full.committed,
+            "E20: the arms must commit the same batches"
+        );
+        assert!(inc.rejected > 0, "E20: the workload must exercise rejection");
+        assert!(
+            inc.stats.condition_solves < full.stats.condition_solves,
+            "E20: incremental checking must solve strictly fewer conditions ({} vs {})",
+            inc.stats.condition_solves,
+            full.stats.condition_solves
+        );
+        assert!(
+            inc.stats.constraints_skipped > 0,
+            "E20: delta gating must skip unaffected constraints"
+        );
+
+        // The pooled-executor arm must agree with the sequential guard.
+        let pooled_engine = Engine::with_options(EvalOptions {
+            mode: EvalMode::Parallel { workers: 4 },
+            executor: ExecutorKind::Pooled,
+            ..EvalOptions::default()
+        });
+        let pooled = constraints_commit::run_commits(n, updates, false, pooled_engine);
+        assert_eq!(
+            pooled.rejections, inc.rejections,
+            "E20: the pooled guard must reject identically to the sequential one"
+        );
+        assert_eq!(pooled.stats.condition_solves, inc.stats.condition_solves);
+
+        // Quarantine arm: pay cuts commit tagged; answers degrade, not drop.
+        let cuts = 10usize;
+        let q = constraints_commit::run_quarantine(n, cuts);
+        assert!(q.quarantined >= cuts, "E20: every pay cut must tag at least one fact");
+        assert!(q.tainted > 0, "E20: quarantined salaries must taint their answers");
+        assert_eq!(
+            q.tainted + q.clean,
+            q.classical,
+            "E20: tolerant evaluation must serve every classical answer"
+        );
+        let (_, tolerant_ms) = time_ms(|| constraints_commit::run_quarantine(n, cuts).tainted);
+
+        rows.push(Row {
+            scale: format!("employees={n} commits={updates}"),
+            values: vec![
+                ("committed".into(), inc.committed as f64),
+                ("rejected".into(), inc.rejected as f64),
+                ("baseline_violations".into(), inc.baseline_violations as f64),
+                ("incremental_condition_solves".into(), inc.stats.condition_solves as f64),
+                ("full_condition_solves".into(), full.stats.condition_solves as f64),
+                ("constraints_skipped".into(), inc.stats.constraints_skipped as f64),
+                ("incremental_ms".into(), inc_ms),
+                ("full_recheck_ms".into(), full_ms),
+                ("quarantined_facts".into(), q.quarantined as f64),
+                ("tainted_answers".into(), q.tainted as f64),
+                ("clean_answers".into(), q.clean as f64),
+                ("quarantine_run_ms".into(), tolerant_ms),
+            ],
+        });
+    }
+    report.table(
+        "E20: check-on-commit constraints (incremental vs full re-check + quarantine degradation)",
+        rows,
+    );
+}
+
+/// Command-line arguments: `[--json <path>] [--only e17|e18|e19|e20] [--scale 1|10]`.
 struct Args {
     json: Option<String>,
     only: Option<String>,
@@ -782,10 +880,12 @@ fn parse_args() -> Args {
     while let Some(flag) = raw.next() {
         match (flag.as_str(), raw.next()) {
             ("--json", Some(path)) => args.json = Some(path),
-            ("--only", Some(table)) if table == "e17" || table == "e18" || table == "e19" => args.only = Some(table),
+            ("--only", Some(table)) if ["e17", "e18", "e19", "e20"].contains(&table.as_str()) => {
+                args.only = Some(table)
+            }
             ("--scale", Some(n)) if n == "1" || n == "10" => args.scale = n.parse().expect("validated"),
             _ => {
-                eprintln!("usage: experiments [--json <path>] [--only e17|e18|e19] [--scale 1|10]");
+                eprintln!("usage: experiments [--json <path>] [--only e17|e18|e19|e20] [--scale 1|10]");
                 std::process::exit(2);
             }
         }

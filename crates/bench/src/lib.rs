@@ -739,6 +739,197 @@ pub mod columnar_factorized {
     }
 }
 
+/// Experiment E20: check-on-commit integrity constraints.  Guarded
+/// transactions over the datagen company store, comparing the incremental
+/// (delta-gated) constraint check at commit against a forced full re-check,
+/// plus the quarantine arm: inconsistency-tolerant degradation under pay
+/// cuts that violate the wage-floor constraint.
+pub mod constraints_commit {
+    use super::*;
+    use pathlog_oodb::{CommitError, ObjectStore, Value};
+
+    /// The wage floor of the `underpaid` denial constraint.
+    pub const WAGE_FLOOR: i64 = 40_000;
+
+    /// The guarded company store at the given scale.  One salary is pinned
+    /// to the exact floor so the comparison literal's threshold is interned
+    /// in the structure the guard shadows (builtins only relate interned
+    /// integers).
+    pub fn store(employees: usize) -> ObjectStore {
+        let mut db = pathlog_datagen::generate_company(&CompanyParams::scaled(employees));
+        db.set("e0", "salary", Value::Int(WAGE_FLOOR)).expect("e0 exists");
+        db
+    }
+
+    /// The E20 denial constraints: no self-bossing, no self-friendship, no
+    /// salary below the wage floor.  `wage_policy` selects what happens to
+    /// wage violations (the structural rules always reject).
+    pub fn constraints(wage_policy: ConstraintPolicy) -> ConstraintSet {
+        [
+            Constraint::new(
+                "self_boss",
+                vec![Literal::pos(
+                    Term::var("X").filter(Filter::scalar("boss", Term::var("X"))),
+                )],
+                ConstraintPolicy::Reject,
+            )
+            .expect("range-restricted"),
+            Constraint::new(
+                "self_friend",
+                vec![Literal::pos(
+                    Term::var("X").filter(Filter::set("friends", vec![Term::var("X")])),
+                )],
+                ConstraintPolicy::Reject,
+            )
+            .expect("range-restricted"),
+            Constraint::new(
+                "underpaid",
+                vec![
+                    Literal::pos(
+                        Term::var("X")
+                            .isa("employee")
+                            .filter(Filter::scalar("salary", Term::var("S"))),
+                    ),
+                    Literal::pos(Term::var("S").scalar_args("lt", vec![Term::int(WAGE_FLOOR)])),
+                ],
+                wage_policy,
+            )
+            .expect("range-restricted"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// The outcome of one guarded-commit run.
+    pub struct CommitRun {
+        /// Commits that passed the check.
+        pub committed: usize,
+        /// Commits rejected (and rolled back) by a constraint.
+        pub rejected: usize,
+        /// Constraint names of the rejecting violations, in commit order —
+        /// the cross-check between the incremental and full arms.
+        pub rejections: Vec<String>,
+        /// Wage violations already present in the generated data, accepted
+        /// at install time (inconsistency tolerance of pre-existing state).
+        pub baseline_violations: usize,
+        /// The guard's cumulative check counters.
+        pub stats: CheckStats,
+    }
+
+    /// Run `updates` guarded commits over a fresh store: friend-edge adds,
+    /// with every fifth commit attempting an illegal self-friendship that
+    /// must be rejected and rolled back.  With `force_full`, an out-of-band
+    /// store touch before each transaction invalidates the guard's shadow,
+    /// so every commit pays a full shadow rebuild and re-solves every
+    /// constraint — the ablation baseline the incremental path is measured
+    /// against.
+    pub fn run_commits(employees: usize, updates: usize, force_full: bool, engine: Engine) -> CommitRun {
+        let mut db = store(employees);
+        let baseline = db
+            .set_constraints(constraints(ConstraintPolicy::Reject), engine)
+            .expect("constraints install");
+        let (mut committed, mut rejected) = (0usize, 0usize);
+        let mut rejections = Vec::new();
+        for i in 0..updates {
+            if force_full {
+                let city = db.get("e0", "city").cloned().expect("e0 has a city");
+                db.set("e0", "city", city).expect("out-of-band touch");
+            }
+            let a = format!("e{}", i % employees);
+            if i % 5 == 4 {
+                let mut txn = db.begin();
+                txn.add(&a, "friends", Value::obj(&a)).expect("stage self-friendship");
+                match txn.commit() {
+                    Err(CommitError::Rejected { violations, .. }) => {
+                        rejected += 1;
+                        rejections.extend(violations.into_iter().map(|v| v.constraint.to_string()));
+                    }
+                    other => panic!("self-friendship must be rejected, got {other:?}"),
+                }
+            } else {
+                let mut b = format!("e{}", (i * 7 + 1) % employees);
+                if b == a {
+                    b = format!("e{}", (i * 7 + 2) % employees);
+                }
+                let mut txn = db.begin();
+                txn.add(&a, "friends", Value::obj(&b)).expect("stage friend edge");
+                let receipt = txn.commit().expect("legal friend edge commits");
+                assert!(receipt.checked, "the guard checked the commit");
+                committed += 1;
+            }
+        }
+        let stats = db.constraint_guard().expect("guard installed").stats();
+        CommitRun {
+            committed,
+            rejected,
+            rejections,
+            baseline_violations: baseline.len(),
+            stats,
+        }
+    }
+
+    /// The salary query served during degraded operation.
+    pub fn salary_query() -> Query {
+        Query::new(vec![
+            Literal::pos(Term::var("X").isa("employee")),
+            Literal::pos(Term::var("X").filter(Filter::scalar("salary", Term::var("S")))),
+        ])
+    }
+
+    /// The outcome of the quarantine (tolerant-degradation) arm.
+    pub struct QuarantineRun {
+        /// Violations quarantined (facts tagged, commit allowed) over the run.
+        pub quarantined: usize,
+        /// Tolerant answers whose derivation needs a quarantined fact.
+        pub tainted: usize,
+        /// Tolerant answers derivable from the consistent part alone.
+        pub clean: usize,
+        /// Classical answer count on the same (inconsistent) structure —
+        /// must equal `tainted + clean`: quarantine degrades answers, it
+        /// does not drop them.
+        pub classical: usize,
+    }
+
+    /// Under a `Quarantine` wage policy, commit `cuts` pay cuts below the
+    /// wage floor — each commits successfully with its violating facts
+    /// tagged — then serve the salary query tolerantly and classically.
+    pub fn run_quarantine(employees: usize, cuts: usize) -> QuarantineRun {
+        let mut db = store(employees);
+        let engine = Engine::with_options(EvalOptions {
+            tolerance: Tolerance::Tolerant,
+            ..EvalOptions::default()
+        });
+        db.set_constraints(constraints(ConstraintPolicy::Quarantine), engine)
+            .expect("constraints install");
+        let mut quarantined = 0usize;
+        for i in 0..cuts {
+            let a = format!("e{}", (i * 3) % employees);
+            let mut txn = db.begin();
+            txn.set(&a, "salary", Value::Int(10_000 + i as i64))
+                .expect("stage pay cut");
+            let receipt = txn.commit().expect("quarantine policy commits");
+            quarantined += receipt.quarantined.len();
+        }
+        let answers = db.tolerant_query(&salary_query()).expect("tolerant query serves");
+        let tainted = answers
+            .answers
+            .iter()
+            .filter(|a| !matches!(a.status, ConsistencyStatus::Clean))
+            .count();
+        let clean = answers.answers.len() - tainted;
+        let classical = Engine::new()
+            .query(&db.to_structure(), &salary_query())
+            .expect("classical query serves")
+            .len();
+        QuarantineRun {
+            quarantined,
+            tainted,
+            clean,
+            classical,
+        }
+    }
+}
+
 /// One row of an experiment report: the scale point and the measured values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Row {
@@ -922,6 +1113,28 @@ mod tests {
         let db = RelationalDb::from_structure(&s);
         assert_eq!(parts_explosion::pathlog(&s), parts_explosion::relational(&db));
         assert!(parts_explosion::pathlog(&s) > 0);
+    }
+
+    #[test]
+    fn guarded_commits_cross_check_incremental_against_full_rechecks() {
+        let inc = constraints_commit::run_commits(60, 20, false, Engine::new());
+        let full = constraints_commit::run_commits(60, 20, true, Engine::new());
+        assert_eq!(inc.rejections, full.rejections, "same violations in the same order");
+        assert_eq!(inc.committed, full.committed);
+        assert!(inc.rejected > 0);
+        assert!(
+            inc.stats.condition_solves < full.stats.condition_solves,
+            "incremental must solve strictly fewer conditions"
+        );
+        assert!(inc.stats.constraints_skipped > 0);
+    }
+
+    #[test]
+    fn quarantined_pay_cuts_degrade_answers_without_dropping_them() {
+        let q = constraints_commit::run_quarantine(60, 6);
+        assert!(q.quarantined >= 6);
+        assert!(q.tainted > 0);
+        assert_eq!(q.tainted + q.clean, q.classical);
     }
 
     #[test]

@@ -1,0 +1,893 @@
+//! Integrity constraints as denial rules, checked incrementally, and the
+//! quarantine ledger behind inconsistency-tolerant query degradation.
+//!
+//! A constraint is a *denial*: a rule body that must have **no** solutions
+//! in a consistent structure (Decker's formulation of integrity checking in
+//! deductive databases).  `forbid manager_underpaid <- X : manager[salary
+//! -> S], S[lt@(1000) -> S].` reads "no manager earns under 1000"; every
+//! solution of the body is a [`ConstraintViolation`] carrying the violating
+//! valuation and the witnessing ground facts.
+//!
+//! **Incremental checking.**  Re-solving every constraint after every
+//! mutation batch is the classical-but-wasteful baseline.  The
+//! [`ConstraintChecker`] reuses the engine's semi-naive machinery instead:
+//! it keeps the [`EvalMarks`] watermarks of its last check, builds the
+//! [`DeltaView`] of everything asserted since, and re-solves only the
+//! constraints whose `literal_reads` keys intersect the delta — the same
+//! key-gating the fixpoint loop applies to rules.  Retractions invalidate
+//! watermark windows (the fact store swap-removes slots), so the checker
+//! also snapshots [`Structure::retractions`] and falls back to a full
+//! re-check whenever it moved — sound degradation, never a missed
+//! violation.  Affected constraints are batched through the engine's
+//! pooled condition solving ([`Engine::solve_conditions`]), so checking
+//! parallelises exactly like the reactive layer's recognise phases.
+//!
+//! **Tolerant degradation.**  Under the `Quarantine` policy a violation
+//! does not roll the data back; the offending facts are *tagged* in a
+//! [`Quarantine`] ledger and queries keep being served.  With
+//! [`Tolerance::Tolerant`] enabled, [`tolerant_query`] classifies each
+//! answer as *clean* (derivable without any quarantined fact) or *tainted*
+//! by the constraints whose quarantined facts its derivation needs — the
+//! spirit of Laurent/Spyratos' four-valued semantics for deductive
+//! databases, collapsed onto the two certainty levels PathLog's two-valued
+//! models can express.  On a consistent store the mode coincides with
+//! classical evaluation exactly.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::engine::executor::ConditionTask;
+use crate::engine::{Engine, SortedRun, Tolerance};
+use crate::error::Result;
+use crate::names::Name;
+use crate::program::{validate_rule, DepKey, Literal, Query, Rule};
+use crate::semantics::{Bindings, DeltaView, EvalMarks};
+use crate::structure::{Oid, Structure};
+use crate::term::{Filter, FilterValue, IsA, Molecule, Path, Term};
+
+/// What the store does when a commit leaves a constraint violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConstraintPolicy {
+    /// Refuse the mutation batch: the commit fails and rolls back (the
+    /// default).
+    #[default]
+    Reject,
+    /// Accept the batch and report the violations as warnings on the
+    /// receipt.
+    Warn,
+    /// Accept the batch, tag the violating facts in the [`Quarantine`]
+    /// ledger and degrade queries instead of the data (see
+    /// [`tolerant_query`]).
+    Quarantine,
+}
+
+/// One integrity constraint: a named denial body plus its enforcement
+/// policy.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    name: Arc<str>,
+    body: Vec<Literal>,
+    policy: ConstraintPolicy,
+    /// Every method/class key the body reads (positive *and* negated —
+    /// an insertion under a negated key can *remove* a violation, and the
+    /// checker must notice that too).
+    reads: BTreeSet<DepKey>,
+    /// The body reads an unknown key and must be re-solved on any delta.
+    catch_all: bool,
+}
+
+impl Constraint {
+    /// A denial constraint: `body` must have no solutions.  Validated like
+    /// a rule (well-formedness, safety of negated literals) through a
+    /// synthetic head, so unsafe constraint bodies are rejected with the
+    /// same diagnostics unsafe rules get.
+    pub fn new(name: impl Into<Arc<str>>, body: Vec<Literal>, policy: ConstraintPolicy) -> Result<Self> {
+        let name = name.into();
+        let probe = Rule::new(Term::Name(Name::atom(format!("ic_{name}"))), body.clone());
+        let info = validate_rule(&probe)?;
+        let reads: BTreeSet<DepKey> = info.uses.union(&info.strict_uses).cloned().collect();
+        let catch_all = reads.contains(&DepKey::Unknown);
+        Ok(Constraint {
+            name,
+            body,
+            policy,
+            reads,
+            catch_all,
+        })
+    }
+
+    /// The constraint's name (reported on violations and receipts).
+    pub fn name(&self) -> &Arc<str> {
+        &self.name
+    }
+
+    /// The denial body.
+    pub fn body(&self) -> &[Literal] {
+        &self.body
+    }
+
+    /// The enforcement policy.
+    pub fn policy(&self) -> ConstraintPolicy {
+        self.policy
+    }
+
+    /// The dependency keys the body reads (used for delta gating).
+    pub fn reads(&self) -> &BTreeSet<DepKey> {
+        &self.reads
+    }
+
+    /// Does the delta touch anything this constraint reads?
+    fn affected_by(&self, structure: &Structure, dv: &DeltaView) -> bool {
+        if self.catch_all {
+            return true;
+        }
+        self.reads.iter().any(|key| match key {
+            DepKey::Unknown => true,
+            DepKey::Known(name) => structure.lookup_name(name).is_some_and(|oid| dv.has_new_facts_for(oid)),
+        })
+    }
+}
+
+/// One violation of one constraint: the valuation that satisfied the denial
+/// body, with the body's literals rendered as ground witnessing facts.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConstraintViolation {
+    /// Name of the violated constraint.
+    pub constraint: Arc<str>,
+    /// The violating valuation, as `(variable, object)` pairs in variable
+    /// order — the canonical form the checker also sorts violations by.
+    pub binding: Vec<(Arc<str>, Oid)>,
+    /// The denial body under the violating valuation, one rendered ground
+    /// literal per body literal (negated ones prefixed with `not`).
+    pub witnesses: Vec<String>,
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint `{}` violated", self.constraint)?;
+        if !self.binding.is_empty() {
+            write!(f, " at ")?;
+            for (i, (var, oid)) in self.binding.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{var} = #{}", oid.0)?;
+            }
+        }
+        if !self.witnesses.is_empty() {
+            write!(f, ": {}", self.witnesses.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Substitute the valuation into a reference: bound variables become the
+/// display names of their objects, everything else is rebuilt unchanged.
+/// Used to render the witnessing facts of a violation.
+fn substitute(term: &Term, structure: &Structure, b: &Bindings) -> Term {
+    match term {
+        Term::Name(_) => term.clone(),
+        Term::Var(v) => match b.get(v) {
+            Some(oid) => Term::Name(Name::atom(structure.display_name(oid).into_owned())),
+            None => term.clone(),
+        },
+        Term::Paren(t) => Term::Paren(Box::new(substitute(t, structure, b))),
+        Term::Path(p) => Term::Path(Box::new(Path {
+            receiver: substitute(&p.receiver, structure, b),
+            set_valued: p.set_valued,
+            method: substitute(&p.method, structure, b),
+            args: p.args.iter().map(|a| substitute(a, structure, b)).collect(),
+        })),
+        Term::Molecule(m) => Term::Molecule(Box::new(Molecule {
+            receiver: substitute(&m.receiver, structure, b),
+            filters: m
+                .filters
+                .iter()
+                .map(|f| Filter {
+                    method: substitute(&f.method, structure, b),
+                    args: f.args.iter().map(|a| substitute(a, structure, b)).collect(),
+                    value: match &f.value {
+                        FilterValue::Scalar(t) => FilterValue::Scalar(substitute(t, structure, b)),
+                        FilterValue::SetRef(t) => FilterValue::SetRef(substitute(t, structure, b)),
+                        FilterValue::SetExplicit(ts) => {
+                            FilterValue::SetExplicit(ts.iter().map(|t| substitute(t, structure, b)).collect())
+                        }
+                        FilterValue::SigScalar(ts) => {
+                            FilterValue::SigScalar(ts.iter().map(|t| substitute(t, structure, b)).collect())
+                        }
+                        FilterValue::SigSet(ts) => {
+                            FilterValue::SigSet(ts.iter().map(|t| substitute(t, structure, b)).collect())
+                        }
+                    },
+                })
+                .collect(),
+        })),
+        Term::IsA(i) => Term::IsA(Box::new(IsA {
+            receiver: substitute(&i.receiver, structure, b),
+            class: substitute(&i.class, structure, b),
+        })),
+    }
+}
+
+/// An ordered collection of constraints.  Declaration order is the report
+/// order: the checker returns violations grouped by constraint in this
+/// order, each group sorted by valuation.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a constraint.
+    pub fn push(&mut self, constraint: Constraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// The constraints, in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+
+    /// Look a constraint up by name.
+    pub fn get(&self, name: &str) -> Option<&Constraint> {
+        self.constraints.iter().find(|c| &**c.name() == name)
+    }
+}
+
+impl FromIterator<Constraint> for ConstraintSet {
+    fn from_iter<T: IntoIterator<Item = Constraint>>(iter: T) -> Self {
+        ConstraintSet {
+            constraints: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Counters of one checker's lifetime, the observable the E20 experiment
+/// asserts on: incremental checking must perform strictly fewer condition
+/// solves than full re-checking on the same mutation workload.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Calls to [`ConstraintChecker::check`].
+    pub checks: usize,
+    /// Checks that had to re-solve every constraint (first check,
+    /// retraction in the window, new objects, signature changes).
+    pub full_checks: usize,
+    /// Constraint bodies actually solved.
+    pub condition_solves: usize,
+    /// Constraint solves skipped because the delta did not touch their read
+    /// keys.
+    pub constraints_skipped: usize,
+}
+
+/// The incremental constraint checker: watermark-gated, delta-driven,
+/// pooled (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ConstraintChecker {
+    constraints: ConstraintSet,
+    engine: Engine,
+    /// Watermarks of the last completed check; `None` before the first.
+    marks: Option<EvalMarks>,
+    /// [`Structure::retractions`] at the last completed check.
+    retractions: usize,
+    /// Violations per constraint as of the last check, each list sorted by
+    /// valuation.  Skipped constraints answer from this cache.
+    cache: Vec<Vec<ConstraintViolation>>,
+    stats: CheckStats,
+}
+
+impl ConstraintChecker {
+    /// A checker over `constraints`, solving on (a clone of) `engine` —
+    /// clones share the engine's worker pool, so checking reuses the same
+    /// threads as evaluation.
+    pub fn new(constraints: ConstraintSet, engine: Engine) -> Self {
+        let cache = vec![Vec::new(); constraints.len()];
+        ConstraintChecker {
+            constraints,
+            engine,
+            marks: None,
+            retractions: 0,
+            cache,
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// The constraints this checker enforces.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// The engine the checker solves on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Lifetime counters (see [`CheckStats`]).
+    pub fn stats(&self) -> CheckStats {
+        self.stats
+    }
+
+    /// Current violations of every constraint, re-solving only the
+    /// constraints the delta since the last check can have affected.
+    /// Returns the violations grouped by constraint in declaration order,
+    /// each group sorted by valuation — the exact list a full re-check
+    /// returns.
+    pub fn check(&mut self, structure: &mut Structure) -> Result<Vec<ConstraintViolation>> {
+        let affected: Vec<usize> = match self.window(structure) {
+            None => (0..self.constraints.len()).collect(),
+            Some(dv) if dv.is_empty() => Vec::new(),
+            Some(dv) if dv.has_new_objects() || dv.sigs_changed() => {
+                // New objects can satisfy literals through positions that
+                // read no named key; signature changes have no per-fact
+                // stamps.  Same conservative catch-alls as the fixpoint
+                // loop.
+                (0..self.constraints.len()).collect()
+            }
+            Some(dv) => self
+                .constraints
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.affected_by(structure, &dv))
+                .map(|(i, _)| i)
+                .collect(),
+        };
+        self.stats.checks += 1;
+        if affected.len() == self.constraints.len() && !affected.is_empty() {
+            self.stats.full_checks += 1;
+        }
+        self.stats.constraints_skipped += self.constraints.len() - affected.len();
+        self.solve_into_cache(structure, &affected)?;
+        self.marks = Some(EvalMarks::capture(structure));
+        self.retractions = structure.retractions();
+        Ok(self.cache.iter().flatten().cloned().collect())
+    }
+
+    /// Current violations with every constraint re-solved unconditionally —
+    /// the classical baseline (and the oracle the property tests compare
+    /// [`ConstraintChecker::check`] against).
+    pub fn check_full(&mut self, structure: &mut Structure) -> Result<Vec<ConstraintViolation>> {
+        let all: Vec<usize> = (0..self.constraints.len()).collect();
+        self.stats.checks += 1;
+        if !all.is_empty() {
+            self.stats.full_checks += 1;
+        }
+        self.solve_into_cache(structure, &all)?;
+        self.marks = Some(EvalMarks::capture(structure));
+        self.retractions = structure.retractions();
+        Ok(self.cache.iter().flatten().cloned().collect())
+    }
+
+    /// The delta window since the last completed check, or `None` when no
+    /// sound window exists (first check, or a retraction invalidated the
+    /// watermarks).
+    fn window(&self, structure: &Structure) -> Option<DeltaView> {
+        let lo = self.marks.as_ref()?;
+        if structure.retractions() != self.retractions {
+            return None;
+        }
+        let hi = EvalMarks::capture(structure);
+        Some(DeltaView::between(structure, lo, &hi))
+    }
+
+    /// Solve the bodies of the `affected` constraints as one pooled
+    /// condition batch and refresh their cache entries.
+    fn solve_into_cache(&mut self, structure: &mut Structure, affected: &[usize]) -> Result<()> {
+        if affected.is_empty() {
+            return Ok(());
+        }
+        let bodies: Arc<[Vec<Literal>]> = affected
+            .iter()
+            .map(|&i| self.constraints.constraints[i].body.clone())
+            .collect::<Vec<_>>()
+            .into();
+        let tasks: Vec<ConditionTask> = (0..affected.len())
+            .map(|body| ConditionTask {
+                body,
+                seed: Bindings::new(),
+            })
+            .collect();
+        self.stats.condition_solves += tasks.len();
+        let runs = self.engine.solve_conditions(structure, bodies, tasks)?;
+        for (&i, run) in affected.iter().zip(runs) {
+            self.cache[i] = violations_of(&self.constraints.constraints[i], structure, run);
+        }
+        Ok(())
+    }
+}
+
+/// Convert one constraint's solved run into sorted violations.  The run is
+/// already in canonical [`binding_key`](crate::engine::binding_key) order,
+/// which sorts the violations by valuation deterministically.
+fn violations_of(constraint: &Constraint, structure: &Structure, run: SortedRun) -> Vec<ConstraintViolation> {
+    run.into_iter()
+        .map(|(key, bindings)| {
+            let witnesses = constraint
+                .body
+                .iter()
+                .map(|lit| {
+                    let ground = substitute(&lit.term, structure, &bindings);
+                    if lit.positive {
+                        ground.to_string()
+                    } else {
+                        format!("not {ground}")
+                    }
+                })
+                .collect();
+            ConstraintViolation {
+                constraint: Arc::clone(&constraint.name),
+                binding: key.into_iter().map(|(var, oid)| (var, Oid(oid))).collect(),
+                witnesses,
+            }
+        })
+        .collect()
+}
+
+// --- quarantine & tolerant evaluation -----------------------------------
+
+/// The ledger of facts tagged (not removed) by `Quarantine`-policy
+/// violations: each entry maps a stored fact to the constraints that
+/// implicated it.  [`Quarantine::scrub`] materialises the *consistent part*
+/// of a structure — everything except the tagged facts — which is what
+/// tolerant evaluation compares classical answers against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Quarantine {
+    /// `(method, receiver, args)` of tagged scalar facts.
+    scalar: BTreeMap<ScalarFactKey, Tags>,
+    /// `(method, receiver, args, member)` of tagged set members.
+    members: BTreeMap<MemberFactKey, Tags>,
+}
+
+/// The constraints implicating one tagged fact.
+type Tags = BTreeSet<Arc<str>>;
+/// Identity of a stored scalar fact: `(method, receiver, args)`.
+type ScalarFactKey = (Oid, Oid, Vec<Oid>);
+/// Identity of a stored set member: `(method, receiver, args, member)`.
+type MemberFactKey = (Oid, Oid, Vec<Oid>, Oid);
+
+impl Quarantine {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is the ledger empty (the store is consistent, or only Reject/Warn
+    /// constraints exist)?
+    pub fn is_empty(&self) -> bool {
+        self.scalar.is_empty() && self.members.is_empty()
+    }
+
+    /// Number of tagged facts.
+    pub fn len(&self) -> usize {
+        self.scalar.len() + self.members.len()
+    }
+
+    /// Tag the scalar fact `(method, receiver, args)` as implicated by
+    /// `constraint`.
+    pub fn tag_scalar(&mut self, method: Oid, receiver: Oid, args: Vec<Oid>, constraint: Arc<str>) {
+        self.scalar
+            .entry((method, receiver, args))
+            .or_default()
+            .insert(constraint);
+    }
+
+    /// Tag the set member `(method, receiver, args, member)` as implicated
+    /// by `constraint`.
+    pub fn tag_set_member(&mut self, method: Oid, receiver: Oid, args: Vec<Oid>, member: Oid, constraint: Arc<str>) {
+        self.members
+            .entry((method, receiver, args, member))
+            .or_default()
+            .insert(constraint);
+    }
+
+    /// Drop every tag implicating `constraint` (its violations were
+    /// repaired); entries implicated by no remaining constraint disappear.
+    pub fn clear_constraint(&mut self, constraint: &str) {
+        self.scalar.retain(|_, cs| {
+            cs.retain(|c| &**c != constraint);
+            !cs.is_empty()
+        });
+        self.members.retain(|_, cs| {
+            cs.retain(|c| &**c != constraint);
+            !cs.is_empty()
+        });
+    }
+
+    /// Every constraint name with at least one tagged fact.
+    pub fn constraints(&self) -> BTreeSet<Arc<str>> {
+        self.scalar
+            .values()
+            .chain(self.members.values())
+            .flatten()
+            .cloned()
+            .collect()
+    }
+
+    /// The consistent part of `structure`: a clone with every tagged fact
+    /// retracted.  `only` restricts the scrub to facts implicated by one
+    /// constraint (for per-constraint taint attribution); `None` scrubs
+    /// them all.
+    pub fn scrub(&self, structure: &Structure, only: Option<&str>) -> Structure {
+        let implicated = |tags: &BTreeSet<Arc<str>>| match only {
+            None => true,
+            Some(name) => tags.iter().any(|c| &**c == name),
+        };
+        let mut clean = structure.clone();
+        for ((method, receiver, args), tags) in &self.scalar {
+            if implicated(tags) {
+                clean.retract_scalar(*method, *receiver, args);
+            }
+        }
+        for ((method, receiver, args, member), tags) in &self.members {
+            if implicated(tags) {
+                clean.retract_set_member(*method, *receiver, args, *member);
+            }
+        }
+        clean
+    }
+}
+
+/// The consistency status of one tolerant answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsistencyStatus {
+    /// Derivable from the consistent part alone — quarantined facts played
+    /// no role.
+    Clean,
+    /// The derivation needs at least one quarantined fact; the names are
+    /// the constraints that implicated them.
+    Tainted(BTreeSet<Arc<str>>),
+}
+
+/// One answer of a tolerant query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TolerantAnswer {
+    /// The satisfying valuation.
+    pub bindings: Bindings,
+    /// Whether the answer survives on the consistent part.
+    pub status: ConsistencyStatus,
+}
+
+/// The result of a tolerant query: classical answers annotated with their
+/// consistency status, plus the answers classical evaluation *suppresses*
+/// (derivable from the consistent part but blocked by a quarantined fact
+/// through negation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TolerantAnswers {
+    /// The classical answers, each annotated clean or tainted.
+    pub answers: Vec<TolerantAnswer>,
+    /// Valuations the consistent part supports that the full structure does
+    /// not (only possible through negated literals reading a quarantined
+    /// fact).
+    pub suppressed: Vec<Bindings>,
+}
+
+impl TolerantAnswers {
+    /// Do any answers depend on quarantined facts?
+    pub fn any_tainted(&self) -> bool {
+        self.answers
+            .iter()
+            .any(|a| !matches!(a.status, ConsistencyStatus::Clean))
+    }
+}
+
+/// Answer `query` with inconsistency tolerance: classical answers are
+/// annotated clean/tainted against `quarantine`, and answers only the
+/// consistent part supports are reported as suppressed.
+///
+/// With [`Tolerance::Strict`] (the engine default) or an empty ledger this
+/// is exactly classical evaluation: every answer comes back `Clean` with no
+/// suppressions, at the cost of a single solve — the property the tolerant
+/// tests pin down.
+pub fn tolerant_query(
+    engine: &Engine,
+    structure: &Structure,
+    quarantine: &Quarantine,
+    query: &Query,
+) -> Result<TolerantAnswers> {
+    let classical = engine.query(structure, query)?;
+    if engine.options().tolerance == Tolerance::Strict || quarantine.is_empty() {
+        return Ok(TolerantAnswers {
+            answers: classical
+                .into_iter()
+                .map(|bindings| TolerantAnswer {
+                    bindings,
+                    status: ConsistencyStatus::Clean,
+                })
+                .collect(),
+            suppressed: Vec::new(),
+        });
+    }
+    let key_of = crate::engine::binding_key;
+    let consistent_part = quarantine.scrub(structure, None);
+    let clean_keys: BTreeSet<_> = engine.query(&consistent_part, query)?.iter().map(key_of).collect();
+    let classical_keys: BTreeSet<_> = classical.iter().map(key_of).collect();
+    // Per-constraint attribution: an answer is tainted by `c` if scrubbing
+    // only `c`'s facts makes it underivable.  Answers tainted only by a
+    // *joint* dependency (no single constraint's scrub removes them) are
+    // attributed to every ledger constraint, the conservative upper bound.
+    let all_constraints = quarantine.constraints();
+    let mut tainted_by: BTreeMap<crate::engine::BindingKey, Tags> = BTreeMap::new();
+    for name in &all_constraints {
+        let part = quarantine.scrub(structure, Some(name));
+        let surviving: BTreeSet<_> = engine.query(&part, query)?.iter().map(key_of).collect();
+        for b in &classical {
+            let key = key_of(b);
+            if !clean_keys.contains(&key) && !surviving.contains(&key) {
+                tainted_by.entry(key).or_default().insert(Arc::clone(name));
+            }
+        }
+    }
+    let answers = classical
+        .into_iter()
+        .map(|bindings| {
+            let key = key_of(&bindings);
+            let status = if clean_keys.contains(&key) {
+                ConsistencyStatus::Clean
+            } else {
+                let by = tainted_by.remove(&key).unwrap_or_else(|| all_constraints.clone());
+                ConsistencyStatus::Tainted(by)
+            };
+            TolerantAnswer { bindings, status }
+        })
+        .collect();
+    let suppressed = engine
+        .query(&consistent_part, query)?
+        .into_iter()
+        .filter(|b| !classical_keys.contains(&key_of(b)))
+        .collect();
+    Ok(TolerantAnswers { answers, suppressed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EvalMode, EvalOptions, ExecutorKind};
+    use crate::names::Var;
+
+    /// mary is a manager earning 900; peter a manager earning 1200.
+    fn fixture() -> (Structure, Engine) {
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        let facts = vec![
+            Rule::fact(Term::name("mary").isa("manager")),
+            Rule::fact(Term::name("mary").filter(Filter::scalar("salary", Term::int(900)))),
+            Rule::fact(Term::name("peter").isa("manager")),
+            Rule::fact(Term::name("peter").filter(Filter::scalar("salary", Term::int(1200)))),
+        ];
+        engine.run_rules(&mut s, &facts).unwrap();
+        s.int(1000); // intern the comparison threshold the constraint uses
+        (s, engine)
+    }
+
+    /// `X : manager[salary -> S], S[lt@(1000) -> S]` — no manager earns
+    /// under 1000.
+    fn underpaid_body() -> Vec<Literal> {
+        vec![
+            Literal::pos(Term::var("X").isa("manager")),
+            Literal::pos(Term::var("X").filter(Filter::scalar("salary", Term::var("S")))),
+            Literal::pos(Term::var("S").filter(Filter {
+                method: Term::name(crate::builtins::LT),
+                args: vec![Term::int(1000)],
+                value: FilterValue::Scalar(Term::var("S")),
+            })),
+        ]
+    }
+
+    fn underpaid() -> Constraint {
+        Constraint::new("manager_underpaid", underpaid_body(), ConstraintPolicy::Reject).unwrap()
+    }
+
+    /// `?- X : manager[salary -> S].`
+    fn manager_salary_query() -> Query {
+        Query::new(vec![
+            Literal::pos(Term::var("X").isa("manager")),
+            Literal::pos(Term::var("X").filter(Filter::scalar("salary", Term::var("S")))),
+        ])
+    }
+
+    #[test]
+    fn violations_carry_binding_and_ground_witnesses() {
+        let (mut s, engine) = fixture();
+        let mut checker = ConstraintChecker::new([underpaid()].into_iter().collect(), engine);
+        let violations = checker.check(&mut s).unwrap();
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(&*v.constraint, "manager_underpaid");
+        let vars: Vec<&str> = v.binding.iter().map(|(name, _)| &**name).collect();
+        assert_eq!(vars, vec!["S", "X"], "canonical variable order");
+        assert!(v.witnesses[0].contains("mary"), "{:?}", v.witnesses);
+        assert!(v.witnesses.iter().any(|w| w.contains("900")), "{:?}", v.witnesses);
+        assert!(v.to_string().contains("manager_underpaid"));
+    }
+
+    #[test]
+    fn unsafe_constraint_bodies_are_rejected_like_unsafe_rules() {
+        let body = vec![Literal::neg(Term::var("X").isa("manager"))];
+        assert!(Constraint::new("bad", body, ConstraintPolicy::Reject).is_err());
+    }
+
+    #[test]
+    fn unaffected_constraints_are_skipped_and_answer_from_cache() {
+        let (mut s, engine) = fixture();
+        let kids_orphan = {
+            // `X[kids ->> {Y}], not Y : manager` — every kid is a manager.
+            let body = vec![
+                Literal::pos(Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")]))),
+                Literal::neg(Term::var("Y").isa("manager")),
+            ];
+            Constraint::new("kid_not_manager", body, ConstraintPolicy::Reject).unwrap()
+        };
+        let set: ConstraintSet = [underpaid(), kids_orphan].into_iter().collect();
+        let mut checker = ConstraintChecker::new(set, engine.clone());
+        let first = checker.check(&mut s).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(checker.stats().condition_solves, 2, "first check solves everything");
+
+        // Register the objects the mutation will use, then let a check
+        // absorb them (new objects conservatively re-solve everything).
+        let salary = s.lookup_name(&Name::atom("salary")).unwrap();
+        let anna = s.atom("anna");
+        let cheap = s.int(10);
+        let manager = s.lookup_name(&Name::atom("manager")).unwrap();
+        s.add_isa(anna, manager);
+        checker.check(&mut s).unwrap();
+        let base = checker.stats().condition_solves;
+        // A salary-only mutation: only the salary-reading constraint re-solves.
+        s.assert_scalar(salary, anna, &[], cheap).unwrap();
+        let after = checker.check(&mut s).unwrap();
+        assert_eq!(after.len(), 2, "anna now violates underpaid too");
+        assert_eq!(
+            checker.stats().condition_solves,
+            base + 1,
+            "only the salary-reading constraint re-solved"
+        );
+        assert!(checker.stats().constraints_skipped >= 1);
+
+        // No mutation at all: nothing re-solves, the cache answers.
+        let again = checker.check(&mut s).unwrap();
+        assert_eq!(again, after);
+        assert_eq!(checker.stats().condition_solves, base + 1);
+    }
+
+    #[test]
+    fn retraction_forces_a_sound_full_recheck() {
+        let (mut s, engine) = fixture();
+        let mut checker = ConstraintChecker::new([underpaid()].into_iter().collect(), engine);
+        assert_eq!(checker.check(&mut s).unwrap().len(), 1);
+        // Repair the violation by retracting mary's salary: a delta view
+        // cannot see retractions, so the checker must fall back to a full
+        // re-solve and report the store consistent.
+        let salary = s.lookup_name(&Name::atom("salary")).unwrap();
+        let mary = s.lookup_name(&Name::atom("mary")).unwrap();
+        assert!(s.retract_scalar(salary, mary, &[]).is_some());
+        let solves_before = checker.stats().condition_solves;
+        assert!(checker.check(&mut s).unwrap().is_empty());
+        assert_eq!(checker.stats().condition_solves, solves_before + 1);
+    }
+
+    #[test]
+    fn incremental_equals_full_recheck_across_executors() {
+        for options in [
+            EvalOptions::default(),
+            EvalOptions {
+                mode: EvalMode::Parallel { workers: 4 },
+                executor: ExecutorKind::Pooled,
+                ..EvalOptions::default()
+            },
+            EvalOptions {
+                mode: EvalMode::Parallel { workers: 4 },
+                executor: ExecutorKind::Scoped,
+                ..EvalOptions::default()
+            },
+        ] {
+            let (mut s, _) = fixture();
+            let engine = Engine::with_options(options);
+            let set = || -> ConstraintSet { [underpaid()].into_iter().collect() };
+            let mut incremental = ConstraintChecker::new(set(), engine.clone());
+            let mut full = ConstraintChecker::new(set(), engine.clone());
+            assert_eq!(
+                incremental.check(&mut s).unwrap(),
+                full.check_full(&mut s).unwrap(),
+                "{options:?}"
+            );
+            let anna = s.atom("anna");
+            let manager = s.lookup_name(&Name::atom("manager")).unwrap();
+            let salary = s.lookup_name(&Name::atom("salary")).unwrap();
+            let low = s.int(3);
+            s.add_isa(anna, manager);
+            s.assert_scalar(salary, anna, &[], low).unwrap();
+            assert_eq!(
+                incremental.check(&mut s).unwrap(),
+                full.check_full(&mut s).unwrap(),
+                "{options:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quarantine_scrub_materialises_the_consistent_part() {
+        let (s, _) = fixture();
+        let salary = s.lookup_name(&Name::atom("salary")).unwrap();
+        let mary = s.lookup_name(&Name::atom("mary")).unwrap();
+        let mut q = Quarantine::new();
+        q.tag_scalar(salary, mary, Vec::new(), "manager_underpaid".into());
+        assert_eq!(q.len(), 1);
+        let clean = q.scrub(&s, None);
+        assert!(clean.apply_scalar(salary, mary, &[]).is_none());
+        // The original is untouched.
+        assert!(s.apply_scalar(salary, mary, &[]).is_some());
+        q.clear_constraint("manager_underpaid");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tolerant_query_taints_answers_depending_on_quarantined_facts() {
+        let (s, _) = fixture();
+        let engine = Engine::with_options(EvalOptions {
+            tolerance: Tolerance::Tolerant,
+            ..EvalOptions::default()
+        });
+        let salary = s.lookup_name(&Name::atom("salary")).unwrap();
+        let mary = s.lookup_name(&Name::atom("mary")).unwrap();
+        let mut q = Quarantine::new();
+        q.tag_scalar(salary, mary, Vec::new(), "manager_underpaid".into());
+        let query = manager_salary_query();
+        let out = tolerant_query(&engine, &s, &q, &query).unwrap();
+        assert_eq!(out.answers.len(), 2);
+        let mut statuses: Vec<(String, bool)> = out
+            .answers
+            .iter()
+            .map(|a| {
+                let x = a.bindings.get(&Var::new("X")).unwrap();
+                (
+                    s.display_name(x).into_owned(),
+                    matches!(a.status, ConsistencyStatus::Clean),
+                )
+            })
+            .collect();
+        statuses.sort();
+        assert_eq!(statuses, vec![("mary".into(), false), ("peter".into(), true)]);
+        let tainted = out
+            .answers
+            .iter()
+            .find(|a| !matches!(a.status, ConsistencyStatus::Clean))
+            .unwrap();
+        match &tainted.status {
+            ConsistencyStatus::Tainted(by) => {
+                assert_eq!(by.iter().map(|c| &**c).collect::<Vec<_>>(), vec!["manager_underpaid"]);
+            }
+            ConsistencyStatus::Clean => unreachable!(),
+        }
+        assert!(out.suppressed.is_empty());
+        assert!(out.any_tainted());
+    }
+
+    #[test]
+    fn tolerant_coincides_with_classical_on_consistent_stores() {
+        let (s, _) = fixture();
+        let engine = Engine::with_options(EvalOptions {
+            tolerance: Tolerance::Tolerant,
+            ..EvalOptions::default()
+        });
+        let query = manager_salary_query();
+        let classical = engine.query(&s, &query).unwrap();
+        let out = tolerant_query(&engine, &s, &Quarantine::new(), &query).unwrap();
+        assert_eq!(out.answers.len(), classical.len());
+        assert!(out.answers.iter().all(|a| matches!(a.status, ConsistencyStatus::Clean)));
+        assert!(out.suppressed.is_empty());
+    }
+}

@@ -61,14 +61,32 @@
 //! default) reuses a persistent worker pool across all batches of an
 //! engine, [`ExecutorKind::Scoped`] spawns scoped threads per batch — see
 //! the [`executor`] module docs.
+//!
+//! Because every two-phase commit above is all-or-nothing at the iteration
+//! boundary, the same machinery carries the **check-on-commit** integrity
+//! constraints of [`crate::constraints`]: a [`ConstraintChecker`] re-solves
+//! (through [`Engine::solve_conditions`], batched like reactive recognise
+//! phases) only the denial rules whose read keys intersect a mutation
+//! batch's delta, and the object store's transaction layer
+//! (`pathlog_oodb::Transaction::commit`) either commits a batch whose check
+//! passes or rolls the whole batch back — there are no partially-checked
+//! states.  [`EvalOptions::tolerance`] selects what an *inconsistent*
+//! structure means for queries: under [`Tolerance::Strict`] (default)
+//! answers are classical; under [`Tolerance::Tolerant`] quarantined facts
+//! (violations admitted by `ConstraintPolicy::Quarantine`) stay in the
+//! structure but [`crate::constraints::tolerant_query`] annotates every
+//! answer whose derivation needs one as tainted by the implicated
+//! constraints, so degraded stores keep serving.
+//!
+//! [`ConstraintChecker`]: crate::constraints::ConstraintChecker
 
 pub mod executor;
 mod stratify;
 mod virtuals;
 
 pub use executor::{
-    binding_key, merge_sorted_runs, sorted_run, BindingKey, ConditionBatch, ConditionTask, Executor, PooledExecutor,
-    ScopedExecutor, SolveBatch, SolveOutput, SolveTask, SortedRun, WorkerPool,
+    binding_key, merge_sorted_runs, sorted_run, BindingKey, ConditionBatch, ConditionTask, Executor, FaultControl,
+    PooledExecutor, ScopedExecutor, SolveBatch, SolveOutput, SolveTask, SortedRun, WorkerPool,
 };
 pub use stratify::{stratify, Stratification};
 pub use virtuals::{assert_head, AssertEffect, AssertOptions};
@@ -77,7 +95,7 @@ use std::collections::{BTreeSet, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use crate::error::{Error, Result};
+use crate::error::{Error, LimitKind, Result};
 use crate::names::Name;
 use crate::program::{literal_reads, DepKey, Literal, Program, Query, Rule, RuleInfo};
 use crate::semantics::{
@@ -142,6 +160,29 @@ pub enum ExecutorKind {
     Scoped,
 }
 
+/// How queries treat facts quarantined by an integrity-constraint violation
+/// (see the [`constraints`](crate::constraints) module).
+///
+/// Under the default `Strict` mode quarantined facts are indistinguishable
+/// from ordinary ones — queries answer over the structure as stored.
+/// `Tolerant` opts into inconsistency-tolerant degradation in the spirit of
+/// Laurent/Spyratos' four-valued semantics: answers derivable without any
+/// quarantined fact are reported *clean*, answers that depend on one are
+/// reported *tainted* by the constraints that quarantined their support,
+/// and queries keep being served either way.  On a consistent store (empty
+/// quarantine) the two modes coincide exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tolerance {
+    /// Classical evaluation: quarantined facts answer like any other (the
+    /// default).
+    #[default]
+    Strict,
+    /// Inconsistency-tolerant evaluation: answers carry a consistency
+    /// status (clean vs. tainted-by-constraint) computed against the
+    /// quarantine ledger.
+    Tolerant,
+}
+
 /// Options controlling evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalOptions {
@@ -174,6 +215,10 @@ pub struct EvalOptions {
     /// threshold the fan-out is all thread overhead; ablations lower it to
     /// force sharding at small scales.
     pub shard_min_entries: usize,
+    /// Whether queries degrade gracefully over quarantined (constraint-
+    /// violating) facts instead of answering classically — see
+    /// [`Tolerance`].
+    pub tolerance: Tolerance,
 }
 
 impl Default for EvalOptions {
@@ -187,6 +232,7 @@ impl Default for EvalOptions {
             schedule: Schedule::CrossRule,
             executor: ExecutorKind::Pooled,
             shard_min_entries: crate::semantics::DEFAULT_SHARD_MIN_ENTRIES,
+            tolerance: Tolerance::Strict,
         }
     }
 }
@@ -241,6 +287,14 @@ pub struct EvalStats {
     pub delta_solves: usize,
     /// Rule evaluations solved against the full structure.
     pub full_solves: usize,
+    /// Tasks whose worker panicked and that were re-run on the coordinator
+    /// during this run (see [`FaultControl`]).  Always 0 outside fault
+    /// injection; excluded from the cross-mode identity contract above,
+    /// since only parallel runs have workers to lose.
+    pub tasks_recovered: usize,
+    /// Pool workers found dead and replaced during this run (see
+    /// [`FaultControl`]).  Always 0 outside fault injection.
+    pub workers_respawned: usize,
 }
 
 impl EvalStats {
@@ -267,6 +321,8 @@ impl EvalStats {
         self.rules_skipped = self.rules_skipped.saturating_add(other.rules_skipped);
         self.delta_solves = self.delta_solves.saturating_add(other.delta_solves);
         self.full_solves = self.full_solves.saturating_add(other.full_solves);
+        self.tasks_recovered = self.tasks_recovered.saturating_add(other.tasks_recovered);
+        self.workers_respawned = self.workers_respawned.saturating_add(other.workers_respawned);
     }
 
     fn absorb(&mut self, e: AssertEffect) {
@@ -295,6 +351,9 @@ pub struct Engine {
     /// Worker threads spawned on behalf of this engine (pool + scoped),
     /// shared across clones; see [`Engine::threads_spawned`].
     spawns: Arc<AtomicUsize>,
+    /// Fault injection hooks and recovery counters, shared with the
+    /// executors (and across clones); see [`Engine::fault_control`].
+    control: Arc<FaultControl>,
 }
 
 impl Engine {
@@ -325,6 +384,15 @@ impl Engine {
         self.spawns.load(Ordering::Relaxed)
     }
 
+    /// The engine's [`FaultControl`]: cumulative fault-recovery counters,
+    /// and the injection hooks the fault tests use to plant worker panics.
+    /// Shared by the engine's clones and all executors it creates; per-run
+    /// recovery deltas are also surfaced in
+    /// [`EvalStats::tasks_recovered`]/[`EvalStats::workers_respawned`].
+    pub fn fault_control(&self) -> &Arc<FaultControl> {
+        &self.control
+    }
+
     /// The executor configured by the options (inline for sequential runs;
     /// the persistent pool is created on first use and reused afterwards).
     fn executor(&self) -> Box<dyn Executor> {
@@ -335,11 +403,19 @@ impl Engine {
             return Box::new(ScopedExecutor::new(1, Arc::clone(&self.spawns)));
         }
         match self.options.executor {
-            ExecutorKind::Scoped => Box::new(ScopedExecutor::new(workers, Arc::clone(&self.spawns))),
+            ExecutorKind::Scoped => Box::new(ScopedExecutor::with_control(
+                workers,
+                Arc::clone(&self.spawns),
+                Arc::clone(&self.control),
+            )),
             ExecutorKind::Pooled => {
-                let pool = self
-                    .pool
-                    .get_or_init(|| Arc::new(WorkerPool::new(workers, &self.spawns)));
+                let pool = self.pool.get_or_init(|| {
+                    Arc::new(WorkerPool::with_control(
+                        workers,
+                        &self.spawns,
+                        Arc::clone(&self.control),
+                    ))
+                });
                 Box::new(PooledExecutor::new(Arc::clone(pool)))
             }
         }
@@ -384,6 +460,10 @@ impl Engine {
             strata: stratification.len(),
             ..EvalStats::default()
         };
+        // Snapshot the shared recovery counters so the stats report this
+        // run's deltas (the control is cumulative across runs and clones).
+        let recovered_before = self.control.tasks_recovered();
+        let respawned_before = self.control.workers_respawned();
         let executor = self.executor();
         let rules_arc: Arc<[Rule]> = rules.to_vec().into();
         match self.options.schedule {
@@ -399,6 +479,8 @@ impl Engine {
                 &mut stats,
             )?,
         }
+        stats.tasks_recovered = self.control.tasks_recovered().saturating_sub(recovered_before);
+        stats.workers_respawned = self.control.workers_respawned().saturating_sub(respawned_before);
         Ok(stats)
     }
 
@@ -457,10 +539,11 @@ impl Engine {
             loop {
                 stats.iterations += 1;
                 if stats.iterations > self.options.max_iterations {
-                    return Err(Error::LimitExceeded(format!(
-                        "fixpoint did not converge within {} iterations",
-                        self.options.max_iterations
-                    )));
+                    return Err(Error::LimitExceeded {
+                        kind: LimitKind::Iterations,
+                        limit: self.options.max_iterations,
+                        observed: stats.iterations,
+                    });
                 }
                 // Phase 1a: plan the iteration's task queue.
                 let mut tasks: Vec<SolveTask> = Vec::new();
@@ -541,10 +624,11 @@ impl Engine {
                             stats.absorb(effect);
                         }
                         if stats.derived() > self.options.max_derived {
-                            return Err(Error::LimitExceeded(format!(
-                                "more than {} facts derived; aborting",
-                                self.options.max_derived
-                            )));
+                            return Err(Error::LimitExceeded {
+                                kind: LimitKind::DerivedFacts,
+                                limit: self.options.max_derived,
+                                observed: stats.derived(),
+                            });
                         }
                     }
                 }
@@ -591,10 +675,11 @@ impl Engine {
             loop {
                 stats.iterations += 1;
                 if stats.iterations > self.options.max_iterations {
-                    return Err(Error::LimitExceeded(format!(
-                        "fixpoint did not converge within {} iterations",
-                        self.options.max_iterations
-                    )));
+                    return Err(Error::LimitExceeded {
+                        kind: LimitKind::Iterations,
+                        limit: self.options.max_iterations,
+                        observed: stats.iterations,
+                    });
                 }
                 let mut new_keys: BTreeSet<DepKey> = BTreeSet::new();
                 let mut any_change = false;
@@ -684,10 +769,11 @@ impl Engine {
                             }
                         }
                         if stats.derived() > self.options.max_derived {
-                            return Err(Error::LimitExceeded(format!(
-                                "more than {} facts derived; aborting",
-                                self.options.max_derived
-                            )));
+                            return Err(Error::LimitExceeded {
+                                kind: LimitKind::DerivedFacts,
+                                limit: self.options.max_derived,
+                                observed: stats.derived(),
+                            });
                         }
                     }
                 }
@@ -1339,7 +1425,14 @@ mod tests {
             ..EvalOptions::default()
         });
         let err = engine.run_rules(&mut s, &rules).unwrap_err();
-        assert!(matches!(err, Error::LimitExceeded(_)));
+        assert!(matches!(
+            err,
+            Error::LimitExceeded {
+                kind: crate::error::LimitKind::Iterations,
+                limit: 50,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1874,6 +1967,8 @@ mod tests {
             rules_skipped: 8,
             delta_solves: 9,
             full_solves: 10,
+            tasks_recovered: 11,
+            workers_respawned: 12,
         };
         let b = EvalStats {
             strata: 10,
@@ -1887,6 +1982,8 @@ mod tests {
             rules_skipped: 90,
             delta_solves: 100,
             full_solves: 110,
+            tasks_recovered: 120,
+            workers_respawned: 130,
         };
         a.merge(&b);
         assert_eq!(a.strata, 11);
@@ -1900,6 +1997,8 @@ mod tests {
         assert_eq!(a.rules_skipped, 98);
         assert_eq!(a.delta_solves, 109);
         assert_eq!(a.full_solves, 120);
+        assert_eq!(a.tasks_recovered, 131);
+        assert_eq!(a.workers_respawned, 142);
         // derived() of saturated counters must not overflow either.
         assert_eq!(a.derived(), usize::MAX);
     }

@@ -2,6 +2,27 @@
 
 use std::fmt;
 
+/// Which evaluation budget was exhausted (see [`Error::LimitExceeded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitKind {
+    /// The fixpoint did not converge within
+    /// [`EvalOptions::max_iterations`](crate::engine::EvalOptions).
+    Iterations,
+    /// More facts were derived than
+    /// [`EvalOptions::max_derived`](crate::engine::EvalOptions) allows — the
+    /// guard against runaway virtual-object creation.
+    DerivedFacts,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitKind::Iterations => write!(f, "fixpoint iterations"),
+            LimitKind::DerivedFacts => write!(f, "derived facts"),
+        }
+    }
+}
+
 /// Errors raised while validating or evaluating PathLog references, rules and
 /// programs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,8 +42,29 @@ pub enum Error {
     UnknownName(String),
     /// A type (signature) violation detected by the checker.
     TypeViolation(String),
-    /// Budget exceeded (fixpoint iteration or derived-fact limit).
-    LimitExceeded(String),
+    /// An evaluation budget was exhausted.  Carries which limit was hit, its
+    /// configured value and the observed count, so callers can react to the
+    /// kind (retry with a larger budget, report the overshoot) without
+    /// matching on formatted strings.
+    LimitExceeded {
+        /// Which budget was exhausted.
+        kind: LimitKind,
+        /// The configured limit.
+        limit: usize,
+        /// The value actually observed when the limit tripped.
+        observed: usize,
+    },
+    /// A parallel executor failed to produce a result for every task of a
+    /// batch — `completed` of `expected` results arrived.  This is a
+    /// defensive invariant check: the executors recover panicked tasks by
+    /// re-running them on the coordinator, so this error indicates a
+    /// scheduling bug, not a task panic.
+    LostWork {
+        /// Task results that did arrive.
+        completed: usize,
+        /// Tasks the batch contained.
+        expected: usize,
+    },
     /// Anything else.
     Other(String),
 }
@@ -36,7 +78,12 @@ impl fmt::Display for Error {
             Error::NotGround(m) => write!(f, "reference is not ground: {m}"),
             Error::UnknownName(m) => write!(f, "unknown name: {m}"),
             Error::TypeViolation(m) => write!(f, "type violation: {m}"),
-            Error::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            Error::LimitExceeded { kind, limit, observed } => {
+                write!(f, "limit exceeded: {kind} over budget ({observed} > {limit})")
+            }
+            Error::LostWork { completed, expected } => {
+                write!(f, "parallel solve lost work items: {completed} of {expected} completed")
+            }
             Error::Other(m) => write!(f, "{m}"),
         }
     }
@@ -62,5 +109,31 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::Other("x".into()), Error::Other("x".into()));
         assert_ne!(Error::Other("x".into()), Error::Other("y".into()));
+    }
+
+    #[test]
+    fn limit_exceeded_carries_kind_and_values() {
+        let e = Error::LimitExceeded {
+            kind: LimitKind::Iterations,
+            limit: 10,
+            observed: 11,
+        };
+        assert!(e.to_string().contains("fixpoint iterations"));
+        assert!(e.to_string().contains("11 > 10"));
+        let e = Error::LimitExceeded {
+            kind: LimitKind::DerivedFacts,
+            limit: 100,
+            observed: 150,
+        };
+        assert!(e.to_string().contains("derived facts"));
+    }
+
+    #[test]
+    fn lost_work_reports_counts() {
+        let e = Error::LostWork {
+            completed: 3,
+            expected: 5,
+        };
+        assert!(e.to_string().contains("3 of 5"));
     }
 }

@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 
 pub mod builtins;
+pub mod constraints;
 pub mod engine;
 pub mod error;
 pub mod names;
@@ -75,7 +76,11 @@ pub mod wellformed;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::engine::{solve_body, Engine, EvalMode, EvalOptions, EvalStats, ExecutorKind, Schedule};
+    pub use crate::constraints::{
+        tolerant_query, CheckStats, ConsistencyStatus, Constraint, ConstraintChecker, ConstraintPolicy, ConstraintSet,
+        ConstraintViolation, Quarantine, TolerantAnswer, TolerantAnswers,
+    };
+    pub use crate::engine::{solve_body, Engine, EvalMode, EvalOptions, EvalStats, ExecutorKind, Schedule, Tolerance};
     pub use crate::error::{Error, Result};
     pub use crate::names::{Name, Var};
     pub use crate::program::{Literal, Program, Query, Rule};

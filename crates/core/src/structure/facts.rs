@@ -242,6 +242,13 @@ pub struct Facts {
     /// Append-only insertion log of set members: `(application index,
     /// member)` in assertion order.  Backs the engine's delta slices.
     set_log: Vec<(u32, Oid)>,
+
+    /// Monotone count of successful retractions (scalar + set member).
+    /// Watermark windows captured before a retraction are invalid (the
+    /// slot table reorders, the insertion log over-reports); incremental
+    /// consumers compare this counter to detect the invalidation and fall
+    /// back to a full pass — see [`Facts::num_retractions`].
+    retractions: usize,
 }
 
 impl Facts {
@@ -450,6 +457,7 @@ impl Facts {
             replace_index(&mut self.scalar_by_method_result, &(mmethod, mresult), old, slot);
             replace_index(&mut self.scalar_by_receiver, &mreceiver, old, slot);
         }
+        self.retractions += 1;
         Some(result)
     }
 
@@ -672,7 +680,16 @@ impl Facts {
         }
         self.set_member_count -= 1;
         remove_index(&mut self.set_by_method_member, &(method, member), app);
+        self.retractions += 1;
         true
+    }
+
+    /// Monotone count of successful retractions over the lifetime of these
+    /// tables.  Unlike the fact counts this never decreases, so two
+    /// snapshots of it bracket a span: equal counters mean no retraction
+    /// happened in between and watermark slices over the span are sound.
+    pub fn num_retractions(&self) -> usize {
+        self.retractions
     }
 }
 
@@ -1006,5 +1023,20 @@ mod tests {
         assert!(Arc::ptr_eq(&f.scalar_groups[0].cols, &snap.scalar_groups[0].cols));
         assert_eq!(snap.set_result(o(2), o(10), &[]).unwrap().len(), 1);
         assert_eq!(f.set_result(o(2), o(10), &[]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn retraction_counter_is_monotone_and_counts_only_successes() {
+        let mut f = Facts::new();
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_set_member(o(2), o(10), &[], o(30));
+        assert_eq!(f.num_retractions(), 0, "assertions do not count");
+        assert_eq!(f.retract_scalar(o(1), o(10), &[]), Some(o(20)));
+        assert_eq!(f.num_retractions(), 1);
+        assert_eq!(f.retract_scalar(o(1), o(10), &[]), None, "no-op misses do not count");
+        assert!(!f.retract_set_member(o(2), o(10), &[], o(99)));
+        assert_eq!(f.num_retractions(), 1);
+        assert!(f.retract_set_member(o(2), o(10), &[], o(30)));
+        assert_eq!(f.num_retractions(), 2, "monotone even though the tables shrank");
     }
 }

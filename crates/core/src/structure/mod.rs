@@ -393,6 +393,15 @@ impl Structure {
         self.facts.retract_set_member(method, receiver, args, member)
     }
 
+    /// Monotone count of successful retractions (scalar + set member) over
+    /// this structure's lifetime.  Incremental consumers (the constraint
+    /// checker, the reactive layer) snapshot it alongside their watermarks:
+    /// an unchanged counter proves the span is retraction-free and delta
+    /// slices over it are sound; a changed one forces a full re-pass.
+    pub fn retractions(&self) -> usize {
+        self.facts.num_retractions()
+    }
+
     /// Read access to the fact tables (for baselines and reporting).
     pub fn facts(&self) -> &Facts {
         &self.facts

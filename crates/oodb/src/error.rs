@@ -13,6 +13,19 @@ pub enum StoreError {
     /// An operation violates the schema (wrong scalarity, wrong domain or
     /// range class).
     SchemaViolation(String),
+    /// A [`DeleteMode::Restrict`](crate::DeleteMode::Restrict) delete was
+    /// refused because the object is still referenced.  Carries the object
+    /// and every referrer, sorted, so callers can report (or cascade)
+    /// precisely instead of parsing a message.
+    StillReferenced {
+        /// The object whose deletion was refused.
+        object: String,
+        /// The objects whose attributes still reference it.
+        referrers: Vec<String>,
+    },
+    /// Integrity-constraint machinery failed to evaluate (e.g. a resource
+    /// limit was hit while solving a constraint body).
+    Constraint(String),
     /// The persistence format could not be parsed.
     Format(String),
 }
@@ -23,6 +36,12 @@ impl fmt::Display for StoreError {
             StoreError::Duplicate(m) => write!(f, "duplicate definition: {m}"),
             StoreError::Unknown(m) => write!(f, "unknown name: {m}"),
             StoreError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            StoreError::StillReferenced { object, referrers } => write!(
+                f,
+                "cannot delete {object}: still referenced by {}",
+                referrers.join(", ")
+            ),
+            StoreError::Constraint(m) => write!(f, "constraint evaluation failed: {m}"),
             StoreError::Format(m) => write!(f, "format error: {m}"),
         }
     }
@@ -45,5 +64,13 @@ mod tests {
         assert!(StoreError::Unknown("x".into()).to_string().contains("unknown"));
         assert!(StoreError::SchemaViolation("y".into()).to_string().contains("schema"));
         assert!(StoreError::Format("line 3".into()).to_string().contains("format"));
+        let e = StoreError::StillReferenced {
+            object: "a1".into(),
+            referrers: vec!["e1".into(), "e2".into()],
+        };
+        assert_eq!(e.to_string(), "cannot delete a1: still referenced by e1, e2");
+        assert!(StoreError::Constraint("limit".into())
+            .to_string()
+            .contains("constraint"));
     }
 }

@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 
 mod error;
+mod guard;
 mod persist;
 mod schema;
 mod store;
 mod txn;
 
 pub use error::{Result, StoreError};
+pub use guard::{CommitError, CommitReceipt, ConstraintGuard};
 pub use persist::{dump, load};
 pub use schema::{AttrDef, AttrKind, ClassDef, Range, Schema};
 pub use store::{ObjId, ObjectStore, StoreStats, StoredObject, Value};

@@ -34,7 +34,7 @@ impl Value {
         Value::Ref(name.into())
     }
 
-    fn to_name(&self) -> Name {
+    pub(crate) fn to_name(&self) -> Name {
         match self {
             Value::Ref(s) | Value::Atom(s) => Name::Atom(s.clone()),
             Value::Int(i) => Name::Int(*i),
@@ -78,6 +78,15 @@ pub struct ObjectStore {
     sets: HashMap<(ObjId, String), BTreeSet<Value>>,
     /// Tombstones of deleted objects (object ids stay stable).
     deleted: BTreeSet<ObjId>,
+    /// Monotone mutation counter, bumped on every effective change.  The
+    /// constraint guard uses it to detect out-of-band mutations (anything
+    /// not routed through the transaction whose commit it is checking) and
+    /// fall back to a full shadow rebuild instead of trusting stale
+    /// watermarks.
+    version: u64,
+    /// Check-on-commit integrity constraints, if installed (see
+    /// [`ObjectStore::set_constraints`]).
+    constraints: Option<Box<crate::guard::ConstraintGuard>>,
 }
 
 impl ObjectStore {
@@ -120,7 +129,13 @@ impl ObjectStore {
         });
         self.by_name.insert(name.to_owned(), id);
         self.by_class.entry(class.to_owned()).or_default().push(id);
+        self.version += 1;
         Ok(id)
+    }
+
+    /// The current value of the monotone mutation counter.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The id of a named object.
@@ -159,14 +174,23 @@ impl ObjectStore {
 
     /// Remove a scalar attribute value, returning it.
     pub(crate) fn take_scalar(&mut self, id: ObjId, attr: &str) -> Option<Value> {
-        self.scalar.remove(&(id, attr.to_owned()))
+        let taken = self.scalar.remove(&(id, attr.to_owned()));
+        if taken.is_some() {
+            self.version += 1;
+        }
+        taken
     }
 
     /// Remove one member from a set attribute; `true` if it was present.
     pub(crate) fn remove_set_member(&mut self, id: ObjId, attr: &str, value: &Value) -> bool {
-        self.sets
+        let removed = self
+            .sets
             .get_mut(&(id, attr.to_owned()))
-            .is_some_and(|s| s.remove(value))
+            .is_some_and(|s| s.remove(value));
+        if removed {
+            self.version += 1;
+        }
+        removed
     }
 
     /// Remove an object record and all of its own attribute values.
@@ -180,6 +204,7 @@ impl ObjectStore {
         self.scalar.retain(|(oid, _), _| *oid != id);
         self.sets.retain(|(oid, _), _| *oid != id);
         self.deleted.insert(id);
+        self.version += 1;
     }
 
     /// Objects whose class is exactly `class` or a subclass of it.
@@ -245,6 +270,7 @@ impl ObjectStore {
             .ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
         self.attr_check(id, attr, AttrKind::Scalar, &value)?;
         self.scalar.insert((id, attr.to_owned()), value);
+        self.version += 1;
         Ok(())
     }
 
@@ -254,7 +280,9 @@ impl ObjectStore {
             .id_of(obj)
             .ok_or_else(|| StoreError::Unknown(format!("object {obj}")))?;
         self.attr_check(id, attr, AttrKind::Set, &value)?;
-        self.sets.entry((id, attr.to_owned())).or_default().insert(value);
+        if self.sets.entry((id, attr.to_owned())).or_default().insert(value) {
+            self.version += 1;
+        }
         Ok(())
     }
 
@@ -292,6 +320,87 @@ impl ObjectStore {
             }
         }
         Ok(())
+    }
+
+    // -- check-on-commit integrity constraints ------------------------------
+
+    /// Install integrity constraints, checked on every
+    /// [`Transaction::commit`](crate::Transaction::commit).
+    ///
+    /// The guard keeps a shadow [`Structure`] in sync with the store and
+    /// re-checks **incrementally**: after a transaction, only constraints
+    /// whose read keys intersect the delta are re-solved (see
+    /// [`pathlog_core::constraints`]).  Constraint solving runs on (a clone
+    /// of) `engine`, so pooled engines share worker threads with query
+    /// evaluation; give the engine
+    /// [`Tolerance::Tolerant`](pathlog_core::engine::Tolerance) options if
+    /// [`ObjectStore::tolerant_query`] should degrade instead of answering
+    /// classically.
+    ///
+    /// Returns the violations already present at install time.  Those are
+    /// *accepted*: the guard is inconsistency-tolerant and only blocks
+    /// commits that introduce **new** violations.
+    pub fn set_constraints(
+        &mut self,
+        constraints: pathlog_core::constraints::ConstraintSet,
+        engine: pathlog_core::engine::Engine,
+    ) -> Result<Vec<pathlog_core::constraints::ConstraintViolation>> {
+        let (guard, baseline) = crate::guard::ConstraintGuard::install(constraints, engine, self)
+            .map_err(|e| StoreError::Constraint(e.to_string()))?;
+        self.constraints = Some(Box::new(guard));
+        Ok(baseline)
+    }
+
+    /// The installed constraint guard, if any.
+    pub fn constraint_guard(&self) -> Option<&crate::guard::ConstraintGuard> {
+        self.constraints.as_deref()
+    }
+
+    /// Uninstall the constraint guard; commits stop being checked.
+    pub fn clear_constraints(&mut self) {
+        self.constraints = None;
+    }
+
+    /// Answer a query in inconsistency-tolerant mode: evaluate over the
+    /// guard's shadow structure, flagging answers that depend on quarantined
+    /// facts (see [`pathlog_core::constraints::tolerant_query`]).  Requires
+    /// constraints to be installed.
+    pub fn tolerant_query(
+        &self,
+        query: &pathlog_core::program::Query,
+    ) -> Result<pathlog_core::constraints::TolerantAnswers> {
+        let guard = self
+            .constraints
+            .as_deref()
+            .ok_or_else(|| StoreError::Unknown("constraint guard (none installed)".into()))?;
+        guard
+            .tolerant_query(query)
+            .map_err(|e| StoreError::Constraint(e.to_string()))
+    }
+
+    /// Detach the guard for the duration of a commit check (borrow dance:
+    /// the guard needs `&ObjectStore` while being mutated itself).
+    pub(crate) fn take_guard(&mut self) -> Option<Box<crate::guard::ConstraintGuard>> {
+        self.constraints.take()
+    }
+
+    /// Re-attach a guard detached by [`ObjectStore::take_guard`].
+    pub(crate) fn restore_guard(&mut self, guard: Box<crate::guard::ConstraintGuard>) {
+        self.constraints = Some(guard);
+    }
+
+    /// After a transaction rollback the store is back in its pre-transaction
+    /// state.  If the guard was in sync when the transaction began, its
+    /// shadow (never touched, or reverted by a rejected commit) still
+    /// matches — fast-forward its synced version so the next commit keeps
+    /// the incremental path instead of rebuilding.
+    pub(crate) fn resync_guard_after_rollback(&mut self, begin_version: u64) {
+        let version = self.version;
+        if let Some(guard) = self.constraints.as_deref_mut() {
+            if guard.synced_version() == begin_version {
+                guard.set_synced_version(version);
+            }
+        }
     }
 
     /// Convert the store into a PathLog semantic structure: objects with

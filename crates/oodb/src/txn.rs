@@ -10,6 +10,7 @@
 use std::collections::BTreeSet;
 
 use crate::error::{Result, StoreError};
+use crate::guard::{CommitError, CommitReceipt};
 use crate::store::{ObjectStore, Value};
 
 /// How [`ObjectStore::delete_object`] treats incoming references.
@@ -21,13 +22,16 @@ pub enum DeleteMode {
     Cascade,
 }
 
-/// One undoable change.
+/// One undoable change.  Also the unit of shadow synchronisation: the
+/// constraint guard replays these onto its shadow structure at commit time.
 #[derive(Debug, Clone, PartialEq)]
-enum Change {
-    /// A scalar attribute was set; `previous` restores the old state.
+pub(crate) enum Change {
+    /// A scalar attribute was set to `value`; `previous` restores the old
+    /// state.
     ScalarSet {
         obj: String,
         attr: String,
+        value: Value,
         previous: Option<Value>,
     },
     /// A member was added to a set attribute.
@@ -36,6 +40,46 @@ enum Change {
     SetRemoved { obj: String, attr: String, value: Value },
     /// A scalar attribute was cleared.
     ScalarCleared { obj: String, attr: String, previous: Value },
+}
+
+impl Change {
+    fn undo(self, store: &mut ObjectStore) {
+        match self {
+            Change::ScalarSet {
+                obj, attr, previous, ..
+            } => {
+                let id = store.id_of(&obj).expect("object still exists during rollback");
+                match previous {
+                    Some(v) => {
+                        store.set(&obj, &attr, v).expect("restoring a previously valid value");
+                    }
+                    None => {
+                        store.take_scalar(id, &attr);
+                    }
+                }
+            }
+            Change::SetAdded { obj, attr, value } => {
+                let id = store.id_of(&obj).expect("object still exists during rollback");
+                store.remove_set_member(id, &attr, &value);
+            }
+            Change::SetRemoved { obj, attr, value }
+            | Change::ScalarCleared {
+                obj,
+                attr,
+                previous: value,
+            } => {
+                // re-adding / re-setting a previously valid value cannot fail
+                match store.schema().attr_def(&attr).map(|a| a.kind) {
+                    Some(crate::schema::AttrKind::Set) => store
+                        .add(&obj, &attr, value)
+                        .expect("restoring a previously valid member"),
+                    _ => store
+                        .set(&obj, &attr, value)
+                        .expect("restoring a previously valid value"),
+                }
+            }
+        }
+    }
 }
 
 impl ObjectStore {
@@ -90,10 +134,10 @@ impl ObjectStore {
         if !referrers.is_empty() {
             match mode {
                 DeleteMode::Restrict => {
-                    return Err(StoreError::SchemaViolation(format!(
-                        "cannot delete {name}: still referenced by {}",
-                        referrers.into_iter().collect::<Vec<_>>().join(", ")
-                    )))
+                    return Err(StoreError::StillReferenced {
+                        object: name.to_owned(),
+                        referrers: referrers.into_iter().collect(),
+                    })
                 }
                 DeleteMode::Cascade => {
                     let attrs: Vec<(String, crate::schema::AttrKind)> =
@@ -121,9 +165,10 @@ impl ObjectStore {
     }
 
     /// Start a transaction; mutations through it are undone on drop unless
-    /// [`Transaction::commit`] is called.
+    /// [`Transaction::commit`] is called (and succeeds).
     pub fn begin(&mut self) -> Transaction<'_> {
         Transaction {
+            begin_version: self.version(),
             store: self,
             log: Vec::new(),
             committed: false,
@@ -137,6 +182,10 @@ pub struct Transaction<'a> {
     store: &'a mut ObjectStore,
     log: Vec<Change>,
     committed: bool,
+    /// [`ObjectStore::version`] when the transaction began; the constraint
+    /// guard compares it against its own sync point to decide between
+    /// incremental checking and a full shadow rebuild.
+    begin_version: u64,
 }
 
 impl<'a> Transaction<'a> {
@@ -148,10 +197,11 @@ impl<'a> Transaction<'a> {
     /// Set a scalar attribute (undoable).
     pub fn set(&mut self, obj: &str, attr: &str, value: Value) -> Result<()> {
         let previous = self.store.get(obj, attr).cloned();
-        self.store.set(obj, attr, value)?;
+        self.store.set(obj, attr, value.clone())?;
         self.log.push(Change::ScalarSet {
             obj: obj.to_owned(),
             attr: attr.to_owned(),
+            value,
             previous,
         });
         Ok(())
@@ -197,9 +247,31 @@ impl<'a> Transaction<'a> {
         Ok(previous)
     }
 
-    /// Keep all changes.
-    pub fn commit(mut self) {
-        self.committed = true;
+    /// Try to keep all changes.
+    ///
+    /// Without a constraint guard installed this always succeeds and simply
+    /// makes the log durable.  With a guard (see
+    /// [`ObjectStore::set_constraints`]) the commit is checked first:
+    ///
+    /// * no *new* violations — the commit stands; the
+    ///   [`CommitReceipt`] records how many changes were committed and any
+    ///   warned/quarantined violations that were admitted;
+    /// * a new violation of a `Reject`-policy constraint — **nothing** is
+    ///   kept: the transaction rolls back in full and
+    ///   [`CommitError::Rejected`] reports the violations and the number of
+    ///   changes rolled back (the boundary is all-or-nothing).
+    pub fn commit(mut self) -> std::result::Result<CommitReceipt, CommitError> {
+        let Some(mut guard) = self.store.take_guard() else {
+            self.committed = true;
+            return Ok(CommitReceipt::unchecked(self.log.len()));
+        };
+        let outcome = guard.check_commit(self.store, &self.log, self.begin_version);
+        self.store.restore_guard(guard);
+        if outcome.is_ok() {
+            self.committed = true;
+        }
+        // on Err: `committed` stays false, so dropping `self` rolls back
+        outcome
     }
 
     /// Number of undoable changes recorded so far.
@@ -219,45 +291,14 @@ impl Drop for Transaction<'_> {
             return;
         }
         // roll back in reverse order
-        for change in self.log.drain(..).rev() {
-            match change {
-                Change::ScalarSet { obj, attr, previous } => {
-                    let id = self.store.id_of(&obj).expect("object still exists during rollback");
-                    match previous {
-                        Some(v) => {
-                            self.store
-                                .set(&obj, &attr, v)
-                                .expect("restoring a previously valid value");
-                        }
-                        None => {
-                            self.store.take_scalar(id, &attr);
-                        }
-                    }
-                }
-                Change::SetAdded { obj, attr, value } => {
-                    let id = self.store.id_of(&obj).expect("object still exists during rollback");
-                    self.store.remove_set_member(id, &attr, &value);
-                }
-                Change::SetRemoved { obj, attr, value }
-                | Change::ScalarCleared {
-                    obj,
-                    attr,
-                    previous: value,
-                } => {
-                    // re-adding / re-setting a previously valid value cannot fail
-                    match self.store.schema().attr_def(&attr).map(|a| a.kind) {
-                        Some(crate::schema::AttrKind::Set) => self
-                            .store
-                            .add(&obj, &attr, value)
-                            .expect("restoring a previously valid member"),
-                        _ => self
-                            .store
-                            .set(&obj, &attr, value)
-                            .expect("restoring a previously valid value"),
-                    }
-                }
-            }
+        for change in self.log.drain(..).rev().collect::<Vec<_>>() {
+            change.undo(self.store);
         }
+        // The store is back in its pre-transaction state; if the guard's
+        // shadow matched it then (untouched abort, or reverted by a
+        // rejected commit), fast-forward the sync point past the rollback
+        // mutations so the next commit stays incremental.
+        self.store.resync_guard_after_rollback(self.begin_version);
     }
 }
 
@@ -293,7 +334,14 @@ mod tests {
         let mut db = sample();
         assert_eq!(db.referrers_of("a1"), ["e1".to_string()].into_iter().collect());
         assert_eq!(db.referrers_of("e2"), ["e1".to_string()].into_iter().collect());
-        assert!(db.delete_object("a1", DeleteMode::Restrict).is_err());
+        assert_eq!(
+            db.delete_object("a1", DeleteMode::Restrict),
+            Err(StoreError::StillReferenced {
+                object: "a1".into(),
+                referrers: vec!["e1".into()],
+            }),
+            "restrict deletes report the referrers, typed"
+        );
         // unreferenced objects delete fine
         assert!(db.delete_object("e1", DeleteMode::Restrict).is_ok());
         assert!(db.id_of("e1").is_none());
@@ -343,7 +391,10 @@ mod tests {
             let mut txn = db.begin();
             txn.set("e1", "age", Value::Int(31)).unwrap();
             assert_eq!(txn.store().get("e1", "age"), Some(&Value::Int(31)));
-            txn.commit();
+            let receipt = txn.commit().unwrap();
+            assert_eq!(receipt.committed, 1);
+            assert!(!receipt.checked, "no constraints installed");
+            assert!(receipt.is_clean());
         }
         assert_eq!(db.get("e1", "age"), Some(&Value::Int(31)));
     }

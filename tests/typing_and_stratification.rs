@@ -174,6 +174,10 @@ fn evaluation_limits_guard_against_runaway_programs() {
     });
     assert!(matches!(
         engine.load_program(&mut s, &program),
-        Err(Error::LimitExceeded(_))
+        Err(Error::LimitExceeded {
+            kind: pathlog::core::error::LimitKind::Iterations,
+            limit: 30,
+            ..
+        })
     ));
 }
