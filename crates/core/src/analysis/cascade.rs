@@ -1,0 +1,289 @@
+//! Static cascade analysis for reactive (production / ECA) rules
+//! (PL010, PL011).
+//!
+//! Reactive rules fire in cascades: a rule's actions change the structure,
+//! which may trigger further rules.  The runtime cuts runaway cascades at
+//! `max_cascade_depth`, but only *after* doing the work.  This module builds
+//! the trigger graph statically — an edge `i -> j` wherever rule `i`'s
+//! action-write keys intersect rule `j`'s trigger keys — and reports
+//! potential trigger cycles (PL010) plus a safe static bound on cascade
+//! depth to compare against the configured limit (PL011).
+//!
+//! The core crate knows nothing about the reactive crate's rule types, so
+//! the reactive installers describe their rules with
+//! [`ReactiveRuleSummary`] values (see `pathlog_reactive`'s `analyze`
+//! helpers) and hand them to [`analyze_cascades`].
+
+use std::collections::BTreeSet;
+
+use crate::program::DepKey;
+
+use super::diagnostics::{DiagCode, Diagnostic, Diagnostics};
+use super::graph::{keys_intersect, RuleKind};
+
+/// A dependency summary of one reactive rule, supplied by the reactive
+/// crate's installers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReactiveRuleSummary {
+    /// The rule's name (unique within its rule set).
+    pub name: String,
+    /// [`RuleKind::Production`] or [`RuleKind::Eca`].
+    pub kind: RuleKind,
+    /// Keys whose changes can make this rule fire: the triggering event's
+    /// method/class for ECA rules, the condition's read keys for production
+    /// rules (which re-match whenever a read key changes).
+    pub trigger: BTreeSet<DepKey>,
+    /// Keys the condition reads (for production rules this equals
+    /// `trigger`; ECA conditions may read more than the event key).
+    pub condition_reads: BTreeSet<DepKey>,
+    /// Keys the actions assert (scalar/set/isa writes).
+    pub writes: BTreeSet<DepKey>,
+    /// Keys the actions retract.
+    pub retracts: BTreeSet<DepKey>,
+}
+
+impl ReactiveRuleSummary {
+    /// All keys whose stored facts the actions touch — retractions trigger
+    /// re-matching just like assertions do.
+    pub fn action_keys(&self) -> BTreeSet<DepKey> {
+        self.writes.union(&self.retracts).cloned().collect()
+    }
+}
+
+/// The static bound on cascade depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CascadeBound {
+    /// Every cascade settles after at most this many rule firings — the
+    /// longest path through the (acyclic) trigger graph, counted in rules.
+    Bounded(usize),
+    /// The trigger graph has a cycle: no static bound exists and termination
+    /// depends on the data reaching a fixpoint (or the runtime limit).
+    Unbounded,
+}
+
+/// The result of static cascade analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeReport {
+    /// One entry per analyzed rule, in input order.
+    pub rules: Vec<ReactiveRuleSummary>,
+    /// Trigger edges `(writer, triggered)` by rule index.
+    pub edges: Vec<(usize, usize)>,
+    /// Trigger cycles, each listed as the rule indexes on it (strongly
+    /// connected components with at least one internal edge).
+    pub cycles: Vec<Vec<usize>>,
+    /// The static depth bound.
+    pub bound: CascadeBound,
+}
+
+/// Build the trigger graph over `rules`, detect cycles and bound the cascade
+/// depth; report PL010 for each cycle and PL011 when the bound is unbounded
+/// or exceeds `max_cascade_depth`.
+pub fn analyze_cascades(
+    rules: &[ReactiveRuleSummary],
+    max_cascade_depth: Option<usize>,
+    diags: &mut Diagnostics,
+) -> CascadeReport {
+    let n = rules.len();
+    let mut edges = Vec::new();
+    for (i, writer) in rules.iter().enumerate() {
+        let action_keys = writer.action_keys();
+        for (j, reader) in rules.iter().enumerate() {
+            if keys_intersect(&action_keys, &reader.trigger) {
+                edges.push((i, j));
+            }
+        }
+    }
+
+    // Boolean transitive closure over the (tiny) rule graph.
+    let mut reach = vec![vec![false; n]; n];
+    for &(i, j) in &edges {
+        reach[i][j] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                let via = reach[k].clone();
+                for (cell, &step) in reach[i].iter_mut().zip(&via) {
+                    *cell |= step;
+                }
+            }
+        }
+    }
+
+    // Cycles: strongly connected components that contain an edge, i.e. any
+    // node that can reach itself, grouped by mutual reachability.
+    let mut cycles: Vec<Vec<usize>> = Vec::new();
+    let mut in_cycle = vec![false; n];
+    for i in 0..n {
+        if reach[i][i] && !in_cycle[i] {
+            let mut component = vec![i];
+            in_cycle[i] = true;
+            for j in (i + 1)..n {
+                if reach[i][j] && reach[j][i] {
+                    component.push(j);
+                    in_cycle[j] = true;
+                }
+            }
+            cycles.push(component);
+        }
+    }
+
+    for cycle in &cycles {
+        let names: Vec<&str> = cycle.iter().map(|&i| rules[i].name.as_str()).collect();
+        let subject = names.join(" -> ");
+        diags.push(Diagnostic::new(
+            DiagCode::CascadeCycle,
+            None,
+            subject.clone(),
+            format!(
+                "reactive rules form a trigger cycle ({subject}): each rule's actions can \
+                 re-trigger the others, so cascades terminate only by reaching a data fixpoint \
+                 or the runtime depth limit"
+            ),
+        ));
+    }
+
+    let bound = if cycles.is_empty() {
+        // Longest path through the DAG, counted in rules: memoised depth
+        // where depth(i) = 1 + max depth over successors.
+        let mut memo = vec![0usize; n];
+        let mut order: Vec<usize> = (0..n).collect();
+        // Process in reverse topological order: a node after everything it
+        // reaches.  Sorting by reachable-set size gives such an order on a
+        // DAG (successors reach strictly fewer nodes).
+        order.sort_by_key(|&i| reach[i].iter().filter(|&&b| b).count());
+        for &i in &order {
+            let succ_max = edges
+                .iter()
+                .filter(|&&(a, _)| a == i)
+                .map(|&(_, b)| memo[b])
+                .max()
+                .unwrap_or(0);
+            memo[i] = 1 + succ_max;
+        }
+        CascadeBound::Bounded(memo.iter().copied().max().unwrap_or(0))
+    } else {
+        CascadeBound::Unbounded
+    };
+
+    if let Some(max) = max_cascade_depth {
+        match bound {
+            CascadeBound::Unbounded => {
+                diags.push(Diagnostic::new(
+                    DiagCode::CascadeBound,
+                    None,
+                    "cascade".to_string(),
+                    format!(
+                        "no static cascade bound exists (trigger cycle); cascades deeper than \
+                         max_cascade_depth = {max} will be cut off at runtime"
+                    ),
+                ));
+            }
+            CascadeBound::Bounded(b) if b > max => {
+                diags.push(Diagnostic::new(
+                    DiagCode::CascadeBound,
+                    None,
+                    "cascade".to_string(),
+                    format!(
+                        "the static cascade bound is {b} rules, which exceeds \
+                         max_cascade_depth = {max}; some cascades will be cut off at runtime"
+                    ),
+                ));
+            }
+            CascadeBound::Bounded(_) => {}
+        }
+    }
+
+    CascadeReport {
+        rules: rules.to_vec(),
+        edges,
+        cycles,
+        bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::Name;
+
+    fn summary(name: &str, trigger: &[&str], writes: &[&str]) -> ReactiveRuleSummary {
+        let keyset = |ks: &[&str]| ks.iter().map(|s| DepKey::Known(Name::atom(*s))).collect();
+        ReactiveRuleSummary {
+            name: name.to_string(),
+            kind: RuleKind::Production,
+            trigger: keyset(trigger),
+            condition_reads: keyset(trigger),
+            writes: keyset(writes),
+            retracts: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn acyclic_chain_is_bounded_by_its_length() {
+        let rules = vec![
+            summary("a", &["x"], &["y"]),
+            summary("b", &["y"], &["z"]),
+            summary("c", &["z"], &["w"]),
+        ];
+        let mut d = Diagnostics::new();
+        let report = analyze_cascades(&rules, Some(32), &mut d);
+        assert_eq!(report.bound, CascadeBound::Bounded(3));
+        assert!(report.cycles.is_empty());
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn ping_pong_rules_are_a_cycle() {
+        let rules = vec![summary("ping", &["a"], &["b"]), summary("pong", &["b"], &["a"])];
+        let mut d = Diagnostics::new();
+        let report = analyze_cascades(&rules, Some(32), &mut d);
+        assert_eq!(report.bound, CascadeBound::Unbounded);
+        assert_eq!(report.cycles, vec![vec![0, 1]]);
+        let codes = d.codes();
+        assert!(codes.contains(&DiagCode::CascadeCycle));
+        assert!(codes.contains(&DiagCode::CascadeBound));
+    }
+
+    #[test]
+    fn self_triggering_rule_is_a_cycle() {
+        let rules = vec![summary("loop", &["a"], &["a"])];
+        let mut d = Diagnostics::new();
+        let report = analyze_cascades(&rules, None, &mut d);
+        assert_eq!(report.cycles, vec![vec![0]]);
+        // Without a configured limit only the cycle itself is reported.
+        assert_eq!(d.codes(), vec![DiagCode::CascadeCycle]);
+    }
+
+    #[test]
+    fn bound_exceeding_the_limit_is_reported() {
+        let rules = vec![
+            summary("a", &["k0"], &["k1"]),
+            summary("b", &["k1"], &["k2"]),
+            summary("c", &["k2"], &["k3"]),
+        ];
+        let mut d = Diagnostics::new();
+        let report = analyze_cascades(&rules, Some(2), &mut d);
+        assert_eq!(report.bound, CascadeBound::Bounded(3));
+        assert_eq!(d.codes(), vec![DiagCode::CascadeBound]);
+    }
+
+    #[test]
+    fn retractions_trigger_too() {
+        let mut a = summary("a", &["x"], &[]);
+        a.retracts = [DepKey::Known(Name::atom("y"))].into_iter().collect();
+        let b = summary("b", &["y"], &["x"]);
+        let mut d = Diagnostics::new();
+        let report = analyze_cascades(&[a, b], None, &mut d);
+        assert_eq!(report.cycles.len(), 1);
+    }
+
+    #[test]
+    fn independent_rules_have_bound_one() {
+        let rules = vec![summary("a", &["x"], &["y"]), summary("b", &["p"], &["q"])];
+        let mut d = Diagnostics::new();
+        let report = analyze_cascades(&rules, Some(32), &mut d);
+        assert_eq!(report.bound, CascadeBound::Bounded(1));
+        assert!(report.edges.is_empty());
+    }
+}

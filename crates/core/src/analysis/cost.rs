@@ -1,0 +1,314 @@
+//! Static cost annotations: per-literal access paths and selectivity classes.
+//!
+//! When a [`Structure`] snapshot is supplied, the analyzer annotates every
+//! body literal with how the engine can evaluate it (index-backed through the
+//! `(method, receiver)` group indexes, a scan, or a built-in comparison) and
+//! a coarse selectivity class derived from the fact store's per-method
+//! counts.  This is the analysis front end of the ROADMAP's cost-based join
+//! planning item: a planner only needs to order literals by these classes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::builtins::{is_comparison, SELF_METHOD};
+use crate::names::Name;
+use crate::program::{literal_reads, DepKey, Literal};
+use crate::structure::Structure;
+use crate::term::Term;
+
+use super::diagnostics::Span;
+use super::graph::RuleKind;
+
+/// Per-method/class fact counts captured from a [`Structure`] snapshot.
+///
+/// Counts cover scalar facts, set members and class-extent sizes, keyed by
+/// the method/class *name* (anonymous virtual methods cannot be named by a
+/// program and are skipped).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MethodStats {
+    counts: BTreeMap<Name, usize>,
+}
+
+impl MethodStats {
+    /// Capture per-method counts from a structure.
+    pub fn capture(structure: &Structure) -> Self {
+        let mut counts: BTreeMap<Name, usize> = BTreeMap::new();
+        let facts = structure.facts();
+        for f in facts.scalar_facts() {
+            if let Some(n) = structure.name_of(f.method) {
+                *counts.entry(n.clone()).or_insert(0) += 1;
+            }
+        }
+        for f in facts.set_facts() {
+            if let Some(n) = structure.name_of(f.method) {
+                *counts.entry(n.clone()).or_insert(0) += f.members.len();
+            }
+        }
+        for (_, class) in structure.isa().direct_edges() {
+            if let Some(n) = structure.name_of(class) {
+                let size = structure.isa().extent_size(class);
+                let e = counts.entry(n.clone()).or_insert(0);
+                if *e < size {
+                    *e = size;
+                }
+            }
+        }
+        MethodStats { counts }
+    }
+
+    /// Number of stored facts for `name`, if any are known.
+    pub fn count(&self, name: &Name) -> Option<usize> {
+        self.counts.get(name).copied()
+    }
+
+    /// The names with at least one stored fact.
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.counts.keys()
+    }
+
+    /// `true` when no facts were captured at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+/// How the engine can evaluate a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessPath {
+    /// The anchor of the literal is a known name: evaluation starts from the
+    /// `(method, receiver)` group indexes.
+    IndexBacked,
+    /// The anchor is a variable: evaluation enumerates candidate objects
+    /// (per-method scan).
+    Scan,
+    /// The literal only applies built-in comparisons to already-bound
+    /// values; it never touches the fact store.
+    Builtin,
+}
+
+/// Coarse selectivity class of a literal, from stored fact counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Selectivity {
+    /// No stored facts match any read key (the literal can only be satisfied
+    /// by derived facts).
+    Empty,
+    /// Exactly one stored fact.
+    Singleton,
+    /// At most 32 stored facts.
+    Small,
+    /// More than 32 stored facts.
+    Large,
+    /// No structure supplied, or the literal reads no known key.
+    Unknown,
+}
+
+impl Selectivity {
+    /// Classify a fact count.
+    pub fn from_count(n: usize) -> Self {
+        match n {
+            0 => Selectivity::Empty,
+            1 => Selectivity::Singleton,
+            2..=32 => Selectivity::Small,
+            _ => Selectivity::Large,
+        }
+    }
+}
+
+/// The static plan annotation of one body literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiteralPlan {
+    /// The literal as displayed source text.
+    pub literal: String,
+    /// `false` for negated literals.
+    pub positive: bool,
+    /// Every method/class key the literal reads.
+    pub reads: BTreeSet<DepKey>,
+    /// How the engine evaluates it.
+    pub access: AccessPath,
+    /// Selectivity class (see [`Selectivity`]).
+    pub selectivity: Selectivity,
+    /// The bounding fact count the class was derived from, when known:
+    /// the *minimum* count over the literal's known read keys (a join can
+    /// never produce more bindings than its most selective index allows).
+    pub estimated_facts: Option<usize>,
+}
+
+/// The per-rule plan report: one [`LiteralPlan`] per body literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulePlanReport {
+    /// The rule as displayed source text.
+    pub label: String,
+    /// What kind of statement the rule is.
+    pub kind: RuleKind,
+    /// Where the rule starts, when parsed from source.
+    pub span: Option<Span>,
+    /// Plans for the body literals, in body order.
+    pub literals: Vec<LiteralPlan>,
+}
+
+/// Annotate one body with per-literal plans.
+pub(super) fn plan_body(
+    label: &str,
+    kind: RuleKind,
+    span: Option<Span>,
+    body: &[Literal],
+    stats: Option<&MethodStats>,
+) -> RulePlanReport {
+    let literals = body
+        .iter()
+        .map(|lit| {
+            let reads = literal_reads(&lit.term);
+            let access = classify_access(&lit.term, &reads);
+            let (selectivity, estimated_facts) = match (access, stats) {
+                (AccessPath::Builtin, _) => (Selectivity::Unknown, None),
+                (_, Some(stats)) => estimate(&reads, stats),
+                (_, None) => (Selectivity::Unknown, None),
+            };
+            LiteralPlan {
+                literal: lit.to_string(),
+                positive: lit.positive,
+                reads,
+                access,
+                selectivity,
+                estimated_facts,
+            }
+        })
+        .collect();
+    RulePlanReport {
+        label: label.to_string(),
+        kind,
+        span,
+        literals,
+    }
+}
+
+/// Classify how a literal is evaluated: built-in-only, index-backed from a
+/// named anchor, or a scan.
+fn classify_access(term: &Term, reads: &BTreeSet<DepKey>) -> AccessPath {
+    let known: Vec<&Name> = reads
+        .iter()
+        .filter_map(|k| match k {
+            DepKey::Known(n) => Some(n),
+            DepKey::Unknown => None,
+        })
+        .collect();
+    let all_builtin = !known.is_empty()
+        && reads.len() == known.len()
+        && known.iter().all(|n| match n.as_atom() {
+            Some(s) => is_comparison(s) || s == SELF_METHOD,
+            None => false,
+        });
+    if all_builtin {
+        return AccessPath::Builtin;
+    }
+    match resolve_anchor(term.anchor()) {
+        Term::Name(_) => AccessPath::IndexBacked,
+        _ => AccessPath::Scan,
+    }
+}
+
+/// Look through parentheses to the real anchor.
+fn resolve_anchor(anchor: &Term) -> &Term {
+    match anchor {
+        Term::Paren(t) => resolve_anchor(t.anchor()),
+        other => other,
+    }
+}
+
+/// Selectivity of a literal: the minimum stored-fact count over its known,
+/// non-builtin read keys.  Builtin keys are excluded (they filter, they are
+/// not stored); an `Unknown` key alone yields `Unknown`.
+fn estimate(reads: &BTreeSet<DepKey>, stats: &MethodStats) -> (Selectivity, Option<usize>) {
+    let mut best: Option<usize> = None;
+    for key in reads {
+        let DepKey::Known(n) = key else { continue };
+        if let Some(s) = n.as_atom() {
+            if is_comparison(s) || s == SELF_METHOD {
+                continue;
+            }
+        }
+        let count = stats.count(n).unwrap_or(0);
+        best = Some(best.map_or(count, |b| b.min(count)));
+    }
+    match best {
+        Some(n) => (Selectivity::from_count(n), Some(n)),
+        None => (Selectivity::Unknown, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Literal;
+    use crate::term::Filter;
+
+    fn small_structure() -> Structure {
+        let mut s = Structure::new();
+        let mary = s.ensure_name(&Name::atom("mary"));
+        let peter = s.ensure_name(&Name::atom("peter"));
+        let age = s.ensure_name(&Name::atom("age"));
+        let kids = s.ensure_name(&Name::atom("kids"));
+        let person = s.ensure_name(&Name::atom("person"));
+        let thirty = s.ensure_name(&Name::int(30));
+        s.assert_scalar(age, mary, &[], thirty).unwrap();
+        s.assert_set_member(kids, peter, &[], mary);
+        s.add_isa(mary, person);
+        s.add_isa(peter, person);
+        s
+    }
+
+    #[test]
+    fn stats_capture_counts_per_method() {
+        let s = small_structure();
+        let stats = MethodStats::capture(&s);
+        assert_eq!(stats.count(&Name::atom("age")), Some(1));
+        assert_eq!(stats.count(&Name::atom("kids")), Some(1));
+        assert_eq!(stats.count(&Name::atom("person")), Some(2));
+        assert_eq!(stats.count(&Name::atom("salary")), None);
+    }
+
+    #[test]
+    fn named_anchor_is_index_backed_variable_anchor_scans() {
+        let s = small_structure();
+        let stats = MethodStats::capture(&s);
+        let body = vec![
+            Literal::pos(Term::name("mary").filter(Filter::scalar("age", Term::var("A")))),
+            Literal::pos(Term::var("X").isa("person")),
+            Literal::pos(Term::var("A").filter(Filter::scalar(Term::name(crate::builtins::LT), Term::var("A")))),
+        ];
+        let plan = plan_body("r", RuleKind::Rule, None, &body, Some(&stats));
+        assert_eq!(plan.literals[0].access, AccessPath::IndexBacked);
+        assert_eq!(plan.literals[0].selectivity, Selectivity::Singleton);
+        assert_eq!(plan.literals[1].access, AccessPath::Scan);
+        assert_eq!(plan.literals[1].estimated_facts, Some(2));
+        assert_eq!(plan.literals[2].access, AccessPath::Builtin);
+        assert_eq!(plan.literals[2].selectivity, Selectivity::Unknown);
+    }
+
+    #[test]
+    fn no_structure_means_unknown_selectivity() {
+        let body = vec![Literal::pos(Term::var("X").isa("person"))];
+        let plan = plan_body("r", RuleKind::Rule, None, &body, None);
+        assert_eq!(plan.literals[0].selectivity, Selectivity::Unknown);
+        assert_eq!(plan.literals[0].estimated_facts, None);
+    }
+
+    #[test]
+    fn unread_method_is_empty_selectivity() {
+        let s = small_structure();
+        let stats = MethodStats::capture(&s);
+        let body = vec![Literal::pos(
+            Term::var("X").filter(Filter::scalar("salary", Term::var("Y"))),
+        )];
+        let plan = plan_body("r", RuleKind::Rule, None, &body, Some(&stats));
+        assert_eq!(plan.literals[0].selectivity, Selectivity::Empty);
+        assert_eq!(plan.literals[0].estimated_facts, Some(0));
+    }
+
+    #[test]
+    fn selectivity_classes() {
+        assert_eq!(Selectivity::from_count(0), Selectivity::Empty);
+        assert_eq!(Selectivity::from_count(1), Selectivity::Singleton);
+        assert_eq!(Selectivity::from_count(32), Selectivity::Small);
+        assert_eq!(Selectivity::from_count(33), Selectivity::Large);
+    }
+}

@@ -1,0 +1,345 @@
+//! The shared dependency graph.
+//!
+//! Every analysis in this module — stratification, liveness, cascade bounds —
+//! runs over the same [`DependencyGraph`]: one node per statement (fact,
+//! rule, query, constraint body, production/ECA rule) carrying the
+//! `(method/class, polarity)` read/write key sets already used by the
+//! engine's `EvalMarks`/`DeltaView` gating, and edges wherever one node's
+//! definitions intersect another's uses.
+
+use std::collections::BTreeSet;
+
+use crate::engine::Stratification;
+use crate::error::{Error, Result};
+use crate::program::{DepKey, RuleInfo};
+
+use super::diagnostics::Span;
+
+/// What kind of statement a graph node describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleKind {
+    /// A ground fact (rule with an empty body).
+    Fact,
+    /// A proper rule (non-empty body).
+    Rule,
+    /// A query body (`?- ...`): pure consumer, defines nothing.
+    Query,
+    /// A denial-constraint body: pure consumer.
+    Constraint,
+    /// A condition-action production rule (reactive crate).
+    Production,
+    /// An event-condition-action rule (reactive crate).
+    Eca,
+}
+
+impl RuleKind {
+    /// `true` for node kinds that only *read* (queries, constraints and
+    /// reactive conditions): they anchor liveness but never define keys
+    /// for the deductive strata.
+    pub fn is_consumer(self) -> bool {
+        matches!(
+            self,
+            RuleKind::Query | RuleKind::Constraint | RuleKind::Production | RuleKind::Eca
+        )
+    }
+}
+
+/// One node of the dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleNode {
+    /// What kind of statement this is.
+    pub kind: RuleKind,
+    /// The statement as displayed source text (used in diagnostics).
+    pub label: String,
+    /// Where the statement starts, when the program came through the parser.
+    pub span: Option<Span>,
+    /// Keys the statement defines (head writes, reactive action writes).
+    pub defines: BTreeSet<DepKey>,
+    /// Keys the statement reads object-at-a-time.
+    pub uses: BTreeSet<DepKey>,
+    /// Keys the statement reads set-at-a-time (`->>` right-hand sides,
+    /// negated literals) — these force stratum separation.
+    pub strict_uses: BTreeSet<DepKey>,
+}
+
+impl RuleNode {
+    /// A node built from a [`RuleInfo`] dependency summary.
+    pub fn from_info(kind: RuleKind, label: String, span: Option<Span>, info: RuleInfo) -> Self {
+        RuleNode {
+            kind,
+            label,
+            span,
+            defines: info.defines,
+            uses: info.uses,
+            strict_uses: info.strict_uses,
+        }
+    }
+
+    /// All keys this node reads, strict and ordinary alike.
+    pub fn all_uses(&self) -> BTreeSet<DepKey> {
+        self.uses.union(&self.strict_uses).cloned().collect()
+    }
+}
+
+/// Polarity of a dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Polarity {
+    /// An ordinary (object-at-a-time) read of the definer's keys.
+    Positive,
+    /// A set-at-a-time or negated read: the definer must be fully computed
+    /// in an earlier stratum.
+    Strict,
+}
+
+/// A dependency edge: `reader` reads keys that `definer` defines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Index of the node doing the reading.
+    pub reader: usize,
+    /// Index of the node whose definitions are read.
+    pub definer: usize,
+    /// Whether the read is ordinary or strict.
+    pub polarity: Polarity,
+}
+
+/// Do two key sets overlap, treating [`DepKey::Unknown`] as a wildcard?
+pub fn keys_intersect(defines: &BTreeSet<DepKey>, uses: &BTreeSet<DepKey>) -> bool {
+    if defines.is_empty() || uses.is_empty() {
+        return false;
+    }
+    if defines.contains(&DepKey::Unknown) || uses.contains(&DepKey::Unknown) {
+        return true;
+    }
+    defines.iter().any(|k| uses.contains(k))
+}
+
+/// The shared dependency graph over every statement of a program (and,
+/// optionally, its constraints and reactive rules).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DependencyGraph {
+    nodes: Vec<RuleNode>,
+}
+
+impl DependencyGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DependencyGraph::default()
+    }
+
+    /// Build a graph holding one `Rule`-kind node per dependency summary —
+    /// the exact input shape the engine's stratifier works from.
+    pub fn from_rule_infos(infos: &[RuleInfo]) -> Self {
+        let mut g = DependencyGraph::new();
+        for info in infos {
+            g.push(RuleNode::from_info(RuleKind::Rule, String::new(), None, info.clone()));
+        }
+        g
+    }
+
+    /// Add a node, returning its index.
+    pub fn push(&mut self, node: RuleNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// The nodes, in insertion (source) order.
+    pub fn nodes(&self) -> &[RuleNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All dependency edges: one per `(reader, definer)` pair whose key sets
+    /// intersect, with [`Polarity::Strict`] when the strict uses intersect
+    /// (a pair can yield both edge polarities).
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for (r, reader) in self.nodes.iter().enumerate() {
+            for (d, definer) in self.nodes.iter().enumerate() {
+                if keys_intersect(&definer.defines, &reader.uses) {
+                    out.push(Edge {
+                        reader: r,
+                        definer: d,
+                        polarity: Polarity::Positive,
+                    });
+                }
+                if keys_intersect(&definer.defines, &reader.strict_uses) {
+                    out.push(Edge {
+                        reader: r,
+                        definer: d,
+                        polarity: Polarity::Strict,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Indexes of nodes whose definitions intersect `keys`.
+    pub fn writers_of(&self, keys: &BTreeSet<DepKey>) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| keys_intersect(&n.defines, keys))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indexes of nodes that read any of `keys` (ordinary or strict).
+    pub fn readers_of(&self, keys: &BTreeSet<DepKey>) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| keys_intersect(keys, &n.uses) || keys_intersect(keys, &n.strict_uses))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Compute a stratification of the graph's nodes.
+    ///
+    /// This hosts the engine's relaxation fixpoint: strata start at 1 and a
+    /// reader is lifted to its definer's stratum (ordinary read) or above it
+    /// (strict read) until nothing changes; a stratum exceeding the node
+    /// count proves a strict cycle.  `engine/stratify.rs` delegates here, so
+    /// the strata the engine evaluates with are exactly the ones reported by
+    /// the analyzer.
+    ///
+    /// Returns [`Error::NotStratifiable`] when a node (transitively) depends
+    /// on its own definitions through a strict use.
+    pub fn stratify(&self) -> Result<Stratification> {
+        let infos = &self.nodes;
+        let n = infos.len();
+        let mut stratum = vec![1usize; n];
+        if n == 0 {
+            return Ok(Stratification {
+                strata: Vec::new(),
+                stratum_of: stratum,
+            });
+        }
+
+        loop {
+            let mut changed = false;
+            for (r, info_r) in infos.iter().enumerate() {
+                for (s, info_s) in infos.iter().enumerate() {
+                    if keys_intersect(&info_s.defines, &info_r.uses) && stratum[r] < stratum[s] {
+                        stratum[r] = stratum[s];
+                        changed = true;
+                    }
+                    if keys_intersect(&info_s.defines, &info_r.strict_uses) && stratum[r] < stratum[s] + 1 {
+                        stratum[r] = stratum[s] + 1;
+                        changed = true;
+                    }
+                }
+                if stratum[r] > n {
+                    return Err(Error::NotStratifiable(format!(
+                        "rule {r} depends on its own definitions through a set-at-a-time (`->>` right-hand side) \
+                         or negated use; such rules must read only methods computed in earlier strata"
+                    )));
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let max = stratum.iter().copied().max().unwrap_or(1);
+        let mut strata = vec![Vec::new(); max];
+        for (r, &s) in stratum.iter().enumerate() {
+            strata[s - 1].push(r);
+        }
+        // Drop empty strata (can appear when numbering has gaps) while keeping order.
+        let strata: Vec<Vec<usize>> = strata.into_iter().filter(|s| !s.is_empty()).collect();
+        // Re-derive stratum_of from the compacted strata.
+        let mut stratum_of = vec![0usize; n];
+        for (i, group) in strata.iter().enumerate() {
+            for &r in group {
+                stratum_of[r] = i;
+            }
+        }
+        Ok(Stratification { strata, stratum_of })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::Name;
+
+    fn node(kind: RuleKind, defines: &[&str], uses: &[&str], strict: &[&str]) -> RuleNode {
+        RuleNode {
+            kind,
+            label: String::new(),
+            span: None,
+            defines: defines.iter().map(|s| DepKey::Known(Name::atom(*s))).collect(),
+            uses: uses.iter().map(|s| DepKey::Known(Name::atom(*s))).collect(),
+            strict_uses: strict.iter().map(|s| DepKey::Known(Name::atom(*s))).collect(),
+        }
+    }
+
+    #[test]
+    fn edges_carry_polarity() {
+        let mut g = DependencyGraph::new();
+        g.push(node(RuleKind::Rule, &["a"], &[], &[]));
+        g.push(node(RuleKind::Rule, &["b"], &["a"], &[]));
+        g.push(node(RuleKind::Rule, &["c"], &[], &["b"]));
+        let edges = g.edges();
+        assert!(edges.contains(&Edge {
+            reader: 1,
+            definer: 0,
+            polarity: Polarity::Positive
+        }));
+        assert!(edges.contains(&Edge {
+            reader: 2,
+            definer: 1,
+            polarity: Polarity::Strict
+        }));
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn writers_and_readers_respect_wildcards() {
+        let mut g = DependencyGraph::new();
+        g.push(node(RuleKind::Rule, &["a"], &[], &[]));
+        let mut wild = node(RuleKind::Rule, &[], &[], &[]);
+        wild.defines.insert(DepKey::Unknown);
+        g.push(wild);
+        let keys: BTreeSet<DepKey> = [DepKey::Known(Name::atom("a"))].into_iter().collect();
+        assert_eq!(g.writers_of(&keys), vec![0, 1]);
+        let keys: BTreeSet<DepKey> = [DepKey::Known(Name::atom("zzz"))].into_iter().collect();
+        assert_eq!(g.writers_of(&keys), vec![1]);
+    }
+
+    #[test]
+    fn graph_stratify_matches_engine_shape() {
+        let mut g = DependencyGraph::new();
+        g.push(node(RuleKind::Rule, &["assistants"], &["worksFor"], &[]));
+        g.push(node(RuleKind::Rule, &["friendly"], &[], &["assistants"]));
+        let s = g.stratify().unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stratum_of, vec![0, 1]);
+    }
+
+    #[test]
+    fn graph_strict_cycle_rejected() {
+        let mut g = DependencyGraph::new();
+        g.push(node(RuleKind::Rule, &["friends"], &[], &["friends"]));
+        assert!(matches!(g.stratify().unwrap_err(), Error::NotStratifiable(_)));
+    }
+
+    #[test]
+    fn consumer_kinds() {
+        assert!(RuleKind::Query.is_consumer());
+        assert!(RuleKind::Constraint.is_consumer());
+        assert!(RuleKind::Production.is_consumer());
+        assert!(!RuleKind::Rule.is_consumer());
+        assert!(!RuleKind::Fact.is_consumer());
+    }
+}

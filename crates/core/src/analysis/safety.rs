@@ -1,0 +1,324 @@
+//! Safety and range-restriction checks (PL001–PL004, PL008).
+//!
+//! These generalise the per-rule rejections of
+//! [`validate_rule`](crate::program::validate_rule) — well-formedness,
+//! set-valued heads, unsafe head variables, variables only under negation —
+//! into *diagnostics*: instead of stopping at the first problem, the analyzer
+//! reports every one, with spans, and the same checks run over query and
+//! constraint bodies too.  Everything [`validate_rule`] rejects produces an
+//! `Error`-severity diagnostic here (the property the analyzer's proptest
+//! pins down), so `Engine::install_checked` can rely on "no errors" implying
+//! the engine will accept the program.
+
+use std::collections::BTreeSet;
+
+use crate::names::Var;
+use crate::program::{Literal, Rule};
+use crate::scalarity::is_set_valued;
+use crate::term::{FilterValue, Term};
+use crate::wellformed::check_well_formed;
+
+use super::diagnostics::{DiagCode, Diagnostic, Diagnostics, Span};
+
+/// Run the safety checks of [`crate::program::validate_rule`] over one rule,
+/// reporting every violation instead of stopping at the first.
+pub(super) fn check_rule(rule: &Rule, span: Option<Span>, diags: &mut Diagnostics) {
+    let label = rule.to_string();
+
+    // PL001 — well-formedness (Definition 3) of head and body references.
+    if let Err(e) = check_well_formed(&rule.head) {
+        diags.push(Diagnostic::new(
+            DiagCode::IllFormed,
+            span,
+            label.clone(),
+            format!("head of `{label}` is ill-formed: {e}"),
+        ));
+    }
+    for lit in &rule.body {
+        if let Err(e) = check_well_formed(&lit.term) {
+            diags.push(Diagnostic::new(
+                DiagCode::IllFormed,
+                span,
+                label.clone(),
+                format!("body literal `{}` is ill-formed: {e}", lit.term),
+            ));
+        }
+    }
+
+    // PL002 — set-valued head (Section 6: the object a set-valued reference
+    // describes is not uniquely determined, so it cannot be asserted).
+    if is_set_valued(&rule.head) {
+        diags.push(Diagnostic::new(
+            DiagCode::SetValuedHead,
+            span,
+            label.clone(),
+            format!("the head of `{label}` is a set-valued reference and cannot be asserted"),
+        ));
+    }
+
+    // PL003 — head variables must occur in a positive body literal; for
+    // facts this is exactly groundness.
+    let positive: BTreeSet<_> = rule.positive_body_variables().into_iter().collect();
+    for v in rule.head_variables() {
+        if !positive.contains(&v) {
+            let message = if rule.is_fact() {
+                format!("fact `{label}` is not ground: variable {v} has no binding")
+            } else {
+                format!("head variable {v} of `{label}` does not occur in a positive body literal")
+            };
+            diags.push(Diagnostic::new(
+                DiagCode::UnsafeHeadVariable,
+                span,
+                label.clone(),
+                message,
+            ));
+        }
+    }
+
+    // PL004 — range restriction for negated literals.
+    check_negation(&label, &rule.body, span, diags);
+
+    // PL008 — singleton variables (proper rules only: facts with variables
+    // are already PL003, and in queries a single occurrence is the normal
+    // way to project an answer).  The `_` prefix marks intentional
+    // singletons, mirroring the usual logic-programming convention.
+    if !rule.is_fact() {
+        let mut occurrences: Vec<Var> = Vec::new();
+        var_occurrences(&rule.head, &mut occurrences);
+        for lit in &rule.body {
+            var_occurrences(&lit.term, &mut occurrences);
+        }
+        let mut seen: Vec<&Var> = Vec::new();
+        for v in &occurrences {
+            if seen.contains(&v) {
+                continue;
+            }
+            seen.push(v);
+            let count = occurrences.iter().filter(|o| *o == v).count();
+            if count == 1 && !v.name().starts_with('_') {
+                diags.push(Diagnostic::new(
+                    DiagCode::SingletonVariable,
+                    span,
+                    label.clone(),
+                    format!("variable {v} occurs only once in `{label}`; prefix it with `_` if this is intentional"),
+                ));
+            }
+        }
+    }
+}
+
+/// Range-restriction check (PL004) for a stand-alone body — queries,
+/// constraint denial bodies, reactive conditions.  Also reports PL001 for
+/// ill-formed references in the body.
+pub(super) fn check_body(label: &str, body: &[Literal], span: Option<Span>, diags: &mut Diagnostics) {
+    for lit in body {
+        if let Err(e) = check_well_formed(&lit.term) {
+            diags.push(Diagnostic::new(
+                DiagCode::IllFormed,
+                span,
+                label.to_string(),
+                format!("literal `{}` is ill-formed: {e}", lit.term),
+            ));
+        }
+    }
+    check_negation(label, body, span, diags);
+}
+
+/// PL004 for one body: every variable of a negated literal must occur in a
+/// positive literal of the same body.
+fn check_negation(label: &str, body: &[Literal], span: Option<Span>, diags: &mut Diagnostics) {
+    let positive: BTreeSet<Var> = body
+        .iter()
+        .filter(|l| l.positive)
+        .flat_map(|l| l.term.variables())
+        .collect();
+    for lit in body.iter().filter(|l| !l.positive) {
+        for v in lit.term.variables() {
+            if !positive.contains(&v) {
+                diags.push(Diagnostic::new(
+                    DiagCode::UnsafeNegationVariable,
+                    span,
+                    label.to_string(),
+                    format!(
+                        "variable {v} of negated literal `{}` does not occur in a positive literal",
+                        lit.term
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Collect every variable *occurrence* (not deduplicated —
+/// [`Term::variables`] dedups, which would hide repeats from the singleton
+/// count).
+fn var_occurrences(term: &Term, out: &mut Vec<Var>) {
+    match term {
+        Term::Name(_) => {}
+        Term::Var(v) => out.push(v.clone()),
+        Term::Paren(t) => var_occurrences(t, out),
+        Term::Path(p) => {
+            var_occurrences(&p.receiver, out);
+            var_occurrences(&p.method, out);
+            for a in &p.args {
+                var_occurrences(a, out);
+            }
+        }
+        Term::Molecule(m) => {
+            var_occurrences(&m.receiver, out);
+            for f in &m.filters {
+                var_occurrences(&f.method, out);
+                for a in &f.args {
+                    var_occurrences(a, out);
+                }
+                match &f.value {
+                    FilterValue::Scalar(t) | FilterValue::SetRef(t) => var_occurrences(t, out),
+                    FilterValue::SetExplicit(ts) | FilterValue::SigScalar(ts) | FilterValue::SigSet(ts) => {
+                        for t in ts {
+                            var_occurrences(t, out);
+                        }
+                    }
+                }
+            }
+        }
+        Term::IsA(i) => {
+            var_occurrences(&i.receiver, out);
+            var_occurrences(&i.class, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Filter;
+
+    fn diags_for(rule: &Rule) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        check_rule(rule, Some(Span::new(1, 1)), &mut d);
+        d
+    }
+
+    #[test]
+    fn clean_rule_has_no_diagnostics() {
+        let rule = Rule::new(
+            Term::var("X").filter(Filter::scalar("power", Term::var("Y"))),
+            vec![Literal::pos(
+                Term::var("X")
+                    .isa("automobile")
+                    .scalar("engine")
+                    .filter(Filter::scalar("power", Term::var("Y"))),
+            )],
+        );
+        assert!(diags_for(&rule).is_empty());
+    }
+
+    #[test]
+    fn set_valued_head_is_pl002() {
+        let rule = Rule::new(
+            Term::var("X").set("kids").filter(Filter::scalar("age", Term::int(5))),
+            vec![Literal::pos(Term::var("X").isa("person"))],
+        );
+        let d = diags_for(&rule);
+        assert_eq!(d.codes(), vec![DiagCode::SetValuedHead]);
+    }
+
+    #[test]
+    fn unsafe_head_variable_is_pl003() {
+        let rule = Rule::new(
+            Term::var("X").filter(Filter::scalar("likes", Term::var("Y"))),
+            vec![Literal::pos(Term::var("X").isa("person"))],
+        );
+        let d = diags_for(&rule);
+        assert!(d.codes().contains(&DiagCode::UnsafeHeadVariable));
+    }
+
+    #[test]
+    fn non_ground_fact_is_pl003_with_fact_wording() {
+        let d = diags_for(&Rule::fact(Term::var("X").isa("person")));
+        assert!(d.codes().contains(&DiagCode::UnsafeHeadVariable));
+        assert!(d.iter().any(|x| x.message.contains("not ground")));
+    }
+
+    #[test]
+    fn unsafe_negation_is_pl004_in_rules_and_bodies() {
+        let rule = Rule::new(
+            Term::var("X").isa("lonely"),
+            vec![
+                Literal::pos(Term::var("X").isa("person")),
+                Literal::neg(Term::var("Y").isa("friendOf")),
+            ],
+        );
+        let d = diags_for(&rule);
+        assert!(d.codes().contains(&DiagCode::UnsafeNegationVariable));
+
+        let mut d = Diagnostics::new();
+        check_body(
+            "?- not X : person.",
+            &[Literal::neg(Term::var("X").isa("person"))],
+            None,
+            &mut d,
+        );
+        assert_eq!(d.codes(), vec![DiagCode::UnsafeNegationVariable]);
+    }
+
+    #[test]
+    fn ill_formed_head_is_pl001() {
+        let rule = Rule::fact(Term::name("p2").filter(Filter::scalar("boss", Term::name("p1").set("assistants"))));
+        let d = diags_for(&rule);
+        assert!(d.codes().contains(&DiagCode::IllFormed));
+    }
+
+    #[test]
+    fn singleton_variable_is_pl008_unless_underscored() {
+        let rule = Rule::new(
+            Term::var("X").isa("flagged"),
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::scalar("age", Term::var("Age"))),
+            )],
+        );
+        let d = diags_for(&rule);
+        assert_eq!(d.codes(), vec![DiagCode::SingletonVariable]);
+        assert!(d.iter().any(|x| x.message.contains("Age")));
+
+        let rule = Rule::new(
+            Term::var("X").isa("flagged"),
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::scalar("age", Term::var("_Age"))),
+            )],
+        );
+        assert!(diags_for(&rule).is_empty());
+    }
+
+    #[test]
+    fn every_validate_rejection_is_an_error_diagnostic() {
+        // The guarantee install_checked relies on: if validate_rule rejects,
+        // the analyzer reports at least one Error-severity diagnostic.
+        let bad: Vec<Rule> = vec![
+            Rule::fact(Term::var("X").isa("person")),
+            Rule::new(
+                Term::var("X").set("kids").empty_filters(),
+                vec![Literal::pos(Term::var("X").isa("person"))],
+            ),
+            Rule::new(
+                Term::var("X").filter(Filter::scalar("likes", Term::var("Y"))),
+                vec![Literal::pos(Term::var("X").isa("person"))],
+            ),
+            Rule::new(
+                Term::var("X").isa("lonely"),
+                vec![
+                    Literal::pos(Term::var("X").isa("person")),
+                    Literal::neg(Term::var("Y").isa("friendOf")),
+                ],
+            ),
+        ];
+        for rule in &bad {
+            assert!(
+                crate::program::validate_rule(rule).is_err(),
+                "expected rejection: {rule}"
+            );
+            let d = diags_for(rule);
+            assert!(!d.no_errors(), "analyzer missed: {rule}");
+        }
+    }
+}

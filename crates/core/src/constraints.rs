@@ -37,6 +37,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use crate::analysis::keys_intersect;
 use crate::engine::executor::ConditionTask;
 use crate::engine::{Engine, SortedRun, Tolerance};
 use crate::error::Result;
@@ -265,14 +266,21 @@ impl FromIterator<Constraint> for ConstraintSet {
 pub struct CheckStats {
     /// Calls to [`ConstraintChecker::check`].
     pub checks: usize,
-    /// Checks that had to re-solve every constraint (first check,
-    /// retraction in the window, new objects, signature changes).
+    /// Checks that had to re-solve every constraint (first check, new
+    /// objects, signature changes, or a retraction touching every
+    /// constraint's reads).
     pub full_checks: usize,
     /// Constraint bodies actually solved.
     pub condition_solves: usize,
-    /// Constraint solves skipped because the delta did not touch their read
-    /// keys.
+    /// Constraint solves skipped because the (retraction-free) delta did
+    /// not touch their read keys.
     pub constraints_skipped: usize,
+    /// Constraint solves skipped on a retraction-bearing span because no
+    /// key mutated since the last check intersects their reads (see the
+    /// mutation journal, [`Facts::mutation_keys_since`]).
+    ///
+    /// [`Facts::mutation_keys_since`]: crate::structure::Facts::mutation_keys_since
+    pub retraction_skips: usize,
 }
 
 /// The incremental constraint checker: watermark-gated, delta-driven,
@@ -285,6 +293,10 @@ pub struct ConstraintChecker {
     marks: Option<EvalMarks>,
     /// [`Structure::retractions`] at the last completed check.
     retractions: usize,
+    /// Length of the facts' mutation journal at the last completed check.
+    /// The journal survives retractions, so this mark stays usable when
+    /// the watermark window does not.
+    mutation_mark: usize,
     /// Violations per constraint as of the last check, each list sorted by
     /// valuation.  Skipped constraints answer from this cache.
     cache: Vec<Vec<ConstraintViolation>>,
@@ -302,6 +314,7 @@ impl ConstraintChecker {
             engine,
             marks: None,
             retractions: 0,
+            mutation_mark: 0,
             cache,
             stats: CheckStats::default(),
         }
@@ -328,8 +341,15 @@ impl ConstraintChecker {
     /// each group sorted by valuation — the exact list a full re-check
     /// returns.
     pub fn check(&mut self, structure: &mut Structure) -> Result<Vec<ConstraintViolation>> {
+        let mut via_retraction = false;
         let affected: Vec<usize> = match self.window(structure) {
-            None => (0..self.constraints.len()).collect(),
+            None => match self.retraction_affected(structure) {
+                Some(affected) => {
+                    via_retraction = true;
+                    affected
+                }
+                None => (0..self.constraints.len()).collect(),
+            },
             Some(dv) if dv.is_empty() => Vec::new(),
             Some(dv) if dv.has_new_objects() || dv.sigs_changed() => {
                 // New objects can satisfy literals through positions that
@@ -350,10 +370,16 @@ impl ConstraintChecker {
         if affected.len() == self.constraints.len() && !affected.is_empty() {
             self.stats.full_checks += 1;
         }
-        self.stats.constraints_skipped += self.constraints.len() - affected.len();
+        let skipped = self.constraints.len() - affected.len();
+        if via_retraction {
+            self.stats.retraction_skips += skipped;
+        } else {
+            self.stats.constraints_skipped += skipped;
+        }
         self.solve_into_cache(structure, &affected)?;
         self.marks = Some(EvalMarks::capture(structure));
         self.retractions = structure.retractions();
+        self.mutation_mark = structure.facts().mutation_len();
         Ok(self.cache.iter().flatten().cloned().collect())
     }
 
@@ -369,6 +395,7 @@ impl ConstraintChecker {
         self.solve_into_cache(structure, &all)?;
         self.marks = Some(EvalMarks::capture(structure));
         self.retractions = structure.retractions();
+        self.mutation_mark = structure.facts().mutation_len();
         Ok(self.cache.iter().flatten().cloned().collect())
     }
 
@@ -382,6 +409,57 @@ impl ConstraintChecker {
         }
         let hi = EvalMarks::capture(structure);
         Some(DeltaView::between(structure, lo, &hi))
+    }
+
+    /// The constraints a retraction-bearing span since the last check can
+    /// have affected, or `None` when no sound narrowing exists (first
+    /// check, new objects, signature changes, or an anonymous mutated
+    /// method).
+    ///
+    /// Watermark windows die with the first retraction (the scalar slot
+    /// table reorders, the set-insertion log over-reports), but the facts'
+    /// mutation journal does not: it records the method key of every
+    /// successful assert *and* retract.  A constraint whose reads are
+    /// disjoint from every key mutated since the last check — including
+    /// the is-a closure pairs added in the span, which the append-only isa
+    /// log still reports soundly — can neither have gained nor lost a
+    /// violation, so its cached result stands.
+    fn retraction_affected(&self, structure: &Structure) -> Option<Vec<usize>> {
+        let lo = self.marks.as_ref()?;
+        let hi = EvalMarks::capture(structure);
+        if hi.objects != lo.objects || hi.signatures != lo.signatures {
+            // Same conservative catch-alls as the delta path: new objects
+            // can satisfy literals through positions that read no named
+            // key, signature changes have no per-fact stamps.
+            return None;
+        }
+        let mut touched: BTreeSet<DepKey> = BTreeSet::new();
+        for &method in structure.facts().mutation_keys_since(self.mutation_mark) {
+            match structure.name_of(method) {
+                Some(name) => {
+                    touched.insert(DepKey::Known(name.clone()));
+                }
+                // An anonymous (virtual) method is only readable through a
+                // variable key, but keep the fallback maximally defensive.
+                None => return None,
+            }
+        }
+        for &(_, class) in structure.isa().pairs_since(lo.isa_pairs) {
+            match structure.name_of(class) {
+                Some(name) => {
+                    touched.insert(DepKey::Known(name.clone()));
+                }
+                None => return None,
+            }
+        }
+        Some(
+            self.constraints
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.catch_all || keys_intersect(&touched, &c.reads))
+                .map(|(i, _)| i)
+                .collect(),
+        )
     }
 
     /// Solve the bodies of the `affected` constraints as one pooled
@@ -769,14 +847,62 @@ mod tests {
         let mut checker = ConstraintChecker::new([underpaid()].into_iter().collect(), engine);
         assert_eq!(checker.check(&mut s).unwrap().len(), 1);
         // Repair the violation by retracting mary's salary: a delta view
-        // cannot see retractions, so the checker must fall back to a full
-        // re-solve and report the store consistent.
+        // cannot see retractions, but the mutation journal reports `salary`
+        // as touched, which the constraint reads — so it re-solves and
+        // reports the store consistent.
         let salary = s.lookup_name(&Name::atom("salary")).unwrap();
         let mary = s.lookup_name(&Name::atom("mary")).unwrap();
         assert!(s.retract_scalar(salary, mary, &[]).is_some());
         let solves_before = checker.stats().condition_solves;
         assert!(checker.check(&mut s).unwrap().is_empty());
         assert_eq!(checker.stats().condition_solves, solves_before + 1);
+        assert_eq!(checker.stats().retraction_skips, 0);
+    }
+
+    #[test]
+    fn unrelated_retractions_answer_from_cache() {
+        let (mut s, engine) = fixture();
+        // A second fact table the constraint does not read.
+        let hobby = s.atom("hobby");
+        let mary = s.lookup_name(&Name::atom("mary")).unwrap();
+        let chess = s.atom("chess");
+        s.assert_scalar(hobby, mary, &[], chess).unwrap();
+        let mut checker = ConstraintChecker::new([underpaid()].into_iter().collect(), engine);
+        assert_eq!(checker.check(&mut s).unwrap().len(), 1);
+        let solves_before = checker.stats().condition_solves;
+        // Retracting mary's hobby touches no key `underpaid` reads: the
+        // journal-gated retraction path keeps the cached violation instead
+        // of re-solving.
+        assert!(s.retract_scalar(hobby, mary, &[]).is_some());
+        let violations = checker.check(&mut s).unwrap();
+        assert_eq!(violations.len(), 1, "cached violation survives");
+        assert_eq!(checker.stats().condition_solves, solves_before);
+        assert_eq!(checker.stats().retraction_skips, 1);
+        // The skip left the checker consistent: repairing the violation
+        // through a *related* retraction is still observed.
+        let salary = s.lookup_name(&Name::atom("salary")).unwrap();
+        assert!(s.retract_scalar(salary, mary, &[]).is_some());
+        assert!(checker.check(&mut s).unwrap().is_empty());
+        assert_eq!(checker.stats().condition_solves, solves_before + 1);
+    }
+
+    #[test]
+    fn retraction_narrowing_falls_back_on_new_objects() {
+        let (mut s, engine) = fixture();
+        let hobby = s.atom("hobby");
+        let mary = s.lookup_name(&Name::atom("mary")).unwrap();
+        let chess = s.atom("chess");
+        s.assert_scalar(hobby, mary, &[], chess).unwrap();
+        let mut checker = ConstraintChecker::new([underpaid()].into_iter().collect(), engine);
+        checker.check(&mut s).unwrap();
+        let solves_before = checker.stats().condition_solves;
+        // An unrelated retraction *plus* a new object in the same span:
+        // the conservative catch-all wins and everything re-solves.
+        assert!(s.retract_scalar(hobby, mary, &[]).is_some());
+        s.atom("brand_new");
+        checker.check(&mut s).unwrap();
+        assert_eq!(checker.stats().condition_solves, solves_before + 1);
+        assert_eq!(checker.stats().retraction_skips, 0);
     }
 
     #[test]

@@ -584,12 +584,12 @@ impl PooledBatch {
 ///
 /// The pool is **self-healing**: a worker whose thread dies to an escaped
 /// panic (task code panicking is a bug, but fault injection exercises the
-/// path deliberately) is detected at the next [`WorkerPool::broadcast`] —
+/// path deliberately) is detected at the next broadcast —
 /// either its [`JoinHandle`] reports finished or the send into its wake-up
 /// channel fails because the receiver was dropped during the unwind — and
 /// replaced by a freshly spawned thread, counted into
 /// [`FaultControl::workers_respawned`].  The batch the worker died on is
-/// still completed by the coordinator ([`PooledBatch::work`] recovers the
+/// still completed by the coordinator (`PooledBatch::work` recovers the
 /// missing slot), so a panic costs one respawn and zero correctness:
 /// effective parallelism returns to [`WorkerPool::workers`] by the next
 /// batch.

@@ -4,7 +4,7 @@
 //! and then computes the least fixpoint stratum by stratum: in each
 //! iteration every (relevant) rule's body is solved against the current
 //! structure and its head asserted for every solution, creating virtual
-//! objects for undefined head paths (see [`virtuals`]).  Iteration stops when
+//! objects for undefined head paths (see the `virtuals` module).  Iteration stops when
 //! no rule adds new information.
 //!
 //! With [`EvalOptions::delta_driven`] enabled (the default) the fixpoint is
@@ -79,6 +79,24 @@
 //! constraints, so degraded stores keep serving.
 //!
 //! [`ConstraintChecker`]: crate::constraints::ConstraintChecker
+//!
+//! ## Static analysis
+//!
+//! Before a program runs, [`Engine::analyze`] hands it to the shared
+//! [`crate::analysis`] subsystem: one dependency graph over every statement,
+//! a `PL0xx` [`Diagnostics`](crate::analysis::Diagnostics) report
+//! (safety/range restriction PL001–PL005, liveness lints PL006–PL009,
+//! reactive cascade bounds PL010–PL011) and per-literal cost annotations.
+//! The stratifier itself is a thin consumer of the same graph
+//! ([`crate::analysis::DependencyGraph::stratify`]), so the strata the
+//! analyzer reports are bit-identical to the ones evaluation uses.
+//! [`Engine::install_checked`] is `load_program` gated on the report:
+//! under [`StaticChecks::Enforce`] (via [`EvalOptions::static_checks`])
+//! programs with `Error`-severity diagnostics are rejected with
+//! [`Error::StaticRejected`] before any fact is asserted, while the default
+//! [`StaticChecks::WarnOnly`] only attaches the report.  The same analyzer
+//! runs in `pathlog_shell --check`, the oodb constraint guard and the
+//! reactive installers.
 
 pub mod executor;
 mod stratify;
@@ -183,6 +201,21 @@ pub enum Tolerance {
     Tolerant,
 }
 
+/// What [`Engine::install_checked`] does with `Error`-severity static
+/// diagnostics (see [`crate::analysis`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaticChecks {
+    /// Analyze and report, but install the program anyway (the default —
+    /// matches the historical behaviour where validation alone gated
+    /// installation).
+    #[default]
+    WarnOnly,
+    /// Reject programs with `Error`-severity diagnostics before any fact is
+    /// asserted, returning [`crate::error::Error::StaticRejected`] with the
+    /// rendered report.
+    Enforce,
+}
+
 /// Options controlling evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalOptions {
@@ -219,6 +252,9 @@ pub struct EvalOptions {
     /// violating) facts instead of answering classically — see
     /// [`Tolerance`].
     pub tolerance: Tolerance,
+    /// Whether [`Engine::install_checked`] rejects programs with
+    /// `Error`-severity static diagnostics — see [`StaticChecks`].
+    pub static_checks: StaticChecks,
 }
 
 impl Default for EvalOptions {
@@ -233,6 +269,7 @@ impl Default for EvalOptions {
             executor: ExecutorKind::Pooled,
             shard_min_entries: crate::semantics::DEFAULT_SHARD_MIN_ENTRIES,
             tolerance: Tolerance::Strict,
+            static_checks: StaticChecks::WarnOnly,
         }
     }
 }
@@ -437,6 +474,41 @@ impl Engine {
             }
         }
         self.run(structure, &program.rules, &infos)
+    }
+
+    /// Statically analyze `program` without evaluating it — see
+    /// [`crate::analysis`] for what the report contains.  Pass a structure
+    /// to let the analyzer treat its stored facts as defined (quieting
+    /// always-empty-literal lints) and derive selectivity estimates from its
+    /// per-method statistics.
+    pub fn analyze(&self, structure: Option<&Structure>, program: &Program) -> crate::analysis::Analysis {
+        let mut input = crate::analysis::AnalysisInput::new().program(program);
+        if let Some(s) = structure {
+            input = input.structure(s);
+        }
+        input.run()
+    }
+
+    /// [`Engine::load_program`] preceded by static analysis.
+    ///
+    /// Always returns the [`crate::analysis::Analysis`] report alongside the
+    /// evaluation stats.  Under [`StaticChecks::Enforce`] a program with
+    /// `Error`-severity diagnostics is rejected with
+    /// [`Error::StaticRejected`] *before* any fact is asserted; under the
+    /// default [`StaticChecks::WarnOnly`] the diagnostics are informational
+    /// and installation proceeds exactly like `load_program` (including its
+    /// own validation errors, which fire either way).
+    pub fn install_checked(
+        &self,
+        structure: &mut Structure,
+        program: &Program,
+    ) -> Result<(EvalStats, crate::analysis::Analysis)> {
+        let analysis = self.analyze(Some(structure), program);
+        if self.options.static_checks == StaticChecks::Enforce && !analysis.no_errors() {
+            return Err(Error::StaticRejected(analysis.diagnostics.render()));
+        }
+        let stats = self.load_program(structure, program)?;
+        Ok((stats, analysis))
     }
 
     /// Evaluate a set of rules (and facts) against `structure`.
@@ -969,7 +1041,7 @@ pub fn solve_body(structure: &Structure, body: &[Literal], seed: &Bindings) -> R
 /// `delta_literals`, solve the body once with that literal restricted to
 /// answers whose derivation reads `dv` (the iteration delta) while every
 /// other literal joins against the full structure, and return the
-/// deduplicated union in canonical order ([`merge_canonical`], the same
+/// deduplicated union in canonical order (`merge_canonical`, the same
 /// merge the engine applies, so this entry point cannot drift from the
 /// scheduled paths).  This is the per-literal decomposition of classic
 /// semi-naive evaluation: a solution that can contribute new information
@@ -2076,5 +2148,68 @@ mod tests {
         .unwrap();
         assert_eq!(s1.stats().set_members, s2.stats().set_members);
         assert_eq!(s1.stats().scalar_facts, s2.stats().scalar_facts);
+    }
+
+    #[test]
+    fn install_checked_warn_only_installs_with_diagnostics() {
+        let mut program = Program::new();
+        program.push_rule(Rule::fact(Term::name("mary").isa("person")));
+        // Reads `salary`, which nothing defines: a PL006 warning.
+        program.push_rule(Rule::new(
+            Term::var("X").isa("rich"),
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::scalar("salary", Term::var("_S"))),
+            )],
+        ));
+        let mut s = Structure::new();
+        let engine = Engine::new();
+        let (stats, analysis) = engine.install_checked(&mut s, &program).unwrap();
+        assert!(stats.strata >= 1);
+        assert!(!analysis.diagnostics.is_empty());
+        assert!(analysis.no_errors());
+    }
+
+    #[test]
+    fn install_checked_enforce_rejects_error_diagnostics() {
+        let mut program = Program::new();
+        program.push_rule(Rule::fact(Term::var("X").isa("person"))); // non-ground: PL003
+        let engine = Engine::with_options(EvalOptions {
+            static_checks: StaticChecks::Enforce,
+            ..EvalOptions::default()
+        });
+        let mut s = Structure::new();
+        let err = engine.install_checked(&mut s, &program).unwrap_err();
+        match err {
+            Error::StaticRejected(report) => assert!(report.contains("PL003"), "{report}"),
+            other => panic!("expected StaticRejected, got {other:?}"),
+        }
+        // Nothing was installed.
+        assert_eq!(s.stats().isa_edges, 0);
+
+        // The same program under WarnOnly fails load_program's own
+        // validation instead — enforcement only changes *when*, not *if*.
+        let engine = Engine::new();
+        assert!(engine.install_checked(&mut s, &program).is_err());
+    }
+
+    #[test]
+    fn engine_analyze_reports_strata_and_plans() {
+        let mut program = Program::new();
+        program.push_rule(Rule::fact(
+            Term::name("peter").filter(Filter::set("kids", vec![Term::name("tim")])),
+        ));
+        program.push_rule(Rule::new(
+            Term::var("X").filter(Filter::set("desc", vec![Term::var("Y")])),
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::set("kids", vec![Term::var("Y")])),
+            )],
+        ));
+        let engine = Engine::new();
+        let analysis = engine.analyze(None, &program);
+        assert!(analysis.diagnostics.is_empty(), "{}", analysis.diagnostics);
+        let strata = analysis.strata.as_ref().unwrap();
+        let infos = crate::program::validate_program(&program).unwrap();
+        assert_eq!(*strata, stratify(&infos).unwrap());
+        assert_eq!(analysis.plans.len(), 1);
     }
 }

@@ -11,11 +11,15 @@
 //! negated literal — negation being an extension) only reads methods defined
 //! in strictly earlier strata.  Ordinary (object-at-a-time) recursion stays
 //! within a stratum and needs no special treatment, "similar to e.g. O-Logic".
+//!
+//! The relaxation fixpoint itself lives on the shared analysis graph
+//! ([`crate::analysis::DependencyGraph::stratify`]); this module is a thin
+//! consumer so that the strata the engine evaluates with are exactly the
+//! strata the static analyzer reports.
 
-use std::collections::BTreeSet;
-
-use crate::error::{Error, Result};
-use crate::program::{DepKey, RuleInfo};
+use crate::analysis::DependencyGraph;
+use crate::error::Result;
+use crate::program::RuleInfo;
 
 /// The result of stratification: rule indexes grouped by stratum, lowest
 /// stratum first.
@@ -39,77 +43,21 @@ impl Stratification {
     }
 }
 
-/// Do two key sets overlap, treating [`DepKey::Unknown`] as a wildcard?
-fn keys_intersect(defines: &BTreeSet<DepKey>, uses: &BTreeSet<DepKey>) -> bool {
-    if defines.is_empty() || uses.is_empty() {
-        return false;
-    }
-    if defines.contains(&DepKey::Unknown) || uses.contains(&DepKey::Unknown) {
-        return true;
-    }
-    defines.iter().any(|k| uses.contains(k))
-}
-
 /// Compute a stratification of the rules described by `infos`.
 ///
-/// Returns [`Error::NotStratifiable`] when a rule (transitively) depends on
-/// its own definitions through a strict use.
+/// Returns [`crate::error::Error::NotStratifiable`] when a rule
+/// (transitively) depends on its own definitions through a strict use.
 pub fn stratify(infos: &[RuleInfo]) -> Result<Stratification> {
-    let n = infos.len();
-    let mut stratum = vec![1usize; n];
-    if n == 0 {
-        return Ok(Stratification {
-            strata: Vec::new(),
-            stratum_of: stratum,
-        });
-    }
-
-    loop {
-        let mut changed = false;
-        for (r, info_r) in infos.iter().enumerate() {
-            for (s, info_s) in infos.iter().enumerate() {
-                if keys_intersect(&info_s.defines, &info_r.uses) && stratum[r] < stratum[s] {
-                    stratum[r] = stratum[s];
-                    changed = true;
-                }
-                if keys_intersect(&info_s.defines, &info_r.strict_uses) && stratum[r] < stratum[s] + 1 {
-                    stratum[r] = stratum[s] + 1;
-                    changed = true;
-                }
-            }
-            if stratum[r] > n {
-                return Err(Error::NotStratifiable(format!(
-                    "rule {r} depends on its own definitions through a set-at-a-time (`->>` right-hand side) \
-                     or negated use; such rules must read only methods computed in earlier strata"
-                )));
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    let max = stratum.iter().copied().max().unwrap_or(1);
-    let mut strata = vec![Vec::new(); max];
-    for (r, &s) in stratum.iter().enumerate() {
-        strata[s - 1].push(r);
-    }
-    // Drop empty strata (can appear when numbering has gaps) while keeping order.
-    let strata: Vec<Vec<usize>> = strata.into_iter().filter(|s| !s.is_empty()).collect();
-    // Re-derive stratum_of from the compacted strata.
-    let mut stratum_of = vec![0usize; n];
-    for (i, group) in strata.iter().enumerate() {
-        for &r in group {
-            stratum_of[r] = i;
-        }
-    }
-    Ok(Stratification { strata, stratum_of })
+    DependencyGraph::from_rule_infos(infos).stratify()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
     use crate::names::Name;
+    use crate::program::DepKey;
+    use std::collections::BTreeSet;
 
     fn info(defines: &[&str], uses: &[&str], strict: &[&str]) -> RuleInfo {
         RuleInfo {

@@ -65,6 +65,11 @@ pub enum Error {
         /// Tasks the batch contained.
         expected: usize,
     },
+    /// The static analyzer reported `Error`-severity diagnostics and the
+    /// engine was configured to enforce them
+    /// ([`StaticChecks::Enforce`](crate::engine::StaticChecks)).  Carries
+    /// the rendered diagnostics report.
+    StaticRejected(String),
     /// Anything else.
     Other(String),
 }
@@ -83,6 +88,9 @@ impl fmt::Display for Error {
             }
             Error::LostWork { completed, expected } => {
                 write!(f, "parallel solve lost work items: {completed} of {expected} completed")
+            }
+            Error::StaticRejected(report) => {
+                write!(f, "program rejected by static analysis:\n{report}")
             }
             Error::Other(m) => write!(f, "{m}"),
         }

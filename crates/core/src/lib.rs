@@ -26,6 +26,8 @@
 //! * [`engine`] — stratified bottom-up evaluation with virtual-object
 //!   creation;
 //! * [`typing`] — signature-based type checking;
+//! * [`analysis`] — static program analysis: dependency graphs, `PL0xx`
+//!   diagnostics, cascade bounds and per-literal cost annotations;
 //! * [`builtins`] — the `self` method and comparison extensions.
 //!
 //! ## Quick example
@@ -61,6 +63,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod builtins;
 pub mod constraints;
 pub mod engine;
@@ -76,11 +79,17 @@ pub mod wellformed;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::analysis::{
+        analyze, Analysis, AnalysisInput, CascadeBound, CascadeReport, DiagCode, Diagnostic, Diagnostics,
+        ReactiveRuleSummary, RulePlanReport, Severity, Span,
+    };
     pub use crate::constraints::{
         tolerant_query, CheckStats, ConsistencyStatus, Constraint, ConstraintChecker, ConstraintPolicy, ConstraintSet,
         ConstraintViolation, Quarantine, TolerantAnswer, TolerantAnswers,
     };
-    pub use crate::engine::{solve_body, Engine, EvalMode, EvalOptions, EvalStats, ExecutorKind, Schedule, Tolerance};
+    pub use crate::engine::{
+        solve_body, Engine, EvalMode, EvalOptions, EvalStats, ExecutorKind, Schedule, StaticChecks, Tolerance,
+    };
     pub use crate::error::{Error, Result};
     pub use crate::names::{Name, Var};
     pub use crate::program::{Literal, Program, Query, Rule};

@@ -12,7 +12,7 @@
 
 mod validate;
 
-pub use validate::{literal_reads, validate_program, validate_rule, DepKey, RuleInfo};
+pub use validate::{literal_reads, rule_info, validate_program, validate_rule, DepKey, RuleInfo};
 
 use std::fmt;
 

@@ -86,7 +86,16 @@ pub fn validate_rule(rule: &Rule) -> Result<RuleInfo> {
         }
     }
 
-    // Dependency summary.
+    Ok(rule_info(rule))
+}
+
+/// Compute a rule's dependency summary without validating it.
+///
+/// This is the collector half of [`validate_rule`], exposed so the static
+/// analyzer can build dependency-graph nodes even for rules that fail one of
+/// the safety checks (it wants to report *all* problems, not stop at the
+/// first).
+pub fn rule_info(rule: &Rule) -> RuleInfo {
     let mut info = RuleInfo::default();
     collect_defines(&rule.head, &mut info.defines);
     // A `->>` filter in the *head* whose right-hand side is a set-valued
@@ -101,7 +110,7 @@ pub fn validate_rule(rule: &Rule) -> Result<RuleInfo> {
             collect_keys(&lit.term, &mut info.strict_uses);
         }
     }
-    Ok(info)
+    info
 }
 
 /// Validate every rule of a program.

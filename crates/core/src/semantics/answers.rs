@@ -1,7 +1,7 @@
 //! Answer enumeration: which variable-valuations make a reference denote
 //! something, and what does it denote?
 //!
-//! [`valuate`](super::valuate) implements Definition 4 for a *given*
+//! [`valuate`] implements Definition 4 for a *given*
 //! variable-valuation.  Rule evaluation needs the other direction: given a
 //! body reference with free variables, enumerate the pairs
 //! `(sigma', object)` such that `object ∈ nu_{I,sigma'}(t)` and `sigma'`

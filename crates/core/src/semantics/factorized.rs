@@ -20,7 +20,7 @@
 //!
 //! Enumeration ([`AnswerDag::for_each`]) is lazy and yields answers in
 //! exactly the order the materializing enumerator
-//! ([`answers`](super::answers::answers)) produces them — receivers in
+//! ([`answers`]) produces them — receivers in
 //! ascending `Oid` order (the order `BTreeSet`-seeded receiver candidates
 //! enumerate), members in ascending run order — so canonical dumps and
 //! deterministic downstream merges are unaffected by which representation
@@ -276,7 +276,7 @@ impl FactorizedAnswers {
 /// term is a supported path shape.
 ///
 /// The factorized result enumerates bit-identically to
-/// [`answers`](super::answers::answers) — same answers, same order — so the
+/// [`answers`] — same answers, same order — so the
 /// two representations are interchangeable everywhere downstream.
 pub fn factorized_answers(structure: &Structure, term: &Term, seed: &Bindings) -> Result<FactorizedAnswers> {
     match try_factorize(structure, term, seed) {

@@ -10,7 +10,7 @@
 //! Both are computed against a [`Structure`] and a variable-valuation
 //! ([`Bindings`]).  [`valuate`] requires every variable of the reference to
 //! be bound (it implements the mathematical definition); the companion module
-//! [`answers`] enumerates the variable-valuations under which a reference
+//! [`answers`](mod@answers) enumerates the variable-valuations under which a reference
 //! denotes something, which is what rule evaluation needs.
 
 pub mod answers;

@@ -249,6 +249,13 @@ pub struct Facts {
     /// consumers compare this counter to detect the invalidation and fall
     /// back to a full pass — see [`Facts::num_retractions`].
     retractions: usize,
+
+    /// Append-only journal of the method objects touched by every
+    /// successful mutation — asserts *and* retracts, scalar and set.
+    /// Unlike the fact watermarks nothing is ever removed from it, so
+    /// "which method keys changed since mark `k`" stays answerable across
+    /// retraction-bearing spans — see [`Facts::mutation_keys_since`].
+    mutation_log: Vec<Oid>,
 }
 
 impl Facts {
@@ -292,6 +299,7 @@ impl Facts {
             .or_default()
             .push(slot);
         self.scalar_by_receiver.entry(receiver).or_default().push(slot);
+        self.mutation_log.push(method);
     }
 
     /// Assert `I_->(method)(receiver, args) = result`.
@@ -458,6 +466,7 @@ impl Facts {
             replace_index(&mut self.scalar_by_receiver, &mreceiver, old, slot);
         }
         self.retractions += 1;
+        self.mutation_log.push(method);
         Some(result)
     }
 
@@ -517,6 +526,7 @@ impl Facts {
                 .push(app as u32);
             self.set_member_count += 1;
             self.set_log.push((app as u32, member));
+            self.mutation_log.push(method);
             Assert::New
         } else {
             Assert::Unchanged
@@ -681,6 +691,7 @@ impl Facts {
         self.set_member_count -= 1;
         remove_index(&mut self.set_by_method_member, &(method, member), app);
         self.retractions += 1;
+        self.mutation_log.push(method);
         true
     }
 
@@ -690,6 +701,24 @@ impl Facts {
     /// happened in between and watermark slices over the span are sound.
     pub fn num_retractions(&self) -> usize {
         self.retractions
+    }
+
+    /// Length of the mutation journal — the current watermark for
+    /// [`Facts::mutation_keys_since`].
+    pub fn mutation_len(&self) -> usize {
+        self.mutation_log.len()
+    }
+
+    /// The method objects touched by every successful mutation (assert or
+    /// retract, scalar or set member) at or after watermark `mark`, in
+    /// mutation order, with repeats.  The journal is append-only even
+    /// across retractions, so — unlike the fact-count watermarks — this
+    /// slice stays sound over retraction-bearing spans.  It answers "which
+    /// method keys *may* have changed", not "which facts were added"; the
+    /// incremental constraint checker uses it to keep constraints whose
+    /// reads are disjoint from a retraction delta on their cached results.
+    pub fn mutation_keys_since(&self, mark: usize) -> &[Oid] {
+        &self.mutation_log[mark.min(self.mutation_log.len())..]
     }
 }
 
@@ -731,6 +760,29 @@ mod tests {
         assert_eq!(f.scalar_result(o(1), o(10), &[]), Some(o(20)));
         assert_eq!(f.scalar_result(o(1), o(11), &[]), None);
         assert_eq!(f.num_scalar(), 1);
+    }
+
+    #[test]
+    fn mutation_journal_records_asserts_and_retracts() {
+        let mut f = Facts::new();
+        assert_eq!(f.mutation_len(), 0);
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_set_member(o(2), o(10), &[], o(30));
+        // Duplicates change nothing and are not journaled.
+        f.assert_scalar(o(1), o(10), &[], o(20)).unwrap();
+        f.assert_set_member(o(2), o(10), &[], o(30));
+        assert_eq!(f.mutation_keys_since(0), &[o(1), o(2)]);
+        let mark = f.mutation_len();
+        // Retractions append too — the journal survives them.
+        assert!(f.retract_scalar(o(1), o(10), &[]).is_some());
+        assert!(f.retract_set_member(o(2), o(10), &[], o(30)));
+        // Failed retractions are not journaled.
+        assert!(f.retract_scalar(o(1), o(10), &[]).is_none());
+        assert!(!f.retract_set_member(o(2), o(10), &[], o(30)));
+        assert_eq!(f.mutation_keys_since(mark), &[o(1), o(2)]);
+        assert_eq!(f.num_retractions(), 2);
+        // Out-of-range marks clamp instead of panicking.
+        assert!(f.mutation_keys_since(999).is_empty());
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub struct StructureStats {
 /// [`Isa::pairs_in`].  The engine's semi-naive evaluation captures one pair
 /// of marks per fixpoint iteration and derives its delta view from the
 /// slice (see `pathlog_core::semantics::DeltaView`).  Windows are only
-/// meaningful across a span without retractions (see the [`facts`] module
+/// meaningful across a span without retractions (see the `facts` module
 /// docs); the deductive engine only ever adds facts while evaluating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalMarks {

@@ -40,6 +40,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
+use pathlog_core::analysis::{AnalysisInput, Diagnostics};
 use pathlog_core::constraints::{
     tolerant_query, CheckStats, ConstraintChecker, ConstraintPolicy, ConstraintSet, ConstraintViolation, Quarantine,
     TolerantAnswers,
@@ -157,6 +158,10 @@ pub struct ConstraintGuard {
     /// Name-level mirror of the ledger, used to rebuild `quarantine` when
     /// the shadow is rebuilt.
     tagged: Vec<TaggedFact>,
+    /// Install-time static-analysis report over the constraint set
+    /// (safety of denial bodies, always-empty reads against the store's
+    /// image).  Advisory: installation proceeds regardless.
+    diagnostics: Diagnostics,
     /// [`ObjectStore::version`] at the last moment shadow == store.
     synced_version: u64,
 }
@@ -171,6 +176,11 @@ impl ConstraintGuard {
         store: &ObjectStore,
     ) -> pathlog_core::error::Result<(Self, Vec<ConstraintViolation>)> {
         let mut shadow = store.to_structure();
+        let diagnostics = AnalysisInput::new()
+            .constraints(&constraints)
+            .structure(&shadow)
+            .run()
+            .diagnostics;
         let mut checker = ConstraintChecker::new(constraints, engine);
         let baseline = checker.check_full(&mut shadow)?;
         let guard = ConstraintGuard {
@@ -179,6 +189,7 @@ impl ConstraintGuard {
             accepted: baseline.iter().cloned().collect(),
             quarantine: Quarantine::new(),
             tagged: Vec::new(),
+            diagnostics,
             synced_version: store.version(),
         };
         Ok((guard, baseline))
@@ -197,6 +208,14 @@ impl ConstraintGuard {
     /// The quarantine ledger.
     pub fn quarantine(&self) -> &Quarantine {
         &self.quarantine
+    }
+
+    /// The install-time static-analysis report over the constraint set:
+    /// safety diagnostics for each denial body plus always-empty-read
+    /// warnings judged against the store's contents at install time.
+    /// Advisory — a diagnostic here never blocks installation or commits.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diagnostics
     }
 
     /// The shadow structure (the store's PathLog image, post last sync).
@@ -745,6 +764,39 @@ mod tests {
         assert_eq!(
             stats.full_checks, after_install.full_checks,
             "no full re-check happened"
+        );
+    }
+
+    #[test]
+    fn install_reports_static_diagnostics() {
+        let mut db = company();
+        // `fortune` is stored nowhere, so this denial can never fire —
+        // the analyzer flags the read, installation still succeeds.
+        let ghost = Constraint::new(
+            "ghost_read",
+            vec![Literal::pos(
+                Term::var("X").filter(Filter::scalar("fortune", Term::var("F"))),
+            )],
+            ConstraintPolicy::Warn,
+        )
+        .unwrap();
+        db.set_constraints(
+            [underpaid(ConstraintPolicy::Reject), ghost].into_iter().collect(),
+            Engine::new(),
+        )
+        .unwrap();
+        let guard = db.constraint_guard().unwrap();
+        let diags = guard.diagnostics();
+        assert!(diags.no_errors(), "{diags}");
+        assert!(
+            diags
+                .codes()
+                .contains(&pathlog_core::analysis::DiagCode::AlwaysEmptyLiteral),
+            "{diags}"
+        );
+        assert!(
+            diags.iter().any(|d| d.subject.contains("ghost_read")),
+            "diagnostic names the offending constraint: {diags}"
         );
     }
 

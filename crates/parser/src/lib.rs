@@ -45,4 +45,4 @@ mod parser;
 
 pub use error::{ParseError, Result};
 pub use lexer::{tokenize, Spanned, Token};
-pub use parser::{parse_program, parse_query, parse_rule, parse_term};
+pub use parser::{parse_program, parse_program_spanned, parse_query, parse_rule, parse_term, SpannedProgram};

@@ -37,6 +37,24 @@ use crate::lexer::{tokenize, Spanned, Token};
 
 /// Parse a whole program (facts, rules and queries).
 pub fn parse_program(input: &str) -> Result<Program> {
+    Ok(parse_program_spanned(input)?.program)
+}
+
+/// A parsed program together with the 1-based `(line, column)` source
+/// position of each statement — the anchors the static analyzer
+/// (`pathlog_core::analysis`) attaches its diagnostics to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedProgram {
+    /// The parsed program.
+    pub program: Program,
+    /// One `(line, column)` per entry of `program.rules`, in order.
+    pub rule_spans: Vec<(usize, usize)>,
+    /// One `(line, column)` per entry of `program.queries`, in order.
+    pub query_spans: Vec<(usize, usize)>,
+}
+
+/// Parse a whole program, recording where each statement starts.
+pub fn parse_program_spanned(input: &str) -> Result<SpannedProgram> {
     Parser::new(input)?.program()
 }
 
@@ -137,20 +155,29 @@ impl Parser {
 
     // -- program structure ---------------------------------------------------
 
-    fn program(&mut self) -> Result<Program> {
+    fn program(&mut self) -> Result<SpannedProgram> {
         let mut program = Program::new();
+        let mut rule_spans = Vec::new();
+        let mut query_spans = Vec::new();
         while self.pos < self.tokens.len() {
+            let span = self.position();
             if self.peek_is(&Token::QueryPrefix) {
                 self.bump();
                 let body = self.body()?;
                 self.expect(&Token::End, "'.' at the end of the query")?;
                 program.push_query(Query::new(body));
+                query_spans.push(span);
             } else {
                 let rule = self.rule()?;
                 program.push_rule(rule);
+                rule_spans.push(span);
             }
         }
-        Ok(program)
+        Ok(SpannedProgram {
+            program,
+            rule_spans,
+            query_spans,
+        })
     }
 
     fn rule(&mut self) -> Result<Rule> {
@@ -588,6 +615,18 @@ mod tests {
             let reparsed = parse_term(&printed).unwrap();
             assert_eq!(t, reparsed, "round-trip failed for {src}: printed as {printed}");
         }
+    }
+
+    #[test]
+    fn spanned_parse_records_statement_positions() {
+        let src = "a : b.\n  c : d.\n?- X : b.\nX : e <- X : b.\n";
+        let spanned = parse_program_spanned(src).unwrap();
+        assert_eq!(spanned.program.rules.len(), 3);
+        assert_eq!(spanned.program.queries.len(), 1);
+        assert_eq!(spanned.rule_spans, vec![(1, 1), (2, 3), (4, 1)]);
+        assert_eq!(spanned.query_spans, vec![(3, 1)]);
+        // The plain entry point parses identically.
+        assert_eq!(parse_program(src).unwrap(), spanned.program);
     }
 
     #[test]

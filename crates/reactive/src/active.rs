@@ -363,6 +363,42 @@ impl ActiveStore {
         self
     }
 
+    /// Add a rule only if it passes static analysis: the rule's condition
+    /// is checked in isolation and the rule is rejected with
+    /// [`ReactiveError::StaticRejected`] when the analyzer reports an
+    /// `Error`-severity diagnostic.  Warnings — including the cascade
+    /// warnings the *combined* rule set may raise — do not block
+    /// installation; call [`ActiveStore::analyze`] to see them.
+    pub fn add_rule_checked(&mut self, rule: EcaRule) -> Result<&mut Self> {
+        let analysis =
+            crate::analyze::analyze_eca_rules(std::slice::from_ref(&rule), self.options.max_cascade_depth, None);
+        if !analysis.no_errors() {
+            let errors: Vec<String> = analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == pathlog_core::analysis::Severity::Error)
+                .map(|d| d.to_string())
+                .collect();
+            return Err(ReactiveError::StaticRejected(format!(
+                "rule `{}`: {}",
+                rule.name,
+                errors.join("; ")
+            )));
+        }
+        self.add_rule(rule);
+        Ok(self)
+    }
+
+    /// Statically analyze the installed rule set against this store's
+    /// structure and [`ActiveOptions::max_cascade_depth`]: condition
+    /// safety, the trigger graph, cascade cycles (PL010) and whether the
+    /// static cascade bound exceeds the configured limit (PL011).  A
+    /// cascade diagnosed here statically is one [`ReactiveError::LimitExceeded`]
+    /// would otherwise only catch at runtime, mid-mutation.
+    pub fn analyze(&self) -> pathlog_core::analysis::Analysis {
+        crate::analyze::analyze_eca_rules(&self.rules, self.options.max_cascade_depth, Some(&self.structure))
+    }
+
     /// The cached condition-body slice the executor's batches index into.
     fn condition_bodies(&mut self) -> Arc<[Vec<Literal>]> {
         if self.condition_bodies.is_none() {

@@ -26,6 +26,11 @@ pub enum ReactiveError {
     LimitExceeded(String),
     /// The underlying PathLog evaluation failed.
     Evaluation(String),
+    /// The static analyzer rejected a rule before installation: its
+    /// condition carries at least one `Error`-severity diagnostic (raised
+    /// by `add_rule_checked` on [`crate::ProductionEngine`] /
+    /// [`crate::ActiveStore`]).  The message lists the diagnostics.
+    StaticRejected(String),
 }
 
 impl fmt::Display for ReactiveError {
@@ -34,6 +39,7 @@ impl fmt::Display for ReactiveError {
             ReactiveError::InvalidAction(m) => write!(f, "invalid action: {m}"),
             ReactiveError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
             ReactiveError::Evaluation(m) => write!(f, "evaluation error: {m}"),
+            ReactiveError::StaticRejected(m) => write!(f, "static analysis rejected rule: {m}"),
         }
     }
 }

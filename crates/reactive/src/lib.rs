@@ -46,11 +46,13 @@
 
 pub mod action;
 pub mod active;
+pub mod analyze;
 pub mod error;
 pub mod production;
 
 pub use action::{apply_action, Action, ActionEffect};
 pub use active::{ActiveOptions, ActiveStats, ActiveStore, CascadeSchedule, EcaAction, EcaRule, Event};
+pub use analyze::{analyze_eca_rules, analyze_production_rules, summarize_eca, summarize_production};
 pub use error::{ReactiveError, Result};
 pub use production::{
     ConflictResolution, Firing, ProductionEngine, ProductionOptions, ProductionRule, ProductionStats,

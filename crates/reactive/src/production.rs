@@ -6,7 +6,8 @@
 //! classic recognise–act production system:
 //!
 //! * the **condition** of a rule is an ordinary PathLog body (a conjunction
-//!   of references, evaluated by [`solve_body`] — the same matcher the
+//!   of references, evaluated by
+//!   [`solve_body`](pathlog_core::engine::solve_body) — the same matcher the
 //!   deductive engine uses);
 //! * the **actions** assert or retract references ([`Action`]);
 //! * one instantiation fires per cycle, chosen by a conflict-resolution
@@ -32,7 +33,7 @@
 //! solve could have changed its solution set: when a fact was *retracted*
 //! (conditions are not monotone under retraction), when objects or
 //! signature declarations were created, or when the
-//! [`DeltaView`](pathlog_core::semantics::DeltaView) sliced from the
+//! [`DeltaView`] sliced from the
 //! insertion logs since the rule's watermark contains facts of a
 //! method/class any condition literal reads.  Otherwise the cached solution
 //! run is reused verbatim, turning O(rules × cycles) full re-matching into
@@ -238,6 +239,39 @@ impl ProductionEngine {
     pub fn add_rule(&mut self, rule: ProductionRule) -> &mut Self {
         self.rules.push(rule);
         self
+    }
+
+    /// Add a rule only if it passes static analysis: the rule's condition
+    /// is checked in isolation and the rule is rejected with
+    /// [`ReactiveError::StaticRejected`] when the analyzer reports an
+    /// `Error`-severity diagnostic (ill-formed reference, unsafe
+    /// negation).  Warnings do not block installation; call
+    /// [`ProductionEngine::analyze`] to see them.
+    pub fn add_rule_checked(&mut self, rule: ProductionRule) -> Result<&mut Self> {
+        let analysis = crate::analyze::analyze_production_rules(std::slice::from_ref(&rule), None);
+        if !analysis.no_errors() {
+            let errors: Vec<String> = analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == pathlog_core::analysis::Severity::Error)
+                .map(|d| d.to_string())
+                .collect();
+            return Err(ReactiveError::StaticRejected(format!(
+                "rule `{}`: {}",
+                rule.name,
+                errors.join("; ")
+            )));
+        }
+        self.rules.push(rule);
+        Ok(self)
+    }
+
+    /// Statically analyze the installed rule set: condition safety
+    /// diagnostics plus the trigger graph and cascade report over all
+    /// rules (see [`crate::analyze`]).  Pass the structure the rules will
+    /// run against so its stored facts count as defined keys.
+    pub fn analyze(&self, structure: Option<&Structure>) -> pathlog_core::analysis::Analysis {
+        crate::analyze::analyze_production_rules(&self.rules, structure)
     }
 
     /// The rules in definition order.

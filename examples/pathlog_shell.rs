@@ -29,6 +29,13 @@
 //! the pooled snapshot-rounds schedule (`--mode`/`--workers` select the
 //! executor exactly as for the deductive engine), cross-checked against a
 //! sequential run of the same store.
+//!
+//! `--check FILE...` skips the interactive loop too and runs the static
+//! analyzer over each program file instead, printing one
+//! `path:line:col: PLxxx severity: message` line per diagnostic (or one
+//! JSON object per file with `--json`) and exiting non-zero when any file
+//! fails to parse or carries an `Error`-severity diagnostic — the lint
+//! gate CI runs over the example corpus.
 
 use std::io::{self, BufRead, Write};
 
@@ -37,14 +44,28 @@ use pathlog::core::program::Literal;
 use pathlog::prelude::*;
 use pathlog::reactive::{ActiveOptions, ActiveStats, ActiveStore, CascadeSchedule, EcaAction, EcaRule, Event};
 
-/// Parse `--workers N` / `--mode seq|par` / `--reactive`; returns the
-/// evaluation options and whether the reactive demo was requested.
-fn options_from_args() -> (EvalOptions, bool) {
+/// What the command line asked for beyond evaluation options.
+enum ShellMode {
+    /// The interactive read-eval loop.
+    Interactive,
+    /// The `--reactive` active-database demo.
+    Reactive,
+    /// `--check [--json] FILE...`: run the static analyzer over each file.
+    Check { files: Vec<String>, json: bool },
+}
+
+/// Parse `--workers N` / `--mode seq|par` / `--reactive` /
+/// `--check [--json] FILE...`; returns the evaluation options and the
+/// requested mode.
+fn options_from_args() -> (EvalOptions, ShellMode) {
     let mut workers: Option<usize> = None;
     let mut mode: Option<&'static str> = None;
     let mut reactive = false;
+    let mut check = false;
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
     let usage = || -> ! {
-        eprintln!("usage: pathlog_shell [--mode seq|par] [--workers N] [--reactive]");
+        eprintln!("usage: pathlog_shell [--mode seq|par] [--workers N] [--reactive] [--check [--json] FILE...]");
         std::process::exit(2);
     };
     let mut args = std::env::args().skip(1);
@@ -60,8 +81,17 @@ fn options_from_args() -> (EvalOptions, bool) {
                 _ => usage(),
             },
             "--reactive" => reactive = true,
+            "--check" => check = true,
+            "--json" => json = true,
+            path if check && !path.starts_with('-') => files.push(path.to_string()),
             _ => usage(),
         }
+    }
+    if json && !check {
+        usage();
+    }
+    if check && (files.is_empty() || reactive) {
+        usage();
     }
     let parallel = match mode {
         Some("par") => true,
@@ -77,13 +107,93 @@ fn options_from_args() -> (EvalOptions, bool) {
     } else {
         EvalMode::Sequential
     };
+    let shell_mode = if check {
+        ShellMode::Check { files, json }
+    } else if reactive {
+        ShellMode::Reactive
+    } else {
+        ShellMode::Interactive
+    };
     (
         EvalOptions {
             mode: eval_mode,
             ..EvalOptions::default()
         },
-        reactive,
+        shell_mode,
     )
+}
+
+/// `--check` mode: parse and statically analyze each file.  Prints one
+/// line (or, with `json`, one JSON object) per diagnostic and returns the
+/// process exit code: 0 when every file parses and carries no
+/// `Error`-severity diagnostic, 1 otherwise.
+fn check_files(files: &[String], json: bool) -> i32 {
+    use pathlog::core::analysis::{json_escape, AnalysisInput};
+    use pathlog::parser::parse_program_spanned;
+
+    let mut failed = false;
+    let mut json_entries: Vec<String> = Vec::new();
+    for path in files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                failed = true;
+                if json {
+                    json_entries.push(format!(
+                        "{{\"file\":\"{}\",\"error\":\"{}\"}}",
+                        json_escape(path),
+                        json_escape(&e.to_string())
+                    ));
+                } else {
+                    eprintln!("{path}: error: {e}");
+                }
+                continue;
+            }
+        };
+        match parse_program_spanned(&source) {
+            Ok(spanned) => {
+                let analysis = AnalysisInput::new()
+                    .program(&spanned.program)
+                    .rule_spans(&spanned.rule_spans)
+                    .query_spans(&spanned.query_spans)
+                    .run();
+                failed |= !analysis.no_errors();
+                if json {
+                    json_entries.push(format!(
+                        "{{\"file\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":{}}}",
+                        json_escape(path),
+                        analysis.diagnostics.error_count(),
+                        analysis.diagnostics.warning_count(),
+                        analysis.diagnostics.to_json()
+                    ));
+                } else {
+                    for d in analysis.diagnostics.iter() {
+                        println!("{path}:{d}");
+                    }
+                }
+            }
+            Err(e) => {
+                // A file that does not parse cannot be analyzed: report the
+                // parse error at its position and count it as a failure.
+                failed = true;
+                if json {
+                    json_entries.push(format!(
+                        "{{\"file\":\"{}\",\"parse_error\":{{\"line\":{},\"column\":{},\"message\":\"{}\"}}}}",
+                        json_escape(path),
+                        e.line,
+                        e.column,
+                        json_escape(&e.message)
+                    ));
+                } else {
+                    println!("{path}:{}:{}: parse error: {}", e.line, e.column, e.message);
+                }
+            }
+        }
+    }
+    if json {
+        println!("[{}]", json_entries.join(","));
+    }
+    i32::from(failed)
 }
 
 /// An active store over a tiny payroll with a salary-event fan-out (three
@@ -190,10 +300,14 @@ fn reactive_demo(options: EvalOptions) {
 }
 
 fn main() {
-    let (options, reactive) = options_from_args();
-    if reactive {
-        reactive_demo(options);
-        return;
+    let (options, mode) = options_from_args();
+    match mode {
+        ShellMode::Check { files, json } => std::process::exit(check_files(&files, json)),
+        ShellMode::Reactive => {
+            reactive_demo(options);
+            return;
+        }
+        ShellMode::Interactive => {}
     }
     let mut structure = Structure::new();
     let engine = Engine::with_options(options);

@@ -1,0 +1,8 @@
+% Section 3: every employee's boss is a virtual object working for the
+% same department.
+p1 : employee[worksFor -> cs1].
+p2 : employee[worksFor -> cs1].
+
+X.boss[worksFor -> D] <- X : employee[worksFor -> D].
+
+?- X : employee.boss[worksFor -> D].

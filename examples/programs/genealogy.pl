@@ -1,0 +1,10 @@
+% The genealogy of Section 6: `kids` facts and the transitive
+% `desc` closure over them.
+peter[kids ->> {tim, mary}].
+tim[kids ->> {sally}].
+mary[kids ->> {tom, paul}].
+
+X[desc ->> {Y}] <- X[kids ->> {Y}].
+X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+
+?- peter[desc ->> {Z}].

@@ -1,0 +1,10 @@
+% Stratified negation: employees without a recorded salary.  `paid` sits
+% in a lower stratum than `unpaid`, so the program evaluates bottom-up in
+% two strata.
+mary : employee[salary -> 900].
+tim : employee.
+
+X : paid <- X : employee[salary -> _S].
+X : unpaid <- X : employee, not X : paid.
+
+?- X : unpaid.

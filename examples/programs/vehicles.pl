@@ -1,0 +1,9 @@
+% Example 2.1: one two-dimensional reference replaces a conjunction of
+% one-dimensional paths.
+p1 : manager[city -> newYork].
+p1[vehicles ->> {v1}].
+v1 : automobile[color -> red; cylinders -> 4].
+v1[producedBy -> gm].
+gm[city -> detroit; president -> p9].
+
+?- X : manager..vehicles[color -> red].producedBy[city -> detroit].

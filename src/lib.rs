@@ -58,7 +58,9 @@ pub mod prelude {
     pub use pathlog_datagen::{CompanyParams, GenealogyParams};
     pub use pathlog_flogic::{FlatEngine, Translator};
     pub use pathlog_oodb::{ObjectStore, Schema, Value};
-    pub use pathlog_parser::{parse_program, parse_query, parse_rule, parse_term};
+    pub use pathlog_parser::{
+        parse_program, parse_program_spanned, parse_query, parse_rule, parse_term, SpannedProgram,
+    };
     pub use pathlog_reactive::{
         Action, ActiveOptions, ActiveStore, CascadeSchedule, EcaRule, ProductionEngine, ProductionOptions,
         ProductionRule,

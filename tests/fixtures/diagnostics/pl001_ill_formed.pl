@@ -1,0 +1,4 @@
+% PL001: a scalar filter whose value is a set-valued reference violates
+% well-formedness (Definition 3).
+peter[kids ->> {tim, mary}].
+house[owner -> peter..kids].

@@ -1,0 +1,3 @@
+% PL002: a rule head must be a scalar reference; `X..kids` denotes a set.
+a : person.
+X..kids[status -> minor] <- X : person.

@@ -1,0 +1,4 @@
+% PL003: `Y` appears in the head but in no positive body literal, so the
+% rule is not range-restricted.
+a : person.
+X[age -> Y; shoe -> Y] <- X : person.

@@ -1,0 +1,4 @@
+% PL004: `X` occurs only under negation, so negation-as-failure has no
+% bindings to test.
+a : person[spouse -> a].
+somebody : flag <- not X : person[spouse -> X].

@@ -1,0 +1,4 @@
+% PL005: `odd` depends on its own definition through negation, so no
+% stratification exists.
+a : person.
+X : odd <- X : person, not X : odd.

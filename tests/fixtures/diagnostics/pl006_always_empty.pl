@@ -1,0 +1,6 @@
+% PL006: no fact or rule defines `fortune`, so the first body literal can
+% never match.
+a : person.
+X : rich <- X : person[fortune -> F], F[gt@(1000000) -> F].
+
+?- X : rich.

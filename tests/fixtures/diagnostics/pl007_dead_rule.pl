@@ -1,0 +1,9 @@
+% PL007: nothing reads `minor`, so its rule can never contribute to an
+% answer.
+a : person.
+b : nobody.
+
+X : adult <- X : person.
+X : minor <- X : nobody.
+
+?- X : adult.

@@ -1,0 +1,7 @@
+% PL008: `H` occurs exactly once; either a join was forgotten or the
+% variable should be spelled `_H`.
+a : person[height -> 180].
+
+X : tall <- X : person[height -> H].
+
+?- X : tall.

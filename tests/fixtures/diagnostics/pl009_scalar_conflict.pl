@@ -1,0 +1,8 @@
+% PL009: two rules assign the scalar method `status`, so evaluation can
+% derive conflicting results for the same receiver.
+a : person.
+
+X[status -> gold] <- X : person.
+X[status -> silver] <- X : person.
+
+?- X[status -> S].

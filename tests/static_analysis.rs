@@ -1,0 +1,410 @@
+//! Integration tests for the static-analysis subsystem: golden diagnostics
+//! per PL0xx code over the fixture corpus, a bit-identical regression of the
+//! refactored stratifier against the original relaxation fixpoint, a
+//! property test that analyzer-accepted programs never trip runtime safety
+//! errors, the static-vs-dynamic cascade fixture, and the analyzer-clean
+//! sweep over the shipped example programs.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use pathlog::core::analysis::{AnalysisInput, CascadeBound, DiagCode, Severity};
+use pathlog::core::engine::{stratify, StaticChecks, Stratification};
+use pathlog::core::program::{validate_program, DepKey, RuleInfo};
+use pathlog::parser::parse_program_spanned;
+use pathlog::prelude::*;
+use pathlog::reactive::{ActiveOptions, ActiveStore, EcaAction, EcaRule, Event, ReactiveError};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/diagnostics/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn analyze_source(source: &str) -> pathlog::core::analysis::Analysis {
+    let spanned = parse_program_spanned(source).expect("fixture parses");
+    AnalysisInput::new()
+        .program(&spanned.program)
+        .rule_spans(&spanned.rule_spans)
+        .query_spans(&spanned.query_spans)
+        .run()
+}
+
+// ---------------------------------------------------------------------------
+// Golden diagnostics: each fixture fires exactly its own code, anchored at
+// the documented line.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn each_fixture_fires_exactly_its_own_code() {
+    // (file, code, severity, line of the offending statement; None = whole program)
+    let golden: &[(&str, DiagCode, Severity, Option<usize>)] = &[
+        ("pl001_ill_formed.pl", DiagCode::IllFormed, Severity::Error, Some(4)),
+        (
+            "pl002_set_valued_head.pl",
+            DiagCode::SetValuedHead,
+            Severity::Error,
+            Some(3),
+        ),
+        (
+            "pl003_unsafe_head_variable.pl",
+            DiagCode::UnsafeHeadVariable,
+            Severity::Error,
+            Some(4),
+        ),
+        (
+            "pl004_negation_only_variable.pl",
+            DiagCode::UnsafeNegationVariable,
+            Severity::Error,
+            Some(4),
+        ),
+        (
+            "pl005_not_stratifiable.pl",
+            DiagCode::NotStratifiable,
+            Severity::Error,
+            None,
+        ),
+        (
+            "pl006_always_empty.pl",
+            DiagCode::AlwaysEmptyLiteral,
+            Severity::Warning,
+            Some(4),
+        ),
+        ("pl007_dead_rule.pl", DiagCode::DeadRule, Severity::Warning, Some(7)),
+        (
+            "pl008_singleton_variable.pl",
+            DiagCode::SingletonVariable,
+            Severity::Warning,
+            Some(5),
+        ),
+        (
+            "pl009_scalar_conflict.pl",
+            DiagCode::ScalarConflict,
+            Severity::Warning,
+            Some(6),
+        ),
+    ];
+    for &(file, code, severity, line) in golden {
+        let analysis = analyze_source(&fixture(file));
+        let codes: BTreeSet<DiagCode> = analysis.diagnostics.codes().into_iter().collect();
+        assert_eq!(
+            codes,
+            [code].into_iter().collect::<BTreeSet<_>>(),
+            "{file} should fire exactly {code}, got: {}",
+            analysis.diagnostics
+        );
+        for d in analysis.diagnostics.iter() {
+            assert_eq!(d.severity, severity, "{file}: {d}");
+            assert_eq!(
+                d.span.map(|s| s.line),
+                line,
+                "{file}: diagnostic anchored at the wrong statement: {d}"
+            );
+            assert!(!d.message.is_empty() && !d.subject.is_empty(), "{file}: {d}");
+        }
+    }
+}
+
+#[test]
+fn fixture_corpus_covers_at_least_eight_distinct_codes() {
+    let dir = format!("{}/tests/fixtures/diagnostics", env!("CARGO_MANIFEST_DIR"));
+    let mut codes = BTreeSet::new();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "pl") {
+            let source = std::fs::read_to_string(&path).unwrap();
+            codes.extend(analyze_source(&source).diagnostics.codes());
+        }
+    }
+    assert!(codes.len() >= 8, "only {} distinct codes fired: {codes:?}", codes.len());
+}
+
+// ---------------------------------------------------------------------------
+// Stratification regression: the shared-graph stratifier must be
+// bit-identical to the original relaxation fixpoint it replaced.
+// ---------------------------------------------------------------------------
+
+/// The stratification algorithm exactly as the engine implemented it before
+/// it moved onto the shared dependency graph, kept here as the oracle.
+fn reference_stratify(infos: &[RuleInfo]) -> Option<Stratification> {
+    fn intersect(defines: &BTreeSet<DepKey>, uses: &BTreeSet<DepKey>) -> bool {
+        if defines.is_empty() || uses.is_empty() {
+            return false;
+        }
+        if defines.contains(&DepKey::Unknown) || uses.contains(&DepKey::Unknown) {
+            return true;
+        }
+        defines.iter().any(|k| uses.contains(k))
+    }
+    let n = infos.len();
+    let mut stratum = vec![1usize; n];
+    if n == 0 {
+        return Some(Stratification {
+            strata: Vec::new(),
+            stratum_of: stratum,
+        });
+    }
+    loop {
+        let mut changed = false;
+        for r in 0..n {
+            for s in 0..n {
+                if intersect(&infos[s].defines, &infos[r].uses) && stratum[r] < stratum[s] {
+                    stratum[r] = stratum[s];
+                    changed = true;
+                }
+                if intersect(&infos[s].defines, &infos[r].strict_uses) && stratum[r] < stratum[s] + 1 {
+                    stratum[r] = stratum[s] + 1;
+                    changed = true;
+                }
+            }
+            if stratum[r] > n {
+                return None;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let max = stratum.iter().copied().max().unwrap_or(1);
+    let mut strata = vec![Vec::new(); max];
+    for (r, &s) in stratum.iter().enumerate() {
+        strata[s - 1].push(r);
+    }
+    let strata: Vec<Vec<usize>> = strata.into_iter().filter(|s| !s.is_empty()).collect();
+    let mut stratum_of = vec![0usize; n];
+    for (i, group) in strata.iter().enumerate() {
+        for &r in group {
+            stratum_of[r] = i;
+        }
+    }
+    Some(Stratification { strata, stratum_of })
+}
+
+#[test]
+fn strata_are_bit_identical_to_the_reference_fixpoint() {
+    // Programs exercising every interesting shape: paper examples
+    // (transitive closure, the Section 6 set-valued path), strict chains,
+    // negation, wildcard (generic) rules, and a non-stratifiable one.
+    let sources = [
+        // Example 4.1-style transitive closure: ordinary recursion.
+        "tim[kids ->> {sally}]. sally[kids ->> {pam}].
+         X[desc ->> {Y}] <- X[kids ->> {Y}].
+         X[desc ->> {Z}] <- X[kids ->> {Y}], Y[desc ->> {Z}].",
+        // Section 6: a set-valued path in a body forces a later stratum.
+        "p1[assistants ->> {ann}]. ann : person.
+         X[helpers ->> {Y}] <- X[assistants ->> {Y}].
+         X[friends ->> p1..helpers] <- X : person.",
+        // Stratified negation plus a strict chain.
+        "a : person. a[salary -> 10].
+         X : paid <- X : person[salary -> S].
+         X : unpaid <- X : person, not X : paid.
+         X : flagged <- X : unpaid.",
+        // Generic rules with Unknown keys on both sides.
+        "a[tc -> b]. X[(M.tc) -> Y] <- X[M -> Y].
+         X[(M.tc) -> Z] <- X[M -> Y], Y[(M.tc) -> Z].",
+        // Not stratifiable: both sides must agree on the error too.
+        "a : person. X : odd <- X : person, not X : odd.",
+    ];
+    for source in sources {
+        let program = parse_program(source).unwrap();
+        let infos = validate_program(&program).unwrap();
+        let actual = stratify(&infos);
+        match reference_stratify(&infos) {
+            Some(expected) => {
+                let actual =
+                    actual.unwrap_or_else(|e| panic!("reference stratifies {source:?} but engine errors: {e}"));
+                assert_eq!(actual, expected, "strata differ on {source:?}");
+            }
+            None => {
+                assert!(actual.is_err(), "reference rejects {source:?} but engine stratified");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: programs the analyzer accepts never trip runtime safety errors.
+// ---------------------------------------------------------------------------
+
+/// A pool of statements, some safe and some not, from which random programs
+/// are assembled.  The property below needs both kinds: accepted programs
+/// must load, and the generator must actually produce rejected ones too for
+/// the test to mean anything.
+const STATEMENT_POOL: &[&str] = &[
+    "mary : employee.",
+    "peter : employee[salary -> 100].",
+    "tim[kids ->> {sally, pam}].",
+    "X : person <- X : employee.",
+    "X[desc ->> {Y}] <- X[kids ->> {Y}].",
+    "X[desc ->> {Z}] <- X[kids ->> {Y}], Y[desc ->> {Z}].",
+    "X : paid <- X : employee[salary -> _S].",
+    "X : unpaid <- X : employee, not X : paid.",
+    "?- X : person.",
+    "?- X[desc ->> {Y}].",
+    // unsafe: head variable not bound by a positive literal (PL003)
+    "X[bonus -> Y] <- X : employee.",
+    // unsafe: variable only under negation (PL004)
+    "a : flagged <- not X : person.",
+    // ill-formed: scalar filter with a set-valued value (PL001)
+    "house[owner -> tim..kids].",
+    // not stratifiable (PL005)
+    "X : odd <- X : employee, not X : odd.",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// If the analyzer reports no `Error`-severity diagnostic, loading and
+    /// evaluating the program cannot fail: every runtime safety /
+    /// stratification error is anticipated statically.
+    #[test]
+    fn accepted_programs_never_trip_runtime_errors(
+        picks in prop::collection::vec(0..STATEMENT_POOL.len(), 1..7)
+    ) {
+        let source: String = picks.iter().map(|&i| STATEMENT_POOL[i]).collect::<Vec<_>>().join("\n");
+        let program = parse_program(&source).unwrap();
+        let engine = Engine::new();
+        let analysis = engine.analyze(None, &program);
+        if analysis.no_errors() {
+            let mut structure = Structure::new();
+            engine
+                .load_program(&mut structure, &program)
+                .unwrap_or_else(|e| panic!("analyzer accepted but runtime rejected {source:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn the_pool_exercises_both_accepted_and_rejected_programs() {
+    let engine = Engine::new();
+    let accepted = parse_program("mary : employee. X : person <- X : employee.").unwrap();
+    assert!(engine.analyze(None, &accepted).no_errors());
+    let rejected = parse_program("X[bonus -> Y] <- X : employee.").unwrap();
+    assert!(!engine.analyze(None, &rejected).no_errors());
+}
+
+// ---------------------------------------------------------------------------
+// Cascade: the analyzer flags statically what the runtime only catches
+// mid-cascade, after mutations already committed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unbounded_cascade_is_flagged_statically_before_runtime_catches_it() {
+    let mut store = ActiveStore::with_options(
+        Structure::new(),
+        ActiveOptions {
+            max_cascade_depth: 8,
+            ..ActiveOptions::default()
+        },
+    );
+    // Each rule retracts its own trigger before asserting the other
+    // method, so every hop re-inserts a fresh fact and the ping-pong never
+    // converges on its own.
+    let forward = EcaRule::new(
+        "ping",
+        Event::ScalarAsserted(Name::atom("a")),
+        vec![],
+        vec![
+            EcaAction::RetractScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("a"),
+            },
+            EcaAction::AssertScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("b"),
+                value: Term::var("Value"),
+            },
+        ],
+    );
+    let back = EcaRule::new(
+        "pong",
+        Event::ScalarAsserted(Name::atom("b")),
+        vec![],
+        vec![
+            EcaAction::RetractScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("b"),
+            },
+            EcaAction::AssertScalar {
+                receiver: Term::var("Receiver"),
+                method: Name::atom("a"),
+                value: Term::var("Value"),
+            },
+        ],
+    );
+    store.add_rule(forward);
+    store.add_rule(back);
+
+    // Static: the trigger cycle and the unbounded cascade are reported
+    // before any mutation happens.
+    let analysis = store.analyze();
+    let codes = analysis.diagnostics.codes();
+    assert!(codes.contains(&DiagCode::CascadeCycle), "{}", analysis.diagnostics);
+    assert!(codes.contains(&DiagCode::CascadeBound), "{}", analysis.diagnostics);
+    assert_eq!(
+        analysis.cascade.expect("cascade analyzed").bound,
+        CascadeBound::Unbounded
+    );
+
+    // Dynamic: the runtime only notices when the depth limit trips — with
+    // every mutation applied before the limit already committed.
+    let a = store.oid("a");
+    let obj = store.oid("obj");
+    let v = store.int(1);
+    let err = store.assert_scalar(a, obj, v).unwrap_err();
+    assert!(
+        matches!(err, ReactiveError::LimitExceeded(_)),
+        "expected the cascade depth limit, got {err:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shipped corpus: every example program is analyzer-clean, and Enforce mode
+// accepts them while rejecting the unsafe fixtures.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shipped_example_programs_are_analyzer_clean() {
+    let dir = format!("{}/examples/programs", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "pl") {
+            continue;
+        }
+        seen += 1;
+        let source = std::fs::read_to_string(&path).unwrap();
+        let analysis = analyze_source(&source);
+        assert!(
+            analysis.diagnostics.is_clean(),
+            "{} is not analyzer-clean:\n{}",
+            path.display(),
+            analysis.diagnostics
+        );
+    }
+    assert!(seen >= 4, "expected the shipped corpus, found {seen} programs");
+}
+
+#[test]
+fn enforce_mode_gates_installation_on_the_analysis() {
+    let engine = Engine::with_options(EvalOptions {
+        static_checks: StaticChecks::Enforce,
+        ..EvalOptions::default()
+    });
+    // clean program: installs, analysis comes back alongside the stats
+    let clean = parse_program("mary : employee. X : person <- X : employee. ?- X : person.").unwrap();
+    let mut structure = Structure::new();
+    let (_stats, analysis) = engine.install_checked(&mut structure, &clean).unwrap();
+    assert!(analysis.no_errors());
+
+    // unsafe program: rejected before any fact lands in the structure
+    let unsafe_program = parse_program("mary : employee. X[bonus -> Y] <- X : employee.").unwrap();
+    let mut untouched = Structure::new();
+    let err = engine.install_checked(&mut untouched, &unsafe_program).unwrap_err();
+    assert!(matches!(err, pathlog::core::error::Error::StaticRejected(_)), "{err}");
+    assert_eq!(
+        untouched.num_objects(),
+        Structure::new().num_objects(),
+        "rejection precedes installation: only the builtins remain"
+    );
+}
