@@ -15,8 +15,9 @@ use std::time::Instant;
 
 use pathlog_baseline::RelationalDb;
 use pathlog_bench::{
-    colours, columnar_factorized, constraints_commit, flogic_translation, manager_query, parsing, parts_explosion,
-    reactive_rules, rss, sql_frontend, transitive_closure, two_dimensional, virtual_objects, workloads, Row,
+    colours, columnar_factorized, constraints_commit, flogic_translation, join_planning, manager_query, parsing,
+    parts_explosion, reactive_rules, rss, sql_frontend, transitive_closure, two_dimensional, virtual_objects,
+    workloads, Row,
 };
 
 fn time_ms(mut f: impl FnMut() -> usize) -> (usize, f64) {
@@ -120,8 +121,8 @@ fn format_number(v: f64) -> String {
 fn main() {
     let args = parse_args();
     let mut report = Report::default();
-    // E17/E18/E19/E20 are the cross-check gates the CI matrix arms invoke in
-    // isolation via `--only e17|e18|e19|e20`; a full run includes all of them.
+    // E17/E18/E19/E20/E21 are the cross-check gates the CI matrix arms invoke
+    // in isolation via `--only e17|...|e21`; a full run includes all of them.
     let wants = |name: &str| args.only.is_none() || args.only.as_deref() == Some(name);
     if args.only.is_none() {
         all_experiments(&mut report);
@@ -138,6 +139,9 @@ fn main() {
     if wants("e20") {
         e20_constraint_commits(&mut report);
     }
+    if wants("e21") {
+        e21_join_planning(&mut report);
+    }
     match args.only.as_deref() {
         None => println!("\nAll experiments finished; answers agreed across PathLog and the baselines."),
         Some("e17") => println!(
@@ -153,6 +157,12 @@ fn main() {
             "\nE20 cross-checks passed: incremental check-on-commit rejected the same violations in \
              the same order as the forced full re-check while solving strictly fewer conditions, \
              and quarantined commits degraded (tainted) answers instead of dropping them."
+        ),
+        Some("e21") => println!(
+            "\nE21 cross-checks passed: every planned arm (sequential and 1/2/4/8 workers) was \
+             canonical-dump-identical to the unplanned sequential reference with identical \
+             non-planner EvalStats, and the planner counters were positive, mode-independent and \
+             zero under Planner::Off."
         ),
         Some(_) => println!(
             "\nE18 cross-checks passed: pooled reactive evaluation matched the sequential runs \
@@ -267,14 +277,28 @@ fn all_experiments(report: &mut Report) {
     }
     report.table("E4/E6/E9: virtual objects (2.4, 6.1) vs XSQL views (6.3)", rows);
 
-    // E7 — transitive closure
+    // E7 — transitive closure.  `desc_rules_ms` runs the default engine
+    // (cost-based planner + compiled rule bodies); `desc_unplanned_ms` is
+    // the PR 9 ablation arm on the interpreted written-order path.
     let mut rows = Vec::new();
     for &(depth, fanout) in &[(4usize, 2usize), (6, 2), (8, 2), (5, 3)] {
         let s = workloads::genealogy(depth, fanout);
         let db = RelationalDb::from_structure(&s);
         let (pairs, desc_ms) = time_ms(|| transitive_closure::pathlog_desc(&s));
+        let (pairs_unplanned, unplanned_ms) = time_ms(|| {
+            let mut s2 = s.clone();
+            let program = pathlog_parser::parse_program(transitive_closure::DESC_RULES).expect("valid rules");
+            pathlog_core::engine::Engine::with_options(pathlog_core::engine::EvalOptions {
+                planner: pathlog_core::plan::Planner::Off,
+                ..Default::default()
+            })
+            .load_program(&mut s2, &program)
+            .expect("rules evaluate")
+            .set_members
+        });
         let (pairs1, generic_ms) = time_ms(|| transitive_closure::pathlog_generic(&s));
         let (pairs2, rel_ms) = time_ms(|| transitive_closure::relational(&db));
+        assert_eq!(pairs, pairs_unplanned);
         assert_eq!(pairs, pairs1);
         assert_eq!(pairs, pairs2);
         rows.push(Row {
@@ -282,6 +306,7 @@ fn all_experiments(report: &mut Report) {
             values: vec![
                 ("closure_pairs".into(), pairs as f64),
                 ("desc_rules_ms".into(), desc_ms),
+                ("desc_unplanned_ms".into(), unplanned_ms),
                 ("generic_tc_ms".into(), generic_ms),
                 ("relational_ms".into(), rel_ms),
             ],
@@ -386,10 +411,11 @@ fn all_experiments(report: &mut Report) {
         // two ablations always benchmark an identical workload.
         let program = pathlog_parser::parse_program(transitive_closure::PARALLEL_ABLATION_RULES)
             .expect("ablation program parses");
-        let run = |delta: bool| {
+        let run = |delta: bool, planner: pathlog_core::plan::Planner| {
             let mut s2 = s.clone();
             let engine = pathlog_core::engine::Engine::with_options(pathlog_core::engine::EvalOptions {
                 delta_driven: delta,
+                planner,
                 ..Default::default()
             });
             engine
@@ -397,8 +423,13 @@ fn all_experiments(report: &mut Report) {
                 .expect("rules evaluate")
                 .set_members
         };
-        let (members_on, on_ms) = time_ms(|| run(true));
-        let (members_off, off_ms) = time_ms(|| run(false));
+        let (members_on, on_ms) = time_ms(|| run(true, pathlog_core::plan::Planner::CostBased));
+        // The PR 9 ablation arm: semi-naive but on the interpreted
+        // written-order path (the planner only affects delta passes, so the
+        // naive arm has no planned variant).
+        let (members_unplanned, unplanned_ms) = time_ms(|| run(true, pathlog_core::plan::Planner::Off));
+        let (members_off, off_ms) = time_ms(|| run(false, pathlog_core::plan::Planner::Off));
+        assert_eq!(members_on, members_unplanned, "planned and unplanned must agree");
         assert_eq!(members_on, members_off, "naive and semi-naive must agree");
         rows.push(Row {
             scale: format!("depth={depth} fanout={fanout}"),
@@ -407,6 +438,7 @@ fn all_experiments(report: &mut Report) {
                 // closure size E7 reports.
                 ("derived_set_members".into(), members_on as f64),
                 ("delta_on_ms".into(), on_ms),
+                ("delta_on_unplanned_ms".into(), unplanned_ms),
                 ("delta_off_ms".into(), off_ms),
                 ("speedup".into(), off_ms / on_ms),
             ],
@@ -471,6 +503,38 @@ fn all_experiments(report: &mut Report) {
             seq_stats.derived() * 5,
             "aggregated totals must be five identical runs"
         );
+        // PR 9 ablation arm: the same 4-worker run on the interpreted
+        // written-order path.  Identical except for the planner counters.
+        let mut unplanned_stats = None;
+        let (unplanned_members, unplanned_w4_ms) = time_ms(|| {
+            let ((members, stats), _) = transitive_closure::pathlog_desc_with_options(
+                &s,
+                pathlog_core::engine::EvalOptions {
+                    mode: pathlog_core::engine::EvalMode::Parallel { workers: 4 },
+                    planner: pathlog_core::plan::Planner::Off,
+                    ..Default::default()
+                },
+            );
+            unplanned_stats = Some(stats);
+            members
+        });
+        let unplanned_stats = unplanned_stats.expect("unplanned arm ran");
+        assert_eq!(
+            unplanned_members, seq_members,
+            "unplanned parallel and sequential answer counts must match"
+        );
+        let strip = |mut stats: pathlog_core::engine::EvalStats| {
+            stats.plans_compiled = 0;
+            stats.replans = 0;
+            stats.seed_flips = 0;
+            stats
+        };
+        assert_eq!(
+            strip(unplanned_stats),
+            strip(seq_stats),
+            "unplanned and planned runs must agree on every non-planner counter"
+        );
+        values.push(("workers4_unplanned_ms".into(), unplanned_w4_ms));
         values.push(("speedup_w4".into(), seq_ms / w4_ms));
         rows.push(Row {
             scale: format!("depth={depth} fanout={fanout}"),
@@ -860,7 +924,112 @@ fn e20_constraint_commits(report: &mut Report) {
     );
 }
 
-/// Command-line arguments: `[--json <path>] [--only e17|e18|e19|e20] [--scale 1|10]`.
+/// E21 — the cost-based join planner (PR 9): the filtered-closure workload
+/// (a recursive closure plus a 3-literal join whose written order is
+/// deliberately bad) evaluated planned vs unplanned, sequentially and at
+/// 1/2/4/8 workers.  Every arm is counter-asserted, not just timed: the
+/// planned model must be bit-identical (canonical dump) to the unplanned
+/// sequential reference at every worker count, the non-planner `EvalStats`
+/// identical across all arms, the planner counters (`plans_compiled`,
+/// `replans`, `seed_flips`) zero when off, positive and mode-independent
+/// when on — so this table doubles as the CI gate for planned evaluation.
+fn e21_join_planning(report: &mut Report) {
+    use pathlog_core::engine::{EvalMode, EvalOptions, EvalStats};
+    use pathlog_core::plan::Planner;
+
+    let strip = |mut stats: EvalStats| {
+        stats.plans_compiled = 0;
+        stats.replans = 0;
+        stats.seed_flips = 0;
+        stats
+    };
+    let mut rows = Vec::new();
+    for &(depth, fanout) in &[(6usize, 2usize), (8, 2), (5, 3)] {
+        let s = join_planning::workload(depth, fanout);
+        // Unplanned sequential is the reference model.
+        let (ref_stats, ref_dump) = join_planning::run(
+            &s,
+            EvalOptions {
+                planner: Planner::Off,
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(ref_stats.plans_compiled, 0, "E21: Planner::Off must compile nothing");
+        assert_eq!(ref_stats.seed_flips, 0, "E21: Planner::Off must never flip a seed");
+        let (_, unplanned_ms) = time_ms(|| {
+            join_planning::run(
+                &s,
+                EvalOptions {
+                    planner: Planner::Off,
+                    ..EvalOptions::default()
+                },
+            )
+            .0
+            .set_members
+        });
+        let mut values = vec![
+            ("derived_set_members".into(), ref_stats.set_members as f64),
+            ("unplanned_seq_ms".into(), unplanned_ms),
+        ];
+        let mut planned_counters: Option<(usize, usize, usize)> = None;
+        let mut planned_seq_ms = f64::NAN;
+        for workers in [0usize, 1, 2, 4, 8] {
+            let options = EvalOptions {
+                planner: Planner::CostBased,
+                mode: if workers == 0 {
+                    EvalMode::Sequential
+                } else {
+                    EvalMode::Parallel { workers }
+                },
+                ..EvalOptions::default()
+            };
+            let label = if workers == 0 {
+                "planned_seq_ms".to_string()
+            } else {
+                format!("planned_w{workers}_ms")
+            };
+            let (stats, dump) = join_planning::run(&s, options);
+            assert_eq!(
+                dump, ref_dump,
+                "E21 {label}: planned model must be bit-identical to the unplanned sequential reference"
+            );
+            assert_eq!(
+                strip(stats),
+                strip(ref_stats),
+                "E21 {label}: non-planner EvalStats must match the unplanned reference"
+            );
+            assert!(stats.plans_compiled > 0, "E21 {label}: the planner must compile rules");
+            let counters = (stats.plans_compiled, stats.replans, stats.seed_flips);
+            match planned_counters {
+                None => planned_counters = Some(counters),
+                Some(expected) => assert_eq!(
+                    counters, expected,
+                    "E21 {label}: planner counters must not depend on mode or worker count"
+                ),
+            }
+            let (_, ms) = time_ms(|| join_planning::run(&s, options).0.set_members);
+            if workers == 0 {
+                planned_seq_ms = ms;
+            }
+            values.push((label, ms));
+        }
+        let (compiled, replans, flips) = planned_counters.expect("planned arms ran");
+        values.push(("plans_compiled".into(), compiled as f64));
+        values.push(("replans".into(), replans as f64));
+        values.push(("seed_flips".into(), flips as f64));
+        values.push(("planned_speedup_seq".into(), unplanned_ms / planned_seq_ms));
+        rows.push(Row {
+            scale: format!("depth={depth} fanout={fanout}"),
+            values,
+        });
+    }
+    report.table(
+        "E21: cost-based join planning (planned vs unplanned, filtered closure, 1/2/4/8 workers)",
+        rows,
+    );
+}
+
+/// Command-line arguments: `[--json <path>] [--only e17|e18|e19|e20|e21] [--scale 1|10]`.
 struct Args {
     json: Option<String>,
     only: Option<String>,
@@ -880,12 +1049,12 @@ fn parse_args() -> Args {
     while let Some(flag) = raw.next() {
         match (flag.as_str(), raw.next()) {
             ("--json", Some(path)) => args.json = Some(path),
-            ("--only", Some(table)) if ["e17", "e18", "e19", "e20"].contains(&table.as_str()) => {
+            ("--only", Some(table)) if ["e17", "e18", "e19", "e20", "e21"].contains(&table.as_str()) => {
                 args.only = Some(table)
             }
             ("--scale", Some(n)) if n == "1" || n == "10" => args.scale = n.parse().expect("validated"),
             _ => {
-                eprintln!("usage: experiments [--json <path>] [--only e17|e18|e19|e20] [--scale 1|10]");
+                eprintln!("usage: experiments [--json <path>] [--only e17|e18|e19|e20|e21] [--scale 1|10]");
                 std::process::exit(2);
             }
         }

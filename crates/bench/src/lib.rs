@@ -641,6 +641,70 @@ pub mod parts_explosion {
     }
 }
 
+/// Experiment E21: the cost-based join planner (PR 9).
+pub mod join_planning {
+    use super::*;
+
+    /// The filtered-closure workload: the recursive `desc` closure plus a
+    /// 3-literal join whose *written* order is deliberately bad — the big
+    /// derived `desc` relation comes first, then the `kids` join, and the
+    /// highly selective `special` class test dead last.  The interpreted
+    /// written-order path enumerates the full closure per pass; the planner
+    /// reorders to seed from `special` (a handful of objects) and join
+    /// outward, so the planned arm must be outright faster here.
+    pub const FILTERED_CLOSURE_RULES: &str = "X[desc ->> {Y}] <- X[kids ->> {Y}].\n\
+                                              X[desc ->> {Y}] <- X..desc[kids ->> {Y}].\n\
+                                              X[sdesc ->> {Y}] <- X[desc ->> {Y}], Y[kids ->> {Z}], Z : special.";
+
+    /// A genealogy tree of `depth`/`fanout` with a sparse `special` class:
+    /// every 37th distinct child node (in oid order) is special, so the
+    /// class stays a small fraction of the universe at every scale.
+    pub fn workload(depth: usize, fanout: usize) -> Structure {
+        let mut s = workloads::genealogy(depth, fanout);
+        let kids = s.atom("kids");
+        let special = s.atom("special");
+        let mut members: Vec<Oid> = s
+            .facts()
+            .set_facts()
+            .filter(|f| f.method == kids)
+            .flat_map(|f| f.members.iter().copied())
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        for &o in members.iter().step_by(37) {
+            s.add_isa(o, special);
+        }
+        s
+    }
+
+    /// Evaluate the filtered-closure rules under `options`; returns the
+    /// run's [`EvalStats`] and the model's canonical dump, so callers can
+    /// counter-assert planned ≡ unplanned bit for bit.
+    pub fn run(structure: &Structure, options: EvalOptions) -> (EvalStats, String) {
+        let mut s = structure.clone();
+        let program = parse_program(FILTERED_CLOSURE_RULES).expect("filtered-closure rules parse");
+        let stats = Engine::with_options(options)
+            .load_program(&mut s, &program)
+            .expect("filtered-closure rules evaluate");
+        (stats, s.canonical_dump())
+    }
+
+    /// Evaluate with just a planner selection (sequential, all other
+    /// options default); returns the derived set members — the
+    /// Criterion-bench entry point.
+    pub fn members(structure: &Structure, planner: Planner) -> usize {
+        run(
+            structure,
+            EvalOptions {
+                planner,
+                ..EvalOptions::default()
+            },
+        )
+        .0
+        .set_members
+    }
+}
+
 /// Peak-RSS measurement for the memory experiments (Linux only; zero on
 /// platforms or containers where `/proc` is unavailable, so callers must
 /// gate assertions on a non-zero reading).

@@ -145,13 +145,17 @@ pub struct RulePlanReport {
     pub literals: Vec<LiteralPlan>,
 }
 
-/// Annotate one body with per-literal plans.
+/// Annotate one body with per-literal plans.  `derived` is the set of
+/// dependency keys some rule writes: a key with no stored facts that
+/// appears there is *to-be-derived*, not empty, and contributes no
+/// selectivity bound.
 pub(super) fn plan_body(
     label: &str,
     kind: RuleKind,
     span: Option<Span>,
     body: &[Literal],
     stats: Option<&MethodStats>,
+    derived: Option<&BTreeSet<DepKey>>,
 ) -> RulePlanReport {
     let literals = body
         .iter()
@@ -160,7 +164,7 @@ pub(super) fn plan_body(
             let access = classify_access(&lit.term, &reads);
             let (selectivity, estimated_facts) = match (access, stats) {
                 (AccessPath::Builtin, _) => (Selectivity::Unknown, None),
-                (_, Some(stats)) => estimate(&reads, stats),
+                (_, Some(stats)) => estimate(&reads, stats, derived),
                 (_, None) => (Selectivity::Unknown, None),
             };
             LiteralPlan {
@@ -216,8 +220,18 @@ fn resolve_anchor(anchor: &Term) -> &Term {
 
 /// Selectivity of a literal: the minimum stored-fact count over its known,
 /// non-builtin read keys.  Builtin keys are excluded (they filter, they are
-/// not stored); an `Unknown` key alone yields `Unknown`.
-fn estimate(reads: &BTreeSet<DepKey>, stats: &MethodStats) -> (Selectivity, Option<usize>) {
+/// not stored); an `Unknown` key alone yields `Unknown`.  A key with no
+/// stored facts that some rule *writes* (it appears in `derived`, or a
+/// writer defines the catch-all `DepKey::Unknown`) is to-be-derived: its
+/// count is unknowable statically, so it contributes no bound — without
+/// this, a recursive literal would be misclassified `Empty` and a planner
+/// would order it as if it pruned everything.
+fn estimate(
+    reads: &BTreeSet<DepKey>,
+    stats: &MethodStats,
+    derived: Option<&BTreeSet<DepKey>>,
+) -> (Selectivity, Option<usize>) {
+    let is_derived = |key: &DepKey| derived.is_some_and(|d| d.contains(key) || d.contains(&DepKey::Unknown));
     let mut best: Option<usize> = None;
     for key in reads {
         let DepKey::Known(n) = key else { continue };
@@ -226,7 +240,11 @@ fn estimate(reads: &BTreeSet<DepKey>, stats: &MethodStats) -> (Selectivity, Opti
                 continue;
             }
         }
-        let count = stats.count(n).unwrap_or(0);
+        let count = match stats.count(n) {
+            Some(c) => c,
+            None if is_derived(key) => continue,
+            None => 0,
+        };
         best = Some(best.map_or(count, |b| b.min(count)));
     }
     match best {
@@ -275,7 +293,7 @@ mod tests {
             Literal::pos(Term::var("X").isa("person")),
             Literal::pos(Term::var("A").filter(Filter::scalar(Term::name(crate::builtins::LT), Term::var("A")))),
         ];
-        let plan = plan_body("r", RuleKind::Rule, None, &body, Some(&stats));
+        let plan = plan_body("r", RuleKind::Rule, None, &body, Some(&stats), None);
         assert_eq!(plan.literals[0].access, AccessPath::IndexBacked);
         assert_eq!(plan.literals[0].selectivity, Selectivity::Singleton);
         assert_eq!(plan.literals[1].access, AccessPath::Scan);
@@ -287,7 +305,7 @@ mod tests {
     #[test]
     fn no_structure_means_unknown_selectivity() {
         let body = vec![Literal::pos(Term::var("X").isa("person"))];
-        let plan = plan_body("r", RuleKind::Rule, None, &body, None);
+        let plan = plan_body("r", RuleKind::Rule, None, &body, None, None);
         assert_eq!(plan.literals[0].selectivity, Selectivity::Unknown);
         assert_eq!(plan.literals[0].estimated_facts, None);
     }
@@ -299,9 +317,30 @@ mod tests {
         let body = vec![Literal::pos(
             Term::var("X").filter(Filter::scalar("salary", Term::var("Y"))),
         )];
-        let plan = plan_body("r", RuleKind::Rule, None, &body, Some(&stats));
+        let plan = plan_body("r", RuleKind::Rule, None, &body, Some(&stats), None);
         assert_eq!(plan.literals[0].selectivity, Selectivity::Empty);
         assert_eq!(plan.literals[0].estimated_facts, Some(0));
+    }
+
+    #[test]
+    fn derived_method_without_facts_is_unknown_not_empty() {
+        // `salary` has no stored facts, but a rule writes it: the planner
+        // must not treat the literal as pruning everything.
+        let s = small_structure();
+        let stats = MethodStats::capture(&s);
+        let body = vec![Literal::pos(
+            Term::var("X").filter(Filter::scalar("salary", Term::var("Y"))),
+        )];
+        let mut derived = BTreeSet::new();
+        derived.insert(DepKey::Known(Name::atom("salary")));
+        let plan = plan_body("r", RuleKind::Rule, None, &body, Some(&stats), Some(&derived));
+        assert_eq!(plan.literals[0].selectivity, Selectivity::Unknown);
+        assert_eq!(plan.literals[0].estimated_facts, None);
+        // A writer of the catch-all key makes every factless key derived.
+        let mut catch_all = BTreeSet::new();
+        catch_all.insert(DepKey::Unknown);
+        let plan = plan_body("r", RuleKind::Rule, None, &body, Some(&stats), Some(&catch_all));
+        assert_eq!(plan.literals[0].selectivity, Selectivity::Unknown);
     }
 
     #[test]

@@ -38,11 +38,27 @@ pub use cost::{AccessPath, LiteralPlan, MethodStats, RulePlanReport, Selectivity
 pub use diagnostics::{json_escape, DiagCode, Diagnostic, Diagnostics, Severity, Span};
 pub use graph::{keys_intersect, DependencyGraph, Edge, Polarity, RuleKind, RuleNode};
 
+use std::collections::BTreeSet;
+
 use crate::constraints::ConstraintSet;
 use crate::engine::Stratification;
-use crate::program::{rule_info, Program, Rule};
+use crate::program::{literal_reads, rule_info, DepKey, Literal, Program, Rule};
 use crate::structure::Structure;
 use crate::term::Term;
+
+/// Annotate one rule's body with per-literal access paths, selectivity
+/// classes and fact-count estimates — the same annotations [`analyze`]
+/// attaches, exposed as the entry point the engine's cost-based join
+/// planner ([`crate::plan`]) consumes against *live* [`MethodStats`] at
+/// evaluation time.  `derived` is the set of dependency keys some rule
+/// writes (e.g. the union of every rule's `defines`): keys with no stored
+/// facts that appear there classify as [`Selectivity::Unknown`] instead of
+/// `Empty`, so a planner never orders a to-be-derived literal as if it
+/// pruned everything.
+pub fn plan_rule(rule: &Rule, stats: Option<&MethodStats>, derived: Option<&BTreeSet<DepKey>>) -> RulePlanReport {
+    let kind = if rule.is_fact() { RuleKind::Fact } else { RuleKind::Rule };
+    cost::plan_body(&rule.to_string(), kind, None, &rule.body, stats, derived)
+}
 
 /// Everything one analysis run looks at.  Build with the fluent setters and
 /// pass to [`analyze`] (or call [`AnalysisInput::run`]).
@@ -157,7 +173,11 @@ pub fn analyze(input: AnalysisInput<'_>) -> Analysis {
     let stats = structure.map(MethodStats::capture);
     let mut diags = Diagnostics::new();
     let mut graph = DependencyGraph::new();
-    let mut plans = Vec::new();
+    // Plan inputs are collected while the graph is built and planned *after*
+    // it is complete: selectivity classification needs to know which read
+    // keys some rule writes (`writers_of`), and writers may appear later in
+    // the input than their readers.
+    let mut pending_plans: Vec<(String, RuleKind, Option<Span>, &[Literal])> = Vec::new();
 
     // -- program rules, facts and queries -----------------------------------
     let mut rule_infos = Vec::new();
@@ -172,13 +192,7 @@ pub fn analyze(input: AnalysisInput<'_>) -> Analysis {
             safety::check_rule(rule, span, &mut diags);
             if !rule.is_fact() {
                 proper.push((rule, span));
-                plans.push(cost::plan_body(
-                    &rule.to_string(),
-                    kind,
-                    span,
-                    &rule.body,
-                    stats.as_ref(),
-                ));
+                pending_plans.push((rule.to_string(), kind, span, &rule.body));
             }
         }
         for (i, query) in program.queries.iter().enumerate() {
@@ -189,13 +203,7 @@ pub fn analyze(input: AnalysisInput<'_>) -> Analysis {
             let info = rule_info(&Rule::new(Term::name("__query").empty_filters(), query.body.clone()));
             graph.push(RuleNode::from_info(RuleKind::Query, label.clone(), span, info));
             safety::check_body(&label, &query.body, span, &mut diags);
-            plans.push(cost::plan_body(
-                &label,
-                RuleKind::Query,
-                span,
-                &query.body,
-                stats.as_ref(),
-            ));
+            pending_plans.push((label, RuleKind::Query, span, &query.body));
         }
         liveness::check_scalar_conflicts(&proper, &mut diags);
     }
@@ -210,13 +218,7 @@ pub fn analyze(input: AnalysisInput<'_>) -> Analysis {
             ));
             graph.push(RuleNode::from_info(RuleKind::Constraint, label.clone(), None, info));
             safety::check_body(&label, c.body(), None, &mut diags);
-            plans.push(cost::plan_body(
-                &label,
-                RuleKind::Constraint,
-                None,
-                c.body(),
-                stats.as_ref(),
-            ));
+            pending_plans.push((label, RuleKind::Constraint, None, c.body()));
         }
     }
 
@@ -247,6 +249,27 @@ pub fn analyze(input: AnalysisInput<'_>) -> Analysis {
             None
         }
     };
+
+    // -- cost annotations ----------------------------------------------------
+    // Classify each read key as derived when the completed graph knows a
+    // writer for it, so factless-but-written keys report `Unknown` instead
+    // of `Empty` (the planner must not order a to-be-derived literal as if
+    // it pruned everything).
+    let derived: BTreeSet<DepKey> = pending_plans
+        .iter()
+        .flat_map(|(_, _, _, body)| body.iter())
+        .flat_map(|lit| literal_reads(&lit.term))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .filter(|key| {
+            let singleton: BTreeSet<DepKey> = std::iter::once(key.clone()).collect();
+            !graph.writers_of(&singleton).is_empty()
+        })
+        .collect();
+    let plans: Vec<RulePlanReport> = pending_plans
+        .into_iter()
+        .map(|(label, kind, span, body)| cost::plan_body(&label, kind, span, body, stats.as_ref(), Some(&derived)))
+        .collect();
 
     // -- liveness ------------------------------------------------------------
     liveness::check_always_empty(&graph, stats.as_ref(), &mut diags);

@@ -234,6 +234,12 @@ pub struct SolveBatch {
     pub views: Vec<DeltaView>,
     /// The tasks, in deterministic schedule order.
     pub tasks: Vec<SolveTask>,
+    /// Compiled bodies + this iteration's pass orders from the cost-based
+    /// join planner ([`crate::plan`]); `None` (or a rule without an entry)
+    /// keeps the interpreted written-order path.  Delta tasks only — full
+    /// solves always run interpreted, since their enumeration order is the
+    /// commit order.
+    pub plans: Option<Arc<crate::plan::IterationPlans>>,
 }
 
 /// The result of one task.
@@ -244,6 +250,9 @@ pub enum SolveOutput {
     Enumerated(Vec<Bindings>),
     /// A delta pass's locally sorted, deduplicated run.
     Sorted(SortedRun),
+    /// A compiled delta pass's raw slot frames in canonical key order, for
+    /// rules whose compiled head commits without `Bindings` or keys.
+    Frames(crate::plan::FrameRun),
 }
 
 /// One independent condition-solve job of a [`ConditionBatch`]: a full body
@@ -342,6 +351,14 @@ fn run_task(structure: &Structure, batch: &SolveBatch, task: SolveTask) -> Resul
             Ok(SolveOutput::Enumerated(solutions))
         }
         Some((lit, view)) => {
+            if let Some((compiled, order)) = batch.plans.as_ref().and_then(|p| p.for_rule(task.rule)) {
+                return Ok(
+                    match crate::plan::execute_delta(structure, body, compiled, order, lit, &batch.views[view])? {
+                        crate::plan::PassRun::Sorted(run) => SolveOutput::Sorted(run),
+                        crate::plan::PassRun::Frames(fr) => SolveOutput::Frames(fr),
+                    },
+                );
+            }
             let solutions = super::solve_body_pass(structure, body, &seed, Some((lit, &batch.views[view])))?;
             Ok(SolveOutput::Sorted(sorted_run(solutions)))
         }
@@ -902,6 +919,7 @@ mod tests {
                     delta: Some((0, 0)),
                 },
             ],
+            plans: None,
         };
         (grown, batch)
     }
@@ -912,6 +930,7 @@ mod tests {
             .map(|o| match o {
                 SolveOutput::Enumerated(v) => (false, v.len()),
                 SolveOutput::Sorted(r) => (true, r.len()),
+                SolveOutput::Frames(fr) => (true, fr.len()),
             })
             .collect()
     }

@@ -109,12 +109,13 @@ pub use executor::{
 pub use stratify::{stratify, Stratification};
 pub use virtuals::{assert_head, AssertEffect, AssertOptions};
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::error::{Error, LimitKind, Result};
 use crate::names::Name;
+use crate::plan::{CompiledRule, IterationPlans, Planner};
 use crate::program::{literal_reads, DepKey, Literal, Program, Query, Rule, RuleInfo};
 use crate::semantics::{
     answers, delta_answers, Answer, Bindings, DeltaView, EvalMarks, FactorizedAnswers, SnapshotWindow,
@@ -255,6 +256,12 @@ pub struct EvalOptions {
     /// Whether [`Engine::install_checked`] rejects programs with
     /// `Error`-severity static diagnostics — see [`StaticChecks`].
     pub static_checks: StaticChecks,
+    /// Whether delta passes run through the cost-based join planner and the
+    /// compiled slot-frame rule bodies ([`crate::plan`], the default) or
+    /// stay on the interpreted written-order path ([`Planner::Off`], the
+    /// ablation arm).  Observationally identical either way: planned runs
+    /// are `canonical_dump()`-bit-identical to unplanned ones.
+    pub planner: Planner,
 }
 
 impl Default for EvalOptions {
@@ -270,6 +277,7 @@ impl Default for EvalOptions {
             shard_min_entries: crate::semantics::DEFAULT_SHARD_MIN_ENTRIES,
             tolerance: Tolerance::Strict,
             static_checks: StaticChecks::WarnOnly,
+            planner: Planner::CostBased,
         }
     }
 }
@@ -332,6 +340,18 @@ pub struct EvalStats {
     /// Pool workers found dead and replaced during this run (see
     /// [`FaultControl`]).  Always 0 outside fault injection.
     pub workers_respawned: usize,
+    /// Rule bodies lowered to the compiled slot-frame IR by the cost-based
+    /// planner (counted per compile event, so a stratum that re-plans counts
+    /// its rules again).  Always 0 under [`Planner::Off`].  Like the other
+    /// planner counters this is computed on the coordinator and identical
+    /// across modes, executors and worker counts *within* a planner setting.
+    pub plans_compiled: usize,
+    /// Re-plan events: a stratum whose fact count outgrew its last compile
+    /// recompiled against fresh [`MethodStats`](crate::analysis::MethodStats).
+    pub replans: usize,
+    /// Iterations × rules where the planner seeded the join from a literal
+    /// cheaper than the delta instead of the delta-driven literal.
+    pub seed_flips: usize,
 }
 
 impl EvalStats {
@@ -360,6 +380,9 @@ impl EvalStats {
         self.full_solves = self.full_solves.saturating_add(other.full_solves);
         self.tasks_recovered = self.tasks_recovered.saturating_add(other.tasks_recovered);
         self.workers_respawned = self.workers_respawned.saturating_add(other.workers_respawned);
+        self.plans_compiled = self.plans_compiled.saturating_add(other.plans_compiled);
+        self.replans = self.replans.saturating_add(other.replans);
+        self.seed_flips = self.seed_flips.saturating_add(other.seed_flips);
     }
 
     fn absorb(&mut self, e: AssertEffect) {
@@ -539,9 +562,14 @@ impl Engine {
         let executor = self.executor();
         let rules_arc: Arc<[Rule]> = rules.to_vec().into();
         match self.options.schedule {
-            Schedule::CrossRule => {
-                self.run_cross_rule(structure, &rules_arc, &stratification, executor.as_ref(), &mut stats)?
-            }
+            Schedule::CrossRule => self.run_cross_rule(
+                structure,
+                &rules_arc,
+                infos,
+                &stratification,
+                executor.as_ref(),
+                &mut stats,
+            )?,
             Schedule::RuleAtATime => self.run_rule_at_a_time(
                 structure,
                 &rules_arc,
@@ -574,6 +602,87 @@ impl Engine {
             .collect()
     }
 
+    /// `true` when delta passes should be planned and compiled
+    /// ([`Planner::CostBased`]); the naive arm has no delta passes to plan.
+    fn planning(&self) -> bool {
+        self.options.delta_driven && self.options.planner == Planner::CostBased
+    }
+
+    /// The dependency keys some rule writes — fed to
+    /// [`crate::analysis::plan_rule`] so literals over to-be-derived keys
+    /// estimate `Unknown` instead of `Empty`.
+    fn derived_keys(infos: &[RuleInfo]) -> BTreeSet<DepKey> {
+        infos.iter().flat_map(|i| i.defines.iter().cloned()).collect()
+    }
+
+    /// A monotone measure of the structure's fact content, used to decide
+    /// when a stratum's compiled plans are stale (fact level more than
+    /// doubled since the last compile → re-plan against fresh stats).
+    fn fact_level(structure: &Structure) -> usize {
+        let m = EvalMarks::capture(structure);
+        m.scalar_facts + m.set_member_inserts + m.isa_pairs + m.objects
+    }
+
+    /// Compile the bodies of `stratum`'s rules against live
+    /// [`MethodStats`](crate::analysis::MethodStats), consuming the analysis
+    /// subsystem's per-literal cost annotations.  Runs on the coordinator
+    /// only, so the planner counters stay identical across modes, executors
+    /// and worker counts.
+    fn compile_stratum(
+        rules: &[Rule],
+        stratum: &[usize],
+        structure: &Structure,
+        derived: &BTreeSet<DepKey>,
+        stats: &mut EvalStats,
+    ) -> Arc<Vec<Option<CompiledRule>>> {
+        let method_stats = crate::analysis::MethodStats::capture(structure);
+        let mut per_rule: Vec<Option<CompiledRule>> = vec![None; rules.len()];
+        for &r in stratum {
+            let report = crate::analysis::plan_rule(&rules[r], Some(&method_stats), Some(derived));
+            per_rule[r] = crate::plan::compile(&rules[r], &report);
+            if per_rule[r].is_some() {
+                stats.plans_compiled += 1;
+            }
+        }
+        Arc::new(per_rule)
+    }
+
+    /// Commit a rule's frame-native delta outputs through its compiled head:
+    /// merge the sharded runs into canonical key order and assert each frame
+    /// directly, reading the head oids out of the frame slots.  Counters are
+    /// identical to the generic path by construction (the compiled head
+    /// shape can only insert set members).  Returns the number of *new*
+    /// facts committed.
+    fn commit_frame_runs(
+        &self,
+        structure: &mut Structure,
+        compiled: &CompiledRule,
+        head: &crate::plan::CompiledHead,
+        runs: Vec<crate::plan::FrameRun>,
+        stats: &mut EvalStats,
+    ) -> Result<usize> {
+        let method = structure.ensure_name(&head.method);
+        let merged = crate::plan::merge_frame_runs(runs, compiled.canonical());
+        let mut new = 0;
+        for f in merged.frames() {
+            let recv = Oid(f[head.receiver_slot] - 1);
+            let member = Oid(f[head.member_slot] - 1);
+            if structure.assert_set_member(method, recv, &[], member).is_new() {
+                new += 1;
+                stats.firings += 1;
+                stats.set_members += 1;
+            }
+            if stats.derived() > self.options.max_derived {
+                return Err(Error::LimitExceeded {
+                    kind: LimitKind::DerivedFacts,
+                    limit: self.options.max_derived,
+                    observed: stats.derived(),
+                });
+            }
+        }
+        Ok(new)
+    }
+
     /// The default snapshot-window cross-rule scheduler.
     ///
     /// Each stratum iteration is a two-phase commit.  **Plan + solve
@@ -596,6 +705,7 @@ impl Engine {
         &self,
         structure: &mut Structure,
         rules: &Arc<[Rule]>,
+        infos: &[RuleInfo],
         stratification: &Stratification,
         executor: &dyn Executor,
         stats: &mut EvalStats,
@@ -605,9 +715,16 @@ impl Engine {
         };
         let body_reads = self.body_reads(rules);
         let workers = executor.workers();
+        let planning = self.planning();
+        let derived = Self::derived_keys(infos);
         for stratum in &stratification.strata {
             let mut window = SnapshotWindow::capture(structure);
             let mut first = true;
+            // Compiled plans for this stratum's rules, refreshed when the
+            // fact level more than doubles since the last compile (the
+            // MethodStats the costs came from are then stale).
+            let mut plan_state: Option<Arc<Vec<Option<CompiledRule>>>> = None;
+            let mut plan_level = 0usize;
             loop {
                 stats.iterations += 1;
                 if stats.iterations > self.options.max_iterations {
@@ -621,6 +738,7 @@ impl Engine {
                 let mut tasks: Vec<SolveTask> = Vec::new();
                 let mut plan: Vec<(usize, usize, usize)> = Vec::new(); // (rule, first task, task count)
                 let mut views: Vec<DeltaView> = Vec::new();
+                let mut iteration_plans: Option<Arc<IterationPlans>> = None;
                 if first || !self.options.delta_driven {
                     // Every rule solves in full: the first time it runs (no
                     // delta exists for it yet), or on every iteration of the
@@ -650,6 +768,39 @@ impl Engine {
                         // will actually read the views (the last window of a
                         // stratum is typically non-empty yet drives nothing).
                         if !scheduled.is_empty() {
+                            if planning {
+                                // Compile (or re-compile) the stratum's rule
+                                // bodies against live MethodStats, then pick
+                                // one shared pass order per scheduled rule
+                                // for this iteration.  All of this runs on
+                                // the coordinator, so the decisions — and the
+                                // counters — are identical at any worker
+                                // count and under either executor.
+                                let level = Self::fact_level(structure);
+                                if plan_state.is_none() || level > plan_level.saturating_mul(2) {
+                                    if plan_state.is_some() {
+                                        stats.replans += 1;
+                                    }
+                                    plan_state =
+                                        Some(Self::compile_stratum(rules, stratum, structure, &derived, stats));
+                                    plan_level = level;
+                                }
+                                let compiled = plan_state.as_ref().unwrap();
+                                let mut orders = BTreeMap::new();
+                                for (r, delta_lits) in &scheduled {
+                                    if let Some(c) = compiled[*r].as_ref() {
+                                        let order = crate::plan::pass_order(c, delta_lits, dv.entry_count());
+                                        if !order.seeded_from_delta {
+                                            stats.seed_flips += 1;
+                                        }
+                                        orders.insert(*r, order);
+                                    }
+                                }
+                                iteration_plans = Some(Arc::new(IterationPlans {
+                                    compiled: Arc::clone(compiled),
+                                    orders,
+                                }));
+                            }
                             views = match (workers > 1)
                                 .then(|| dv.shards(workers, self.options.shard_min_entries))
                                 .flatten()
@@ -681,14 +832,59 @@ impl Engine {
                     rules: Arc::clone(rules),
                     views,
                     tasks,
+                    plans: iteration_plans,
                 };
+                let commit_plans = batch.plans.clone();
                 let mut outputs = executor.execute(structure, batch)?.into_iter();
                 // Phase 2: the single writer commits in stratum order.
                 let mut any_change = false;
                 for &(r, _, count) in &plan {
                     let rule = &rules[r];
-                    let solutions = merge_outputs((0..count).filter_map(|_| outputs.next()).collect());
+                    let collected: Vec<SolveOutput> = (0..count).filter_map(|_| outputs.next()).collect();
+                    let collected = match take_frame_runs(collected) {
+                        // All of the rule's passes ran frame-native and its
+                        // compiled head commits the merged frames without
+                        // `Bindings` or keys.
+                        Ok(runs) => {
+                            let (c, _) = commit_plans
+                                .as_ref()
+                                .and_then(|p| p.for_rule(r))
+                                .expect("frame outputs imply a compiled plan");
+                            let head = c.head().expect("frame outputs imply a compiled head").clone();
+                            if self.commit_frame_runs(structure, c, &head, runs, stats)? > 0 {
+                                any_change = true;
+                            }
+                            continue;
+                        }
+                        Err(outputs) => outputs,
+                    };
+                    let solutions = merge_outputs(collected);
+                    // The compiled head fast path: method oid resolved once,
+                    // direct set-member asserts, counters identical to
+                    // `assert_head` by construction (see [`CompiledHead`]).
+                    let fast_head = commit_plans
+                        .as_ref()
+                        .and_then(|p| p.for_rule(r))
+                        .and_then(|(c, _)| c.head().cloned());
+                    let method = fast_head.as_ref().map(|h| structure.ensure_name(&h.method));
                     for bindings in solutions {
+                        if let (Some(h), Some(m)) = (&fast_head, method) {
+                            if let (Some(recv), Some(member)) = (bindings.get(&h.receiver), bindings.get(&h.member)) {
+                                if structure.assert_set_member(m, recv, &[], member).is_new() {
+                                    any_change = true;
+                                    stats.firings += 1;
+                                    stats.set_members += 1;
+                                }
+                                if stats.derived() > self.options.max_derived {
+                                    return Err(Error::LimitExceeded {
+                                        kind: LimitKind::DerivedFacts,
+                                        limit: self.options.max_derived,
+                                        observed: stats.derived(),
+                                    });
+                                }
+                                continue;
+                            }
+                        }
                         let (_, effect) = assert_head(structure, &rule.head, &bindings, assert_options)?;
                         if effect.changed() {
                             any_change = true;
@@ -734,6 +930,8 @@ impl Engine {
         };
         let body_reads = self.body_reads(rules);
         let workers = executor.workers();
+        let planning = self.planning();
+        let derived = Self::derived_keys(infos);
 
         // Watermarks of the structure state each rule last solved against.
         // A rule's delta is "everything asserted since *it* last ran" — not
@@ -744,6 +942,11 @@ impl Engine {
 
         for stratum in &stratification.strata {
             let mut changed_keys: Option<BTreeSet<DepKey>> = None; // None = first iteration, fire everything
+                                                                   // Compiled plans for this stratum's rules (same staleness policy
+                                                                   // as the cross-rule schedule: re-plan when the fact level more
+                                                                   // than doubles since the last compile).
+            let mut plan_state: Option<Arc<Vec<Option<CompiledRule>>>> = None;
+            let mut plan_level = 0usize;
             loop {
                 stats.iterations += 1;
                 if stats.iterations > self.options.max_iterations {
@@ -786,6 +989,30 @@ impl Engine {
                                 continue;
                             }
                             stats.delta_solves += 1;
+                            let plans = if planning {
+                                let level = Self::fact_level(structure);
+                                if plan_state.is_none() || level > plan_level.saturating_mul(2) {
+                                    if plan_state.is_some() {
+                                        stats.replans += 1;
+                                    }
+                                    plan_state =
+                                        Some(Self::compile_stratum(rules, stratum, structure, &derived, stats));
+                                    plan_level = level;
+                                }
+                                let compiled = plan_state.as_ref().unwrap();
+                                compiled[r].as_ref().map(|c| {
+                                    let order = crate::plan::pass_order(c, &delta_lits, dv.entry_count());
+                                    if !order.seeded_from_delta {
+                                        stats.seed_flips += 1;
+                                    }
+                                    Arc::new(IterationPlans {
+                                        compiled: Arc::clone(compiled),
+                                        orders: BTreeMap::from([(r, order)]),
+                                    })
+                                })
+                            } else {
+                                None
+                            };
                             let views = match (workers > 1)
                                 .then(|| dv.shards(workers, self.options.shard_min_entries))
                                 .flatten()
@@ -806,8 +1033,28 @@ impl Engine {
                                 rules: Arc::clone(rules),
                                 views,
                                 tasks,
+                                plans,
                             };
-                            merge_outputs(executor.execute(structure, batch)?)
+                            let commit_plans = batch.plans.clone();
+                            let collected = match take_frame_runs(executor.execute(structure, batch)?) {
+                                Ok(runs) => {
+                                    let (c, _) = commit_plans
+                                        .as_ref()
+                                        .and_then(|p| p.for_rule(r))
+                                        .expect("frame outputs imply a compiled plan");
+                                    let head = c.head().expect("frame outputs imply a compiled head").clone();
+                                    if self.commit_frame_runs(structure, c, &head, runs, stats)? > 0 {
+                                        any_change = true;
+                                        // The compiled head only inserts set
+                                        // members — never virtual objects —
+                                        // so the catch-all key stays quiet.
+                                        new_keys.extend(info.defines.iter().cloned());
+                                    }
+                                    continue;
+                                }
+                                Err(outputs) => outputs,
+                            };
+                            merge_outputs(collected)
                         }
                         _ => {
                             if self.options.delta_driven {
@@ -1047,6 +1294,12 @@ pub fn solve_body(structure: &Structure, body: &[Literal], seed: &Bindings) -> R
 /// semi-naive evaluation: a solution that can contribute new information
 /// reads at least one delta fact in at least one literal, so it is found by
 /// the pass that restricts that literal.
+///
+/// This interpreted, written-order routine is the reference semantics and
+/// the [`Planner::Off`] ablation arm.  Under the default
+/// [`Planner::CostBased`] the engine's scheduled delta passes route through
+/// [`crate::plan::execute_delta`] instead — the same passes over a compiled,
+/// cost-reordered body — and must produce the identical canonical run.
 pub fn solve_body_delta(
     structure: &Structure,
     body: &[Literal],
@@ -1065,6 +1318,31 @@ pub fn solve_body_delta(
 /// full solve keeps its (deterministic) enumeration order; delta runs are
 /// k-way-merged in canonical order ([`merge_sorted_runs`]), the single
 /// writer's half of the sorted-run protocol.
+/// Partition a rule's outputs when any pass produced raw frames: `Ok` with
+/// the frame runs (empty keyed outputs from early-exit shards are dropped —
+/// a non-empty keyed output alongside frames is impossible, all passes of a
+/// rule take the same execution path against the same frozen structure), or
+/// `Err` giving the outputs back for the keyed merge.
+fn take_frame_runs(outputs: Vec<SolveOutput>) -> std::result::Result<Vec<crate::plan::FrameRun>, Vec<SolveOutput>> {
+    if !outputs.iter().any(|o| matches!(o, SolveOutput::Frames(_))) {
+        return Err(outputs);
+    }
+    Ok(outputs
+        .into_iter()
+        .filter_map(|o| match o {
+            SolveOutput::Frames(fr) => Some(fr),
+            SolveOutput::Sorted(run) => {
+                debug_assert!(run.is_empty(), "non-empty keyed output mixed with frame outputs");
+                None
+            }
+            SolveOutput::Enumerated(solutions) => {
+                debug_assert!(solutions.is_empty(), "enumerated output mixed with frame outputs");
+                None
+            }
+        })
+        .collect())
+}
+
 fn merge_outputs(mut outputs: Vec<SolveOutput>) -> Vec<Bindings> {
     if outputs.len() == 1 && matches!(outputs[0], SolveOutput::Enumerated(_)) {
         let Some(SolveOutput::Enumerated(solutions)) = outputs.pop() else {
@@ -1078,6 +1356,9 @@ fn merge_outputs(mut outputs: Vec<SolveOutput>) -> Vec<Bindings> {
             .map(|o| match o {
                 SolveOutput::Sorted(run) => run,
                 SolveOutput::Enumerated(solutions) => sorted_run(solutions),
+                // Frame outputs are drained by `take_frame_runs` before any
+                // keyed merge.
+                SolveOutput::Frames(_) => unreachable!("frame outputs reach only the compiled-head commit"),
             })
             .collect(),
     )
@@ -2041,6 +2322,9 @@ mod tests {
             full_solves: 10,
             tasks_recovered: 11,
             workers_respawned: 12,
+            plans_compiled: 13,
+            replans: 14,
+            seed_flips: 15,
         };
         let b = EvalStats {
             strata: 10,
@@ -2056,6 +2340,9 @@ mod tests {
             full_solves: 110,
             tasks_recovered: 120,
             workers_respawned: 130,
+            plans_compiled: 140,
+            replans: 150,
+            seed_flips: 160,
         };
         a.merge(&b);
         assert_eq!(a.strata, 11);
@@ -2071,6 +2358,9 @@ mod tests {
         assert_eq!(a.full_solves, 120);
         assert_eq!(a.tasks_recovered, 131);
         assert_eq!(a.workers_respawned, 142);
+        assert_eq!(a.plans_compiled, 153);
+        assert_eq!(a.replans, 164);
+        assert_eq!(a.seed_flips, 175);
         // derived() of saturated counters must not overflow either.
         assert_eq!(a.derived(), usize::MAX);
     }

@@ -69,6 +69,7 @@ pub mod constraints;
 pub mod engine;
 pub mod error;
 pub mod names;
+pub mod plan;
 pub mod program;
 pub mod scalarity;
 pub mod semantics;
@@ -92,6 +93,7 @@ pub mod prelude {
     };
     pub use crate::error::{Error, Result};
     pub use crate::names::{Name, Var};
+    pub use crate::plan::Planner;
     pub use crate::program::{Literal, Program, Query, Rule};
     pub use crate::scalarity::{is_scalar, is_set_valued, Scalarity};
     pub use crate::semantics::{

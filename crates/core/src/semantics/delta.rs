@@ -188,7 +188,7 @@ impl DeltaView {
         self.scalar_by_method.get(&method).map_or(&[], Vec::as_slice)
     }
 
-    fn new_set_entries_of_method(&self, method: Oid) -> &[(usize, Oid)] {
+    pub(crate) fn new_set_entries_of_method(&self, method: Oid) -> &[(usize, Oid)] {
         self.set_by_method.get(&method).map_or(&[], Vec::as_slice)
     }
 
@@ -196,7 +196,7 @@ impl DeltaView {
         self.set_by_app.get(&app_idx)
     }
 
-    fn new_instances_of(&self, class: Oid) -> &[Oid] {
+    pub(crate) fn new_instances_of(&self, class: Oid) -> &[Oid] {
         self.isa_by_class.get(&class).map_or(&[], Vec::as_slice)
     }
 
@@ -212,7 +212,7 @@ impl DeltaView {
         self.isa_by_class.keys().copied()
     }
 
-    fn new_objects(&self) -> impl Iterator<Item = Oid> + '_ {
+    pub(crate) fn new_objects(&self) -> impl Iterator<Item = Oid> + '_ {
         (self.object_lo as u32..self.object_hi as u32).map(Oid)
     }
 

@@ -121,6 +121,16 @@ impl Bindings {
         std::iter::successors(self.head.as_deref(), |n| n.next.as_deref()).map(|n| (&n.var, n.oid))
     }
 
+    /// Iterate over the bindings added on top of a prefix valuation of
+    /// length `base_len` (most recently bound first).  Extending a valuation
+    /// only ever prepends distinct variables to the shared cons list, so the
+    /// first `len - base_len` nodes are exactly the extension — the compiled
+    /// join path uses this to update its flat slot frames without re-walking
+    /// the seed's bindings.
+    pub fn added_since(&self, base_len: usize) -> impl Iterator<Item = (&Var, Oid)> + '_ {
+        self.iter().take(self.len.saturating_sub(base_len))
+    }
+
     /// Build a valuation from pairs (later pairs win is *not* supported —
     /// duplicate variables must agree).
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Oid)>) -> Option<Self> {

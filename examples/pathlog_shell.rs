@@ -36,6 +36,14 @@
 //! JSON object per file with `--json`) and exiting non-zero when any file
 //! fails to parse or carries an `Error`-severity diagnostic — the lint
 //! gate CI runs over the example corpus.
+//!
+//! `--explain FILE...` (alone or combined with `--check`) additionally
+//! prints what the cost-based join planner would do with each proper rule:
+//! the chosen literal order, the seed side (delta-driven or flipped to a
+//! cheaper stored index) and the per-literal access-path / selectivity /
+//! fact-count estimates, next to the PL0xx diagnostics.  Estimates come
+//! from the program's own facts.  With `--json` the per-file object gains
+//! a `"plans"` array carrying the same information.
 
 use std::io::{self, BufRead, Write};
 
@@ -50,22 +58,30 @@ enum ShellMode {
     Interactive,
     /// The `--reactive` active-database demo.
     Reactive,
-    /// `--check [--json] FILE...`: run the static analyzer over each file.
-    Check { files: Vec<String>, json: bool },
+    /// `--check`/`--explain [--json] FILE...`: run the static analyzer
+    /// over each file, optionally explaining the join plans.
+    Check {
+        files: Vec<String>,
+        json: bool,
+        explain: bool,
+    },
 }
 
 /// Parse `--workers N` / `--mode seq|par` / `--reactive` /
-/// `--check [--json] FILE...`; returns the evaluation options and the
-/// requested mode.
+/// `--check`/`--explain [--json] FILE...`; returns the evaluation options
+/// and the requested mode.
 fn options_from_args() -> (EvalOptions, ShellMode) {
     let mut workers: Option<usize> = None;
     let mut mode: Option<&'static str> = None;
     let mut reactive = false;
     let mut check = false;
+    let mut explain = false;
     let mut json = false;
     let mut files: Vec<String> = Vec::new();
     let usage = || -> ! {
-        eprintln!("usage: pathlog_shell [--mode seq|par] [--workers N] [--reactive] [--check [--json] FILE...]");
+        eprintln!(
+            "usage: pathlog_shell [--mode seq|par] [--workers N] [--reactive] [--check|--explain [--json] FILE...]"
+        );
         std::process::exit(2);
     };
     let mut args = std::env::args().skip(1);
@@ -82,15 +98,16 @@ fn options_from_args() -> (EvalOptions, ShellMode) {
             },
             "--reactive" => reactive = true,
             "--check" => check = true,
+            "--explain" => explain = true,
             "--json" => json = true,
-            path if check && !path.starts_with('-') => files.push(path.to_string()),
+            path if (check || explain) && !path.starts_with('-') => files.push(path.to_string()),
             _ => usage(),
         }
     }
-    if json && !check {
+    if json && !(check || explain) {
         usage();
     }
-    if check && (files.is_empty() || reactive) {
+    if (check || explain) && (files.is_empty() || reactive) {
         usage();
     }
     let parallel = match mode {
@@ -107,8 +124,8 @@ fn options_from_args() -> (EvalOptions, ShellMode) {
     } else {
         EvalMode::Sequential
     };
-    let shell_mode = if check {
-        ShellMode::Check { files, json }
+    let shell_mode = if check || explain {
+        ShellMode::Check { files, json, explain }
     } else if reactive {
         ShellMode::Reactive
     } else {
@@ -123,11 +140,163 @@ fn options_from_args() -> (EvalOptions, ShellMode) {
     )
 }
 
-/// `--check` mode: parse and statically analyze each file.  Prints one
-/// line (or, with `json`, one JSON object) per diagnostic and returns the
-/// process exit code: 0 when every file parses and carries no
-/// `Error`-severity diagnostic, 1 otherwise.
-fn check_files(files: &[String], json: bool) -> i32 {
+/// One rule's join-plan explanation: what the cost-based planner would do
+/// with a small delta on any of the rule's drivable literals.
+struct PlanExplanation {
+    /// The rule as source text.
+    label: String,
+    /// Statement start position.
+    span: Option<(usize, usize)>,
+    /// Positive-literal body indices in chosen execution order; `None` when
+    /// the body is not compilable (interpreted fallback).
+    order: Option<Vec<usize>>,
+    /// `true` when the pass seeds from the delta literal, `false` on a seed
+    /// flip to a cheaper stored index (meaningless when `order` is `None`).
+    seeded_from_delta: bool,
+    /// `(body_index, literal text, positive, access, selectivity, estimate)`
+    /// per body literal, in body order.
+    literals: Vec<(usize, String, bool, String, String, Option<usize>)>,
+}
+
+/// Explain what the join planner does with each proper rule of `program`,
+/// consuming the analysis' per-rule cost annotations (which already carry
+/// the access-path / selectivity / fact-count estimates).
+fn explain_plans(
+    program: &pathlog::core::program::Program,
+    analysis: &pathlog::core::analysis::Analysis,
+) -> Vec<PlanExplanation> {
+    use pathlog::core::analysis::RuleKind;
+    use pathlog::core::plan::{compile, pass_order};
+
+    let reports = analysis.plans.iter().filter(|p| p.kind == RuleKind::Rule);
+    program
+        .rules
+        .iter()
+        .filter(|r| !r.is_fact())
+        .zip(reports)
+        .map(|(rule, report)| {
+            let literals = report
+                .literals
+                .iter()
+                .enumerate()
+                .map(|(i, lp)| {
+                    (
+                        i,
+                        lp.literal.clone(),
+                        lp.positive,
+                        format!("{:?}", lp.access),
+                        format!("{:?}", lp.selectivity),
+                        lp.estimated_facts,
+                    )
+                })
+                .collect();
+            let compiled = compile(rule, report);
+            let (order, seeded_from_delta) = match &compiled {
+                Some(c) => {
+                    // Order for the canonical small-delta pass: every
+                    // positive literal is drivable, the delta holds one
+                    // entry.
+                    let drivable: Vec<usize> = c.positives().iter().map(|p| p.body_index).collect();
+                    let o = pass_order(c, &drivable, 1);
+                    (Some(o.positions), o.seeded_from_delta)
+                }
+                None => (None, false),
+            };
+            PlanExplanation {
+                label: report.label.clone(),
+                span: report.span.map(|s| (s.line, s.column)),
+                order,
+                seeded_from_delta,
+                literals,
+            }
+        })
+        .collect()
+}
+
+/// Print one rule's plan explanation, `path:line:col:`-prefixed so the
+/// lines sit greppably next to the PL0xx diagnostics.
+fn print_plan(path: &str, p: &PlanExplanation) {
+    let prefix = match p.span {
+        Some((l, c)) => format!("{path}:{l}:{c}"),
+        None => path.to_string(),
+    };
+    println!("{prefix}: plan: {}", p.label);
+    match &p.order {
+        Some(order) => {
+            let steps: Vec<String> = order
+                .iter()
+                .map(|&i| {
+                    let (_, text, _, access, sel, est) = &p.literals[i];
+                    let est = est.map_or_else(|| "?".to_string(), |n| n.to_string());
+                    format!("[{i}] {text} ({access}/{sel}, est {est})")
+                })
+                .collect();
+            println!("{prefix}:   order: {}", steps.join(" ; "));
+            println!(
+                "{prefix}:   seed: {}",
+                if p.seeded_from_delta {
+                    "delta-driven"
+                } else {
+                    "stored index (seed flip)"
+                }
+            );
+        }
+        None => println!("{prefix}:   interpreted (body not reorderable)"),
+    }
+    let negs: Vec<String> = p
+        .literals
+        .iter()
+        .filter(|(_, _, positive, _, _, _)| !positive)
+        .map(|(i, text, _, _, _, _)| format!("[{i}] {text}"))
+        .collect();
+    if !negs.is_empty() {
+        println!("{prefix}:   negations after joins: {}", negs.join(" ; "));
+    }
+}
+
+/// Serialize one rule's plan explanation as a JSON object.
+fn plan_to_json(p: &PlanExplanation) -> String {
+    use pathlog::core::analysis::json_escape;
+
+    let (line, column) = match p.span {
+        Some((l, c)) => (l.to_string(), c.to_string()),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    let order = match &p.order {
+        Some(o) => format!("[{}]", o.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",")),
+        None => "null".to_string(),
+    };
+    let seed = match &p.order {
+        Some(_) if p.seeded_from_delta => "\"delta\"".to_string(),
+        Some(_) => "\"index\"".to_string(),
+        None => "null".to_string(),
+    };
+    let literals: Vec<String> = p
+        .literals
+        .iter()
+        .map(|(i, text, positive, access, sel, est)| {
+            format!(
+                "{{\"index\":{i},\"literal\":\"{}\",\"positive\":{positive},\"access\":\"{access}\",\
+                 \"selectivity\":\"{sel}\",\"estimated_facts\":{}}}",
+                json_escape(text),
+                est.map_or_else(|| "null".to_string(), |n| n.to_string())
+            )
+        })
+        .collect();
+    format!(
+        "{{\"rule\":\"{}\",\"line\":{line},\"column\":{column},\"order\":{order},\"seed\":{seed},\"literals\":[{}]}}",
+        json_escape(&p.label),
+        literals.join(",")
+    )
+}
+
+/// `--check` / `--explain` mode: parse and statically analyze each file.
+/// Prints one line (or, with `json`, one JSON object) per diagnostic —
+/// plus, with `explain`, the planner's chosen literal order, seed side and
+/// per-literal estimates for each proper rule — and returns the process
+/// exit code: 0 when every file parses and carries no `Error`-severity
+/// diagnostic, 1 otherwise.
+fn check_files(files: &[String], json: bool, explain: bool) -> i32 {
     use pathlog::core::analysis::{json_escape, AnalysisInput};
     use pathlog::parser::parse_program_spanned;
 
@@ -152,23 +321,53 @@ fn check_files(files: &[String], json: bool) -> i32 {
         };
         match parse_program_spanned(&source) {
             Ok(spanned) => {
-                let analysis = AnalysisInput::new()
+                // Explain mode estimates selectivities from the program's
+                // own facts: load just the fact statements into a scratch
+                // structure and hand it to the analyzer.
+                let facts_structure = explain.then(|| {
+                    let facts = pathlog::core::program::Program {
+                        rules: spanned.program.rules.iter().filter(|r| r.is_fact()).cloned().collect(),
+                        queries: Vec::new(),
+                    };
+                    let mut s = Structure::new();
+                    let _ = Engine::new().load_program(&mut s, &facts);
+                    s
+                });
+                let mut input = AnalysisInput::new()
                     .program(&spanned.program)
                     .rule_spans(&spanned.rule_spans)
-                    .query_spans(&spanned.query_spans)
-                    .run();
+                    .query_spans(&spanned.query_spans);
+                if let Some(s) = &facts_structure {
+                    input = input.structure(s);
+                }
+                let analysis = input.run();
                 failed |= !analysis.no_errors();
+                let plans = if explain {
+                    explain_plans(&spanned.program, &analysis)
+                } else {
+                    Vec::new()
+                };
                 if json {
+                    let plans_json = if explain {
+                        let entries: Vec<String> = plans.iter().map(plan_to_json).collect();
+                        format!(",\"plans\":[{}]", entries.join(","))
+                    } else {
+                        String::new()
+                    };
                     json_entries.push(format!(
-                        "{{\"file\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":{}}}",
+                        "{{\"file\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":{}{}}}",
                         json_escape(path),
                         analysis.diagnostics.error_count(),
                         analysis.diagnostics.warning_count(),
-                        analysis.diagnostics.to_json()
+                        analysis.diagnostics.to_json(),
+                        plans_json
                     ));
                 } else {
                     for d in analysis.diagnostics.iter() {
                         println!("{path}:{d}");
+                    }
+                    for p in &plans {
+                        print_plan(path, p);
                     }
                 }
             }
@@ -302,7 +501,7 @@ fn reactive_demo(options: EvalOptions) {
 fn main() {
     let (options, mode) = options_from_args();
     match mode {
-        ShellMode::Check { files, json } => std::process::exit(check_files(&files, json)),
+        ShellMode::Check { files, json, explain } => std::process::exit(check_files(&files, json, explain)),
         ShellMode::Reactive => {
             reactive_demo(options);
             return;
