@@ -1,0 +1,37 @@
+//! Experiment E22: the MVCC snapshot serving layer — concurrent pinned
+//! reader sessions over the single-writer guarded commit pipeline, plus the
+//! sequential oracle replay the concurrent arms are cross-checked against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathlog_bench::serving::{self, ServingParams};
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e22_serving");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let employees = 60usize;
+    let commits = 40usize;
+    for &sessions in &[4usize, 16] {
+        for &workers in &[1usize, 4] {
+            let params = ServingParams {
+                employees,
+                sessions,
+                commits,
+                workers,
+            };
+            group.bench_with_input(
+                BenchmarkId::new("concurrent", format!("sessions{sessions}_workers{workers}")),
+                &params,
+                |b, p| b.iter(|| serving::run(p).reads),
+            );
+        }
+    }
+    group.bench_function(BenchmarkId::new("sequential_oracle", "replay"), |b| {
+        b.iter(|| serving::sequential_oracle(employees, commits).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -16,7 +16,7 @@ use std::time::Instant;
 use pathlog_baseline::RelationalDb;
 use pathlog_bench::{
     colours, columnar_factorized, constraints_commit, flogic_translation, join_planning, manager_query, parsing,
-    parts_explosion, reactive_rules, rss, sql_frontend, transitive_closure, two_dimensional, virtual_objects,
+    parts_explosion, reactive_rules, rss, serving, sql_frontend, transitive_closure, two_dimensional, virtual_objects,
     workloads, Row,
 };
 
@@ -121,8 +121,9 @@ fn format_number(v: f64) -> String {
 fn main() {
     let args = parse_args();
     let mut report = Report::default();
-    // E17/E18/E19/E20/E21 are the cross-check gates the CI matrix arms invoke
-    // in isolation via `--only e17|...|e21`; a full run includes all of them.
+    // E17/E18/E19/E20/E21/E22 are the cross-check gates the CI matrix arms
+    // invoke in isolation via `--only e17|...|e22`; a full run includes all
+    // of them.
     let wants = |name: &str| args.only.is_none() || args.only.as_deref() == Some(name);
     if args.only.is_none() {
         all_experiments(&mut report);
@@ -141,6 +142,9 @@ fn main() {
     }
     if wants("e21") {
         e21_join_planning(&mut report);
+    }
+    if wants("e22") {
+        e22_snapshot_serving(&mut report);
     }
     match args.only.as_deref() {
         None => println!("\nAll experiments finished; answers agreed across PathLog and the baselines."),
@@ -164,6 +168,11 @@ fn main() {
              non-planner EvalStats, and the planner counters were positive, mode-independent and \
              zero under Planner::Off."
         ),
+        Some("e22") => println!(
+            "\nE22 cross-checks passed: every reader session's pinned canonical dump was \
+             bit-identical to the sequential oracle's dump for that epoch at every sessions x \
+             workers arm, and every retained epoch was reclaimed once its last session dropped."
+        ),
         Some(_) => println!(
             "\nE18 cross-checks passed: pooled reactive evaluation matched the sequential runs \
              bit-for-bit (firing traces, stats, canonical dumps), and delta-gated matching solved \
@@ -171,6 +180,13 @@ fn main() {
         ),
     }
     println!("(detected cores: {})", detected_cores());
+    if detected_cores() <= 1 {
+        println!(
+            "CAVEAT: this host exposes a single hardware thread — the parallel arms \
+             (E16/E17/E18/E21/E22) measure scheduling overhead, not scaling. Re-run on a \
+             multi-core host (CI regenerates the scaling arms when it detects >1 core)."
+        );
+    }
     if let Some(path) = args.json {
         // Guard the committed full-results document: a partial run writes
         // only the tables it produced, which must not clobber
@@ -1029,6 +1045,77 @@ fn e21_join_planning(report: &mut Report) {
     );
 }
 
+/// E22 — the MVCC snapshot serving layer (PR 10): concurrent pinned-snapshot
+/// reader sessions over the single-writer guarded commit pipeline, a
+/// sessions x check-workers grid.  Every arm is oracle-checked, not just
+/// timed: each reader reports its pinned epoch's canonical dump, and every
+/// observed `(epoch, dump)` pair must be bit-identical to what a sequential
+/// replay of the identical history records — snapshot isolation holds even
+/// while the writer commits epochs ahead of the pinned readers.  The
+/// registry counters close the loop: one publish per commit plus the
+/// bootstrap, one pin per read, zero epochs retained after the run.
+fn e22_snapshot_serving(report: &mut Report) {
+    let employees = 60usize;
+    let commits = 40usize;
+    let oracle = serving::sequential_oracle(employees, commits);
+    let mut rows = Vec::new();
+    for &sessions in &[4usize, 16] {
+        for &workers in &[1usize, 4] {
+            let params = serving::ServingParams {
+                employees,
+                sessions,
+                commits,
+                workers,
+            };
+            let run = serving::run(&params);
+            assert_eq!(run.committed + run.rejected, commits);
+            assert!(run.rejected > 0, "E22: the schedule must exercise rejected commits");
+            assert_eq!(
+                run.dumps.len(),
+                run.committed + 1,
+                "E22: readers must observe every published epoch"
+            );
+            for (epoch, dump) in &run.dumps {
+                assert_eq!(
+                    oracle.get(epoch),
+                    Some(dump),
+                    "E22: epoch {epoch} dump diverged from the sequential oracle \
+                     (sessions={sessions} workers={workers})"
+                );
+            }
+            let reads_per_epoch = run.reads as f64 / run.stats.epochs_published as f64;
+            let (_, serve_ms) = time_ms(|| serving::run(&params).reads);
+            rows.push(Row {
+                scale: format!("sessions={sessions} workers={workers}"),
+                values: vec![
+                    ("reads".into(), run.reads as f64),
+                    ("epochs_published".into(), run.stats.epochs_published as f64),
+                    ("reads_per_epoch".into(), reads_per_epoch),
+                    ("read_p50_us".into(), serving::percentile_us(&run.read_us, 50.0) as f64),
+                    ("read_p95_us".into(), serving::percentile_us(&run.read_us, 95.0) as f64),
+                    ("read_p99_us".into(), serving::percentile_us(&run.read_us, 99.0) as f64),
+                    (
+                        "commit_p50_us".into(),
+                        serving::percentile_us(&run.commit_us, 50.0) as f64,
+                    ),
+                    (
+                        "commit_p99_us".into(),
+                        serving::percentile_us(&run.commit_us, 99.0) as f64,
+                    ),
+                    ("snapshots_pinned".into(), run.stats.snapshots_pinned as f64),
+                    ("snapshots_reclaimed".into(), run.stats.snapshots_reclaimed as f64),
+                    ("pinned_after".into(), run.pinned_after as f64),
+                    ("run_ms".into(), serve_ms),
+                ],
+            });
+        }
+    }
+    report.table(
+        "E22: MVCC snapshot serving (reader sessions x check workers, oracle-checked)",
+        rows,
+    );
+}
+
 /// Command-line arguments: `[--json <path>] [--only e17|e18|e19|e20|e21] [--scale 1|10]`.
 struct Args {
     json: Option<String>,
@@ -1049,12 +1136,12 @@ fn parse_args() -> Args {
     while let Some(flag) = raw.next() {
         match (flag.as_str(), raw.next()) {
             ("--json", Some(path)) => args.json = Some(path),
-            ("--only", Some(table)) if ["e17", "e18", "e19", "e20", "e21"].contains(&table.as_str()) => {
+            ("--only", Some(table)) if ["e17", "e18", "e19", "e20", "e21", "e22"].contains(&table.as_str()) => {
                 args.only = Some(table)
             }
             ("--scale", Some(n)) if n == "1" || n == "10" => args.scale = n.parse().expect("validated"),
             _ => {
-                eprintln!("usage: experiments [--json <path>] [--only e17|e18|e19|e20|e21] [--scale 1|10]");
+                eprintln!("usage: experiments [--json <path>] [--only e17|e18|e19|e20|e21|e22] [--scale 1|10]");
                 std::process::exit(2);
             }
         }

@@ -994,6 +994,256 @@ pub mod constraints_commit {
     }
 }
 
+/// Experiment 22: the MVCC snapshot serving layer — many concurrent
+/// pinned-snapshot reader sessions over a single-writer guarded commit
+/// pipeline ([`ObjectStore::begin_session`](pathlog_oodb::ObjectStore::begin_session)).
+///
+/// The workload replays the E20 commit schedule (friend-edge adds, every
+/// fifth an illegal self-friendship the guard rejects) while fanning a
+/// fresh [`Session`](pathlog_oodb::Session) to every reader thread after
+/// each commit attempt.  Readers dump and query their pinned epoch while
+/// the writer races ahead, so epoch `k` pins are routinely alive during
+/// commits at epochs `> k` — exactly the isolation the cross-check
+/// verifies: every observed `(epoch, canonical_dump)` pair must be
+/// bit-identical to the one a **sequential oracle** records when it
+/// replays the identical history with no concurrency at all.
+pub mod serving {
+    use super::*;
+    use pathlog_oodb::{CommitError, ObjectStore, Value};
+    use std::collections::BTreeMap;
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    /// One arm of the E22 grid.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ServingParams {
+        /// Company scale (employees).
+        pub employees: usize,
+        /// Concurrent reader threads; each receives one session per commit
+        /// attempt.
+        pub sessions: usize,
+        /// Writer commit attempts (every fifth is rejected by the guard and
+        /// publishes no epoch).
+        pub commits: usize,
+        /// Constraint-check worker threads on the commit pipeline (`<= 1`
+        /// means a sequential engine).
+        pub workers: usize,
+    }
+
+    /// The outcome of one serving run.  Construction already asserts the
+    /// invariants that do not need the oracle (epoch monotonicity, readers
+    /// at the same epoch agreeing, full reclamation); the caller checks
+    /// the dumps against [`sequential_oracle`].
+    #[derive(Debug)]
+    pub struct ServingRun {
+        /// Commits that passed the guard (each published one epoch).
+        pub committed: usize,
+        /// Commits rejected and rolled back (no epoch published).
+        pub rejected: usize,
+        /// Reader session reads completed (`sessions * (commits + 1)`,
+        /// counting the pre-commit bootstrap round).
+        pub reads: usize,
+        /// Per-read latency samples (pin + dump + salary query), in µs.
+        pub read_us: Vec<u64>,
+        /// Per-commit-attempt writer latencies (begin/stage/commit), in µs.
+        pub commit_us: Vec<u64>,
+        /// The canonical dump every reader observed at each pinned epoch —
+        /// already asserted identical across readers of the same epoch.
+        pub dumps: BTreeMap<Epoch, String>,
+        /// Registry lifetime counters at the end of the run.
+        pub stats: SnapshotStats,
+        /// Epochs still retained after all sessions dropped — an epoch
+        /// leak unless zero.
+        pub pinned_after: usize,
+    }
+
+    fn check_engine(workers: usize) -> Engine {
+        if workers <= 1 {
+            Engine::new()
+        } else {
+            Engine::with_options(EvalOptions {
+                mode: EvalMode::Parallel { workers },
+                executor: ExecutorKind::Pooled,
+                ..EvalOptions::default()
+            })
+        }
+    }
+
+    /// The guarded store every arm (and the oracle) starts from.
+    fn guarded_store(employees: usize, workers: usize) -> ObjectStore {
+        let mut db = constraints_commit::store(employees);
+        db.set_constraints(
+            constraints_commit::constraints(ConstraintPolicy::Reject),
+            check_engine(workers),
+        )
+        .expect("constraints install");
+        db
+    }
+
+    /// Perform commit attempt `i` of the shared schedule.  Returns the
+    /// published epoch for a committed transaction, `None` for the every-
+    /// fifth rejected self-friendship; panics on any other outcome.
+    fn commit_step(db: &mut ObjectStore, i: usize, employees: usize) -> Option<Epoch> {
+        let a = format!("e{}", i % employees);
+        if i % 5 == 4 {
+            let mut txn = db.begin();
+            txn.add(&a, "friends", Value::obj(&a)).expect("stage self-friendship");
+            match txn.commit() {
+                Err(CommitError::Rejected { .. }) => None,
+                other => panic!("self-friendship must be rejected, got {other:?}"),
+            }
+        } else {
+            let mut b = format!("e{}", (i * 7 + 1) % employees);
+            if b == a {
+                b = format!("e{}", (i * 7 + 2) % employees);
+            }
+            let mut txn = db.begin();
+            txn.add(&a, "friends", Value::obj(&b)).expect("stage friend edge");
+            let receipt = txn.commit().expect("legal friend edge commits");
+            Some(receipt.epoch.expect("serving is active, commits publish"))
+        }
+    }
+
+    /// Run one concurrent arm: `sessions` reader threads consume pinned
+    /// sessions over channels while the single writer replays the commit
+    /// schedule without waiting for them.
+    pub fn run(params: &ServingParams) -> ServingRun {
+        let ServingParams {
+            employees,
+            sessions,
+            commits,
+            workers,
+        } = *params;
+        let mut db = guarded_store(employees, workers);
+
+        let (result_tx, result_rx) = mpsc::channel::<(Epoch, String, usize, u64)>();
+        let mut feeds = Vec::with_capacity(sessions);
+        let mut readers = Vec::with_capacity(sessions);
+        for _ in 0..sessions {
+            let (tx, rx) = mpsc::channel::<pathlog_oodb::Session>();
+            let results = result_tx.clone();
+            feeds.push(tx);
+            readers.push(std::thread::spawn(move || {
+                let query = constraints_commit::salary_query();
+                for session in rx {
+                    let start = Instant::now();
+                    let epoch = session.epoch();
+                    let dump = session.canonical_dump();
+                    let answers = session.query(&query).expect("snapshot query serves").len();
+                    let us = start.elapsed().as_micros() as u64;
+                    if results.send((epoch, dump, answers, us)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(result_tx);
+
+        // Bootstrap round: activate serving (first publish) before the
+        // first commit, same as the oracle, and give every reader a
+        // pre-commit epoch to report.
+        for feed in &feeds {
+            feed.send(db.begin_session()).expect("reader alive");
+        }
+
+        let (mut committed, mut rejected) = (0usize, 0usize);
+        let mut last_epoch = db.version();
+        let mut commit_us = Vec::with_capacity(commits);
+        for i in 0..commits {
+            let start = Instant::now();
+            let published = commit_step(&mut db, i, employees);
+            commit_us.push(start.elapsed().as_micros() as u64);
+            match published {
+                Some(epoch) => {
+                    assert!(epoch > last_epoch, "epochs are strictly increasing");
+                    last_epoch = epoch;
+                    committed += 1;
+                }
+                None => rejected += 1,
+            }
+            for feed in &feeds {
+                feed.send(db.begin_session()).expect("reader alive");
+            }
+        }
+        drop(feeds);
+
+        let mut dumps: BTreeMap<Epoch, String> = BTreeMap::new();
+        let mut read_us = Vec::new();
+        let mut reads = 0usize;
+        for (epoch, dump, answers, us) in result_rx {
+            assert!(answers > 0, "the salary query answers on every snapshot");
+            match dumps.get(&epoch) {
+                Some(seen) => assert_eq!(seen, &dump, "readers pinned to epoch {epoch} disagree"),
+                None => {
+                    dumps.insert(epoch, dump);
+                }
+            }
+            read_us.push(us);
+            reads += 1;
+        }
+        for reader in readers {
+            reader.join().expect("reader thread exits cleanly");
+        }
+        assert_eq!(reads, sessions * (commits + 1), "every fed session was read");
+
+        let stats = db.serving_stats();
+        let pinned_after = db.pinned_epochs();
+        assert_eq!(pinned_after, 0, "all epochs reclaimed after sessions drop");
+        assert_eq!(
+            stats.epochs_published,
+            committed + 1,
+            "one epoch per commit plus the bootstrap publish"
+        );
+        assert_eq!(stats.snapshots_pinned, reads, "one pin per session");
+        assert!(
+            stats.snapshots_reclaimed <= stats.snapshots_pinned,
+            "reclamations cannot outnumber pins"
+        );
+        ServingRun {
+            committed,
+            rejected,
+            reads,
+            read_us,
+            commit_us,
+            dumps,
+            stats,
+            pinned_after,
+        }
+    }
+
+    /// The sequential oracle: replay the identical history — same store
+    /// bootstrap, same serving activation point, same commit schedule —
+    /// with a sequential check engine and **no concurrency**, recording
+    /// the canonical dump a session pins after every commit attempt.
+    /// Identical histories assign identical oids, so each concurrent
+    /// arm's observed dumps must match these bit-for-bit.
+    pub fn sequential_oracle(employees: usize, commits: usize) -> BTreeMap<Epoch, String> {
+        let mut db = guarded_store(employees, 1);
+        let mut dumps = BTreeMap::new();
+        let bootstrap = db.begin_session();
+        dumps.insert(bootstrap.epoch(), bootstrap.canonical_dump());
+        drop(bootstrap);
+        for i in 0..commits {
+            commit_step(&mut db, i, employees);
+            let session = db.begin_session();
+            dumps.entry(session.epoch()).or_insert_with(|| session.canonical_dump());
+        }
+        dumps
+    }
+
+    /// The `p`-th percentile (0–100) of `samples`, by nearest-rank on a
+    /// sorted copy.  Zero on an empty slice.
+    pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
 /// One row of an experiment report: the scale point and the measured values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Row {
@@ -1199,6 +1449,36 @@ mod tests {
         assert!(q.quarantined >= 6);
         assert!(q.tainted > 0);
         assert_eq!(q.tainted + q.clean, q.classical);
+    }
+
+    #[test]
+    fn serving_readers_match_the_sequential_oracle() {
+        let oracle = serving::sequential_oracle(30, 15);
+        let run = serving::run(&serving::ServingParams {
+            employees: 30,
+            sessions: 4,
+            commits: 15,
+            workers: 2,
+        });
+        assert_eq!(run.committed + run.rejected, 15);
+        assert_eq!(run.rejected, 3);
+        assert_eq!(run.dumps.len(), run.committed + 1);
+        for (epoch, dump) in &run.dumps {
+            assert_eq!(
+                oracle.get(epoch),
+                Some(dump),
+                "epoch {epoch} dump diverged from the sequential oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [5u64, 1, 3, 2, 4];
+        assert_eq!(serving::percentile_us(&v, 50.0), 3);
+        assert_eq!(serving::percentile_us(&v, 95.0), 5);
+        assert_eq!(serving::percentile_us(&v, 100.0), 5);
+        assert_eq!(serving::percentile_us(&[], 50.0), 0);
     }
 
     #[test]

@@ -558,14 +558,17 @@ struct PooledBatch {
 impl PooledBatch {
     /// Claim and solve tasks until the cursor is exhausted.  Called by every
     /// participating worker (`pool_worker: true`) *and* by the coordinator
-    /// itself (`pool_worker: false` — the coordinator never consumes
-    /// injected faults, so it always drains the batch).  A task that panics
-    /// under the catch leaves its result slot empty; [`ArriveOnDrop`] still
-    /// arrives at the latch, and the coordinator re-runs the slot after
-    /// reclaiming the batch.  An injected *worker kill* panics outside the
-    /// catch, unwinding the worker thread itself — the slot is likewise
-    /// recovered, and the pool respawns the dead thread at the next
-    /// broadcast.
+    /// itself (`pool_worker: false`).  A task that panics under the catch
+    /// leaves its result slot empty; [`ArriveOnDrop`] still arrives at the
+    /// latch, and the coordinator re-runs the slot after reclaiming the
+    /// batch.  Injected *task panics* land inside the catch and are
+    /// therefore safe for any claimant — including the coordinator, which
+    /// guarantees a pending injection is consumed even when a small batch
+    /// drains before a parked worker wakes.  An injected *worker kill*
+    /// panics outside the catch, unwinding the claiming thread itself, so
+    /// only pool workers consume kills (the coordinator must survive to
+    /// drain the batch); the dead worker's slot is likewise recovered, and
+    /// the pool respawns the thread at the next broadcast.
     fn work(&self, pool_worker: bool) {
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
@@ -577,7 +580,7 @@ impl PooledBatch {
                 panic!("fault injection: worker kill");
             }
             let run = catch_unwind(AssertUnwindSafe(|| {
-                if pool_worker && self.control.take_task_panic() {
+                if self.control.take_task_panic() {
                     panic!("fault injection: task panic");
                 }
                 self.batch.run(&self.structure, i)
@@ -780,17 +783,9 @@ impl PooledExecutor {
         // Reclaim sole ownership.  Wake-ups are weak, so queued stragglers
         // hold nothing; after the latch the only other holders are workers
         // in the instant between their last (empty) claim and their drop,
-        // which resolves within a yield or two.
-        let mut shared = shared;
-        let inner = loop {
-            match Arc::try_unwrap(shared) {
-                Ok(inner) => break inner,
-                Err(still_shared) => {
-                    shared = still_shared;
-                    std::thread::yield_now();
-                }
-            }
-        };
+        // which resolves within a yield or two — exactly the window
+        // `snapshot::reclaim_arc` is built for.
+        let inner = crate::snapshot::reclaim_arc(shared);
         let PooledBatch {
             structure: frozen,
             batch,

@@ -352,6 +352,19 @@ pub struct EvalStats {
     /// Iterations × rules where the planner seeded the join from a literal
     /// cheaper than the delta instead of the delta-driven literal.
     pub seed_flips: usize,
+    /// Snapshots published by a serving layer the evaluation ran behind
+    /// (see [`crate::snapshot::SnapshotRegistry`]).  Always 0 for direct
+    /// engine runs — like the fault counters, these serving counters are
+    /// excluded from the cross-mode identity contract and only become
+    /// non-zero when a session layer folds its
+    /// [`SnapshotStats`](crate::snapshot::SnapshotStats) in.
+    pub epochs_published: usize,
+    /// Reader-session pin events recorded by the serving layer; 0 for
+    /// direct engine runs.
+    pub snapshots_pinned: usize,
+    /// Snapshot retention entries freed after their last pin dropped; 0 for
+    /// direct engine runs.
+    pub snapshots_reclaimed: usize,
 }
 
 impl EvalStats {
@@ -383,6 +396,17 @@ impl EvalStats {
         self.plans_compiled = self.plans_compiled.saturating_add(other.plans_compiled);
         self.replans = self.replans.saturating_add(other.replans);
         self.seed_flips = self.seed_flips.saturating_add(other.seed_flips);
+        self.epochs_published = self.epochs_published.saturating_add(other.epochs_published);
+        self.snapshots_pinned = self.snapshots_pinned.saturating_add(other.snapshots_pinned);
+        self.snapshots_reclaimed = self.snapshots_reclaimed.saturating_add(other.snapshots_reclaimed);
+    }
+
+    /// Fold a serving layer's snapshot counters into these stats (the
+    /// bridge used by `pathlog_oodb` sessions and the serving benches).
+    pub fn record_snapshots(&mut self, snap: &crate::snapshot::SnapshotStats) {
+        self.epochs_published = self.epochs_published.saturating_add(snap.epochs_published);
+        self.snapshots_pinned = self.snapshots_pinned.saturating_add(snap.snapshots_pinned);
+        self.snapshots_reclaimed = self.snapshots_reclaimed.saturating_add(snap.snapshots_reclaimed);
     }
 
     fn absorb(&mut self, e: AssertEffect) {
@@ -2325,6 +2349,9 @@ mod tests {
             plans_compiled: 13,
             replans: 14,
             seed_flips: 15,
+            epochs_published: 16,
+            snapshots_pinned: 17,
+            snapshots_reclaimed: 18,
         };
         let b = EvalStats {
             strata: 10,
@@ -2343,6 +2370,9 @@ mod tests {
             plans_compiled: 140,
             replans: 150,
             seed_flips: 160,
+            epochs_published: 170,
+            snapshots_pinned: 180,
+            snapshots_reclaimed: 190,
         };
         a.merge(&b);
         assert_eq!(a.strata, 11);
@@ -2361,6 +2391,9 @@ mod tests {
         assert_eq!(a.plans_compiled, 153);
         assert_eq!(a.replans, 164);
         assert_eq!(a.seed_flips, 175);
+        assert_eq!(a.epochs_published, 186);
+        assert_eq!(a.snapshots_pinned, 197);
+        assert_eq!(a.snapshots_reclaimed, 208);
         // derived() of saturated counters must not overflow either.
         assert_eq!(a.derived(), usize::MAX);
     }

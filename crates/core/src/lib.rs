@@ -25,6 +25,8 @@
 //! * [`program`] — rules, facts, queries, validation;
 //! * [`engine`] — stratified bottom-up evaluation with virtual-object
 //!   creation;
+//! * [`snapshot`] — epoch-stamped immutable `Arc<Structure>` snapshots and
+//!   the pin/reclaim registry behind the MVCC serving layer;
 //! * [`typing`] — signature-based type checking;
 //! * [`analysis`] — static program analysis: dependency graphs, `PL0xx`
 //!   diagnostics, cascade bounds and per-literal cost annotations;
@@ -73,6 +75,7 @@ pub mod plan;
 pub mod program;
 pub mod scalarity;
 pub mod semantics;
+pub mod snapshot;
 pub mod structure;
 pub mod term;
 pub mod typing;
@@ -100,6 +103,7 @@ pub mod prelude {
         answers, entails, factorized_answers, is_model, valuate, violations, Answer, AnswerDag, Bindings,
         FactorizedAnswers, Violation,
     };
+    pub use crate::snapshot::{Epoch, PinnedSnapshot, Snapshot, SnapshotRegistry, SnapshotStats};
     pub use crate::structure::{Oid, Signature, Structure, StructureStats};
     pub use crate::term::{Filter, FilterValue, Term};
     pub use crate::typing::{type_check, type_check_with, TypeCheckOptions, TypeError};

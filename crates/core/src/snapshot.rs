@@ -1,0 +1,385 @@
+//! Epoch-stamped immutable snapshots of a [`Structure`] and the registry
+//! that serves them to concurrent reader sessions.
+//!
+//! The executor's Arc-handoff (see [`crate::engine`]'s pooled executor)
+//! already freezes the structure into an immutable `Arc` for the duration of
+//! one evaluation window: the coordinator moves the structure in, workers
+//! read it through `Weak` handles, and sole ownership is reclaimed once the
+//! window closes.  This module promotes that per-window snapshot into a
+//! first-class serving primitive:
+//!
+//! * [`Snapshot`] — an immutable, **epoch-stamped** `Arc<Structure>` view.
+//!   `Engine::query` / `query_term` / `tolerant_query` all take
+//!   `&Structure`, so a snapshot can be queried from any thread without
+//!   holding a store lock, while the writer keeps mutating its own copy.
+//! * [`SnapshotRegistry`] — a single-writer / many-reader registry.  The
+//!   writer [`publish`](SnapshotRegistry::publish)es a new snapshot per
+//!   committed epoch; readers [`pin`](SnapshotRegistry::pin) the current
+//!   epoch and hold it for as long as they like.  A pinned epoch stays
+//!   retained even after newer epochs supersede it (MVCC); once the last
+//!   pin drops the entry is reclaimed and the underlying structure freed
+//!   (the columnar `Arc`-shared columns make retention cheap, but the
+//!   watermark keeps the set of live versions bounded by the set of live
+//!   sessions).
+//! * [`reclaim_arc`] — the ownership-reclaim loop extracted from the pooled
+//!   executor's handoff, shared by anything that moves a value into an
+//!   `Arc` for a bounded window and wants it back.
+//!
+//! Epochs are supplied by the *caller* of `publish` — the registry does not
+//! invent a parallel counter.  The object-store layer passes its own
+//! `version` counter, so the published epoch and the store's
+//! out-of-band-mutation detection share one version authority.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::structure::Structure;
+
+/// A published version number.  Epochs are chosen by the publisher (for the
+/// object store: its `version` counter) and increase monotonically.
+pub type Epoch = u64;
+
+/// An immutable, epoch-stamped view of a [`Structure`].
+///
+/// Cloning a snapshot is an `Arc` bump; the underlying structure is shared
+/// and never mutated.  Queries run against [`structure`](Snapshot::structure)
+/// without any locking.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: Epoch,
+    structure: Arc<Structure>,
+}
+
+impl Snapshot {
+    /// Stamp `structure` as the view published at `epoch`.
+    pub fn new(epoch: Epoch, structure: Arc<Structure>) -> Self {
+        Snapshot { epoch, structure }
+    }
+
+    /// The epoch this view was published at.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The frozen structure; safe to query from any thread.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// The shared handle itself — used by reclamation tests to observe the
+    /// strong count and by executors that hand the `Arc` to workers.
+    pub fn structure_arc(&self) -> &Arc<Structure> {
+        &self.structure
+    }
+}
+
+/// Lifetime counters of a [`SnapshotRegistry`], mirroring the style of the
+/// engine's `EvalStats`: saturating, monotone, cheap to copy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Snapshots published (one per committed epoch, plus bootstrap
+    /// publishes when a session starts against a stale registry).
+    pub epochs_published: usize,
+    /// Pin events (sessions opened).  Cumulative, not a live count.
+    pub snapshots_pinned: usize,
+    /// Pinned epochs whose retention entry was freed after the last pin
+    /// dropped.  `snapshots_reclaimed` catching up with the number of
+    /// retired pinned epochs proves no epoch leaks over a run.
+    pub snapshots_reclaimed: usize,
+}
+
+impl SnapshotStats {
+    /// Accumulate `other` with saturating adds (same contract as
+    /// `EvalStats::merge`).
+    pub fn merge(&mut self, other: &SnapshotStats) {
+        self.epochs_published = self.epochs_published.saturating_add(other.epochs_published);
+        self.snapshots_pinned = self.snapshots_pinned.saturating_add(other.snapshots_pinned);
+        self.snapshots_reclaimed = self.snapshots_reclaimed.saturating_add(other.snapshots_reclaimed);
+    }
+}
+
+/// A retained epoch: the snapshot plus its live pin count.
+#[derive(Debug)]
+struct PinEntry {
+    snapshot: Snapshot,
+    pins: usize,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// The most recently published snapshot — what new pins attach to.
+    current: Option<Snapshot>,
+    /// Epochs retained because at least one session still pins them.
+    pinned: BTreeMap<Epoch, PinEntry>,
+}
+
+/// Single-writer / many-reader snapshot registry with pin-count
+/// reclamation.
+///
+/// The writer calls [`publish`](Self::publish) after each commit; readers
+/// call [`pin`](Self::pin) (through `Arc<SnapshotRegistry>`) to obtain a
+/// [`PinnedSnapshot`] whose `Drop` unpins it.  Superseded epochs are freed
+/// as soon as their last pin drops; the current epoch is always available.
+#[derive(Debug, Default)]
+pub struct SnapshotRegistry {
+    inner: Mutex<RegistryInner>,
+    epochs_published: AtomicUsize,
+    snapshots_pinned: AtomicUsize,
+    snapshots_reclaimed: AtomicUsize,
+}
+
+impl SnapshotRegistry {
+    /// An empty registry: nothing published, nothing pinned.
+    pub fn new() -> Self {
+        SnapshotRegistry::default()
+    }
+
+    /// Publish `structure` as the snapshot for `epoch`, superseding the
+    /// previous current snapshot.  The epoch comes from the caller (one
+    /// version authority — the store's own `version` counter); publishes
+    /// with a stale epoch (`<` current) are ignored so a republish race
+    /// cannot move the registry backwards.
+    pub fn publish(&self, epoch: Epoch, structure: Arc<Structure>) {
+        let mut inner = self.inner.lock().expect("snapshot registry poisoned");
+        if let Some(cur) = &inner.current {
+            if epoch < cur.epoch() {
+                return;
+            }
+        }
+        inner.current = Some(Snapshot::new(epoch, structure));
+        self.epochs_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pin the current snapshot.  Returns `None` until the first
+    /// [`publish`](Self::publish).  The returned guard keeps the epoch
+    /// retained until dropped.
+    pub fn pin(self: &Arc<Self>) -> Option<PinnedSnapshot> {
+        let mut inner = self.inner.lock().expect("snapshot registry poisoned");
+        let current = inner.current.clone()?;
+        let epoch = current.epoch();
+        let entry = inner.pinned.entry(epoch).or_insert_with(|| PinEntry {
+            snapshot: current,
+            pins: 0,
+        });
+        entry.pins += 1;
+        let snapshot = entry.snapshot.clone();
+        self.snapshots_pinned.fetch_add(1, Ordering::Relaxed);
+        Some(PinnedSnapshot {
+            registry: Arc::clone(self),
+            snapshot,
+        })
+    }
+
+    /// Drop one pin on `epoch`; frees the retention entry (and counts a
+    /// reclamation) when the last pin goes.
+    fn unpin(&self, epoch: Epoch) {
+        let mut inner = self.inner.lock().expect("snapshot registry poisoned");
+        let drained = match inner.pinned.get_mut(&epoch) {
+            Some(entry) => {
+                entry.pins -= 1;
+                entry.pins == 0
+            }
+            None => false,
+        };
+        if drained {
+            inner.pinned.remove(&epoch);
+            self.snapshots_reclaimed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The epoch of the current snapshot, if any is published.
+    pub fn current_epoch(&self) -> Option<Epoch> {
+        let inner = self.inner.lock().expect("snapshot registry poisoned");
+        inner.current.as_ref().map(Snapshot::epoch)
+    }
+
+    /// Number of epochs currently retained by at least one pin — the live
+    /// MVCC window.  Zero at rest (the current snapshot itself is not a
+    /// pin).
+    pub fn pinned_epochs(&self) -> usize {
+        let inner = self.inner.lock().expect("snapshot registry poisoned");
+        inner.pinned.len()
+    }
+
+    /// Lifetime counters (cumulative; see [`SnapshotStats`]).
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            snapshots_pinned: self.snapshots_pinned.load(Ordering::Relaxed),
+            snapshots_reclaimed: self.snapshots_reclaimed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A pinned [`Snapshot`]: keeps its epoch retained in the registry until
+/// dropped.  `Send`, so sessions can be handed to reader threads.
+#[derive(Debug)]
+pub struct PinnedSnapshot {
+    registry: Arc<SnapshotRegistry>,
+    snapshot: Snapshot,
+}
+
+impl PinnedSnapshot {
+    /// The pinned view.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// The pinned epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.snapshot.epoch()
+    }
+
+    /// The frozen structure of the pinned epoch.
+    pub fn structure(&self) -> &Structure {
+        self.snapshot.structure()
+    }
+}
+
+impl Drop for PinnedSnapshot {
+    fn drop(&mut self) {
+        // Release this guard's own handle on the structure *before*
+        // unpinning, so that when the last pin of a superseded epoch goes
+        // the registry entry was the final strong reference and reclamation
+        // really frees the snapshot.
+        let epoch = self.snapshot.epoch();
+        self.snapshot = Snapshot::new(epoch, Arc::new(Structure::new()));
+        self.registry.unpin(epoch);
+    }
+}
+
+/// Reclaim sole ownership of a value moved into an [`Arc`] for a bounded
+/// sharing window.
+///
+/// This is the handoff-reclaim loop extracted from the pooled executor:
+/// after the coordination point (latch, pin count, …) the only other holders
+/// are threads in the instant between their last touch and their drop, which
+/// resolves within a yield or two — so spin with [`std::thread::yield_now`]
+/// instead of blocking.
+///
+/// Callers must ensure every long-lived holder has let go (workers hold only
+/// `Weak` handles; sessions hold pins counted elsewhere) or this will spin
+/// until they do.
+pub fn reclaim_arc<T>(mut shared: Arc<T>) -> T {
+    loop {
+        match Arc::try_unwrap(shared) {
+            Ok(inner) => break inner,
+            Err(still_shared) => {
+                shared = still_shared;
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with(epoch: Epoch) -> Arc<SnapshotRegistry> {
+        let registry = Arc::new(SnapshotRegistry::new());
+        let mut s = Structure::new();
+        s.atom("a");
+        registry.publish(epoch, Arc::new(s));
+        registry
+    }
+
+    #[test]
+    fn pin_before_publish_is_none() {
+        let registry = Arc::new(SnapshotRegistry::new());
+        assert!(registry.pin().is_none());
+        assert_eq!(registry.current_epoch(), None);
+    }
+
+    #[test]
+    fn pinned_epoch_survives_supersession() {
+        let registry = registry_with(1);
+        let pin = registry.pin().expect("published");
+        assert_eq!(pin.epoch(), 1);
+        let dump_at_1 = pin.structure().canonical_dump();
+
+        let mut s2 = Structure::new();
+        s2.atom("a");
+        s2.atom("b");
+        registry.publish(2, Arc::new(s2));
+
+        // The old pin still sees epoch 1 bit-identically.
+        assert_eq!(pin.structure().canonical_dump(), dump_at_1);
+        // New pins see epoch 2.
+        let pin2 = registry.pin().expect("published");
+        assert_eq!(pin2.epoch(), 2);
+        assert_eq!(registry.pinned_epochs(), 2);
+    }
+
+    #[test]
+    fn last_pin_drop_reclaims_superseded_epoch() {
+        let registry = registry_with(1);
+        let pin = registry.pin().expect("published");
+        let weak = Arc::downgrade(pin.snapshot().structure_arc());
+        registry.publish(2, Arc::new(Structure::new()));
+        assert!(weak.upgrade().is_some(), "pin retains the epoch");
+        drop(pin);
+        assert!(weak.upgrade().is_none(), "unpinned superseded epoch is freed");
+        let stats = registry.stats();
+        assert_eq!(stats.epochs_published, 2);
+        assert_eq!(stats.snapshots_pinned, 1);
+        assert_eq!(stats.snapshots_reclaimed, 1);
+        assert_eq!(registry.pinned_epochs(), 0);
+    }
+
+    #[test]
+    fn shared_epoch_reclaims_only_after_last_pin() {
+        let registry = registry_with(7);
+        let a = registry.pin().expect("published");
+        let b = registry.pin().expect("published");
+        registry.publish(8, Arc::new(Structure::new()));
+        drop(a);
+        assert_eq!(registry.stats().snapshots_reclaimed, 0);
+        assert_eq!(registry.pinned_epochs(), 1);
+        drop(b);
+        assert_eq!(registry.stats().snapshots_reclaimed, 1);
+        assert_eq!(registry.pinned_epochs(), 0);
+    }
+
+    #[test]
+    fn stale_publish_is_ignored() {
+        let registry = registry_with(5);
+        registry.publish(3, Arc::new(Structure::new()));
+        assert_eq!(registry.current_epoch(), Some(5));
+        // Equal epoch republish replaces in place (bootstrap after a race).
+        registry.publish(5, Arc::new(Structure::new()));
+        assert_eq!(registry.current_epoch(), Some(5));
+    }
+
+    #[test]
+    fn stats_merge_saturates() {
+        let mut a = SnapshotStats {
+            epochs_published: usize::MAX,
+            snapshots_pinned: 1,
+            snapshots_reclaimed: 2,
+        };
+        let b = SnapshotStats {
+            epochs_published: 1,
+            snapshots_pinned: 2,
+            snapshots_reclaimed: 3,
+        };
+        a.merge(&b);
+        assert_eq!(a.epochs_published, usize::MAX);
+        assert_eq!(a.snapshots_pinned, 3);
+        assert_eq!(a.snapshots_reclaimed, 5);
+    }
+
+    #[test]
+    fn reclaim_arc_returns_sole_ownership() {
+        let arc = Arc::new(42usize);
+        assert_eq!(reclaim_arc(arc), 42);
+    }
+
+    #[test]
+    fn pins_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<PinnedSnapshot>();
+        assert_send::<Snapshot>();
+    }
+}

@@ -48,8 +48,9 @@ use pathlog_core::constraints::{
 use pathlog_core::engine::Engine;
 use pathlog_core::names::Name;
 use pathlog_core::program::{DepKey, Query};
-use pathlog_core::structure::{Oid, Structure};
+use pathlog_core::structure::Structure;
 
+use crate::image::StoreImage;
 use crate::store::{ObjectStore, Value};
 use crate::txn::Change;
 
@@ -70,6 +71,11 @@ pub struct CommitReceipt {
     /// stands; the transaction's facts feeding each violated constraint
     /// were tagged in the quarantine ledger.
     pub quarantined: Vec<ConstraintViolation>,
+    /// The epoch this commit published to the store's snapshot serving
+    /// layer — the store `version` after the commit, one version authority
+    /// shared with the guard's out-of-band detection.  `None` when serving
+    /// is inactive (no reader session ever started on the store).
+    pub epoch: Option<u64>,
 }
 
 impl CommitReceipt {
@@ -80,6 +86,7 @@ impl CommitReceipt {
             checked: false,
             warnings: Vec::new(),
             quarantined: Vec::new(),
+            epoch: None,
         }
     }
 
@@ -145,9 +152,10 @@ enum TaggedFact {
 #[derive(Debug, Clone)]
 pub struct ConstraintGuard {
     checker: ConstraintChecker,
-    /// The PathLog image of the store, kept in sync change-by-change so the
-    /// checker's watermarks stay valid across commits.
-    shadow: Structure,
+    /// The PathLog image of the store, kept in sync change-by-change (via
+    /// [`StoreImage`]'s log replay) so the checker's watermarks stay valid
+    /// across commits.
+    shadow: StoreImage,
     /// Violations that do not block commits: present at install time, or
     /// admitted by an earlier commit under Warn/Quarantine.  Pruned to the
     /// still-standing ones after every successful commit, so a violation
@@ -162,7 +170,11 @@ pub struct ConstraintGuard {
     /// (safety of denial bodies, always-empty reads against the store's
     /// image).  Advisory: installation proceeds regardless.
     diagnostics: Diagnostics,
-    /// [`ObjectStore::version`] at the last moment shadow == store.
+    /// [`ObjectStore::version`] at the last moment shadow == store.  This
+    /// is the *same* counter the serving layer publishes as the snapshot
+    /// epoch ([`CommitReceipt::epoch`]) — one version authority, so a
+    /// reader session starting between two commits can never make the
+    /// guard look out-of-sync (no shadow-rebuild false positive).
     synced_version: u64,
 }
 
@@ -175,14 +187,14 @@ impl ConstraintGuard {
         engine: Engine,
         store: &ObjectStore,
     ) -> pathlog_core::error::Result<(Self, Vec<ConstraintViolation>)> {
-        let mut shadow = store.to_structure();
+        let mut shadow = StoreImage::of_store(store);
         let diagnostics = AnalysisInput::new()
             .constraints(&constraints)
-            .structure(&shadow)
+            .structure(shadow.structure())
             .run()
             .diagnostics;
         let mut checker = ConstraintChecker::new(constraints, engine);
-        let baseline = checker.check_full(&mut shadow)?;
+        let baseline = checker.check_full(shadow.structure_mut())?;
         let guard = ConstraintGuard {
             checker,
             shadow,
@@ -220,7 +232,7 @@ impl ConstraintGuard {
 
     /// The shadow structure (the store's PathLog image, post last sync).
     pub fn shadow(&self) -> &Structure {
-        &self.shadow
+        self.shadow.structure()
     }
 
     /// Violations currently tolerated (install-time baseline plus
@@ -239,7 +251,7 @@ impl ConstraintGuard {
 
     /// Answer `query` over the shadow in the guard engine's tolerance mode.
     pub fn tolerant_query(&self, query: &Query) -> pathlog_core::error::Result<TolerantAnswers> {
-        tolerant_query(self.checker.engine(), &self.shadow, &self.quarantine, query)
+        tolerant_query(self.checker.engine(), self.shadow.structure(), &self.quarantine, query)
     }
 
     /// The commit protocol (see the module docs).  `store` already contains
@@ -253,24 +265,24 @@ impl ConstraintGuard {
     ) -> Result<CommitReceipt, CommitError> {
         let in_sync = self.synced_version == begin_version;
         if in_sync {
-            self.apply_changes(log);
+            self.shadow.apply(log);
         } else {
             // Out-of-band mutations since the last sync: the incremental
             // window is unsound, rebuild the shadow (which already includes
             // the transaction's changes) and re-tag the quarantine ledger.
-            self.shadow = store.to_structure();
+            self.shadow = StoreImage::of_store(store);
             self.rebuild_quarantine();
         }
         let current = if in_sync {
-            self.checker.check(&mut self.shadow)
+            self.checker.check(self.shadow.structure_mut())
         } else {
-            self.checker.check_full(&mut self.shadow)
+            self.checker.check_full(self.shadow.structure_mut())
         };
         let current = match current {
             Ok(v) => v,
             Err(e) => {
                 if in_sync {
-                    self.revert_changes(log);
+                    self.shadow.revert(log);
                 }
                 return Err(CommitError::Check(e.to_string()));
             }
@@ -300,7 +312,7 @@ impl ConstraintGuard {
             // Whether applied incrementally or baked into a rebuild, the
             // shadow holds the transaction's changes; undo them so it
             // matches the store the transaction's `Drop` will roll back to.
-            self.revert_changes(log);
+            self.shadow.revert(log);
             return Err(CommitError::Rejected {
                 violations: rejected,
                 rolled_back: log.len(),
@@ -331,107 +343,8 @@ impl ConstraintGuard {
             checked: true,
             warnings,
             quarantined,
+            epoch: None,
         })
-    }
-
-    /// Intern a store value into the shadow, classifying literals into the
-    /// pseudo value classes exactly like [`ObjectStore::to_structure`].
-    fn intern(&mut self, value: &Value) -> Oid {
-        let oid = self.shadow.ensure_name(&value.to_name());
-        let class = match value {
-            Value::Int(_) => Some("integer"),
-            Value::Str(_) => Some("string"),
-            Value::Atom(_) => Some("atom"),
-            Value::Ref(_) => None,
-        };
-        if let Some(class) = class {
-            let c = self.shadow.atom(class);
-            self.shadow.add_isa(oid, c);
-        }
-        oid
-    }
-
-    /// Replay a transaction's undo log onto the shadow, in order.
-    fn apply_changes(&mut self, log: &[Change]) {
-        for change in log {
-            match change {
-                Change::ScalarSet {
-                    obj,
-                    attr,
-                    value,
-                    previous,
-                } => {
-                    let m = self.shadow.atom(attr);
-                    let r = self.shadow.atom(obj);
-                    let v = self.intern(value);
-                    if previous.is_some() {
-                        self.shadow.retract_scalar(m, r, &[]);
-                    }
-                    self.shadow
-                        .assert_scalar(m, r, &[], v)
-                        .expect("previous scalar value was just retracted");
-                }
-                Change::SetAdded { obj, attr, value } => {
-                    let m = self.shadow.atom(attr);
-                    let r = self.shadow.atom(obj);
-                    let v = self.intern(value);
-                    self.shadow.assert_set_member(m, r, &[], v);
-                }
-                Change::SetRemoved { obj, attr, value } => {
-                    let m = self.shadow.atom(attr);
-                    let r = self.shadow.atom(obj);
-                    let v = self.intern(value);
-                    self.shadow.retract_set_member(m, r, &[], v);
-                }
-                Change::ScalarCleared { obj, attr, .. } => {
-                    let m = self.shadow.atom(attr);
-                    let r = self.shadow.atom(obj);
-                    self.shadow.retract_scalar(m, r, &[]);
-                }
-            }
-        }
-    }
-
-    /// Undo [`ConstraintGuard::apply_changes`]: inverse operations in
-    /// reverse order, mirroring the transaction's own rollback.
-    fn revert_changes(&mut self, log: &[Change]) {
-        for change in log.iter().rev() {
-            match change {
-                Change::ScalarSet {
-                    obj, attr, previous, ..
-                } => {
-                    let m = self.shadow.atom(attr);
-                    let r = self.shadow.atom(obj);
-                    self.shadow.retract_scalar(m, r, &[]);
-                    if let Some(previous) = previous {
-                        let v = self.intern(previous);
-                        self.shadow
-                            .assert_scalar(m, r, &[], v)
-                            .expect("restoring a previously valid shadow value");
-                    }
-                }
-                Change::SetAdded { obj, attr, value } => {
-                    let m = self.shadow.atom(attr);
-                    let r = self.shadow.atom(obj);
-                    let v = self.intern(value);
-                    self.shadow.retract_set_member(m, r, &[], v);
-                }
-                Change::SetRemoved { obj, attr, value } => {
-                    let m = self.shadow.atom(attr);
-                    let r = self.shadow.atom(obj);
-                    let v = self.intern(value);
-                    self.shadow.assert_set_member(m, r, &[], v);
-                }
-                Change::ScalarCleared { obj, attr, previous } => {
-                    let m = self.shadow.atom(attr);
-                    let r = self.shadow.atom(obj);
-                    let v = self.intern(previous);
-                    self.shadow
-                        .assert_scalar(m, r, &[], v)
-                        .expect("restoring a previously cleared shadow value");
-                }
-            }
-        }
     }
 
     /// Tag the transaction's own additions that feed `violation`'s
@@ -495,7 +408,7 @@ impl ConstraintGuard {
             } => {
                 let m = self.shadow.atom(attr);
                 let r = self.shadow.atom(obj);
-                let v = self.intern(value);
+                let v = self.shadow.intern(value);
                 self.quarantine.tag_set_member(m, r, Vec::new(), v, constraint.clone());
             }
         }

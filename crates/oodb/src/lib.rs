@@ -27,14 +27,18 @@
 
 mod error;
 mod guard;
+mod image;
 mod persist;
 mod schema;
+mod session;
 mod store;
 mod txn;
 
 pub use error::{Result, StoreError};
 pub use guard::{CommitError, CommitReceipt, ConstraintGuard};
+pub use image::StoreImage;
 pub use persist::{dump, load};
 pub use schema::{AttrDef, AttrKind, ClassDef, Range, Schema};
+pub use session::Session;
 pub use store::{ObjId, ObjectStore, StoreStats, StoredObject, Value};
 pub use txn::{DeleteMode, Transaction};

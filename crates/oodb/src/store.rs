@@ -65,6 +65,27 @@ pub struct StoreStats {
     pub scalar_values: usize,
     /// Number of set attribute members.
     pub set_values: usize,
+    /// Snapshot epochs published by the serving layer (0 while no reader
+    /// session ever started — see [`ObjectStore::begin_session`]).
+    pub epochs_published: usize,
+    /// Reader sessions pinned (cumulative pin events, not a live count).
+    pub snapshots_pinned: usize,
+    /// Snapshot retention entries reclaimed after their last session
+    /// dropped.
+    pub snapshots_reclaimed: usize,
+}
+
+impl StoreStats {
+    /// Fold another store's counters into this one with saturating adds
+    /// (same contract as `EvalStats::merge`).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.objects = self.objects.saturating_add(other.objects);
+        self.scalar_values = self.scalar_values.saturating_add(other.scalar_values);
+        self.set_values = self.set_values.saturating_add(other.set_values);
+        self.epochs_published = self.epochs_published.saturating_add(other.epochs_published);
+        self.snapshots_pinned = self.snapshots_pinned.saturating_add(other.snapshots_pinned);
+        self.snapshots_reclaimed = self.snapshots_reclaimed.saturating_add(other.snapshots_reclaimed);
+    }
 }
 
 /// The in-memory object store.
@@ -87,6 +108,10 @@ pub struct ObjectStore {
     /// Check-on-commit integrity constraints, if installed (see
     /// [`ObjectStore::set_constraints`]).
     constraints: Option<Box<crate::guard::ConstraintGuard>>,
+    /// MVCC snapshot serving state, activated lazily by
+    /// [`ObjectStore::begin_session`](crate::session).  Not shared across
+    /// clones (each clone is its own single-writer domain).
+    pub(crate) serving: Option<Box<crate::session::ServingState>>,
 }
 
 impl ObjectStore {
@@ -298,12 +323,16 @@ impl ObjectStore {
         self.sets.get(&(id, attr.to_owned()))
     }
 
-    /// Summary statistics.
+    /// Summary statistics, including the serving-layer snapshot counters.
     pub fn stats(&self) -> StoreStats {
+        let snap = self.serving_stats();
         StoreStats {
             objects: self.objects.len(),
             scalar_values: self.scalar.len(),
             set_values: self.sets.values().map(BTreeSet::len).sum(),
+            epochs_published: snap.epochs_published,
+            snapshots_pinned: snap.snapshots_pinned,
+            snapshots_reclaimed: snap.snapshots_reclaimed,
         }
     }
 
@@ -451,7 +480,14 @@ impl ObjectStore {
             }
             Value::Ref(_) => {}
         };
-        for ((id, attr), value) in &self.scalar {
+        // Deterministic iteration (sorted by object id, then attribute):
+        // the interning order — and with it `canonical_dump()` — must be a
+        // pure function of the store contents, so that two stores with the
+        // same history publish bit-identical snapshots (the serving layer's
+        // sequential-oracle cross-checks depend on this).
+        let mut scalars: Vec<(&(ObjId, String), &Value)> = self.scalar.iter().collect();
+        scalars.sort_by(|a, b| a.0.cmp(b.0));
+        for ((id, attr), value) in scalars {
             let receiver = s.atom(&self.objects[id.0 as usize].name);
             let method = s.atom(attr);
             let v = s.ensure_name(&value.to_name());
@@ -459,7 +495,9 @@ impl ObjectStore {
             s.assert_scalar(method, receiver, &[], v)
                 .expect("scalar attributes are single-valued in the store");
         }
-        for ((id, attr), values) in &self.sets {
+        let mut sets: Vec<(&(ObjId, String), &BTreeSet<Value>)> = self.sets.iter().collect();
+        sets.sort_by(|a, b| a.0.cmp(b.0));
+        for ((id, attr), values) in sets {
             let receiver = s.atom(&self.objects[id.0 as usize].name);
             let method = s.atom(attr);
             for value in values {

@@ -260,23 +260,40 @@ impl<'a> Transaction<'a> {
     ///   kept: the transaction rolls back in full and
     ///   [`CommitError::Rejected`] reports the violations and the number of
     ///   changes rolled back (the boundary is all-or-nothing).
+    ///
+    /// A successful commit also publishes the post-commit image as a new
+    /// snapshot epoch when reader sessions are active (see
+    /// [`ObjectStore::begin_session`]); the receipt's
+    /// [`epoch`](CommitReceipt::epoch) records it.
     pub fn commit(mut self) -> std::result::Result<CommitReceipt, CommitError> {
         let Some(mut guard) = self.store.take_guard() else {
             self.committed = true;
-            return Ok(CommitReceipt::unchecked(self.log.len()));
+            let mut receipt = CommitReceipt::unchecked(self.log.len());
+            receipt.epoch = self.store.publish_after_commit(&self.log, self.begin_version);
+            return Ok(receipt);
         };
         let outcome = guard.check_commit(self.store, &self.log, self.begin_version);
         self.store.restore_guard(guard);
-        if outcome.is_ok() {
-            self.committed = true;
+        match outcome {
+            Ok(mut receipt) => {
+                self.committed = true;
+                receipt.epoch = self.store.publish_after_commit(&self.log, self.begin_version);
+                Ok(receipt)
+            }
+            // on Err: `committed` stays false, so dropping `self` rolls back
+            Err(e) => Err(e),
         }
-        // on Err: `committed` stays false, so dropping `self` rolls back
-        outcome
     }
 
     /// Number of undoable changes recorded so far.
     pub fn len(&self) -> usize {
         self.log.len()
+    }
+
+    /// A copy of the undo log (for replay tests of [`crate::StoreImage`]).
+    #[cfg(test)]
+    pub(crate) fn log_snapshot(&self) -> Vec<Change> {
+        self.log.clone()
     }
 
     /// `true` if nothing was changed yet.
@@ -295,10 +312,12 @@ impl Drop for Transaction<'_> {
             change.undo(self.store);
         }
         // The store is back in its pre-transaction state; if the guard's
-        // shadow matched it then (untouched abort, or reverted by a
-        // rejected commit), fast-forward the sync point past the rollback
-        // mutations so the next commit stays incremental.
+        // shadow (or the serving layer's published snapshot) matched it
+        // then — untouched abort, or reverted by a rejected commit —
+        // fast-forward the sync points past the rollback mutations so the
+        // next commit stays incremental.
         self.store.resync_guard_after_rollback(self.begin_version);
+        self.store.resync_serving_after_rollback(self.begin_version);
     }
 }
 

@@ -58,6 +58,7 @@ use pathlog_core::structure::{Oid, Structure};
 use pathlog_core::term::Term;
 
 use crate::error::{ReactiveError, Result};
+use crate::notify::{Epoch, Notification, NotificationKind, Subscribers, Subscription};
 
 /// The kind of primitive mutation an ECA rule reacts to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -334,6 +335,12 @@ pub struct ActiveStore {
     /// change mid-cascade, so one Arc serves every round of every
     /// mutation).
     condition_bodies: Option<Arc<[Vec<Literal>]>>,
+    /// Notify-stream fan-out (see [`crate::notify`]).  Not cloned with the
+    /// store: a clone is an independent store and starts unobserved.
+    subscribers: Subscribers,
+    /// External mutation sequence number; every external mutation —
+    /// successful or not — opens the next epoch.
+    epoch: Epoch,
 }
 
 impl ActiveStore {
@@ -353,6 +360,8 @@ impl ActiveStore {
                 ..EvalOptions::default()
             }),
             condition_bodies: None,
+            subscribers: Subscribers::default(),
+            epoch: 0,
         }
     }
 
@@ -416,6 +425,65 @@ impl ActiveStore {
     /// The registered triggers.
     pub fn rules(&self) -> &[EcaRule] {
         &self.rules
+    }
+
+    // ---------------------------------------------------------- notification
+
+    /// Register a notify-stream subscriber: every subsequent epoch's
+    /// changes, firings and quiescent/aborted barrier are pushed to the
+    /// returned [`Subscription`] instead of the subscriber polling the
+    /// structure (see [`crate::notify`] for the stream contract).  Dropping
+    /// the subscription unsubscribes.
+    pub fn subscribe(&mut self) -> Subscription {
+        self.subscribers.subscribe()
+    }
+
+    /// The number of live subscribers as of the last emission.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// The current epoch: how many external mutations this store has run
+    /// (successfully or not).  0 before the first mutation.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Fan a notification out to the subscribers (free when there are
+    /// none).
+    fn notify(&mut self, round: usize, kind: NotificationKind) {
+        if self.subscribers.is_empty() {
+            return;
+        }
+        self.subscribers.emit(Notification {
+            epoch: self.epoch,
+            round,
+            kind,
+        });
+    }
+
+    /// The public event a `(kind, method)` pair raises, for change
+    /// notifications; `None` for anonymous methods (which no rule — and no
+    /// subscriber — can name).
+    fn public_event(&self, kind: EventKind, method: Oid) -> Option<Event> {
+        let name = self.structure.name_of(method)?.clone();
+        Some(match kind {
+            EventKind::ScalarAsserted => Event::ScalarAsserted(name),
+            EventKind::ScalarRetracted => Event::ScalarRetracted(name),
+            EventKind::SetMemberAdded => Event::SetMemberAdded(name),
+            EventKind::SetMemberRemoved => Event::SetMemberRemoved(name),
+            EventKind::ClassAdded => Event::ClassAdded(name),
+        })
+    }
+
+    /// Emit a change notification for a committed mutation's event.
+    fn notify_change(&mut self, round: usize, kind: EventKind, method: Oid) {
+        if self.subscribers.is_empty() {
+            return;
+        }
+        if let Some(event) = self.public_event(kind, method) {
+            self.notify(round, NotificationKind::Change { event });
+        }
     }
 
     /// Read access to the wrapped structure.
@@ -485,6 +553,7 @@ impl ActiveStore {
     /// [`ActiveOptions::rollback_on_error`] restores the snapshot taken
     /// here.
     fn run_external(&mut self, mutation: Mutation) -> Result<ActiveStats> {
+        self.epoch = self.epoch.saturating_add(1);
         let snapshot = self.options.rollback_on_error.then(|| self.structure.clone());
         let mut stats = ActiveStats::default();
         let result = match self.options.schedule {
@@ -492,11 +561,18 @@ impl ActiveStore {
             CascadeSchedule::Rounds => self.mutate_rounds(mutation, &mut stats),
         };
         match result {
-            Ok(()) => Ok(stats),
+            Ok(()) => {
+                self.notify(stats.max_depth_reached, NotificationKind::Quiescent { stats });
+                Ok(stats)
+            }
             Err(e) => {
                 if let Some(saved) = snapshot {
                     self.structure = saved;
                 }
+                self.notify(
+                    stats.max_depth_reached,
+                    NotificationKind::Aborted { reason: e.to_string() },
+                );
                 Err(e)
             }
         }
@@ -583,12 +659,14 @@ impl ActiveStore {
         }
         stats.max_depth_reached = stats.max_depth_reached.max(depth);
 
-        // 1. Apply the primitive mutation; only real changes raise events.
+        // 1. Apply the primitive mutation; only real changes raise events
+        // (and change notifications).
         let (changed, seed, watched) = self.apply_mutation(mutation)?;
         if !changed {
             return Ok(());
         }
         stats.mutations = stats.mutations.saturating_add(1);
+        self.notify_change(depth, watched.0, watched.1);
 
         // 2. Fire each matching rule for every solution of its condition.
         for index in self.matching_rules(watched.0, watched.1) {
@@ -602,6 +680,12 @@ impl ActiveStore {
                         self.options.max_total_firings
                     )));
                 }
+                self.notify(
+                    depth,
+                    NotificationKind::Firing {
+                        rule: rule.name.clone(),
+                    },
+                );
                 for action in &rule.actions {
                     let next = self.compile_action(action, &solution)?;
                     self.mutate(next, depth + 1, stats)?;
@@ -636,6 +720,7 @@ impl ActiveStore {
                 let (changed, seed, watched) = self.apply_mutation(mutation)?;
                 if changed {
                     stats.mutations = stats.mutations.saturating_add(1);
+                    self.notify_change(depth, watched.0, watched.1);
                     events.push((watched.0, watched.1, seed));
                 }
             }
@@ -679,6 +764,12 @@ impl ActiveStore {
                             self.options.max_total_firings
                         )));
                     }
+                    self.notify(
+                        depth,
+                        NotificationKind::Firing {
+                            rule: rule.name.clone(),
+                        },
+                    );
                     for action in &rule.actions {
                         queue.push(self.compile_action(action, &solution)?);
                     }

@@ -16,6 +16,10 @@
 //!   [`Structure`](pathlog_core::structure::Structure): primitive mutations
 //!   raise events, conditions are PathLog bodies seeded with the event's
 //!   participants, actions are further mutations (cascades are bounded).
+//! * [`notify`] — the push front of the active store: subscribers receive
+//!   per-epoch change / firing / quiescence notification streams over
+//!   [`ActiveStore::subscribe`](active::ActiveStore::subscribe) instead of
+//!   polling the structure and diffing dumps.
 //!
 //! Retraction — which deductive bottom-up evaluation never needs — is
 //! provided by the core structure's `retract_scalar` / `retract_set_member`
@@ -48,12 +52,14 @@ pub mod action;
 pub mod active;
 pub mod analyze;
 pub mod error;
+pub mod notify;
 pub mod production;
 
 pub use action::{apply_action, Action, ActionEffect};
 pub use active::{ActiveOptions, ActiveStats, ActiveStore, CascadeSchedule, EcaAction, EcaRule, Event};
 pub use analyze::{analyze_eca_rules, analyze_production_rules, summarize_eca, summarize_production};
 pub use error::{ReactiveError, Result};
+pub use notify::{Notification, NotificationKind, Subscription};
 pub use production::{
     ConflictResolution, Firing, ProductionEngine, ProductionOptions, ProductionRule, ProductionStats,
 };

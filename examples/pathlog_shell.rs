@@ -296,7 +296,16 @@ fn plan_to_json(p: &PlanExplanation) -> String {
 /// per-literal estimates for each proper rule — and returns the process
 /// exit code: 0 when every file parses and carries no `Error`-severity
 /// diagnostic, 1 otherwise.
-fn check_files(files: &[String], json: bool, explain: bool) -> i32 {
+///
+/// With `json` the document is an object, not a bare array: a `"meta"`
+/// block records the evaluation options and the invocation's engine
+/// counters — including the serving-layer counters `epochs_published`,
+/// `snapshots_pinned` and `snapshots_reclaimed` from [`EvalStats`] — then
+/// the per-file entries follow under `"files"`.  The static gate performs
+/// no evaluation, so its counters are zero; the keys exist so downstream
+/// tooling reads one stable schema whether or not a shell invocation
+/// evaluated anything.
+fn check_files(files: &[String], json: bool, explain: bool, options: &EvalOptions) -> i32 {
     use pathlog::core::analysis::{json_escape, AnalysisInput};
     use pathlog::parser::parse_program_spanned;
 
@@ -390,7 +399,20 @@ fn check_files(files: &[String], json: bool, explain: bool) -> i32 {
         }
     }
     if json {
-        println!("[{}]", json_entries.join(","));
+        let stats = EvalStats::default();
+        let (mode, workers) = match options.mode {
+            EvalMode::Sequential => ("seq", 1),
+            EvalMode::Parallel { workers } => ("par", workers),
+        };
+        println!(
+            "{{\"meta\":{{\"mode\":\"{mode}\",\"workers\":{workers},\
+             \"epochs_published\":{},\"snapshots_pinned\":{},\"snapshots_reclaimed\":{}}},\
+             \"files\":[{}]}}",
+            stats.epochs_published,
+            stats.snapshots_pinned,
+            stats.snapshots_reclaimed,
+            json_entries.join(",")
+        );
     }
     i32::from(failed)
 }
@@ -501,7 +523,7 @@ fn reactive_demo(options: EvalOptions) {
 fn main() {
     let (options, mode) = options_from_args();
     match mode {
-        ShellMode::Check { files, json, explain } => std::process::exit(check_files(&files, json, explain)),
+        ShellMode::Check { files, json, explain } => std::process::exit(check_files(&files, json, explain, &options)),
         ShellMode::Reactive => {
             reactive_demo(options);
             return;
